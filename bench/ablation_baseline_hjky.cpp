@@ -1,0 +1,101 @@
+// Ablation A5 -- THE headline comparison: the paper's chosen PSS ([7],
+// hyperinvertible batching, O(1) amortized per secret) against the prior
+// state of the art it displaces (HJKY'95 [25], O(n^2) per secret, no
+// packing, no batching).
+//
+// Both sides refresh the same number of raw secret field elements; we report
+// field elements sent and CPU per secret. Expected shape: the baseline's
+// per-secret communication grows ~n^2 while the batched scheme's stays flat
+// (and far lower), exactly the gap that makes bulk-data proactive storage
+// feasible (paper SectionII / SectionIII-C).
+#include "bench_common.h"
+
+#include "pss/baseline.h"
+#include "pss/refresh.h"
+
+int main() {
+  using namespace pisces;
+  bench::Banner("Ablation A5",
+                "Batched PSS [7] vs HJKY'95 baseline [25], per-secret cost");
+
+  Recorder rec({"n", "t", "scheme", "secrets", "elems_sent",
+                "elems_per_secret", "cpu_us_per_secret"});
+  std::printf("%3s %3s %-10s %10s %14s %18s %18s\n", "n", "t", "scheme",
+              "secrets", "elems_sent", "elems/secret", "cpu_us/secret");
+
+  for (std::size_t n : {13u, 21u, 29u, 37u}) {
+    const std::size_t t = n / 4;
+    const std::size_t l = bench::MaxPacking(n, t, 1);
+    auto ctx = std::make_shared<const field::FpCtx>(
+        field::StandardPrimeBe(1024));
+    Rng rng(0xBA5E + n);
+    // Enough raw secrets for several batching groups on the [7] side.
+    const std::size_t blocks = 4 * (n - 2 * t);
+    const std::size_t secrets = blocks * l;
+
+    // --- batched scheme of [7] (the library's refresh pipeline) ---
+    pss::Params params;
+    params.n = n;
+    params.t = t;
+    params.l = l;
+    params.field_bits = 1024;
+    pss::PackedShamir shamir(ctx, params);
+    std::vector<std::vector<field::FpElem>> packed(
+        n, std::vector<field::FpElem>(blocks));
+    std::vector<field::FpElem> block(l, ctx->Zero());
+    for (std::size_t b = 0; b < blocks; ++b) {
+      for (auto& e : block) e = ctx->Random(rng);
+      auto sh = shamir.ShareBlock(block, rng);
+      for (std::size_t i = 0; i < n; ++i) packed[i][b] = sh[i];
+    }
+    CpuTimer cpu;
+    cpu.Start();
+    pss::ReferenceRefresh(shamir, packed, rng);
+    cpu.Stop();
+    // Wire accounting for one batch round (mirrors the host protocol):
+    // deals n(n-1)G + check shares 2t*G*(n-1) + verdict broadcast (1 elem
+    // equivalent ignored -- verdicts are single bytes).
+    pss::RefreshPlan plan = pss::RefreshPlan::For(blocks, params);
+    std::uint64_t elems = static_cast<std::uint64_t>(n) * (n - 1) * plan.groups +
+                          static_cast<std::uint64_t>(2 * t) * plan.groups * (n - 1);
+    double eps = static_cast<double>(elems) / secrets;
+    double cpu_us = cpu.nanos() / 1000.0 / secrets;
+    std::printf("%3zu %3zu %-10s %10zu %14llu %18.2f %18.2f\n", n, t,
+                "batched", secrets, static_cast<unsigned long long>(elems),
+                eps, cpu_us);
+    rec.AddRow({{"n", std::to_string(n)},
+                {"t", std::to_string(t)},
+                {"scheme", "batched"},
+                {"secrets", std::to_string(secrets)},
+                {"elems_sent", std::to_string(elems)},
+                {"elems_per_secret", Recorder::Num(eps)},
+                {"cpu_us_per_secret", Recorder::Num(cpu_us)}});
+
+    // --- HJKY'95 baseline: same raw secrets, no packing, no batching ---
+    pss::EvalPoints points(*ctx, n, 1);
+    std::vector<field::FpElem> raw(secrets, ctx->Zero());
+    for (auto& e : raw) e = ctx->Random(rng);
+    auto naive = pss::BaselineShare(*ctx, points, n, t, raw, rng);
+    pss::BaselineStats stats =
+        pss::BaselineRefresh(*ctx, points, n, t, naive, rng);
+    double eps_b = static_cast<double>(stats.elems_sent) / secrets;
+    double cpu_us_b = stats.cpu_ns / 1000.0 / secrets;
+    std::printf("%3zu %3zu %-10s %10zu %14llu %18.2f %18.2f\n", n, t, "hjky95",
+                secrets, static_cast<unsigned long long>(stats.elems_sent),
+                eps_b, cpu_us_b);
+    rec.AddRow({{"n", std::to_string(n)},
+                {"t", std::to_string(t)},
+                {"scheme", "hjky95"},
+                {"secrets", std::to_string(secrets)},
+                {"elems_sent", std::to_string(stats.elems_sent)},
+                {"elems_per_secret", Recorder::Num(eps_b)},
+                {"cpu_us_per_secret", Recorder::Num(cpu_us_b)}});
+  }
+  bench::DumpCsv(rec);
+  std::printf(
+      "\nShape check: hjky95 elems/secret grows ~n^2 (each secret pays a "
+      "full\nall-to-all round); batched stays near-constant and orders of "
+      "magnitude\nlower -- the gap that makes MB-scale proactive storage "
+      "feasible.\n");
+  return 0;
+}

@@ -1,0 +1,31 @@
+// Ablation A4: link encryption on/off.
+//
+// The paper's deployment carries protocol traffic over TLS; our channels are
+// ChaCha20+HMAC under hypervisor-signed per-epoch keys. This sweep measures
+// what the channel layer adds on top of the bare PSS protocol (compute from
+// sealing/opening, bytes from framing) for a full update window.
+#include "bench_common.h"
+
+int main() {
+  using namespace pisces;
+  bench::Banner("Ablation A4", "Channel encryption overhead");
+
+  Recorder rec = MakeExperimentRecorder();
+  std::printf("%-10s %14s %14s %16s\n", "links", "cpu_total_s", "window_s",
+              "bytes_total(MB)");
+  for (bool encrypted : {false, true}) {
+    ExperimentConfig cfg = bench::MakeConfig(13, 2, 3, 2, 1024, 32 * 1024);
+    cfg.encrypt_links = encrypted;
+    ExperimentResult res = RunRefreshExperiment(cfg);
+    std::printf("%-10s %14.3f %14.4f %16.2f\n",
+                encrypted ? "sealed" : "plain",
+                res.cpu_rerand_s + res.cpu_recover_s, res.window_time_s,
+                res.TotalBytes() / 1e6);
+    RecordExperiment(rec, encrypted ? "sealed" : "plain", res);
+  }
+  bench::DumpCsv(rec);
+  std::printf(
+      "\nShape check: sealing adds a few percent of bytes (framing + tags)"
+      "\nand a modest CPU overhead -- the PSS protocol dominates.\n");
+  return 0;
+}

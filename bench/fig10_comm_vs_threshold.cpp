@@ -1,0 +1,37 @@
+// Figure 10: total communication overhead vs corruption threshold t, one
+// series per deployment configuration (n in {21, 29, 37}).
+//
+// Expected shape: communication rises with t (the packing parameter is
+// squeezed), sharply near the threshold.
+#include "bench_common.h"
+
+int main() {
+  using namespace pisces;
+  bench::Banner("Figure 10",
+                "Total communication overhead vs corruption threshold t");
+
+  std::vector<std::size_t> ns{21, 29, 37};
+  const std::size_t r = 1;
+
+  Recorder rec = MakeExperimentRecorder();
+  std::printf("%-6s %3s %3s %14s %14s %16s\n", "series", "t", "l",
+              "rerand(MB)", "recover(MB)", "bytes/file-byte");
+  for (std::size_t n : ns) {
+    const std::size_t t_max = (n - 2) / 3;  // 3t + l < n with l >= 1
+    std::size_t step = bench::PaperScale() ? 1 : 2;
+    for (std::size_t t = 2; t <= t_max; t += step) {
+      std::size_t l = bench::MaxPacking(n, t, r);
+      ExperimentConfig cfg =
+          bench::MakeConfig(n, t, l, r, 1024, bench::FileBytes(n));
+      ExperimentResult res = RunRefreshExperiment(cfg);
+      std::string name = "n" + std::to_string(n);
+      std::printf("%-6s %3zu %3zu %14.2f %14.2f %16.1f\n", name.c_str(), t, l,
+                  res.bytes_rerand / 1e6, res.bytes_recover / 1e6,
+                  res.TotalBytes() / static_cast<double>(res.file_bytes));
+      RecordExperiment(rec, name, res);
+    }
+  }
+  bench::DumpCsv(rec);
+  std::printf("\nShape check: overhead rises with t for every n series.\n");
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Figure 11: fraction of uptime spent refreshing for varying window size w
+// (the time between share refreshes), several (n, t) configurations.
+//
+// Expected shape (paper): even with t near its maximum, PiSCES spends under
+// 1% of its uptime actively refreshing for daily windows; the fraction is
+// inversely proportional to w.
+#include "bench_common.h"
+
+int main() {
+  using namespace pisces;
+  bench::Banner("Figure 11",
+                "Fraction of uptime spent refreshing vs window size w");
+
+  struct Series {
+    std::size_t n, t;
+  };
+  std::vector<Series> series = bench::PaperScale()
+                                   ? std::vector<Series>{{21, 4}, {21, 6},
+                                                         {29, 7}, {37, 9}}
+                                   : std::vector<Series>{{21, 4}, {37, 9}};
+  const double hours[] = {6, 12, 24, 48, 96};
+
+  Recorder rec({"series", "window_h", "window_work_s", "fraction"});
+  std::printf("%-10s %10s %16s %12s\n", "series", "window(h)", "work(s)",
+              "fraction");
+  for (const Series& s : series) {
+    std::size_t l = bench::MaxPacking(s.n, s.t, 3);
+    ExperimentConfig cfg =
+        bench::MakeConfig(s.n, s.t, l, 3, 1024, bench::FileBytes(s.n));
+    ExperimentResult res = RunRefreshExperiment(cfg);
+    std::string name = "n" + std::to_string(s.n) + "_t" + std::to_string(s.t);
+    for (double h : hours) {
+      double fraction = res.window_time_s / (h * 3600.0);
+      std::printf("%-10s %10.0f %16.3f %12.3e\n", name.c_str(), h,
+                  res.window_time_s, fraction);
+      rec.AddRow({{"series", name},
+                  {"window_h", Recorder::Num(h)},
+                  {"window_work_s", Recorder::Num(res.window_time_s)},
+                  {"fraction", Recorder::Num(fraction)}});
+    }
+  }
+  bench::DumpCsv(rec);
+  std::printf(
+      "\nShape check: fraction < 1%% for daily (24h) windows in every "
+      "configuration;\nfraction scales as 1/w.\n");
+  return 0;
+}

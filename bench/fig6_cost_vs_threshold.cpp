@@ -1,0 +1,38 @@
+// Figure 6: total dollar cost to refresh vs corruption threshold t, one
+// series per instance type (n = 21 fixed).
+//
+// Expected shape (paper SectionVII-B): cost explodes as t approaches the
+// cryptographic maximum n/3 because the packing parameter l is squeezed
+// toward 1 and the amortization of the underlying PSS is lost.
+#include "bench_common.h"
+
+int main() {
+  using namespace pisces;
+  bench::Banner("Figure 6", "Total cost to refresh vs corruption threshold t");
+
+  const std::size_t n = 21;
+  const std::size_t r = 1;
+  std::vector<std::size_t> ts =
+      bench::PaperScale() ? std::vector<std::size_t>{1, 2, 3, 4, 5, 6}
+                          : std::vector<std::size_t>{2, 4, 6};
+
+  Recorder rec = MakeExperimentRecorder();
+  std::printf("%-8s %3s %3s %3s %16s %14s\n", "series", "t", "l", "ok",
+              "window_s", "cost_usd");
+  for (InstanceType type :
+       {InstanceType::kSmall, InstanceType::kMedium, InstanceType::kLarge}) {
+    for (std::size_t t : ts) {
+      std::size_t l = bench::MaxPacking(n, t, r);  // best packing for this t
+      ExperimentConfig cfg =
+          bench::MakeConfig(n, t, l, r, 1024, bench::FileBytes(n));
+      cfg.instance = type;
+      ExperimentResult res = RunRefreshExperiment(cfg);
+      std::printf("%-8s %3zu %3zu %3d %16.4f %14.6f\n", SpecOf(type).name, t,
+                  l, res.ok, res.window_time_s, res.cost_dedicated);
+      RecordExperiment(rec, SpecOf(type).name, res);
+    }
+  }
+  bench::DumpCsv(rec);
+  std::printf("\nShape check: cost should rise sharply as t -> n/3 = 7.\n");
+  return 0;
+}

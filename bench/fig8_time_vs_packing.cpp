@@ -1,0 +1,43 @@
+// Figure 8: time to refresh (s/byte) as the packing parameter l increases,
+// for configurations (n,t) in {(21,4),(21,5),(29,6),(29,7),(37,8),(37,9)}.
+//
+// Expected shape: l = 1 is catastrophically slow (no amortization); cost
+// falls steeply with l, then flattens -- and increasing l is NOT monotonically
+// beneficial: past an interior optimum the curve turns back up (paper's
+// "interesting" observation, Figures 8/9).
+#include "bench_common.h"
+
+int main() {
+  using namespace pisces;
+  bench::Banner("Figure 8", "Time to refresh (s/byte) vs packing parameter l");
+
+  struct Series {
+    std::size_t n, t;
+  };
+  std::vector<Series> series =
+      bench::PaperScale()
+          ? std::vector<Series>{{21, 4}, {21, 5}, {29, 6}, {29, 7}, {37, 8}, {37, 9}}
+          : std::vector<Series>{{21, 4}, {21, 5}, {37, 9}};
+
+  Recorder rec = MakeExperimentRecorder();
+  std::printf("%-10s %3s %16s (s/byte)\n", "series", "l", "window/byte");
+  for (const Series& s : series) {
+    const std::size_t r = 1;
+    const std::size_t l_max = bench::MaxPacking(s.n, s.t, r);
+    for (std::size_t l = 1; l <= l_max; l += (bench::PaperScale() ? 1 : 2)) {
+      ExperimentConfig cfg =
+          bench::MakeConfig(s.n, s.t, l, r, 1024, bench::FileBytes(s.n));
+      ExperimentResult res = RunRefreshExperiment(cfg);
+      std::string name =
+          "n" + std::to_string(s.n) + "_t" + std::to_string(s.t);
+      std::printf("%-10s %3zu %16.3e\n", name.c_str(), l,
+                  res.WindowTimePerByte());
+      RecordExperiment(rec, name, res);
+    }
+  }
+  bench::DumpCsv(rec);
+  std::printf(
+      "\nShape check: steep drop from l=1, then flattening; interior minimum"
+      "\n(per-byte time rises again at the largest l values).\n");
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Figure 9: total communication overhead vs packing parameter l, for the
+// same deployment configurations as Figure 8.
+//
+// Expected shape: mirrors Figure 8 -- large at l = 1, falling with l, with an
+// interior minimum per configuration (increasing l is "not a strictly
+// beneficial thing to do").
+#include "bench_common.h"
+
+int main() {
+  using namespace pisces;
+  bench::Banner("Figure 9",
+                "Total communication overhead vs packing parameter l");
+
+  struct Series {
+    std::size_t n, t;
+  };
+  std::vector<Series> series =
+      bench::PaperScale()
+          ? std::vector<Series>{{21, 4}, {21, 5}, {29, 6}, {29, 7}, {37, 8}, {37, 9}}
+          : std::vector<Series>{{21, 4}, {29, 7}, {37, 9}};
+
+  Recorder rec = MakeExperimentRecorder();
+  std::printf("%-10s %3s %14s %14s %16s\n", "series", "l", "rerand(MB)",
+              "recover(MB)", "bytes/file-byte");
+  for (const Series& s : series) {
+    const std::size_t r = 1;
+    const std::size_t l_max = bench::MaxPacking(s.n, s.t, r);
+    for (std::size_t l = 1; l <= l_max; l += (bench::PaperScale() ? 1 : 2)) {
+      ExperimentConfig cfg =
+          bench::MakeConfig(s.n, s.t, l, r, 1024, bench::FileBytes(s.n));
+      ExperimentResult res = RunRefreshExperiment(cfg);
+      std::string name =
+          "n" + std::to_string(s.n) + "_t" + std::to_string(s.t);
+      std::printf("%-10s %3zu %14.2f %14.2f %16.1f\n", name.c_str(), l,
+                  res.bytes_rerand / 1e6, res.bytes_recover / 1e6,
+                  res.TotalBytes() / static_cast<double>(res.file_bytes));
+      RecordExperiment(rec, name, res);
+    }
+  }
+  bench::DumpCsv(rec);
+  std::printf("\nShape check: minimum at an interior l per configuration.\n");
+  return 0;
+}

@@ -1,0 +1,44 @@
+// SectionVIII "Lessons Learned" point measurements:
+//  * the paper's best parameter selection for n = 21 (t=4, l=6, r=3, g=1024)
+//    against its immediate neighborhood;
+//  * storage cost per kilobyte per refresh for a 10 KB file (the paper
+//    reports ~0.08 cents/KB on 2016 EC2 -- absolute dollars depend on the
+//    machine calibration, the neighborhood ordering is the check).
+#include "bench_common.h"
+
+int main() {
+  using namespace pisces;
+  bench::Banner("SectionVIII", "Lessons learned: best-parameter neighborhood");
+
+  struct Point {
+    const char* name;
+    std::size_t t, l, r, g;
+  };
+  const Point points[] = {
+      {"paper-best (t=4,l=6,r=3,g=1024)", 4, 6, 3, 1024},
+      {"less packing (l=5)", 4, 5, 3, 1024},
+      {"more packing (l=7, r=2)", 4, 7, 2, 1024},
+      {"single reboot (r=1)", 4, 6, 1, 1024},
+      {"higher threshold (t=5,l=4)", 5, 4, 2, 1024},
+      {"smaller field (g=512)", 4, 6, 3, 512},
+      {"larger field (g=2048)", 4, 6, 3, 2048},
+  };
+
+  Recorder rec = MakeExperimentRecorder();
+  std::printf("%-34s %12s %16s %18s\n", "point", "window_s", "cost_usd",
+              "cents/KB/refresh");
+  const std::size_t kFile = 10 * 1024;  // the paper's 10 KB quote
+  for (const Point& p : points) {
+    ExperimentConfig cfg = bench::MakeConfig(21, p.t, p.l, p.r, p.g, kFile);
+    ExperimentResult res = RunRefreshExperiment(cfg);
+    double cents_per_kb = res.cost_dedicated * 100.0 / (kFile / 1024.0);
+    std::printf("%-34s %12.4f %16.6f %18.4f\n", p.name, res.window_time_s,
+                res.cost_dedicated, cents_per_kb);
+    RecordExperiment(rec, p.name, res);
+  }
+  bench::DumpCsv(rec);
+  std::printf(
+      "\nShape check: the paper-best point should be at or near the cheapest"
+      "\nrow; g=2048 and l-off-optimum rows should be worse.\n");
+  return 0;
+}

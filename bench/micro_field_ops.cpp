@@ -1,0 +1,116 @@
+// Microbenchmarks of the field and polynomial substrate (google-benchmark):
+// the primitive costs behind every figure. Field ops dominate the protocol,
+// so this is where the g parameter's cost physically lives.
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <memory>
+
+#include "field/primes.h"
+#include "math/poly.h"
+
+namespace {
+
+using pisces::Rng;
+using pisces::field::FpCtx;
+using pisces::field::FpElem;
+using pisces::field::StandardPrimeBe;
+
+const FpCtx& CtxFor(std::size_t bits) {
+  static std::map<std::size_t, std::unique_ptr<FpCtx>> ctxs;
+  auto it = ctxs.find(bits);
+  if (it == ctxs.end()) {
+    it = ctxs.emplace(bits, std::make_unique<FpCtx>(StandardPrimeBe(bits)))
+             .first;
+  }
+  return *it->second;
+}
+
+void BM_FieldMul(benchmark::State& state) {
+  const FpCtx& ctx = CtxFor(state.range(0));
+  Rng rng(1);
+  FpElem a = ctx.Random(rng), b = ctx.Random(rng);
+  for (auto _ : state) {
+    a = ctx.Mul(a, b);
+    benchmark::DoNotOptimize(a);
+  }
+}
+BENCHMARK(BM_FieldMul)->Arg(256)->Arg(512)->Arg(1024)->Arg(2048);
+
+void BM_FieldAdd(benchmark::State& state) {
+  const FpCtx& ctx = CtxFor(state.range(0));
+  Rng rng(2);
+  FpElem a = ctx.Random(rng), b = ctx.Random(rng);
+  for (auto _ : state) {
+    a = ctx.Add(a, b);
+    benchmark::DoNotOptimize(a);
+  }
+}
+BENCHMARK(BM_FieldAdd)->Arg(256)->Arg(2048);
+
+void BM_FieldInv(benchmark::State& state) {
+  const FpCtx& ctx = CtxFor(state.range(0));
+  Rng rng(3);
+  FpElem a = ctx.RandomNonZero(rng);
+  for (auto _ : state) {
+    a = ctx.Inv(a);
+    benchmark::DoNotOptimize(a);
+  }
+}
+BENCHMARK(BM_FieldInv)->Arg(256)->Arg(1024);
+
+void BM_BatchInv32(benchmark::State& state) {
+  const FpCtx& ctx = CtxFor(state.range(0));
+  Rng rng(4);
+  std::vector<FpElem> elems;
+  for (int i = 0; i < 32; ++i) elems.push_back(ctx.RandomNonZero(rng));
+  for (auto _ : state) {
+    auto copy = elems;
+    ctx.BatchInv(copy);
+    benchmark::DoNotOptimize(copy);
+  }
+}
+BENCHMARK(BM_BatchInv32)->Arg(256)->Arg(1024);
+
+void BM_PolyEvalDeg18(benchmark::State& state) {
+  const FpCtx& ctx = CtxFor(state.range(0));
+  Rng rng(5);
+  auto f = pisces::math::Poly::Random(ctx, rng, 18);
+  FpElem x = ctx.Random(rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.Eval(ctx, x));
+  }
+}
+BENCHMARK(BM_PolyEvalDeg18)->Arg(256)->Arg(1024);
+
+void BM_Interpolate(benchmark::State& state) {
+  const FpCtx& ctx = CtxFor(1024);
+  Rng rng(6);
+  std::size_t m = state.range(0);
+  std::vector<FpElem> xs, ys;
+  for (std::size_t i = 0; i < m; ++i) {
+    xs.push_back(ctx.FromUint64(i + 1));
+    ys.push_back(ctx.Random(rng));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pisces::math::Poly::Interpolate(ctx, xs, ys));
+  }
+}
+BENCHMARK(BM_Interpolate)->Arg(8)->Arg(19)->Arg(37);
+
+void BM_LagrangeCoeffs(benchmark::State& state) {
+  const FpCtx& ctx = CtxFor(1024);
+  Rng rng(7);
+  std::size_t m = state.range(0);
+  std::vector<FpElem> xs;
+  for (std::size_t i = 0; i < m; ++i) xs.push_back(ctx.FromUint64(i + 1));
+  FpElem x = ctx.FromUint64(1000);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pisces::math::LagrangeCoeffs(ctx, xs, x));
+  }
+}
+BENCHMARK(BM_LagrangeCoeffs)->Arg(19)->Arg(37);
+
+}  // namespace
+
+BENCHMARK_MAIN();

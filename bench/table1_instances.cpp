@@ -1,0 +1,40 @@
+// Table I: Amazon EC2 instance specifications and prices, plus cost-model
+// sanity rows (what one hour of an n-host deployment costs).
+#include "bench_common.h"
+
+int main() {
+  using namespace pisces;
+  bench::Banner("Table I", "Amazon EC2 instance specifications");
+
+  std::printf("%-8s %4s %12s %12s %18s %16s\n", "Type", "CPU", "Memory(GiB)",
+              "Storage(GB)", "$/h (Dedicated)", "$/h (Spot)");
+  for (InstanceType type :
+       {InstanceType::kSmall, InstanceType::kMedium, InstanceType::kLarge}) {
+    const InstanceSpec& s = SpecOf(type);
+    std::printf("%-8s %4u %12.1f %12.0f %18.3f %16.4f\n", s.name, s.vcpus,
+                s.memory_gib, s.storage_gb, s.dedicated_per_hour,
+                s.spot_per_hour);
+  }
+  std::printf("Note: +$%.2f flat fee per hour any dedicated instance runs.\n",
+              kDedicatedRegionFeePerHour);
+
+  std::printf("\nDerived: one hour of an n-host fleet (dedicated / spot):\n");
+  Recorder rec({"instance", "n", "dedicated_usd_per_h", "spot_usd_per_h"});
+  for (std::size_t n : {11u, 21u, 29u, 37u}) {
+    for (InstanceType type :
+         {InstanceType::kSmall, InstanceType::kMedium, InstanceType::kLarge}) {
+      CostModel cost;
+      cost.machine.instance = type;
+      double ded = cost.WindowCost(n, 3600.0, false);
+      double spot = cost.WindowCost(n, 3600.0, true);
+      std::printf("  %-8s n=%2zu  $%7.3f / $%7.4f\n", SpecOf(type).name, n,
+                  ded, spot);
+      rec.AddRow({{"instance", SpecOf(type).name},
+                  {"n", std::to_string(n)},
+                  {"dedicated_usd_per_h", Recorder::Num(ded)},
+                  {"spot_usd_per_h", Recorder::Num(spot)}});
+    }
+  }
+  bench::DumpCsv(rec);
+  return 0;
+}

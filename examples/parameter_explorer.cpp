@@ -1,0 +1,72 @@
+// Parameter explorer: run one PiSCES experiment for parameters given on the
+// command line and print the full measurement report. This is the
+// single-point version of the paper's benchmarking driver -- useful for
+// finding deployment-specific optima the way SectionVIII describes.
+//
+//   $ ./parameter_explorer n t l r g file_bytes [instance]
+//   $ ./parameter_explorer 21 4 6 3 1024 102400 Medium
+#include <cstdio>
+#include <cstdlib>
+
+#include "pisces/pisces.h"
+
+int main(int argc, char** argv) {
+  using namespace pisces;
+  if (argc < 7) {
+    std::fprintf(stderr,
+                 "usage: %s n t l r g file_bytes [Small|Medium|Large]\n"
+                 "constraints: 3t + l < n, r + l <= n - 3t, "
+                 "g in {256,512,1024,2048}\n",
+                 argv[0]);
+    return 2;
+  }
+  ExperimentConfig cfg;
+  cfg.params.n = std::strtoul(argv[1], nullptr, 10);
+  cfg.params.t = std::strtoul(argv[2], nullptr, 10);
+  cfg.params.l = std::strtoul(argv[3], nullptr, 10);
+  cfg.params.r = std::strtoul(argv[4], nullptr, 10);
+  cfg.params.field_bits = std::strtoul(argv[5], nullptr, 10);
+  cfg.file_bytes = std::strtoul(argv[6], nullptr, 10);
+  if (argc > 7) cfg.instance = InstanceFromName(argv[7]);
+
+  try {
+    cfg.params.Validate();
+  } catch (const Error& e) {
+    std::fprintf(stderr, "invalid parameters: %s\n", e.what());
+    return 2;
+  }
+
+  std::printf("Running one full update window: n=%zu t=%zu l=%zu r=%zu "
+              "g=%zu file=%zu B on %s instances...\n",
+              cfg.params.n, cfg.params.t, cfg.params.l, cfg.params.r,
+              cfg.params.field_bits, cfg.file_bytes,
+              SpecOf(cfg.instance).name);
+  ExperimentResult r = RunRefreshExperiment(cfg);
+
+  std::printf("\n-- integrity --\n");
+  std::printf("file survived refresh + full reboot schedule: %s\n",
+              r.ok ? "yes" : "NO");
+  std::printf("blocks: %zu (packing %zu secrets/polynomial)\n", r.file_blocks,
+              cfg.params.l);
+
+  std::printf("\n-- measured on this machine --\n");
+  std::printf("rerandomization: %.3f s CPU, %.2f MB, %llu msgs\n",
+              r.cpu_rerand_s, r.bytes_rerand / 1e6,
+              static_cast<unsigned long long>(r.msgs_rerand));
+  std::printf("recovery:        %.3f s CPU, %.2f MB, %llu msgs\n",
+              r.cpu_recover_s, r.bytes_recover / 1e6,
+              static_cast<unsigned long long>(r.msgs_recover));
+
+  std::printf("\n-- modeled on %s (per server averages) --\n",
+              SpecOf(cfg.instance).name);
+  std::printf("computing: rerand %.4f s, recovery %.4f s\n",
+              r.compute_rerand_s, r.compute_recover_s);
+  std::printf("sending:   rerand %.4f s, recovery %.4f s\n", r.send_rerand_s,
+              r.send_recover_s);
+  std::printf("update window: %.4f s (%.3e s/byte)\n", r.window_time_s,
+              r.WindowTimePerByte());
+  std::printf("cost: $%.6f dedicated, $%.6f spot (%.4f cents/KB)\n",
+              r.cost_dedicated, r.cost_spot,
+              r.cost_dedicated * 100.0 / (cfg.file_bytes / 1024.0));
+  return r.ok ? 0 : 1;
+}

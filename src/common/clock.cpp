@@ -1,0 +1,20 @@
+#include "common/clock.h"
+
+#include <ctime>
+
+namespace pisces {
+
+namespace {
+std::uint64_t NanosOf(clockid_t id) {
+  timespec ts{};
+  clock_gettime(id, &ts);
+  return static_cast<std::uint64_t>(ts.tv_sec) * 1'000'000'000ULL +
+         static_cast<std::uint64_t>(ts.tv_nsec);
+}
+}  // namespace
+
+std::uint64_t ThreadCpuNanos() { return NanosOf(CLOCK_THREAD_CPUTIME_ID); }
+
+std::uint64_t MonotonicNanos() { return NanosOf(CLOCK_MONOTONIC); }
+
+}  // namespace pisces

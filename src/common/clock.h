@@ -1,0 +1,50 @@
+// Time measurement utilities.
+//
+// The experiment harness attributes *CPU* time to each simulated host: the
+// protocol genuinely executes, and CpuTimer measures the thread CPU time spent
+// inside each host's compute sections. Wall-clock of the (simulated) wire is
+// modeled separately by net::DelayModel.
+#pragma once
+
+#include <cstdint>
+
+namespace pisces {
+
+// Nanoseconds of CPU time consumed by the calling thread.
+std::uint64_t ThreadCpuNanos();
+
+// Nanoseconds of wall-clock time (monotonic).
+std::uint64_t MonotonicNanos();
+
+// Accumulating CPU-time meter. Start/Stop may be called repeatedly; nanos()
+// returns the running total.
+class CpuTimer {
+ public:
+  void Start() { start_ = ThreadCpuNanos(); running_ = true; }
+  void Stop() {
+    if (running_) total_ += ThreadCpuNanos() - start_;
+    running_ = false;
+  }
+  void Reset() { total_ = 0; running_ = false; }
+  std::uint64_t nanos() const { return total_; }
+  double seconds() const { return static_cast<double>(total_) * 1e-9; }
+
+ private:
+  std::uint64_t start_ = 0;
+  std::uint64_t total_ = 0;
+  bool running_ = false;
+};
+
+// RAII guard adding a scope's CPU time to a CpuTimer.
+class CpuScope {
+ public:
+  explicit CpuScope(CpuTimer& t) : t_(t) { t_.Start(); }
+  ~CpuScope() { t_.Stop(); }
+  CpuScope(const CpuScope&) = delete;
+  CpuScope& operator=(const CpuScope&) = delete;
+
+ private:
+  CpuTimer& t_;
+};
+
+}  // namespace pisces

@@ -1,0 +1,51 @@
+// Error handling primitives for the PiSCES library.
+//
+// Convention (per C++ Core Guidelines E.2/E.3): exceptions signal violations of
+// preconditions or protocol invariants that callers cannot reasonably recover
+// from in-line; recoverable runtime conditions (an unresponsive peer, a failed
+// verification from an injected fault) are reported through return values on
+// the specific APIs that can encounter them.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace pisces {
+
+// Base class for all exceptions thrown by this library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+// Thrown when a caller violates a documented precondition.
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+// Thrown when an internal invariant is violated (a library bug or memory
+// corruption, never a user error).
+class InternalError : public Error {
+ public:
+  explicit InternalError(const std::string& what) : Error(what) {}
+};
+
+// Thrown when a wire message cannot be parsed.
+class ParseError : public Error {
+ public:
+  explicit ParseError(const std::string& what) : Error(what) {}
+};
+
+// Precondition check: throws InvalidArgument when `cond` is false.
+inline void Require(bool cond, std::string_view msg) {
+  if (!cond) throw InvalidArgument(std::string(msg));
+}
+
+// Invariant check: throws InternalError when `cond` is false.
+inline void Invariant(bool cond, std::string_view msg) {
+  if (!cond) throw InternalError(std::string(msg));
+}
+
+}  // namespace pisces

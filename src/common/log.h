@@ -1,0 +1,43 @@
+// Minimal leveled logger. Off by default so tests and benches stay quiet;
+// examples turn it on to narrate the protocol.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace pisces {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+// Global threshold; messages below it are discarded.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+void LogMessage(LogLevel level, const std::string& msg);
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { LogMessage(level_, out_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    out_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream out_;
+};
+}  // namespace detail
+
+inline detail::LogLine LogDebug() { return detail::LogLine(LogLevel::kDebug); }
+inline detail::LogLine LogInfo() { return detail::LogLine(LogLevel::kInfo); }
+inline detail::LogLine LogWarn() { return detail::LogLine(LogLevel::kWarn); }
+inline detail::LogLine LogError() { return detail::LogLine(LogLevel::kError); }
+
+}  // namespace pisces

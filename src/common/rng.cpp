@@ -1,0 +1,66 @@
+#include "common/rng.h"
+
+namespace pisces {
+
+namespace {
+std::uint64_t SplitMix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t Rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t x = seed;
+  for (auto& s : s_) s = SplitMix64(x);
+}
+
+std::uint64_t Rng::Next() {
+  const std::uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::Below(std::uint64_t bound) {
+  Require(bound != 0, "Rng::Below: zero bound");
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = bound * ((~std::uint64_t{0}) / bound);
+  std::uint64_t v;
+  do {
+    v = Next();
+  } while (v >= limit);
+  return v % bound;
+}
+
+void Rng::Fill(std::span<std::uint8_t> out) {
+  std::size_t i = 0;
+  while (i + 8 <= out.size()) {
+    StoreLe64(Next(), out.data() + i);
+    i += 8;
+  }
+  if (i < out.size()) {
+    std::uint8_t tmp[8];
+    StoreLe64(Next(), tmp);
+    for (std::size_t j = 0; i < out.size(); ++i, ++j) out[i] = tmp[j];
+  }
+}
+
+Bytes Rng::RandomBytes(std::size_t n) {
+  Bytes out(n);
+  Fill(out);
+  return out;
+}
+
+Rng Rng::Fork() { return Rng(Next() ^ 0xA5A5A5A5DEADBEEFULL); }
+
+}  // namespace pisces

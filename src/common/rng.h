@@ -1,0 +1,41 @@
+// Seedable deterministic random number generation.
+//
+// All protocol randomness in the library flows through Rng so that every
+// experiment and test is reproducible from a single seed, mirroring the
+// paper's driver-controlled testbed. The generator is xoshiro256** (public
+// domain algorithm by Blackman & Vigna), seeded through splitmix64.
+//
+// This is NOT a cryptographically secure generator; it models one. The
+// security analysis of PiSCES is information-theoretic in the shares and is
+// unaffected by the simulator's entropy source, and determinism is what makes
+// the fault-injection and adversary tests meaningful.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "common/bytes.h"
+
+namespace pisces {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  std::uint64_t Next();
+
+  // Uniform in [0, bound). bound must be nonzero.
+  std::uint64_t Below(std::uint64_t bound);
+
+  void Fill(std::span<std::uint8_t> out);
+  Bytes RandomBytes(std::size_t n);
+
+  // Derives an independent child generator; used to give each simulated host
+  // its own stream so per-host behaviour does not depend on scheduling order.
+  Rng Fork();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace pisces

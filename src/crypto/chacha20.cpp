@@ -1,0 +1,73 @@
+#include "crypto/chacha20.h"
+
+#include "common/error.h"
+
+namespace pisces::crypto {
+
+namespace {
+
+std::uint32_t Rotl(std::uint32_t x, int n) { return (x << n) | (x >> (32 - n)); }
+
+void QuarterRound(std::uint32_t& a, std::uint32_t& b, std::uint32_t& c,
+                  std::uint32_t& d) {
+  a += b; d ^= a; d = Rotl(d, 16);
+  c += d; b ^= c; b = Rotl(b, 12);
+  a += b; d ^= a; d = Rotl(d, 8);
+  c += d; b ^= c; b = Rotl(b, 7);
+}
+
+std::uint32_t Le32(const std::uint8_t* p) {
+  return std::uint32_t(p[0]) | (std::uint32_t(p[1]) << 8) |
+         (std::uint32_t(p[2]) << 16) | (std::uint32_t(p[3]) << 24);
+}
+
+}  // namespace
+
+std::array<std::uint8_t, 64> ChaCha20Block(std::span<const std::uint8_t> key,
+                                           std::span<const std::uint8_t> nonce,
+                                           std::uint32_t counter) {
+  Require(key.size() == kChaChaKeySize, "ChaCha20: bad key size");
+  Require(nonce.size() == kChaChaNonceSize, "ChaCha20: bad nonce size");
+  std::uint32_t state[16];
+  state[0] = 0x61707865; state[1] = 0x3320646e;
+  state[2] = 0x79622d32; state[3] = 0x6b206574;
+  for (int i = 0; i < 8; ++i) state[4 + i] = Le32(key.data() + 4 * i);
+  state[12] = counter;
+  for (int i = 0; i < 3; ++i) state[13 + i] = Le32(nonce.data() + 4 * i);
+
+  std::uint32_t w[16];
+  for (int i = 0; i < 16; ++i) w[i] = state[i];
+  for (int round = 0; round < 10; ++round) {
+    QuarterRound(w[0], w[4], w[8], w[12]);
+    QuarterRound(w[1], w[5], w[9], w[13]);
+    QuarterRound(w[2], w[6], w[10], w[14]);
+    QuarterRound(w[3], w[7], w[11], w[15]);
+    QuarterRound(w[0], w[5], w[10], w[15]);
+    QuarterRound(w[1], w[6], w[11], w[12]);
+    QuarterRound(w[2], w[7], w[8], w[13]);
+    QuarterRound(w[3], w[4], w[9], w[14]);
+  }
+  std::array<std::uint8_t, 64> out;
+  for (int i = 0; i < 16; ++i) {
+    std::uint32_t v = w[i] + state[i];
+    out[4 * i] = static_cast<std::uint8_t>(v);
+    out[4 * i + 1] = static_cast<std::uint8_t>(v >> 8);
+    out[4 * i + 2] = static_cast<std::uint8_t>(v >> 16);
+    out[4 * i + 3] = static_cast<std::uint8_t>(v >> 24);
+  }
+  return out;
+}
+
+void ChaCha20Xor(std::span<const std::uint8_t> key,
+                 std::span<const std::uint8_t> nonce, std::uint32_t counter,
+                 std::span<std::uint8_t> data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    auto block = ChaCha20Block(key, nonce, counter++);
+    std::size_t take = std::min(data.size() - off, std::size_t{64});
+    for (std::size_t i = 0; i < take; ++i) data[off + i] ^= block[i];
+    off += take;
+  }
+}
+
+}  // namespace pisces::crypto

@@ -1,0 +1,27 @@
+// ChaCha20 stream cipher (RFC 8439), used to encrypt channel payloads
+// between share storage hosts (the paper's TLS role).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+#include "common/bytes.h"
+
+namespace pisces::crypto {
+
+inline constexpr std::size_t kChaChaKeySize = 32;
+inline constexpr std::size_t kChaChaNonceSize = 12;
+
+// XORs the keystream into data in place. Encryption and decryption are the
+// same operation.
+void ChaCha20Xor(std::span<const std::uint8_t> key,
+                 std::span<const std::uint8_t> nonce, std::uint32_t counter,
+                 std::span<std::uint8_t> data);
+
+// One raw ChaCha20 block (for test vectors).
+std::array<std::uint8_t, 64> ChaCha20Block(std::span<const std::uint8_t> key,
+                                           std::span<const std::uint8_t> nonce,
+                                           std::uint32_t counter);
+
+}  // namespace pisces::crypto

@@ -1,0 +1,13 @@
+// HKDF-SHA256 (RFC 5869): extract-then-expand key derivation, used to turn
+// Diffie-Hellman shared secrets into channel keys.
+#pragma once
+
+#include "crypto/hmac.h"
+
+namespace pisces::crypto {
+
+Bytes HkdfSha256(std::span<const std::uint8_t> salt,
+                 std::span<const std::uint8_t> ikm,
+                 std::span<const std::uint8_t> info, std::size_t out_len);
+
+}  // namespace pisces::crypto

@@ -1,0 +1,35 @@
+#include "crypto/hmac.h"
+
+namespace pisces::crypto {
+
+Digest HmacSha256(std::span<const std::uint8_t> key,
+                  std::span<const std::uint8_t> data) {
+  std::array<std::uint8_t, 64> k{};
+  if (key.size() > 64) {
+    Digest kd = Sha256Hash(key);
+    std::copy(kd.begin(), kd.end(), k.begin());
+  } else {
+    std::copy(key.begin(), key.end(), k.begin());
+  }
+  std::array<std::uint8_t, 64> ipad, opad;
+  for (int i = 0; i < 64; ++i) {
+    ipad[i] = k[i] ^ 0x36;
+    opad[i] = k[i] ^ 0x5c;
+  }
+  Sha256 inner;
+  inner.Update(ipad);
+  inner.Update(data);
+  Digest inner_d = inner.Finish();
+  Sha256 outer;
+  outer.Update(opad);
+  outer.Update(inner_d);
+  return outer.Finish();
+}
+
+bool DigestEq(const Digest& a, const Digest& b) {
+  std::uint8_t acc = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc |= a[i] ^ b[i];
+  return acc == 0;
+}
+
+}  // namespace pisces::crypto

@@ -1,0 +1,15 @@
+// HMAC-SHA256 (RFC 2104), used for message authentication on secure channels
+// and as the PRF inside HKDF.
+#pragma once
+
+#include "crypto/sha256.h"
+
+namespace pisces::crypto {
+
+Digest HmacSha256(std::span<const std::uint8_t> key,
+                  std::span<const std::uint8_t> data);
+
+// Constant-time digest comparison.
+bool DigestEq(const Digest& a, const Digest& b);
+
+}  // namespace pisces::crypto

@@ -1,0 +1,288 @@
+#include "field/fp.h"
+
+#include <algorithm>
+
+namespace pisces::field {
+
+using u64 = std::uint64_t;
+using u128 = unsigned __int128;
+
+namespace {
+
+Limbs LimbsFromBe(std::span<const std::uint8_t> be) {
+  pisces::Require(be.size() <= kMaxLimbs * 8, "value too wide");
+  Limbs out{};
+  std::size_t limb = 0, shift = 0;
+  for (std::size_t i = be.size(); i-- > 0;) {
+    out[limb] |= static_cast<u64>(be[i]) << shift;
+    shift += 8;
+    if (shift == 64) {
+      shift = 0;
+      ++limb;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+FpCtx::FpCtx(std::span<const std::uint8_t> modulus_be) {
+  while (!modulus_be.empty() && modulus_be.front() == 0)
+    modulus_be = modulus_be.subspan(1);
+  Require(!modulus_be.empty(), "FpCtx: empty modulus");
+  p_ = LimbsFromBe(modulus_be);
+  bits_ = BitLengthN(p_.data(), kMaxLimbs);
+  Require(bits_ > 8, "FpCtx: modulus too small");
+  k_ = (bits_ + 63) / 64;
+  Require((p_[0] & 1) != 0, "FpCtx: modulus must be odd");
+  // Montgomery reduction with a single trailing conditional subtraction needs
+  // the intermediate value < 2p, which holds when the modulus occupies the
+  // top bit of its limb span.
+  Require(bits_ > 64 * (k_ - 1), "FpCtx: modulus top limb must be nonzero");
+  n0inv_ = MontgomeryN0Inv(p_[0]);
+
+  // R mod p by repeated modular doubling of 1, then continue to R^2 mod p.
+  Limbs x{};
+  x[0] = 1;
+  // 1 < p always; double 64k times to get R mod p.
+  auto double_mod = [&](Limbs& a) {
+    u64 carry = AddN(a.data(), a.data(), a.data(), k_);
+    if (carry) {
+      SubN(a.data(), a.data(), p_.data(), k_);
+    } else {
+      CondSubN(a.data(), p_.data(), k_);
+    }
+  };
+  for (std::size_t i = 0; i < 64 * k_; ++i) double_mod(x);
+  one_.v = x;  // R mod p == Montgomery form of 1
+  for (std::size_t i = 0; i < 64 * k_; ++i) double_mod(x);
+  r2_.v = x;  // R^2 mod p
+}
+
+void FpCtx::MontMul(const u64* a, const u64* b, u64* r) const {
+  // CIOS Montgomery multiplication: r = a*b*R^{-1} mod p.
+  u64 t[kMaxLimbs + 2] = {0};
+  const std::size_t k = k_;
+  for (std::size_t i = 0; i < k; ++i) {
+    // t += a[i] * b
+    u64 carry = 0;
+    for (std::size_t j = 0; j < k; ++j) {
+      u128 cur = static_cast<u128>(a[i]) * b[j] + t[j] + carry;
+      t[j] = static_cast<u64>(cur);
+      carry = static_cast<u64>(cur >> 64);
+    }
+    u128 s = static_cast<u128>(t[k]) + carry;
+    t[k] = static_cast<u64>(s);
+    t[k + 1] = static_cast<u64>(s >> 64);
+
+    // m = t[0] * n0inv mod 2^64; t += m * p; t >>= 64.
+    u64 m = t[0] * n0inv_;
+    u128 cur = static_cast<u128>(m) * p_[0] + t[0];
+    carry = static_cast<u64>(cur >> 64);
+    for (std::size_t j = 1; j < k; ++j) {
+      cur = static_cast<u128>(m) * p_[j] + t[j] + carry;
+      t[j - 1] = static_cast<u64>(cur);
+      carry = static_cast<u64>(cur >> 64);
+    }
+    s = static_cast<u128>(t[k]) + carry;
+    t[k - 1] = static_cast<u64>(s);
+    t[k] = t[k + 1] + static_cast<u64>(s >> 64);
+  }
+  // t < 2p here (given top-limb-occupied modulus); one conditional subtract.
+  if (t[k] != 0 || CmpN(t, p_.data(), k) >= 0) {
+    SubN(t, t, p_.data(), k);
+  }
+  std::copy(t, t + k, r);
+  for (std::size_t j = k; j < kMaxLimbs; ++j) r[j] = 0;
+}
+
+FpElem FpCtx::ToMont(const Limbs& raw) const {
+  FpElem out;
+  MontMul(raw.data(), r2_.v.data(), out.v.data());
+  return out;
+}
+
+Limbs FpCtx::FromMont(const FpElem& a) const {
+  Limbs one{};
+  one[0] = 1;
+  Limbs out{};
+  MontMul(a.v.data(), one.data(), out.data());
+  return out;
+}
+
+FpElem FpCtx::FromUint64(u64 x) const {
+  Limbs raw{};
+  raw[0] = x;
+  Require(k_ > 1 || CmpN(raw.data(), p_.data(), k_) < 0,
+          "FromUint64: value >= modulus");
+  return ToMont(raw);
+}
+
+FpElem FpCtx::FromBytes(std::span<const std::uint8_t> le) const {
+  Require(le.size() <= elem_bytes(), "FromBytes: too many bytes");
+  Limbs raw{};
+  for (std::size_t i = 0; i < le.size(); ++i) {
+    raw[i / 8] |= static_cast<u64>(le[i]) << (8 * (i % 8));
+  }
+  Require(CmpN(raw.data(), p_.data(), k_) < 0, "FromBytes: value >= modulus");
+  return ToMont(raw);
+}
+
+Bytes FpCtx::ToBytes(const FpElem& a) const {
+  Limbs raw = FromMont(a);
+  Bytes out(elem_bytes());
+  for (std::size_t i = 0; i < k_; ++i) StoreLe64(raw[i], out.data() + 8 * i);
+  return out;
+}
+
+u64 FpCtx::ToUint64(const FpElem& a) const {
+  Limbs raw = FromMont(a);
+  for (std::size_t i = 1; i < k_; ++i)
+    Require(raw[i] == 0, "ToUint64: value does not fit");
+  return raw[0];
+}
+
+FpElem FpCtx::Add(const FpElem& a, const FpElem& b) const {
+  FpElem r;
+  u64 carry = AddN(r.v.data(), a.v.data(), b.v.data(), k_);
+  if (carry) {
+    SubN(r.v.data(), r.v.data(), p_.data(), k_);
+  } else {
+    CondSubN(r.v.data(), p_.data(), k_);
+  }
+  return r;
+}
+
+FpElem FpCtx::Sub(const FpElem& a, const FpElem& b) const {
+  FpElem r;
+  u64 borrow = SubN(r.v.data(), a.v.data(), b.v.data(), k_);
+  if (borrow) AddN(r.v.data(), r.v.data(), p_.data(), k_);
+  return r;
+}
+
+FpElem FpCtx::Neg(const FpElem& a) const { return Sub(Zero(), a); }
+
+FpElem FpCtx::Mul(const FpElem& a, const FpElem& b) const {
+  FpElem r;
+  MontMul(a.v.data(), b.v.data(), r.v.data());
+  return r;
+}
+
+FpElem FpCtx::PowBytes(const FpElem& a, std::span<const std::uint8_t> e_be) const {
+  FpElem acc = One();
+  bool started = false;
+  for (std::uint8_t byte : e_be) {
+    for (int bit = 7; bit >= 0; --bit) {
+      if (started) acc = Sqr(acc);
+      if ((byte >> bit) & 1) {
+        acc = Mul(acc, a);
+        started = true;
+      } else if (!started) {
+        // skip leading zeros
+      }
+    }
+  }
+  return acc;
+}
+
+FpElem FpCtx::PowUint64(const FpElem& a, u64 e) const {
+  std::uint8_t be[8];
+  for (int i = 0; i < 8; ++i) be[i] = static_cast<std::uint8_t>(e >> (8 * (7 - i)));
+  return PowBytes(a, be);
+}
+
+FpElem FpCtx::Inv(const FpElem& a) const {
+  Require(!IsZero(a), "Inv: zero has no inverse");
+  // exponent = p - 2, big-endian.
+  Limbs e = p_;
+  Limbs two{};
+  two[0] = 2;
+  SubN(e.data(), e.data(), two.data(), k_);
+  Bytes be(k_ * 8);
+  for (std::size_t i = 0; i < k_; ++i) {
+    for (std::size_t b = 0; b < 8; ++b) {
+      be[k_ * 8 - 1 - (8 * i + b)] = static_cast<std::uint8_t>(e[i] >> (8 * b));
+    }
+  }
+  return PowBytes(a, be);
+}
+
+void FpCtx::BatchInv(std::span<FpElem> elems) const {
+  if (elems.empty()) return;
+  // prefix[i] = e_0 * ... * e_i
+  std::vector<FpElem> prefix(elems.size());
+  prefix[0] = elems[0];
+  for (std::size_t i = 1; i < elems.size(); ++i) {
+    prefix[i] = Mul(prefix[i - 1], elems[i]);
+  }
+  FpElem inv_all = Inv(prefix.back());
+  for (std::size_t i = elems.size(); i-- > 1;) {
+    FpElem inv_i = Mul(inv_all, prefix[i - 1]);
+    inv_all = Mul(inv_all, elems[i]);
+    elems[i] = inv_i;
+  }
+  elems[0] = inv_all;
+}
+
+bool FpCtx::IsZero(const FpElem& a) const {
+  return IsZeroN(a.v.data(), k_);
+}
+
+FpElem FpCtx::Random(Rng& rng) const {
+  Limbs raw{};
+  const u64 top_mask =
+      (bits_ % 64 == 0) ? ~u64{0} : ((u64{1} << (bits_ % 64)) - 1);
+  for (;;) {
+    for (std::size_t i = 0; i < k_; ++i) raw[i] = rng.Next();
+    raw[k_ - 1] &= top_mask;
+    if (CmpN(raw.data(), p_.data(), k_) < 0) break;
+  }
+  // Montgomery form of a uniform raw value is uniform.
+  FpElem out;
+  out.v = raw;
+  return out;
+}
+
+FpElem FpCtx::RandomNonZero(Rng& rng) const {
+  for (;;) {
+    FpElem e = Random(rng);
+    if (!IsZero(e)) return e;
+  }
+}
+
+Bytes FpCtx::ModulusBytes() const {
+  Bytes out;
+  bool started = false;
+  for (std::size_t i = k_; i-- > 0;) {
+    for (int b = 7; b >= 0; --b) {
+      auto byte = static_cast<std::uint8_t>(p_[i] >> (8 * b));
+      if (byte != 0) started = true;
+      if (started) out.push_back(byte);
+    }
+  }
+  return out;
+}
+
+Bytes SerializeElems(const FpCtx& ctx, std::span<const FpElem> elems) {
+  Bytes out;
+  out.reserve(elems.size() * ctx.elem_bytes());
+  for (const FpElem& e : elems) {
+    Bytes one = ctx.ToBytes(e);
+    out.insert(out.end(), one.begin(), one.end());
+  }
+  return out;
+}
+
+std::vector<FpElem> DeserializeElems(const FpCtx& ctx,
+                                     std::span<const std::uint8_t> data) {
+  const std::size_t sz = ctx.elem_bytes();
+  if (data.size() % sz != 0) throw ParseError("DeserializeElems: ragged data");
+  std::vector<FpElem> out;
+  out.reserve(data.size() / sz);
+  for (std::size_t off = 0; off < data.size(); off += sz) {
+    out.push_back(ctx.FromBytes(data.subspan(off, sz)));
+  }
+  return out;
+}
+
+}  // namespace pisces::field

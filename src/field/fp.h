@@ -1,0 +1,106 @@
+// Prime-field arithmetic F_p with Montgomery representation.
+//
+// An FpCtx is constructed from an odd modulus (the standard g-bit primes live
+// in field/primes.h) and owns all arithmetic. FpElem values are opaque
+// fixed-capacity limb arrays kept internally in Montgomery form; they are only
+// meaningful relative to the context that produced them. This mirrors the
+// paper's parameter g (the size of the underlying prime field), which is swept
+// from 256 to 2048 bits in the evaluation.
+//
+// The context also works for any odd modulus (Montgomery requires only
+// oddness); modular exponentiation with non-prime-field use is what the
+// Schnorr signature substrate builds on. Inv() requires a prime modulus.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/rng.h"
+#include "field/limbs.h"
+
+namespace pisces::field {
+
+// A field element in Montgomery form. Unused high limbs are always zero, so
+// default equality over the whole array is exact.
+struct FpElem {
+  Limbs v{};
+
+  bool operator==(const FpElem&) const = default;
+};
+
+class FpCtx {
+ public:
+  // big-endian modulus bytes; modulus must be odd and > 2.
+  explicit FpCtx(std::span<const std::uint8_t> modulus_be);
+
+  std::size_t limbs() const { return k_; }
+  std::size_t bits() const { return bits_; }
+  // Serialized size of one element (little-endian limb dump of k_ limbs).
+  std::size_t elem_bytes() const { return k_ * 8; }
+  // Bytes of application payload that always fit in one element (see codec).
+  std::size_t payload_bytes() const { return (bits_ - 1) / 8; }
+
+  FpElem Zero() const { return FpElem{}; }
+  FpElem One() const { return one_; }
+
+  FpElem FromUint64(std::uint64_t x) const;
+  // Little-endian bytes, at most elem_bytes(), value must be < p.
+  FpElem FromBytes(std::span<const std::uint8_t> le) const;
+  Bytes ToBytes(const FpElem& a) const;
+  // value as u64 (throws if it does not fit); mostly for tests.
+  std::uint64_t ToUint64(const FpElem& a) const;
+
+  FpElem Add(const FpElem& a, const FpElem& b) const;
+  FpElem Sub(const FpElem& a, const FpElem& b) const;
+  FpElem Neg(const FpElem& a) const;
+  FpElem Mul(const FpElem& a, const FpElem& b) const;
+  FpElem Sqr(const FpElem& a) const { return Mul(a, a); }
+  // a^e where e is given as big-endian bytes. Not constant-time (see rng.h
+  // note: the simulator models crypto, the PSS privacy is information
+  // theoretic).
+  FpElem PowBytes(const FpElem& a, std::span<const std::uint8_t> e_be) const;
+  // a^e for small exponents.
+  FpElem PowUint64(const FpElem& a, std::uint64_t e) const;
+  // a^{p-2}; requires prime modulus and a != 0.
+  FpElem Inv(const FpElem& a) const;
+  // Inverts every element in place with Montgomery's batch-inversion trick:
+  // one Inv plus 3(m-1) multiplications. All elements must be nonzero.
+  // Interpolation over many points lives on this (a plain Inv is a full
+  // modular exponentiation -- prohibitive at g = 1024/2048).
+  void BatchInv(std::span<FpElem> elems) const;
+
+  bool IsZero(const FpElem& a) const;
+  bool Eq(const FpElem& a, const FpElem& b) const { return a == b; }
+
+  // Uniform random element via rejection sampling.
+  FpElem Random(Rng& rng) const;
+  // Uniform random nonzero element.
+  FpElem RandomNonZero(Rng& rng) const;
+
+  // Modulus as big-endian bytes (as passed in, minus leading zeros).
+  Bytes ModulusBytes() const;
+
+ private:
+  friend class FpMont;  // none; internal helpers only
+
+  void MontMul(const std::uint64_t* a, const std::uint64_t* b,
+               std::uint64_t* r) const;
+  FpElem ToMont(const Limbs& raw) const;
+  Limbs FromMont(const FpElem& a) const;
+
+  std::size_t k_ = 0;
+  std::size_t bits_ = 0;
+  Limbs p_{};
+  std::uint64_t n0inv_ = 0;
+  FpElem r2_;   // R^2 mod p (Montgomery form of R)
+  FpElem one_;  // Montgomery form of 1 (= R mod p)
+};
+
+// Convenience: serialize a vector of elements (used by wire messages).
+Bytes SerializeElems(const FpCtx& ctx, std::span<const FpElem> elems);
+std::vector<FpElem> DeserializeElems(const FpCtx& ctx,
+                                     std::span<const std::uint8_t> data);
+
+}  // namespace pisces::field

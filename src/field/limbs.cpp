@@ -1,0 +1,92 @@
+#include "field/limbs.h"
+
+namespace pisces::field {
+
+using u64 = std::uint64_t;
+using u128 = unsigned __int128;
+
+u64 AddN(u64* r, const u64* a, const u64* b, std::size_t k) {
+  u64 carry = 0;
+  for (std::size_t i = 0; i < k; ++i) {
+    u128 s = static_cast<u128>(a[i]) + b[i] + carry;
+    r[i] = static_cast<u64>(s);
+    carry = static_cast<u64>(s >> 64);
+  }
+  return carry;
+}
+
+u64 SubN(u64* r, const u64* a, const u64* b, std::size_t k) {
+  u64 borrow = 0;
+  for (std::size_t i = 0; i < k; ++i) {
+    u128 d = static_cast<u128>(a[i]) - b[i] - borrow;
+    r[i] = static_cast<u64>(d);
+    borrow = static_cast<u64>((d >> 64) & 1);
+  }
+  return borrow;
+}
+
+int CmpN(const u64* a, const u64* b, std::size_t k) {
+  for (std::size_t i = k; i-- > 0;) {
+    if (a[i] < b[i]) return -1;
+    if (a[i] > b[i]) return 1;
+  }
+  return 0;
+}
+
+void MulN(u64* r, const u64* a, const u64* b, std::size_t k) {
+  for (std::size_t i = 0; i < 2 * k; ++i) r[i] = 0;
+  for (std::size_t i = 0; i < k; ++i) {
+    u64 carry = 0;
+    for (std::size_t j = 0; j < k; ++j) {
+      u128 cur = static_cast<u128>(a[i]) * b[j] + r[i + j] + carry;
+      r[i + j] = static_cast<u64>(cur);
+      carry = static_cast<u64>(cur >> 64);
+    }
+    r[i + k] = carry;
+  }
+}
+
+void CondSubN(u64* a, const u64* m, std::size_t k) {
+  if (CmpN(a, m, k) >= 0) SubN(a, a, m, k);
+}
+
+bool IsZeroN(const u64* a, std::size_t k) {
+  for (std::size_t i = 0; i < k; ++i)
+    if (a[i] != 0) return false;
+  return true;
+}
+
+std::size_t BitLengthN(const u64* a, std::size_t k) {
+  for (std::size_t i = k; i-- > 0;) {
+    if (a[i] != 0) {
+      std::size_t bits = 64;
+      u64 v = a[i];
+      while (!(v >> 63)) {
+        v <<= 1;
+        --bits;
+      }
+      return i * 64 + bits;
+    }
+  }
+  return 0;
+}
+
+bool GetBit(const u64* a, std::size_t bit) {
+  return (a[bit / 64] >> (bit % 64)) & 1;
+}
+
+void ShiftRight1(u64* a, std::size_t k) {
+  for (std::size_t i = 0; i < k; ++i) {
+    u64 hi = (i + 1 < k) ? a[i + 1] : 0;
+    a[i] = (a[i] >> 1) | (hi << 63);
+  }
+}
+
+u64 MontgomeryN0Inv(u64 m0) {
+  // Newton iteration: x_{n+1} = x_n (2 - m0 x_n) doubles correct low bits.
+  u64 x = m0;  // correct to 3 bits for odd m0
+  for (int i = 0; i < 6; ++i) x *= 2 - m0 * x;
+  return ~x + 1;  // -(m0^{-1}) mod 2^64
+}
+
+}  // namespace pisces::field

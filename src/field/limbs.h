@@ -1,0 +1,52 @@
+// Low-level multiprecision limb arithmetic.
+//
+// All field elements in PiSCES are fixed-capacity arrays of 64-bit limbs
+// (little-endian limb order) with a runtime-active width k chosen by the field
+// context (g/64 limbs for a g-bit prime). Routines here are plain functions
+// over limb pointers; everything modular lives in FpCtx.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace pisces::field {
+
+// Capacity: 2048-bit values (the paper's largest field size g).
+inline constexpr std::size_t kMaxLimbs = 32;
+
+using Limbs = std::array<std::uint64_t, kMaxLimbs>;
+
+// r = a + b over k limbs; returns the carry-out (0 or 1). Aliasing allowed.
+std::uint64_t AddN(std::uint64_t* r, const std::uint64_t* a,
+                   const std::uint64_t* b, std::size_t k);
+
+// r = a - b over k limbs; returns the borrow-out (0 or 1). Aliasing allowed.
+std::uint64_t SubN(std::uint64_t* r, const std::uint64_t* a,
+                   const std::uint64_t* b, std::size_t k);
+
+// Returns -1, 0, +1 for a < b, a == b, a > b over k limbs.
+int CmpN(const std::uint64_t* a, const std::uint64_t* b, std::size_t k);
+
+// r[0..2k) = a * b (schoolbook). r must not alias a or b.
+void MulN(std::uint64_t* r, const std::uint64_t* a, const std::uint64_t* b,
+          std::size_t k);
+
+// Conditional subtract: if a >= m then a -= m. Constant-shape (always computes
+// the subtraction); used for Montgomery reduction tail.
+void CondSubN(std::uint64_t* a, const std::uint64_t* m, std::size_t k);
+
+bool IsZeroN(const std::uint64_t* a, std::size_t k);
+
+// Number of significant bits (0 for zero).
+std::size_t BitLengthN(const std::uint64_t* a, std::size_t k);
+
+bool GetBit(const std::uint64_t* a, std::size_t bit);
+
+// a >>= 1 over k limbs.
+void ShiftRight1(std::uint64_t* a, std::size_t k);
+
+// -m^{-1} mod 2^64 for odd m0 (the low limb of the modulus).
+std::uint64_t MontgomeryN0Inv(std::uint64_t m0);
+
+}  // namespace pisces::field

@@ -1,0 +1,30 @@
+// Standard primes for the paper's field-size parameter g, plus the
+// Miller-Rabin primality test used to validate them and to generate the
+// Schnorr signature group.
+//
+// The paper sweeps g over powers of two from 256 to 2048 bits (§VI-A). We use
+// the largest prime below 2^g for each size, so that almost the full g bits
+// of every share are usable payload and serialized shares are exactly g/8
+// bytes, matching the paper's accounting of share size.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.h"
+#include "common/rng.h"
+
+namespace pisces::field {
+
+// Supported field sizes (bits of the prime modulus).
+inline constexpr std::size_t kStandardFieldBits[] = {256, 512, 1024, 2048};
+
+// Big-endian bytes of the standard prime for a supported g; throws
+// InvalidArgument for unsupported sizes.
+Bytes StandardPrimeBe(std::size_t bits);
+
+// Probabilistic primality test (big-endian input). `rounds` random bases;
+// error probability <= 4^-rounds for composites.
+bool MillerRabinIsPrime(std::span<const std::uint8_t> n_be, int rounds,
+                        Rng& rng);
+
+}  // namespace pisces::field

@@ -1,0 +1,40 @@
+// Berlekamp-Welch decoding: interpolation that tolerates wrong points.
+//
+// The paper's honest-but-curious model never corrupts share VALUES, but the
+// underlying scheme [7] is designed for active adversaries, where up to t of
+// the n points handed to a reconstructor may be adversarial. Packed sharing
+// with 3t + l < n leaves exactly the Reed-Solomon slack needed for unique
+// decoding: a degree-<=d polynomial is recoverable from n points with up to
+// e errors whenever n >= d + 2e + 1.
+//
+// Given (x_i, y_i) and a bound e, find monic E of degree e' <= e (the error
+// locator) and Q of degree <= d + e' with Q(x_i) = y_i * E(x_i) for all i;
+// then f = Q / E. We search e' downward so the smallest consistent error set
+// wins, and verify the result explains all but <= e points.
+//
+// This powers the robust client download path: a minority of hosts returning
+// garbage shares cannot prevent -- or silently corrupt -- reconstruction.
+#pragma once
+
+#include <optional>
+
+#include "math/poly.h"
+
+namespace pisces::math {
+
+// Returns the unique degree-<=deg polynomial agreeing with all but at most
+// max_errors of the points, or nullopt if none exists within the decoding
+// radius. Requires xs.size() >= deg + 2*max_errors + 1 for a guarantee;
+// smaller inputs are attempted best-effort.
+std::optional<Poly> RobustInterpolate(const FpCtx& ctx,
+                                      std::span<const FpElem> xs,
+                                      std::span<const FpElem> ys,
+                                      std::size_t deg,
+                                      std::size_t max_errors);
+
+// Indices whose points disagree with f (the error locations a decode found).
+std::vector<std::size_t> Mismatches(const FpCtx& ctx, const Poly& f,
+                                    std::span<const FpElem> xs,
+                                    std::span<const FpElem> ys);
+
+}  // namespace pisces::math

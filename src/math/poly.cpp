@@ -1,0 +1,262 @@
+#include "math/poly.h"
+
+#include <algorithm>
+
+namespace pisces::math {
+
+bool Poly::IsZero(const FpCtx& ctx) const {
+  return std::all_of(c_.begin(), c_.end(),
+                     [&](const FpElem& e) { return ctx.IsZero(e); });
+}
+
+FpElem Poly::Eval(const FpCtx& ctx, const FpElem& x) const {
+  FpElem acc = ctx.Zero();
+  for (std::size_t i = c_.size(); i-- > 0;) {
+    acc = ctx.Add(ctx.Mul(acc, x), c_[i]);
+  }
+  return acc;
+}
+
+Poly Poly::Random(const FpCtx& ctx, Rng& rng, std::size_t deg) {
+  std::vector<FpElem> c(deg + 1);
+  for (auto& e : c) e = ctx.Random(rng);
+  return Poly(std::move(c));
+}
+
+Poly Poly::RandomWithConstraints(const FpCtx& ctx, Rng& rng, std::size_t deg,
+                                 std::span<const FpElem> xs,
+                                 std::span<const FpElem> ys) {
+  Require(xs.size() == ys.size(), "RandomWithConstraints: xs/ys mismatch");
+  Require(xs.size() >= 1, "RandomWithConstraints: need >= 1 constraint");
+  Require(xs.size() <= deg + 1, "RandomWithConstraints: too many constraints");
+  Poly interp = Interpolate(ctx, xs, ys);
+  if (xs.size() == deg + 1) return interp;  // fully constrained
+  Poly w = Vanishing(ctx, xs);
+  Poly u = Random(ctx, rng, deg - xs.size());
+  return Add(ctx, Mul(ctx, w, u), interp);
+}
+
+Poly Poly::Interpolate(const FpCtx& ctx, std::span<const FpElem> xs,
+                       std::span<const FpElem> ys) {
+  Require(xs.size() == ys.size() && !xs.empty(), "Interpolate: bad input");
+  const std::size_t m = xs.size();
+  if (m == 1) return Poly(std::vector<FpElem>{ys[0]});
+
+  // Lagrange form with one batch inversion:
+  //   P(x)  = prod_i (x - x_i)
+  //   Q_i   = P / (x - x_i)         (synthetic division, O(m) each)
+  //   den_i = Q_i(x_i) = P'(x_i)
+  //   f     = sum_i y_i * den_i^{-1} * Q_i
+  Poly p = Vanishing(ctx, xs);
+  const std::vector<FpElem>& pc = p.coeffs();  // degree m
+
+  std::vector<std::vector<FpElem>> q(m, std::vector<FpElem>(m, ctx.Zero()));
+  std::vector<FpElem> dens(m, ctx.Zero());
+  for (std::size_t i = 0; i < m; ++i) {
+    // Synthetic division of P by (x - x_i): q[m-1] down to q[0].
+    FpElem carry = pc[m];  // leading coefficient (== 1)
+    for (std::size_t j = m; j-- > 0;) {
+      q[i][j] = carry;
+      carry = ctx.Add(pc[j], ctx.Mul(carry, xs[i]));
+    }
+    // carry is now P(x_i) == 0; den_i = Q_i(x_i) via Horner.
+    FpElem den = ctx.Zero();
+    for (std::size_t j = m; j-- > 0;) {
+      den = ctx.Add(ctx.Mul(den, xs[i]), q[i][j]);
+    }
+    Require(!ctx.IsZero(den), "Interpolate: duplicate x");
+    dens[i] = den;
+  }
+  ctx.BatchInv(dens);
+
+  std::vector<FpElem> c(m, ctx.Zero());
+  for (std::size_t i = 0; i < m; ++i) {
+    FpElem scale = ctx.Mul(ys[i], dens[i]);
+    if (ctx.IsZero(scale)) continue;
+    for (std::size_t j = 0; j < m; ++j) {
+      c[j] = ctx.Add(c[j], ctx.Mul(scale, q[i][j]));
+    }
+  }
+  return Poly(std::move(c));
+}
+
+Poly Poly::Add(const FpCtx& ctx, const Poly& a, const Poly& b) {
+  std::vector<FpElem> c(std::max(a.c_.size(), b.c_.size()), ctx.Zero());
+  for (std::size_t i = 0; i < a.c_.size(); ++i) c[i] = a.c_[i];
+  for (std::size_t i = 0; i < b.c_.size(); ++i) c[i] = ctx.Add(c[i], b.c_[i]);
+  return Poly(std::move(c));
+}
+
+Poly Poly::Mul(const FpCtx& ctx, const Poly& a, const Poly& b) {
+  if (a.c_.empty() || b.c_.empty()) return Poly();
+  std::vector<FpElem> c(a.c_.size() + b.c_.size() - 1, ctx.Zero());
+  for (std::size_t i = 0; i < a.c_.size(); ++i) {
+    for (std::size_t j = 0; j < b.c_.size(); ++j) {
+      c[i + j] = ctx.Add(c[i + j], ctx.Mul(a.c_[i], b.c_[j]));
+    }
+  }
+  return Poly(std::move(c));
+}
+
+Poly Poly::Vanishing(const FpCtx& ctx, std::span<const FpElem> xs) {
+  std::vector<FpElem> c{ctx.One()};
+  for (const FpElem& root : xs) {
+    c.push_back(ctx.Zero());
+    for (std::size_t j = c.size() - 1; j-- > 0;) {
+      c[j + 1] = ctx.Add(c[j + 1], c[j]);
+      c[j] = ctx.Neg(ctx.Mul(c[j], root));
+    }
+    // Rebuild: the loop above shifted in place; c now holds prod*(x-root).
+  }
+  return Poly(std::move(c));
+}
+
+Poly Poly::Trimmed(const FpCtx& ctx) const {
+  std::size_t size = c_.size();
+  while (size > 0 && ctx.IsZero(c_[size - 1])) --size;
+  return Poly(std::vector<FpElem>(c_.begin(), c_.begin() + size));
+}
+
+std::pair<Poly, Poly> Poly::DivMod(const FpCtx& ctx, const Poly& a,
+                                   const Poly& b) {
+  Poly divisor = b.Trimmed(ctx);
+  Require(divisor.size() > 0, "DivMod: division by zero polynomial");
+  std::vector<FpElem> rem(a.c_);
+  const std::size_t db = divisor.size() - 1;
+  if (rem.size() <= db) return {Poly(), Poly(std::move(rem))};
+  std::vector<FpElem> quot(rem.size() - db, ctx.Zero());
+  FpElem lead_inv = ctx.Inv(divisor.coeffs()[db]);
+  for (std::size_t i = rem.size(); i-- > db;) {
+    FpElem factor = ctx.Mul(rem[i], lead_inv);
+    if (ctx.IsZero(factor)) continue;
+    quot[i - db] = factor;
+    for (std::size_t j = 0; j <= db; ++j) {
+      rem[i - db + j] =
+          ctx.Sub(rem[i - db + j], ctx.Mul(factor, divisor.coeffs()[j]));
+    }
+  }
+  rem.resize(db);
+  return {Poly(std::move(quot)).Trimmed(ctx), Poly(std::move(rem)).Trimmed(ctx)};
+}
+
+std::vector<FpElem> LagrangeCoeffs(const FpCtx& ctx,
+                                   std::span<const FpElem> xs,
+                                   const FpElem& x) {
+  const std::size_t m = xs.size();
+  Require(m >= 1, "LagrangeCoeffs: empty points");
+  std::vector<FpElem> nums(m, ctx.One());
+  std::vector<FpElem> dens(m, ctx.One());
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < m; ++j) {
+      if (j == i) continue;
+      nums[i] = ctx.Mul(nums[i], ctx.Sub(x, xs[j]));
+      FpElem d = ctx.Sub(xs[i], xs[j]);
+      Require(!ctx.IsZero(d), "LagrangeCoeffs: duplicate x");
+      dens[i] = ctx.Mul(dens[i], d);
+    }
+  }
+  ctx.BatchInv(dens);
+  std::vector<FpElem> w(m);
+  for (std::size_t i = 0; i < m; ++i) w[i] = ctx.Mul(nums[i], dens[i]);
+  return w;
+}
+
+std::vector<std::vector<FpElem>> LagrangeCoeffsMulti(
+    const FpCtx& ctx, std::span<const FpElem> xs,
+    std::span<const FpElem> eval_points) {
+  const std::size_t m = xs.size();
+  Require(m >= 1, "LagrangeCoeffsMulti: empty points");
+  // Denominators do not depend on the evaluation point: invert them once.
+  std::vector<FpElem> inv_dens(m, ctx.One());
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < m; ++j) {
+      if (j == i) continue;
+      FpElem d = ctx.Sub(xs[i], xs[j]);
+      Require(!ctx.IsZero(d), "LagrangeCoeffsMulti: duplicate x");
+      inv_dens[i] = ctx.Mul(inv_dens[i], d);
+    }
+  }
+  ctx.BatchInv(inv_dens);
+
+  std::vector<std::vector<FpElem>> out;
+  out.reserve(eval_points.size());
+  for (const FpElem& x : eval_points) {
+    // prefix/suffix products of (x - xs[j]) give all numerators in O(m).
+    std::vector<FpElem> prefix(m + 1, ctx.One());
+    std::vector<FpElem> suffix(m + 1, ctx.One());
+    for (std::size_t j = 0; j < m; ++j) {
+      prefix[j + 1] = ctx.Mul(prefix[j], ctx.Sub(x, xs[j]));
+    }
+    for (std::size_t j = m; j-- > 0;) {
+      suffix[j] = ctx.Mul(suffix[j + 1], ctx.Sub(x, xs[j]));
+    }
+    std::vector<FpElem> w(m);
+    for (std::size_t i = 0; i < m; ++i) {
+      w[i] = ctx.Mul(ctx.Mul(prefix[i], suffix[i + 1]), inv_dens[i]);
+    }
+    out.push_back(std::move(w));
+  }
+  return out;
+}
+
+FpElem LagrangeEval(const FpCtx& ctx, std::span<const FpElem> xs,
+                    std::span<const FpElem> ys, const FpElem& x) {
+  Require(xs.size() == ys.size(), "LagrangeEval: xs/ys mismatch");
+  std::vector<FpElem> w = LagrangeCoeffs(ctx, xs, x);
+  FpElem acc = ctx.Zero();
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    acc = ctx.Add(acc, ctx.Mul(w[i], ys[i]));
+  }
+  return acc;
+}
+
+bool PointsOnLowDegree(const FpCtx& ctx, std::span<const FpElem> xs,
+                       std::span<const FpElem> ys, std::size_t deg) {
+  Require(xs.size() == ys.size(), "PointsOnLowDegree: xs/ys mismatch");
+  if (xs.size() <= deg + 1) return true;  // always interpolatable
+  Poly f = Poly::Interpolate(ctx, xs.subspan(0, deg + 1), ys.subspan(0, deg + 1));
+  for (std::size_t i = deg + 1; i < xs.size(); ++i) {
+    if (!ctx.Eq(f.Eval(ctx, xs[i]), ys[i])) return false;
+  }
+  return true;
+}
+
+PointChecker::PointChecker(const FpCtx& ctx, std::vector<FpElem> xs,
+                           std::size_t deg)
+    : ctx_(&ctx), xs_(std::move(xs)), deg_(deg) {
+  Require(xs_.size() >= deg_ + 1, "PointChecker: not enough points");
+  std::span<const FpElem> base(xs_.data(), deg_ + 1);
+  std::span<const FpElem> extras(xs_.data() + deg_ + 1,
+                                 xs_.size() - deg_ - 1);
+  extra_weights_ = LagrangeCoeffsMulti(*ctx_, base, extras);
+}
+
+bool PointChecker::Consistent(std::span<const FpElem> ys) const {
+  Require(ys.size() == xs_.size(), "PointChecker: ys size mismatch");
+  for (std::size_t e = 0; e < extra_weights_.size(); ++e) {
+    FpElem predicted = Apply(*ctx_, extra_weights_[e], ys);
+    if (!ctx_->Eq(predicted, ys[deg_ + 1 + e])) return false;
+  }
+  return true;
+}
+
+FpElem PointChecker::EvalAt(const FpElem& x, std::span<const FpElem> ys) const {
+  return Apply(*ctx_, WeightsAt(x), ys);
+}
+
+std::vector<FpElem> PointChecker::WeightsAt(const FpElem& x) const {
+  std::span<const FpElem> base(xs_.data(), deg_ + 1);
+  return LagrangeCoeffs(*ctx_, base, x);
+}
+
+FpElem PointChecker::Apply(const FpCtx& ctx, std::span<const FpElem> weights,
+                           std::span<const FpElem> ys) {
+  Require(ys.size() >= weights.size(), "PointChecker::Apply: ys too short");
+  FpElem acc = ctx.Zero();
+  for (std::size_t k = 0; k < weights.size(); ++k) {
+    acc = ctx.Add(acc, ctx.Mul(weights[k], ys[k]));
+  }
+  return acc;
+}
+
+}  // namespace pisces::math

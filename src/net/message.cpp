@@ -1,0 +1,72 @@
+#include "net/message.h"
+
+#include <sstream>
+
+namespace pisces::net {
+
+const char* MsgTypeName(MsgType t) {
+  switch (t) {
+    case MsgType::kSetShares: return "SetShares";
+    case MsgType::kReconstructRequest: return "ReconstructRequest";
+    case MsgType::kShareResponse: return "ShareResponse";
+    case MsgType::kStartRefresh: return "StartRefresh";
+    case MsgType::kStartRecovery: return "StartRecovery";
+    case MsgType::kHostCert: return "HostCert";
+    case MsgType::kDeleteFile: return "DeleteFile";
+    case MsgType::kDeal: return "Deal";
+    case MsgType::kCheckShare: return "CheckShare";
+    case MsgType::kVerdict: return "Verdict";
+    case MsgType::kMaskedShare: return "MaskedShare";
+    case MsgType::kPhaseDone: return "PhaseDone";
+  }
+  return "Unknown";
+}
+
+namespace {
+constexpr std::size_t kHeaderSize = 4 + 4 + 1 + 8 + 4 + 4 + 4 + 4;
+}
+
+Bytes Message::Serialize() const {
+  ByteWriter w;
+  w.U32(from);
+  w.U32(to);
+  w.U8(static_cast<std::uint8_t>(type));
+  w.U64(file_id);
+  w.U32(epoch);
+  w.U32(batch);
+  w.U32(row);
+  w.Blob(payload);
+  return w.Take();
+}
+
+Message Message::Deserialize(std::span<const std::uint8_t> data) {
+  ByteReader r(data);
+  Message m;
+  m.from = r.U32();
+  m.to = r.U32();
+  auto raw_type = r.U8();
+  if (raw_type > static_cast<std::uint8_t>(MsgType::kPhaseDone)) {
+    throw ParseError("Message: unknown type");
+  }
+  m.type = static_cast<MsgType>(raw_type);
+  m.file_id = r.U64();
+  m.epoch = r.U32();
+  m.batch = r.U32();
+  m.row = r.U32();
+  auto p = r.Blob();
+  m.payload.assign(p.begin(), p.end());
+  if (!r.AtEnd()) throw ParseError("Message: trailing bytes");
+  return m;
+}
+
+std::size_t Message::WireSize() const { return kHeaderSize + payload.size(); }
+
+std::string Message::Describe() const {
+  std::ostringstream out;
+  out << MsgTypeName(type) << " " << from << "->" << to << " file=" << file_id
+      << " epoch=" << epoch << " batch=" << batch << " row=" << row
+      << " payload=" << payload.size() << "B";
+  return out.str();
+}
+
+}  // namespace pisces::net

@@ -1,0 +1,63 @@
+// Wire message format shared by the simulated and TCP transports.
+//
+// Every protocol step in PiSCES is a point-to-point message between two
+// endpoints (hosts, the client, or the hypervisor). Messages carry a type,
+// correlation ids (file, epoch, batch, row) so concurrent protocol sessions
+// can be demultiplexed, and an opaque payload (serialized field elements,
+// certificates, or control structures).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/bytes.h"
+
+namespace pisces::net {
+
+// Reserved endpoint ids; hosts are 0..n-1.
+inline constexpr std::uint32_t kClientId = 0xFFFF0000;
+inline constexpr std::uint32_t kHypervisorId = 0xFFFF0001;
+
+enum class MsgType : std::uint8_t {
+  // Client / hypervisor -> host control plane.
+  kSetShares = 0,       // initial share upload (paper Fig 5 event "Set")
+  kReconstructRequest,  // client asks for shares of a file
+  kShareResponse,       // host -> client share material
+  kStartRefresh,        // hypervisor starts a rerandomization phase
+  kStartRecovery,       // hypervisor starts recovery toward rebooted hosts
+  kHostCert,            // freshly rebooted host broadcasts its signed key
+  kDeleteFile,          // client asks hosts to drop a file
+
+  // PSS data plane.
+  kDeal,         // dealer -> holder: shares of dealt polynomials
+  kCheckShare,   // holder -> verifier: share of a check row
+  kVerdict,      // verifier -> all: accept/reject of its check rows
+  kMaskedShare,  // surviving host -> rebooted host: f(alpha_i) + q(alpha_i)
+
+  // Session completion notices (host -> hypervisor/driver).
+  kPhaseDone,
+};
+
+const char* MsgTypeName(MsgType t);
+
+struct Message {
+  std::uint32_t from = 0;
+  std::uint32_t to = 0;
+  MsgType type = MsgType::kSetShares;
+  std::uint64_t file_id = 0;
+  std::uint32_t epoch = 0;  // proactive round number
+  std::uint32_t batch = 0;  // batch index within a phase
+  std::uint32_t row = 0;    // check-row / target-host / misc discriminator
+  Bytes payload;
+
+  Bytes Serialize() const;
+  static Message Deserialize(std::span<const std::uint8_t> data);
+
+  // Bytes this message occupies on the wire (header + payload); used by the
+  // communication-overhead accounting in the experiments.
+  std::size_t WireSize() const;
+
+  std::string Describe() const;
+};
+
+}  // namespace pisces::net

@@ -1,0 +1,92 @@
+#include "net/sim_transport.h"
+
+namespace pisces::net {
+
+void SimEndpoint::Send(Message msg) {
+  Require(msg.from == id_, "SimEndpoint::Send: from must match endpoint id");
+  net_.Deliver(std::move(msg));
+}
+
+std::optional<Message> SimEndpoint::Receive() { return net_.Pop(id_); }
+
+SimEndpoint* SimNet::AddEndpoint(std::uint32_t id) {
+  auto [it, inserted] = boxes_.try_emplace(id);
+  Require(inserted, "SimNet::AddEndpoint: duplicate endpoint id");
+  it->second.endpoint = std::make_unique<SimEndpoint>(*this, id);
+  return it->second.endpoint.get();
+}
+
+SimNet::Mailbox& SimNet::BoxFor(std::uint32_t id) {
+  auto it = boxes_.find(id);
+  Require(it != boxes_.end(), "SimNet: unknown endpoint");
+  return it->second;
+}
+
+const SimNet::Mailbox& SimNet::BoxFor(std::uint32_t id) const {
+  auto it = boxes_.find(id);
+  Require(it != boxes_.end(), "SimNet: unknown endpoint");
+  return it->second;
+}
+
+void SimNet::SetOffline(std::uint32_t id, bool offline) {
+  Mailbox& box = BoxFor(id);
+  box.offline = offline;
+  if (offline) box.queue.clear();  // in-flight traffic to a dead host is lost
+}
+
+bool SimNet::IsOffline(std::uint32_t id) const { return BoxFor(id).offline; }
+
+const SimNet::EndpointStats& SimNet::StatsFor(std::uint32_t id) const {
+  return BoxFor(id).stats;
+}
+
+bool SimNet::AnyPending() const {
+  for (const auto& [id, box] : boxes_) {
+    if (!box.queue.empty()) return true;
+  }
+  return false;
+}
+
+std::size_t SimNet::PendingFor(std::uint32_t id) const {
+  return BoxFor(id).queue.size();
+}
+
+void SimNet::ResetStats() {
+  for (auto& [id, box] : boxes_) box.stats = EndpointStats{};
+  total_bytes_ = 0;
+  total_msgs_ = 0;
+}
+
+void SimNet::Deliver(Message msg) {
+  Mailbox& src = BoxFor(msg.from);
+  if (src.offline) return;
+
+  // Serialize/deserialize round-trip: wire size is real, and mutation acts on
+  // exactly what a network adversary could see.
+  const std::size_t wire = msg.WireSize();
+  src.stats.msgs_sent += 1;
+  src.stats.bytes_sent += wire;
+  total_bytes_ += wire;
+  total_msgs_ += 1;
+
+  if (mutator_ && !mutator_(msg)) return;  // dropped by fault injection
+
+  auto it = boxes_.find(msg.to);
+  Require(it != boxes_.end(), "SimNet::Deliver: unknown destination");
+  Mailbox& dst = it->second;
+  if (dst.offline) return;
+  dst.stats.msgs_received += 1;
+  dst.stats.bytes_received += msg.WireSize();
+  if (tap_) tap_(msg);
+  dst.queue.push_back(std::move(msg));
+}
+
+std::optional<Message> SimNet::Pop(std::uint32_t id) {
+  Mailbox& box = BoxFor(id);
+  if (box.offline || box.queue.empty()) return std::nullopt;
+  Message m = std::move(box.queue.front());
+  box.queue.pop_front();
+  return m;
+}
+
+}  // namespace pisces::net

@@ -1,0 +1,97 @@
+// Deterministic in-process network fabric.
+//
+// SimNet owns one mailbox per endpoint. Send() serializes the message (so
+// wire size is the real wire size), meters it, applies fault injection, and
+// appends to the destination mailbox; delivery order is deterministic given
+// deterministic send order, which keeps every experiment reproducible.
+//
+// Fault injection knobs model the paper's failure assumptions: an offline
+// host (crashed or mid-reboot) drops all traffic; a message mutator models a
+// corrupt-but-active host for the VSS verification tests. The adversary in
+// the paper is passive (honest-but-curious); active corruption here exists to
+// exercise the verification machinery.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "net/transport.h"
+
+namespace pisces::net {
+
+class SimNet;
+
+class SimEndpoint : public Transport {
+ public:
+  SimEndpoint(SimNet& net, std::uint32_t id) : net_(net), id_(id) {}
+
+  void Send(Message msg) override;
+  std::optional<Message> Receive() override;
+  std::uint32_t id() const override { return id_; }
+
+ private:
+  SimNet& net_;
+  std::uint32_t id_;
+};
+
+class SimNet {
+ public:
+  struct EndpointStats {
+    std::uint64_t msgs_sent = 0;
+    std::uint64_t bytes_sent = 0;
+    std::uint64_t msgs_received = 0;
+    std::uint64_t bytes_received = 0;
+  };
+
+  // Creates an endpoint; ids may be arbitrary (host ids, kClientId, ...).
+  // The returned object is owned by the net.
+  SimEndpoint* AddEndpoint(std::uint32_t id);
+
+  // --- fault injection ---
+  // An offline endpoint silently loses everything sent to or from it.
+  void SetOffline(std::uint32_t id, bool offline);
+  bool IsOffline(std::uint32_t id) const;
+  // Mutator applied to every in-flight message; return false to drop it.
+  using Mutator = std::function<bool(Message&)>;
+  void SetMutator(Mutator mutator) { mutator_ = std::move(mutator); }
+
+  // --- observation ---
+  const EndpointStats& StatsFor(std::uint32_t id) const;
+  std::uint64_t TotalBytes() const { return total_bytes_; }
+  std::uint64_t TotalMessages() const { return total_msgs_; }
+  bool AnyPending() const;
+  std::size_t PendingFor(std::uint32_t id) const;
+  void ResetStats();
+
+  // Wiretap for the adversary simulator: invoked on every delivered message
+  // (the paper's adversary sees traffic of corrupted hosts only; the
+  // adversary module applies that filter).
+  using Tap = std::function<void(const Message&)>;
+  void SetTap(Tap tap) { tap_ = std::move(tap); }
+
+ private:
+  friend class SimEndpoint;
+  void Deliver(Message msg);
+  std::optional<Message> Pop(std::uint32_t id);
+
+  struct Mailbox {
+    std::unique_ptr<SimEndpoint> endpoint;
+    std::deque<Message> queue;
+    EndpointStats stats;
+    bool offline = false;
+  };
+
+  Mailbox& BoxFor(std::uint32_t id);
+  const Mailbox& BoxFor(std::uint32_t id) const;
+
+  std::unordered_map<std::uint32_t, Mailbox> boxes_;
+  Mutator mutator_;
+  Tap tap_;
+  std::uint64_t total_bytes_ = 0;
+  std::uint64_t total_msgs_ = 0;
+};
+
+}  // namespace pisces::net

@@ -1,0 +1,197 @@
+#include "net/tcp_transport.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/log.h"
+
+namespace pisces::net {
+
+namespace {
+
+bool WriteAll(int fd, const std::uint8_t* data, std::size_t n) {
+  std::size_t off = 0;
+  while (off < n) {
+    ssize_t w = ::send(fd, data + off, n - off, MSG_NOSIGNAL);
+    if (w <= 0) return false;
+    off += static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+bool ReadAll(int fd, std::uint8_t* data, std::size_t n) {
+  std::size_t off = 0;
+  while (off < n) {
+    ssize_t r = ::recv(fd, data + off, n - off, 0);
+    if (r <= 0) return false;
+    off += static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+}  // namespace
+
+TcpEndpoint::TcpEndpoint(std::uint32_t id, std::uint16_t listen_port)
+    : id_(id) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  Require(listen_fd_ >= 0, "TcpEndpoint: socket() failed");
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(listen_port);
+  Require(::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                 sizeof(addr)) == 0,
+          "TcpEndpoint: bind() failed (port in use?)");
+  Require(::listen(listen_fd_, 64) == 0, "TcpEndpoint: listen() failed");
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+}
+
+TcpEndpoint::~TcpEndpoint() {
+  stopping_.store(true);
+  CloseAll();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  // Join without holding the mutex: exiting readers lock it to deregister.
+  std::vector<std::thread> readers;
+  {
+    std::lock_guard<std::mutex> lock(readers_mutex_);
+    readers.swap(readers_);
+  }
+  for (auto& t : readers) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void TcpEndpoint::CloseAll() {
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  {
+    std::lock_guard<std::mutex> lock(peers_mutex_);
+    for (auto& [id, fd] : out_fds_) {
+      ::shutdown(fd, SHUT_RDWR);
+      ::close(fd);
+    }
+    out_fds_.clear();
+  }
+  // Unblock reader threads stuck in recv(); each reader closes its own fd
+  // (and deregisters it) on exit.
+  std::lock_guard<std::mutex> lock(readers_mutex_);
+  for (int fd : reader_fds_) ::shutdown(fd, SHUT_RDWR);
+}
+
+void TcpEndpoint::AddPeer(std::uint32_t peer_id, std::uint16_t port) {
+  std::lock_guard<std::mutex> lock(peers_mutex_);
+  peer_ports_[peer_id] = port;
+}
+
+void TcpEndpoint::AcceptLoop() {
+  for (;;) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) return;  // listener closed
+    if (stopping_.load()) {
+      ::close(fd);
+      return;
+    }
+    std::lock_guard<std::mutex> lock(readers_mutex_);
+    reader_fds_.push_back(fd);
+    readers_.emplace_back([this, fd] { ReadLoop(fd); });
+  }
+}
+
+void TcpEndpoint::ReadLoop(int fd) {
+  for (;;) {
+    std::uint8_t len_buf[4];
+    if (!ReadAll(fd, len_buf, 4)) break;
+    std::uint32_t len = LoadLe32(len_buf);
+    if (len > (64u << 20)) break;  // sanity: 64 MiB frame cap
+    Bytes frame(len);
+    if (!ReadAll(fd, frame.data(), len)) break;
+    try {
+      Message m = Message::Deserialize(frame);
+      {
+        std::lock_guard<std::mutex> lock(queue_mutex_);
+        queue_.push_back(std::move(m));
+      }
+      queue_cv_.notify_one();
+    } catch (const ParseError&) {
+      LogWarn() << "TcpEndpoint " << id_ << ": dropping malformed frame";
+    }
+  }
+  {
+    // Deregister before closing so CloseAll never touches a recycled fd.
+    std::lock_guard<std::mutex> lock(readers_mutex_);
+    reader_fds_.erase(std::remove(reader_fds_.begin(), reader_fds_.end(), fd),
+                      reader_fds_.end());
+  }
+  ::close(fd);
+}
+
+int TcpEndpoint::ConnectTo(std::uint32_t peer_id) {
+  // Caller holds peers_mutex_.
+  auto it = out_fds_.find(peer_id);
+  if (it != out_fds_.end()) return it->second;
+  auto port_it = peer_ports_.find(peer_id);
+  Require(port_it != peer_ports_.end(), "TcpEndpoint: unknown peer");
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  Require(fd >= 0, "TcpEndpoint: socket() failed");
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port_it->second);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    throw Error("TcpEndpoint: connect() failed");
+  }
+  out_fds_[peer_id] = fd;
+  return fd;
+}
+
+void TcpEndpoint::Send(Message msg) {
+  Require(msg.from == id_, "TcpEndpoint::Send: from must match endpoint id");
+  Bytes body = msg.Serialize();
+  Bytes frame(4 + body.size());
+  StoreLe32(static_cast<std::uint32_t>(body.size()), frame.data());
+  std::copy(body.begin(), body.end(), frame.begin() + 4);
+
+  std::lock_guard<std::mutex> lock(peers_mutex_);
+  int fd = ConnectTo(msg.to);
+  if (!WriteAll(fd, frame.data(), frame.size())) {
+    ::close(fd);
+    out_fds_.erase(msg.to);
+    throw Error("TcpEndpoint: send failed");
+  }
+  bytes_sent_.fetch_add(frame.size());
+}
+
+std::optional<Message> TcpEndpoint::Receive() {
+  std::lock_guard<std::mutex> lock(queue_mutex_);
+  if (queue_.empty()) return std::nullopt;
+  Message m = std::move(queue_.front());
+  queue_.pop_front();
+  return m;
+}
+
+std::optional<Message> TcpEndpoint::ReceiveWait(int timeout_ms) {
+  std::unique_lock<std::mutex> lock(queue_mutex_);
+  if (!queue_cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms),
+                          [this] { return !queue_.empty(); })) {
+    return std::nullopt;
+  }
+  Message m = std::move(queue_.front());
+  queue_.pop_front();
+  return m;
+}
+
+}  // namespace pisces::net

@@ -1,0 +1,69 @@
+// Real TCP transport over loopback.
+//
+// Demonstrates that the host state machines are transport-agnostic: the
+// distributed example runs a full PiSCES cluster as n endpoints exchanging
+// length-prefixed frames over real sockets. Connections are established
+// lazily on first send; every endpoint runs an accept thread plus one reader
+// thread per inbound connection, funneling messages into a thread-safe queue.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "net/transport.h"
+
+namespace pisces::net {
+
+class TcpEndpoint : public Transport {
+ public:
+  // Binds and listens on 127.0.0.1:listen_port immediately.
+  TcpEndpoint(std::uint32_t id, std::uint16_t listen_port);
+  ~TcpEndpoint() override;
+
+  TcpEndpoint(const TcpEndpoint&) = delete;
+  TcpEndpoint& operator=(const TcpEndpoint&) = delete;
+
+  // Registers where a peer listens. Must happen before sending to that peer.
+  void AddPeer(std::uint32_t peer_id, std::uint16_t port);
+
+  void Send(Message msg) override;
+  std::optional<Message> Receive() override;
+  // Blocks up to timeout_ms for a message (the paper's bounded-delay wait).
+  std::optional<Message> ReceiveWait(int timeout_ms);
+  std::uint32_t id() const override { return id_; }
+
+  std::uint64_t bytes_sent() const { return bytes_sent_; }
+
+ private:
+  void AcceptLoop();
+  void ReadLoop(int fd);
+  int ConnectTo(std::uint32_t peer_id);
+  void CloseAll();
+
+  std::uint32_t id_;
+  int listen_fd_ = -1;
+
+  std::mutex peers_mutex_;
+  std::unordered_map<std::uint32_t, std::uint16_t> peer_ports_;
+  std::unordered_map<std::uint32_t, int> out_fds_;
+
+  std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<Message> queue_;
+
+  std::thread accept_thread_;
+  std::mutex readers_mutex_;
+  std::vector<std::thread> readers_;
+  std::vector<int> reader_fds_;  // inbound fds, shut down on close
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::uint64_t> bytes_sent_{0};
+};
+
+}  // namespace pisces::net

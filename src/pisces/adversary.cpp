@@ -1,0 +1,137 @@
+#include "pisces/adversary.h"
+
+namespace pisces {
+
+void Adversary::Corrupt(std::uint32_t host) {
+  Require(host < cluster_->config().params.n, "Adversary: no such host");
+  corrupted_.insert(host);
+  SnapshotHost(host);
+}
+
+void Adversary::SnapshotHost(std::uint32_t host) {
+  Host& h = cluster_->host(host);
+  if (!h.online()) return;
+  for (std::uint64_t file_id : h.store().FileIds()) {
+    const FileMeta& meta = h.store().MetaOf(file_id);
+    metas_[file_id] = meta;
+    std::vector<field::FpElem> shares = h.store().Load(file_id);
+    h.store().Stash(file_id);
+    captures_[file_id][period_][host] = std::move(shares);
+  }
+}
+
+void Adversary::ObserveWindow() {
+  ++period_;
+  // Reboots expel the adversary: with a complete schedule every host reboots
+  // every window, so the corruption set empties unless re-established.
+  // (We model expulsion by checking the host's key epoch advanced; with the
+  // complete schedule that is every host.)
+  corrupted_.clear();
+}
+
+std::size_t Adversary::MaxSamePeriodShares(std::uint64_t file_id) const {
+  auto it = captures_.find(file_id);
+  if (it == captures_.end()) return 0;
+  std::size_t best = 0;
+  for (const auto& [period, by_host] : it->second) {
+    best = std::max(best, by_host.size());
+  }
+  return best;
+}
+
+bool Adversary::ExceedsPrivacyThreshold(std::uint64_t file_id) const {
+  return MaxSamePeriodShares(file_id) > cluster_->config().params.t;
+}
+
+std::optional<Bytes> Adversary::AttemptReconstruction(
+    std::uint64_t file_id) const {
+  auto it = captures_.find(file_id);
+  if (it == captures_.end()) return std::nullopt;
+  auto meta_it = metas_.find(file_id);
+  if (meta_it == metas_.end()) return std::nullopt;
+  const FileMeta& meta = meta_it->second;
+  const pss::Params& p = cluster_->config().params;
+  const auto& ctx = cluster_->ctx();
+  pss::PackedShamir shamir(cluster_->ctx_ptr(), p);
+  FileCodec codec(ctx, p.l);
+
+  for (const auto& [period, by_host] : it->second) {
+    if (by_host.size() < p.degree() + 1) continue;
+    std::vector<std::uint32_t> parties;
+    std::vector<const std::vector<field::FpElem>*> rows;
+    for (const auto& [host, shares] : by_host) {
+      if (shares.size() != meta.num_blocks) continue;
+      parties.push_back(host);
+      rows.push_back(&shares);
+    }
+    if (parties.size() < p.degree() + 1) continue;
+    parties.resize(p.degree() + 1);
+    rows.resize(p.degree() + 1);
+
+    auto weights = shamir.ReconstructionWeights(parties);
+    std::vector<field::FpElem> elems(meta.num_blocks * p.l, ctx.Zero());
+    for (std::size_t blk = 0; blk < meta.num_blocks; ++blk) {
+      for (std::size_t j = 0; j < p.l; ++j) {
+        field::FpElem acc = ctx.Zero();
+        for (std::size_t k = 0; k < parties.size(); ++k) {
+          acc = ctx.Add(acc, ctx.Mul(weights[j][k], (*rows[k])[blk]));
+        }
+        elems[blk * p.l + j] = acc;
+      }
+    }
+    try {
+      return codec.Decode(meta, elems);
+    } catch (const ParseError&) {
+      continue;  // garbage -- not actually a consistent period
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<Bytes> Adversary::AttemptMixedReconstruction(
+    std::uint64_t file_id) const {
+  auto it = captures_.find(file_id);
+  if (it == captures_.end()) return std::nullopt;
+  auto meta_it = metas_.find(file_id);
+  if (meta_it == metas_.end()) return std::nullopt;
+  const FileMeta& meta = meta_it->second;
+  const pss::Params& p = cluster_->config().params;
+  const auto& ctx = cluster_->ctx();
+
+  // Flatten captures across periods, one (most recent) vector per host.
+  std::map<std::uint32_t, const std::vector<field::FpElem>*> latest;
+  for (const auto& [period, by_host] : it->second) {
+    for (const auto& [host, shares] : by_host) {
+      if (shares.size() == meta.num_blocks) latest[host] = &shares;
+    }
+  }
+  if (latest.size() < p.degree() + 1) return std::nullopt;
+
+  pss::PackedShamir shamir(cluster_->ctx_ptr(), p);
+  FileCodec codec(ctx, p.l);
+  std::vector<std::uint32_t> parties;
+  std::vector<const std::vector<field::FpElem>*> rows;
+  for (const auto& [host, shares] : latest) {
+    parties.push_back(host);
+    rows.push_back(shares);
+    if (parties.size() == p.degree() + 1) break;
+  }
+  auto weights = shamir.ReconstructionWeights(parties);
+  std::vector<field::FpElem> elems(meta.num_blocks * p.l, ctx.Zero());
+  for (std::size_t blk = 0; blk < meta.num_blocks; ++blk) {
+    for (std::size_t j = 0; j < p.l; ++j) {
+      field::FpElem acc = ctx.Zero();
+      for (std::size_t k = 0; k < parties.size(); ++k) {
+        acc = ctx.Add(acc, ctx.Mul(weights[j][k], (*rows[k])[blk]));
+      }
+      elems[blk * p.l + j] = acc;
+    }
+  }
+  try {
+    return codec.Decode(meta, elems);
+  } catch (const ParseError&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace pisces

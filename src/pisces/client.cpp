@@ -1,0 +1,279 @@
+#include "pisces/client.h"
+
+#include "common/log.h"
+
+namespace pisces {
+
+using field::FpElem;
+using net::Message;
+using net::MsgType;
+
+Client::Client(ClientConfig cfg, net::Transport& transport,
+               const crypto::SchnorrGroup& group, Bytes ca_pk,
+               crypto::HostCert cert, Bytes sk)
+    : cfg_(std::move(cfg)),
+      transport_(transport),
+      group_(group),
+      ca_pk_(std::move(ca_pk)),
+      my_cert_(std::move(cert)),
+      sk_(std::move(sk)),
+      rng_(cfg_.rng_seed ^ 0xC11E47ULL),
+      shamir_(std::make_shared<pss::PackedShamir>(cfg_.ctx, cfg_.params)),
+      codec_(*cfg_.ctx, cfg_.params.l) {}
+
+void Client::InstallPeerCert(const crypto::HostCert& cert) {
+  Require(crypto::CertAuthority::VerifyCert(group_, ca_pk_, cert),
+          "Client::InstallPeerCert: bad cert");
+  auto it = peer_certs_.find(cert.host_id);
+  if (it != peer_certs_.end() && it->second.epoch > cert.epoch) return;
+  peer_certs_[cert.host_id] = cert;
+  channels_.erase(cert.host_id);
+}
+
+crypto::SecureChannel& Client::ChannelTo(std::uint32_t peer) {
+  auto cert_it = peer_certs_.find(peer);
+  Require(cert_it != peer_certs_.end(), "Client: no cert for host");
+  const crypto::HostCert& pc = cert_it->second;
+  // The client id is numerically the largest, so the client is always "hi".
+  const std::uint32_t lo_epoch = pc.epoch;
+  const std::uint32_t hi_epoch = my_cert_.epoch;
+  const std::uint64_t pair =
+      (static_cast<std::uint64_t>(lo_epoch) << 32) | hi_epoch;
+  auto it = channels_.find(peer);
+  if (it == channels_.end() || it->second.epoch_pair != pair) {
+    crypto::SecureChannel ch = crypto::MakeChannel(
+        group_, sk_, pc.host_pk, (lo_epoch << 16) ^ hi_epoch, cfg_.id, peer);
+    it = channels_.insert_or_assign(peer, CachedChannel{pair, std::move(ch)})
+             .first;
+  }
+  return it->second.channel;
+}
+
+Bytes Client::SealFor(std::uint32_t peer, std::span<const std::uint8_t> pt) {
+  if (!cfg_.encrypt_links) return Bytes(pt.begin(), pt.end());
+  return ChannelTo(peer).Seal(pt);
+}
+
+Bytes Client::OpenFrom(std::uint32_t peer, std::span<const std::uint8_t> ct) {
+  if (!cfg_.encrypt_links) return Bytes(ct.begin(), ct.end());
+  auto pt = ChannelTo(peer).Open(ct);
+  if (!pt) throw ParseError("Client: channel authentication failed");
+  return std::move(*pt);
+}
+
+FileMeta Client::BeginUpload(std::uint64_t file_id,
+                             std::span<const std::uint8_t> data) {
+  CpuTimer cpu;
+  cpu.Start();
+  auto [meta, elems] = codec_.Encode(file_id, data);
+  const std::size_t n = cfg_.params.n;
+  const std::size_t l = cfg_.params.l;
+
+  // shares_for_host[i][blk]
+  std::vector<std::vector<FpElem>> shares_for_host(
+      n, std::vector<FpElem>(meta.num_blocks, cfg_.ctx->Zero()));
+  std::vector<FpElem> block(l, cfg_.ctx->Zero());
+  for (std::size_t blk = 0; blk < meta.num_blocks; ++blk) {
+    for (std::size_t j = 0; j < l; ++j) block[j] = elems[blk * l + j];
+    std::vector<FpElem> shares = shamir_->ShareBlock(block, rng_);
+    for (std::size_t i = 0; i < n; ++i) shares_for_host[i][blk] = shares[i];
+  }
+  cpu.Stop();
+  metrics_.cpu_ns += cpu.nanos();
+
+  upload_acks_[file_id] = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    ByteWriter w;
+    w.Blob(meta.Serialize());
+    w.Raw(field::SerializeElems(*cfg_.ctx, shares_for_host[i]));
+    Message m;
+    m.from = cfg_.id;
+    m.to = static_cast<std::uint32_t>(i);
+    m.type = MsgType::kSetShares;
+    m.file_id = file_id;
+    m.payload = SealFor(static_cast<std::uint32_t>(i), w.bytes());
+    metrics_.msgs_sent += 1;
+    metrics_.bytes_sent += m.WireSize();
+    transport_.Send(std::move(m));
+  }
+  return meta;
+}
+
+std::size_t Client::UploadAcks(std::uint64_t file_id) const {
+  auto it = upload_acks_.find(file_id);
+  return it == upload_acks_.end() ? 0 : it->second;
+}
+
+void Client::RequestFile(std::uint64_t file_id) {
+  downloads_[file_id] = PendingDownload{};
+  for (std::size_t i = 0; i < cfg_.params.n; ++i) {
+    Message m;
+    m.from = cfg_.id;
+    m.to = static_cast<std::uint32_t>(i);
+    m.type = MsgType::kReconstructRequest;
+    m.file_id = file_id;
+    metrics_.msgs_sent += 1;
+    metrics_.bytes_sent += m.WireSize();
+    transport_.Send(std::move(m));
+  }
+}
+
+std::size_t Client::ResponsesFor(std::uint64_t file_id) const {
+  auto it = downloads_.find(file_id);
+  return it == downloads_.end() ? 0 : it->second.responses.size();
+}
+
+std::optional<Bytes> Client::TryAssemble(std::uint64_t file_id) {
+  auto it = downloads_.find(file_id);
+  if (it == downloads_.end()) return std::nullopt;
+  const auto& responses = it->second.responses;
+  const std::size_t need = cfg_.params.degree() + 1;
+  if (responses.size() < need) return std::nullopt;
+
+  CpuTimer cpu;
+  cpu.Start();
+  // Adopt the majority meta (all honest hosts agree; a corrupted meta from a
+  // minority cannot win).
+  std::map<Bytes, std::size_t> meta_votes;
+  for (const auto& [host, resp] : responses) {
+    meta_votes[resp.first.Serialize()] += 1;
+  }
+  const Bytes* best = nullptr;
+  std::size_t best_votes = 0;
+  for (const auto& [blob, votes] : meta_votes) {
+    if (votes > best_votes) {
+      best = &blob;
+      best_votes = votes;
+    }
+  }
+  FileMeta meta = FileMeta::Deserialize(*best);
+
+  // First d+1 hosts (ascending ids) whose response matches the block count.
+  std::vector<std::uint32_t> parties;
+  std::vector<const std::vector<FpElem>*> rows;
+  for (const auto& [host, resp] : responses) {
+    if (resp.second.size() != meta.num_blocks) continue;
+    parties.push_back(host);
+    rows.push_back(&resp.second);
+    if (parties.size() == need) break;
+  }
+  if (parties.size() < need) {
+    cpu.Stop();
+    metrics_.cpu_ns += cpu.nanos();
+    return std::nullopt;
+  }
+
+  auto weights = shamir_->ReconstructionWeights(parties);
+  std::vector<FpElem> elems(meta.num_blocks * cfg_.params.l, cfg_.ctx->Zero());
+  for (std::size_t blk = 0; blk < meta.num_blocks; ++blk) {
+    for (std::size_t j = 0; j < cfg_.params.l; ++j) {
+      FpElem acc = cfg_.ctx->Zero();
+      for (std::size_t k = 0; k < need; ++k) {
+        acc = cfg_.ctx->Add(acc, cfg_.ctx->Mul(weights[j][k], (*rows[k])[blk]));
+      }
+      elems[blk * cfg_.params.l + j] = acc;
+    }
+  }
+  Bytes out;
+  try {
+    out = codec_.Decode(meta, elems);
+  } catch (const ParseError&) {
+    // Fast path failed the integrity check: some host returned corrupted
+    // shares. Fall back to Berlekamp-Welch decoding over ALL responses,
+    // which tolerates a minority of wrong values per block. Throws
+    // ParseError (propagated) if even robust decoding cannot explain the
+    // responses.
+    out = AssembleRobust(meta);
+  }
+  cpu.Stop();
+  metrics_.cpu_ns += cpu.nanos();
+  downloads_.erase(file_id);
+  return out;
+}
+
+Bytes Client::AssembleRobust(const FileMeta& meta) {
+  auto it = downloads_.find(meta.file_id);
+  Invariant(it != downloads_.end(), "AssembleRobust: no pending download");
+  std::vector<std::uint32_t> parties;
+  std::vector<const std::vector<FpElem>*> rows;
+  for (const auto& [host, resp] : it->second.responses) {
+    if (resp.second.size() != meta.num_blocks) continue;
+    parties.push_back(host);
+    rows.push_back(&resp.second);
+  }
+  std::vector<FpElem> elems(meta.num_blocks * cfg_.params.l, cfg_.ctx->Zero());
+  std::vector<FpElem> shares(parties.size(), cfg_.ctx->Zero());
+  for (std::size_t blk = 0; blk < meta.num_blocks; ++blk) {
+    for (std::size_t k = 0; k < parties.size(); ++k) {
+      shares[k] = (*rows[k])[blk];
+    }
+    auto secrets = shamir_->RobustReconstructBlock(parties, shares);
+    if (!secrets) {
+      throw ParseError("Client: robust reconstruction failed for a block");
+    }
+    for (std::size_t j = 0; j < cfg_.params.l; ++j) {
+      elems[blk * cfg_.params.l + j] = (*secrets)[j];
+    }
+  }
+  return codec_.Decode(meta, elems);
+}
+
+void Client::RequestDelete(std::uint64_t file_id) {
+  for (std::size_t i = 0; i < cfg_.params.n; ++i) {
+    Message m;
+    m.from = cfg_.id;
+    m.to = static_cast<std::uint32_t>(i);
+    m.type = MsgType::kDeleteFile;
+    m.file_id = file_id;
+    // Deletion is destructive: authenticate it by sealing the file id on the
+    // client's channel so strangers cannot destroy shares.
+    ByteWriter w;
+    w.U64(file_id);
+    m.payload = SealFor(static_cast<std::uint32_t>(i), w.bytes());
+    metrics_.msgs_sent += 1;
+    metrics_.bytes_sent += m.WireSize();
+    transport_.Send(std::move(m));
+  }
+}
+
+void Client::HandleMessage(const Message& msg) {
+  try {
+    switch (msg.type) {
+      case MsgType::kHostCert: {
+        crypto::HostCert cert = crypto::HostCert::Deserialize(msg.payload);
+        if (cert.host_id != msg.from) return;
+        if (!crypto::CertAuthority::VerifyCert(group_, ca_pk_, cert)) return;
+        InstallPeerCert(cert);
+        return;
+      }
+      case MsgType::kPhaseDone: {
+        if (msg.row == 2 && !msg.payload.empty() && msg.payload[0] == 1) {
+          upload_acks_[msg.file_id] += 1;
+        }
+        return;
+      }
+      case MsgType::kShareResponse: {
+        auto it = downloads_.find(msg.file_id);
+        if (it == downloads_.end()) return;  // stale response
+        Bytes pt = OpenFrom(msg.from, msg.payload);
+        ByteReader r(pt);
+        FileMeta meta = FileMeta::Deserialize(r.Blob());
+        std::vector<FpElem> shares =
+            field::DeserializeElems(*cfg_.ctx, r.Raw(r.Remaining()));
+        it->second.responses.emplace(msg.from,
+                                     std::make_pair(meta, std::move(shares)));
+        return;
+      }
+      default:
+        LogWarn() << "client: unexpected " << msg.Describe();
+    }
+  } catch (const ParseError& e) {
+    LogWarn() << "client: dropping message (" << e.what()
+              << "): " << msg.Describe();
+  } catch (const InvalidArgument& e) {
+    LogWarn() << "client: rejecting message (" << e.what()
+              << "): " << msg.Describe();
+  }
+}
+
+}  // namespace pisces

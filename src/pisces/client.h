@@ -1,0 +1,101 @@
+// The user's client: uploads files as packed shares and reassembles them on
+// download (paper SectionI use cases; SectionVI-E lifecycle steps 1 and 3).
+//
+// The client is stateless between sessions: it keeps no share material, only
+// an enrolled keypair (in a real deployment, the user's TLS identity). Upload
+// shares every block to every host; download requests shares from all hosts
+// and reconstructs from the first d+1 responses, so up to n-(d+1) hosts may
+// be offline or withholding without affecting availability.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+
+#include "common/clock.h"
+#include "crypto/ca.h"
+#include "crypto/channel.h"
+#include "net/sync_network.h"
+#include "pisces/file_codec.h"
+#include "pisces/metrics.h"
+#include "pss/packed_shamir.h"
+
+namespace pisces {
+
+struct ClientConfig {
+  std::uint32_t id = net::kClientId;
+  pss::Params params;
+  std::shared_ptr<const field::FpCtx> ctx;
+  bool encrypt_links = true;
+  std::uint64_t rng_seed = 7;
+};
+
+class Client : public net::MessageHandler {
+ public:
+  Client(ClientConfig cfg, net::Transport& transport,
+         const crypto::SchnorrGroup& group, Bytes ca_pk,
+         crypto::HostCert cert, Bytes sk);
+
+  std::uint32_t id() const { return cfg_.id; }
+
+  // Accept a host's cert (via broadcast message or direct install).
+  void InstallPeerCert(const crypto::HostCert& cert);
+
+  // Splits `data` into packed shares and sends one kSetShares to each host.
+  // Caller pumps the network, then checks UploadAcks == n.
+  FileMeta BeginUpload(std::uint64_t file_id,
+                       std::span<const std::uint8_t> data);
+  std::size_t UploadAcks(std::uint64_t file_id) const;
+
+  // Requests shares of a file from every host. Caller pumps, then calls
+  // TryAssemble.
+  void RequestFile(std::uint64_t file_id);
+  std::size_t ResponsesFor(std::uint64_t file_id) const;
+  // Reconstructs and decodes; nullopt when fewer than d+1 usable responses
+  // arrived. Throws ParseError if reconstruction succeeds but integrity
+  // checks fail (inconsistent shares above threshold).
+  std::optional<Bytes> TryAssemble(std::uint64_t file_id);
+
+  void RequestDelete(std::uint64_t file_id);
+
+  void HandleMessage(const net::Message& msg) override;
+
+  const PhaseMetrics& metrics() const { return metrics_; }
+
+ private:
+  Bytes SealFor(std::uint32_t peer, std::span<const std::uint8_t> pt);
+  Bytes OpenFrom(std::uint32_t peer, std::span<const std::uint8_t> ct);
+  crypto::SecureChannel& ChannelTo(std::uint32_t peer);
+  // Berlekamp-Welch fallback over all responses when the fast path fails its
+  // integrity check (a minority of hosts returned corrupted shares).
+  Bytes AssembleRobust(const FileMeta& meta);
+
+  ClientConfig cfg_;
+  net::Transport& transport_;
+  const crypto::SchnorrGroup& group_;
+  Bytes ca_pk_;
+  crypto::HostCert my_cert_;
+  Bytes sk_;
+  Rng rng_;
+
+  std::shared_ptr<pss::PackedShamir> shamir_;
+  FileCodec codec_;
+
+  std::map<std::uint32_t, crypto::HostCert> peer_certs_;
+  struct CachedChannel {
+    std::uint64_t epoch_pair;
+    crypto::SecureChannel channel;
+  };
+  std::map<std::uint32_t, CachedChannel> channels_;
+
+  std::map<std::uint64_t, std::size_t> upload_acks_;
+  struct PendingDownload {
+    std::map<std::uint32_t, std::pair<FileMeta, std::vector<field::FpElem>>>
+        responses;
+  };
+  std::map<std::uint64_t, PendingDownload> downloads_;
+
+  PhaseMetrics metrics_;
+};
+
+}  // namespace pisces

@@ -1,0 +1,100 @@
+#include "pisces/cluster.h"
+
+namespace pisces {
+
+Cluster::Cluster(ClusterConfig cfg) : cfg_(std::move(cfg)) {
+  cfg_.params.Validate();
+  ctx_ = std::make_shared<const field::FpCtx>(
+      field::StandardPrimeBe(cfg_.params.field_bits));
+  deployment_ = cfg_.deployment.value_or(Deployment::SingleCloud(cfg_.params.n));
+  Require(deployment_.n() == cfg_.params.n,
+          "Cluster: deployment size must match n");
+
+  net_ = std::make_unique<net::SimNet>();
+  sync_ = std::make_unique<net::SyncNetwork>(*net_);
+
+  HypervisorConfig hc;
+  hc.params = cfg_.params;
+  hc.ctx = ctx_;
+  hc.encrypt_links = cfg_.encrypt_links;
+  hc.schedule = cfg_.schedule;
+  hc.seed = cfg_.seed;
+  hypervisor_ = std::make_unique<Hypervisor>(hc, *net_, *sync_,
+                                             crypto::SchnorrGroup::Default());
+
+  client_endpoint_ = net_->AddEndpoint(net::kClientId);
+  auto [cert, sk] = hypervisor_->EnrollExternal(net::kClientId);
+  ClientConfig cc;
+  cc.id = net::kClientId;
+  cc.params = cfg_.params;
+  cc.ctx = ctx_;
+  cc.encrypt_links = cfg_.encrypt_links;
+  cc.rng_seed = cfg_.seed ^ 0xC11E;
+  client_ = std::make_unique<Client>(cc, *client_endpoint_,
+                                     crypto::SchnorrGroup::Default(),
+                                     hypervisor_->ca_public_key(),
+                                     std::move(cert), std::move(sk));
+  sync_->Register(net::kClientId, client_endpoint_, client_.get());
+  // Hosts announced their certs during hypervisor construction, before the
+  // client endpoint existed; provision the client from the hypervisor's cert
+  // directory (certs are public, hypervisor-signed objects). Later reboots
+  // reach the client through the normal kHostCert broadcast.
+  for (const auto& [id, cert] : hypervisor_->directory()) {
+    if (id != net::kClientId) client_->InstallPeerCert(cert);
+  }
+  ResetMetrics();
+}
+
+Cluster::~Cluster() = default;
+
+FileMeta Cluster::Upload(std::uint64_t file_id,
+                         std::span<const std::uint8_t> data) {
+  FileMeta meta = client_->BeginUpload(file_id, data);
+  sync_->RunToQuiescence();
+  Require(client_->UploadAcks(file_id) == cfg_.params.n,
+          "Cluster::Upload: not every host acknowledged");
+  return meta;
+}
+
+Bytes Cluster::Download(std::uint64_t file_id) {
+  client_->RequestFile(file_id);
+  sync_->RunToQuiescence();
+  auto data = client_->TryAssemble(file_id);
+  Require(data.has_value(), "Cluster::Download: not enough responses");
+  return std::move(*data);
+}
+
+void Cluster::Delete(std::uint64_t file_id) {
+  client_->RequestDelete(file_id);
+  sync_->RunToQuiescence();
+}
+
+WindowReport Cluster::RunUpdateWindow() { return hypervisor_->RunUpdateWindow(); }
+
+bool Cluster::RefreshAllFiles() { return hypervisor_->RefreshAllFiles(); }
+
+CostModel Cluster::cost_model() const {
+  CostModel model;
+  model.machine.instance = cfg_.instance;
+  model.machine.build_machine_ecu = cfg_.build_machine_ecu;
+  return model;
+}
+
+HostMetrics Cluster::TotalMetrics() const {
+  HostMetrics total;
+  for (std::size_t i = 0; i < cfg_.params.n; ++i) {
+    const HostMetrics& m = hypervisor_->host(i).metrics();
+    total.rerandomize.Add(m.rerandomize);
+    total.recover.Add(m.recover);
+    total.serve.Add(m.serve);
+  }
+  return total;
+}
+
+void Cluster::ResetMetrics() {
+  for (std::size_t i = 0; i < cfg_.params.n; ++i) {
+    hypervisor_->host(i).metrics().Reset();
+  }
+}
+
+}  // namespace pisces

@@ -1,0 +1,84 @@
+// Public API facade: a complete PiSCES deployment in one object.
+//
+// Cluster wires together the deterministic network fabric, the hypervisor
+// (with its n share storage hosts), and a client, and exposes the paper's
+// user-visible operations: Upload, Download, Delete, and RunUpdateWindow
+// (one proactive time step). Examples and benches use this class; tests also
+// reach through it to the underlying components.
+//
+//   pisces::ClusterConfig cfg;
+//   cfg.params = pisces::pss::Params::Natural(21);
+//   pisces::Cluster cluster(cfg);
+//   cluster.Upload(1, file_bytes);
+//   cluster.RunUpdateWindow();             // refresh + reboot everyone
+//   pisces::Bytes back = cluster.Download(1);
+#pragma once
+
+#include <memory>
+
+#include "field/primes.h"
+#include "pisces/client.h"
+#include "pisces/cost_model.h"
+#include "pisces/deployment.h"
+#include "pisces/hypervisor.h"
+
+namespace pisces {
+
+struct ClusterConfig {
+  pss::Params params = pss::Params::Natural(13, 256);
+  std::uint64_t seed = 1;
+  bool encrypt_links = true;
+  std::string schedule = "round-robin";
+  net::NetworkModel net_model;
+  InstanceType instance = InstanceType::kMedium;
+  double build_machine_ecu = 25.0;
+  std::optional<Deployment> deployment;  // defaults to single-cloud
+};
+
+class Cluster {
+ public:
+  explicit Cluster(ClusterConfig cfg);
+  ~Cluster();
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  // --- user operations (each pumps the network to completion) ---
+  // Uploads and waits for all n acks; throws Error if any host missed it.
+  FileMeta Upload(std::uint64_t file_id, std::span<const std::uint8_t> data);
+  // Downloads and reassembles; throws Error when unavailable.
+  Bytes Download(std::uint64_t file_id);
+  void Delete(std::uint64_t file_id);
+
+  // --- proactive operations ---
+  WindowReport RunUpdateWindow();
+  bool RefreshAllFiles();
+
+  // --- accessors for tests, benches, adversary simulations ---
+  const ClusterConfig& config() const { return cfg_; }
+  const field::FpCtx& ctx() const { return *ctx_; }
+  std::shared_ptr<const field::FpCtx> ctx_ptr() const { return ctx_; }
+  Hypervisor& hypervisor() { return *hypervisor_; }
+  Client& client() { return *client_; }
+  Host& host(std::size_t i) { return hypervisor_->host(i); }
+  net::SimNet& net() { return *net_; }
+  net::SyncNetwork& sync() { return *sync_; }
+  const Deployment& deployment() const { return deployment_; }
+  CostModel cost_model() const;
+
+  // Sum of host metrics across the fleet.
+  HostMetrics TotalMetrics() const;
+  void ResetMetrics();
+
+ private:
+  ClusterConfig cfg_;
+  std::shared_ptr<const field::FpCtx> ctx_;
+  Deployment deployment_;
+  std::unique_ptr<net::SimNet> net_;
+  std::unique_ptr<net::SyncNetwork> sync_;
+  std::unique_ptr<Hypervisor> hypervisor_;
+  net::SimEndpoint* client_endpoint_ = nullptr;
+  std::unique_ptr<Client> client_;
+};
+
+}  // namespace pisces

@@ -1,0 +1,48 @@
+#include "pisces/cost_model.h"
+
+#include <algorithm>
+
+namespace pisces {
+
+namespace {
+// Table I of the paper (m1.small, c1.medium, m1.large).
+constexpr InstanceSpec kSpecs[] = {
+    {"Small", 1, 1.7, 160.0, 0.048, 0.0071, 1.0},
+    {"Medium", 2, 1.7, 350.0, 0.143, 0.0162, 2.5},
+    {"Large", 2, 7.5, 840.0, 0.193, 0.025, 2.0},
+};
+}  // namespace
+
+const InstanceSpec& SpecOf(InstanceType type) {
+  return kSpecs[static_cast<int>(type)];
+}
+
+InstanceType InstanceFromName(const std::string& name) {
+  for (int i = 0; i < 3; ++i) {
+    if (name == kSpecs[i].name) return static_cast<InstanceType>(i);
+  }
+  throw InvalidArgument("InstanceFromName: unknown instance '" + name + "'");
+}
+
+double MachineModel::InstanceSeconds(double cpu_seconds,
+                                     std::uint32_t threads) const {
+  const InstanceSpec& spec = SpecOf(instance);
+  const std::uint32_t usable = std::min(threads, spec.vcpus);
+  // Work in ECU-seconds, spread over usable cores of per_vcpu_speed each.
+  double ecu_seconds = cpu_seconds * build_machine_ecu;
+  return ecu_seconds / (spec.per_vcpu_speed * usable);
+}
+
+double CostModel::ComputeCost(std::size_t n, double seconds, bool spot) const {
+  const InstanceSpec& spec = SpecOf(machine.instance);
+  double hourly = spot ? spec.spot_per_hour : spec.dedicated_per_hour;
+  return static_cast<double>(n) * hourly * seconds / 3600.0;
+}
+
+double CostModel::WindowCost(std::size_t n, double seconds, bool spot) const {
+  double cost = ComputeCost(n, seconds, spot);
+  if (!spot) cost += kDedicatedRegionFeePerHour * seconds / 3600.0;
+  return cost;
+}
+
+}  // namespace pisces

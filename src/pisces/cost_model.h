@@ -1,0 +1,64 @@
+// EC2 instance specifications and pricing (paper Table I) plus the machine
+// model that converts measured CPU time on the build machine into modeled
+// time on a paper-era instance.
+//
+// The paper's dollar figures are (number of instances) x (hourly price) x
+// (time). We measure real CPU time of the real protocol, scale it by a
+// calibration factor (modern core vs. 2016 EC2 compute unit) and by the
+// instance's per-core speed, then price the result. Absolute dollars are
+// therefore calibration-dependent; ratios and trends are not.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/error.h"
+
+namespace pisces {
+
+enum class InstanceType { kSmall, kMedium, kLarge };
+
+struct InstanceSpec {
+  const char* name;
+  std::uint32_t vcpus;
+  double memory_gib;
+  double storage_gb;
+  double dedicated_per_hour;  // USD, Table I
+  double spot_per_hour;       // USD, Table I
+  // Relative per-vCPU compute throughput (EC2 compute units per vCPU):
+  // m1.small 1 ECU/1 vCPU, c1.medium 5 ECU/2 vCPU, m1.large 4 ECU/2 vCPU.
+  double per_vcpu_speed;
+};
+
+const InstanceSpec& SpecOf(InstanceType type);
+InstanceType InstanceFromName(const std::string& name);
+
+// Flat additional fee "per hour incurred any hour any instance is used"
+// (Table I note).
+inline constexpr double kDedicatedRegionFeePerHour = 2.0;
+
+struct MachineModel {
+  InstanceType instance = InstanceType::kMedium;
+  // How many EC2 compute units one CPU-second on the build machine is worth.
+  // Default calibrated for a ~2020s x86 core running this codebase vs. the
+  // 2007-era 1.0-1.2 GHz Opteron behind one ECU.
+  double build_machine_ecu = 25.0;
+
+  // Modeled seconds an instance needs for `cpu_seconds` of measured work
+  // using `threads` workers (capped by the instance's vCPUs; the paper's b).
+  double InstanceSeconds(double cpu_seconds, std::uint32_t threads) const;
+};
+
+struct CostModel {
+  MachineModel machine;
+
+  // Dollars to keep n instances busy for `seconds` (no flat fee).
+  double ComputeCost(std::size_t n, double seconds, bool spot) const;
+  // Dollars for one full operation window including the flat dedicated fee
+  // amortized over the billing hour.
+  double WindowCost(std::size_t n, double seconds, bool spot) const;
+  // Storage is billed per GB-month; EBS-era price ~$0.10/GB-month.
+  double StorageCostPerMonth(double gigabytes) const { return 0.10 * gigabytes; }
+};
+
+}  // namespace pisces

@@ -1,0 +1,95 @@
+#include "pisces/deployment.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace pisces {
+
+Deployment Deployment::SingleCloud(std::size_t n) {
+  Deployment d;
+  d.kind = DeploymentKind::kSingleCloud;
+  d.provider_of_host.assign(n, 0);
+  d.providers = 1;
+  return d;
+}
+
+Deployment Deployment::MultiCloud(std::size_t n, std::uint32_t m) {
+  Require(m >= 1, "MultiCloud: need at least one provider");
+  Deployment d;
+  d.kind = DeploymentKind::kMultiCloud;
+  d.providers = m;
+  d.provider_of_host.resize(n);
+  // Round-robin gives the most even split.
+  for (std::size_t i = 0; i < n; ++i) {
+    d.provider_of_host[i] = static_cast<std::uint32_t>(i % m);
+  }
+  return d;
+}
+
+Deployment Deployment::Hybrid(std::size_t n, std::uint32_t m_remote) {
+  Require(m_remote >= 1, "Hybrid: need at least one remote provider");
+  Deployment d;
+  d.kind = DeploymentKind::kHybrid;
+  d.providers = m_remote + 1;  // provider 0 = trusted local server
+  d.provider_of_host.resize(n);
+  const std::size_t local = n / 3;  // paper: local server holds n/3 shares
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i < local) {
+      d.provider_of_host[i] = 0;
+    } else {
+      d.provider_of_host[i] = 1 + static_cast<std::uint32_t>((i - local) % m_remote);
+    }
+  }
+  return d;
+}
+
+std::vector<std::uint32_t> Deployment::HostsOf(std::uint32_t provider) const {
+  std::vector<std::uint32_t> hosts;
+  for (std::size_t i = 0; i < provider_of_host.size(); ++i) {
+    if (provider_of_host[i] == provider) {
+      hosts.push_back(static_cast<std::uint32_t>(i));
+    }
+  }
+  return hosts;
+}
+
+std::size_t Deployment::SharesAt(std::uint32_t provider) const {
+  return HostsOf(provider).size();
+}
+
+bool Deployment::CoalitionBreaches(
+    std::span<const std::uint32_t> providers_compromised, std::size_t t) const {
+  std::size_t exposed = 0;
+  for (std::uint32_t p : providers_compromised) exposed += SharesAt(p);
+  return exposed > t;
+}
+
+std::size_t Deployment::MinProvidersToBreach(std::size_t t) const {
+  std::vector<std::size_t> sizes;
+  for (std::uint32_t p = 0; p < providers; ++p) sizes.push_back(SharesAt(p));
+  std::sort(sizes.rbegin(), sizes.rend());
+  std::size_t exposed = 0;
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    exposed += sizes[i];
+    if (exposed > t) return i + 1;
+  }
+  return sizes.size() + 1;  // unreachable threshold: no coalition suffices
+}
+
+std::string Deployment::Describe() const {
+  std::ostringstream out;
+  switch (kind) {
+    case DeploymentKind::kSingleCloud: out << "single-cloud"; break;
+    case DeploymentKind::kMultiCloud: out << "multi-cloud"; break;
+    case DeploymentKind::kHybrid: out << "hybrid"; break;
+  }
+  out << " n=" << n() << " providers=" << providers << " [";
+  for (std::uint32_t p = 0; p < providers; ++p) {
+    if (p) out << ",";
+    out << SharesAt(p);
+  }
+  out << "]";
+  return out.str();
+}
+
+}  // namespace pisces

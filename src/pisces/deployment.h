@@ -1,0 +1,53 @@
+// Deployment planning: how the n share storage hosts are distributed across
+// cloud providers (paper SectionI "Envisioned Use Cases", Figures 1-3).
+//
+//  * SingleCloud: all hosts at one CSP (the prototyped configuration).
+//  * MultiCloud:  n hosts split evenly across M CSPs; data survives the full
+//    compromise of any single provider when M > 3.
+//  * Hybrid:      a trusted local server holds n/3 of the shares, the
+//    remaining 2n/3 are split across M CSPs; the local server alone can never
+//    reconstruct, and no coalition lacking it reaches the threshold unless
+//    more than half of the remote shares are taken.
+//
+// The analysis helpers answer the paper's confidentiality questions: which
+// provider coalitions can breach the corruption threshold t, and can any
+// single provider do so alone.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+
+namespace pisces {
+
+enum class DeploymentKind { kSingleCloud, kMultiCloud, kHybrid };
+
+struct Deployment {
+  DeploymentKind kind = DeploymentKind::kSingleCloud;
+  // provider_of_host[i] = provider index of host i. Provider 0 is the local
+  // server in hybrid deployments.
+  std::vector<std::uint32_t> provider_of_host;
+  std::uint32_t providers = 1;
+
+  static Deployment SingleCloud(std::size_t n);
+  static Deployment MultiCloud(std::size_t n, std::uint32_t m);
+  static Deployment Hybrid(std::size_t n, std::uint32_t m_remote);
+
+  std::size_t n() const { return provider_of_host.size(); }
+  std::vector<std::uint32_t> HostsOf(std::uint32_t provider) const;
+  std::size_t SharesAt(std::uint32_t provider) const;
+
+  // Can compromising exactly this provider coalition expose > t shares?
+  bool CoalitionBreaches(std::span<const std::uint32_t> providers_compromised,
+                         std::size_t t) const;
+  // Smallest number of providers whose total shares exceed t (greedy over
+  // provider sizes) -- the paper's "at least t/n different CSPs" guidance.
+  std::size_t MinProvidersToBreach(std::size_t t) const;
+
+  std::string Describe() const;
+};
+
+}  // namespace pisces

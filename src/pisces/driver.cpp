@@ -1,0 +1,106 @@
+#include "pisces/driver.h"
+
+namespace pisces {
+
+ExperimentResult RunRefreshExperiment(const ExperimentConfig& cfg) {
+  ClusterConfig cc;
+  cc.params = cfg.params;
+  cc.seed = cfg.seed;
+  cc.encrypt_links = cfg.encrypt_links;
+  cc.schedule = cfg.schedule;
+  cc.net_model = cfg.net_model;
+  cc.instance = cfg.instance;
+  cc.build_machine_ecu = cfg.build_machine_ecu;
+  Cluster cluster(cc);
+
+  Rng rng(cfg.seed ^ 0xF11E);
+  Bytes file = rng.RandomBytes(cfg.file_bytes);
+  FileMeta meta = cluster.Upload(1, file);
+  cluster.ResetMetrics();
+
+  ExperimentResult r;
+  r.params = cfg.params;
+  r.file_bytes = cfg.file_bytes;
+  r.file_blocks = meta.num_blocks;
+
+  WindowReport report;
+  if (cfg.run_recovery) {
+    report = cluster.RunUpdateWindow();
+  } else {
+    report.ok = cluster.hypervisor().RefreshAllFiles(&report);
+  }
+
+  r.cpu_rerand_s = static_cast<double>(report.rerandomize_total.cpu_ns) * 1e-9;
+  r.cpu_recover_s = static_cast<double>(report.recover_total.cpu_ns) * 1e-9;
+  r.bytes_rerand = report.rerandomize_total.bytes_sent;
+  r.bytes_recover = report.recover_total.bytes_sent;
+  r.msgs_rerand = report.rerandomize_total.msgs_sent;
+  r.msgs_recover = report.recover_total.msgs_sent;
+  r.sweeps_rerand = report.sweeps_refresh;
+  r.sweeps_recover = report.sweeps_recovery;
+
+  const std::size_t n = cfg.params.n;
+  const CostModel cost = cluster.cost_model();
+  const auto& netm = cfg.net_model;
+
+  const double cpu_rerand_per_host = r.cpu_rerand_s / static_cast<double>(n);
+  const double cpu_recover_per_host = r.cpu_recover_s / static_cast<double>(n);
+  r.compute_rerand_s = cost.machine.InstanceSeconds(
+      cpu_rerand_per_host, static_cast<std::uint32_t>(cfg.params.b));
+  r.compute_recover_s = cost.machine.InstanceSeconds(
+      cpu_recover_per_host, static_cast<std::uint32_t>(cfg.params.b));
+  r.send_rerand_s = netm.TransferTime(
+      r.bytes_rerand / std::max<std::uint64_t>(1, n), r.sweeps_rerand);
+  r.send_recover_s = netm.TransferTime(
+      r.bytes_recover / std::max<std::uint64_t>(1, n), r.sweeps_recover);
+
+  r.refresh_time_s = r.compute_rerand_s + r.send_rerand_s;
+  r.window_time_s = r.refresh_time_s + r.compute_recover_s + r.send_recover_s;
+  r.cost_dedicated = cost.WindowCost(n, r.window_time_s, /*spot=*/false);
+  r.cost_spot = cost.WindowCost(n, r.window_time_s, /*spot=*/true);
+
+  // End-to-end validation: the refreshed, recovered file must still download
+  // bit-exactly.
+  Bytes back = cluster.Download(1);
+  r.ok = report.ok && back == file;
+  return r;
+}
+
+Recorder MakeExperimentRecorder() {
+  return Recorder({"series", "n", "t", "l", "r", "b", "g", "file_bytes",
+                   "blocks", "ok", "cpu_rerand_s", "cpu_recover_s",
+                   "bytes_rerand", "bytes_recover", "compute_rerand_s",
+                   "compute_recover_s", "send_rerand_s", "send_recover_s",
+                   "refresh_time_s", "window_time_s", "cost_dedicated_usd",
+                   "cost_spot_usd"});
+}
+
+void RecordExperiment(Recorder& rec, const std::string& series,
+                      const ExperimentResult& r) {
+  rec.AddRow({
+      {"series", series},
+      {"n", std::to_string(r.params.n)},
+      {"t", std::to_string(r.params.t)},
+      {"l", std::to_string(r.params.l)},
+      {"r", std::to_string(r.params.r)},
+      {"b", std::to_string(r.params.b)},
+      {"g", std::to_string(r.params.field_bits)},
+      {"file_bytes", std::to_string(r.file_bytes)},
+      {"blocks", std::to_string(r.file_blocks)},
+      {"ok", r.ok ? "1" : "0"},
+      {"cpu_rerand_s", Recorder::Num(r.cpu_rerand_s)},
+      {"cpu_recover_s", Recorder::Num(r.cpu_recover_s)},
+      {"bytes_rerand", std::to_string(r.bytes_rerand)},
+      {"bytes_recover", std::to_string(r.bytes_recover)},
+      {"compute_rerand_s", Recorder::Num(r.compute_rerand_s)},
+      {"compute_recover_s", Recorder::Num(r.compute_recover_s)},
+      {"send_rerand_s", Recorder::Num(r.send_rerand_s)},
+      {"send_recover_s", Recorder::Num(r.send_recover_s)},
+      {"refresh_time_s", Recorder::Num(r.refresh_time_s)},
+      {"window_time_s", Recorder::Num(r.window_time_s)},
+      {"cost_dedicated_usd", Recorder::Num(r.cost_dedicated)},
+      {"cost_spot_usd", Recorder::Num(r.cost_spot)},
+  });
+}
+
+}  // namespace pisces

@@ -1,0 +1,74 @@
+// Experiment driver: the automated benchmarking system of paper SectionVI-B.
+//
+// RunRefreshExperiment stands in for the paper's driver machine: it builds a
+// cluster for one parameter configuration, uploads a synthetic file, runs a
+// full proactive update window (rerandomization plus the complete restart
+// schedule with recovery), verifies the file still downloads bit-exactly,
+// and reports measured CPU/bytes plus instance-modeled time and dollar cost.
+// Every figure bench is a sweep of this function.
+#pragma once
+
+#include "pisces/cluster.h"
+#include "pisces/recorder.h"
+
+namespace pisces {
+
+struct ExperimentConfig {
+  pss::Params params;
+  std::size_t file_bytes = 100 * 1024;
+  std::uint64_t seed = 42;
+  InstanceType instance = InstanceType::kMedium;
+  double build_machine_ecu = 25.0;
+  bool encrypt_links = true;
+  std::string schedule = "round-robin";
+  net::NetworkModel net_model;
+  bool run_recovery = true;  // false: measure rerandomization only
+};
+
+struct ExperimentResult {
+  pss::Params params;
+  std::size_t file_bytes = 0;
+  std::size_t file_blocks = 0;
+  bool ok = false;
+
+  // Measured on the build machine (totals across all hosts).
+  double cpu_rerand_s = 0;
+  double cpu_recover_s = 0;
+  std::uint64_t bytes_rerand = 0;
+  std::uint64_t bytes_recover = 0;
+  std::uint64_t msgs_rerand = 0;
+  std::uint64_t msgs_recover = 0;
+  std::uint64_t sweeps_rerand = 0;
+  std::uint64_t sweeps_recover = 0;
+
+  // Modeled per-server averages on the configured instance (paper: "average
+  // time spent on each server").
+  double compute_rerand_s = 0;
+  double compute_recover_s = 0;
+  double send_rerand_s = 0;
+  double send_recover_s = 0;
+
+  double refresh_time_s = 0;  // rerandomization only (compute + send)
+  double window_time_s = 0;   // rerandomization + full recovery schedule
+  double cost_dedicated = 0;  // one update window, all n machines
+  double cost_spot = 0;
+
+  double WindowTimePerByte() const {
+    return window_time_s / static_cast<double>(file_bytes);
+  }
+  double RerandTimePerByte() const {
+    return refresh_time_s / static_cast<double>(file_bytes);
+  }
+  double TotalBytes() const {
+    return static_cast<double>(bytes_rerand + bytes_recover);
+  }
+};
+
+ExperimentResult RunRefreshExperiment(const ExperimentConfig& cfg);
+
+// Columns shared by the figure benches' CSV output.
+Recorder MakeExperimentRecorder();
+void RecordExperiment(Recorder& rec, const std::string& series,
+                      const ExperimentResult& r);
+
+}  // namespace pisces

@@ -1,0 +1,91 @@
+#include "pisces/file_codec.h"
+
+namespace pisces {
+
+Bytes FileMeta::Serialize() const {
+  ByteWriter w;
+  w.U64(file_id);
+  w.U64(raw_size);
+  w.U64(num_elems);
+  w.U64(num_blocks);
+  w.Raw(checksum);
+  return w.Take();
+}
+
+FileMeta FileMeta::Deserialize(std::span<const std::uint8_t> data) {
+  ByteReader r(data);
+  FileMeta m;
+  m.file_id = r.U64();
+  m.raw_size = r.U64();
+  m.num_elems = r.U64();
+  m.num_blocks = r.U64();
+  auto cs = r.Raw(m.checksum.size());
+  std::copy(cs.begin(), cs.end(), m.checksum.begin());
+  return m;
+}
+
+std::uint64_t FileCodec::ElemsFor(std::uint64_t size) const {
+  const std::uint64_t payload = ctx_->payload_bytes();
+  return (8 + size + payload - 1) / payload;
+}
+
+std::uint64_t FileCodec::BlocksFor(std::uint64_t size) const {
+  return (ElemsFor(size) + l_ - 1) / l_;
+}
+
+std::uint64_t FileCodec::PaddingFor(std::uint64_t size) const {
+  return BlocksFor(size) * l_ * ctx_->payload_bytes() - size;
+}
+
+std::pair<FileMeta, std::vector<field::FpElem>> FileCodec::Encode(
+    std::uint64_t file_id, std::span<const std::uint8_t> data) const {
+  const std::size_t payload = ctx_->payload_bytes();
+  FileMeta meta;
+  meta.file_id = file_id;
+  meta.raw_size = data.size();
+  meta.num_elems = ElemsFor(data.size());
+  meta.num_blocks = BlocksFor(data.size());
+  meta.checksum = crypto::Sha256Hash(data);
+
+  Bytes framed(meta.num_blocks * l_ * payload, 0);
+  StoreLe64(data.size(), framed.data());
+  std::copy(data.begin(), data.end(), framed.begin() + 8);
+
+  std::vector<field::FpElem> elems;
+  elems.reserve(meta.num_blocks * l_);
+  for (std::size_t off = 0; off < framed.size(); off += payload) {
+    elems.push_back(
+        ctx_->FromBytes(std::span<const std::uint8_t>(framed).subspan(off, payload)));
+  }
+  return {meta, std::move(elems)};
+}
+
+Bytes FileCodec::Decode(const FileMeta& meta,
+                        std::span<const field::FpElem> elems) const {
+  const std::size_t payload = ctx_->payload_bytes();
+  if (elems.size() < meta.num_elems) {
+    throw ParseError("FileCodec::Decode: missing elements");
+  }
+  Bytes framed;
+  framed.reserve(elems.size() * payload);
+  for (const auto& e : elems) {
+    Bytes full = ctx_->ToBytes(e);  // elem_bytes(), little-endian
+    // High bytes beyond the payload must be zero for well-formed elements.
+    for (std::size_t i = payload; i < full.size(); ++i) {
+      if (full[i] != 0) throw ParseError("FileCodec::Decode: element overflow");
+    }
+    framed.insert(framed.end(), full.begin(), full.begin() + payload);
+  }
+  if (framed.size() < 8) throw ParseError("FileCodec::Decode: truncated");
+  std::uint64_t len = LoadLe64(framed.data());
+  if (len != meta.raw_size || framed.size() < 8 + len) {
+    throw ParseError("FileCodec::Decode: length mismatch");
+  }
+  Bytes out(framed.begin() + 8, framed.begin() + 8 + len);
+  if (crypto::Sha256Hash(out) != meta.checksum) {
+    throw ParseError("FileCodec::Decode: checksum mismatch");
+  }
+  return out;
+}
+
+}  // namespace pisces

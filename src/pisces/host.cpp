@@ -1,0 +1,815 @@
+#include "pisces/host.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/log.h"
+
+namespace pisces {
+
+using field::FpElem;
+using net::Message;
+using net::MsgType;
+
+Host::Host(HostConfig cfg, net::Transport& transport,
+           const crypto::SchnorrGroup& group, Bytes ca_pk)
+    : cfg_(std::move(cfg)),
+      transport_(transport),
+      group_(group),
+      ca_pk_(std::move(ca_pk)),
+      rng_(cfg_.rng_seed ^ (std::uint64_t{cfg_.id} << 32)),
+      shamir_(std::make_shared<pss::PackedShamir>(cfg_.ctx, cfg_.params)),
+      store_(*cfg_.ctx) {}
+
+void Host::Boot(std::uint32_t epoch, crypto::HostCert cert, Bytes sk,
+                std::span<const std::uint32_t> peers) {
+  Require(cert.host_id == cfg_.id, "Host::Boot: cert for a different host");
+  Require(crypto::CertAuthority::VerifyCert(group_, ca_pk_, cert),
+          "Host::Boot: cert does not verify against the CA");
+  online_ = true;
+  epoch_ = epoch;
+  my_cert_ = std::move(cert);
+  sk_ = std::move(sk);
+  refresh_.clear();
+  survivor_.clear();
+  target_.clear();
+  pending_.clear();
+  channels_.clear();
+  // Broadcast the hypervisor-signed key so peers accept this host back into
+  // the network (paper SectionIV-A "Secure Reboot").
+  for (std::uint32_t peer : peers) {
+    if (peer == cfg_.id) continue;
+    Message m;
+    m.from = cfg_.id;
+    m.to = peer;
+    m.type = MsgType::kHostCert;
+    m.epoch = epoch_;
+    m.payload = my_cert_.Serialize();
+    SendMetered(std::move(m), metrics_.recover);
+  }
+}
+
+void Host::Shutdown() {
+  online_ = false;
+  // Secure disassociation: nothing from this incarnation survives.
+  store_.WipeAll();
+  sk_.clear();
+  my_cert_ = crypto::HostCert{};
+  peer_certs_.clear();
+  channels_.clear();
+  refresh_.clear();
+  survivor_.clear();
+  target_.clear();
+  pending_.clear();
+}
+
+void Host::InstallPeerCert(const crypto::HostCert& cert) {
+  Require(crypto::CertAuthority::VerifyCert(group_, ca_pk_, cert),
+          "Host::InstallPeerCert: bad cert");
+  auto it = peer_certs_.find(cert.host_id);
+  if (it != peer_certs_.end() && it->second.epoch > cert.epoch) return;
+  peer_certs_[cert.host_id] = cert;
+  channels_.erase(cert.host_id);  // rebuild with the new epoch keys
+}
+
+crypto::SecureChannel& Host::ChannelTo(std::uint32_t peer) {
+  auto cert_it = peer_certs_.find(peer);
+  Require(cert_it != peer_certs_.end(),
+          "Host: no cert for peer (reboot announcement lost?)");
+  const crypto::HostCert& pc = cert_it->second;
+  const bool i_am_lo = cfg_.id < peer;
+  const std::uint32_t lo_epoch = i_am_lo ? epoch_ : pc.epoch;
+  const std::uint32_t hi_epoch = i_am_lo ? pc.epoch : epoch_;
+  const std::uint64_t pair =
+      (static_cast<std::uint64_t>(lo_epoch) << 32) | hi_epoch;
+  auto it = channels_.find(peer);
+  if (it == channels_.end() || it->second.epoch_pair != pair) {
+    crypto::SecureChannel ch = crypto::MakeChannel(
+        group_, sk_, pc.host_pk, (lo_epoch << 16) ^ hi_epoch, cfg_.id, peer);
+    it = channels_.insert_or_assign(peer, CachedChannel{pair, std::move(ch)})
+             .first;
+  }
+  return it->second.channel;
+}
+
+Bytes Host::SealFor(std::uint32_t peer, std::span<const std::uint8_t> pt) {
+  if (!cfg_.encrypt_links) return Bytes(pt.begin(), pt.end());
+  return ChannelTo(peer).Seal(pt);
+}
+
+Bytes Host::OpenFrom(std::uint32_t peer, std::span<const std::uint8_t> ct) {
+  if (!cfg_.encrypt_links) return Bytes(ct.begin(), ct.end());
+  auto pt = ChannelTo(peer).Open(ct);
+  if (!pt) throw ParseError("Host: channel authentication failed");
+  return std::move(*pt);
+}
+
+void Host::SendMetered(Message msg, PhaseMetrics& bucket) {
+  bucket.msgs_sent += 1;
+  bucket.bytes_sent += msg.WireSize();
+  transport_.Send(std::move(msg));
+}
+
+void Host::ReportPhaseDone(std::uint64_t file_id, std::uint32_t epoch,
+                           std::uint32_t kind, bool ok, PhaseMetrics& bucket) {
+  Message m;
+  m.from = cfg_.id;
+  m.to = net::kHypervisorId;
+  m.type = MsgType::kPhaseDone;
+  m.file_id = file_id;
+  m.epoch = epoch;
+  m.row = kind;
+  m.payload = Bytes{static_cast<std::uint8_t>(ok ? 1 : 0)};
+  SendMetered(std::move(m), bucket);
+}
+
+void Host::HandleMessage(const Message& msg) {
+  if (!online_) return;
+  try {
+    switch (msg.type) {
+      case MsgType::kSetShares: OnSetShares(msg); break;
+      case MsgType::kReconstructRequest: OnReconstructRequest(msg); break;
+      case MsgType::kDeleteFile: OnDeleteFile(msg); break;
+      case MsgType::kStartRefresh: OnStartRefresh(msg); break;
+      case MsgType::kStartRecovery: OnStartRecovery(msg); break;
+      case MsgType::kHostCert: OnHostCert(msg); break;
+      case MsgType::kVerdict: OnVerdictPlain(msg); break;
+      case MsgType::kDeal:
+      case MsgType::kCheckShare:
+      case MsgType::kMaskedShare: {
+        // Decrypt immediately: channel counters advance in receive order, so
+        // deferring decryption of buffered messages would break replay
+        // protection. Everything downstream sees plaintext payloads.
+        Message plain = msg;
+        plain.payload = OpenFrom(msg.from, msg.payload);
+        if (msg.type == MsgType::kDeal) {
+          OnDealPlain(plain);
+        } else if (msg.type == MsgType::kCheckShare) {
+          OnCheckSharePlain(plain);
+        } else {
+          OnMaskedSharePlain(plain);
+        }
+        break;
+      }
+      case MsgType::kShareResponse:
+      case MsgType::kPhaseDone:
+        LogWarn() << "host " << cfg_.id << ": unexpected " << msg.Describe();
+        break;
+    }
+  } catch (const ParseError& e) {
+    LogWarn() << "host " << cfg_.id << ": dropping message (" << e.what()
+              << "): " << msg.Describe();
+  } catch (const InvalidArgument& e) {
+    // Malformed or unauthorized input (unknown peer, bad sizes): drop it.
+    // InternalError is deliberately NOT caught -- invariant violations are
+    // bugs and must surface.
+    LogWarn() << "host " << cfg_.id << ": rejecting message (" << e.what()
+              << "): " << msg.Describe();
+  }
+}
+
+void Host::OnHostCert(const Message& msg) {
+  crypto::HostCert cert = crypto::HostCert::Deserialize(msg.payload);
+  if (cert.host_id != msg.from) {
+    LogWarn() << "host " << cfg_.id << ": cert/id mismatch from " << msg.from;
+    return;
+  }
+  if (!crypto::CertAuthority::VerifyCert(group_, ca_pk_, cert)) {
+    LogWarn() << "host " << cfg_.id << ": rejecting unsigned cert from "
+              << msg.from;
+    return;
+  }
+  InstallPeerCert(cert);
+}
+
+// ---------------------------------------------------------------------------
+// Client-facing plane (Fig 5 events "Set" and "Reconstruct")
+// ---------------------------------------------------------------------------
+
+void Host::OnSetShares(const Message& msg) {
+  CpuTimer cpu;
+  cpu.Start();
+  Bytes pt = OpenFrom(msg.from, msg.payload);
+  ByteReader r(pt);
+  FileMeta meta = FileMeta::Deserialize(r.Blob());
+  std::vector<FpElem> shares =
+      field::DeserializeElems(*cfg_.ctx, r.Raw(r.Remaining()));
+  Require(shares.size() == meta.num_blocks, "SetShares: wrong share count");
+  store_.Put(meta, std::move(shares));
+  cpu.Stop();
+  metrics_.serve.cpu_ns += cpu.nanos();
+
+  Message ack;
+  ack.from = cfg_.id;
+  ack.to = msg.from;
+  ack.type = MsgType::kPhaseDone;
+  ack.file_id = meta.file_id;
+  ack.epoch = epoch_;
+  ack.row = 2;  // set-ack
+  ack.payload = Bytes{1};
+  SendMetered(std::move(ack), metrics_.serve);
+}
+
+void Host::OnReconstructRequest(const Message& msg) {
+  if (!store_.Has(msg.file_id)) {
+    Message nak;
+    nak.from = cfg_.id;
+    nak.to = msg.from;
+    nak.type = MsgType::kPhaseDone;
+    nak.file_id = msg.file_id;
+    nak.row = 3;  // reconstruct-nak
+    nak.payload = Bytes{0};
+    SendMetered(std::move(nak), metrics_.serve);
+    return;
+  }
+  CpuTimer cpu;
+  cpu.Start();
+  const FileMeta& meta = store_.MetaOf(msg.file_id);
+  std::vector<FpElem>& shares = store_.Load(msg.file_id);
+  ByteWriter w;
+  w.Blob(meta.Serialize());
+  w.Raw(field::SerializeElems(*cfg_.ctx, shares));
+  Bytes sealed = SealFor(msg.from, w.bytes());
+  store_.Stash(msg.file_id);
+  cpu.Stop();
+  metrics_.serve.cpu_ns += cpu.nanos();
+
+  Message resp;
+  resp.from = cfg_.id;
+  resp.to = msg.from;
+  resp.type = MsgType::kShareResponse;
+  resp.file_id = msg.file_id;
+  resp.epoch = epoch_;
+  resp.payload = std::move(sealed);
+  SendMetered(std::move(resp), metrics_.serve);
+}
+
+void Host::OnDeleteFile(const Message& msg) {
+  // Destructive request: must open on an authenticated channel and the inner
+  // file id must match the header (prevents splicing a sealed delete onto a
+  // different file). Unknown senders throw and are dropped upstream.
+  Bytes pt = OpenFrom(msg.from, msg.payload);
+  ByteReader r(pt);
+  std::uint64_t confirmed = r.U64();
+  Require(confirmed == msg.file_id, "DeleteFile: id mismatch");
+  store_.Delete(msg.file_id);
+}
+
+// ---------------------------------------------------------------------------
+// Refresh (rerandomization)
+// ---------------------------------------------------------------------------
+
+void Host::OnStartRefresh(const Message& msg) {
+  // Control plane: only the hypervisor may start update phases (in a real
+  // CSP this arrives over the privileged management channel).
+  Require(msg.from == net::kHypervisorId,
+          "StartRefresh: not from the hypervisor");
+  const RefreshKey key{msg.file_id, msg.epoch};
+  if (!store_.Has(msg.file_id)) {
+    ReportPhaseDone(msg.file_id, msg.epoch, 0, true, metrics_.rerandomize);
+    return;
+  }
+  Require(refresh_.find(key) == refresh_.end(),
+          "OnStartRefresh: duplicate session");
+  const FileMeta& meta = store_.MetaOf(msg.file_id);
+
+  RefreshSession s;
+  CpuTimer cpu;
+  cpu.Start();
+  s.plan = pss::RefreshPlan::For(meta.num_blocks, cfg_.params);
+  s.batch.emplace(pss::MakeRefreshBatch(*shamir_, meta.num_blocks));
+  s.deals_by_dealer.resize(cfg_.params.n);
+  s.deal_seen.assign(cfg_.params.n, false);
+  auto deal = s.batch->Deal(rng_);
+  cpu.Stop();
+  metrics_.rerandomize.cpu_ns += cpu.nanos();
+
+  auto [it, inserted] = refresh_.emplace(key, std::move(s));
+  RefreshSession& session = it->second;
+
+  for (std::size_t k = 0; k < cfg_.params.n; ++k) {
+    if (k == cfg_.id) continue;
+    Message m;
+    m.from = cfg_.id;
+    m.to = static_cast<std::uint32_t>(k);
+    m.type = MsgType::kDeal;
+    m.file_id = msg.file_id;
+    m.epoch = msg.epoch;
+    m.row = kRefreshMarker;
+    m.payload = SealFor(static_cast<std::uint32_t>(k),
+                        field::SerializeElems(*cfg_.ctx, deal[k]));
+    SendMetered(std::move(m), metrics_.rerandomize);
+  }
+  // Self-deal, delivered locally.
+  session.deals_by_dealer[cfg_.id] = std::move(deal[cfg_.id]);
+  session.deal_seen[cfg_.id] = true;
+  session.deals += 1;
+  if (session.deals == cfg_.params.n) RefreshTransformAndCheck(key, session);
+  ReplayPending();
+}
+
+void Host::OnDealPlain(const Message& msg) {
+  if (msg.row == kRefreshMarker) {
+    const RefreshKey key{msg.file_id, msg.epoch};
+    auto it = refresh_.find(key);
+    if (it == refresh_.end()) {
+      pending_.push_back(msg);
+      return;
+    }
+    RefreshSession& s = it->second;
+    std::vector<FpElem> elems = field::DeserializeElems(*cfg_.ctx, msg.payload);
+    Require(msg.from < cfg_.params.n, "OnDeal: bad dealer id");
+    Require(elems.size() == s.batch->groups(), "OnDeal: wrong group count");
+    if (s.deal_seen[msg.from]) return;  // duplicate
+    s.deals_by_dealer[msg.from] = std::move(elems);
+    s.deal_seen[msg.from] = true;
+    s.deals += 1;
+    if (s.deals == cfg_.params.n) RefreshTransformAndCheck(key, s);
+    return;
+  }
+
+  // Recovery deal toward target msg.row.
+  const SurvivorKey key{msg.file_id, msg.epoch, msg.row};
+  auto it = survivor_.find(key);
+  if (it == survivor_.end()) {
+    pending_.push_back(msg);
+    return;
+  }
+  SurvivorSession& s = it->second;
+  std::vector<FpElem> elems = field::DeserializeElems(*cfg_.ctx, msg.payload);
+  std::size_t idx = s.batch->IndexOf(msg.from);
+  Require(idx != pss::VssBatch::npos, "OnDeal: dealer not a survivor");
+  Require(elems.size() == s.batch->groups(), "OnDeal: wrong group count");
+  if (s.deal_seen[idx]) return;
+  s.deals_by_dealer[idx] = std::move(elems);
+  s.deal_seen[idx] = true;
+  s.deals += 1;
+  if (s.deals == s.plan.survivors.size()) SurvivorTransformAndCheck(key, s);
+}
+
+void Host::RefreshTransformAndCheck(RefreshKey key, RefreshSession& s) {
+  std::uint64_t cpu = 0;
+  s.outputs = s.batch->Transform(s.deals_by_dealer, cfg_.params.b, &cpu);
+  metrics_.rerandomize.cpu_ns += cpu;
+  s.deals_by_dealer.clear();
+  s.deals_by_dealer.shrink_to_fit();
+
+  for (std::uint32_t a = 0; a < s.batch->check_rows(); ++a) {
+    std::uint32_t verifier = s.batch->VerifierOf(a);
+    Message m;
+    m.from = cfg_.id;
+    m.to = verifier;
+    m.type = MsgType::kCheckShare;
+    m.file_id = key.first;
+    m.epoch = key.second;
+    m.row = a;
+    m.batch = kRefreshMarker;
+    if (verifier == cfg_.id) {
+      m.payload = field::SerializeElems(*cfg_.ctx, s.outputs[a]);
+      OnCheckSharePlain(m);
+      // The local hand-off may have completed (and erased) this session.
+      if (refresh_.find(key) == refresh_.end()) return;
+    } else {
+      m.payload =
+          SealFor(verifier, field::SerializeElems(*cfg_.ctx, s.outputs[a]));
+      SendMetered(std::move(m), metrics_.rerandomize);
+    }
+  }
+}
+
+void Host::OnCheckSharePlain(const Message& msg) {
+  if (msg.batch == kRefreshMarker) {
+    const RefreshKey key{msg.file_id, msg.epoch};
+    auto it = refresh_.find(key);
+    if (it == refresh_.end()) {
+      pending_.push_back(msg);
+      return;
+    }
+    RefreshSession& s = it->second;
+    std::vector<FpElem> elems = field::DeserializeElems(*cfg_.ctx, msg.payload);
+    auto& mat = s.check_vals[msg.row];
+    if (mat.empty()) mat.resize(cfg_.params.n);
+    std::size_t idx = s.batch->IndexOf(msg.from);
+    Require(idx != pss::VssBatch::npos, "OnCheckShare: unknown holder");
+    if (!mat[idx].empty()) return;  // duplicate
+    Require(elems.size() == s.batch->groups(), "OnCheckShare: group mismatch");
+    mat[idx] = std::move(elems);
+    s.check_counts[msg.row] += 1;
+    if (s.check_counts[msg.row] == cfg_.params.n) {
+      MaybeVerifyRefreshRow(key, s, msg.row);
+    }
+    return;
+  }
+
+  const SurvivorKey key{msg.file_id, msg.epoch, msg.batch};
+  auto it = survivor_.find(key);
+  if (it == survivor_.end()) {
+    pending_.push_back(msg);
+    return;
+  }
+  SurvivorSession& s = it->second;
+  std::vector<FpElem> elems = field::DeserializeElems(*cfg_.ctx, msg.payload);
+  auto& mat = s.check_vals[msg.row];
+  if (mat.empty()) mat.resize(s.plan.survivors.size());
+  std::size_t idx = s.batch->IndexOf(msg.from);
+  Require(idx != pss::VssBatch::npos, "OnCheckShare: unknown survivor");
+  if (!mat[idx].empty()) return;
+  Require(elems.size() == s.batch->groups(), "OnCheckShare: group mismatch");
+  mat[idx] = std::move(elems);
+  s.check_counts[msg.row] += 1;
+  if (s.check_counts[msg.row] == s.plan.survivors.size()) {
+    MaybeVerifySurvivorRow(key, s, msg.row);
+  }
+}
+
+namespace {
+// Shared verification: per-holder group vectors -> all groups well formed.
+bool VerifyRow(const pss::VssBatch& batch,
+               const std::vector<std::vector<FpElem>>& mat,
+               const field::FpCtx& ctx) {
+  for (std::size_t g = 0; g < batch.groups(); ++g) {
+    std::vector<FpElem> column(mat.size(), ctx.Zero());
+    for (std::size_t k = 0; k < mat.size(); ++k) column[k] = mat[k][g];
+    if (!batch.VerifyCheckVector(column)) return false;
+  }
+  return true;
+}
+}  // namespace
+
+void Host::MaybeVerifyRefreshRow(RefreshKey key, RefreshSession& s,
+                                 std::uint32_t row) {
+  CpuTimer cpu;
+  cpu.Start();
+  bool ok = VerifyRow(*s.batch, s.check_vals[row], *cfg_.ctx);
+  cpu.Stop();
+  metrics_.rerandomize.cpu_ns += cpu.nanos();
+  s.check_vals.erase(row);
+  if (!ok) verdicts_rejected_ += 1;
+
+  // Deliver to every other holder first: our own verdict may complete (and
+  // erase) the session, and peers still need this row's verdict.
+  for (std::size_t k = 0; k < cfg_.params.n; ++k) {
+    if (k == cfg_.id) continue;
+    Message m;
+    m.from = cfg_.id;
+    m.to = static_cast<std::uint32_t>(k);
+    m.type = MsgType::kVerdict;
+    m.file_id = key.first;
+    m.epoch = key.second;
+    m.row = row;
+    m.batch = kRefreshMarker;
+    m.payload = Bytes{static_cast<std::uint8_t>(ok ? 1 : 0)};
+    SendMetered(std::move(m), metrics_.rerandomize);
+  }
+  AcceptRefreshVerdict(key, s, row, ok);
+}
+
+void Host::OnVerdictPlain(const Message& msg) {
+  const bool ok = !msg.payload.empty() && msg.payload[0] == 1;
+  if (msg.batch == kRefreshMarker) {
+    const RefreshKey key{msg.file_id, msg.epoch};
+    auto it = refresh_.find(key);
+    if (it == refresh_.end()) {
+      pending_.push_back(msg);
+      return;
+    }
+    AcceptRefreshVerdict(key, it->second, msg.row, ok);
+    return;
+  }
+  const SurvivorKey key{msg.file_id, msg.epoch, msg.batch};
+  auto it = survivor_.find(key);
+  if (it == survivor_.end()) {
+    pending_.push_back(msg);
+    return;
+  }
+  AcceptSurvivorVerdict(key, it->second, msg.row, ok);
+}
+
+void Host::AcceptRefreshVerdict(RefreshKey key, RefreshSession& s,
+                                std::uint32_t row, bool ok) {
+  if (!ok) s.failed = true;
+  s.verdict_rows.insert(row);
+  if (s.verdict_rows.size() == s.batch->check_rows()) MaybeApplyRefresh(key, s);
+}
+
+void Host::MaybeApplyRefresh(RefreshKey key, RefreshSession& s) {
+  if (s.done) return;
+  s.done = true;
+  bool ok = !s.failed;
+  if (ok) {
+    CpuTimer cpu;
+    cpu.Start();
+    std::vector<FpElem>& shares = store_.Load(key.first);
+    const std::size_t base = s.batch->check_rows();
+    for (std::size_t g = 0; g < s.batch->groups(); ++g) {
+      for (std::size_t a_rel = 0; a_rel < s.batch->usable_rows(); ++a_rel) {
+        auto blk = s.plan.BlockFor(a_rel, g);
+        if (!blk) continue;
+        shares[*blk] = cfg_.ctx->Add(shares[*blk], s.outputs[base + a_rel][g]);
+      }
+    }
+    // Stash persists the new shares and destroys the old serialized copy:
+    // the proactive "delete old shares" step.
+    store_.Stash(key.first);
+    cpu.Stop();
+    metrics_.rerandomize.cpu_ns += cpu.nanos();
+  }
+  ReportPhaseDone(key.first, key.second, 0, ok, metrics_.rerandomize);
+  refresh_.erase(key);
+}
+
+// ---------------------------------------------------------------------------
+// Recovery
+// ---------------------------------------------------------------------------
+
+void Host::OnStartRecovery(const Message& msg) {
+  Require(msg.from == net::kHypervisorId,
+          "StartRecovery: not from the hypervisor");
+  ByteReader r(msg.payload);
+  FileMeta meta = FileMeta::Deserialize(r.Blob());
+  std::uint32_t count = r.U32();
+  std::vector<std::uint32_t> targets;
+  targets.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) targets.push_back(r.U32());
+
+  pss::RecoveryPlan plan =
+      pss::RecoveryPlan::For(meta.num_blocks, cfg_.params, targets);
+
+  const bool i_am_target =
+      std::find(targets.begin(), targets.end(), cfg_.id) != targets.end();
+  if (i_am_target) {
+    TargetSession s;
+    s.meta = meta;
+    s.plan = plan;
+    target_[{meta.file_id, msg.epoch}] = std::move(s);
+    ReplayPending();
+    return;
+  }
+
+  // Survivor: one sub-session per target, all sharing this plan.
+  for (std::uint32_t target : targets) {
+    const SurvivorKey key{meta.file_id, msg.epoch, target};
+    Require(survivor_.find(key) == survivor_.end(),
+            "OnStartRecovery: duplicate session");
+    SurvivorSession s;
+    CpuTimer cpu;
+    cpu.Start();
+    s.plan = plan;
+    s.target = target;
+    s.batch.emplace(pss::MakeRecoveryBatch(*shamir_, plan, target));
+    s.deals_by_dealer.resize(plan.survivors.size());
+    s.deal_seen.assign(plan.survivors.size(), false);
+    auto deal = s.batch->Deal(rng_);
+    cpu.Stop();
+    metrics_.recover.cpu_ns += cpu.nanos();
+
+    auto [it, inserted] = survivor_.emplace(key, std::move(s));
+    SurvivorSession& session = it->second;
+
+    const std::size_t my_idx = session.batch->IndexOf(cfg_.id);
+    Invariant(my_idx != pss::VssBatch::npos, "survivor not in own batch");
+    for (std::size_t k = 0; k < plan.survivors.size(); ++k) {
+      std::uint32_t holder = plan.survivors[k];
+      if (holder == cfg_.id) continue;
+      Message m;
+      m.from = cfg_.id;
+      m.to = holder;
+      m.type = MsgType::kDeal;
+      m.file_id = meta.file_id;
+      m.epoch = msg.epoch;
+      m.row = target;
+      m.payload = SealFor(holder, field::SerializeElems(*cfg_.ctx, deal[k]));
+      SendMetered(std::move(m), metrics_.recover);
+    }
+    session.deals_by_dealer[my_idx] = std::move(deal[my_idx]);
+    session.deal_seen[my_idx] = true;
+    session.deals += 1;
+    if (session.deals == plan.survivors.size()) {
+      SurvivorTransformAndCheck(key, session);
+    }
+  }
+  ReplayPending();
+}
+
+void Host::SurvivorTransformAndCheck(SurvivorKey key, SurvivorSession& s) {
+  std::uint64_t cpu = 0;
+  s.outputs = s.batch->Transform(s.deals_by_dealer, cfg_.params.b, &cpu);
+  metrics_.recover.cpu_ns += cpu;
+  s.deals_by_dealer.clear();
+  s.deals_by_dealer.shrink_to_fit();
+
+  for (std::uint32_t a = 0; a < s.batch->check_rows(); ++a) {
+    std::uint32_t verifier = s.batch->VerifierOf(a);
+    Message m;
+    m.from = cfg_.id;
+    m.to = verifier;
+    m.type = MsgType::kCheckShare;
+    m.file_id = std::get<0>(key);
+    m.epoch = std::get<1>(key);
+    m.row = a;
+    m.batch = std::get<2>(key);  // target id
+    if (verifier == cfg_.id) {
+      m.payload = field::SerializeElems(*cfg_.ctx, s.outputs[a]);
+      OnCheckSharePlain(m);
+      // The local hand-off may have completed (and erased) this session.
+      if (survivor_.find(key) == survivor_.end()) return;
+    } else {
+      m.payload =
+          SealFor(verifier, field::SerializeElems(*cfg_.ctx, s.outputs[a]));
+      SendMetered(std::move(m), metrics_.recover);
+    }
+  }
+}
+
+void Host::MaybeVerifySurvivorRow(SurvivorKey key, SurvivorSession& s,
+                                  std::uint32_t row) {
+  CpuTimer cpu;
+  cpu.Start();
+  bool ok = VerifyRow(*s.batch, s.check_vals[row], *cfg_.ctx);
+  cpu.Stop();
+  metrics_.recover.cpu_ns += cpu.nanos();
+  s.check_vals.erase(row);
+  if (!ok) verdicts_rejected_ += 1;
+
+  // Deliver to every other survivor first: our own verdict may complete (and
+  // erase) the session, and peers still need this row's verdict.
+  for (std::uint32_t holder : s.plan.survivors) {
+    if (holder == cfg_.id) continue;
+    Message m;
+    m.from = cfg_.id;
+    m.to = holder;
+    m.type = MsgType::kVerdict;
+    m.file_id = std::get<0>(key);
+    m.epoch = std::get<1>(key);
+    m.row = row;
+    m.batch = std::get<2>(key);
+    m.payload = Bytes{static_cast<std::uint8_t>(ok ? 1 : 0)};
+    SendMetered(std::move(m), metrics_.recover);
+  }
+  AcceptSurvivorVerdict(key, s, row, ok);
+}
+
+void Host::AcceptSurvivorVerdict(SurvivorKey key, SurvivorSession& s,
+                                 std::uint32_t row, bool ok) {
+  if (!ok) s.failed = true;
+  s.verdict_rows.insert(row);
+  if (s.verdict_rows.size() == s.batch->check_rows()) {
+    MaybeSendMaskedShares(key, s);
+  }
+}
+
+void Host::MaybeSendMaskedShares(SurvivorKey key, SurvivorSession& s) {
+  if (s.done) return;
+  s.done = true;
+  const std::uint64_t file_id = std::get<0>(key);
+  const std::uint32_t epoch = std::get<1>(key);
+  const std::uint32_t target = std::get<2>(key);
+  if (s.failed) {
+    ReportPhaseDone(file_id, epoch, 1, false, metrics_.recover);
+    survivor_.erase(key);
+    return;
+  }
+
+  CpuTimer cpu;
+  cpu.Start();
+  std::vector<FpElem>& shares = store_.Load(file_id);
+  const std::size_t base = s.batch->check_rows();
+  std::vector<FpElem> masked(s.plan.blocks, cfg_.ctx->Zero());
+  for (std::size_t blk = 0; blk < s.plan.blocks; ++blk) {
+    std::size_t g = blk / s.plan.usable;
+    std::size_t a_rel = blk % s.plan.usable;
+    masked[blk] = cfg_.ctx->Add(shares[blk], s.outputs[base + a_rel][g]);
+  }
+  store_.Stash(file_id);
+  Bytes sealed = SealFor(target, field::SerializeElems(*cfg_.ctx, masked));
+  cpu.Stop();
+  metrics_.recover.cpu_ns += cpu.nanos();
+
+  Message m;
+  m.from = cfg_.id;
+  m.to = target;
+  m.type = MsgType::kMaskedShare;
+  m.file_id = file_id;
+  m.epoch = epoch;
+  m.row = target;
+  m.payload = std::move(sealed);
+  SendMetered(std::move(m), metrics_.recover);
+  survivor_.erase(key);
+}
+
+void Host::OnMaskedSharePlain(const Message& msg) {
+  auto it = target_.find({msg.file_id, msg.epoch});
+  if (it == target_.end()) {
+    pending_.push_back(msg);
+    return;
+  }
+  TargetSession& s = it->second;
+  CpuTimer cpu;
+  cpu.Start();
+  std::vector<FpElem> elems = field::DeserializeElems(*cfg_.ctx, msg.payload);
+  cpu.Stop();
+  metrics_.recover.cpu_ns += cpu.nanos();
+  Require(elems.size() == s.meta.num_blocks, "MaskedShare: wrong block count");
+  const bool is_survivor =
+      std::find(s.plan.survivors.begin(), s.plan.survivors.end(), msg.from) !=
+      s.plan.survivors.end();
+  Require(is_survivor, "MaskedShare: sender is not a survivor");
+  if (!s.masked_by_sender.emplace(msg.from, std::move(elems)).second) return;
+  if (s.masked_by_sender.size() == s.plan.survivors.size()) {
+    MaybeFinishTarget(msg.file_id, s);
+    target_.erase({msg.file_id, msg.epoch});
+  }
+}
+
+void Host::MaybeFinishTarget(std::uint64_t file_id, TargetSession& s) {
+  CpuTimer cpu;
+  cpu.Start();
+  const std::size_t d = cfg_.params.degree();
+  // Senders arrive keyed by id; the map iterates in ascending order, matching
+  // plan.survivors (also ascending).
+  std::vector<FpElem> xs;
+  std::vector<const std::vector<FpElem>*> rows;
+  xs.reserve(s.masked_by_sender.size());
+  for (const auto& [sender, elems] : s.masked_by_sender) {
+    xs.push_back(shamir_->points().alpha(sender));
+    rows.push_back(&elems);
+  }
+  math::PointChecker checker(*cfg_.ctx, xs, d);
+  std::vector<FpElem> w = checker.WeightsAt(shamir_->points().alpha(cfg_.id));
+
+  bool ok = true;
+  std::vector<FpElem> shares(s.meta.num_blocks, cfg_.ctx->Zero());
+  std::vector<FpElem> ys(xs.size(), cfg_.ctx->Zero());
+  for (std::size_t blk = 0; blk < s.meta.num_blocks; ++blk) {
+    for (std::size_t k = 0; k < rows.size(); ++k) ys[k] = (*rows[k])[blk];
+    // The masked polynomial f + q has degree <= d; inconsistency means a
+    // corrupted survivor (caught here even though verification passed for
+    // the masks, since the share component is unverified).
+    if (!checker.Consistent(ys)) {
+      ok = false;
+      break;
+    }
+    shares[blk] = math::PointChecker::Apply(*cfg_.ctx, w, ys);
+  }
+  if (ok) store_.Put(s.meta, std::move(shares));
+  cpu.Stop();
+  metrics_.recover.cpu_ns += cpu.nanos();
+  ReportPhaseDone(file_id, epoch_, 1, ok, metrics_.recover);
+}
+
+// ---------------------------------------------------------------------------
+// Buffering / diagnostics
+// ---------------------------------------------------------------------------
+
+void Host::ReplayPending() {
+  if (pending_.empty()) return;
+  std::vector<Message> queue;
+  queue.swap(pending_);
+  for (Message& m : queue) {
+    // Buffered payloads are already plaintext.
+    switch (m.type) {
+      case MsgType::kDeal: OnDealPlain(m); break;
+      case MsgType::kCheckShare: OnCheckSharePlain(m); break;
+      case MsgType::kMaskedShare: OnMaskedSharePlain(m); break;
+      case MsgType::kVerdict: OnVerdictPlain(m); break;
+      default:
+        LogWarn() << "host " << cfg_.id << ": unexpected buffered "
+                  << m.Describe();
+    }
+  }
+}
+
+std::vector<std::string> Host::AbortStuckSessions() {
+  std::vector<std::string> out;
+  auto describe = [&](const char* kind, std::uint64_t file,
+                      std::uint32_t epoch, std::uint32_t extra) {
+    std::ostringstream os;
+    os << "host " << cfg_.id << ": stuck " << kind << " file=" << file
+       << " epoch=" << epoch << " aux=" << extra;
+    out.push_back(os.str());
+  };
+  for (const auto& [key, s] : refresh_) {
+    describe("refresh", key.first, key.second, 0);
+  }
+  for (const auto& [key, s] : survivor_) {
+    describe("recovery-survivor", std::get<0>(key), std::get<1>(key),
+             std::get<2>(key));
+  }
+  for (const auto& [key, s] : target_) {
+    describe("recovery-target", key.first, key.second, 0);
+  }
+  for (const auto& m : pending_) {
+    describe("pending-msg", m.file_id, m.epoch, m.row);
+  }
+  refresh_.clear();
+  survivor_.clear();
+  target_.clear();
+  pending_.clear();
+  return out;
+}
+
+bool Host::HasActiveSessions() const {
+  return !refresh_.empty() || !survivor_.empty() || !target_.empty();
+}
+
+}  // namespace pisces

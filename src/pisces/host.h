@@ -1,0 +1,199 @@
+// Share storage host S_i: the paper's Fig 5 control flow as a message-driven
+// state machine.
+//
+// A host consumes events from its transport: Set (share upload),
+// Reconstruct (share download), Update/rerandomization (refresh), Recovery,
+// and Process Message (the data-plane messages of the PSS protocols). Heavy
+// share operations are spread over a pool of b workers (the paper's
+// "process pool", realized as threads since there is no GIL to dodge here).
+//
+// The hypervisor drives the host lifecycle through direct Boot/Shutdown calls
+// (modeling the CSP's privileged control channel, Fig 4): Shutdown wipes all
+// state -- secure disassociation -- and Boot installs a fresh hypervisor-
+// signed keypair which the host broadcasts to rejoin the network.
+//
+// All data-plane payloads are encrypted and authenticated with per-peer,
+// per-epoch channel keys derived from the hypervisor-signed host keys
+// (paper SectionIII-C.3 "Key Secrecy").
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+
+#include "common/clock.h"
+#include "common/rng.h"
+#include "crypto/ca.h"
+#include "crypto/channel.h"
+#include "net/sync_network.h"
+#include "pisces/metrics.h"
+#include "pisces/share_store.h"
+#include "pss/recovery.h"
+#include "pss/refresh.h"
+
+namespace pisces {
+
+// `row` marker distinguishing refresh sub-sessions from per-target recovery
+// sub-sessions in kDeal/kCheckShare/kVerdict headers.
+inline constexpr std::uint32_t kRefreshMarker = 0xFFFFFFFF;
+
+struct HostConfig {
+  std::uint32_t id = 0;
+  pss::Params params;
+  std::shared_ptr<const field::FpCtx> ctx;
+  bool encrypt_links = true;
+  std::uint64_t rng_seed = 1;
+};
+
+class Host : public net::MessageHandler {
+ public:
+  Host(HostConfig cfg, net::Transport& transport,
+       const crypto::SchnorrGroup& group, Bytes ca_pk);
+
+  std::uint32_t id() const { return cfg_.id; }
+  bool online() const { return online_; }
+  std::uint32_t epoch() const { return epoch_; }
+
+  // --- hypervisor control plane (direct privileged calls, Fig 4) ---
+  // Installs a fresh signed keypair, clears session state, and broadcasts the
+  // cert to `peers` (all other endpoints that need to talk to this host).
+  void Boot(std::uint32_t epoch, crypto::HostCert cert, Bytes sk,
+            std::span<const std::uint32_t> peers);
+  // Secure disassociation: wipes shares, keys, channels, and sessions.
+  void Shutdown();
+
+  void HandleMessage(const net::Message& msg) override;
+
+  // Registers a peer cert without the network (used for initial bring-up of
+  // the client, whose cert hosts must know before the first upload).
+  void InstallPeerCert(const crypto::HostCert& cert);
+
+  // Aborts sessions that cannot complete (bounded-delay timeout fired by the
+  // synchrony layer). Returns human-readable descriptions of what was stuck.
+  std::vector<std::string> AbortStuckSessions();
+
+  bool HasActiveSessions() const;
+
+  ShareStore& store() { return store_; }
+  const ShareStore& store() const { return store_; }
+  HostMetrics& metrics() { return metrics_; }
+  const HostMetrics& metrics() const { return metrics_; }
+  const pss::PackedShamir& shamir() const { return *shamir_; }
+
+  // Number of refresh/recovery verifications this host rejected (nonzero only
+  // under fault injection).
+  std::uint64_t verdicts_rejected() const { return verdicts_rejected_; }
+
+ private:
+  struct RefreshSession {
+    pss::RefreshPlan plan;
+    std::optional<pss::VssBatch> batch;
+    std::vector<std::vector<field::FpElem>> deals_by_dealer;  // [n][G]
+    std::vector<bool> deal_seen;
+    std::size_t deals = 0;
+    std::vector<std::vector<field::FpElem>> outputs;  // [n][G] after transform
+    // Verifier role: check_row -> per-holder values ([k][G]).
+    std::map<std::uint32_t, std::vector<std::vector<field::FpElem>>> check_vals;
+    std::map<std::uint32_t, std::size_t> check_counts;
+    std::set<std::uint32_t> verdict_rows;
+    bool failed = false;
+    bool done = false;
+  };
+
+  struct SurvivorSession {  // one per (file, target)
+    pss::RecoveryPlan plan;
+    std::uint32_t target = 0;
+    std::optional<pss::VssBatch> batch;
+    std::vector<std::vector<field::FpElem>> deals_by_dealer;
+    std::vector<bool> deal_seen;
+    std::size_t deals = 0;
+    std::vector<std::vector<field::FpElem>> outputs;
+    std::map<std::uint32_t, std::vector<std::vector<field::FpElem>>> check_vals;
+    std::map<std::uint32_t, std::size_t> check_counts;
+    std::set<std::uint32_t> verdict_rows;
+    bool failed = false;
+    bool done = false;
+  };
+
+  struct TargetSession {  // rebooted host waiting for masked shares
+    FileMeta meta;
+    pss::RecoveryPlan plan;
+    std::map<std::uint32_t, std::vector<field::FpElem>> masked_by_sender;
+    bool failed = false;
+    bool done = false;
+  };
+
+  using RefreshKey = std::pair<std::uint64_t, std::uint32_t>;  // file, epoch
+  using SurvivorKey = std::tuple<std::uint64_t, std::uint32_t, std::uint32_t>;
+
+  // --- message handlers (the *Plain variants take decrypted payloads and
+  // are also the replay targets for buffered out-of-order messages) ---
+  void OnSetShares(const net::Message& msg);
+  void OnReconstructRequest(const net::Message& msg);
+  void OnDeleteFile(const net::Message& msg);
+  void OnStartRefresh(const net::Message& msg);
+  void OnStartRecovery(const net::Message& msg);
+  void OnDealPlain(const net::Message& msg);
+  void OnCheckSharePlain(const net::Message& msg);
+  void OnVerdictPlain(const net::Message& msg);
+  void OnMaskedSharePlain(const net::Message& msg);
+  void OnHostCert(const net::Message& msg);
+
+  // --- refresh steps ---
+  void RefreshTransformAndCheck(RefreshKey key, RefreshSession& s);
+  void MaybeVerifyRefreshRow(RefreshKey key, RefreshSession& s,
+                             std::uint32_t row);
+  void AcceptRefreshVerdict(RefreshKey key, RefreshSession& s,
+                            std::uint32_t row, bool ok);
+  void MaybeApplyRefresh(RefreshKey key, RefreshSession& s);
+
+  // --- recovery steps ---
+  void SurvivorTransformAndCheck(SurvivorKey key, SurvivorSession& s);
+  void MaybeVerifySurvivorRow(SurvivorKey key, SurvivorSession& s,
+                              std::uint32_t row);
+  void AcceptSurvivorVerdict(SurvivorKey key, SurvivorSession& s,
+                             std::uint32_t row, bool ok);
+  void MaybeSendMaskedShares(SurvivorKey key, SurvivorSession& s);
+  void MaybeFinishTarget(std::uint64_t file_id, TargetSession& s);
+
+  // --- plumbing ---
+  void SendMetered(net::Message msg, PhaseMetrics& bucket);
+  Bytes SealFor(std::uint32_t peer, std::span<const std::uint8_t> plaintext);
+  Bytes OpenFrom(std::uint32_t peer, std::span<const std::uint8_t> payload);
+  crypto::SecureChannel& ChannelTo(std::uint32_t peer);
+  void ReportPhaseDone(std::uint64_t file_id, std::uint32_t epoch,
+                       std::uint32_t kind, bool ok, PhaseMetrics& bucket);
+  void ReplayPending();
+
+  HostConfig cfg_;
+  net::Transport& transport_;
+  const crypto::SchnorrGroup& group_;
+  Bytes ca_pk_;
+  Rng rng_;
+
+  std::shared_ptr<pss::PackedShamir> shamir_;
+  ShareStore store_;
+  HostMetrics metrics_;
+
+  bool online_ = false;
+  std::uint32_t epoch_ = 0;
+  Bytes sk_;
+  crypto::HostCert my_cert_;
+  std::map<std::uint32_t, crypto::HostCert> peer_certs_;
+  // Channel cache keyed by peer; entry remembers the epoch pair it was
+  // derived for and is rebuilt when either side's cert changes.
+  struct CachedChannel {
+    std::uint64_t epoch_pair;
+    crypto::SecureChannel channel;
+  };
+  std::map<std::uint32_t, CachedChannel> channels_;
+
+  std::map<RefreshKey, RefreshSession> refresh_;
+  std::map<SurvivorKey, SurvivorSession> survivor_;
+  std::map<std::pair<std::uint64_t, std::uint32_t>, TargetSession> target_;
+  std::vector<net::Message> pending_;  // out-of-order protocol messages
+  std::uint64_t verdicts_rejected_ = 0;
+};
+
+}  // namespace pisces

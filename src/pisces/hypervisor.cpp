@@ -1,0 +1,262 @@
+#include "pisces/hypervisor.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace pisces {
+
+using net::Message;
+using net::MsgType;
+
+Hypervisor::Hypervisor(HypervisorConfig cfg, net::SimNet& net,
+                       net::SyncNetwork& sync,
+                       const crypto::SchnorrGroup& group)
+    : cfg_(std::move(cfg)),
+      net_(net),
+      sync_(sync),
+      group_(group),
+      rng_(cfg_.seed ^ 0x9D15CE5ULL),
+      ca_(group, rng_) {
+  cfg_.params.Validate();
+  endpoint_ = net_.AddEndpoint(net::kHypervisorId);
+  sync_.Register(net::kHypervisorId, endpoint_, this);
+
+  const std::size_t n = cfg_.params.n;
+  hosts_.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    net::SimEndpoint* ep = net_.AddEndpoint(i);
+    host_endpoints_.push_back(ep);
+    HostConfig hc;
+    hc.id = i;
+    hc.params = cfg_.params;
+    hc.ctx = cfg_.ctx;
+    hc.encrypt_links = cfg_.encrypt_links;
+    hc.rng_seed = cfg_.seed;
+    hosts_.push_back(std::make_unique<Host>(hc, *ep, group_, ca_.public_key()));
+    sync_.Register(i, ep, hosts_.back().get());
+    peer_ids_.push_back(i);
+  }
+  schedule_ = MakeSchedule(cfg_.schedule, n, cfg_.params.r, cfg_.seed ^ 0x5C4ED);
+
+  for (std::uint32_t i = 0; i < n; ++i) BootHost(i);
+  sync_.RunToQuiescence();
+}
+
+Hypervisor::~Hypervisor() = default;
+
+void Hypervisor::BootHost(std::uint32_t id) {
+  ++boot_epoch_;
+  auto [cert, sk] = ca_.IssueHostKey(id, boot_epoch_, rng_);
+  directory_[id] = cert;
+  net_.SetOffline(id, false);
+  hosts_[id]->Boot(boot_epoch_, cert, std::move(sk), peer_ids_);
+  // Provision the current public-key directory onto the fresh image (the
+  // hypervisor acts as the cert directory; a rebooted host lost everything).
+  for (const auto& [peer, peer_cert] : directory_) {
+    if (peer != id) hosts_[id]->InstallPeerCert(peer_cert);
+  }
+}
+
+std::pair<crypto::HostCert, Bytes> Hypervisor::EnrollExternal(
+    std::uint32_t id) {
+  auto [cert, sk] = ca_.IssueHostKey(id, 0, rng_);
+  directory_[id] = cert;
+  if (std::find(peer_ids_.begin(), peer_ids_.end(), id) == peer_ids_.end()) {
+    peer_ids_.push_back(id);
+  }
+  for (auto& host : hosts_) host->InstallPeerCert(cert);
+  return {cert, std::move(sk)};
+}
+
+std::vector<std::uint64_t> Hypervisor::AllFileIds() const {
+  std::vector<std::uint64_t> ids;
+  for (const auto& host : hosts_) {
+    if (!host->online()) continue;
+    for (std::uint64_t id : host->store().FileIds()) {
+      if (std::find(ids.begin(), ids.end(), id) == ids.end()) ids.push_back(id);
+    }
+  }
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+std::optional<FileMeta> Hypervisor::MetaFromAnyHost(
+    std::uint64_t file_id, std::span<const std::uint32_t> exclude) const {
+  for (const auto& host : hosts_) {
+    if (!host->online()) continue;
+    if (std::find(exclude.begin(), exclude.end(), host->id()) != exclude.end())
+      continue;
+    if (host->store().Has(file_id)) return host->store().MetaOf(file_id);
+  }
+  return std::nullopt;
+}
+
+HostMetrics Hypervisor::TotalHostMetrics() const {
+  HostMetrics total;
+  for (const auto& host : hosts_) {
+    total.rerandomize.Add(host->metrics().rerandomize);
+    total.recover.Add(host->metrics().recover);
+    total.serve.Add(host->metrics().serve);
+  }
+  return total;
+}
+
+bool Hypervisor::RefreshAllFiles(WindowReport* report) {
+  const HostMetrics before = TotalHostMetrics();
+  recent_failures_.clear();
+  const std::uint32_t seq = ++op_seq_;
+  for (std::uint64_t file_id : AllFileIds()) {
+    for (std::uint32_t i = 0; i < hosts_.size(); ++i) {
+      Message m;
+      m.from = net::kHypervisorId;
+      m.to = i;
+      m.type = MsgType::kStartRefresh;
+      m.file_id = file_id;
+      m.epoch = seq;
+      endpoint_->Send(std::move(m));
+    }
+  }
+  auto pump = sync_.RunToQuiescence();
+  bool ok = recent_failures_.empty();
+  for (const auto& host : hosts_) {
+    if (host->HasActiveSessions()) {
+      ok = false;
+      for (auto& desc : hosts_[host->id()]->AbortStuckSessions()) {
+        recent_failures_.push_back(desc);
+      }
+    }
+  }
+  if (report != nullptr) {
+    report->sweeps_refresh += pump.sweeps;
+    report->files_refreshed += AllFileIds().size();
+    const HostMetrics after = TotalHostMetrics();
+    report->rerandomize_total.cpu_ns +=
+        after.rerandomize.cpu_ns - before.rerandomize.cpu_ns;
+    report->rerandomize_total.bytes_sent +=
+        after.rerandomize.bytes_sent - before.rerandomize.bytes_sent;
+    report->rerandomize_total.msgs_sent +=
+        after.rerandomize.msgs_sent - before.rerandomize.msgs_sent;
+    report->failures.insert(report->failures.end(), recent_failures_.begin(),
+                            recent_failures_.end());
+    report->ok = report->ok && ok;
+  }
+  return ok;
+}
+
+bool Hypervisor::RebootAndRecover(std::span<const std::uint32_t> batch,
+                                  WindowReport* report) {
+  const HostMetrics before = TotalHostMetrics();
+  recent_failures_.clear();
+
+  // Collect file metadata before shutting anyone down. A file whose only
+  // copies live inside the reboot batch cannot be recovered; report it
+  // rather than wedging the window.
+  std::vector<std::uint64_t> files = AllFileIds();
+  std::vector<FileMeta> metas;
+  metas.reserve(files.size());
+  std::vector<std::uint64_t> recoverable;
+  for (std::uint64_t f : files) {
+    if (auto meta = MetaFromAnyHost(f, batch)) {
+      metas.push_back(*meta);
+      recoverable.push_back(f);
+    } else {
+      recent_failures_.push_back("file " + std::to_string(f) +
+                                 " has no copy outside the reboot batch");
+    }
+  }
+  files = std::move(recoverable);
+
+  // Secure disassociation: kill the batch.
+  for (std::uint32_t id : batch) {
+    hosts_[id]->Shutdown();
+    net_.SetOffline(id, true);
+  }
+  // Fresh keys + reintegration broadcast.
+  for (std::uint32_t id : batch) BootHost(id);
+  auto pump_boot = sync_.RunToQuiescence();
+
+  // Share recovery for every file toward the rebooted hosts.
+  const std::uint32_t seq = ++op_seq_;
+  for (const FileMeta& meta : metas) {
+    Message proto;
+    proto.from = net::kHypervisorId;
+    proto.type = MsgType::kStartRecovery;
+    proto.epoch = seq;
+    proto.file_id = meta.file_id;
+    ByteWriter w;
+    w.Blob(meta.Serialize());
+    w.U32(static_cast<std::uint32_t>(batch.size()));
+    for (std::uint32_t id : batch) w.U32(id);
+    proto.payload = w.Take();
+    for (std::uint32_t i = 0; i < hosts_.size(); ++i) {
+      Message m = proto;
+      m.to = i;
+      endpoint_->Send(std::move(m));
+    }
+  }
+  auto pump = sync_.RunToQuiescence();
+
+  bool ok = recent_failures_.empty();
+  // Verify every target holds every file again.
+  for (std::uint32_t id : batch) {
+    for (std::uint64_t f : files) {
+      if (!hosts_[id]->store().Has(f)) {
+        ok = false;
+        recent_failures_.push_back("host " + std::to_string(id) +
+                                   " missing file after recovery");
+      }
+    }
+  }
+  for (const auto& host : hosts_) {
+    if (host->HasActiveSessions()) {
+      ok = false;
+      for (auto& desc : hosts_[host->id()]->AbortStuckSessions()) {
+        recent_failures_.push_back(desc);
+      }
+    }
+  }
+
+  if (report != nullptr) {
+    report->sweeps_recovery += pump_boot.sweeps + pump.sweeps;
+    report->reboots += batch.size();
+    const HostMetrics after = TotalHostMetrics();
+    report->recover_total.cpu_ns +=
+        after.recover.cpu_ns - before.recover.cpu_ns;
+    report->recover_total.bytes_sent +=
+        after.recover.bytes_sent - before.recover.bytes_sent;
+    report->recover_total.msgs_sent +=
+        after.recover.msgs_sent - before.recover.msgs_sent;
+    report->failures.insert(report->failures.end(), recent_failures_.begin(),
+                            recent_failures_.end());
+    report->ok = report->ok && ok;
+  }
+  return ok;
+}
+
+WindowReport Hypervisor::RunUpdateWindow() {
+  WindowReport report;
+  RefreshAllFiles(&report);
+  for (const auto& batch : schedule_->BatchesForWindow(window_)) {
+    RebootAndRecover(batch, &report);
+  }
+  ++window_;
+  return report;
+}
+
+void Hypervisor::HandleMessage(const Message& msg) {
+  if (msg.type != MsgType::kPhaseDone) {
+    LogWarn() << "hypervisor: unexpected " << msg.Describe();
+    return;
+  }
+  const bool ok = !msg.payload.empty() && msg.payload[0] == 1;
+  if (!ok) {
+    ++failures_seen_;
+    recent_failures_.push_back("host " + std::to_string(msg.from) +
+                               " reported failure (kind=" +
+                               std::to_string(msg.row) +
+                               ", file=" + std::to_string(msg.file_id) + ")");
+  }
+}
+
+}  // namespace pisces

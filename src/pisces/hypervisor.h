@@ -1,0 +1,118 @@
+// The hypervisor: chief organizing agent of the virtual hosts (paper
+// SectionIV-A and Fig 4).
+//
+// Responsibilities implemented here, mirroring the paper's minimal required
+// hypervisor functionality:
+//   * Public Key Installation -- owns the CA; generates, signs and installs a
+//     fresh host keypair at every (re)boot;
+//   * Secure Reboot -- shuts a host down (secure disassociation wipes all
+//     state), brings it back with fresh keys, re-provisions the public cert
+//     directory, and triggers share recovery;
+//   * Restart Schedule -- executes a complete (round-robin) or randomized
+//     schedule in batches of r hosts per recovery phase;
+//   * Update orchestration -- one update window = rerandomize every stored
+//     file, then reboot every host per the schedule with recovery after each
+//     batch (paper SectionVI-E step 2).
+//
+// The hypervisor drives hosts through the same message fabric as everyone
+// else for protocol traffic, but uses direct method calls for the privileged
+// lifecycle operations a real CSP performs out-of-band.
+#pragma once
+
+#include <memory>
+
+#include "pisces/host.h"
+#include "pisces/schedule.h"
+
+namespace pisces {
+
+struct WindowReport {
+  bool ok = true;
+  std::vector<std::string> failures;
+  std::uint64_t sweeps_refresh = 0;
+  std::uint64_t sweeps_recovery = 0;
+  std::size_t reboots = 0;
+  std::size_t files_refreshed = 0;
+  // Aggregate per-phase metrics summed over all hosts (delta for this
+  // window).
+  PhaseMetrics rerandomize_total;
+  PhaseMetrics recover_total;
+};
+
+struct HypervisorConfig {
+  pss::Params params;
+  std::shared_ptr<const field::FpCtx> ctx;
+  bool encrypt_links = true;
+  std::string schedule = "round-robin";
+  std::uint64_t seed = 1;
+};
+
+class Hypervisor : public net::MessageHandler {
+ public:
+  // Creates the CA, n hosts with endpoints on `net`, registers everything
+  // with `sync`, and boots all hosts (epoch 1). The client id is part of the
+  // peer directory so hosts learn client certs.
+  Hypervisor(HypervisorConfig cfg, net::SimNet& net, net::SyncNetwork& sync,
+             const crypto::SchnorrGroup& group);
+  ~Hypervisor() override;
+
+  Host& host(std::size_t i) { return *hosts_.at(i); }
+  const Host& host(std::size_t i) const { return *hosts_.at(i); }
+  std::size_t n() const { return hosts_.size(); }
+  Bytes ca_public_key() const { return ca_.public_key(); }
+  // Public cert directory (hypervisor-signed; used to provision newcomers).
+  const std::map<std::uint32_t, crypto::HostCert>& directory() const {
+    return directory_;
+  }
+
+  // Issues a signed keypair for an external participant (the client) and
+  // registers its cert in the directory of every host.
+  std::pair<crypto::HostCert, Bytes> EnrollExternal(std::uint32_t id);
+
+  // --- update orchestration (paper SectionVI-E) ---
+  // Rerandomizes every stored file once. Returns false if any host reported
+  // failure.
+  bool RefreshAllFiles(WindowReport* report = nullptr);
+  // Reboots `batch` (secure disassociation + fresh keys) and runs share
+  // recovery for every stored file toward the rebooted hosts.
+  bool RebootAndRecover(std::span<const std::uint32_t> batch,
+                        WindowReport* report = nullptr);
+  // One full proactive update window: refresh, then every schedule batch.
+  WindowReport RunUpdateWindow();
+
+  void HandleMessage(const net::Message& msg) override;
+
+  std::uint32_t windows_run() const { return window_; }
+
+  // Diagnostics: phase-done failures observed since construction.
+  std::uint64_t failures_seen() const { return failures_seen_; }
+
+ private:
+  void BootHost(std::uint32_t id);
+  std::vector<std::uint64_t> AllFileIds() const;
+  std::optional<FileMeta> MetaFromAnyHost(
+      std::uint64_t file_id, std::span<const std::uint32_t> exclude) const;
+  HostMetrics TotalHostMetrics() const;
+
+  HypervisorConfig cfg_;
+  net::SimNet& net_;
+  net::SyncNetwork& sync_;
+  const crypto::SchnorrGroup& group_;
+  Rng rng_;
+  crypto::CertAuthority ca_;
+  net::SimEndpoint* endpoint_ = nullptr;
+
+  std::vector<net::SimEndpoint*> host_endpoints_;
+  std::vector<std::unique_ptr<Host>> hosts_;
+  std::vector<std::uint32_t> peer_ids_;  // hosts + enrolled externals
+  std::map<std::uint32_t, crypto::HostCert> directory_;
+
+  std::unique_ptr<RestartSchedule> schedule_;
+  std::uint32_t boot_epoch_ = 0;
+  std::uint32_t op_seq_ = 100;  // session correlation counter
+  std::uint32_t window_ = 0;
+  std::uint64_t failures_seen_ = 0;
+  std::vector<std::string> recent_failures_;
+};
+
+}  // namespace pisces

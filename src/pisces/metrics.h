@@ -1,0 +1,29 @@
+// Per-phase measurement counters, attributed the way the paper reports them:
+// "Computing" time is real CPU time spent in the protocol's share operations;
+// "Sending" is metered bytes (converted to modeled wire time by the driver).
+#pragma once
+
+#include <cstdint>
+
+namespace pisces {
+
+struct PhaseMetrics {
+  std::uint64_t cpu_ns = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t msgs_sent = 0;
+
+  void Add(const PhaseMetrics& o) {
+    cpu_ns += o.cpu_ns;
+    bytes_sent += o.bytes_sent;
+    msgs_sent += o.msgs_sent;
+  }
+};
+
+struct HostMetrics {
+  PhaseMetrics rerandomize;  // refresh: dealing, transform, verification
+  PhaseMetrics recover;      // recovery: masks, masked shares, interpolation
+  PhaseMetrics serve;        // set / reconstruct traffic
+  void Reset() { *this = HostMetrics{}; }
+};
+
+}  // namespace pisces

@@ -1,0 +1,19 @@
+// PiSCES -- Proactively Secure Cloud-Enabled Storage.
+//
+// Umbrella header: include this to get the full public API.
+//
+//   Cluster / ClusterConfig   a complete deployment (hosts, hypervisor, client)
+//   pss::Params               protocol parameters (n, t, l, r, b, g)
+//   Deployment                single-cloud / multi-cloud / hybrid planning
+//   Adversary                 mobile-adversary simulation & attack attempts
+//   RunRefreshExperiment      the paper's benchmarking driver
+#pragma once
+
+#include "pisces/adversary.h"
+#include "pisces/cluster.h"
+#include "pisces/cost_model.h"
+#include "pisces/deployment.h"
+#include "pisces/driver.h"
+#include "pisces/file_codec.h"
+#include "pisces/recorder.h"
+#include "pisces/schedule.h"

@@ -1,0 +1,55 @@
+#include "pisces/recorder.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace pisces {
+
+Recorder::Recorder(std::vector<std::string> columns)
+    : columns_(std::move(columns)) {
+  Require(!columns_.empty(), "Recorder: no columns");
+}
+
+void Recorder::AddRow(const std::map<std::string, std::string>& values) {
+  std::vector<std::string> row;
+  row.reserve(columns_.size());
+  for (const auto& col : columns_) {
+    auto it = values.find(col);
+    Require(it != values.end(), "Recorder: missing column '" + col + "'");
+    row.push_back(it->second);
+  }
+  Require(values.size() == columns_.size(), "Recorder: unexpected extra column");
+  rows_.push_back(std::move(row));
+}
+
+std::string Recorder::ToCsv() const {
+  std::ostringstream out;
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    if (c) out << ",";
+    out << columns_[c];
+  }
+  out << "\n";
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) out << ",";
+      out << row[c];
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+void Recorder::WriteFile(const std::string& path) const {
+  std::ofstream f(path);
+  Require(f.good(), "Recorder: cannot open '" + path + "'");
+  f << ToCsv();
+}
+
+std::string Recorder::Num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+}  // namespace pisces

@@ -1,0 +1,41 @@
+// Experiment result recorder.
+//
+// The paper's driver "records the results in a sqlite database for easier
+// result exploration"; our stand-in writes CSV (one row per measurement,
+// stable column order) to memory and optionally to a file, which the bench
+// binaries use to dump the series behind every figure.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+
+namespace pisces {
+
+class Recorder {
+ public:
+  // Columns are fixed at construction; rows must supply every column.
+  explicit Recorder(std::vector<std::string> columns);
+
+  void AddRow(const std::map<std::string, std::string>& values);
+
+  std::size_t rows() const { return rows_.size(); }
+  const std::vector<std::string>& columns() const { return columns_; }
+  const std::vector<std::vector<std::string>>& raw_rows() const {
+    return rows_;
+  }
+
+  std::string ToCsv() const;
+  void WriteFile(const std::string& path) const;
+
+  // Convenience formatting for numeric cells.
+  static std::string Num(double v);
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace pisces

@@ -1,0 +1,64 @@
+#include "pisces/schedule.h"
+
+#include <algorithm>
+#include <string>
+
+#include "common/error.h"
+
+namespace pisces {
+
+RoundRobinSchedule::RoundRobinSchedule(std::size_t n, std::size_t r)
+    : n_(n), r_(r) {
+  Require(n >= 1 && r >= 1 && r < n, "RoundRobinSchedule: bad n/r");
+}
+
+std::vector<std::vector<std::uint32_t>> RoundRobinSchedule::BatchesForWindow(
+    std::uint32_t window) {
+  std::vector<std::vector<std::uint32_t>> batches;
+  // Rotate the starting host by window so pairings change over time.
+  std::size_t start = (static_cast<std::size_t>(window) * r_) % n_;
+  std::vector<std::uint32_t> order(n_);
+  for (std::size_t i = 0; i < n_; ++i) {
+    order[i] = static_cast<std::uint32_t>((start + i) % n_);
+  }
+  for (std::size_t off = 0; off < n_; off += r_) {
+    std::size_t end = std::min(n_, off + r_);
+    batches.emplace_back(order.begin() + off, order.begin() + end);
+  }
+  return batches;
+}
+
+RandomizedSchedule::RandomizedSchedule(std::size_t n, std::size_t r,
+                                       std::uint64_t seed)
+    : n_(n), r_(r), rng_(seed) {
+  Require(n >= 1 && r >= 1 && r < n, "RandomizedSchedule: bad n/r");
+}
+
+std::vector<std::vector<std::uint32_t>> RandomizedSchedule::BatchesForWindow(
+    std::uint32_t /*window*/) {
+  std::vector<std::uint32_t> order(n_);
+  for (std::size_t i = 0; i < n_; ++i) order[i] = static_cast<std::uint32_t>(i);
+  // Fisher-Yates.
+  for (std::size_t i = n_; i-- > 1;) {
+    std::size_t j = rng_.Below(i + 1);
+    std::swap(order[i], order[j]);
+  }
+  std::vector<std::vector<std::uint32_t>> batches;
+  for (std::size_t off = 0; off < n_; off += r_) {
+    std::size_t end = std::min(n_, off + r_);
+    batches.emplace_back(order.begin() + off, order.begin() + end);
+  }
+  return batches;
+}
+
+std::unique_ptr<RestartSchedule> MakeSchedule(const std::string& name,
+                                              std::size_t n, std::size_t r,
+                                              std::uint64_t seed) {
+  if (name == "round-robin") return std::make_unique<RoundRobinSchedule>(n, r);
+  if (name == "randomized") {
+    return std::make_unique<RandomizedSchedule>(n, r, seed);
+  }
+  throw InvalidArgument("MakeSchedule: unknown schedule '" + name + "'");
+}
+
+}  // namespace pisces

@@ -1,0 +1,64 @@
+// Restart schedules (paper SectionVI-D).
+//
+// PiSCES does not rely on adversary detection: hosts are rebooted on a
+// predetermined schedule. A *complete* schedule guarantees every host reboots
+// every round (the paper's choice, realized as round robin in batches of r);
+// a *randomized* schedule picks r hosts per step uniformly, trading the
+// guarantee for unpredictability ("an analysis is left for future work" --
+// we implement both and benchmark the difference in the ablation).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace pisces {
+
+class RestartSchedule {
+ public:
+  virtual ~RestartSchedule() = default;
+
+  // Batches of hosts to reboot (sequentially) during one update window.
+  virtual std::vector<std::vector<std::uint32_t>> BatchesForWindow(
+      std::uint32_t window) = 0;
+
+  virtual const char* Name() const = 0;
+};
+
+// Round robin: every window reboots all n hosts in ceil(n/r) batches of at
+// most r; the batch boundaries rotate with the window index so host i is not
+// always grouped with the same peers.
+class RoundRobinSchedule : public RestartSchedule {
+ public:
+  RoundRobinSchedule(std::size_t n, std::size_t r);
+  std::vector<std::vector<std::uint32_t>> BatchesForWindow(
+      std::uint32_t window) override;
+  const char* Name() const override { return "round-robin"; }
+
+ private:
+  std::size_t n_;
+  std::size_t r_;
+};
+
+// Randomized: each window picks ceil(n/r) batches of r hosts uniformly
+// without replacement within the window (so expected coverage is complete
+// but any particular host may be skipped across windows when n % r != 0).
+class RandomizedSchedule : public RestartSchedule {
+ public:
+  RandomizedSchedule(std::size_t n, std::size_t r, std::uint64_t seed);
+  std::vector<std::vector<std::uint32_t>> BatchesForWindow(
+      std::uint32_t window) override;
+  const char* Name() const override { return "randomized"; }
+
+ private:
+  std::size_t n_;
+  std::size_t r_;
+  Rng rng_;
+};
+
+std::unique_ptr<RestartSchedule> MakeSchedule(const std::string& name,
+                                              std::size_t n, std::size_t r,
+                                              std::uint64_t seed);
+
+}  // namespace pisces

@@ -1,0 +1,61 @@
+#include "pisces/share_store.h"
+
+namespace pisces {
+
+void ShareStore::Put(const FileMeta& meta, std::vector<field::FpElem> shares) {
+  Require(shares.size() == meta.num_blocks,
+          "ShareStore::Put: one share per block expected");
+  Entry e;
+  e.meta = meta;
+  e.secondary = field::SerializeElems(*ctx_, shares);
+  entries_[meta.file_id] = std::move(e);
+}
+
+bool ShareStore::Has(std::uint64_t file_id) const {
+  return entries_.find(file_id) != entries_.end();
+}
+
+std::vector<std::uint64_t> ShareStore::FileIds() const {
+  std::vector<std::uint64_t> ids;
+  ids.reserve(entries_.size());
+  for (const auto& [id, e] : entries_) ids.push_back(id);
+  return ids;
+}
+
+const FileMeta& ShareStore::MetaOf(std::uint64_t file_id) const {
+  auto it = entries_.find(file_id);
+  Require(it != entries_.end(), "ShareStore: unknown file");
+  return it->second.meta;
+}
+
+std::vector<field::FpElem>& ShareStore::Load(std::uint64_t file_id) {
+  auto it = entries_.find(file_id);
+  Require(it != entries_.end(), "ShareStore: unknown file");
+  Entry& e = it->second;
+  if (!e.ram) {
+    e.ram = field::DeserializeElems(*ctx_, e.secondary);
+  }
+  return *e.ram;
+}
+
+void ShareStore::Stash(std::uint64_t file_id) {
+  auto it = entries_.find(file_id);
+  Require(it != entries_.end(), "ShareStore: unknown file");
+  Entry& e = it->second;
+  if (e.ram) {
+    e.secondary = field::SerializeElems(*ctx_, *e.ram);
+    e.ram.reset();
+  }
+}
+
+void ShareStore::Delete(std::uint64_t file_id) { entries_.erase(file_id); }
+
+void ShareStore::WipeAll() { entries_.clear(); }
+
+std::uint64_t ShareStore::SecondaryBytes() const {
+  std::uint64_t total = 0;
+  for (const auto& [id, e] : entries_) total += e.secondary.size();
+  return total;
+}
+
+}  // namespace pisces

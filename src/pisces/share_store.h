@@ -1,0 +1,54 @@
+// Per-host share storage with the paper's two-tier model (SectionIV-C):
+// inactive shares live serialized in "secondary storage"; a refresh or
+// recovery loads them into the RAM tier, operates, and stashes them back.
+// Secure disassociation (reboot) wipes both tiers.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "pisces/file_codec.h"
+
+namespace pisces {
+
+class ShareStore {
+ public:
+  explicit ShareStore(const field::FpCtx& ctx) : ctx_(&ctx) {}
+
+  // Installs shares for a file (one element per block). Overwrites.
+  void Put(const FileMeta& meta, std::vector<field::FpElem> shares);
+
+  bool Has(std::uint64_t file_id) const;
+  std::vector<std::uint64_t> FileIds() const;
+  const FileMeta& MetaOf(std::uint64_t file_id) const;
+
+  // Loads shares into RAM (deserializing from the secondary tier if needed)
+  // and returns a mutable reference for in-place refresh.
+  std::vector<field::FpElem>& Load(std::uint64_t file_id);
+
+  // Serializes the RAM copy back to the secondary tier and drops the RAM
+  // copy. The previous secondary blob is destroyed -- this is the "old shares
+  // are deleted" step that makes captured shares obsolete.
+  void Stash(std::uint64_t file_id);
+
+  void Delete(std::uint64_t file_id);
+
+  // Secure disassociation: destroy everything (reboot path).
+  void WipeAll();
+
+  // Bytes at rest in the secondary tier (storage cost accounting).
+  std::uint64_t SecondaryBytes() const;
+
+ private:
+  struct Entry {
+    FileMeta meta;
+    Bytes secondary;                               // serialized, at rest
+    std::optional<std::vector<field::FpElem>> ram;  // loaded working copy
+  };
+
+  const field::FpCtx* ctx_;
+  std::map<std::uint64_t, Entry> entries_;
+};
+
+}  // namespace pisces

@@ -1,0 +1,71 @@
+#include "pss/baseline.h"
+
+#include "common/clock.h"
+
+namespace pisces::pss {
+
+using field::FpCtx;
+using field::FpElem;
+
+std::vector<std::vector<FpElem>> BaselineShare(
+    const FpCtx& ctx, const EvalPoints& points, std::size_t n, std::size_t t,
+    std::span<const FpElem> secrets, Rng& rng) {
+  Require(t + 1 <= n, "BaselineShare: need t+1 <= n");
+  std::vector<std::vector<FpElem>> shares(
+      n, std::vector<FpElem>(secrets.size(), ctx.Zero()));
+  for (std::size_t s = 0; s < secrets.size(); ++s) {
+    // Classic Shamir: f(0) = secret, degree t.
+    std::vector<FpElem> coeffs(t + 1, ctx.Zero());
+    coeffs[0] = secrets[s];
+    for (std::size_t j = 1; j <= t; ++j) coeffs[j] = ctx.Random(rng);
+    math::Poly f(std::move(coeffs));
+    for (std::size_t i = 0; i < n; ++i) {
+      shares[i][s] = f.Eval(ctx, points.alpha(i));
+    }
+  }
+  return shares;
+}
+
+BaselineStats BaselineRefresh(
+    const FpCtx& ctx, const EvalPoints& points, std::size_t n, std::size_t t,
+    std::vector<std::vector<FpElem>>& shares_by_party, Rng& rng) {
+  Require(shares_by_party.size() == n, "BaselineRefresh: wrong party count");
+  const std::size_t num_secrets = shares_by_party.at(0).size();
+  BaselineStats stats;
+  CpuTimer cpu;
+  cpu.Start();
+  for (std::size_t s = 0; s < num_secrets; ++s) {
+    // Every party deals an independent zero-free-term polynomial; the sum of
+    // all dealt evaluations rerandomizes every share of this secret.
+    for (std::size_t dealer = 0; dealer < n; ++dealer) {
+      std::vector<FpElem> coeffs(t + 1, ctx.Zero());
+      for (std::size_t j = 1; j <= t; ++j) coeffs[j] = ctx.Random(rng);
+      math::Poly z(std::move(coeffs));
+      for (std::size_t k = 0; k < n; ++k) {
+        shares_by_party[k][s] =
+            ctx.Add(shares_by_party[k][s], z.Eval(ctx, points.alpha(k)));
+      }
+    }
+    // Wire accounting: each dealer sends one evaluation to each other party
+    // (its own it keeps), per secret. No batching is possible.
+    stats.elems_sent += static_cast<std::uint64_t>(n) * (n - 1);
+    stats.msgs_sent += static_cast<std::uint64_t>(n) * (n - 1);
+  }
+  cpu.Stop();
+  stats.cpu_ns = cpu.nanos();
+  return stats;
+}
+
+FpElem BaselineReconstruct(
+    const FpCtx& ctx, const EvalPoints& points, std::size_t t,
+    const std::vector<std::vector<FpElem>>& shares_by_party,
+    std::size_t secret_index) {
+  std::vector<FpElem> xs, ys;
+  for (std::size_t i = 0; i <= t; ++i) {
+    xs.push_back(points.alpha(i));
+    ys.push_back(shares_by_party.at(i).at(secret_index));
+  }
+  return math::LagrangeEval(ctx, xs, ys, ctx.Zero());
+}
+
+}  // namespace pisces::pss

@@ -1,0 +1,51 @@
+// Baseline: HJKY'95-style proactive refresh (Herzberg-Jarecki-Krawczyk-Yung,
+// reference [25] in the paper).
+//
+// The paper's core systems claim is that the batched scheme of [7] reduces
+// the amortized update complexity from O(n^2) per secret -- "the best
+// overhead in existing schemes, i.e., [25]" -- to O(1). This module
+// implements that baseline so the claim can be measured instead of cited:
+//
+//  * one secret per polynomial (no packing: HJKY shares at the free term);
+//  * refresh deals one fresh zero-sharing PER PARTY PER SECRET: every party
+//    sends every other party one element per secret, n(n-1) elements per
+//    secret per round;
+//  * no hyperinvertible batching: nothing is amortized across secrets.
+//
+// bench/ablation_baseline_hjky compares bytes and CPU per secret against the
+// batched pipeline across n.
+#pragma once
+
+#include "pss/packed_shamir.h"
+
+namespace pisces::pss {
+
+struct BaselineStats {
+  // Field elements that crossed the (modeled) wire.
+  std::uint64_t elems_sent = 0;
+  std::uint64_t msgs_sent = 0;
+  std::uint64_t cpu_ns = 0;
+};
+
+// Shares `secrets` one-per-polynomial at the free term (degree t, classic
+// Shamir): returns shares_by_party[i][s].
+std::vector<std::vector<field::FpElem>> BaselineShare(
+    const field::FpCtx& ctx, const EvalPoints& points, std::size_t n,
+    std::size_t t, std::span<const field::FpElem> secrets, Rng& rng);
+
+// One HJKY refresh round over all secrets: every party deals a degree-t
+// polynomial with zero free term per secret; everyone adds the sum of the
+// dealt evaluations to its share. Updates shares in place and returns the
+// communication/CPU accounting.
+BaselineStats BaselineRefresh(
+    const field::FpCtx& ctx, const EvalPoints& points, std::size_t n,
+    std::size_t t, std::vector<std::vector<field::FpElem>>& shares_by_party,
+    Rng& rng);
+
+// Reconstructs secret s from t+1 shares (party indices 0..t used).
+field::FpElem BaselineReconstruct(
+    const field::FpCtx& ctx, const EvalPoints& points, std::size_t t,
+    const std::vector<std::vector<field::FpElem>>& shares_by_party,
+    std::size_t secret_index);
+
+}  // namespace pisces::pss

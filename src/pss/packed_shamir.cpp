@@ -1,0 +1,85 @@
+#include "pss/packed_shamir.h"
+
+#include "math/berlekamp_welch.h"
+
+namespace pisces::pss {
+
+PackedShamir::PackedShamir(std::shared_ptr<const FpCtx> ctx, Params params)
+    : ctx_(std::move(ctx)),
+      params_(params),
+      points_(*ctx_, params.n, params.l) {
+  params_.Validate();
+}
+
+std::vector<FpElem> PackedShamir::ShareBlock(std::span<const FpElem> secrets,
+                                             Rng& rng) const {
+  Require(secrets.size() == params_.l, "ShareBlock: need exactly l secrets");
+  math::Poly f = math::Poly::RandomWithConstraints(
+      *ctx_, rng, params_.degree(), points_.betas(), secrets);
+  std::vector<FpElem> shares;
+  shares.reserve(params_.n);
+  for (std::size_t i = 0; i < params_.n; ++i) {
+    shares.push_back(f.Eval(*ctx_, points_.alpha(i)));
+  }
+  return shares;
+}
+
+std::vector<FpElem> PackedShamir::ReconstructBlock(
+    std::span<const std::uint32_t> parties,
+    std::span<const FpElem> shares) const {
+  Require(parties.size() == shares.size(), "ReconstructBlock: size mismatch");
+  Require(parties.size() >= params_.degree() + 1,
+          "ReconstructBlock: not enough shares (need d+1)");
+  std::vector<FpElem> xs = points_.AlphasOf(parties);
+  std::vector<FpElem> secrets;
+  secrets.reserve(params_.l);
+  const std::size_t m = params_.degree() + 1;
+  std::span<const FpElem> xs_used(xs.data(), m);
+  std::span<const FpElem> ys_used(shares.data(), m);
+  for (std::size_t j = 0; j < params_.l; ++j) {
+    secrets.push_back(
+        math::LagrangeEval(*ctx_, xs_used, ys_used, points_.beta(j)));
+  }
+  return secrets;
+}
+
+bool PackedShamir::ConsistentShares(std::span<const std::uint32_t> parties,
+                                    std::span<const FpElem> shares) const {
+  std::vector<FpElem> xs = points_.AlphasOf(parties);
+  return math::PointsOnLowDegree(*ctx_, xs, shares, params_.degree());
+}
+
+std::optional<std::vector<FpElem>> PackedShamir::RobustReconstructBlock(
+    std::span<const std::uint32_t> parties,
+    std::span<const FpElem> shares) const {
+  Require(parties.size() == shares.size(),
+          "RobustReconstructBlock: size mismatch");
+  const std::size_t d = params_.degree();
+  if (parties.size() < d + 1) return std::nullopt;
+  std::vector<FpElem> xs = points_.AlphasOf(parties);
+  const std::size_t max_errors = (parties.size() - d - 1) / 2;
+  auto f = math::RobustInterpolate(*ctx_, xs, shares, d, max_errors);
+  if (!f) return std::nullopt;
+  std::vector<FpElem> secrets;
+  secrets.reserve(params_.l);
+  for (std::size_t j = 0; j < params_.l; ++j) {
+    secrets.push_back(f->Eval(*ctx_, points_.beta(j)));
+  }
+  return secrets;
+}
+
+std::vector<std::vector<FpElem>> PackedShamir::ReconstructionWeights(
+    std::span<const std::uint32_t> parties) const {
+  Require(parties.size() >= params_.degree() + 1,
+          "ReconstructionWeights: not enough parties");
+  std::vector<FpElem> xs = points_.AlphasOf(parties);
+  std::span<const FpElem> xs_used(xs.data(), params_.degree() + 1);
+  std::vector<std::vector<FpElem>> weights;
+  weights.reserve(params_.l);
+  for (std::size_t j = 0; j < params_.l; ++j) {
+    weights.push_back(math::LagrangeCoeffs(*ctx_, xs_used, points_.beta(j)));
+  }
+  return weights;
+}
+
+}  // namespace pisces::pss

@@ -1,0 +1,63 @@
+// Packed Shamir secret sharing (Franklin-Yung [22] in the paper).
+//
+// A block of l secrets (s_1..s_l) is shared with one random polynomial f of
+// degree <= d = t + l satisfying f(beta_j) = s_j; party i's share is
+// f(alpha_i). Privacy holds against any t shares; any d+1 shares reconstruct.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "common/rng.h"
+#include "math/poly.h"
+#include "pss/params.h"
+
+namespace pisces::pss {
+
+using field::FpCtx;
+using field::FpElem;
+
+class PackedShamir {
+ public:
+  PackedShamir(std::shared_ptr<const FpCtx> ctx, Params params);
+
+  const FpCtx& ctx() const { return *ctx_; }
+  const Params& params() const { return params_; }
+  const EvalPoints& points() const { return points_; }
+
+  // Shares one block; secrets.size() must be exactly l. Returns n shares,
+  // indexed by party.
+  std::vector<FpElem> ShareBlock(std::span<const FpElem> secrets,
+                                 Rng& rng) const;
+
+  // Reconstructs the l secrets of one block from shares held by `parties`
+  // (at least d+1 of them; extras are used for a consistency check).
+  std::vector<FpElem> ReconstructBlock(std::span<const std::uint32_t> parties,
+                                       std::span<const FpElem> shares) const;
+
+  // True iff the given (party, share) points lie on a degree <= d polynomial.
+  bool ConsistentShares(std::span<const std::uint32_t> parties,
+                        std::span<const FpElem> shares) const;
+
+  // Reconstruction tolerating corrupted share values (Berlekamp-Welch):
+  // succeeds when at most floor((parties.size() - d - 1) / 2) shares are
+  // wrong -- with the paper's 3t + l < n this covers t actively corrupted
+  // responders when all n respond. nullopt when decoding fails.
+  std::optional<std::vector<FpElem>> RobustReconstructBlock(
+      std::span<const std::uint32_t> parties,
+      std::span<const FpElem> shares) const;
+
+  // Precomputed reconstruction weights: recon[j][i] is the weight of
+  // parties[i]'s share in secret j. Reconstructing many blocks against the
+  // same responder set amortizes the O(d^2) Lagrange work (the client's
+  // download path).
+  std::vector<std::vector<FpElem>> ReconstructionWeights(
+      std::span<const std::uint32_t> parties) const;
+
+ private:
+  std::shared_ptr<const FpCtx> ctx_;
+  Params params_;
+  EvalPoints points_;
+};
+
+}  // namespace pisces::pss

@@ -1,0 +1,70 @@
+#include "pss/params.h"
+
+#include <string>
+
+namespace pisces::pss {
+
+void Params::Validate() const {
+  Require(n >= 4, "Params: need at least 4 parties");
+  Require(t >= 1, "Params: t must be >= 1");
+  Require(l >= 1, "Params: l must be >= 1");
+  Require(r >= 1, "Params: r must be >= 1");
+  Require(b >= 1, "Params: b must be >= 1");
+  Require(3 * t + l < n,
+          "Params: privacy/robustness requires 3t + l < n (paper III-B)");
+  // The paper states r + l < n - 3t (SectionVI-D) but its own recommended
+  // parameters (n=21: t=4, l=6, r=3) sit exactly at equality, so the bound is
+  // interpreted as non-strict. Our construction needs n - r >= t + l + 1
+  // survivors to interpolate and n - r - 2t >= 1 usable rows, both implied.
+  Require(r + l <= n - 3 * t,
+          "Params: batched reboot requires r + l <= n - 3t (paper VI-D)");
+  Require(r < n, "Params: cannot reboot every host at once");
+  // Field must be able to host n + l distinct nonzero evaluation points; any
+  // supported field size trivially satisfies this, but keep the check honest.
+  Require(field_bits >= 64 || n + l < (1ull << field_bits),
+          "Params: field too small for evaluation points");
+}
+
+bool Params::IsValid() const {
+  try {
+    Validate();
+    return true;
+  } catch (const InvalidArgument&) {
+    return false;
+  }
+}
+
+Params Params::Natural(std::size_t n, std::size_t field_bits) {
+  Params p;
+  p.n = n;
+  p.t = n / 4;
+  p.l = (n / 4 > 1) ? n / 4 - 1 : 1;
+  p.r = 1;
+  p.field_bits = field_bits;
+  // Natural parameters satisfy 3t + l < n only with slack for r; shrink l
+  // until a single reboot fits.
+  while (p.l > 1 && !(p.r + p.l < p.n - 3 * p.t)) --p.l;
+  p.Validate();
+  return p;
+}
+
+EvalPoints::EvalPoints(const field::FpCtx& ctx, std::size_t n, std::size_t l) {
+  betas_.reserve(l);
+  for (std::size_t j = 0; j < l; ++j) {
+    betas_.push_back(ctx.FromUint64(j + 1));
+  }
+  alphas_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    alphas_.push_back(ctx.FromUint64(l + 1 + i));
+  }
+}
+
+std::vector<field::FpElem> EvalPoints::AlphasOf(
+    std::span<const std::uint32_t> parties) const {
+  std::vector<field::FpElem> out;
+  out.reserve(parties.size());
+  for (std::uint32_t p : parties) out.push_back(alpha(p));
+  return out;
+}
+
+}  // namespace pisces::pss

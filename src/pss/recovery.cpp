@@ -1,0 +1,96 @@
+#include "pss/recovery.h"
+
+#include <algorithm>
+
+namespace pisces::pss {
+
+RecoveryPlan RecoveryPlan::For(std::size_t blocks, const Params& p,
+                               std::span<const std::uint32_t> rebooting) {
+  Require(!rebooting.empty(), "RecoveryPlan: nothing to recover");
+  Require(rebooting.size() <= p.r,
+          "RecoveryPlan: reboot batch exceeds configured r");
+  RecoveryPlan plan;
+  plan.blocks = blocks;
+  for (std::uint32_t i = 0; i < p.n; ++i) {
+    if (std::find(rebooting.begin(), rebooting.end(), i) == rebooting.end()) {
+      plan.survivors.push_back(i);
+    }
+  }
+  Require(plan.survivors.size() > p.check_rows(),
+          "RecoveryPlan: not enough survivors for verification");
+  Require(plan.survivors.size() >= p.degree() + 1,
+          "RecoveryPlan: not enough survivors to interpolate");
+  plan.usable = plan.survivors.size() - p.check_rows();
+  plan.groups = GroupsFor(std::max<std::size_t>(blocks, 1), plan.usable);
+  return plan;
+}
+
+VssBatch MakeRecoveryBatch(const PackedShamir& shamir,
+                           const RecoveryPlan& plan, std::uint32_t target) {
+  const Params& p = shamir.params();
+  std::vector<FpElem> vanish{shamir.points().alpha(target)};
+  return VssBatch(shamir.ctx(), shamir.points(), plan.survivors,
+                  std::move(vanish), p.degree(), p.check_rows(), plan.groups);
+}
+
+void ReferenceRecover(const PackedShamir& shamir,
+                      std::vector<std::vector<FpElem>>& shares_by_party,
+                      std::span<const std::uint32_t> rebooting, Rng& rng) {
+  const Params& p = shamir.params();
+  const FpCtx& ctx = shamir.ctx();
+  Require(shares_by_party.size() == p.n, "ReferenceRecover: wrong party count");
+  const std::size_t blocks = shares_by_party[0].size();
+  RecoveryPlan plan = RecoveryPlan::For(blocks, p, rebooting);
+  const std::size_t ns = plan.survivors.size();
+
+  for (std::uint32_t target : rebooting) {
+    VssBatch batch = MakeRecoveryBatch(shamir, plan, target);
+
+    // Survivors deal masks and transform.
+    std::vector<std::vector<std::vector<FpElem>>> deals;
+    deals.reserve(ns);
+    for (std::size_t i = 0; i < ns; ++i) deals.push_back(batch.Deal(rng));
+    std::vector<std::vector<std::vector<FpElem>>> outputs(ns);
+    for (std::size_t k = 0; k < ns; ++k) {
+      std::vector<std::vector<FpElem>> col(ns);
+      for (std::size_t i = 0; i < ns; ++i) col[i] = deals[i][k];
+      outputs[k] = batch.Transform(col, p.b);
+    }
+
+    // Verify check rows.
+    for (std::size_t a = 0; a < batch.check_rows(); ++a) {
+      for (std::size_t g = 0; g < batch.groups(); ++g) {
+        std::vector<FpElem> values(ns, ctx.Zero());
+        for (std::size_t k = 0; k < ns; ++k) values[k] = outputs[k][a][g];
+        Invariant(batch.VerifyCheckVector(values),
+                  "ReferenceRecover: check row failed");
+      }
+    }
+
+    // Survivors send masked shares; target interpolates at alpha_target.
+    std::vector<FpElem> xs;
+    xs.reserve(ns);
+    for (std::uint32_t s : plan.survivors) xs.push_back(shamir.points().alpha(s));
+    const std::size_t m = p.degree() + 1;
+    std::vector<FpElem> w = math::LagrangeCoeffs(
+        ctx, std::span<const FpElem>(xs.data(), m), shamir.points().alpha(target));
+
+    std::vector<FpElem>& target_shares = shares_by_party[target];
+    target_shares.assign(blocks, ctx.Zero());
+    for (std::size_t blk = 0; blk < blocks; ++blk) {
+      std::size_t g = blk / plan.usable;
+      std::size_t a = batch.check_rows() + (blk % plan.usable);
+      // masked[k] = f_blk(alpha_k) + q_blk(alpha_k)
+      FpElem acc = ctx.Zero();
+      for (std::size_t k = 0; k < m; ++k) {
+        FpElem masked = ctx.Add(shares_by_party[plan.survivors[k]][blk],
+                                outputs[k][a][g]);
+        acc = ctx.Add(acc, ctx.Mul(w[k], masked));
+      }
+      // q_blk(alpha_target) == 0, so acc == f_blk(alpha_target).
+      target_shares[blk] = acc;
+    }
+  }
+}
+
+}  // namespace pisces::pss

@@ -1,0 +1,53 @@
+// Share recovery for rebooted hosts (the paper's SectionIII-B
+// "reconstructing lost shares", the hard part of any PSS scheme).
+//
+// For each rebooted host rho, the surviving parties generate verified random
+// degree-<=d masking sharings q_b that vanish at alpha_rho (one per block,
+// produced by the same hyperinvertible pipeline as refresh, with vanishing
+// set {alpha_rho}); each survivor i then sends f_b(alpha_i) + q_b(alpha_i).
+// rho interpolates the masked polynomial g_b = f_b + q_b (possible: at least
+// d+1 survivors) and evaluates g_b(alpha_rho) = f_b(alpha_rho), its share.
+// Privacy: q_b is uniformly random everywhere except alpha_rho, so rho (and
+// any t eavesdropped survivors) learn nothing beyond rho's own share.
+//
+// This is the vanishing-mask formulation of the paper's batched share
+// reconstruction; it keeps the same O(1) amortized complexity (n dealings
+// yield dealers-2t verified masks) -- see DESIGN.md SectionIII for the
+// documented deviation from the share-of-shares matrix inversion.
+#pragma once
+
+#include "pss/packed_shamir.h"
+#include "pss/vss.h"
+
+namespace pisces::pss {
+
+struct RecoveryPlan {
+  std::size_t blocks = 0;
+  std::size_t usable = 0;  // survivors - 2t
+  std::size_t groups = 0;
+  std::vector<std::uint32_t> survivors;  // live parties, ascending
+
+  static RecoveryPlan For(std::size_t blocks, const Params& p,
+                          std::span<const std::uint32_t> rebooting);
+
+  std::optional<std::size_t> BlockFor(std::size_t a_rel, std::size_t g) const {
+    std::size_t idx = g * usable + a_rel;
+    if (idx >= blocks) return std::nullopt;
+    return idx;
+  }
+};
+
+// Builds the VssBatch for recovering shares of `target` among the plan's
+// survivors: vanishing set {alpha_target}, degree d, 2t check rows.
+VssBatch MakeRecoveryBatch(const PackedShamir& shamir,
+                           const RecoveryPlan& plan, std::uint32_t target);
+
+// Runs a complete recovery locally for every host in `rebooting`:
+// shares_by_party[i][b] holds current shares; entries for rebooting parties
+// are overwritten with the recovered values. Used by unit tests and as
+// executable documentation; pisces::Host implements the message version.
+void ReferenceRecover(const PackedShamir& shamir,
+                      std::vector<std::vector<FpElem>>& shares_by_party,
+                      std::span<const std::uint32_t> rebooting, Rng& rng);
+
+}  // namespace pisces::pss

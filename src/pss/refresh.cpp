@@ -1,0 +1,72 @@
+#include "pss/refresh.h"
+
+namespace pisces::pss {
+
+RefreshPlan RefreshPlan::For(std::size_t blocks, const Params& p) {
+  RefreshPlan plan;
+  plan.blocks = blocks;
+  plan.usable = p.UsableRows(p.n);
+  plan.groups = GroupsFor(std::max<std::size_t>(blocks, 1), plan.usable);
+  return plan;
+}
+
+VssBatch MakeRefreshBatch(const PackedShamir& shamir, std::size_t blocks) {
+  const Params& p = shamir.params();
+  RefreshPlan plan = RefreshPlan::For(blocks, p);
+  std::vector<std::uint32_t> holders(p.n);
+  for (std::size_t i = 0; i < p.n; ++i) holders[i] = static_cast<std::uint32_t>(i);
+  std::vector<FpElem> vanish(shamir.points().betas().begin(),
+                             shamir.points().betas().end());
+  return VssBatch(shamir.ctx(), shamir.points(), std::move(holders),
+                  std::move(vanish), p.degree(), p.check_rows(), plan.groups);
+}
+
+void ReferenceRefresh(const PackedShamir& shamir,
+                      std::vector<std::vector<FpElem>>& shares_by_party,
+                      Rng& rng) {
+  const Params& p = shamir.params();
+  const FpCtx& ctx = shamir.ctx();
+  Require(shares_by_party.size() == p.n, "ReferenceRefresh: wrong party count");
+  const std::size_t blocks = shares_by_party[0].size();
+  RefreshPlan plan = RefreshPlan::For(blocks, p);
+  VssBatch batch = MakeRefreshBatch(shamir, blocks);
+
+  // Phase 1: every party deals. deals[i][k][g] = dealer i's value for holder k.
+  std::vector<std::vector<std::vector<FpElem>>> deals;
+  deals.reserve(p.n);
+  for (std::size_t i = 0; i < p.n; ++i) deals.push_back(batch.Deal(rng));
+
+  // Phase 2: every holder transforms its received column.
+  // outputs[k][a][g] = holder k's share of output row a, group g.
+  std::vector<std::vector<std::vector<FpElem>>> outputs(p.n);
+  for (std::size_t k = 0; k < p.n; ++k) {
+    std::vector<std::vector<FpElem>> col(p.n);
+    for (std::size_t i = 0; i < p.n; ++i) col[i] = deals[i][k];
+    outputs[k] = batch.Transform(col, p.b);
+  }
+
+  // Phase 3: verify the first 2t rows across all holders.
+  for (std::size_t a = 0; a < batch.check_rows(); ++a) {
+    for (std::size_t g = 0; g < batch.groups(); ++g) {
+      std::vector<FpElem> values(p.n, ctx.Zero());
+      for (std::size_t k = 0; k < p.n; ++k) values[k] = outputs[k][a][g];
+      Invariant(batch.VerifyCheckVector(values),
+                "ReferenceRefresh: check row failed");
+    }
+  }
+
+  // Phase 4: apply usable rows to blocks and discard old shares.
+  for (std::size_t g = 0; g < batch.groups(); ++g) {
+    for (std::size_t a_rel = 0; a_rel < batch.usable_rows(); ++a_rel) {
+      auto blk = plan.BlockFor(a_rel, g);
+      if (!blk) continue;
+      std::size_t a = batch.check_rows() + a_rel;
+      for (std::size_t k = 0; k < p.n; ++k) {
+        shares_by_party[k][*blk] =
+            ctx.Add(shares_by_party[k][*blk], outputs[k][a][g]);
+      }
+    }
+  }
+}
+
+}  // namespace pisces::pss

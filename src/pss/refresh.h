@@ -1,0 +1,50 @@
+// Share refresh (rerandomization): the paper's SectionIII-B "refreshing old
+// shares".
+//
+// Every stored block is refreshed by adding a fresh verified random
+// zero-sharing (a polynomial that evaluates to zero at every beta_j): the
+// secrets are unchanged while every share is rerandomized, so shares an
+// adversary captured in earlier rounds become useless ("by deleting their old
+// share, they render knowledge of old shares useless").
+//
+// RefreshPlan maps the usable outputs of a VssBatch onto block indices.
+// ReferenceRefresh is a single-process implementation of the whole protocol
+// used by unit tests and as executable documentation of the algebra; the
+// message-passing version lives in pisces::Host and must agree with it.
+#pragma once
+
+#include <optional>
+
+#include "pss/packed_shamir.h"
+#include "pss/vss.h"
+
+namespace pisces::pss {
+
+struct RefreshPlan {
+  std::size_t blocks = 0;
+  std::size_t usable = 0;  // usable rows per group = dealers - 2t
+  std::size_t groups = 0;
+
+  static RefreshPlan For(std::size_t blocks, const Params& p);
+
+  // Block refreshed by usable row a_rel of group g; nullopt for padding
+  // outputs beyond the block count.
+  std::optional<std::size_t> BlockFor(std::size_t a_rel, std::size_t g) const {
+    std::size_t idx = g * usable + a_rel;
+    if (idx >= blocks) return std::nullopt;
+    return idx;
+  }
+};
+
+// Builds the VssBatch for a refresh round: all n parties, vanishing set
+// {beta_1..beta_l}, degree d, 2t check rows.
+VssBatch MakeRefreshBatch(const PackedShamir& shamir, std::size_t blocks);
+
+// Runs the complete refresh locally: shares_by_party[i][b] is party i's share
+// of block b; updated in place. Throws InternalError if verification fails
+// (cannot happen without fault injection).
+void ReferenceRefresh(const PackedShamir& shamir,
+                      std::vector<std::vector<FpElem>>& shares_by_party,
+                      Rng& rng);
+
+}  // namespace pisces::pss

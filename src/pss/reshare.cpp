@@ -1,0 +1,74 @@
+#include "pss/reshare.h"
+
+namespace pisces::pss {
+
+using field::FpElem;
+
+std::vector<std::vector<FpElem>> ReferenceReshare(
+    const PackedShamir& from, const PackedShamir& to,
+    const std::vector<std::vector<FpElem>>& shares_old, Rng& rng) {
+  const field::FpCtx& ctx = from.ctx();
+  Require(&ctx == &to.ctx(), "ReferenceReshare: schemes must share a field");
+  Require(from.params().l == to.params().l,
+          "ReferenceReshare: packing must match (re-pack via the codec "
+          "otherwise)");
+  const std::size_t l = from.params().l;
+  const std::size_t d_old = from.params().degree();
+  const std::size_t d_new = to.params().degree();
+  const std::size_t n_old = from.params().n;
+  const std::size_t n_new = to.params().n;
+  Require(shares_old.size() == n_old, "ReferenceReshare: wrong party count");
+  const std::size_t blocks = shares_old.at(0).size();
+
+  // Contributors: the first d_old+1 old parties (HBC, all responsive).
+  std::vector<std::uint32_t> contributors(d_old + 1);
+  for (std::uint32_t i = 0; i <= d_old; ++i) contributors[i] = i;
+
+  // w[j][i]: weight of contributor i's share in the old secret s_j.
+  auto w = from.ReconstructionWeights(contributors);
+
+  // lb[rho][j]: Lagrange basis over the betas evaluated at the new party
+  // points -- the degree-(l-1) interpolant of the secrets at alpha'_rho.
+  std::vector<FpElem> new_alphas(to.points().alphas().begin(),
+                                 to.points().alphas().end());
+  auto lb = math::LagrangeCoeffsMulti(ctx, to.points().betas(), new_alphas);
+
+  // c[rho][i] = sum_j lb[rho][j] * w[j][i]: contributor i's public
+  // coefficient toward new party rho. Block independent.
+  std::vector<std::vector<FpElem>> c(n_new,
+                                     std::vector<FpElem>(d_old + 1, ctx.Zero()));
+  for (std::size_t rho = 0; rho < n_new; ++rho) {
+    for (std::size_t i = 0; i <= d_old; ++i) {
+      FpElem acc = ctx.Zero();
+      for (std::size_t j = 0; j < l; ++j) {
+        acc = ctx.Add(acc, ctx.Mul(lb[rho][j], w[j][i]));
+      }
+      c[rho][i] = acc;
+    }
+  }
+
+  // Masking: each contributor adds a random degree-<=d_new polynomial that
+  // vanishes at every beta, so its wire contribution is marginally uniform.
+  math::Poly vanish = math::Poly::Vanishing(ctx, to.points().betas());
+  Require(d_new >= l, "ReferenceReshare: new degree below packing");
+
+  std::vector<std::vector<FpElem>> shares_new(
+      n_new, std::vector<FpElem>(blocks, ctx.Zero()));
+  for (std::size_t blk = 0; blk < blocks; ++blk) {
+    for (std::size_t i = 0; i <= d_old; ++i) {
+      math::Poly u = math::Poly::Random(ctx, rng, d_new - l);
+      math::Poly m = math::Poly::Mul(ctx, vanish, u);
+      const FpElem& share = shares_old[contributors[i]][blk];
+      for (std::size_t rho = 0; rho < n_new; ++rho) {
+        // v_i(rho) = c[rho][i] * f(alpha_i) + m_i(alpha'_rho): what old party
+        // i would send new party rho. The new share is the sum over i.
+        FpElem contribution = ctx.Add(ctx.Mul(c[rho][i], share),
+                                      m.Eval(ctx, to.points().alpha(rho)));
+        shares_new[rho][blk] = ctx.Add(shares_new[rho][blk], contribution);
+      }
+    }
+  }
+  return shares_new;
+}
+
+}  // namespace pisces::pss

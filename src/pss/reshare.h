@@ -1,0 +1,37 @@
+// Resharing to a new group (extension; the paper cites BELO's follow-up
+// "Communication-optimal proactive secret sharing for dynamic groups" [8] as
+// the dynamic-group variant and leaves adoption to future work).
+//
+// Moves a packed-shared block set from an old group (n, t, l, degree d) to a
+// new group (n', t', l', degree d') without ever reconstructing:
+//
+//   g = sum_i c_i(x) * f(alpha_i) + sum_i m_i(x)
+//
+// where the c_i interpolate the old secrets out of d+1 old shares and each
+// old party's masking polynomial m_i is uniformly random of degree <= d'
+// subject to vanishing at every beta (the new secrets must equal the old
+// ones). Each old party i sends the new party rho only its own contribution
+//   c_i(alpha'_rho) * f(alpha_i) + m_i(alpha'_rho),
+// which is marginally uniform (m_i is random at alpha'_rho), so neither the
+// new party nor any t'-subset of the new group learns anything about old
+// shares beyond the new sharing itself. This is the classic
+// Desmedt-Jajodia-style redistribution specialized to packed sharing,
+// honest-but-curious model.
+//
+// Requirements: l' == l (the packed secret slots carry over one-to-one; use
+// the codec to re-pack if the new group wants a different l), plus the usual
+// validity of both parameter sets.
+#pragma once
+
+#include "pss/packed_shamir.h"
+
+namespace pisces::pss {
+
+// Redistributes shares_old[i][blk] (old group, `from` scheme) into shares for
+// the new group (`to` scheme): returns shares_new[rho][blk]. Both schemes
+// must share one field context and the same packing l.
+std::vector<std::vector<field::FpElem>> ReferenceReshare(
+    const PackedShamir& from, const PackedShamir& to,
+    const std::vector<std::vector<field::FpElem>>& shares_old, Rng& rng);
+
+}  // namespace pisces::pss

@@ -1,0 +1,138 @@
+#include "pss/vss.h"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
+#include "common/clock.h"
+
+namespace pisces::pss {
+
+std::size_t GroupsFor(std::size_t wanted, std::size_t usable_rows) {
+  Require(usable_rows >= 1, "GroupsFor: no usable rows");
+  return (wanted + usable_rows - 1) / usable_rows;
+}
+
+VssBatch::VssBatch(const FpCtx& ctx, const EvalPoints& points,
+                   std::vector<std::uint32_t> holders,
+                   std::vector<FpElem> vanish, std::size_t degree,
+                   std::size_t check_rows, std::size_t groups)
+    : ctx_(&ctx),
+      holders_(std::move(holders)),
+      vanish_(std::move(vanish)),
+      degree_(degree),
+      check_rows_(check_rows),
+      groups_(groups) {
+  Require(!holders_.empty(), "VssBatch: no holders");
+  Require(check_rows_ < holders_.size(),
+          "VssBatch: need at least one usable row");
+  Require(vanish_.size() <= degree_, "VssBatch: too many vanishing points");
+  Require(groups_ >= 1, "VssBatch: need at least one group");
+  holder_alphas_.reserve(holders_.size());
+  for (std::uint32_t h : holders_) holder_alphas_.push_back(points.alpha(h));
+  m_ = math::CachedHyperInvertible(*ctx_, holders_.size(), holders_.size());
+  vanishing_poly_ = math::Poly::Vanishing(*ctx_, vanish_);
+  Require(holders_.size() >= degree_ + 1,
+          "VssBatch: verification needs degree+1 holders");
+  // One weight vector per extra holder point (degree check) and per vanish
+  // point (zero check), sharing one batch inversion.
+  std::vector<FpElem> eval_points(holder_alphas_.begin() + degree_ + 1,
+                                  holder_alphas_.end());
+  const std::size_t n_extra = eval_points.size();
+  eval_points.insert(eval_points.end(), vanish_.begin(), vanish_.end());
+  auto weights = math::LagrangeCoeffsMulti(
+      *ctx_, std::span<const FpElem>(holder_alphas_.data(), degree_ + 1),
+      eval_points);
+  extra_weights_.assign(weights.begin(), weights.begin() + n_extra);
+  vanish_weights_.assign(weights.begin() + n_extra, weights.end());
+}
+
+std::size_t VssBatch::IndexOf(std::uint32_t party) const {
+  auto it = std::find(holders_.begin(), holders_.end(), party);
+  return it == holders_.end() ? npos
+                              : static_cast<std::size_t>(it - holders_.begin());
+}
+
+std::vector<std::vector<FpElem>> VssBatch::Deal(Rng& rng) const {
+  const std::size_t nh = holders_.size();
+  std::vector<std::vector<FpElem>> out(
+      nh, std::vector<FpElem>(groups_, ctx_->Zero()));
+  for (std::size_t g = 0; g < groups_; ++g) {
+    // Random degree-<=d polynomial vanishing on V: z = W * u with W the
+    // precomputed vanishing polynomial and u uniform of degree d - |V|.
+    math::Poly u = math::Poly::Random(*ctx_, rng, degree_ - vanish_.size());
+    math::Poly z = math::Poly::Mul(*ctx_, vanishing_poly_, u);
+    for (std::size_t k = 0; k < nh; ++k) {
+      out[k][g] = z.Eval(*ctx_, holder_alphas_[k]);
+    }
+  }
+  return out;
+}
+
+std::vector<std::vector<FpElem>> VssBatch::Transform(
+    const std::vector<std::vector<FpElem>>& deals_by_dealer,
+    std::size_t workers, std::uint64_t* cpu_ns) const {
+  const std::size_t nh = holders_.size();
+  Require(deals_by_dealer.size() == nh, "Transform: wrong dealer count");
+  for (const auto& row : deals_by_dealer) {
+    Require(row.size() == groups_, "Transform: wrong group count");
+  }
+  std::vector<std::vector<FpElem>> out(
+      nh, std::vector<FpElem>(groups_, ctx_->Zero()));
+
+  std::atomic<std::uint64_t> cpu_total{0};
+  auto compute_rows = [&](std::size_t a_begin, std::size_t a_end) {
+    const std::uint64_t cpu_start = ThreadCpuNanos();
+    for (std::size_t a = a_begin; a < a_end; ++a) {
+      for (std::size_t i = 0; i < nh; ++i) {
+        const FpElem& m_ai = m_->At(a, i);
+        for (std::size_t g = 0; g < groups_; ++g) {
+          out[a][g] =
+              ctx_->Add(out[a][g], ctx_->Mul(m_ai, deals_by_dealer[i][g]));
+        }
+      }
+    }
+    cpu_total.fetch_add(ThreadCpuNanos() - cpu_start,
+                        std::memory_order_relaxed);
+  };
+
+  workers = std::max<std::size_t>(1, std::min(workers, nh));
+  if (workers == 1) {
+    compute_rows(0, nh);
+  } else {
+    // Static partition over output rows: deterministic results regardless of
+    // scheduling.
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    const std::size_t chunk = (nh + workers - 1) / workers;
+    for (std::size_t w = 0; w < workers; ++w) {
+      std::size_t begin = w * chunk;
+      std::size_t end = std::min(nh, begin + chunk);
+      if (begin >= end) break;
+      pool.emplace_back(compute_rows, begin, end);
+    }
+    for (auto& th : pool) th.join();
+  }
+  if (cpu_ns != nullptr) *cpu_ns += cpu_total.load();
+  return out;
+}
+
+bool VssBatch::VerifyCheckVector(std::span<const FpElem> values) const {
+  if (values.size() != holders_.size()) return false;
+  // Degree check: each point beyond the first degree+1 must match the
+  // interpolant of those first points.
+  for (std::size_t e = 0; e < extra_weights_.size(); ++e) {
+    FpElem predicted =
+        math::PointChecker::Apply(*ctx_, extra_weights_[e], values);
+    if (!ctx_->Eq(predicted, values[degree_ + 1 + e])) return false;
+  }
+  // Vanishing check: evaluate the interpolant on V (precomputed weights).
+  for (const auto& w : vanish_weights_) {
+    if (!ctx_->IsZero(math::PointChecker::Apply(*ctx_, w, values))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace pisces::pss

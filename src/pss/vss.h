@@ -1,0 +1,103 @@
+// Verifiable batch generation of random vanishing sharings via
+// hyperinvertible matrices (the VSS technique of [16], [15] as used by the
+// paper's underlying PSS scheme [7]).
+//
+// One batch run among `dealers` live parties:
+//   1. every dealer samples G random degree-<=d polynomials that vanish on a
+//      designated point set V and sends each holder its evaluations (Deal);
+//   2. every holder applies a hyperinvertible matrix M across the dealer
+//      dimension, producing `dealers` output sharings per group;
+//   3. the first 2t output rows are opened toward verifier parties, who check
+//      degree <= d and vanishing on V (Check/Verdict);
+//   4. the remaining dealers-2t rows are guaranteed uniformly random
+//      vanishing sharings even against t corrupt dealers.
+//
+// With V = {beta_1..beta_l} the usable outputs are zero-sharings for refresh;
+// with V = {alpha_rho} they are recovery masks for rebooted host rho. The
+// functions here are pure compute; pisces::Host wires them to messages.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/rng.h"
+#include "math/matrix.h"
+#include "math/poly.h"
+#include "pss/params.h"
+
+namespace pisces::pss {
+
+using field::FpCtx;
+using field::FpElem;
+
+// Static description of one batch run, shared by all participants.
+class VssBatch {
+ public:
+  // `holders` are the live parties (dealer set == holder set), in a globally
+  // agreed order. `vanish` is V. `degree` is d. `ctx` must outlive the batch.
+  VssBatch(const FpCtx& ctx, const EvalPoints& points,
+           std::vector<std::uint32_t> holders, std::vector<FpElem> vanish,
+           std::size_t degree, std::size_t check_rows, std::size_t groups);
+
+  const FpCtx& ctx() const { return *ctx_; }
+  std::size_t dealers() const { return holders_.size(); }
+  std::size_t groups() const { return groups_; }
+  std::size_t check_rows() const { return check_rows_; }
+  std::size_t usable_rows() const { return holders_.size() - check_rows_; }
+  std::size_t degree() const { return degree_; }
+  const std::vector<std::uint32_t>& holders() const { return holders_; }
+  // Position of a party in the holder order, or npos.
+  std::size_t IndexOf(std::uint32_t party) const;
+
+  // --- dealer side ---
+  // Samples G vanishing polynomials and evaluates them for every holder.
+  // Result: deal[k][g] = z_g(alpha of holders()[k]). Row k is the payload of
+  // the Deal message to holder k.
+  std::vector<std::vector<FpElem>> Deal(Rng& rng) const;
+
+  // --- holder side ---
+  // deals_by_dealer[i][g]: the evaluation received from dealer i (order of
+  // holders()). Returns out[a][g] for output rows a < dealers().
+  // `workers` splits the output rows across threads (the paper's b). When
+  // cpu_ns is non-null it accumulates the CPU time consumed across all
+  // workers (thread-CPU clocks do not see child threads, so the caller
+  // cannot measure this itself).
+  std::vector<std::vector<FpElem>> Transform(
+      const std::vector<std::vector<FpElem>>& deals_by_dealer,
+      std::size_t workers = 1, std::uint64_t* cpu_ns = nullptr) const;
+
+  // --- verifier side ---
+  // values[k]: holder k's evaluation of one check-row sharing (one group).
+  // Checks degree <= d and vanishing on V.
+  bool VerifyCheckVector(std::span<const FpElem> values) const;
+
+  // Verifier responsible for check row a (round-robin over holders).
+  std::uint32_t VerifierOf(std::size_t check_row) const {
+    return holders_[check_row % holders_.size()];
+  }
+
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+ private:
+  const FpCtx* ctx_;
+  std::vector<std::uint32_t> holders_;
+  std::vector<FpElem> holder_alphas_;
+  std::vector<FpElem> vanish_;
+  std::size_t degree_;
+  std::size_t check_rows_;
+  std::size_t groups_;
+  std::shared_ptr<const math::Matrix> m_;  // hyperinvertible, dealers^2
+  math::Poly vanishing_poly_;  // prod over V of (x - v), reused per dealing
+  // Verification weights over the first degree+1 holder points: one weight
+  // vector per extra holder point (degree check) followed by one per
+  // vanishing point (zero check). All from a single batch inversion.
+  std::vector<std::vector<FpElem>> extra_weights_;
+  std::vector<std::vector<FpElem>> vanish_weights_;
+};
+
+// Groups needed so that usable_rows * groups >= wanted sharings.
+std::size_t GroupsFor(std::size_t wanted, std::size_t usable_rows);
+
+}  // namespace pisces::pss

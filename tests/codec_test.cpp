@@ -1,0 +1,81 @@
+// File codec tests: framing, padding accounting, integrity detection.
+#include <gtest/gtest.h>
+
+#include "field/primes.h"
+#include "pisces/file_codec.h"
+
+namespace pisces {
+namespace {
+
+class CodecTest : public ::testing::TestWithParam<std::size_t> {
+ protected:
+  CodecTest() : ctx_(field::StandardPrimeBe(GetParam())), rng_(5) {}
+  field::FpCtx ctx_;
+  Rng rng_;
+};
+
+TEST_P(CodecTest, RoundTripVariousSizes) {
+  FileCodec codec(ctx_, 4);
+  for (std::size_t size : {0u, 1u, 7u, 100u, 1000u, 4096u}) {
+    Bytes data = rng_.RandomBytes(size);
+    auto [meta, elems] = codec.Encode(42, data);
+    EXPECT_EQ(meta.raw_size, size);
+    EXPECT_EQ(elems.size(), meta.num_blocks * 4);
+    EXPECT_GE(elems.size(), meta.num_elems);
+    Bytes back = codec.Decode(meta, elems);
+    EXPECT_EQ(back, data) << size;
+  }
+}
+
+TEST_P(CodecTest, SizeAccounting) {
+  FileCodec codec(ctx_, 6);
+  const std::size_t payload = ctx_.payload_bytes();
+  for (std::size_t size : {1u, 100u, 10240u}) {
+    EXPECT_EQ(codec.ElemsFor(size), (8 + size + payload - 1) / payload);
+    EXPECT_EQ(codec.BlocksFor(size), (codec.ElemsFor(size) + 5) / 6);
+    EXPECT_EQ(codec.PaddingFor(size),
+              codec.BlocksFor(size) * 6 * payload - size);
+  }
+}
+
+TEST_P(CodecTest, PerBytePaddingShrinksWithFileSize) {
+  FileCodec codec(ctx_, 6);
+  double small = static_cast<double>(codec.PaddingFor(10 * 1024)) / (10 * 1024);
+  double large =
+      static_cast<double>(codec.PaddingFor(1024 * 1024)) / (1024 * 1024);
+  EXPECT_LT(large, small);  // the paper's SectionVII-B observation
+}
+
+TEST_P(CodecTest, CorruptionDetected) {
+  FileCodec codec(ctx_, 3);
+  Bytes data = rng_.RandomBytes(500);
+  auto [meta, elems] = codec.Encode(1, data);
+  // Flip one element.
+  auto bad = elems;
+  bad[2] = ctx_.Add(bad[2], ctx_.One());
+  EXPECT_THROW(codec.Decode(meta, bad), ParseError);
+  // Truncated element list.
+  auto missing = elems;
+  missing.resize(meta.num_elems - 1);
+  EXPECT_THROW(codec.Decode(meta, missing), ParseError);
+  // Wrong meta length.
+  FileMeta wrong = meta;
+  wrong.raw_size += 1;
+  EXPECT_THROW(codec.Decode(wrong, elems), ParseError);
+}
+
+TEST_P(CodecTest, MetaSerialization) {
+  FileCodec codec(ctx_, 3);
+  auto [meta, elems] = codec.Encode(77, rng_.RandomBytes(300));
+  FileMeta back = FileMeta::Deserialize(meta.Serialize());
+  EXPECT_EQ(back.file_id, meta.file_id);
+  EXPECT_EQ(back.raw_size, meta.raw_size);
+  EXPECT_EQ(back.num_elems, meta.num_elems);
+  EXPECT_EQ(back.num_blocks, meta.num_blocks);
+  EXPECT_EQ(back.checksum, meta.checksum);
+}
+
+INSTANTIATE_TEST_SUITE_P(Fields, CodecTest, ::testing::Values(256, 1024));
+
+}  // namespace
+}  // namespace pisces

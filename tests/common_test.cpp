@@ -1,0 +1,110 @@
+// Byte utilities, error types, logging, and timers.
+#include <gtest/gtest.h>
+
+#include "common/bytes.h"
+#include "common/clock.h"
+#include "common/error.h"
+#include "common/log.h"
+
+namespace pisces {
+namespace {
+
+TEST(Hex, RoundTrip) {
+  Bytes data{0x00, 0x01, 0xAB, 0xFF};
+  EXPECT_EQ(ToHex(data), "0001abff");
+  EXPECT_EQ(FromHex("0001abff"), data);
+  EXPECT_EQ(FromHex("0001ABFF"), data);  // uppercase accepted
+}
+
+TEST(Hex, RejectsBadInput) {
+  EXPECT_THROW(FromHex("abc"), InvalidArgument);   // odd length
+  EXPECT_THROW(FromHex("zz"), InvalidArgument);    // non-hex
+}
+
+TEST(LittleEndian, StoreLoad) {
+  std::uint8_t buf[8];
+  StoreLe32(0x12345678u, buf);
+  EXPECT_EQ(buf[0], 0x78);
+  EXPECT_EQ(buf[3], 0x12);
+  EXPECT_EQ(LoadLe32(buf), 0x12345678u);
+  StoreLe64(0x0123456789ABCDEFull, buf);
+  EXPECT_EQ(LoadLe64(buf), 0x0123456789ABCDEFull);
+}
+
+TEST(ByteWriterReader, RoundTrip) {
+  ByteWriter w;
+  w.U8(7);
+  w.U32(1234);
+  w.U64(0xDEADBEEFCAFEull);
+  w.Blob(Bytes{1, 2, 3});
+  w.Raw(Bytes{9, 9});
+  Bytes data = w.Take();
+
+  ByteReader r(data);
+  EXPECT_EQ(r.U8(), 7);
+  EXPECT_EQ(r.U32(), 1234u);
+  EXPECT_EQ(r.U64(), 0xDEADBEEFCAFEull);
+  auto blob = r.Blob();
+  EXPECT_EQ(Bytes(blob.begin(), blob.end()), (Bytes{1, 2, 3}));
+  EXPECT_EQ(r.Remaining(), 2u);
+  auto raw = r.Raw(2);
+  EXPECT_EQ(raw[0], 9);
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(ByteReader, UnderflowThrows) {
+  Bytes data{1, 2};
+  ByteReader r(data);
+  EXPECT_THROW(r.U32(), ParseError);
+  ByteReader r2(data);
+  EXPECT_THROW(r2.Raw(3), ParseError);
+  ByteReader r3(data);
+  EXPECT_THROW(r3.Blob(), ParseError);
+}
+
+TEST(Errors, HierarchyAndHelpers) {
+  EXPECT_THROW(Require(false, "nope"), InvalidArgument);
+  EXPECT_NO_THROW(Require(true, "fine"));
+  EXPECT_THROW(Invariant(false, "bug"), InternalError);
+  // Both are Errors, catchable as the base.
+  try {
+    Require(false, "x");
+    FAIL();
+  } catch (const Error& e) {
+    EXPECT_STREQ(e.what(), "x");
+  }
+}
+
+TEST(Clock, CpuTimerAccumulates) {
+  CpuTimer t;
+  t.Start();
+  // Burn a little CPU.
+  volatile std::uint64_t acc = 1;
+  for (int i = 0; i < 2000000; ++i) acc = acc * 31 + 7;
+  t.Stop();
+  std::uint64_t first = t.nanos();
+  EXPECT_GT(first, 0u);
+  {
+    CpuScope scope(t);
+    for (int i = 0; i < 2000000; ++i) acc = acc * 31 + 7;
+  }
+  EXPECT_GT(t.nanos(), first);
+  t.Reset();
+  EXPECT_EQ(t.nanos(), 0u);
+}
+
+TEST(Clock, MonotonicAdvances) {
+  std::uint64_t a = MonotonicNanos();
+  std::uint64_t b = MonotonicNanos();
+  EXPECT_GE(b, a);
+}
+
+TEST(Log, LevelGate) {
+  LogLevel old = GetLogLevel();
+  SetLogLevel(LogLevel::kOff);
+  LogWarn() << "should not crash while disabled";
+  SetLogLevel(old);
+}
+
+}  // namespace
+}  // namespace pisces

@@ -1,0 +1,78 @@
+// Cost model tests against the paper's Table I.
+#include <gtest/gtest.h>
+
+#include "pisces/cost_model.h"
+
+namespace pisces {
+namespace {
+
+TEST(CostModel, TableIValues) {
+  const InstanceSpec& small = SpecOf(InstanceType::kSmall);
+  EXPECT_STREQ(small.name, "Small");
+  EXPECT_EQ(small.vcpus, 1u);
+  EXPECT_DOUBLE_EQ(small.memory_gib, 1.7);
+  EXPECT_DOUBLE_EQ(small.storage_gb, 160.0);
+  EXPECT_DOUBLE_EQ(small.dedicated_per_hour, 0.048);
+  EXPECT_DOUBLE_EQ(small.spot_per_hour, 0.0071);
+
+  const InstanceSpec& medium = SpecOf(InstanceType::kMedium);
+  EXPECT_DOUBLE_EQ(medium.dedicated_per_hour, 0.143);
+  EXPECT_DOUBLE_EQ(medium.spot_per_hour, 0.0162);
+  EXPECT_EQ(medium.vcpus, 2u);
+
+  const InstanceSpec& large = SpecOf(InstanceType::kLarge);
+  EXPECT_DOUBLE_EQ(large.dedicated_per_hour, 0.193);
+  EXPECT_DOUBLE_EQ(large.spot_per_hour, 0.025);
+  EXPECT_DOUBLE_EQ(large.memory_gib, 7.5);
+}
+
+TEST(CostModel, InstanceFromName) {
+  EXPECT_EQ(InstanceFromName("Small"), InstanceType::kSmall);
+  EXPECT_EQ(InstanceFromName("Large"), InstanceType::kLarge);
+  EXPECT_THROW(InstanceFromName("XL"), InvalidArgument);
+}
+
+TEST(CostModel, MachineModelScalesByInstanceAndThreads) {
+  MachineModel m;
+  m.instance = InstanceType::kSmall;
+  m.build_machine_ecu = 25.0;
+  // 1 CPU-second here = 25 ECU-seconds = 25 s on a 1-ECU single-core Small.
+  EXPECT_DOUBLE_EQ(m.InstanceSeconds(1.0, 1), 25.0);
+  // Extra threads cannot help a single-vCPU instance.
+  EXPECT_DOUBLE_EQ(m.InstanceSeconds(1.0, 4), 25.0);
+  m.instance = InstanceType::kMedium;  // 2 vCPU x 2.5 ECU
+  EXPECT_DOUBLE_EQ(m.InstanceSeconds(1.0, 1), 10.0);
+  EXPECT_DOUBLE_EQ(m.InstanceSeconds(1.0, 2), 5.0);
+  EXPECT_DOUBLE_EQ(m.InstanceSeconds(1.0, 8), 5.0);  // capped at vCPUs
+}
+
+TEST(CostModel, WindowCostIncludesDedicatedFee) {
+  CostModel cost;
+  cost.machine.instance = InstanceType::kSmall;
+  // 10 machines for one hour: 10 * 0.048 + 2.00 fee.
+  EXPECT_NEAR(cost.WindowCost(10, 3600.0, false), 0.48 + 2.0, 1e-9);
+  // Spot has no dedicated fee.
+  EXPECT_NEAR(cost.WindowCost(10, 3600.0, true), 0.071, 1e-9);
+  // Sub-hour windows scale linearly (per-second billing model).
+  EXPECT_NEAR(cost.WindowCost(10, 360.0, false), (0.48 + 2.0) / 10, 1e-9);
+}
+
+TEST(CostModel, LargerInstanceCostsMoreButRunsFaster) {
+  CostModel small_cost, large_cost;
+  small_cost.machine.instance = InstanceType::kSmall;
+  large_cost.machine.instance = InstanceType::kLarge;
+  double cpu_s = 2.0;
+  double t_small = small_cost.machine.InstanceSeconds(cpu_s, 2);
+  double t_large = large_cost.machine.InstanceSeconds(cpu_s, 2);
+  EXPECT_LT(t_large, t_small);
+  EXPECT_GT(SpecOf(InstanceType::kLarge).dedicated_per_hour,
+            SpecOf(InstanceType::kSmall).dedicated_per_hour);
+}
+
+TEST(CostModel, StorageCost) {
+  CostModel cost;
+  EXPECT_DOUBLE_EQ(cost.StorageCostPerMonth(10.0), 1.0);
+}
+
+}  // namespace
+}  // namespace pisces

@@ -1,0 +1,280 @@
+// Crypto substrate tests against published vectors (FIPS 180-4, RFC 4231,
+// RFC 5869, RFC 8439) plus behavioural tests for Schnorr, the CA, and the
+// secure channel.
+#include <gtest/gtest.h>
+
+#include "crypto/ca.h"
+#include "crypto/chacha20.h"
+#include "crypto/channel.h"
+#include "crypto/hkdf.h"
+#include "crypto/hmac.h"
+#include "crypto/sha256.h"
+
+namespace pisces::crypto {
+namespace {
+
+Bytes Ascii(std::string_view s) {
+  return Bytes(s.begin(), s.end());
+}
+
+std::string HexOf(std::span<const std::uint8_t> d) { return ToHex(d); }
+
+TEST(Sha256, EmptyString) {
+  EXPECT_EQ(HexOf(Sha256Hash({})),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+  EXPECT_EQ(HexOf(Sha256Hash(Ascii("abc"))),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+  EXPECT_EQ(HexOf(Sha256Hash(Ascii(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"))),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionA) {
+  Sha256 h;
+  Bytes chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.Update(chunk);
+  EXPECT_EQ(HexOf(h.Finish()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, IncrementalMatchesOneShot) {
+  Bytes data = Ascii("the quick brown fox jumps over the lazy dog 0123456789");
+  for (std::size_t split = 0; split <= data.size(); split += 7) {
+    Sha256 h;
+    h.Update(std::span<const std::uint8_t>(data).subspan(0, split));
+    h.Update(std::span<const std::uint8_t>(data).subspan(split));
+    EXPECT_EQ(h.Finish(), Sha256Hash(data)) << split;
+  }
+}
+
+TEST(Hmac, Rfc4231Case1) {
+  Bytes key(20, 0x0b);
+  EXPECT_EQ(HexOf(HmacSha256(key, Ascii("Hi There"))),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(Hmac, Rfc4231Case2) {
+  EXPECT_EQ(HexOf(HmacSha256(Ascii("Jefe"),
+                             Ascii("what do ya want for nothing?"))),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(Hmac, LongKeyIsHashed) {
+  Bytes key(131, 0xaa);
+  // RFC 4231 test case 6.
+  EXPECT_EQ(HexOf(HmacSha256(
+                key, Ascii("Test Using Larger Than Block-Size Key - Hash "
+                           "Key First"))),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(Hmac, DigestEqConstantTime) {
+  Digest a{}, b{};
+  EXPECT_TRUE(DigestEq(a, b));
+  b[31] = 1;
+  EXPECT_FALSE(DigestEq(a, b));
+}
+
+TEST(Hkdf, Rfc5869Case1) {
+  Bytes ikm(22, 0x0b);
+  Bytes salt = FromHex("000102030405060708090a0b0c");
+  Bytes info = FromHex("f0f1f2f3f4f5f6f7f8f9");
+  Bytes okm = HkdfSha256(salt, ikm, info, 42);
+  EXPECT_EQ(ToHex(okm),
+            "3cb25f25faacd57a90434f64d0362f2a"
+            "2d2d0a90cf1a5a4c5db02d56ecc4c5bf"
+            "34007208d5b887185865");
+}
+
+TEST(Hkdf, DifferentInfoGivesDifferentKeys) {
+  Bytes ikm(32, 0x42);
+  Bytes a = HkdfSha256({}, ikm, Ascii("a"), 32);
+  Bytes b = HkdfSha256({}, ikm, Ascii("b"), 32);
+  EXPECT_NE(a, b);
+}
+
+TEST(ChaCha20, Rfc8439BlockFunction) {
+  Bytes key = FromHex(
+      "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f");
+  Bytes nonce = FromHex("000000090000004a00000000");
+  auto block = ChaCha20Block(key, nonce, 1);
+  EXPECT_EQ(ToHex(std::span<const std::uint8_t>(block.data(), 16)),
+            "10f1e7e4d13b5915500fdd1fa32071c4");
+}
+
+TEST(ChaCha20, Rfc8439Encryption) {
+  Bytes key = FromHex(
+      "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f");
+  Bytes nonce = FromHex("000000000000004a00000000");
+  Bytes plaintext = Ascii(
+      "Ladies and Gentlemen of the class of '99: If I could offer you "
+      "only one tip for the future, sunscreen would be it.");
+  Bytes ct = plaintext;
+  ChaCha20Xor(key, nonce, 1, ct);
+  EXPECT_EQ(ToHex(std::span<const std::uint8_t>(ct.data(), 32)),
+            "6e2e359a2568f98041ba0728dd0d6981"
+            "e97e7aec1d4360c20a27afccfd9fae0b");
+  // Decryption is the same operation.
+  Bytes back = ct;
+  ChaCha20Xor(key, nonce, 1, back);
+  EXPECT_EQ(back, plaintext);
+}
+
+TEST(ChaCha20, RejectsBadSizes) {
+  Bytes key(31, 0);
+  Bytes nonce(12, 0);
+  Bytes data(4, 0);
+  EXPECT_THROW(ChaCha20Xor(key, nonce, 0, data), InvalidArgument);
+}
+
+class SchnorrTest : public ::testing::Test {
+ protected:
+  SchnorrTest() : group_(SchnorrGroup::Default()), rng_(33) {}
+  const SchnorrGroup& group_;
+  Rng rng_;
+};
+
+TEST_F(SchnorrTest, GroupStructure) {
+  const auto& p = group_.p_ctx();
+  EXPECT_EQ(p.bits(), 512u);
+  EXPECT_EQ(group_.q_ctx().bits(), 256u);
+  // g has order q: g^q == 1.
+  Bytes q_be = group_.q_ctx().ModulusBytes();
+  EXPECT_TRUE(p.Eq(p.PowBytes(group_.g(), q_be), p.One()));
+  EXPECT_FALSE(p.Eq(group_.g(), p.One()));
+}
+
+TEST_F(SchnorrTest, SignVerifyRoundTrip) {
+  auto keys = SchnorrKeygen(group_, rng_);
+  Bytes msg = Ascii("refresh epoch 7 commitment");
+  auto sig = SchnorrSign(group_, keys.sk, msg, rng_);
+  EXPECT_TRUE(SchnorrVerify(group_, keys.pk, msg, sig));
+}
+
+TEST_F(SchnorrTest, TamperedMessageFails) {
+  auto keys = SchnorrKeygen(group_, rng_);
+  auto sig = SchnorrSign(group_, keys.sk, Ascii("hello"), rng_);
+  EXPECT_FALSE(SchnorrVerify(group_, keys.pk, Ascii("hellp"), sig));
+}
+
+TEST_F(SchnorrTest, WrongKeyFails) {
+  auto keys = SchnorrKeygen(group_, rng_);
+  auto other = SchnorrKeygen(group_, rng_);
+  auto sig = SchnorrSign(group_, keys.sk, Ascii("msg"), rng_);
+  EXPECT_FALSE(SchnorrVerify(group_, other.pk, Ascii("msg"), sig));
+}
+
+TEST_F(SchnorrTest, SignatureSerialization) {
+  auto keys = SchnorrKeygen(group_, rng_);
+  auto sig = SchnorrSign(group_, keys.sk, Ascii("x"), rng_);
+  auto back = SchnorrSignature::Deserialize(sig.Serialize());
+  EXPECT_EQ(back.e, sig.e);
+  EXPECT_EQ(back.s, sig.s);
+}
+
+TEST_F(SchnorrTest, DhSharedSecretSymmetric) {
+  auto a = SchnorrKeygen(group_, rng_);
+  auto b = SchnorrKeygen(group_, rng_);
+  EXPECT_EQ(DhSharedSecret(group_, a.sk, b.pk),
+            DhSharedSecret(group_, b.sk, a.pk));
+  auto c = SchnorrKeygen(group_, rng_);
+  EXPECT_NE(DhSharedSecret(group_, a.sk, b.pk),
+            DhSharedSecret(group_, a.sk, c.pk));
+}
+
+TEST_F(SchnorrTest, CertAuthorityIssuesVerifiableCerts) {
+  CertAuthority ca(group_, rng_);
+  auto [cert, sk] = ca.IssueHostKey(5, 2, rng_);
+  EXPECT_EQ(cert.host_id, 5u);
+  EXPECT_EQ(cert.epoch, 2u);
+  EXPECT_TRUE(CertAuthority::VerifyCert(group_, ca.public_key(), cert));
+  // Cert round-trips the wire.
+  auto back = HostCert::Deserialize(cert.Serialize());
+  EXPECT_TRUE(CertAuthority::VerifyCert(group_, ca.public_key(), back));
+  // Tampering breaks it.
+  back.host_id = 6;
+  EXPECT_FALSE(CertAuthority::VerifyCert(group_, ca.public_key(), back));
+}
+
+TEST_F(SchnorrTest, CertFromOtherCaRejected) {
+  CertAuthority ca1(group_, rng_);
+  CertAuthority ca2(group_, rng_);
+  auto [cert, sk] = ca1.IssueHostKey(1, 1, rng_);
+  EXPECT_FALSE(CertAuthority::VerifyCert(group_, ca2.public_key(), cert));
+}
+
+class ChannelTest : public ::testing::Test {
+ protected:
+  ChannelTest() : group_(SchnorrGroup::Default()), rng_(44) {
+    a_keys_ = SchnorrKeygen(group_, rng_);
+    b_keys_ = SchnorrKeygen(group_, rng_);
+  }
+  SecureChannel MakeA() {
+    return MakeChannel(group_, a_keys_.sk, b_keys_.pk, 1, 10, 20);
+  }
+  SecureChannel MakeB() {
+    return MakeChannel(group_, b_keys_.sk, a_keys_.pk, 1, 20, 10);
+  }
+  const SchnorrGroup& group_;
+  Rng rng_;
+  SchnorrKeyPair a_keys_, b_keys_;
+};
+
+TEST_F(ChannelTest, SealOpenRoundTrip) {
+  auto a = MakeA();
+  auto b = MakeB();
+  Bytes msg = Ascii("share block 42");
+  Bytes frame = a.Seal(msg);
+  EXPECT_NE(frame, msg);  // actually encrypted
+  auto opened = b.Open(frame);
+  ASSERT_TRUE(opened.has_value());
+  EXPECT_EQ(*opened, msg);
+  // And the other direction with independent keys.
+  Bytes frame2 = b.Seal(msg);
+  EXPECT_NE(frame2, frame);
+  auto opened2 = a.Open(frame2);
+  ASSERT_TRUE(opened2.has_value());
+  EXPECT_EQ(*opened2, msg);
+}
+
+TEST_F(ChannelTest, TamperDetected) {
+  auto a = MakeA();
+  auto b = MakeB();
+  Bytes frame = a.Seal(Ascii("data"));
+  frame[frame.size() / 2] ^= 1;
+  EXPECT_FALSE(b.Open(frame).has_value());
+}
+
+TEST_F(ChannelTest, ReplayRejected) {
+  auto a = MakeA();
+  auto b = MakeB();
+  Bytes frame = a.Seal(Ascii("once"));
+  EXPECT_TRUE(b.Open(frame).has_value());
+  EXPECT_FALSE(b.Open(frame).has_value());
+}
+
+TEST_F(ChannelTest, ReorderRejected) {
+  auto a = MakeA();
+  auto b = MakeB();
+  Bytes f1 = a.Seal(Ascii("one"));
+  Bytes f2 = a.Seal(Ascii("two"));
+  EXPECT_TRUE(b.Open(f2).has_value());
+  // Counter regression (stale frame) is treated as replay.
+  EXPECT_FALSE(b.Open(f1).has_value());
+}
+
+TEST_F(ChannelTest, EpochSeparation) {
+  auto a1 = MakeChannel(group_, a_keys_.sk, b_keys_.pk, 1, 10, 20);
+  auto b2 = MakeChannel(group_, b_keys_.sk, a_keys_.pk, 2, 20, 10);
+  Bytes frame = a1.Seal(Ascii("cross-epoch"));
+  EXPECT_FALSE(b2.Open(frame).has_value());
+}
+
+}  // namespace
+}  // namespace pisces::crypto

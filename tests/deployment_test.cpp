@@ -1,0 +1,83 @@
+// Deployment planning tests: the paper's three use cases (Figures 1-3) and
+// their confidentiality analysis.
+#include <gtest/gtest.h>
+
+#include "pisces/deployment.h"
+
+namespace pisces {
+namespace {
+
+TEST(Deployment, SingleCloud) {
+  Deployment d = Deployment::SingleCloud(30);
+  EXPECT_EQ(d.providers, 1u);
+  EXPECT_EQ(d.SharesAt(0), 30u);
+  // One compromised provider exposes everything: breach for any t < n.
+  std::vector<std::uint32_t> coalition{0};
+  EXPECT_TRUE(d.CoalitionBreaches(coalition, 9));
+  EXPECT_EQ(d.MinProvidersToBreach(9), 1u);
+}
+
+TEST(Deployment, MultiCloudEvenSplit) {
+  Deployment d = Deployment::MultiCloud(30, 5);
+  EXPECT_EQ(d.providers, 5u);
+  for (std::uint32_t p = 0; p < 5; ++p) EXPECT_EQ(d.SharesAt(p), 6u);
+  // t = 9: one provider (6 shares) is not enough, two (12) are.
+  EXPECT_FALSE(d.CoalitionBreaches(std::vector<std::uint32_t>{2}, 9));
+  EXPECT_TRUE(d.CoalitionBreaches(std::vector<std::uint32_t>{2, 4}, 9));
+  EXPECT_EQ(d.MinProvidersToBreach(9), 2u);
+}
+
+TEST(Deployment, MultiCloudUnevenRemainder) {
+  Deployment d = Deployment::MultiCloud(10, 3);
+  EXPECT_EQ(d.SharesAt(0) + d.SharesAt(1) + d.SharesAt(2), 10u);
+  // Round-robin keeps the imbalance at most 1.
+  for (std::uint32_t p = 0; p < 3; ++p) {
+    EXPECT_GE(d.SharesAt(p), 3u);
+    EXPECT_LE(d.SharesAt(p), 4u);
+  }
+}
+
+TEST(Deployment, HybridLocalThird) {
+  Deployment d = Deployment::Hybrid(30, 4);
+  EXPECT_EQ(d.providers, 5u);  // local + 4 CSPs
+  EXPECT_EQ(d.SharesAt(0), 10u);  // n/3 at the trusted local server
+  std::size_t remote = 0;
+  for (std::uint32_t p = 1; p < 5; ++p) remote += d.SharesAt(p);
+  EXPECT_EQ(remote, 20u);
+  // Paper: local alone threatens confidentiality only together with remote
+  // shares. With t = 9 the local server (10 shares) alone breaches the
+  // threshold -- illustrating why the paper sizes t relative to the split.
+  EXPECT_TRUE(d.CoalitionBreaches(std::vector<std::uint32_t>{0}, 9));
+  EXPECT_FALSE(d.CoalitionBreaches(std::vector<std::uint32_t>{0}, 10));
+  // Without the local server, need more than half the remote providers.
+  EXPECT_FALSE(d.CoalitionBreaches(std::vector<std::uint32_t>{1, 2}, 10));
+  EXPECT_TRUE(d.CoalitionBreaches(std::vector<std::uint32_t>{1, 2, 3}, 10));
+}
+
+TEST(Deployment, HostsOfPartitionsAllHosts) {
+  Deployment d = Deployment::Hybrid(16, 3);
+  std::vector<bool> seen(16, false);
+  for (std::uint32_t p = 0; p < d.providers; ++p) {
+    for (std::uint32_t h : d.HostsOf(p)) {
+      EXPECT_FALSE(seen[h]);
+      seen[h] = true;
+    }
+  }
+  for (bool s : seen) EXPECT_TRUE(s);
+}
+
+TEST(Deployment, UnreachableThreshold) {
+  Deployment d = Deployment::MultiCloud(12, 4);
+  // t = 12 can never be exceeded by the 12 shares in total.
+  EXPECT_EQ(d.MinProvidersToBreach(12), 5u);  // providers + 1 == "impossible"
+}
+
+TEST(Deployment, Describe) {
+  Deployment d = Deployment::Hybrid(9, 2);
+  std::string s = d.Describe();
+  EXPECT_NE(s.find("hybrid"), std::string::npos);
+  EXPECT_NE(s.find("n=9"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pisces

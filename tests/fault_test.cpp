@@ -1,0 +1,184 @@
+// Fault injection: corrupt dealers caught by hyperinvertible verification,
+// tampered channel traffic dropped, stuck sessions detected (bounded-delay
+// timeout path), malformed messages survived.
+#include <gtest/gtest.h>
+
+#include "pisces/pisces.h"
+
+namespace pisces {
+namespace {
+
+ClusterConfig Config() {
+  ClusterConfig cfg;
+  cfg.params.n = 8;
+  cfg.params.t = 1;
+  cfg.params.l = 2;
+  cfg.params.r = 2;
+  cfg.params.field_bits = 256;
+  cfg.seed = 31;
+  return cfg;
+}
+
+TEST(Fault, TamperedDealIsRejectedByChannelAuth) {
+  // Flipping bytes of an encrypted kDeal makes the HMAC fail; the host drops
+  // the message and the refresh session times out rather than accepting a
+  // corrupted share. The hypervisor reports failure.
+  Cluster cluster(Config());
+  Rng rng(1);
+  Bytes file = rng.RandomBytes(400);
+  cluster.Upload(1, file);
+
+  bool tampered = false;
+  cluster.net().SetMutator([&](net::Message& m) {
+    if (!tampered && m.type == net::MsgType::kDeal && m.from == 2) {
+      m.payload[m.payload.size() / 2] ^= 0x55;
+      tampered = true;
+    }
+    return true;
+  });
+  EXPECT_FALSE(cluster.RefreshAllFiles());
+  cluster.net().SetMutator(nullptr);
+  EXPECT_TRUE(tampered);
+  // Shares were not half-updated: the file still downloads.
+  EXPECT_EQ(cluster.Download(1), file);
+  // And the system recovers on the next (untampered) window.
+  EXPECT_TRUE(cluster.RunUpdateWindow().ok);
+  EXPECT_EQ(cluster.Download(1), file);
+}
+
+TEST(Fault, CorruptDealerCaughtWithPlaintextLinks) {
+  // With encryption off, a corrupted payload reaches the VSS layer itself:
+  // the check-row verification must reject it and hosts must report failure
+  // (this exercises the hyperinvertible verification, not the channel MAC).
+  ClusterConfig cfg = Config();
+  cfg.encrypt_links = false;
+  Cluster cluster(cfg);
+  Rng rng(2);
+  Bytes file = rng.RandomBytes(400);
+  cluster.Upload(1, file);
+
+  const std::size_t elem = cluster.ctx().elem_bytes();
+  cluster.net().SetMutator([&](net::Message& m) {
+    if (m.type == net::MsgType::kDeal && m.from == 3 &&
+        m.payload.size() >= elem) {
+      m.payload[3] ^= 0x01;  // corrupt dealer 3's polynomial evaluations
+    }
+    return true;
+  });
+  EXPECT_FALSE(cluster.RefreshAllFiles());
+  cluster.net().SetMutator(nullptr);
+  std::uint64_t rejected = 0;
+  for (std::size_t i = 0; i < cfg.params.n; ++i) {
+    rejected += cluster.host(i).verdicts_rejected();
+  }
+  EXPECT_GT(rejected, 0u) << "verification should have caught the dealer";
+  // Refresh aborted atomically: data still intact.
+  EXPECT_EQ(cluster.Download(1), file);
+}
+
+TEST(Fault, CorruptMaskedShareCaughtByTargetConsistencyCheck) {
+  ClusterConfig cfg = Config();
+  cfg.encrypt_links = false;
+  Cluster cluster(cfg);
+  Rng rng(3);
+  Bytes file = rng.RandomBytes(400);
+  cluster.Upload(1, file);
+
+  cluster.net().SetMutator([&](net::Message& m) {
+    if (m.type == net::MsgType::kMaskedShare && m.from == 4 &&
+        !m.payload.empty()) {
+      m.payload[1] ^= 0x80;
+    }
+    return true;
+  });
+  std::uint32_t batch[] = {0};
+  WindowReport report;
+  bool ok = cluster.hypervisor().RebootAndRecover(batch, &report);
+  cluster.net().SetMutator(nullptr);
+  EXPECT_FALSE(ok);
+  // Surviving hosts still serve the file (d+1 = 4 <= 7 survivors).
+  EXPECT_EQ(cluster.Download(1), file);
+}
+
+TEST(Fault, DroppedVerdictsLeaveStuckSessionsThatAreDetected) {
+  ClusterConfig cfg = Config();
+  Cluster cluster(cfg);
+  Rng rng(4);
+  cluster.Upload(1, rng.RandomBytes(300));
+
+  // Drop every verdict: refresh sessions can never complete. Quiescence then
+  // plays the bounded-delay timeout and the hypervisor aborts/report.
+  cluster.net().SetMutator([](net::Message& m) {
+    return m.type != net::MsgType::kVerdict;
+  });
+  EXPECT_FALSE(cluster.RefreshAllFiles());
+  cluster.net().SetMutator(nullptr);
+  for (std::size_t i = 0; i < cfg.params.n; ++i) {
+    EXPECT_FALSE(cluster.host(i).HasActiveSessions()) << i;
+  }
+  // System recovers fully afterwards.
+  EXPECT_TRUE(cluster.RunUpdateWindow().ok);
+}
+
+TEST(Fault, GarbageMessagesAreSurvived) {
+  Cluster cluster(Config());
+  Rng rng(5);
+  Bytes file = rng.RandomBytes(200);
+  cluster.Upload(1, file);
+
+  // Inject junk of every type at a host; nothing should crash or wedge.
+  auto* ep = cluster.net().AddEndpoint(9999);
+  for (std::uint8_t t = 0; t <= 11; ++t) {
+    net::Message junk;
+    junk.from = 9999;
+    junk.to = 3;
+    junk.type = static_cast<net::MsgType>(t);
+    junk.file_id = 1;
+    junk.payload = rng.RandomBytes(33);
+    ep->Send(std::move(junk));
+  }
+  cluster.sync().RunToQuiescence();
+  // The junk sender has no session/certs; host should have dropped it all.
+  EXPECT_TRUE(cluster.RunUpdateWindow().ok);
+  EXPECT_EQ(cluster.Download(1), file);
+}
+
+TEST(Fault, ForgedCertRejected) {
+  Cluster cluster(Config());
+  // An adversary-made CA signs a cert for host 2; peers must reject it.
+  Rng rng(6);
+  crypto::CertAuthority evil_ca(crypto::SchnorrGroup::Default(), rng);
+  auto [evil_cert, evil_sk] = evil_ca.IssueHostKey(2, 99, rng);
+  EXPECT_THROW(cluster.host(3).InstallPeerCert(evil_cert), InvalidArgument);
+
+  auto* ep = cluster.net().AddEndpoint(8888);
+  net::Message m;
+  m.from = 8888;
+  m.to = 3;
+  m.type = net::MsgType::kHostCert;
+  m.payload = evil_cert.Serialize();
+  ep->Send(std::move(m));
+  cluster.sync().RunToQuiescence();
+  // Host 3 still talks to the genuine host 2 (window succeeds end-to-end).
+  Bytes file = Rng(7).RandomBytes(150);
+  cluster.Upload(4, file);
+  EXPECT_TRUE(cluster.RunUpdateWindow().ok);
+  EXPECT_EQ(cluster.Download(4), file);
+}
+
+TEST(Fault, AbortStuckSessionsReportsDescriptions) {
+  Cluster cluster(Config());
+  Rng rng(8);
+  cluster.Upload(1, rng.RandomBytes(100));
+  cluster.net().SetMutator([](net::Message& m) {
+    return m.type != net::MsgType::kCheckShare;  // wedge verification
+  });
+  cluster.RefreshAllFiles();  // returns false; sessions were aborted inside
+  cluster.net().SetMutator(nullptr);
+  // AbortStuckSessions was already called by the hypervisor; calling again
+  // reports nothing.
+  EXPECT_TRUE(cluster.host(0).AbortStuckSessions().empty());
+}
+
+}  // namespace
+}  // namespace pisces

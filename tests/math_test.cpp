@@ -1,0 +1,225 @@
+// Polynomial, interpolation, matrix and hyperinvertibility tests.
+#include <gtest/gtest.h>
+
+#include "field/primes.h"
+#include "math/matrix.h"
+#include "math/poly.h"
+
+namespace pisces::math {
+namespace {
+
+class MathTest : public ::testing::Test {
+ protected:
+  MathTest() : ctx_(field::StandardPrimeBe(256)), rng_(11) {}
+  field::FpCtx ctx_;
+  Rng rng_;
+
+  FpElem E(std::uint64_t v) { return ctx_.FromUint64(v); }
+};
+
+TEST_F(MathTest, EvalHorner) {
+  // f(x) = 3 + 2x + x^2
+  Poly f(std::vector<FpElem>{E(3), E(2), E(1)});
+  EXPECT_TRUE(ctx_.Eq(f.Eval(ctx_, E(0)), E(3)));
+  EXPECT_TRUE(ctx_.Eq(f.Eval(ctx_, E(1)), E(6)));
+  EXPECT_TRUE(ctx_.Eq(f.Eval(ctx_, E(10)), E(123)));
+}
+
+TEST_F(MathTest, InterpolateRecoversPolynomial) {
+  for (std::size_t deg : {0u, 1u, 3u, 7u, 15u}) {
+    Poly f = Poly::Random(ctx_, rng_, deg);
+    std::vector<FpElem> xs, ys;
+    for (std::size_t i = 0; i <= deg; ++i) {
+      xs.push_back(E(i + 1));
+      ys.push_back(f.Eval(ctx_, xs.back()));
+    }
+    Poly g = Poly::Interpolate(ctx_, xs, ys);
+    for (int probe = 0; probe < 5; ++probe) {
+      FpElem x = ctx_.Random(rng_);
+      EXPECT_TRUE(ctx_.Eq(f.Eval(ctx_, x), g.Eval(ctx_, x))) << deg;
+    }
+  }
+}
+
+TEST_F(MathTest, InterpolateDuplicateXThrows) {
+  std::vector<FpElem> xs{E(1), E(1)};
+  std::vector<FpElem> ys{E(2), E(3)};
+  EXPECT_THROW(Poly::Interpolate(ctx_, xs, ys), Error);
+}
+
+TEST_F(MathTest, RandomWithConstraintsHitsConstraints) {
+  std::vector<FpElem> xs{E(1), E(2), E(3)};
+  std::vector<FpElem> ys{ctx_.Random(rng_), ctx_.Random(rng_), ctx_.Random(rng_)};
+  for (int iter = 0; iter < 5; ++iter) {
+    Poly f = Poly::RandomWithConstraints(ctx_, rng_, 8, xs, ys);
+    EXPECT_LE(f.degree(), 8u);
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      EXPECT_TRUE(ctx_.Eq(f.Eval(ctx_, xs[i]), ys[i]));
+    }
+  }
+}
+
+TEST_F(MathTest, RandomWithConstraintsIsActuallyRandom) {
+  std::vector<FpElem> xs{E(1)};
+  std::vector<FpElem> ys{E(5)};
+  Poly f = Poly::RandomWithConstraints(ctx_, rng_, 4, xs, ys);
+  Poly g = Poly::RandomWithConstraints(ctx_, rng_, 4, xs, ys);
+  // Two independent draws agree at the constraint but (whp) nowhere else.
+  EXPECT_TRUE(ctx_.Eq(f.Eval(ctx_, E(1)), g.Eval(ctx_, E(1))));
+  EXPECT_FALSE(ctx_.Eq(f.Eval(ctx_, E(2)), g.Eval(ctx_, E(2))));
+}
+
+TEST_F(MathTest, VanishingPolyVanishes) {
+  std::vector<FpElem> roots{E(3), E(5), E(9)};
+  Poly w = Poly::Vanishing(ctx_, roots);
+  EXPECT_EQ(w.degree(), 3u);
+  for (const auto& r : roots) EXPECT_TRUE(ctx_.IsZero(w.Eval(ctx_, r)));
+  EXPECT_FALSE(ctx_.IsZero(w.Eval(ctx_, E(4))));
+}
+
+TEST_F(MathTest, AddMulDegreeAndValues) {
+  Poly f = Poly::Random(ctx_, rng_, 3);
+  Poly g = Poly::Random(ctx_, rng_, 5);
+  Poly sum = Poly::Add(ctx_, f, g);
+  Poly prod = Poly::Mul(ctx_, f, g);
+  FpElem x = ctx_.Random(rng_);
+  EXPECT_TRUE(ctx_.Eq(sum.Eval(ctx_, x),
+                      ctx_.Add(f.Eval(ctx_, x), g.Eval(ctx_, x))));
+  EXPECT_TRUE(ctx_.Eq(prod.Eval(ctx_, x),
+                      ctx_.Mul(f.Eval(ctx_, x), g.Eval(ctx_, x))));
+  EXPECT_EQ(prod.degree(), 8u);
+}
+
+TEST_F(MathTest, LagrangeEvalMatchesInterpolation) {
+  Poly f = Poly::Random(ctx_, rng_, 6);
+  std::vector<FpElem> xs, ys;
+  for (std::size_t i = 0; i < 7; ++i) {
+    xs.push_back(E(i + 2));
+    ys.push_back(f.Eval(ctx_, xs.back()));
+  }
+  FpElem x = E(100);
+  EXPECT_TRUE(ctx_.Eq(LagrangeEval(ctx_, xs, ys, x), f.Eval(ctx_, x)));
+}
+
+TEST_F(MathTest, LagrangeCoeffsMultiMatchesSingle) {
+  std::vector<FpElem> xs;
+  for (std::size_t i = 0; i < 9; ++i) xs.push_back(E(i + 1));
+  std::vector<FpElem> points{E(20), E(31), E(42)};
+  auto multi = LagrangeCoeffsMulti(ctx_, xs, points);
+  ASSERT_EQ(multi.size(), points.size());
+  for (std::size_t p = 0; p < points.size(); ++p) {
+    auto single = LagrangeCoeffs(ctx_, xs, points[p]);
+    ASSERT_EQ(multi[p].size(), single.size());
+    for (std::size_t i = 0; i < single.size(); ++i) {
+      EXPECT_TRUE(ctx_.Eq(multi[p][i], single[i]));
+    }
+  }
+}
+
+TEST_F(MathTest, PointsOnLowDegreeDetects) {
+  Poly f = Poly::Random(ctx_, rng_, 4);
+  std::vector<FpElem> xs, ys;
+  for (std::size_t i = 0; i < 10; ++i) {
+    xs.push_back(E(i + 1));
+    ys.push_back(f.Eval(ctx_, xs.back()));
+  }
+  EXPECT_TRUE(PointsOnLowDegree(ctx_, xs, ys, 4));
+  EXPECT_TRUE(PointsOnLowDegree(ctx_, xs, ys, 6));  // deg 4 is also deg <= 6
+  ys[7] = ctx_.Add(ys[7], ctx_.One());
+  EXPECT_FALSE(PointsOnLowDegree(ctx_, xs, ys, 4));
+}
+
+TEST_F(MathTest, PointCheckerAgreesWithPointsOnLowDegree) {
+  Poly f = Poly::Random(ctx_, rng_, 5);
+  std::vector<FpElem> xs, ys;
+  for (std::size_t i = 0; i < 12; ++i) {
+    xs.push_back(E(i + 3));
+    ys.push_back(f.Eval(ctx_, xs.back()));
+  }
+  PointChecker checker(ctx_, xs, 5);
+  EXPECT_TRUE(checker.Consistent(ys));
+  FpElem probe = E(999);
+  EXPECT_TRUE(ctx_.Eq(checker.EvalAt(probe, ys), f.Eval(ctx_, probe)));
+  ys[11] = ctx_.Add(ys[11], ctx_.One());
+  EXPECT_FALSE(checker.Consistent(ys));
+}
+
+TEST_F(MathTest, MatrixInverseRoundTrip) {
+  const std::size_t n = 6;
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) m.At(i, j) = ctx_.Random(rng_);
+  }
+  auto inv = m.Inverse(ctx_);
+  ASSERT_TRUE(inv.has_value());  // random matrix is invertible whp
+  Matrix prod = m.Mul(ctx_, *inv);
+  EXPECT_TRUE(prod.Eq(ctx_, Matrix::Identity(ctx_, n)));
+}
+
+TEST_F(MathTest, SingularMatrixHasNoInverse) {
+  Matrix m(2, 2);
+  m.At(0, 0) = E(1);
+  m.At(0, 1) = E(2);
+  m.At(1, 0) = E(2);
+  m.At(1, 1) = E(4);
+  EXPECT_FALSE(m.Inverse(ctx_).has_value());
+}
+
+TEST_F(MathTest, VandermondeShape) {
+  std::vector<FpElem> xs{E(2), E(3)};
+  Matrix v = Vandermonde(ctx_, xs, 3);
+  EXPECT_TRUE(ctx_.Eq(v.At(0, 0), E(1)));
+  EXPECT_TRUE(ctx_.Eq(v.At(0, 1), E(2)));
+  EXPECT_TRUE(ctx_.Eq(v.At(0, 2), E(4)));
+  EXPECT_TRUE(ctx_.Eq(v.At(1, 2), E(9)));
+}
+
+TEST_F(MathTest, HyperInvertibleEverySquareSubmatrixInvertible) {
+  const std::size_t n = 6;
+  Matrix m = HyperInvertible(ctx_, n, n);
+  // Exhaustively check all square submatrices of size 1..3 plus the full
+  // matrix (checking all sizes is exponential; these cover the property).
+  std::vector<std::size_t> idx{0, 1, 2, 3, 4, 5};
+  for (std::size_t size : {1u, 2u, 3u}) {
+    // a few deterministic index subsets per size
+    for (std::size_t shift = 0; shift + size <= n; ++shift) {
+      std::vector<std::size_t> rows(idx.begin() + shift,
+                                    idx.begin() + shift + size);
+      for (std::size_t cshift = 0; cshift + size <= n; ++cshift) {
+        std::vector<std::size_t> cols(idx.begin() + cshift,
+                                      idx.begin() + cshift + size);
+        Matrix sub = m.Select(rows, cols);
+        EXPECT_TRUE(sub.Inverse(ctx_).has_value())
+            << "singular submatrix size=" << size << " r=" << shift
+            << " c=" << cshift;
+      }
+    }
+  }
+  EXPECT_TRUE(m.Inverse(ctx_).has_value());
+}
+
+TEST_F(MathTest, HyperInvertibleActsAsInterpolationMap) {
+  // M maps (f(1..n)) to (f(n+1..2n)) for deg <= n-1 polynomials.
+  const std::size_t n = 5;
+  Matrix m = HyperInvertible(ctx_, n, n);
+  Poly f = Poly::Random(ctx_, rng_, n - 1);
+  std::vector<FpElem> in(n), expected(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    in[i] = f.Eval(ctx_, E(i + 1));
+    expected[i] = f.Eval(ctx_, E(n + 1 + i));
+  }
+  auto out = m.MulVec(ctx_, in);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_TRUE(ctx_.Eq(out[i], expected[i]));
+  }
+}
+
+TEST_F(MathTest, CachedHyperInvertibleIsStable) {
+  auto a = CachedHyperInvertible(ctx_, 4, 4);
+  auto b = CachedHyperInvertible(ctx_, 4, 4);
+  EXPECT_EQ(a.get(), b.get());
+  EXPECT_TRUE(a->Eq(ctx_, HyperInvertible(ctx_, 4, 4)));
+}
+
+}  // namespace
+}  // namespace pisces::math

@@ -1,0 +1,193 @@
+// Message framing, simulated fabric, and synchrony-layer tests.
+#include <gtest/gtest.h>
+
+#include "net/message.h"
+#include "net/sim_transport.h"
+#include "net/sync_network.h"
+
+namespace pisces::net {
+namespace {
+
+Message Make(std::uint32_t from, std::uint32_t to, MsgType type,
+             Bytes payload = {}) {
+  Message m;
+  m.from = from;
+  m.to = to;
+  m.type = type;
+  m.file_id = 9;
+  m.epoch = 3;
+  m.batch = 2;
+  m.row = 1;
+  m.payload = std::move(payload);
+  return m;
+}
+
+TEST(Message, SerializeRoundTrip) {
+  Message m = Make(4, 7, MsgType::kDeal, Bytes{1, 2, 3, 4, 5});
+  Bytes wire = m.Serialize();
+  Message back = Message::Deserialize(wire);
+  EXPECT_EQ(back.from, 4u);
+  EXPECT_EQ(back.to, 7u);
+  EXPECT_EQ(back.type, MsgType::kDeal);
+  EXPECT_EQ(back.file_id, 9u);
+  EXPECT_EQ(back.epoch, 3u);
+  EXPECT_EQ(back.batch, 2u);
+  EXPECT_EQ(back.row, 1u);
+  EXPECT_EQ(back.payload, (Bytes{1, 2, 3, 4, 5}));
+  EXPECT_EQ(m.WireSize(), wire.size());
+}
+
+TEST(Message, RejectsGarbage) {
+  Bytes junk{1, 2, 3};
+  EXPECT_THROW(Message::Deserialize(junk), ParseError);
+  Message m = Make(0, 1, MsgType::kVerdict);
+  Bytes wire = m.Serialize();
+  wire[8] = 0xEE;  // invalid type byte
+  EXPECT_THROW(Message::Deserialize(wire), ParseError);
+  wire = m.Serialize();
+  wire.push_back(0);  // trailing byte
+  EXPECT_THROW(Message::Deserialize(wire), ParseError);
+}
+
+TEST(SimNet, DeliversFifoPerLink) {
+  SimNet net;
+  auto* a = net.AddEndpoint(1);
+  auto* b = net.AddEndpoint(2);
+  a->Send(Make(1, 2, MsgType::kDeal, Bytes{1}));
+  a->Send(Make(1, 2, MsgType::kDeal, Bytes{2}));
+  auto m1 = b->Receive();
+  auto m2 = b->Receive();
+  ASSERT_TRUE(m1 && m2);
+  EXPECT_EQ(m1->payload[0], 1);
+  EXPECT_EQ(m2->payload[0], 2);
+  EXPECT_FALSE(b->Receive().has_value());
+}
+
+TEST(SimNet, MetersBytes) {
+  SimNet net;
+  auto* a = net.AddEndpoint(1);
+  net.AddEndpoint(2);
+  Message m = Make(1, 2, MsgType::kDeal, Bytes(100, 7));
+  const std::size_t wire = m.WireSize();
+  a->Send(std::move(m));
+  EXPECT_EQ(net.StatsFor(1).bytes_sent, wire);
+  EXPECT_EQ(net.StatsFor(1).msgs_sent, 1u);
+  EXPECT_EQ(net.StatsFor(2).bytes_received, wire);
+  EXPECT_EQ(net.TotalBytes(), wire);
+  net.ResetStats();
+  EXPECT_EQ(net.TotalBytes(), 0u);
+}
+
+TEST(SimNet, OfflineDropsTraffic) {
+  SimNet net;
+  auto* a = net.AddEndpoint(1);
+  auto* b = net.AddEndpoint(2);
+  net.SetOffline(2, true);
+  a->Send(Make(1, 2, MsgType::kDeal));
+  EXPECT_FALSE(b->Receive().has_value());
+  net.SetOffline(2, false);
+  a->Send(Make(1, 2, MsgType::kDeal));
+  EXPECT_TRUE(b->Receive().has_value());
+  // Offline sender loses its own sends too.
+  net.SetOffline(1, true);
+  a->Send(Make(1, 2, MsgType::kDeal));
+  EXPECT_FALSE(b->Receive().has_value());
+}
+
+TEST(SimNet, MutatorCanCorruptAndDrop) {
+  SimNet net;
+  auto* a = net.AddEndpoint(1);
+  auto* b = net.AddEndpoint(2);
+  net.SetMutator([](Message& m) {
+    if (m.payload.size() == 1 && m.payload[0] == 0xBA) return false;  // drop
+    if (!m.payload.empty()) m.payload[0] ^= 0xFF;
+    return true;
+  });
+  a->Send(Make(1, 2, MsgType::kDeal, Bytes{0xBA}));
+  EXPECT_FALSE(b->Receive().has_value());
+  a->Send(Make(1, 2, MsgType::kDeal, Bytes{0x01}));
+  auto m = b->Receive();
+  ASSERT_TRUE(m);
+  EXPECT_EQ(m->payload[0], 0xFE);
+}
+
+TEST(SimNet, SendFromWrongIdThrows) {
+  SimNet net;
+  auto* a = net.AddEndpoint(1);
+  net.AddEndpoint(2);
+  EXPECT_THROW(a->Send(Make(2, 1, MsgType::kDeal)), InvalidArgument);
+}
+
+TEST(SimNet, DuplicateEndpointThrows) {
+  SimNet net;
+  net.AddEndpoint(1);
+  EXPECT_THROW(net.AddEndpoint(1), InvalidArgument);
+}
+
+// A handler that forwards a token around a ring a fixed number of times.
+class RingHandler : public MessageHandler {
+ public:
+  RingHandler(Transport* t, std::uint32_t next, int limit)
+      : t_(t), next_(next), limit_(limit) {}
+  void HandleMessage(const Message& msg) override {
+    ++received;
+    if (static_cast<int>(msg.epoch) >= limit_) return;
+    Message fwd = msg;
+    fwd.from = t_->id();
+    fwd.to = next_;
+    fwd.epoch = msg.epoch + 1;
+    t_->Send(std::move(fwd));
+  }
+  int received = 0;
+
+ private:
+  Transport* t_;
+  std::uint32_t next_;
+  int limit_;
+};
+
+TEST(SyncNetwork, PumpsToQuiescenceAndCountsSweeps) {
+  SimNet net;
+  SyncNetwork sync(net);
+  std::vector<SimEndpoint*> eps;
+  std::vector<std::unique_ptr<RingHandler>> handlers;
+  const int kHops = 9;
+  for (std::uint32_t i = 0; i < 3; ++i) eps.push_back(net.AddEndpoint(i));
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    handlers.push_back(std::make_unique<RingHandler>(eps[i], (i + 1) % 3, kHops));
+    sync.Register(i, eps[i], handlers[i].get());
+  }
+  Message kick = Make(0, 1, MsgType::kVerdict);
+  kick.epoch = 0;
+  eps[0]->Send(std::move(kick));
+  auto result = sync.RunToQuiescence();
+  int total = 0;
+  for (auto& h : handlers) total += h->received;
+  EXPECT_EQ(total, kHops + 1);
+  EXPECT_GE(result.sweeps, 2u);
+  EXPECT_EQ(result.deliveries, static_cast<std::uint64_t>(kHops + 1));
+  EXPECT_FALSE(net.AnyPending());
+}
+
+TEST(SyncNetwork, LivelockGuardThrows) {
+  SimNet net;
+  SyncNetwork sync(net);
+  auto* a = net.AddEndpoint(1);
+  auto* b = net.AddEndpoint(2);
+  // Two handlers that bounce a message forever.
+  RingHandler ha(a, 2, 1 << 30), hb(b, 1, 1 << 30);
+  sync.Register(1, a, &ha);
+  sync.Register(2, b, &hb);
+  a->Send(Make(1, 2, MsgType::kVerdict));
+  EXPECT_THROW(sync.RunToQuiescence(/*max_sweeps=*/50), InternalError);
+}
+
+TEST(NetworkModel, TransferTime) {
+  NetworkModel m;
+  m.latency_s = 0.001;
+  m.bandwidth_bytes_per_s = 1e6;
+  EXPECT_DOUBLE_EQ(m.TransferTime(2'000'000, 3), 0.003 + 2.0);
+}
+
+}  // namespace
+}  // namespace pisces::net

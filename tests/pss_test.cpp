@@ -1,0 +1,406 @@
+// Packed proactive secret sharing: parameterized property sweeps over
+// (n, t, l, r) grids for share/reconstruct, refresh, recovery, privacy
+// counting, and the VSS batch pipeline.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "field/primes.h"
+#include "pss/recovery.h"
+#include "pss/refresh.h"
+
+namespace pisces::pss {
+namespace {
+
+using field::FpCtx;
+using field::FpElem;
+
+struct GridPoint {
+  std::size_t n, t, l, r;
+};
+
+std::ostream& operator<<(std::ostream& os, const GridPoint& g) {
+  return os << "n" << g.n << "_t" << g.t << "_l" << g.l << "_r" << g.r;
+}
+
+class PssGridTest : public ::testing::TestWithParam<GridPoint> {
+ protected:
+  PssGridTest()
+      : ctx_(std::make_shared<const FpCtx>(field::StandardPrimeBe(256))),
+        rng_(0xABCDu) {
+    const GridPoint& g = GetParam();
+    params_.n = g.n;
+    params_.t = g.t;
+    params_.l = g.l;
+    params_.r = g.r;
+    params_.field_bits = 256;
+    params_.Validate();
+    shamir_ = std::make_unique<PackedShamir>(ctx_, params_);
+  }
+
+  std::vector<FpElem> RandomBlock() {
+    std::vector<FpElem> s;
+    for (std::size_t j = 0; j < params_.l; ++j) s.push_back(ctx_->Random(rng_));
+    return s;
+  }
+
+  std::vector<std::uint32_t> AllParties() const {
+    std::vector<std::uint32_t> p(params_.n);
+    for (std::uint32_t i = 0; i < params_.n; ++i) p[i] = i;
+    return p;
+  }
+
+  std::shared_ptr<const FpCtx> ctx_;
+  Rng rng_;
+  Params params_;
+  std::unique_ptr<PackedShamir> shamir_;
+};
+
+TEST_P(PssGridTest, ShareReconstructRoundTrip) {
+  auto secrets = RandomBlock();
+  auto shares = shamir_->ShareBlock(secrets, rng_);
+  ASSERT_EQ(shares.size(), params_.n);
+  auto parties = AllParties();
+  auto rec = shamir_->ReconstructBlock(parties, shares);
+  ASSERT_EQ(rec.size(), params_.l);
+  for (std::size_t j = 0; j < params_.l; ++j) {
+    EXPECT_TRUE(ctx_->Eq(rec[j], secrets[j]));
+  }
+}
+
+TEST_P(PssGridTest, ReconstructFromExactlyDPlus1) {
+  auto secrets = RandomBlock();
+  auto shares = shamir_->ShareBlock(secrets, rng_);
+  // Use the LAST d+1 parties (not the first, to exercise arbitrary subsets).
+  const std::size_t need = params_.degree() + 1;
+  std::vector<std::uint32_t> parties;
+  std::vector<FpElem> sub;
+  for (std::size_t i = params_.n - need; i < params_.n; ++i) {
+    parties.push_back(static_cast<std::uint32_t>(i));
+    sub.push_back(shares[i]);
+  }
+  auto rec = shamir_->ReconstructBlock(parties, sub);
+  for (std::size_t j = 0; j < params_.l; ++j) {
+    EXPECT_TRUE(ctx_->Eq(rec[j], secrets[j]));
+  }
+}
+
+TEST_P(PssGridTest, TooFewSharesThrows) {
+  auto shares = shamir_->ShareBlock(RandomBlock(), rng_);
+  const std::size_t d = params_.degree();
+  std::vector<std::uint32_t> parties;
+  std::vector<FpElem> sub;
+  for (std::size_t i = 0; i < d; ++i) {  // one fewer than needed
+    parties.push_back(static_cast<std::uint32_t>(i));
+    sub.push_back(shares[i]);
+  }
+  EXPECT_THROW(shamir_->ReconstructBlock(parties, sub), InvalidArgument);
+}
+
+TEST_P(PssGridTest, SharesAreConsistentDegree) {
+  auto shares = shamir_->ShareBlock(RandomBlock(), rng_);
+  auto parties = AllParties();
+  EXPECT_TRUE(shamir_->ConsistentShares(parties, shares));
+  shares[0] = ctx_->Add(shares[0], ctx_->One());
+  if (params_.n > params_.degree() + 1) {
+    EXPECT_FALSE(shamir_->ConsistentShares(parties, shares));
+  }
+}
+
+// Information-theoretic privacy: t shares are consistent with ANY candidate
+// secret block (we exhibit a degree-d polynomial matching the t shares and an
+// arbitrary alternative secret).
+TEST_P(PssGridTest, TSharesRevealNothing) {
+  auto secrets = RandomBlock();
+  auto shares = shamir_->ShareBlock(secrets, rng_);
+  auto fake_secrets = RandomBlock();
+
+  // Constraints: the t observed shares plus the fake secrets at the betas.
+  std::vector<FpElem> xs, ys;
+  for (std::size_t i = 0; i < params_.t; ++i) {
+    xs.push_back(shamir_->points().alpha(i));
+    ys.push_back(shares[i]);
+  }
+  for (std::size_t j = 0; j < params_.l; ++j) {
+    xs.push_back(shamir_->points().beta(j));
+    ys.push_back(fake_secrets[j]);
+  }
+  ASSERT_LE(xs.size(), params_.degree() + 1);
+  math::Poly f = math::Poly::RandomWithConstraints(*ctx_, rng_,
+                                                   params_.degree(), xs, ys);
+  // f is a valid degree-d sharing of the FAKE secrets agreeing with every
+  // observed share: the adversary cannot distinguish.
+  for (std::size_t i = 0; i < params_.t; ++i) {
+    EXPECT_TRUE(ctx_->Eq(f.Eval(*ctx_, shamir_->points().alpha(i)), shares[i]));
+  }
+  for (std::size_t j = 0; j < params_.l; ++j) {
+    EXPECT_TRUE(
+        ctx_->Eq(f.Eval(*ctx_, shamir_->points().beta(j)), fake_secrets[j]));
+  }
+}
+
+TEST_P(PssGridTest, RefreshPreservesSecretsAndChangesShares) {
+  const std::size_t blocks = 4;
+  std::vector<std::vector<FpElem>> secrets;
+  std::vector<std::vector<FpElem>> by_party(params_.n,
+                                            std::vector<FpElem>(blocks));
+  for (std::size_t b = 0; b < blocks; ++b) {
+    secrets.push_back(RandomBlock());
+    auto shares = shamir_->ShareBlock(secrets[b], rng_);
+    for (std::size_t i = 0; i < params_.n; ++i) by_party[i][b] = shares[i];
+  }
+  auto old = by_party;
+  ReferenceRefresh(*shamir_, by_party, rng_);
+
+  auto parties = AllParties();
+  for (std::size_t b = 0; b < blocks; ++b) {
+    std::vector<FpElem> shares;
+    for (std::size_t i = 0; i < params_.n; ++i) {
+      EXPECT_FALSE(ctx_->Eq(old[i][b], by_party[i][b]));
+      shares.push_back(by_party[i][b]);
+    }
+    EXPECT_TRUE(shamir_->ConsistentShares(parties, shares));
+    auto rec = shamir_->ReconstructBlock(parties, shares);
+    for (std::size_t j = 0; j < params_.l; ++j) {
+      EXPECT_TRUE(ctx_->Eq(rec[j], secrets[b][j]));
+    }
+  }
+}
+
+TEST_P(PssGridTest, RecoveryReproducesExactShares) {
+  const std::size_t blocks = 3;
+  std::vector<std::vector<FpElem>> by_party(params_.n,
+                                            std::vector<FpElem>(blocks));
+  for (std::size_t b = 0; b < blocks; ++b) {
+    auto shares = shamir_->ShareBlock(RandomBlock(), rng_);
+    for (std::size_t i = 0; i < params_.n; ++i) by_party[i][b] = shares[i];
+  }
+  auto truth = by_party;
+  std::vector<std::uint32_t> reboot;
+  for (std::size_t i = 0; i < params_.r; ++i) {
+    reboot.push_back(static_cast<std::uint32_t>((i * 2) % params_.n));
+    // ensure distinct for r small relative to n
+  }
+  std::sort(reboot.begin(), reboot.end());
+  reboot.erase(std::unique(reboot.begin(), reboot.end()), reboot.end());
+  for (auto tgt : reboot) {
+    by_party[tgt].assign(blocks, ctx_->Zero());
+  }
+  ReferenceRecover(*shamir_, by_party, reboot, rng_);
+  for (auto tgt : reboot) {
+    for (std::size_t b = 0; b < blocks; ++b) {
+      EXPECT_TRUE(ctx_->Eq(by_party[tgt][b], truth[tgt][b]));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, PssGridTest,
+    ::testing::Values(GridPoint{5, 1, 1, 1}, GridPoint{8, 1, 2, 2},
+                      GridPoint{13, 2, 3, 2}, GridPoint{13, 3, 2, 1},
+                      GridPoint{16, 3, 3, 3}, GridPoint{21, 4, 6, 3},
+                      GridPoint{21, 5, 4, 1}, GridPoint{29, 7, 6, 1}),
+    [](const ::testing::TestParamInfo<GridPoint>& info) {
+      std::ostringstream os;
+      os << info.param;
+      return os.str();
+    });
+
+TEST(Params, ValidationRejectsBadCombos) {
+  Params p;
+  p.n = 10;
+  p.t = 3;
+  p.l = 1;  // 3t + l = 10, not < 10
+  EXPECT_FALSE(p.IsValid());
+  p.t = 2;
+  p.l = 3;  // 3t + l = 9 < 10, r + l = 4 <= 10 - 6 = 4
+  EXPECT_TRUE(p.IsValid());
+  p.r = 2;  // r + l = 5 > 4
+  EXPECT_FALSE(p.IsValid());
+  p.r = 0;
+  EXPECT_FALSE(p.IsValid());
+  p = Params{};
+  p.n = 3;
+  EXPECT_FALSE(p.IsValid());
+}
+
+TEST(Params, NaturalMatchesPaper) {
+  // Paper SectionIII-B: (t, l) = (n/4, n/4 - 1) is the natural choice.
+  Params p = Params::Natural(21);
+  EXPECT_EQ(p.n, 21u);
+  EXPECT_EQ(p.t, 5u);
+  EXPECT_EQ(p.l, 4u);
+  EXPECT_TRUE(p.IsValid());
+  for (std::size_t n : {8u, 12u, 16u, 24u, 29u, 37u}) {
+    EXPECT_TRUE(Params::Natural(n).IsValid()) << n;
+  }
+}
+
+TEST(EvalPoints, DisjointAndNonZero) {
+  FpCtx ctx(field::StandardPrimeBe(256));
+  EvalPoints pts(ctx, 10, 4);
+  std::vector<FpElem> all;
+  for (std::size_t j = 0; j < 4; ++j) all.push_back(pts.beta(j));
+  for (std::size_t i = 0; i < 10; ++i) all.push_back(pts.alpha(i));
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    EXPECT_FALSE(ctx.IsZero(all[i]));
+    for (std::size_t j = i + 1; j < all.size(); ++j) {
+      EXPECT_FALSE(ctx.Eq(all[i], all[j]));
+    }
+  }
+}
+
+class VssBatchTest : public ::testing::Test {
+ protected:
+  VssBatchTest()
+      : ctx_(std::make_shared<const FpCtx>(field::StandardPrimeBe(256))),
+        rng_(77) {
+    params_.n = 13;
+    params_.t = 2;
+    params_.l = 3;
+    params_.field_bits = 256;
+    shamir_ = std::make_unique<PackedShamir>(ctx_, params_);
+  }
+  std::shared_ptr<const FpCtx> ctx_;
+  Rng rng_;
+  Params params_;
+  std::unique_ptr<PackedShamir> shamir_;
+};
+
+TEST_F(VssBatchTest, DealsVanishOnTheVanishSet) {
+  VssBatch batch = MakeRefreshBatch(*shamir_, 5);
+  auto deal = batch.Deal(rng_);
+  ASSERT_EQ(deal.size(), params_.n);
+  // Interpolate each group's polynomial from all holder evaluations and
+  // check it vanishes at every beta and has degree <= d.
+  std::vector<FpElem> xs;
+  for (std::size_t i = 0; i < params_.n; ++i) {
+    xs.push_back(shamir_->points().alpha(i));
+  }
+  for (std::size_t g = 0; g < batch.groups(); ++g) {
+    std::vector<FpElem> ys;
+    for (std::size_t k = 0; k < params_.n; ++k) ys.push_back(deal[k][g]);
+    EXPECT_TRUE(math::PointsOnLowDegree(*ctx_, xs, ys, params_.degree()));
+    math::Poly f = math::Poly::Interpolate(
+        *ctx_, std::span<const FpElem>(xs.data(), params_.degree() + 1),
+        std::span<const FpElem>(ys.data(), params_.degree() + 1));
+    for (std::size_t j = 0; j < params_.l; ++j) {
+      EXPECT_TRUE(ctx_->IsZero(f.Eval(*ctx_, shamir_->points().beta(j))));
+    }
+  }
+}
+
+TEST_F(VssBatchTest, VerifyAcceptsHonestAndRejectsCorrupt) {
+  VssBatch batch = MakeRefreshBatch(*shamir_, 3);
+  auto deal = batch.Deal(rng_);
+  std::vector<FpElem> column;
+  for (std::size_t k = 0; k < params_.n; ++k) column.push_back(deal[k][0]);
+  EXPECT_TRUE(batch.VerifyCheckVector(column));
+  // Degree violation.
+  auto bad = column;
+  bad[4] = ctx_->Add(bad[4], ctx_->One());
+  EXPECT_FALSE(batch.VerifyCheckVector(bad));
+  // Vanishing violation: add a constant 1 to the polynomial (degree fine,
+  // nonzero at the betas).
+  auto shifted = column;
+  for (auto& v : shifted) v = ctx_->Add(v, ctx_->One());
+  EXPECT_FALSE(batch.VerifyCheckVector(shifted));
+  // Wrong size.
+  shifted.pop_back();
+  EXPECT_FALSE(batch.VerifyCheckVector(shifted));
+}
+
+TEST_F(VssBatchTest, TransformedOutputsStillVanishAndVerify) {
+  VssBatch batch = MakeRefreshBatch(*shamir_, 4);
+  std::vector<std::vector<std::vector<FpElem>>> deals;
+  for (std::size_t i = 0; i < params_.n; ++i) deals.push_back(batch.Deal(rng_));
+  std::vector<std::vector<std::vector<FpElem>>> outputs(params_.n);
+  for (std::size_t k = 0; k < params_.n; ++k) {
+    std::vector<std::vector<FpElem>> col(params_.n);
+    for (std::size_t i = 0; i < params_.n; ++i) col[i] = deals[i][k];
+    outputs[k] = batch.Transform(col);
+  }
+  for (std::size_t a = 0; a < params_.n; ++a) {
+    for (std::size_t g = 0; g < batch.groups(); ++g) {
+      std::vector<FpElem> column;
+      for (std::size_t k = 0; k < params_.n; ++k) {
+        column.push_back(outputs[k][a][g]);
+      }
+      EXPECT_TRUE(batch.VerifyCheckVector(column)) << a << "," << g;
+    }
+  }
+}
+
+TEST_F(VssBatchTest, TransformWithWorkersMatchesSerial) {
+  VssBatch batch = MakeRefreshBatch(*shamir_, 6);
+  auto deal = batch.Deal(rng_);
+  std::vector<std::vector<FpElem>> col(params_.n);
+  for (std::size_t i = 0; i < params_.n; ++i) col[i] = deal[i % deal.size()];
+  std::uint64_t cpu1 = 0, cpu4 = 0;
+  auto serial = batch.Transform(col, 1, &cpu1);
+  auto parallel = batch.Transform(col, 4, &cpu4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t a = 0; a < serial.size(); ++a) {
+    for (std::size_t g = 0; g < batch.groups(); ++g) {
+      EXPECT_TRUE(ctx_->Eq(serial[a][g], parallel[a][g]));
+    }
+  }
+  EXPECT_GT(cpu1, 0u);
+  EXPECT_GT(cpu4, 0u);
+}
+
+TEST_F(VssBatchTest, GroupsFor) {
+  EXPECT_EQ(GroupsFor(1, 5), 1u);
+  EXPECT_EQ(GroupsFor(5, 5), 1u);
+  EXPECT_EQ(GroupsFor(6, 5), 2u);
+  EXPECT_EQ(GroupsFor(11, 5), 3u);
+}
+
+TEST_F(VssBatchTest, RecoveryMaskVanishesAtTargetOnly) {
+  RecoveryPlan plan = RecoveryPlan::For(4, params_, std::vector<std::uint32_t>{3});
+  VssBatch batch = MakeRecoveryBatch(*shamir_, plan, 3);
+  auto deal = batch.Deal(rng_);
+  std::vector<FpElem> xs;
+  for (std::uint32_t s : plan.survivors) {
+    xs.push_back(shamir_->points().alpha(s));
+  }
+  std::vector<FpElem> ys;
+  for (std::size_t k = 0; k < plan.survivors.size(); ++k) {
+    ys.push_back(deal[k][0]);
+  }
+  math::Poly f = math::Poly::Interpolate(
+      *ctx_, std::span<const FpElem>(xs.data(), params_.degree() + 1),
+      std::span<const FpElem>(ys.data(), params_.degree() + 1));
+  EXPECT_TRUE(ctx_->IsZero(f.Eval(*ctx_, shamir_->points().alpha(3))));
+  // Random (whp nonzero) at the secret points -- the mask hides the secrets.
+  bool all_zero = true;
+  for (std::size_t j = 0; j < params_.l; ++j) {
+    if (!ctx_->IsZero(f.Eval(*ctx_, shamir_->points().beta(j)))) {
+      all_zero = false;
+    }
+  }
+  EXPECT_FALSE(all_zero);
+}
+
+TEST(RecoveryPlan, SurvivorsExcludeTargetsAndValidate) {
+  Params p;
+  p.n = 13;
+  p.t = 2;
+  p.l = 3;
+  p.r = 2;
+  p.field_bits = 256;
+  auto plan = RecoveryPlan::For(10, p, std::vector<std::uint32_t>{1, 5});
+  EXPECT_EQ(plan.survivors.size(), 11u);
+  for (std::uint32_t s : plan.survivors) {
+    EXPECT_NE(s, 1u);
+    EXPECT_NE(s, 5u);
+  }
+  EXPECT_EQ(plan.usable, 11u - 4u);
+  // More targets than r is rejected.
+  EXPECT_THROW(
+      RecoveryPlan::For(10, p, std::vector<std::uint32_t>{1, 5, 7}),
+      InvalidArgument);
+}
+
+}  // namespace
+}  // namespace pisces::pss

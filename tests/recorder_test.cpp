@@ -1,0 +1,45 @@
+// CSV recorder tests.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "pisces/recorder.h"
+
+namespace pisces {
+namespace {
+
+TEST(Recorder, CsvShapeAndOrder) {
+  Recorder rec({"a", "b", "c"});
+  rec.AddRow({{"b", "2"}, {"a", "1"}, {"c", "3"}});
+  rec.AddRow({{"a", "x"}, {"b", "y"}, {"c", "z"}});
+  EXPECT_EQ(rec.rows(), 2u);
+  EXPECT_EQ(rec.ToCsv(), "a,b,c\n1,2,3\nx,y,z\n");
+}
+
+TEST(Recorder, MissingColumnThrows) {
+  Recorder rec({"a", "b"});
+  EXPECT_THROW(rec.AddRow({{"a", "1"}}), InvalidArgument);
+  EXPECT_THROW(rec.AddRow({{"a", "1"}, {"b", "2"}, {"z", "3"}}),
+               InvalidArgument);
+}
+
+TEST(Recorder, WritesFile) {
+  Recorder rec({"x"});
+  rec.AddRow({{"x", "42"}});
+  std::string path = ::testing::TempDir() + "/recorder_test.csv";
+  rec.WriteFile(path);
+  std::ifstream f(path);
+  std::string content((std::istreambuf_iterator<char>(f)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_EQ(content, "x\n42\n");
+  std::remove(path.c_str());
+}
+
+TEST(Recorder, NumFormatting) {
+  EXPECT_EQ(Recorder::Num(1.5), "1.5");
+  EXPECT_EQ(Recorder::Num(0.000123456), "0.000123456");
+}
+
+}  // namespace
+}  // namespace pisces

@@ -1,0 +1,143 @@
+// Resharing to a new group (dynamic-group extension).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "field/primes.h"
+#include "pss/reshare.h"
+
+namespace pisces::pss {
+namespace {
+
+using field::FpCtx;
+using field::FpElem;
+
+class ReshareTest : public ::testing::Test {
+ protected:
+  ReshareTest()
+      : ctx_(std::make_shared<const FpCtx>(field::StandardPrimeBe(256))),
+        rng_(41) {}
+
+  PackedShamir Make(std::size_t n, std::size_t t, std::size_t l) {
+    Params p;
+    p.n = n;
+    p.t = t;
+    p.l = l;
+    p.field_bits = 256;
+    return PackedShamir(ctx_, p);
+  }
+
+  // shares_by_party[i][blk] for `blocks` random blocks; returns secrets too.
+  std::pair<std::vector<std::vector<FpElem>>, std::vector<std::vector<FpElem>>>
+  ShareBlocks(const PackedShamir& scheme, std::size_t blocks) {
+    const Params& p = scheme.params();
+    std::vector<std::vector<FpElem>> by_party(p.n,
+                                              std::vector<FpElem>(blocks));
+    std::vector<std::vector<FpElem>> secrets(blocks);
+    for (std::size_t b = 0; b < blocks; ++b) {
+      for (std::size_t j = 0; j < p.l; ++j) {
+        secrets[b].push_back(ctx_->Random(rng_));
+      }
+      auto sh = scheme.ShareBlock(secrets[b], rng_);
+      for (std::size_t i = 0; i < p.n; ++i) by_party[i][b] = sh[i];
+    }
+    return {std::move(by_party), std::move(secrets)};
+  }
+
+  void ExpectSecrets(const PackedShamir& scheme,
+                     const std::vector<std::vector<FpElem>>& by_party,
+                     const std::vector<std::vector<FpElem>>& secrets) {
+    const Params& p = scheme.params();
+    std::vector<std::uint32_t> parties;
+    for (std::uint32_t i = 0; i < p.n; ++i) parties.push_back(i);
+    for (std::size_t b = 0; b < secrets.size(); ++b) {
+      std::vector<FpElem> sh;
+      for (std::size_t i = 0; i < p.n; ++i) sh.push_back(by_party[i][b]);
+      ASSERT_TRUE(scheme.ConsistentShares(parties, sh)) << "block " << b;
+      auto rec = scheme.ReconstructBlock(parties, sh);
+      for (std::size_t j = 0; j < p.l; ++j) {
+        EXPECT_TRUE(ctx_->Eq(rec[j], secrets[b][j])) << b << "," << j;
+      }
+    }
+  }
+
+  std::shared_ptr<const FpCtx> ctx_;
+  Rng rng_;
+};
+
+TEST_F(ReshareTest, GrowTheGroup) {
+  PackedShamir from = Make(8, 1, 2);
+  PackedShamir to = Make(13, 3, 2);
+  auto [old_shares, secrets] = ShareBlocks(from, 4);
+  auto new_shares = ReferenceReshare(from, to, old_shares, rng_);
+  ASSERT_EQ(new_shares.size(), 13u);
+  ExpectSecrets(to, new_shares, secrets);
+}
+
+TEST_F(ReshareTest, ShrinkTheGroup) {
+  PackedShamir from = Make(13, 3, 2);
+  PackedShamir to = Make(8, 1, 2);
+  auto [old_shares, secrets] = ShareBlocks(from, 3);
+  auto new_shares = ReferenceReshare(from, to, old_shares, rng_);
+  ExpectSecrets(to, new_shares, secrets);
+}
+
+TEST_F(ReshareTest, SameShapeStillRerandomizes) {
+  PackedShamir from = Make(10, 2, 2);
+  PackedShamir to = Make(10, 2, 2);
+  auto [old_shares, secrets] = ShareBlocks(from, 3);
+  auto new_shares = ReferenceReshare(from, to, old_shares, rng_);
+  ExpectSecrets(to, new_shares, secrets);
+  // Every share changed: resharing implies rerandomization.
+  for (std::size_t i = 0; i < 10; ++i) {
+    for (std::size_t b = 0; b < 3; ++b) {
+      EXPECT_FALSE(ctx_->Eq(new_shares[i][b], old_shares[i][b]));
+    }
+  }
+}
+
+TEST_F(ReshareTest, RaiseThreshold) {
+  PackedShamir from = Make(13, 2, 3);
+  PackedShamir to = Make(13, 3, 3);
+  auto [old_shares, secrets] = ShareBlocks(from, 2);
+  auto new_shares = ReferenceReshare(from, to, old_shares, rng_);
+  ExpectSecrets(to, new_shares, secrets);
+  // New sharing really has the new (higher) degree: t_new shares plus the
+  // secrets leave randomness -- spot check that d_new+1 shares are needed by
+  // failing reconstruction from d_old+1 < d_new+1 shares.
+  std::vector<std::uint32_t> few;
+  std::vector<FpElem> sh;
+  for (std::uint32_t i = 0; i <= from.params().degree(); ++i) {
+    few.push_back(i);
+    sh.push_back(new_shares[i][0]);
+  }
+  // Interpolating with too few points must NOT yield the secrets (whp).
+  auto wrong = math::LagrangeEval(
+      *ctx_, to.points().AlphasOf(few),
+      sh, to.points().beta(0));
+  EXPECT_FALSE(ctx_->Eq(wrong, secrets[0][0]));
+}
+
+TEST_F(ReshareTest, PackingMismatchRejected) {
+  PackedShamir from = Make(8, 1, 2);
+  PackedShamir to = Make(13, 2, 3);
+  auto [old_shares, secrets] = ShareBlocks(from, 1);
+  EXPECT_THROW(ReferenceReshare(from, to, old_shares, rng_), InvalidArgument);
+}
+
+TEST_F(ReshareTest, ContributionIsMaskedPerContributor) {
+  // The value one old party sends is uniform without the others: two runs
+  // with different mask randomness differ even for identical shares.
+  PackedShamir from = Make(8, 1, 2);
+  PackedShamir to = Make(8, 1, 2);
+  auto [old_shares, secrets] = ShareBlocks(from, 1);
+  Rng rng_a(1), rng_b(2);
+  auto a = ReferenceReshare(from, to, old_shares, rng_a);
+  auto b = ReferenceReshare(from, to, old_shares, rng_b);
+  EXPECT_FALSE(ctx_->Eq(a[0][0], b[0][0]));
+  ExpectSecrets(to, a, secrets);
+  ExpectSecrets(to, b, secrets);
+}
+
+}  // namespace
+}  // namespace pisces::pss

@@ -1,0 +1,80 @@
+// ShareStore: two-tier storage and secure disassociation.
+#include <gtest/gtest.h>
+
+#include "field/primes.h"
+#include "pisces/share_store.h"
+
+namespace pisces {
+namespace {
+
+class StoreTest : public ::testing::Test {
+ protected:
+  StoreTest() : ctx_(field::StandardPrimeBe(256)), rng_(3), store_(ctx_) {}
+
+  FileMeta PutFile(std::uint64_t id, std::size_t blocks) {
+    FileMeta meta;
+    meta.file_id = id;
+    meta.raw_size = blocks * 10;
+    meta.num_elems = blocks;
+    meta.num_blocks = blocks;
+    std::vector<field::FpElem> shares;
+    for (std::size_t i = 0; i < blocks; ++i) shares.push_back(ctx_.Random(rng_));
+    store_.Put(meta, std::move(shares));
+    return meta;
+  }
+
+  field::FpCtx ctx_;
+  Rng rng_;
+  ShareStore store_;
+};
+
+TEST_F(StoreTest, PutLoadStashRoundTrip) {
+  PutFile(1, 5);
+  ASSERT_TRUE(store_.Has(1));
+  auto& shares = store_.Load(1);
+  ASSERT_EQ(shares.size(), 5u);
+  field::FpElem changed = ctx_.Add(shares[0], ctx_.One());
+  shares[0] = changed;
+  store_.Stash(1);
+  // The mutation survived the stash/load cycle (new secondary blob).
+  EXPECT_TRUE(ctx_.Eq(store_.Load(1)[0], changed));
+}
+
+TEST_F(StoreTest, MetaAndIds) {
+  PutFile(3, 2);
+  PutFile(1, 4);
+  auto ids = store_.FileIds();
+  EXPECT_EQ(ids, (std::vector<std::uint64_t>{1, 3}));
+  EXPECT_EQ(store_.MetaOf(3).num_blocks, 2u);
+  EXPECT_THROW(store_.MetaOf(9), InvalidArgument);
+}
+
+TEST_F(StoreTest, SecondaryBytesTracksAtRestSize) {
+  PutFile(1, 4);
+  EXPECT_EQ(store_.SecondaryBytes(), 4 * ctx_.elem_bytes());
+  store_.Load(1);
+  store_.Stash(1);
+  EXPECT_EQ(store_.SecondaryBytes(), 4 * ctx_.elem_bytes());
+}
+
+TEST_F(StoreTest, DeleteAndWipe) {
+  PutFile(1, 2);
+  PutFile(2, 2);
+  store_.Delete(1);
+  EXPECT_FALSE(store_.Has(1));
+  EXPECT_TRUE(store_.Has(2));
+  store_.WipeAll();
+  EXPECT_FALSE(store_.Has(2));
+  EXPECT_EQ(store_.SecondaryBytes(), 0u);
+}
+
+TEST_F(StoreTest, PutValidatesBlockCount) {
+  FileMeta meta;
+  meta.file_id = 9;
+  meta.num_blocks = 3;
+  std::vector<field::FpElem> two(2, ctx_.Zero());
+  EXPECT_THROW(store_.Put(meta, std::move(two)), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace pisces

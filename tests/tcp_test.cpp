@@ -1,0 +1,119 @@
+// Loopback TCP transport tests.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include "net/tcp_transport.h"
+
+namespace pisces::net {
+namespace {
+
+std::uint16_t BasePort() {
+  // Spread across runs to dodge TIME_WAIT collisions.
+  return static_cast<std::uint16_t>(40000 + (::getpid() % 2000) * 10);
+}
+
+Message Make(std::uint32_t from, std::uint32_t to, Bytes payload) {
+  Message m;
+  m.from = from;
+  m.to = to;
+  m.type = MsgType::kDeal;
+  m.payload = std::move(payload);
+  return m;
+}
+
+TEST(TcpTransport, SendReceiveRoundTrip) {
+  std::uint16_t base = BasePort();
+  TcpEndpoint a(1, base);
+  TcpEndpoint b(2, static_cast<std::uint16_t>(base + 1));
+  a.AddPeer(2, static_cast<std::uint16_t>(base + 1));
+  b.AddPeer(1, base);
+
+  a.Send(Make(1, 2, Bytes{1, 2, 3}));
+  auto m = b.ReceiveWait(2000);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->from, 1u);
+  EXPECT_EQ(m->payload, (Bytes{1, 2, 3}));
+  EXPECT_GT(a.bytes_sent(), 0u);
+}
+
+TEST(TcpTransport, BidirectionalAndOrdered) {
+  std::uint16_t base = static_cast<std::uint16_t>(BasePort() + 2);
+  TcpEndpoint a(1, base);
+  TcpEndpoint b(2, static_cast<std::uint16_t>(base + 1));
+  a.AddPeer(2, static_cast<std::uint16_t>(base + 1));
+  b.AddPeer(1, base);
+
+  for (std::uint8_t i = 0; i < 20; ++i) a.Send(Make(1, 2, Bytes{i}));
+  for (std::uint8_t i = 0; i < 20; ++i) {
+    auto m = b.ReceiveWait(2000);
+    ASSERT_TRUE(m.has_value());
+    EXPECT_EQ(m->payload[0], i);  // per-link FIFO
+  }
+  b.Send(Make(2, 1, Bytes{0xAA}));
+  auto back = a.ReceiveWait(2000);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->payload[0], 0xAA);
+}
+
+TEST(TcpTransport, LargePayload) {
+  std::uint16_t base = static_cast<std::uint16_t>(BasePort() + 4);
+  TcpEndpoint a(1, base);
+  TcpEndpoint b(2, static_cast<std::uint16_t>(base + 1));
+  a.AddPeer(2, static_cast<std::uint16_t>(base + 1));
+
+  Bytes big(1 << 20);
+  for (std::size_t i = 0; i < big.size(); ++i) {
+    big[i] = static_cast<std::uint8_t>(i * 7);
+  }
+  a.Send(Make(1, 2, big));
+  auto m = b.ReceiveWait(5000);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->payload, big);
+}
+
+TEST(TcpTransport, ReceiveWaitTimesOut) {
+  std::uint16_t base = static_cast<std::uint16_t>(BasePort() + 6);
+  TcpEndpoint a(1, base);
+  EXPECT_FALSE(a.ReceiveWait(50).has_value());
+  EXPECT_FALSE(a.Receive().has_value());
+}
+
+TEST(TcpTransport, UnknownPeerThrows) {
+  std::uint16_t base = static_cast<std::uint16_t>(BasePort() + 7);
+  TcpEndpoint a(1, base);
+  EXPECT_THROW(a.Send(Make(1, 99, Bytes{1})), Error);
+  EXPECT_THROW(a.Send(Make(2, 1, Bytes{1})), InvalidArgument);  // wrong from
+}
+
+TEST(TcpTransport, MeshOfFour) {
+  std::uint16_t base = static_cast<std::uint16_t>(BasePort() + 8);
+  std::vector<std::unique_ptr<TcpEndpoint>> eps;
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    eps.push_back(std::make_unique<TcpEndpoint>(
+        i, static_cast<std::uint16_t>(base + i)));
+  }
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    for (std::uint32_t j = 0; j < 4; ++j) {
+      if (i != j) eps[i]->AddPeer(j, static_cast<std::uint16_t>(base + j));
+    }
+  }
+  // Everyone sends to everyone.
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    for (std::uint32_t j = 0; j < 4; ++j) {
+      if (i != j) eps[i]->Send(Make(i, j, Bytes{static_cast<std::uint8_t>(i)}));
+    }
+  }
+  for (std::uint32_t j = 0; j < 4; ++j) {
+    std::set<std::uint8_t> senders;
+    for (int k = 0; k < 3; ++k) {
+      auto m = eps[j]->ReceiveWait(2000);
+      ASSERT_TRUE(m.has_value());
+      senders.insert(m->payload[0]);
+    }
+    EXPECT_EQ(senders.size(), 3u);
+  }
+}
+
+}  // namespace
+}  // namespace pisces::net
