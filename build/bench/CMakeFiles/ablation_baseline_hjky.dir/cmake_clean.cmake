@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_baseline_hjky.dir/ablation_baseline_hjky.cpp.o"
+  "CMakeFiles/ablation_baseline_hjky.dir/ablation_baseline_hjky.cpp.o.d"
+  "ablation_baseline_hjky"
+  "ablation_baseline_hjky.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_baseline_hjky.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

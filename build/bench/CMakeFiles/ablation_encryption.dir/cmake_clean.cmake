@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_encryption.dir/ablation_encryption.cpp.o"
+  "CMakeFiles/ablation_encryption.dir/ablation_encryption.cpp.o.d"
+  "ablation_encryption"
+  "ablation_encryption.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_encryption.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

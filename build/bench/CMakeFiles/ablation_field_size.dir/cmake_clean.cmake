@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_field_size.dir/ablation_field_size.cpp.o"
+  "CMakeFiles/ablation_field_size.dir/ablation_field_size.cpp.o.d"
+  "ablation_field_size"
+  "ablation_field_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_field_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

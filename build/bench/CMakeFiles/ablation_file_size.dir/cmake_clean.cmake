@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_file_size.dir/ablation_file_size.cpp.o"
+  "CMakeFiles/ablation_file_size.dir/ablation_file_size.cpp.o.d"
+  "ablation_file_size"
+  "ablation_file_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_file_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_restart_batch.dir/ablation_restart_batch.cpp.o"
+  "CMakeFiles/ablation_restart_batch.dir/ablation_restart_batch.cpp.o.d"
+  "ablation_restart_batch"
+  "ablation_restart_batch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_restart_batch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_comm_vs_threshold.dir/fig10_comm_vs_threshold.cpp.o"
+  "CMakeFiles/fig10_comm_vs_threshold.dir/fig10_comm_vs_threshold.cpp.o.d"
+  "fig10_comm_vs_threshold"
+  "fig10_comm_vs_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_comm_vs_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_uptime_fraction.dir/fig11_uptime_fraction.cpp.o"
+  "CMakeFiles/fig11_uptime_fraction.dir/fig11_uptime_fraction.cpp.o.d"
+  "fig11_uptime_fraction"
+  "fig11_uptime_fraction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_uptime_fraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_time_vs_t.dir/fig12_time_vs_t.cpp.o"
+  "CMakeFiles/fig12_time_vs_t.dir/fig12_time_vs_t.cpp.o.d"
+  "fig12_time_vs_t"
+  "fig12_time_vs_t.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_time_vs_t.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_comm_vs_t.dir/fig13_comm_vs_t.cpp.o"
+  "CMakeFiles/fig13_comm_vs_t.dir/fig13_comm_vs_t.cpp.o.d"
+  "fig13_comm_vs_t"
+  "fig13_comm_vs_t.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_comm_vs_t.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig13_comm_vs_t.
+# This may be replaced when dependencies are built.

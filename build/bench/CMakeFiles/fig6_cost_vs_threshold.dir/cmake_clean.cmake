@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_cost_vs_threshold.dir/fig6_cost_vs_threshold.cpp.o"
+  "CMakeFiles/fig6_cost_vs_threshold.dir/fig6_cost_vs_threshold.cpp.o.d"
+  "fig6_cost_vs_threshold"
+  "fig6_cost_vs_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_cost_vs_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

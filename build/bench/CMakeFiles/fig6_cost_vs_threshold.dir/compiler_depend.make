@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig6_cost_vs_threshold.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig6_cost_vs_threshold.
+# This may be replaced when dependencies are built.

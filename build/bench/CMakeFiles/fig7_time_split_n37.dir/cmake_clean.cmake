@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_time_split_n37.dir/fig7_time_split_n37.cpp.o"
+  "CMakeFiles/fig7_time_split_n37.dir/fig7_time_split_n37.cpp.o.d"
+  "fig7_time_split_n37"
+  "fig7_time_split_n37.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_time_split_n37.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig7_time_split_n37.
+# This may be replaced when dependencies are built.

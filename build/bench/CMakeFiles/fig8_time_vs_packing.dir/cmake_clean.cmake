@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_time_vs_packing.dir/fig8_time_vs_packing.cpp.o"
+  "CMakeFiles/fig8_time_vs_packing.dir/fig8_time_vs_packing.cpp.o.d"
+  "fig8_time_vs_packing"
+  "fig8_time_vs_packing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_time_vs_packing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig8_time_vs_packing.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_comm_vs_packing.dir/fig9_comm_vs_packing.cpp.o"
+  "CMakeFiles/fig9_comm_vs_packing.dir/fig9_comm_vs_packing.cpp.o.d"
+  "fig9_comm_vs_packing"
+  "fig9_comm_vs_packing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_comm_vs_packing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lessons_learned.dir/lessons_learned.cpp.o"
+  "CMakeFiles/lessons_learned.dir/lessons_learned.cpp.o.d"
+  "lessons_learned"
+  "lessons_learned.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lessons_learned.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for lessons_learned.
+# This may be replaced when dependencies are built.

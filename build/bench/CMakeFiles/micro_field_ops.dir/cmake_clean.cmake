@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_field_ops.dir/micro_field_ops.cpp.o"
+  "CMakeFiles/micro_field_ops.dir/micro_field_ops.cpp.o.d"
+  "micro_field_ops"
+  "micro_field_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_field_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_instances.dir/table1_instances.cpp.o"
+  "CMakeFiles/table1_instances.dir/table1_instances.cpp.o.d"
+  "table1_instances"
+  "table1_instances.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_instances.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mobile_adversary_drill.dir/mobile_adversary_drill.cpp.o"
+  "CMakeFiles/mobile_adversary_drill.dir/mobile_adversary_drill.cpp.o.d"
+  "mobile_adversary_drill"
+  "mobile_adversary_drill.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mobile_adversary_drill.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for mobile_adversary_drill.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_cloud.dir/multi_cloud.cpp.o"
+  "CMakeFiles/multi_cloud.dir/multi_cloud.cpp.o.d"
+  "multi_cloud"
+  "multi_cloud.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_cloud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

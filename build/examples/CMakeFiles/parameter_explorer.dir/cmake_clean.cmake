@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parameter_explorer.dir/parameter_explorer.cpp.o"
+  "CMakeFiles/parameter_explorer.dir/parameter_explorer.cpp.o.d"
+  "parameter_explorer"
+  "parameter_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parameter_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

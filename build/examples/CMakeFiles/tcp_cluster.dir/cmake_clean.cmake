@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcp_cluster.dir/tcp_cluster.cpp.o"
+  "CMakeFiles/tcp_cluster.dir/tcp_cluster.cpp.o.d"
+  "tcp_cluster"
+  "tcp_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcp_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,58 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/bytes.cpp" "src/CMakeFiles/pisces_core.dir/common/bytes.cpp.o" "gcc" "src/CMakeFiles/pisces_core.dir/common/bytes.cpp.o.d"
+  "/root/repo/src/common/clock.cpp" "src/CMakeFiles/pisces_core.dir/common/clock.cpp.o" "gcc" "src/CMakeFiles/pisces_core.dir/common/clock.cpp.o.d"
+  "/root/repo/src/common/log.cpp" "src/CMakeFiles/pisces_core.dir/common/log.cpp.o" "gcc" "src/CMakeFiles/pisces_core.dir/common/log.cpp.o.d"
+  "/root/repo/src/common/rng.cpp" "src/CMakeFiles/pisces_core.dir/common/rng.cpp.o" "gcc" "src/CMakeFiles/pisces_core.dir/common/rng.cpp.o.d"
+  "/root/repo/src/crypto/ca.cpp" "src/CMakeFiles/pisces_core.dir/crypto/ca.cpp.o" "gcc" "src/CMakeFiles/pisces_core.dir/crypto/ca.cpp.o.d"
+  "/root/repo/src/crypto/chacha20.cpp" "src/CMakeFiles/pisces_core.dir/crypto/chacha20.cpp.o" "gcc" "src/CMakeFiles/pisces_core.dir/crypto/chacha20.cpp.o.d"
+  "/root/repo/src/crypto/channel.cpp" "src/CMakeFiles/pisces_core.dir/crypto/channel.cpp.o" "gcc" "src/CMakeFiles/pisces_core.dir/crypto/channel.cpp.o.d"
+  "/root/repo/src/crypto/hkdf.cpp" "src/CMakeFiles/pisces_core.dir/crypto/hkdf.cpp.o" "gcc" "src/CMakeFiles/pisces_core.dir/crypto/hkdf.cpp.o.d"
+  "/root/repo/src/crypto/hmac.cpp" "src/CMakeFiles/pisces_core.dir/crypto/hmac.cpp.o" "gcc" "src/CMakeFiles/pisces_core.dir/crypto/hmac.cpp.o.d"
+  "/root/repo/src/crypto/schnorr.cpp" "src/CMakeFiles/pisces_core.dir/crypto/schnorr.cpp.o" "gcc" "src/CMakeFiles/pisces_core.dir/crypto/schnorr.cpp.o.d"
+  "/root/repo/src/crypto/sha256.cpp" "src/CMakeFiles/pisces_core.dir/crypto/sha256.cpp.o" "gcc" "src/CMakeFiles/pisces_core.dir/crypto/sha256.cpp.o.d"
+  "/root/repo/src/field/fp.cpp" "src/CMakeFiles/pisces_core.dir/field/fp.cpp.o" "gcc" "src/CMakeFiles/pisces_core.dir/field/fp.cpp.o.d"
+  "/root/repo/src/field/limbs.cpp" "src/CMakeFiles/pisces_core.dir/field/limbs.cpp.o" "gcc" "src/CMakeFiles/pisces_core.dir/field/limbs.cpp.o.d"
+  "/root/repo/src/field/primes.cpp" "src/CMakeFiles/pisces_core.dir/field/primes.cpp.o" "gcc" "src/CMakeFiles/pisces_core.dir/field/primes.cpp.o.d"
+  "/root/repo/src/math/berlekamp_welch.cpp" "src/CMakeFiles/pisces_core.dir/math/berlekamp_welch.cpp.o" "gcc" "src/CMakeFiles/pisces_core.dir/math/berlekamp_welch.cpp.o.d"
+  "/root/repo/src/math/matrix.cpp" "src/CMakeFiles/pisces_core.dir/math/matrix.cpp.o" "gcc" "src/CMakeFiles/pisces_core.dir/math/matrix.cpp.o.d"
+  "/root/repo/src/math/poly.cpp" "src/CMakeFiles/pisces_core.dir/math/poly.cpp.o" "gcc" "src/CMakeFiles/pisces_core.dir/math/poly.cpp.o.d"
+  "/root/repo/src/net/message.cpp" "src/CMakeFiles/pisces_core.dir/net/message.cpp.o" "gcc" "src/CMakeFiles/pisces_core.dir/net/message.cpp.o.d"
+  "/root/repo/src/net/sim_transport.cpp" "src/CMakeFiles/pisces_core.dir/net/sim_transport.cpp.o" "gcc" "src/CMakeFiles/pisces_core.dir/net/sim_transport.cpp.o.d"
+  "/root/repo/src/net/sync_network.cpp" "src/CMakeFiles/pisces_core.dir/net/sync_network.cpp.o" "gcc" "src/CMakeFiles/pisces_core.dir/net/sync_network.cpp.o.d"
+  "/root/repo/src/net/tcp_transport.cpp" "src/CMakeFiles/pisces_core.dir/net/tcp_transport.cpp.o" "gcc" "src/CMakeFiles/pisces_core.dir/net/tcp_transport.cpp.o.d"
+  "/root/repo/src/pisces/adversary.cpp" "src/CMakeFiles/pisces_core.dir/pisces/adversary.cpp.o" "gcc" "src/CMakeFiles/pisces_core.dir/pisces/adversary.cpp.o.d"
+  "/root/repo/src/pisces/client.cpp" "src/CMakeFiles/pisces_core.dir/pisces/client.cpp.o" "gcc" "src/CMakeFiles/pisces_core.dir/pisces/client.cpp.o.d"
+  "/root/repo/src/pisces/cluster.cpp" "src/CMakeFiles/pisces_core.dir/pisces/cluster.cpp.o" "gcc" "src/CMakeFiles/pisces_core.dir/pisces/cluster.cpp.o.d"
+  "/root/repo/src/pisces/cost_model.cpp" "src/CMakeFiles/pisces_core.dir/pisces/cost_model.cpp.o" "gcc" "src/CMakeFiles/pisces_core.dir/pisces/cost_model.cpp.o.d"
+  "/root/repo/src/pisces/deployment.cpp" "src/CMakeFiles/pisces_core.dir/pisces/deployment.cpp.o" "gcc" "src/CMakeFiles/pisces_core.dir/pisces/deployment.cpp.o.d"
+  "/root/repo/src/pisces/driver.cpp" "src/CMakeFiles/pisces_core.dir/pisces/driver.cpp.o" "gcc" "src/CMakeFiles/pisces_core.dir/pisces/driver.cpp.o.d"
+  "/root/repo/src/pisces/file_codec.cpp" "src/CMakeFiles/pisces_core.dir/pisces/file_codec.cpp.o" "gcc" "src/CMakeFiles/pisces_core.dir/pisces/file_codec.cpp.o.d"
+  "/root/repo/src/pisces/host.cpp" "src/CMakeFiles/pisces_core.dir/pisces/host.cpp.o" "gcc" "src/CMakeFiles/pisces_core.dir/pisces/host.cpp.o.d"
+  "/root/repo/src/pisces/hypervisor.cpp" "src/CMakeFiles/pisces_core.dir/pisces/hypervisor.cpp.o" "gcc" "src/CMakeFiles/pisces_core.dir/pisces/hypervisor.cpp.o.d"
+  "/root/repo/src/pisces/recorder.cpp" "src/CMakeFiles/pisces_core.dir/pisces/recorder.cpp.o" "gcc" "src/CMakeFiles/pisces_core.dir/pisces/recorder.cpp.o.d"
+  "/root/repo/src/pisces/schedule.cpp" "src/CMakeFiles/pisces_core.dir/pisces/schedule.cpp.o" "gcc" "src/CMakeFiles/pisces_core.dir/pisces/schedule.cpp.o.d"
+  "/root/repo/src/pisces/share_store.cpp" "src/CMakeFiles/pisces_core.dir/pisces/share_store.cpp.o" "gcc" "src/CMakeFiles/pisces_core.dir/pisces/share_store.cpp.o.d"
+  "/root/repo/src/pss/baseline.cpp" "src/CMakeFiles/pisces_core.dir/pss/baseline.cpp.o" "gcc" "src/CMakeFiles/pisces_core.dir/pss/baseline.cpp.o.d"
+  "/root/repo/src/pss/packed_shamir.cpp" "src/CMakeFiles/pisces_core.dir/pss/packed_shamir.cpp.o" "gcc" "src/CMakeFiles/pisces_core.dir/pss/packed_shamir.cpp.o.d"
+  "/root/repo/src/pss/params.cpp" "src/CMakeFiles/pisces_core.dir/pss/params.cpp.o" "gcc" "src/CMakeFiles/pisces_core.dir/pss/params.cpp.o.d"
+  "/root/repo/src/pss/recovery.cpp" "src/CMakeFiles/pisces_core.dir/pss/recovery.cpp.o" "gcc" "src/CMakeFiles/pisces_core.dir/pss/recovery.cpp.o.d"
+  "/root/repo/src/pss/refresh.cpp" "src/CMakeFiles/pisces_core.dir/pss/refresh.cpp.o" "gcc" "src/CMakeFiles/pisces_core.dir/pss/refresh.cpp.o.d"
+  "/root/repo/src/pss/reshare.cpp" "src/CMakeFiles/pisces_core.dir/pss/reshare.cpp.o" "gcc" "src/CMakeFiles/pisces_core.dir/pss/reshare.cpp.o.d"
+  "/root/repo/src/pss/vss.cpp" "src/CMakeFiles/pisces_core.dir/pss/vss.cpp.o" "gcc" "src/CMakeFiles/pisces_core.dir/pss/vss.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpisces_core.a"
+)

@@ -1,0 +1,42 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/adversary_test.cpp" "tests/CMakeFiles/pisces_tests.dir/adversary_test.cpp.o" "gcc" "tests/CMakeFiles/pisces_tests.dir/adversary_test.cpp.o.d"
+  "/root/repo/tests/baseline_test.cpp" "tests/CMakeFiles/pisces_tests.dir/baseline_test.cpp.o" "gcc" "tests/CMakeFiles/pisces_tests.dir/baseline_test.cpp.o.d"
+  "/root/repo/tests/cluster_test.cpp" "tests/CMakeFiles/pisces_tests.dir/cluster_test.cpp.o" "gcc" "tests/CMakeFiles/pisces_tests.dir/cluster_test.cpp.o.d"
+  "/root/repo/tests/codec_test.cpp" "tests/CMakeFiles/pisces_tests.dir/codec_test.cpp.o" "gcc" "tests/CMakeFiles/pisces_tests.dir/codec_test.cpp.o.d"
+  "/root/repo/tests/common_test.cpp" "tests/CMakeFiles/pisces_tests.dir/common_test.cpp.o" "gcc" "tests/CMakeFiles/pisces_tests.dir/common_test.cpp.o.d"
+  "/root/repo/tests/cost_test.cpp" "tests/CMakeFiles/pisces_tests.dir/cost_test.cpp.o" "gcc" "tests/CMakeFiles/pisces_tests.dir/cost_test.cpp.o.d"
+  "/root/repo/tests/crypto_test.cpp" "tests/CMakeFiles/pisces_tests.dir/crypto_test.cpp.o" "gcc" "tests/CMakeFiles/pisces_tests.dir/crypto_test.cpp.o.d"
+  "/root/repo/tests/deployment_test.cpp" "tests/CMakeFiles/pisces_tests.dir/deployment_test.cpp.o" "gcc" "tests/CMakeFiles/pisces_tests.dir/deployment_test.cpp.o.d"
+  "/root/repo/tests/determinism_test.cpp" "tests/CMakeFiles/pisces_tests.dir/determinism_test.cpp.o" "gcc" "tests/CMakeFiles/pisces_tests.dir/determinism_test.cpp.o.d"
+  "/root/repo/tests/e2e_test.cpp" "tests/CMakeFiles/pisces_tests.dir/e2e_test.cpp.o" "gcc" "tests/CMakeFiles/pisces_tests.dir/e2e_test.cpp.o.d"
+  "/root/repo/tests/fault_test.cpp" "tests/CMakeFiles/pisces_tests.dir/fault_test.cpp.o" "gcc" "tests/CMakeFiles/pisces_tests.dir/fault_test.cpp.o.d"
+  "/root/repo/tests/field_test.cpp" "tests/CMakeFiles/pisces_tests.dir/field_test.cpp.o" "gcc" "tests/CMakeFiles/pisces_tests.dir/field_test.cpp.o.d"
+  "/root/repo/tests/fuzz_test.cpp" "tests/CMakeFiles/pisces_tests.dir/fuzz_test.cpp.o" "gcc" "tests/CMakeFiles/pisces_tests.dir/fuzz_test.cpp.o.d"
+  "/root/repo/tests/host_test.cpp" "tests/CMakeFiles/pisces_tests.dir/host_test.cpp.o" "gcc" "tests/CMakeFiles/pisces_tests.dir/host_test.cpp.o.d"
+  "/root/repo/tests/math_test.cpp" "tests/CMakeFiles/pisces_tests.dir/math_test.cpp.o" "gcc" "tests/CMakeFiles/pisces_tests.dir/math_test.cpp.o.d"
+  "/root/repo/tests/net_test.cpp" "tests/CMakeFiles/pisces_tests.dir/net_test.cpp.o" "gcc" "tests/CMakeFiles/pisces_tests.dir/net_test.cpp.o.d"
+  "/root/repo/tests/pss_test.cpp" "tests/CMakeFiles/pisces_tests.dir/pss_test.cpp.o" "gcc" "tests/CMakeFiles/pisces_tests.dir/pss_test.cpp.o.d"
+  "/root/repo/tests/recorder_test.cpp" "tests/CMakeFiles/pisces_tests.dir/recorder_test.cpp.o" "gcc" "tests/CMakeFiles/pisces_tests.dir/recorder_test.cpp.o.d"
+  "/root/repo/tests/reshare_test.cpp" "tests/CMakeFiles/pisces_tests.dir/reshare_test.cpp.o" "gcc" "tests/CMakeFiles/pisces_tests.dir/reshare_test.cpp.o.d"
+  "/root/repo/tests/robust_test.cpp" "tests/CMakeFiles/pisces_tests.dir/robust_test.cpp.o" "gcc" "tests/CMakeFiles/pisces_tests.dir/robust_test.cpp.o.d"
+  "/root/repo/tests/schedule_test.cpp" "tests/CMakeFiles/pisces_tests.dir/schedule_test.cpp.o" "gcc" "tests/CMakeFiles/pisces_tests.dir/schedule_test.cpp.o.d"
+  "/root/repo/tests/store_test.cpp" "tests/CMakeFiles/pisces_tests.dir/store_test.cpp.o" "gcc" "tests/CMakeFiles/pisces_tests.dir/store_test.cpp.o.d"
+  "/root/repo/tests/tcp_test.cpp" "tests/CMakeFiles/pisces_tests.dir/tcp_test.cpp.o" "gcc" "tests/CMakeFiles/pisces_tests.dir/tcp_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pisces_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
