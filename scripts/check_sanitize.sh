@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# ASan+UBSan check: configures a dedicated build tree with PISCES_SANITIZE=ON
+# and runs the full test suite (including the chaos drill) under both
+# sanitizers. Any report is fatal (-fno-sanitize-recover=all + halt_on_error).
+#
+# Usage: scripts/check_sanitize.sh [build-dir]   (default: build-asan)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-asan}"
+
+cmake -B "$BUILD_DIR" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DPISCES_SANITIZE=ON
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+
+export ASAN_OPTIONS="halt_on_error=1:detect_leaks=1"
+export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"

@@ -1,5 +1,7 @@
 #include "net/sim_transport.h"
 
+#include <algorithm>
+
 namespace pisces::net {
 
 void SimEndpoint::Send(Message msg) {
@@ -31,16 +33,57 @@ const SimNet::Mailbox& SimNet::BoxFor(std::uint32_t id) const {
 void SimNet::SetOffline(std::uint32_t id, bool offline) {
   Mailbox& box = BoxFor(id);
   box.offline = offline;
-  if (offline) box.queue.clear();  // in-flight traffic to a dead host is lost
+  // Both directions leave the mailbox empty: going offline loses in-flight
+  // traffic with the dead host, and coming back online must never resume
+  // from a stale queue (messages from before the crash would otherwise be
+  // replayed into the rebooted host's fresh state).
+  box.stats.msgs_dropped += box.queue.size();
+  total_dropped_ += box.queue.size();
+  box.queue.clear();
+  if (offline && !staged_.empty()) {
+    // Delayed messages already in flight toward the dead host die too.
+    auto it = std::remove_if(staged_.begin(), staged_.end(),
+                             [&](const StagedMessage& s) {
+                               return s.msg.to == id || s.msg.from == id;
+                             });
+    const auto purged = static_cast<std::uint64_t>(staged_.end() - it);
+    box.stats.msgs_dropped += purged;
+    total_dropped_ += purged;
+    staged_.erase(it, staged_.end());
+  }
 }
 
 bool SimNet::IsOffline(std::uint32_t id) const { return BoxFor(id).offline; }
+
+void SimNet::SetFaultPlan(FaultPlan plan) {
+  plan_ = std::move(plan);
+  fault_rng_ = Rng(plan_.seed);
+}
+
+void SimNet::PartitionOff(std::span<const std::uint32_t> island) {
+  island_.clear();
+  island_.insert(island.begin(), island.end());
+}
+
+bool SimNet::CrossesPartition(std::uint32_t from, std::uint32_t to) const {
+  if (island_.empty()) return false;
+  return island_.count(from) != island_.count(to);
+}
+
+bool SimNet::Chance(double p) {
+  // 53-bit uniform in [0, 1); drawn only for knobs with p > 0 so enabling
+  // one fault type does not perturb the stream seen by another.
+  const double u =
+      static_cast<double>(fault_rng_.Next() >> 11) * 0x1.0p-53;
+  return u < p;
+}
 
 const SimNet::EndpointStats& SimNet::StatsFor(std::uint32_t id) const {
   return BoxFor(id).stats;
 }
 
 bool SimNet::AnyPending() const {
+  if (!staged_.empty()) return true;
   for (const auto& [id, box] : boxes_) {
     if (!box.queue.empty()) return true;
   }
@@ -55,6 +98,27 @@ void SimNet::ResetStats() {
   for (auto& [id, box] : boxes_) box.stats = EndpointStats{};
   total_bytes_ = 0;
   total_msgs_ = 0;
+  total_dropped_ = 0;
+}
+
+void SimNet::DropMessage(Mailbox& src) {
+  src.stats.msgs_dropped += 1;
+  total_dropped_ += 1;
+}
+
+void SimNet::Enqueue(Mailbox& src, Mailbox& dst, Message msg,
+                     double reorder_prob) {
+  dst.stats.msgs_received += 1;
+  dst.stats.bytes_received += msg.WireSize();
+  if (tap_) tap_(msg);
+  if (reorder_prob > 0 && !dst.queue.empty() && Chance(reorder_prob)) {
+    src.stats.msgs_reordered += 1;
+    const std::size_t pos = fault_rng_.Below(dst.queue.size());
+    dst.queue.insert(dst.queue.begin() + static_cast<std::ptrdiff_t>(pos),
+                     std::move(msg));
+  } else {
+    dst.queue.push_back(std::move(msg));
+  }
 }
 
 void SimNet::Deliver(Message msg) {
@@ -69,16 +133,98 @@ void SimNet::Deliver(Message msg) {
   total_bytes_ += wire;
   total_msgs_ += 1;
 
-  if (mutator_ && !mutator_(msg)) return;  // dropped by fault injection
+  // Crash-at-Nth-message: the host dies while sending; this message and
+  // everything queued toward the host is lost. The trigger is one-shot so a
+  // later reboot does not immediately re-fire it.
+  auto crash = plan_.crash_after.find(msg.from);
+  if (crash != plan_.crash_after.end() &&
+      src.stats.msgs_sent >= crash->second) {
+    plan_.crash_after.erase(crash);
+    src.stats.crashes += 1;
+    DropMessage(src);
+    SetOffline(msg.from, true);
+    return;
+  }
+
+  if (mutator_ && !mutator_(msg)) {  // dropped by fault injection
+    DropMessage(src);
+    return;
+  }
+
+  if (CrossesPartition(msg.from, msg.to)) {
+    DropMessage(src);
+    return;
+  }
+
+  const LinkFault& fault = plan_.For(msg.from, msg.to);
+  if (fault.drop_prob > 0 && Chance(fault.drop_prob)) {
+    DropMessage(src);
+    return;
+  }
 
   auto it = boxes_.find(msg.to);
   Require(it != boxes_.end(), "SimNet::Deliver: unknown destination");
   Mailbox& dst = it->second;
-  if (dst.offline) return;
-  dst.stats.msgs_received += 1;
-  dst.stats.bytes_received += msg.WireSize();
-  if (tap_) tap_(msg);
-  dst.queue.push_back(std::move(msg));
+  if (dst.offline) {
+    DropMessage(src);
+    return;
+  }
+
+  std::uint32_t copies = 1;
+  if (fault.dup_prob > 0 && Chance(fault.dup_prob)) {
+    copies = 2;
+    src.stats.msgs_duplicated += 1;
+  }
+
+  std::uint64_t delay = fault.delay_sweeps;
+  if (fault.delay_jitter > 0) delay += fault_rng_.Below(fault.delay_jitter + 1);
+
+  // Links are TCP-like (reliable, ordered): a message must not overtake an
+  // earlier message still staged on the same link, so a delay holds up the
+  // stream behind it. Without this, jitter silently reorders per-link
+  // traffic, which an authenticated channel's replay protection converts
+  // into systematic message loss. Deliberate reordering stays available via
+  // reorder_prob.
+  std::uint64_t release = sweep_ + delay;
+  for (const auto& s : staged_) {
+    if (s.msg.from == msg.from && s.msg.to == msg.to) {
+      release = std::max(release, s.release_sweep);
+    }
+  }
+
+  for (std::uint32_t c = 0; c < copies; ++c) {
+    Message copy = (c + 1 == copies) ? std::move(msg) : msg;
+    if (release > sweep_) {
+      src.stats.msgs_delayed += 1;
+      staged_.push_back(StagedMessage{release, std::move(copy)});
+    } else {
+      Enqueue(src, dst, std::move(copy), fault.reorder_prob);
+    }
+  }
+}
+
+void SimNet::AdvanceSweep() {
+  ++sweep_;
+  if (staged_.empty()) return;
+  // Release matured messages in staging order (deterministic). Reordering is
+  // already expressed by the delay itself, so matured messages append plainly.
+  std::vector<StagedMessage> keep;
+  keep.reserve(staged_.size());
+  for (auto& s : staged_) {
+    if (s.release_sweep > sweep_) {
+      keep.push_back(std::move(s));
+      continue;
+    }
+    auto it = boxes_.find(s.msg.to);
+    if (it == boxes_.end() || it->second.offline) {
+      Mailbox& src = BoxFor(s.msg.from);
+      DropMessage(src);
+      continue;
+    }
+    Enqueue(BoxFor(s.msg.from), it->second, std::move(s.msg),
+            /*reorder_prob=*/0.0);
+  }
+  staged_.swap(keep);
 }
 
 std::optional<Message> SimNet::Pop(std::uint32_t id) {

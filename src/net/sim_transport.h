@@ -5,19 +5,32 @@
 // appends to the destination mailbox; delivery order is deterministic given
 // deterministic send order, which keeps every experiment reproducible.
 //
-// Fault injection knobs model the paper's failure assumptions: an offline
-// host (crashed or mid-reboot) drops all traffic; a message mutator models a
-// corrupt-but-active host for the VSS verification tests. The adversary in
-// the paper is passive (honest-but-curious); active corruption here exists to
-// exercise the verification machinery.
+// Fault injection models the paper's failure assumptions and beyond:
+//  * an offline host (crashed or mid-reboot) drops all traffic. In-flight
+//    traffic addressed to a host going offline is lost with it (the bytes
+//    were on the dead machine's NIC), and a host coming back online always
+//    starts from a clean mailbox -- both directions of that asymmetry are
+//    deliberate and regression-tested;
+//  * a message mutator models a corrupt-but-active host for the VSS
+//    verification tests (the paper's adversary is passive; active corruption
+//    here exists to exercise the verification machinery);
+//  * a seeded FaultPlan adds per-link drop/duplicate/reorder probabilities,
+//    fixed+jittered delivery delay measured in synchrony sweeps, crash-at-
+//    Nth-message triggers, and network partitions. Every probabilistic
+//    decision is drawn from one deterministic stream in delivery order, so a
+//    fixed seed reproduces the identical fault trace.
 #pragma once
 
 #include <deque>
 #include <functional>
+#include <map>
 #include <memory>
+#include <set>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
+#include "common/rng.h"
 #include "net/transport.h"
 
 namespace pisces::net {
@@ -37,6 +50,35 @@ class SimEndpoint : public Transport {
   std::uint32_t id_;
 };
 
+// Fault knobs for one directed link.
+struct LinkFault {
+  double drop_prob = 0.0;     // message silently lost
+  double dup_prob = 0.0;      // message delivered twice
+  double reorder_prob = 0.0;  // message inserted ahead of queued traffic
+  std::uint32_t delay_sweeps = 0;  // fixed delivery delay (synchrony sweeps)
+  std::uint32_t delay_jitter = 0;  // extra uniform delay in [0, jitter]
+
+  bool Active() const {
+    return drop_prob > 0 || dup_prob > 0 || reorder_prob > 0 ||
+           delay_sweeps > 0 || delay_jitter > 0;
+  }
+};
+
+// A complete, seeded fault schedule. `all_links` applies to every directed
+// link unless overridden in `links`; `crash_after[id] = N` takes endpoint id
+// offline the moment it sends its Nth message (the message dies with it).
+struct FaultPlan {
+  std::uint64_t seed = 1;
+  LinkFault all_links;
+  std::map<std::pair<std::uint32_t, std::uint32_t>, LinkFault> links;
+  std::map<std::uint32_t, std::uint64_t> crash_after;
+
+  const LinkFault& For(std::uint32_t from, std::uint32_t to) const {
+    auto it = links.find({from, to});
+    return it == links.end() ? all_links : it->second;
+  }
+};
+
 class SimNet {
  public:
   struct EndpointStats {
@@ -44,6 +86,14 @@ class SimNet {
     std::uint64_t bytes_sent = 0;
     std::uint64_t msgs_received = 0;
     std::uint64_t bytes_received = 0;
+    // Fault counters. Drops/dups/delays are attributed to the sender (the
+    // owner of the faulty link) except mailbox purges on SetOffline, which
+    // are charged to the endpoint that went offline.
+    std::uint64_t msgs_dropped = 0;
+    std::uint64_t msgs_duplicated = 0;
+    std::uint64_t msgs_delayed = 0;
+    std::uint64_t msgs_reordered = 0;
+    std::uint64_t crashes = 0;  // crash-at-N triggers fired
   };
 
   // Creates an endpoint; ids may be arbitrary (host ids, kClientId, ...).
@@ -51,19 +101,40 @@ class SimNet {
   SimEndpoint* AddEndpoint(std::uint32_t id);
 
   // --- fault injection ---
-  // An offline endpoint silently loses everything sent to or from it.
+  // An offline endpoint silently loses everything sent to or from it,
+  // including messages already queued or staged toward it (in-flight traffic
+  // to a dead host is lost). Coming back online starts from a clean mailbox.
   void SetOffline(std::uint32_t id, bool offline);
   bool IsOffline(std::uint32_t id) const;
   // Mutator applied to every in-flight message; return false to drop it.
   using Mutator = std::function<bool(Message&)>;
   void SetMutator(Mutator mutator) { mutator_ = std::move(mutator); }
+  // Installs a seeded fault schedule (replacing any previous one) and resets
+  // the fault randomness stream to plan.seed.
+  void SetFaultPlan(FaultPlan plan);
+  void ClearFaults() { SetFaultPlan(FaultPlan{}); }
+  const FaultPlan& fault_plan() const { return plan_; }
+  // Partitions `island` away from every other endpoint: messages crossing
+  // the boundary (either direction) are dropped until ClearPartition().
+  void PartitionOff(std::span<const std::uint32_t> island);
+  void ClearPartition() { island_.clear(); }
+  bool PartitionActive() const { return !island_.empty(); }
+
+  // --- sweep clock (delayed delivery) ---
+  // Advances the delivery clock one synchrony sweep and releases matured
+  // delayed messages into their mailboxes. SyncNetwork calls this once per
+  // sweep; tests driving SimNet directly call it by hand.
+  void AdvanceSweep();
+  std::uint64_t sweep() const { return sweep_; }
 
   // --- observation ---
   const EndpointStats& StatsFor(std::uint32_t id) const;
   std::uint64_t TotalBytes() const { return total_bytes_; }
   std::uint64_t TotalMessages() const { return total_msgs_; }
+  std::uint64_t TotalDropped() const { return total_dropped_; }
   bool AnyPending() const;
   std::size_t PendingFor(std::uint32_t id) const;
+  std::size_t StagedCount() const { return staged_.size(); }
   void ResetStats();
 
   // Wiretap for the adversary simulator: invoked on every delivered message
@@ -84,14 +155,29 @@ class SimNet {
     bool offline = false;
   };
 
+  struct StagedMessage {
+    std::uint64_t release_sweep;
+    Message msg;
+  };
+
   Mailbox& BoxFor(std::uint32_t id);
   const Mailbox& BoxFor(std::uint32_t id) const;
+  bool Chance(double p);
+  bool CrossesPartition(std::uint32_t from, std::uint32_t to) const;
+  void DropMessage(Mailbox& src);
+  void Enqueue(Mailbox& src, Mailbox& dst, Message msg, double reorder_prob);
 
   std::unordered_map<std::uint32_t, Mailbox> boxes_;
   Mutator mutator_;
   Tap tap_;
+  FaultPlan plan_;
+  Rng fault_rng_{1};
+  std::set<std::uint32_t> island_;
+  std::vector<StagedMessage> staged_;
+  std::uint64_t sweep_ = 0;
   std::uint64_t total_bytes_ = 0;
   std::uint64_t total_msgs_ = 0;
+  std::uint64_t total_dropped_ = 0;
 };
 
 }  // namespace pisces::net

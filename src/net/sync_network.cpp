@@ -25,6 +25,9 @@ SyncNetwork::PumpResult SyncNetwork::RunToQuiescence(std::uint64_t max_sweeps) {
     Invariant(result.sweeps < max_sweeps,
               "SyncNetwork: exceeded max sweeps (livelock?)");
     ++result.sweeps;
+    // Advance the fabric's delivery clock: fault-delayed messages staged for
+    // this sweep mature into their mailboxes before endpoints drain.
+    net_.AdvanceSweep();
     // One sweep: every endpoint drains the messages that were pending at the
     // start of its turn. Messages sent during the sweep land next sweep (or
     // later this sweep for later-ordered endpoints; either way the sweep

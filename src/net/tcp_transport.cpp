@@ -142,20 +142,31 @@ int TcpEndpoint::ConnectTo(std::uint32_t peer_id) {
   if (it != out_fds_.end()) return it->second;
   auto port_it = peer_ports_.find(peer_id);
   Require(port_it != peer_ports_.end(), "TcpEndpoint: unknown peer");
-  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  Require(fd >= 0, "TcpEndpoint: socket() failed");
-  int one = 1;
-  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
   addr.sin_port = htons(port_it->second);
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+  // Reconnect with exponential backoff: a peer mid-restart (secure reboot)
+  // refuses connections briefly; 1+2+4+8+16 ms of backoff rides that out
+  // without stalling a healthy send path.
+  int delay_ms = 1;
+  for (int attempt = 0;; ++attempt) {
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    Require(fd >= 0, "TcpEndpoint: socket() failed");
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0) {
+      if (attempt > 0) reconnects_.fetch_add(1);
+      out_fds_[peer_id] = fd;
+      return fd;
+    }
     ::close(fd);
-    throw Error("TcpEndpoint: connect() failed");
+    if (attempt >= 5 || stopping_.load()) {
+      throw Error("TcpEndpoint: connect() failed");
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+    delay_ms *= 2;
   }
-  out_fds_[peer_id] = fd;
-  return fd;
 }
 
 void TcpEndpoint::Send(Message msg) {
@@ -166,13 +177,19 @@ void TcpEndpoint::Send(Message msg) {
   std::copy(body.begin(), body.end(), frame.begin() + 4);
 
   std::lock_guard<std::mutex> lock(peers_mutex_);
-  int fd = ConnectTo(msg.to);
-  if (!WriteAll(fd, frame.data(), frame.size())) {
+  // A cached connection can be dead (peer restarted since the last send);
+  // retry the write once through a freshly established connection.
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    int fd = ConnectTo(msg.to);
+    if (WriteAll(fd, frame.data(), frame.size())) {
+      bytes_sent_.fetch_add(frame.size());
+      return;
+    }
     ::close(fd);
     out_fds_.erase(msg.to);
-    throw Error("TcpEndpoint: send failed");
+    reconnects_.fetch_add(1);
   }
-  bytes_sent_.fetch_add(frame.size());
+  throw Error("TcpEndpoint: send failed");
 }
 
 std::optional<Message> TcpEndpoint::Receive() {

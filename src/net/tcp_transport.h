@@ -40,6 +40,9 @@ class TcpEndpoint : public Transport {
   std::uint32_t id() const override { return id_; }
 
   std::uint64_t bytes_sent() const { return bytes_sent_; }
+  // Times a send had to re-establish a connection (peer restarted) or a
+  // connect had to back off and retry before succeeding.
+  std::uint64_t reconnects() const { return reconnects_; }
 
  private:
   void AcceptLoop();
@@ -64,6 +67,7 @@ class TcpEndpoint : public Transport {
   std::vector<int> reader_fds_;  // inbound fds, shut down on close
   std::atomic<bool> stopping_{false};
   std::atomic<std::uint64_t> bytes_sent_{0};
+  std::atomic<std::uint64_t> reconnects_{0};
 };
 
 }  // namespace pisces::net

@@ -81,17 +81,21 @@ FileMeta Client::BeginUpload(std::uint64_t file_id,
   cpu.Stop();
   metrics_.cpu_ns += cpu.nanos();
 
-  upload_acks_[file_id] = 0;
+  PendingUpload& up = uploads_[file_id];
+  up.acked.clear();
+  up.payloads.clear();
+  up.payloads.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
     ByteWriter w;
     w.Blob(meta.Serialize());
     w.Raw(field::SerializeElems(*cfg_.ctx, shares_for_host[i]));
+    up.payloads.push_back(Bytes(w.bytes().begin(), w.bytes().end()));
     Message m;
     m.from = cfg_.id;
     m.to = static_cast<std::uint32_t>(i);
     m.type = MsgType::kSetShares;
     m.file_id = file_id;
-    m.payload = SealFor(static_cast<std::uint32_t>(i), w.bytes());
+    m.payload = SealFor(static_cast<std::uint32_t>(i), up.payloads.back());
     metrics_.msgs_sent += 1;
     metrics_.bytes_sent += m.WireSize();
     transport_.Send(std::move(m));
@@ -100,8 +104,40 @@ FileMeta Client::BeginUpload(std::uint64_t file_id,
 }
 
 std::size_t Client::UploadAcks(std::uint64_t file_id) const {
-  auto it = upload_acks_.find(file_id);
-  return it == upload_acks_.end() ? 0 : it->second;
+  auto it = uploads_.find(file_id);
+  return it == uploads_.end() ? 0 : it->second.acked.size();
+}
+
+std::size_t Client::RetryUpload(std::uint64_t file_id) {
+  auto it = uploads_.find(file_id);
+  if (it == uploads_.end() || it->second.payloads.empty()) return 0;
+  std::size_t resent = 0;
+  for (std::size_t i = 0; i < it->second.payloads.size(); ++i) {
+    const std::uint32_t host = static_cast<std::uint32_t>(i);
+    if (it->second.acked.count(host) != 0) continue;
+    // Storing shares is idempotent: a host whose ACK (rather than the upload
+    // itself) was lost simply overwrites with identical values.
+    Message m;
+    m.from = cfg_.id;
+    m.to = host;
+    m.type = MsgType::kSetShares;
+    m.file_id = file_id;
+    m.payload = SealFor(host, it->second.payloads[i]);
+    metrics_.msgs_sent += 1;
+    metrics_.bytes_sent += m.WireSize();
+    transport_.Send(std::move(m));
+    ++resent;
+  }
+  if (resent > 0) ++retries_;
+  return resent;
+}
+
+void Client::FinishUpload(std::uint64_t file_id) {
+  auto it = uploads_.find(file_id);
+  if (it != uploads_.end()) {
+    it->second.payloads.clear();
+    it->second.payloads.shrink_to_fit();
+  }
 }
 
 void Client::RequestFile(std::uint64_t file_id) {
@@ -116,6 +152,31 @@ void Client::RequestFile(std::uint64_t file_id) {
     metrics_.bytes_sent += m.WireSize();
     transport_.Send(std::move(m));
   }
+}
+
+std::size_t Client::RetryDownload(std::uint64_t file_id) {
+  auto it = downloads_.find(file_id);
+  if (it == downloads_.end()) {
+    RequestFile(file_id);
+    ++retries_;
+    return cfg_.params.n;
+  }
+  std::size_t asked = 0;
+  for (std::size_t i = 0; i < cfg_.params.n; ++i) {
+    const std::uint32_t host = static_cast<std::uint32_t>(i);
+    if (it->second.responses.count(host) != 0) continue;
+    Message m;
+    m.from = cfg_.id;
+    m.to = host;
+    m.type = MsgType::kReconstructRequest;
+    m.file_id = file_id;
+    metrics_.msgs_sent += 1;
+    metrics_.bytes_sent += m.WireSize();
+    transport_.Send(std::move(m));
+    ++asked;
+  }
+  if (asked > 0) ++retries_;
+  return asked;
 }
 
 std::size_t Client::ResponsesFor(std::uint64_t file_id) const {
@@ -248,7 +309,7 @@ void Client::HandleMessage(const Message& msg) {
       }
       case MsgType::kPhaseDone: {
         if (msg.row == 2 && !msg.payload.empty() && msg.payload[0] == 1) {
-          upload_acks_[msg.file_id] += 1;
+          uploads_[msg.file_id].acked.insert(msg.from);
         }
         return;
       }

@@ -11,6 +11,7 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <set>
 
 #include "common/clock.h"
 #include "crypto/ca.h"
@@ -46,10 +47,20 @@ class Client : public net::MessageHandler {
   FileMeta BeginUpload(std::uint64_t file_id,
                        std::span<const std::uint8_t> data);
   std::size_t UploadAcks(std::uint64_t file_id) const;
+  // Re-sends the CACHED share payloads to hosts that have not acked yet (an
+  // upload must never re-encode: fresh randomness would hand different
+  // polynomials to hosts that already stored the first attempt). Returns the
+  // number of hosts re-targeted. Caller pumps again.
+  std::size_t RetryUpload(std::uint64_t file_id);
+  // Drops the cached upload payloads once the caller is done retrying.
+  void FinishUpload(std::uint64_t file_id);
 
   // Requests shares of a file from every host. Caller pumps, then calls
   // TryAssemble.
   void RequestFile(std::uint64_t file_id);
+  // Re-requests only from hosts whose response is still missing, keeping the
+  // responses already received. Returns the number of hosts re-asked.
+  std::size_t RetryDownload(std::uint64_t file_id);
   std::size_t ResponsesFor(std::uint64_t file_id) const;
   // Reconstructs and decodes; nullopt when fewer than d+1 usable responses
   // arrived. Throws ParseError if reconstruction succeeds but integrity
@@ -61,6 +72,8 @@ class Client : public net::MessageHandler {
   void HandleMessage(const net::Message& msg) override;
 
   const PhaseMetrics& metrics() const { return metrics_; }
+  // Upload/download re-sends issued after missing acks or responses.
+  std::uint64_t retries() const { return retries_; }
 
  private:
   Bytes SealFor(std::uint32_t peer, std::span<const std::uint8_t> pt);
@@ -88,7 +101,13 @@ class Client : public net::MessageHandler {
   };
   std::map<std::uint32_t, CachedChannel> channels_;
 
-  std::map<std::uint64_t, std::size_t> upload_acks_;
+  // Hosts that acked the upload, plus the per-host plaintext payloads kept
+  // for retries (sealed fresh on each send; the share material is fixed).
+  struct PendingUpload {
+    std::set<std::uint32_t> acked;
+    std::vector<Bytes> payloads;  // [host] serialized meta + shares
+  };
+  std::map<std::uint64_t, PendingUpload> uploads_;
   struct PendingDownload {
     std::map<std::uint32_t, std::pair<FileMeta, std::vector<field::FpElem>>>
         responses;
@@ -96,6 +115,7 @@ class Client : public net::MessageHandler {
   std::map<std::uint64_t, PendingDownload> downloads_;
 
   PhaseMetrics metrics_;
+  std::uint64_t retries_ = 0;
 };
 
 }  // namespace pisces

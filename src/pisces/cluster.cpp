@@ -51,8 +51,27 @@ FileMeta Cluster::Upload(std::uint64_t file_id,
                          std::span<const std::uint8_t> data) {
   FileMeta meta = client_->BeginUpload(file_id, data);
   sync_->RunToQuiescence();
-  Require(client_->UploadAcks(file_id) == cfg_.params.n,
-          "Cluster::Upload: not every host acknowledged");
+  // Retry with backoff: the sweep-synchronous fabric models backoff as one
+  // full pump per attempt, and each attempt re-sends the cached payloads to
+  // unacked hosts only (storing shares twice is idempotent).
+  const std::size_t n = cfg_.params.n;
+  const std::size_t max_attempts = cfg_.params.t + 2;
+  for (std::size_t a = 0;
+       a < max_attempts && client_->UploadAcks(file_id) < n; ++a) {
+    if (client_->RetryUpload(file_id) == 0) break;
+    sync_->RunToQuiescence();
+  }
+  client_->FinishUpload(file_id);
+  // Crashed hosts cannot ack; they receive the file through recovery at
+  // their next reboot. The upload stands as long as every reachable host
+  // stored it and the missing set stays within the corruption bound.
+  std::size_t reachable = 0;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (hypervisor_->host(i).online() && !net_->IsOffline(i)) ++reachable;
+  }
+  const std::size_t acks = client_->UploadAcks(file_id);
+  Require(acks >= reachable && acks + cfg_.params.t >= n,
+          "Cluster::Upload: not every reachable host acknowledged");
   return meta;
 }
 
@@ -60,6 +79,12 @@ Bytes Cluster::Download(std::uint64_t file_id) {
   client_->RequestFile(file_id);
   sync_->RunToQuiescence();
   auto data = client_->TryAssemble(file_id);
+  const std::size_t max_attempts = cfg_.params.t + 2;
+  for (std::size_t a = 0; a < max_attempts && !data.has_value(); ++a) {
+    client_->RetryDownload(file_id);
+    sync_->RunToQuiescence();
+    data = client_->TryAssemble(file_id);
+  }
   Require(data.has_value(), "Cluster::Download: not enough responses");
   return std::move(*data);
 }
@@ -67,6 +92,7 @@ Bytes Cluster::Download(std::uint64_t file_id) {
 void Cluster::Delete(std::uint64_t file_id) {
   client_->RequestDelete(file_id);
   sync_->RunToQuiescence();
+  hypervisor_->ForgetFile(file_id);
 }
 
 WindowReport Cluster::RunUpdateWindow() { return hypervisor_->RunUpdateWindow(); }
@@ -87,6 +113,7 @@ HostMetrics Cluster::TotalMetrics() const {
     total.rerandomize.Add(m.rerandomize);
     total.recover.Add(m.recover);
     total.serve.Add(m.serve);
+    total.faults.Add(m.faults);
   }
   return total;
 }

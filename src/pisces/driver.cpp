@@ -63,6 +63,12 @@ ExperimentResult RunRefreshExperiment(const ExperimentConfig& cfg) {
   // bit-exactly.
   Bytes back = cluster.Download(1);
   r.ok = report.ok && back == file;
+
+  r.deals_excluded = report.deals_excluded;
+  r.retries = report.refresh_retries + report.recovery_retries +
+              cluster.client().retries();
+  r.timeouts_fired = report.timeouts_fired;
+  r.msgs_dropped = cluster.net().TotalDropped();
   return r;
 }
 
@@ -72,7 +78,8 @@ Recorder MakeExperimentRecorder() {
                    "bytes_rerand", "bytes_recover", "compute_rerand_s",
                    "compute_recover_s", "send_rerand_s", "send_recover_s",
                    "refresh_time_s", "window_time_s", "cost_dedicated_usd",
-                   "cost_spot_usd"});
+                   "cost_spot_usd", "deals_excluded", "retries",
+                   "timeouts_fired", "msgs_dropped"});
 }
 
 void RecordExperiment(Recorder& rec, const std::string& series,
@@ -100,6 +107,10 @@ void RecordExperiment(Recorder& rec, const std::string& series,
       {"window_time_s", Recorder::Num(r.window_time_s)},
       {"cost_dedicated_usd", Recorder::Num(r.cost_dedicated)},
       {"cost_spot_usd", Recorder::Num(r.cost_spot)},
+      {"deals_excluded", std::to_string(r.deals_excluded)},
+      {"retries", std::to_string(r.retries)},
+      {"timeouts_fired", std::to_string(r.timeouts_fired)},
+      {"msgs_dropped", std::to_string(r.msgs_dropped)},
   });
 }
 

@@ -53,6 +53,12 @@ struct ExperimentResult {
   double cost_dedicated = 0;  // one update window, all n machines
   double cost_spot = 0;
 
+  // Robustness counters for the window (zero on a fault-free run).
+  std::uint64_t deals_excluded = 0;
+  std::uint64_t retries = 0;        // hypervisor round + client op retries
+  std::uint64_t timeouts_fired = 0;
+  std::uint64_t msgs_dropped = 0;   // fabric-level drops (faults + crashes)
+
   double WindowTimePerByte() const {
     return window_time_s / static_cast<double>(file_bytes);
   }

@@ -35,6 +35,9 @@ void Host::Boot(std::uint32_t epoch, crypto::HostCert cert, Bytes sk,
   target_.clear();
   pending_.clear();
   channels_.clear();
+  failed_refresh_.clear();
+  refresh_started_.clear();
+  recovery_started_.clear();
   // Broadcast the hypervisor-signed key so peers accept this host back into
   // the network (paper SectionIV-A "Secure Reboot").
   for (std::uint32_t peer : peers) {
@@ -61,6 +64,9 @@ void Host::Shutdown() {
   survivor_.clear();
   target_.clear();
   pending_.clear();
+  failed_refresh_.clear();
+  refresh_started_.clear();
+  recovery_started_.clear();
 }
 
 void Host::InstallPeerCert(const crypto::HostCert& cert) {
@@ -265,21 +271,45 @@ void Host::OnStartRefresh(const Message& msg) {
   Require(msg.from == net::kHypervisorId,
           "StartRefresh: not from the hypervisor");
   const RefreshKey key{msg.file_id, msg.epoch};
+  // Start-once: a duplicated (fault-injected) control message must not
+  // resurrect a session that already ran and completed under this key.
+  if (!refresh_started_.insert(key).second) return;
+
+  // Empty payload means "all n hosts" (the original protocol); otherwise the
+  // hypervisor names the agreed participant set for a dealer-exclusion round.
+  std::vector<std::uint32_t> participants;
+  if (msg.payload.empty()) {
+    participants.resize(cfg_.params.n);
+    for (std::uint32_t i = 0; i < cfg_.params.n; ++i) participants[i] = i;
+  } else {
+    ByteReader r(msg.payload);
+    const std::uint32_t count = r.U32();
+    participants.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) participants.push_back(r.U32());
+  }
+  const bool i_participate =
+      std::find(participants.begin(), participants.end(), cfg_.id) !=
+      participants.end();
+  if (!i_participate) return;  // excluded this round; shares refresh without us
+
   if (!store_.Has(msg.file_id)) {
     ReportPhaseDone(msg.file_id, msg.epoch, 0, true, metrics_.rerandomize);
     return;
   }
-  Require(refresh_.find(key) == refresh_.end(),
-          "OnStartRefresh: duplicate session");
   const FileMeta& meta = store_.MetaOf(msg.file_id);
 
   RefreshSession s;
   CpuTimer cpu;
   cpu.Start();
-  s.plan = pss::RefreshPlan::For(meta.num_blocks, cfg_.params);
-  s.batch.emplace(pss::MakeRefreshBatch(*shamir_, meta.num_blocks));
-  s.deals_by_dealer.resize(cfg_.params.n);
-  s.deal_seen.assign(cfg_.params.n, false);
+  s.plan = pss::RefreshPlan::For(meta.num_blocks, cfg_.params,
+                                 participants.size());
+  s.batch.emplace(pss::MakeRefreshBatch(*shamir_, meta.num_blocks,
+                                        participants));
+  s.deals_by_dealer.resize(participants.size());
+  s.deal_seen.assign(participants.size(), false);
+  if (participants.size() < cfg_.params.n) {
+    metrics_.faults.deals_excluded += cfg_.params.n - participants.size();
+  }
   auto deal = s.batch->Deal(rng_);
   cpu.Stop();
   metrics_.rerandomize.cpu_ns += cpu.nanos();
@@ -287,24 +317,28 @@ void Host::OnStartRefresh(const Message& msg) {
   auto [it, inserted] = refresh_.emplace(key, std::move(s));
   RefreshSession& session = it->second;
 
-  for (std::size_t k = 0; k < cfg_.params.n; ++k) {
-    if (k == cfg_.id) continue;
+  for (std::size_t k = 0; k < participants.size(); ++k) {
+    const std::uint32_t holder = participants[k];
+    if (holder == cfg_.id) continue;
     Message m;
     m.from = cfg_.id;
-    m.to = static_cast<std::uint32_t>(k);
+    m.to = holder;
     m.type = MsgType::kDeal;
     m.file_id = msg.file_id;
     m.epoch = msg.epoch;
     m.row = kRefreshMarker;
-    m.payload = SealFor(static_cast<std::uint32_t>(k),
-                        field::SerializeElems(*cfg_.ctx, deal[k]));
+    m.payload = SealFor(holder, field::SerializeElems(*cfg_.ctx, deal[k]));
     SendMetered(std::move(m), metrics_.rerandomize);
   }
   // Self-deal, delivered locally.
-  session.deals_by_dealer[cfg_.id] = std::move(deal[cfg_.id]);
-  session.deal_seen[cfg_.id] = true;
+  const std::size_t my_idx = session.batch->IndexOf(cfg_.id);
+  Invariant(my_idx != pss::VssBatch::npos, "participant not in own batch");
+  session.deals_by_dealer[my_idx] = std::move(deal[my_idx]);
+  session.deal_seen[my_idx] = true;
   session.deals += 1;
-  if (session.deals == cfg_.params.n) RefreshTransformAndCheck(key, session);
+  if (session.deals == session.batch->dealers()) {
+    RefreshTransformAndCheck(key, session);
+  }
   ReplayPending();
 }
 
@@ -318,13 +352,14 @@ void Host::OnDealPlain(const Message& msg) {
     }
     RefreshSession& s = it->second;
     std::vector<FpElem> elems = field::DeserializeElems(*cfg_.ctx, msg.payload);
-    Require(msg.from < cfg_.params.n, "OnDeal: bad dealer id");
+    const std::size_t idx = s.batch->IndexOf(msg.from);
+    Require(idx != pss::VssBatch::npos, "OnDeal: dealer not a participant");
     Require(elems.size() == s.batch->groups(), "OnDeal: wrong group count");
-    if (s.deal_seen[msg.from]) return;  // duplicate
-    s.deals_by_dealer[msg.from] = std::move(elems);
-    s.deal_seen[msg.from] = true;
+    if (s.deal_seen[idx]) return;  // duplicate
+    s.deals_by_dealer[idx] = std::move(elems);
+    s.deal_seen[idx] = true;
     s.deals += 1;
-    if (s.deals == cfg_.params.n) RefreshTransformAndCheck(key, s);
+    if (s.deals == s.batch->dealers()) RefreshTransformAndCheck(key, s);
     return;
   }
 
@@ -351,8 +386,8 @@ void Host::RefreshTransformAndCheck(RefreshKey key, RefreshSession& s) {
   std::uint64_t cpu = 0;
   s.outputs = s.batch->Transform(s.deals_by_dealer, cfg_.params.b, &cpu);
   metrics_.rerandomize.cpu_ns += cpu;
-  s.deals_by_dealer.clear();
-  s.deals_by_dealer.shrink_to_fit();
+  // deals_by_dealer is deliberately kept: if verification fails, the raw
+  // columns are archived so the hypervisor can attribute the corrupt dealer.
 
   for (std::uint32_t a = 0; a < s.batch->check_rows(); ++a) {
     std::uint32_t verifier = s.batch->VerifierOf(a);
@@ -388,14 +423,14 @@ void Host::OnCheckSharePlain(const Message& msg) {
     RefreshSession& s = it->second;
     std::vector<FpElem> elems = field::DeserializeElems(*cfg_.ctx, msg.payload);
     auto& mat = s.check_vals[msg.row];
-    if (mat.empty()) mat.resize(cfg_.params.n);
+    if (mat.empty()) mat.resize(s.batch->dealers());
     std::size_t idx = s.batch->IndexOf(msg.from);
     Require(idx != pss::VssBatch::npos, "OnCheckShare: unknown holder");
     if (!mat[idx].empty()) return;  // duplicate
     Require(elems.size() == s.batch->groups(), "OnCheckShare: group mismatch");
     mat[idx] = std::move(elems);
     s.check_counts[msg.row] += 1;
-    if (s.check_counts[msg.row] == cfg_.params.n) {
+    if (s.check_counts[msg.row] == s.batch->dealers()) {
       MaybeVerifyRefreshRow(key, s, msg.row);
     }
     return;
@@ -448,11 +483,11 @@ void Host::MaybeVerifyRefreshRow(RefreshKey key, RefreshSession& s,
 
   // Deliver to every other holder first: our own verdict may complete (and
   // erase) the session, and peers still need this row's verdict.
-  for (std::size_t k = 0; k < cfg_.params.n; ++k) {
-    if (k == cfg_.id) continue;
+  for (std::uint32_t holder : s.batch->holders()) {
+    if (holder == cfg_.id) continue;
     Message m;
     m.from = cfg_.id;
-    m.to = static_cast<std::uint32_t>(k);
+    m.to = holder;
     m.type = MsgType::kVerdict;
     m.file_id = key.first;
     m.epoch = key.second;
@@ -496,6 +531,15 @@ void Host::MaybeApplyRefresh(RefreshKey key, RefreshSession& s) {
   if (s.done) return;
   s.done = true;
   bool ok = !s.failed;
+  if (!ok) {
+    // Archive the raw dealing columns: the hypervisor cross-references them
+    // across hosts to attribute which dealer's polynomials were malformed.
+    FailedRefresh fr;
+    fr.participants = s.batch->holders();
+    fr.deals_by_dealer = std::move(s.deals_by_dealer);
+    fr.deal_seen = std::move(s.deal_seen);
+    failed_refresh_[key] = std::move(fr);
+  }
   if (ok) {
     CpuTimer cpu;
     cpu.Start();
@@ -532,8 +576,26 @@ void Host::OnStartRecovery(const Message& msg) {
   targets.reserve(count);
   for (std::uint32_t i = 0; i < count; ++i) targets.push_back(r.U32());
 
-  pss::RecoveryPlan plan =
-      pss::RecoveryPlan::For(meta.num_blocks, cfg_.params, targets);
+  // Start-once per (file, seq): duplicated control messages are ignored.
+  if (!recovery_started_.insert({meta.file_id, msg.epoch}).second) return;
+
+  // Optional trailing survivor list: the hypervisor restricts dealing to
+  // hosts that are reachable and hold consistent shares. Absent (legacy
+  // format) means every non-target host.
+  pss::RecoveryPlan plan;
+  if (r.Remaining() >= 4) {
+    std::uint32_t scount = r.U32();
+    std::vector<std::uint32_t> available;
+    available.reserve(scount + targets.size());
+    for (std::uint32_t i = 0; i < scount; ++i) available.push_back(r.U32());
+    // Targets are implicitly "available" for plan construction (they are
+    // filtered out of the survivor set again inside For).
+    available.insert(available.end(), targets.begin(), targets.end());
+    plan = pss::RecoveryPlan::For(meta.num_blocks, cfg_.params, targets,
+                                  available);
+  } else {
+    plan = pss::RecoveryPlan::For(meta.num_blocks, cfg_.params, targets);
+  }
 
   const bool i_am_target =
       std::find(targets.begin(), targets.end(), cfg_.id) != targets.end();
@@ -545,6 +607,11 @@ void Host::OnStartRecovery(const Message& msg) {
     ReplayPending();
     return;
   }
+
+  const bool i_survive =
+      std::find(plan.survivors.begin(), plan.survivors.end(), cfg_.id) !=
+      plan.survivors.end();
+  if (!i_survive) return;  // not in the dealing set this round
 
   // Survivor: one sub-session per target, all sharing this plan.
   for (std::uint32_t target : targets) {
@@ -716,12 +783,13 @@ void Host::OnMaskedSharePlain(const Message& msg) {
   Require(is_survivor, "MaskedShare: sender is not a survivor");
   if (!s.masked_by_sender.emplace(msg.from, std::move(elems)).second) return;
   if (s.masked_by_sender.size() == s.plan.survivors.size()) {
-    MaybeFinishTarget(msg.file_id, s);
+    MaybeFinishTarget(msg.file_id, msg.epoch, s);
     target_.erase({msg.file_id, msg.epoch});
   }
 }
 
-void Host::MaybeFinishTarget(std::uint64_t file_id, TargetSession& s) {
+void Host::MaybeFinishTarget(std::uint64_t file_id, std::uint32_t seq,
+                             TargetSession& s) {
   CpuTimer cpu;
   cpu.Start();
   const std::size_t d = cfg_.params.degree();
@@ -754,7 +822,7 @@ void Host::MaybeFinishTarget(std::uint64_t file_id, TargetSession& s) {
   if (ok) store_.Put(s.meta, std::move(shares));
   cpu.Stop();
   metrics_.recover.cpu_ns += cpu.nanos();
-  ReportPhaseDone(file_id, epoch_, 1, ok, metrics_.recover);
+  ReportPhaseDone(file_id, seq, 1, ok, metrics_.recover);
 }
 
 // ---------------------------------------------------------------------------
@@ -779,6 +847,33 @@ void Host::ReplayPending() {
   }
 }
 
+std::vector<Host::StuckRefresh> Host::StuckRefreshSessions() const {
+  std::vector<StuckRefresh> out;
+  for (const auto& [key, s] : refresh_) {
+    StuckRefresh info;
+    info.file_id = key.first;
+    info.epoch = key.second;
+    const auto& holders = s.batch->holders();
+    for (std::size_t i = 0; i < holders.size(); ++i) {
+      if (i < s.deal_seen.size() && !s.deal_seen[i]) {
+        info.missing_dealers.push_back(holders[i]);
+      }
+    }
+    info.waiting_verdicts = info.missing_dealers.empty();
+    out.push_back(std::move(info));
+  }
+  return out;
+}
+
+std::optional<Host::FailedRefresh> Host::TakeFailedRefresh(
+    std::uint64_t file_id, std::uint32_t epoch) {
+  auto it = failed_refresh_.find({file_id, epoch});
+  if (it == failed_refresh_.end()) return std::nullopt;
+  FailedRefresh fr = std::move(it->second);
+  failed_refresh_.erase(it);
+  return fr;
+}
+
 std::vector<std::string> Host::AbortStuckSessions() {
   std::vector<std::string> out;
   auto describe = [&](const char* kind, std::uint64_t file,
@@ -801,6 +896,8 @@ std::vector<std::string> Host::AbortStuckSessions() {
   for (const auto& m : pending_) {
     describe("pending-msg", m.file_id, m.epoch, m.row);
   }
+  metrics_.faults.timeouts_fired +=
+      refresh_.size() + survivor_.size() + target_.size();
   refresh_.clear();
   survivor_.clear();
   target_.clear();

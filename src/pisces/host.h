@@ -75,6 +75,29 @@ class Host : public net::MessageHandler {
 
   bool HasActiveSessions() const;
 
+  // --- dealer-exclusion diagnostics (privileged hypervisor calls) ---
+  // Snapshot of a refresh session wedged at the bounded-delay timeout: which
+  // dealers' dealings never arrived. Call before AbortStuckSessions.
+  struct StuckRefresh {
+    std::uint64_t file_id = 0;
+    std::uint32_t epoch = 0;  // hypervisor op sequence
+    std::vector<std::uint32_t> missing_dealers;
+    bool waiting_verdicts = false;  // all deals arrived; stuck later
+  };
+  std::vector<StuckRefresh> StuckRefreshSessions() const;
+
+  // Raw dealing columns of a refresh session that failed hyperinvertible
+  // verification, archived so the hypervisor can attribute the corrupt
+  // dealer: deals_by_dealer[i][g] is the value this host received from
+  // participants[i] for group g. Consumed (erased) by the call.
+  struct FailedRefresh {
+    std::vector<std::uint32_t> participants;
+    std::vector<std::vector<field::FpElem>> deals_by_dealer;
+    std::vector<bool> deal_seen;
+  };
+  std::optional<FailedRefresh> TakeFailedRefresh(std::uint64_t file_id,
+                                                 std::uint32_t epoch);
+
   ShareStore& store() { return store_; }
   const ShareStore& store() const { return store_; }
   HostMetrics& metrics() { return metrics_; }
@@ -155,7 +178,8 @@ class Host : public net::MessageHandler {
   void AcceptSurvivorVerdict(SurvivorKey key, SurvivorSession& s,
                              std::uint32_t row, bool ok);
   void MaybeSendMaskedShares(SurvivorKey key, SurvivorSession& s);
-  void MaybeFinishTarget(std::uint64_t file_id, TargetSession& s);
+  void MaybeFinishTarget(std::uint64_t file_id, std::uint32_t seq,
+                         TargetSession& s);
 
   // --- plumbing ---
   void SendMetered(net::Message msg, PhaseMetrics& bucket);
@@ -194,6 +218,12 @@ class Host : public net::MessageHandler {
   std::map<std::pair<std::uint64_t, std::uint32_t>, TargetSession> target_;
   std::vector<net::Message> pending_;  // out-of-order protocol messages
   std::uint64_t verdicts_rejected_ = 0;
+  // Failed-verification archives for hypervisor-side dealer attribution.
+  std::map<RefreshKey, FailedRefresh> failed_refresh_;
+  // Start-once guards: duplicated control messages (fault injection) must not
+  // resurrect sessions that already ran under the same (file, seq) key.
+  std::set<RefreshKey> refresh_started_;
+  std::set<std::pair<std::uint64_t, std::uint32_t>> recovery_started_;
 };
 
 }  // namespace pisces

@@ -3,9 +3,11 @@
 #include <algorithm>
 
 #include "common/log.h"
+#include "math/poly.h"
 
 namespace pisces {
 
+using field::FpElem;
 using net::Message;
 using net::MsgType;
 
@@ -56,6 +58,9 @@ void Hypervisor::BootHost(std::uint32_t id) {
   for (const auto& [peer, peer_cert] : directory_) {
     if (peer != id) hosts_[id]->InstallPeerCert(peer_cert);
   }
+  // The fresh image is trusted again: wipe its exclusion record.
+  excluded_.erase(id);
+  dealer_strikes_.erase(id);
 }
 
 std::pair<crypto::HostCert, Bytes> Hypervisor::EnrollExternal(
@@ -98,38 +103,281 @@ HostMetrics Hypervisor::TotalHostMetrics() const {
     total.rerandomize.Add(host->metrics().rerandomize);
     total.recover.Add(host->metrics().recover);
     total.serve.Add(host->metrics().serve);
+    total.faults.Add(host->metrics().faults);
   }
   return total;
+}
+
+std::vector<std::uint32_t> Hypervisor::ReachableHosts() const {
+  std::vector<std::uint32_t> out;
+  for (std::uint32_t i = 0; i < hosts_.size(); ++i) {
+    if (hosts_[i]->online() && !net_.IsOffline(i)) out.push_back(i);
+  }
+  return out;
+}
+
+void Hypervisor::AbortStuckFleet(std::vector<std::string>* sink) {
+  // Visit every host, not just those with active sessions: a host that
+  // missed a start message has no session but buffers its peers' traffic as
+  // pending, and those stale buffers must not survive into the next attempt.
+  for (const auto& host : hosts_) {
+    for (auto& desc : hosts_[host->id()]->AbortStuckSessions()) {
+      if (sink != nullptr) sink->push_back(std::move(desc));
+    }
+  }
+}
+
+std::set<std::uint32_t> Hypervisor::AttributeCorruptDealers(
+    std::uint32_t seq,
+    const std::map<std::uint64_t, std::vector<std::uint32_t>>& parts_by_file) {
+  std::set<std::uint32_t> corrupt;
+  const field::FpCtx& ctx = *cfg_.ctx;
+  const pss::PackedShamir& shamir = hosts_[0]->shamir();
+  const std::size_t d = cfg_.params.degree();
+
+  for (const auto& [file, parts] : parts_by_file) {
+    // Drain every participant's archived dealing columns for this round.
+    std::map<std::uint32_t, Host::FailedRefresh> archives;
+    for (std::uint32_t id : parts) {
+      if (auto fr = hosts_[id]->TakeFailedRefresh(file, seq)) {
+        archives.emplace(id, std::move(*fr));
+      }
+    }
+    if (archives.empty()) continue;
+    const std::vector<std::uint32_t>& dealers =
+        archives.begin()->second.participants;
+
+    // A dealer's column across holder evaluation points must be a
+    // degree-<=d polynomial vanishing on every beta; an honest holder's
+    // archive is its received value at its own alpha, so with >= d+2
+    // independent points any fabricated dealing is caught.
+    for (std::size_t i = 0; i < dealers.size(); ++i) {
+      std::vector<FpElem> xs;
+      std::vector<const std::vector<FpElem>*> cols;
+      for (const auto& [holder, fr] : archives) {
+        if (i < fr.deal_seen.size() && fr.deal_seen[i] &&
+            !fr.deals_by_dealer[i].empty()) {
+          xs.push_back(shamir.points().alpha(holder));
+          cols.push_back(&fr.deals_by_dealer[i]);
+        }
+      }
+      if (xs.size() < d + 2) continue;  // not enough evidence to judge
+      math::PointChecker checker(ctx, xs, d);
+      std::vector<std::vector<FpElem>> beta_w;
+      beta_w.reserve(cfg_.params.l);
+      for (std::size_t j = 0; j < cfg_.params.l; ++j) {
+        beta_w.push_back(checker.WeightsAt(shamir.points().beta(j)));
+      }
+      const std::size_t groups = cols.front()->size();
+      std::vector<FpElem> ys(xs.size(), ctx.Zero());
+      bool bad = false;
+      for (std::size_t g = 0; g < groups && !bad; ++g) {
+        for (std::size_t k = 0; k < cols.size(); ++k) {
+          if (g >= cols[k]->size()) { bad = true; break; }
+          ys[k] = (*cols[k])[g];
+        }
+        if (bad) break;
+        if (!checker.Consistent(ys)) {
+          bad = true;
+          break;
+        }
+        for (const auto& w : beta_w) {
+          if (!ctx.IsZero(math::PointChecker::Apply(ctx, w, ys))) {
+            bad = true;
+            break;
+          }
+        }
+      }
+      if (bad) corrupt.insert(dealers[i]);
+    }
+  }
+  return corrupt;
 }
 
 bool Hypervisor::RefreshAllFiles(WindowReport* report) {
   const HostMetrics before = TotalHostMetrics();
   recent_failures_.clear();
-  const std::uint32_t seq = ++op_seq_;
-  for (std::uint64_t file_id : AllFileIds()) {
-    for (std::uint32_t i = 0; i < hosts_.size(); ++i) {
-      Message m;
-      m.from = net::kHypervisorId;
-      m.to = i;
-      m.type = MsgType::kStartRefresh;
-      m.file_id = file_id;
-      m.epoch = seq;
-      endpoint_->Send(std::move(m));
+  const std::vector<std::uint64_t> files = AllFileIds();
+  catalog_.insert(files.begin(), files.end());
+
+  std::vector<std::string> fatal;  // non-retryable failures
+  // A catalogued file that no booted host holds any more is lost data and
+  // must fail the window loudly: an empty holder list looks exactly like
+  // "nothing stored yet", and every later phase would succeed vacuously.
+  for (std::uint64_t f : catalog_) {
+    if (std::find(files.begin(), files.end(), f) == files.end()) {
+      fatal.push_back("file " + std::to_string(f) +
+                      " lost: no booted host holds a share");
     }
   }
-  auto pump = sync_.RunToQuiescence();
-  bool ok = recent_failures_.empty();
-  for (const auto& host : hosts_) {
-    if (host->HasActiveSessions()) {
-      ok = false;
-      for (auto& desc : hosts_[host->id()]->AbortStuckSessions()) {
-        recent_failures_.push_back(desc);
+  if (files.empty() && fatal.empty()) return true;
+
+  const std::size_t n = cfg_.params.n;
+  const std::size_t max_attempts = cfg_.params.t + 2;
+
+  std::vector<std::uint64_t> todo = files;
+  // file -> hosts holding the post-refresh sharing.
+  std::map<std::uint64_t, std::set<std::uint32_t>> fresh_for;
+  std::vector<std::string> last_failures;  // diagnostics of the last attempt
+  std::uint64_t sweeps = 0;
+
+  for (std::size_t attempt = 0; !todo.empty() && attempt < max_attempts;
+       ++attempt) {
+    std::vector<std::uint32_t> base;
+    for (std::uint32_t id : ReachableHosts()) {
+      if (excluded_.count(id) == 0) base.push_back(id);
+    }
+    if (n - base.size() > cfg_.params.t) {
+      // Corruption bound exceeded: completing the round could hand control
+      // of the sharing to the adversary, so the window aborts atomically.
+      fatal.push_back("refresh aborted: " + std::to_string(n - base.size()) +
+                      " dealers unavailable or excluded exceeds bound t=" +
+                      std::to_string(cfg_.params.t));
+      break;
+    }
+    if (attempt > 0 && report != nullptr) report->refresh_retries += 1;
+
+    phase_reports_.clear();
+    recent_failures_.clear();
+    const std::uint32_t seq = ++op_seq_;
+
+    // Launch one session per pending file among the holders that are
+    // reachable and not excluded.
+    std::map<std::uint64_t, std::vector<std::uint32_t>> parts_by_file;
+    std::vector<std::uint64_t> launched;
+    for (std::uint64_t f : todo) {
+      std::vector<std::uint32_t> parts;
+      for (std::uint32_t id : base) {
+        if (hosts_[id]->store().Has(f)) parts.push_back(id);
+      }
+      if (parts.size() <= cfg_.params.check_rows() ||
+          parts.size() < cfg_.params.degree() + 1) {
+        fatal.push_back("file " + std::to_string(f) +
+                        ": not enough holders to rerandomize");
+        continue;
+      }
+      ByteWriter w;
+      w.U32(static_cast<std::uint32_t>(parts.size()));
+      for (std::uint32_t id : parts) w.U32(id);
+      const Bytes payload = w.Take();
+      for (std::uint32_t id : parts) {
+        Message m;
+        m.from = net::kHypervisorId;
+        m.to = id;
+        m.type = MsgType::kStartRefresh;
+        m.file_id = f;
+        m.epoch = seq;
+        m.payload = payload;
+        endpoint_->Send(std::move(m));
+      }
+      parts_by_file.emplace(f, std::move(parts));
+      launched.push_back(f);
+    }
+    if (launched.empty()) {
+      todo.clear();
+      break;
+    }
+    auto pump = sync_.RunToQuiescence();
+    sweeps += pump.sweeps;
+
+    // Classify each file's outcome from the phase reports of this round.
+    std::map<std::uint64_t, std::set<std::uint32_t>> ok_by_file;
+    for (const PhaseReport& pr : phase_reports_) {
+      if (pr.kind != 0 || pr.seq != seq) continue;
+      if (pr.ok) ok_by_file[pr.file].insert(pr.host);
+    }
+    // Bounded-delay timeout: snapshot wedged sessions (which dealers never
+    // arrived) before aborting them fleet-wide. A dealer is only suspected
+    // when its dealing is missing at more than half of a file's wedged
+    // holders -- a single lost deal points at the link, not the dealer, and
+    // must not earn strikes (random loss would otherwise exclude the whole
+    // fleet within two attempts).
+    std::map<std::uint64_t, std::size_t> stuck_holders;
+    std::map<std::uint64_t, std::map<std::uint32_t, std::size_t>> missing_at;
+    for (std::uint32_t id : base) {
+      for (const auto& stuck : hosts_[id]->StuckRefreshSessions()) {
+        if (stuck.epoch != seq) continue;
+        stuck_holders[stuck.file_id] += 1;
+        for (std::uint32_t dealer : stuck.missing_dealers) {
+          missing_at[stuck.file_id][dealer] += 1;
+        }
+      }
+    }
+    std::set<std::uint32_t> missing_dealers;
+    for (const auto& [f, counts] : missing_at) {
+      for (const auto& [dealer, cnt] : counts) {
+        if (cnt * 2 > stuck_holders[f]) missing_dealers.insert(dealer);
+      }
+    }
+    AbortStuckFleet(&recent_failures_);
+
+    std::vector<std::uint64_t> next_todo;
+    for (std::uint64_t f : launched) {
+      const std::vector<std::uint32_t>& parts = parts_by_file[f];
+      const std::set<std::uint32_t>& okset = ok_by_file[f];
+      if (okset.size() == parts.size()) {
+        fresh_for[f] = std::set<std::uint32_t>(parts.begin(), parts.end());
+        continue;
+      }
+      if (!okset.empty()) {
+        // Partial apply: the okset already committed the new sharing. A
+        // re-run on this inconsistent base would corrupt the file for good,
+        // so the remaining holders are marked stale and resynced through
+        // recovery from the fresh quorum instead.
+        fresh_for[f] = okset;
+        continue;
+      }
+      next_todo.push_back(f);  // nobody applied: safe to retry
+    }
+
+    // Exclusion: provably corrupt dealers first, then repeat silent ones.
+    for (std::uint32_t dealer : AttributeCorruptDealers(seq, parts_by_file)) {
+      excluded_.insert(dealer);
+      recent_failures_.push_back("dealer " + std::to_string(dealer) +
+                                 " excluded: inconsistent dealing");
+    }
+    for (std::uint32_t dealer : missing_dealers) {
+      if (net_.IsOffline(dealer)) continue;  // crash: availability covers it
+      if (++dealer_strikes_[dealer] >= 2 && excluded_.insert(dealer).second) {
+        recent_failures_.push_back("dealer " + std::to_string(dealer) +
+                                   " excluded: dealings repeatedly missing");
+      }
+    }
+    last_failures = recent_failures_;
+    todo = std::move(next_todo);
+  }
+
+  bool ok = todo.empty() && fatal.empty();
+
+  // Staleness bookkeeping: holders outside a file's fresh set still carry
+  // the pre-refresh polynomial and must not serve as recovery survivors.
+  std::set<std::uint32_t> stale_now;
+  for (const auto& [f, fresh] : fresh_for) {
+    for (std::uint32_t i = 0; i < n; ++i) {
+      if (hosts_[i]->store().Has(f) && fresh.count(i) == 0) {
+        stale_now.insert(i);
       }
     }
   }
+  stale_.insert(stale_now.begin(), stale_now.end());
+
+  recent_failures_ = std::move(fatal);
+  if (!ok) {
+    recent_failures_.insert(recent_failures_.end(), last_failures.begin(),
+                            last_failures.end());
+  }
+
+  // Resync reachable stale hosts now; crashed ones keep the mark until their
+  // reboot-and-recover heals them.
+  std::vector<std::uint32_t> resync;
+  for (std::uint32_t id : stale_now) {
+    if (hosts_[id]->online() && !net_.IsOffline(id)) resync.push_back(id);
+  }
+  if (!resync.empty() && !RunRecovery(std::move(resync), report)) ok = false;
+
   if (report != nullptr) {
-    report->sweeps_refresh += pump.sweeps;
-    report->files_refreshed += AllFileIds().size();
+    report->sweeps_refresh += sweeps;
+    report->files_refreshed += files.size();
     const HostMetrics after = TotalHostMetrics();
     report->rerandomize_total.cpu_ns +=
         after.rerandomize.cpu_ns - before.rerandomize.cpu_ns;
@@ -137,6 +385,10 @@ bool Hypervisor::RefreshAllFiles(WindowReport* report) {
         after.rerandomize.bytes_sent - before.rerandomize.bytes_sent;
     report->rerandomize_total.msgs_sent +=
         after.rerandomize.msgs_sent - before.rerandomize.msgs_sent;
+    report->deals_excluded +=
+        after.faults.deals_excluded - before.faults.deals_excluded;
+    report->timeouts_fired +=
+        after.faults.timeouts_fired - before.faults.timeouts_fired;
     report->failures.insert(report->failures.end(), recent_failures_.begin(),
                             recent_failures_.end());
     report->ok = report->ok && ok;
@@ -144,81 +396,190 @@ bool Hypervisor::RefreshAllFiles(WindowReport* report) {
   return ok;
 }
 
+bool Hypervisor::RunRecovery(std::vector<std::uint32_t> targets,
+                             WindowReport* report) {
+  std::sort(targets.begin(), targets.end());
+  targets.erase(std::unique(targets.begin(), targets.end()), targets.end());
+  if (targets.empty()) return true;
+
+  const std::size_t max_attempts = cfg_.params.t + 2;
+  bool all_ok = true;
+  std::vector<std::string> failures;
+
+  for (std::size_t pos = 0; pos < targets.size(); pos += cfg_.params.r) {
+    const std::size_t end = std::min(pos + cfg_.params.r, targets.size());
+    const std::vector<std::uint32_t> chunk(targets.begin() + pos,
+                                           targets.begin() + end);
+    bool chunk_ok = false;
+    for (std::size_t attempt = 0; attempt < max_attempts && !chunk_ok;
+         ++attempt) {
+      if (attempt > 0 && report != nullptr) report->recovery_retries += 1;
+      phase_reports_.clear();
+      recent_failures_.clear();
+
+      // Fresh survivors: reachable, consistent (not stale), and outside the
+      // chunk being recovered. Excluded hosts are kept in a reserve pool:
+      // exclusion distrusts their *dealing*, but a recovery contribution is
+      // verified at the target (PointChecker consistency), so they may top
+      // up a survivor set that would otherwise fall below quorum -- without
+      // this, strike-exclusions plus stale hosts can starve recovery forever
+      // and leave the fleet unable to heal after a partition.
+      std::vector<std::uint32_t> base;
+      std::vector<std::uint32_t> reserve;
+      for (std::uint32_t id : ReachableHosts()) {
+        if (stale_.count(id) != 0) continue;
+        if (std::find(chunk.begin(), chunk.end(), id) != chunk.end()) continue;
+        (excluded_.count(id) != 0 ? reserve : base).push_back(id);
+      }
+
+      const std::uint32_t seq = ++op_seq_;
+      std::vector<std::uint64_t> launched;
+      bool quorum_fatal = false;
+      const std::vector<std::uint64_t> stored = AllFileIds();
+      catalog_.insert(stored.begin(), stored.end());
+      for (std::uint64_t f : catalog_) {
+        if (std::find(stored.begin(), stored.end(), f) == stored.end()) {
+          // Catalogued file with no holder left: report the loss instead of
+          // succeeding vacuously over an empty file list.
+          recent_failures_.push_back("file " + std::to_string(f) +
+                                     " lost: no booted host holds a share");
+          quorum_fatal = true;
+        }
+      }
+      for (std::uint64_t f : stored) {
+        std::vector<std::uint32_t> survivors;
+        for (std::uint32_t id : base) {
+          if (hosts_[id]->store().Has(f)) survivors.push_back(id);
+        }
+        const std::size_t quorum = std::max<std::size_t>(
+            cfg_.params.check_rows() + 1, cfg_.params.degree() + 1);
+        for (std::uint32_t id : reserve) {
+          if (survivors.size() >= quorum) break;
+          if (hosts_[id]->store().Has(f)) survivors.push_back(id);
+        }
+        if (survivors.size() <= cfg_.params.check_rows() ||
+            survivors.size() < cfg_.params.degree() + 1) {
+          recent_failures_.push_back(
+              "file " + std::to_string(f) +
+              ": not enough fresh survivors for recovery");
+          quorum_fatal = true;
+          continue;
+        }
+        const FileMeta meta = hosts_[survivors.front()]->store().MetaOf(f);
+        Message proto;
+        proto.from = net::kHypervisorId;
+        proto.type = MsgType::kStartRecovery;
+        proto.epoch = seq;
+        proto.file_id = f;
+        ByteWriter w;
+        w.Blob(meta.Serialize());
+        w.U32(static_cast<std::uint32_t>(chunk.size()));
+        for (std::uint32_t id : chunk) w.U32(id);
+        w.U32(static_cast<std::uint32_t>(survivors.size()));
+        for (std::uint32_t id : survivors) w.U32(id);
+        proto.payload = w.Take();
+        for (std::uint32_t id : survivors) {
+          Message m = proto;
+          m.to = id;
+          endpoint_->Send(std::move(m));
+        }
+        for (std::uint32_t id : chunk) {
+          Message m = proto;
+          m.to = id;
+          endpoint_->Send(std::move(m));
+        }
+        launched.push_back(f);
+      }
+      auto pump = sync_.RunToQuiescence();
+      if (report != nullptr) report->sweeps_recovery += pump.sweeps;
+
+      bool bad = quorum_fatal;
+      for (const PhaseReport& pr : phase_reports_) {
+        if (pr.kind == 1 && pr.seq == seq && !pr.ok) bad = true;
+      }
+      for (std::uint32_t id : chunk) {
+        for (std::uint64_t f : launched) {
+          if (!hosts_[id]->store().Has(f)) {
+            recent_failures_.push_back("host " + std::to_string(id) +
+                                       " missing file after recovery");
+            bad = true;
+          }
+        }
+      }
+      // Sessions still active at quiescence are wedged (bounded-delay
+      // timeout). Judge only live sessions: stale pending buffers from a
+      // previous attempt are cleaned below but say nothing about this one.
+      for (const auto& host : hosts_) {
+        if (host->HasActiveSessions()) {
+          bad = true;
+          break;
+        }
+      }
+      AbortStuckFleet(&recent_failures_);
+
+      if (!bad) {
+        chunk_ok = true;
+        for (std::uint32_t id : chunk) stale_.erase(id);
+      } else if (quorum_fatal) {
+        // Deterministic shortage: retrying with the same survivor pool
+        // cannot succeed.
+        failures.insert(failures.end(), recent_failures_.begin(),
+                        recent_failures_.end());
+        break;
+      } else if (attempt + 1 == max_attempts) {
+        failures.insert(failures.end(), recent_failures_.begin(),
+                        recent_failures_.end());
+      }
+    }
+    if (!chunk_ok) all_ok = false;
+  }
+  recent_failures_ = std::move(failures);
+  return all_ok;
+}
+
+bool Hypervisor::BatchSafeToReboot(
+    std::span<const std::uint32_t> batch) const {
+  // Mirror RunRecovery's survivor selection: recovery toward the wiped batch
+  // draws on reachable non-stale holders (excluded hosts included -- they
+  // may serve as reserve survivors). If any file would fall below that
+  // quorum the reboot is unsafe: an outage already degraded the fleet, and
+  // wiping more hosts would destroy the last consistent copies.
+  for (std::uint64_t f : AllFileIds()) {
+    std::size_t survivors = 0;
+    for (std::uint32_t id : ReachableHosts()) {
+      if (stale_.count(id) != 0) continue;
+      if (std::find(batch.begin(), batch.end(), id) != batch.end()) continue;
+      if (hosts_[id]->store().Has(f)) ++survivors;
+    }
+    if (survivors <= cfg_.params.check_rows() ||
+        survivors < cfg_.params.degree() + 1) {
+      return false;
+    }
+  }
+  return true;
+}
+
 bool Hypervisor::RebootAndRecover(std::span<const std::uint32_t> batch,
                                   WindowReport* report) {
   const HostMetrics before = TotalHostMetrics();
   recent_failures_.clear();
 
-  // Collect file metadata before shutting anyone down. A file whose only
-  // copies live inside the reboot batch cannot be recovered; report it
-  // rather than wedging the window.
-  std::vector<std::uint64_t> files = AllFileIds();
-  std::vector<FileMeta> metas;
-  metas.reserve(files.size());
-  std::vector<std::uint64_t> recoverable;
-  for (std::uint64_t f : files) {
-    if (auto meta = MetaFromAnyHost(f, batch)) {
-      metas.push_back(*meta);
-      recoverable.push_back(f);
-    } else {
-      recent_failures_.push_back("file " + std::to_string(f) +
-                                 " has no copy outside the reboot batch");
-    }
-  }
-  files = std::move(recoverable);
-
-  // Secure disassociation: kill the batch.
+  // Secure disassociation: kill the batch. Until recovery completes the
+  // rebooted stores are empty, so the batch is stale by definition.
   for (std::uint32_t id : batch) {
     hosts_[id]->Shutdown();
     net_.SetOffline(id, true);
+    stale_.insert(id);
   }
   // Fresh keys + reintegration broadcast.
   for (std::uint32_t id : batch) BootHost(id);
   auto pump_boot = sync_.RunToQuiescence();
 
-  // Share recovery for every file toward the rebooted hosts.
-  const std::uint32_t seq = ++op_seq_;
-  for (const FileMeta& meta : metas) {
-    Message proto;
-    proto.from = net::kHypervisorId;
-    proto.type = MsgType::kStartRecovery;
-    proto.epoch = seq;
-    proto.file_id = meta.file_id;
-    ByteWriter w;
-    w.Blob(meta.Serialize());
-    w.U32(static_cast<std::uint32_t>(batch.size()));
-    for (std::uint32_t id : batch) w.U32(id);
-    proto.payload = w.Take();
-    for (std::uint32_t i = 0; i < hosts_.size(); ++i) {
-      Message m = proto;
-      m.to = i;
-      endpoint_->Send(std::move(m));
-    }
-  }
-  auto pump = sync_.RunToQuiescence();
-
-  bool ok = recent_failures_.empty();
-  // Verify every target holds every file again.
-  for (std::uint32_t id : batch) {
-    for (std::uint64_t f : files) {
-      if (!hosts_[id]->store().Has(f)) {
-        ok = false;
-        recent_failures_.push_back("host " + std::to_string(id) +
-                                   " missing file after recovery");
-      }
-    }
-  }
-  for (const auto& host : hosts_) {
-    if (host->HasActiveSessions()) {
-      ok = false;
-      for (auto& desc : hosts_[host->id()]->AbortStuckSessions()) {
-        recent_failures_.push_back(desc);
-      }
-    }
-  }
+  bool ok = RunRecovery(
+      std::vector<std::uint32_t>(batch.begin(), batch.end()), report);
 
   if (report != nullptr) {
-    report->sweeps_recovery += pump_boot.sweeps + pump.sweeps;
+    report->sweeps_recovery += pump_boot.sweeps;
     report->reboots += batch.size();
     const HostMetrics after = TotalHostMetrics();
     report->recover_total.cpu_ns +=
@@ -227,6 +588,10 @@ bool Hypervisor::RebootAndRecover(std::span<const std::uint32_t> batch,
         after.recover.bytes_sent - before.recover.bytes_sent;
     report->recover_total.msgs_sent +=
         after.recover.msgs_sent - before.recover.msgs_sent;
+    report->deals_excluded +=
+        after.faults.deals_excluded - before.faults.deals_excluded;
+    report->timeouts_fired +=
+        after.faults.timeouts_fired - before.faults.timeouts_fired;
     report->failures.insert(report->failures.end(), recent_failures_.begin(),
                             recent_failures_.end());
     report->ok = report->ok && ok;
@@ -238,6 +603,18 @@ WindowReport Hypervisor::RunUpdateWindow() {
   WindowReport report;
   RefreshAllFiles(&report);
   for (const auto& batch : schedule_->BatchesForWindow(window_)) {
+    if (!BatchSafeToReboot(batch)) {
+      // Proactivity yields to durability: skip this batch rather than wipe
+      // hosts a degraded fleet cannot re-provision. The schedule revisits
+      // every host, so the reboot happens once recovery has healed enough
+      // holders; until then the window is reported as incomplete.
+      std::string line = "reboot deferred (recovery quorum at risk): hosts";
+      for (std::uint32_t id : batch) line += " " + std::to_string(id);
+      report.failures.push_back(std::move(line));
+      report.reboots_deferred += batch.size();
+      report.ok = false;
+      continue;
+    }
     RebootAndRecover(batch, &report);
   }
   ++window_;
@@ -250,6 +627,7 @@ void Hypervisor::HandleMessage(const Message& msg) {
     return;
   }
   const bool ok = !msg.payload.empty() && msg.payload[0] == 1;
+  phase_reports_.push_back({msg.from, msg.row, msg.file_id, msg.epoch, ok});
   if (!ok) {
     ++failures_seen_;
     recent_failures_.push_back("host " + std::to_string(msg.from) +

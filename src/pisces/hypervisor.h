@@ -12,7 +12,30 @@
 //     schedule in batches of r hosts per recovery phase;
 //   * Update orchestration -- one update window = rerandomize every stored
 //     file, then reboot every host per the schedule with recovery after each
-//     batch (paper SectionVI-E step 2).
+//     batch (paper SectionVI-E step 2);
+//   * Fault tolerance -- a refresh or recovery round that loses a dealer to a
+//     crash, a dropped message, or a corrupted dealing is re-run with the
+//     offending dealer excluded instead of failing the window. The window
+//     aborts only when more than t dealers are unavailable (the paper's
+//     corruption bound).
+//
+// Dealer exclusion works in three tiers:
+//   1. availability: hosts that are offline (crashed) never join a round;
+//   2. attribution: when hyperinvertible verification rejects a round, the
+//      hosts' archived dealing columns are cross-checked per dealer (each
+//      column must be a degree-<=d polynomial vanishing on the betas across
+//      the holder points); dealers whose columns are inconsistent are
+//      excluded immediately;
+//   3. strikes: a live dealer whose dealing repeatedly fails to arrive
+//      (dropped by the network) is excluded after two strikes.
+// A reboot wipes a host's exclusion record: the fresh image is trusted again.
+//
+// Rounds that partially applied (some hosts committed the new sharing, the
+// rest lost their verdicts) are NOT re-run -- re-randomizing an inconsistent
+// base would corrupt the sharing permanently. Instead the hosts that missed
+// the apply are marked stale and re-synchronized through share recovery from
+// the fresh quorum; stale hosts are barred from acting as recovery survivors
+// until they have been resynced.
 //
 // The hypervisor drives hosts through the same message fabric as everyone
 // else for protocol traffic, but uses direct method calls for the privileged
@@ -20,6 +43,7 @@
 #pragma once
 
 #include <memory>
+#include <set>
 
 #include "pisces/host.h"
 #include "pisces/schedule.h"
@@ -32,11 +56,21 @@ struct WindowReport {
   std::uint64_t sweeps_refresh = 0;
   std::uint64_t sweeps_recovery = 0;
   std::size_t reboots = 0;
+  // Scheduled reboots skipped because wiping the batch would have dropped a
+  // file below the recovery quorum (fleet already degraded); retried in a
+  // later window once recovery has healed enough holders.
+  std::size_t reboots_deferred = 0;
   std::size_t files_refreshed = 0;
   // Aggregate per-phase metrics summed over all hosts (delta for this
   // window).
   PhaseMetrics rerandomize_total;
   PhaseMetrics recover_total;
+  // Robustness activity during this window (host-metric deltas plus the
+  // hypervisor's own retry counters).
+  std::uint64_t deals_excluded = 0;
+  std::uint64_t refresh_retries = 0;
+  std::uint64_t recovery_retries = 0;
+  std::uint64_t timeouts_fired = 0;
 };
 
 struct HypervisorConfig {
@@ -70,8 +104,9 @@ class Hypervisor : public net::MessageHandler {
   std::pair<crypto::HostCert, Bytes> EnrollExternal(std::uint32_t id);
 
   // --- update orchestration (paper SectionVI-E) ---
-  // Rerandomizes every stored file once. Returns false if any host reported
-  // failure.
+  // Rerandomizes every stored file, retrying with failed dealers excluded
+  // (up to t+2 attempts) and resyncing stale hosts afterwards. Returns false
+  // only when a file could not be refreshed within the corruption bound.
   bool RefreshAllFiles(WindowReport* report = nullptr);
   // Reboots `batch` (secure disassociation + fresh keys) and runs share
   // recovery for every stored file toward the rebooted hosts.
@@ -86,13 +121,52 @@ class Hypervisor : public net::MessageHandler {
 
   // Diagnostics: phase-done failures observed since construction.
   std::uint64_t failures_seen() const { return failures_seen_; }
+  // Hosts currently barred from dealing (corrupt or repeatedly silent).
+  const std::set<std::uint32_t>& excluded_dealers() const { return excluded_; }
+  // Hosts holding shares that missed the latest rerandomization (awaiting
+  // resync through recovery).
+  const std::set<std::uint32_t>& stale_hosts() const { return stale_; }
+
+  // Marks a file as intentionally deleted. Without this signal the file
+  // catalog would report the disappearance as data loss and fail every
+  // subsequent window.
+  void ForgetFile(std::uint64_t file_id) { catalog_.erase(file_id); }
 
  private:
+  // A kPhaseDone record: host reported the end of a protocol phase.
+  // kind: 0 = refresh, 1 = recovery (see Host::ReportPhaseDone callers).
+  struct PhaseReport {
+    std::uint32_t host = 0;
+    std::uint32_t kind = 0;
+    std::uint64_t file = 0;
+    std::uint32_t seq = 0;
+    bool ok = false;
+  };
+
   void BootHost(std::uint32_t id);
   std::vector<std::uint64_t> AllFileIds() const;
   std::optional<FileMeta> MetaFromAnyHost(
       std::uint64_t file_id, std::span<const std::uint32_t> exclude) const;
   HostMetrics TotalHostMetrics() const;
+
+  // Hosts that are booted and reachable (not net-offline), ascending.
+  std::vector<std::uint32_t> ReachableHosts() const;
+  // Whether wiping `batch` still leaves every stored file enough fresh
+  // reachable holders to satisfy the recovery quorum.
+  bool BatchSafeToReboot(std::span<const std::uint32_t> batch) const;
+  // Aborts stuck sessions on every host, appending their descriptions to
+  // `sink` (nullptr discards them).
+  void AbortStuckFleet(std::vector<std::string>* sink);
+  // Cross-checks archived dealing columns of failed refresh rounds and
+  // returns the dealers whose columns are provably inconsistent.
+  std::set<std::uint32_t> AttributeCorruptDealers(
+      std::uint32_t seq,
+      const std::map<std::uint64_t, std::vector<std::uint32_t>>&
+          parts_by_file);
+  // Recovers every stored file toward `targets` (chunked by r, retried with
+  // a shrinking survivor set). Erases recovered targets from stale_. Appends
+  // its failures to recent_failures_.
+  bool RunRecovery(std::vector<std::uint32_t> targets, WindowReport* report);
 
   HypervisorConfig cfg_;
   net::SimNet& net_;
@@ -113,6 +187,15 @@ class Hypervisor : public net::MessageHandler {
   std::uint32_t window_ = 0;
   std::uint64_t failures_seen_ = 0;
   std::vector<std::string> recent_failures_;
+  std::vector<PhaseReport> phase_reports_;  // cleared per attempt
+  std::set<std::uint32_t> excluded_;
+  std::map<std::uint32_t, std::uint32_t> dealer_strikes_;
+  std::set<std::uint32_t> stale_;
+  // Every file id ever observed on a host. Host stores are the only file
+  // directory, so once the last holder is wiped a file would silently vanish
+  // from AllFileIds() and refresh/recovery would succeed vacuously; the
+  // catalog turns that into a reported loss instead.
+  std::set<std::uint64_t> catalog_;
 };
 
 }  // namespace pisces

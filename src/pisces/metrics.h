@@ -19,10 +19,29 @@ struct PhaseMetrics {
   }
 };
 
+// Robustness counters: how often the fault-tolerance machinery had to act.
+struct FaultMetrics {
+  // Dealer slots excluded from refresh rounds this host joined (a round with
+  // m < n participants counts n - m exclusions once per session).
+  std::uint64_t deals_excluded = 0;
+  // Protocol rounds or client operations re-attempted after a failure.
+  std::uint64_t retries = 0;
+  // Bounded-delay timeouts: sessions aborted because quiescence arrived
+  // without completion.
+  std::uint64_t timeouts_fired = 0;
+
+  void Add(const FaultMetrics& o) {
+    deals_excluded += o.deals_excluded;
+    retries += o.retries;
+    timeouts_fired += o.timeouts_fired;
+  }
+};
+
 struct HostMetrics {
   PhaseMetrics rerandomize;  // refresh: dealing, transform, verification
   PhaseMetrics recover;      // recovery: masks, masked shares, interpolation
   PhaseMetrics serve;        // set / reconstruct traffic
+  FaultMetrics faults;       // robustness machinery activity
   void Reset() { *this = HostMetrics{}; }
 };
 

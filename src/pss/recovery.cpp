@@ -6,16 +6,26 @@ namespace pisces::pss {
 
 RecoveryPlan RecoveryPlan::For(std::size_t blocks, const Params& p,
                                std::span<const std::uint32_t> rebooting) {
+  std::vector<std::uint32_t> all(p.n);
+  for (std::uint32_t i = 0; i < p.n; ++i) all[i] = i;
+  return For(blocks, p, rebooting, all);
+}
+
+RecoveryPlan RecoveryPlan::For(std::size_t blocks, const Params& p,
+                               std::span<const std::uint32_t> rebooting,
+                               std::span<const std::uint32_t> available) {
   Require(!rebooting.empty(), "RecoveryPlan: nothing to recover");
   Require(rebooting.size() <= p.r,
           "RecoveryPlan: reboot batch exceeds configured r");
   RecoveryPlan plan;
   plan.blocks = blocks;
-  for (std::uint32_t i = 0; i < p.n; ++i) {
+  for (std::uint32_t i : available) {
+    Require(i < p.n, "RecoveryPlan: available host out of range");
     if (std::find(rebooting.begin(), rebooting.end(), i) == rebooting.end()) {
       plan.survivors.push_back(i);
     }
   }
+  std::sort(plan.survivors.begin(), plan.survivors.end());
   Require(plan.survivors.size() > p.check_rows(),
           "RecoveryPlan: not enough survivors for verification");
   Require(plan.survivors.size() >= p.degree() + 1,

@@ -29,6 +29,12 @@ struct RecoveryPlan {
 
   static RecoveryPlan For(std::size_t blocks, const Params& p,
                           std::span<const std::uint32_t> rebooting);
+  // Restricted variant: survivors are drawn from `available` only (hosts that
+  // are reachable AND hold consistent shares), minus the rebooting set. Used
+  // when recovery must route around crashed or stale hosts.
+  static RecoveryPlan For(std::size_t blocks, const Params& p,
+                          std::span<const std::uint32_t> rebooting,
+                          std::span<const std::uint32_t> available);
 
   std::optional<std::size_t> BlockFor(std::size_t a_rel, std::size_t g) const {
     std::size_t idx = g * usable + a_rel;

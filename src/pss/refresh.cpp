@@ -3,18 +3,37 @@
 namespace pisces::pss {
 
 RefreshPlan RefreshPlan::For(std::size_t blocks, const Params& p) {
+  return For(blocks, p, p.n);
+}
+
+RefreshPlan RefreshPlan::For(std::size_t blocks, const Params& p,
+                             std::size_t dealers) {
+  Require(dealers > p.check_rows(),
+          "RefreshPlan: need more than 2t dealers to refresh");
+  Require(dealers <= p.n, "RefreshPlan: more dealers than parties");
   RefreshPlan plan;
   plan.blocks = blocks;
-  plan.usable = p.UsableRows(p.n);
+  plan.usable = p.UsableRows(dealers);
   plan.groups = GroupsFor(std::max<std::size_t>(blocks, 1), plan.usable);
   return plan;
 }
 
 VssBatch MakeRefreshBatch(const PackedShamir& shamir, std::size_t blocks) {
   const Params& p = shamir.params();
-  RefreshPlan plan = RefreshPlan::For(blocks, p);
   std::vector<std::uint32_t> holders(p.n);
   for (std::size_t i = 0; i < p.n; ++i) holders[i] = static_cast<std::uint32_t>(i);
+  return MakeRefreshBatch(shamir, blocks, holders);
+}
+
+VssBatch MakeRefreshBatch(const PackedShamir& shamir, std::size_t blocks,
+                          std::span<const std::uint32_t> participants) {
+  const Params& p = shamir.params();
+  Require(!participants.empty(), "MakeRefreshBatch: empty participant set");
+  for (std::uint32_t id : participants) {
+    Require(id < p.n, "MakeRefreshBatch: participant out of range");
+  }
+  RefreshPlan plan = RefreshPlan::For(blocks, p, participants.size());
+  std::vector<std::uint32_t> holders(participants.begin(), participants.end());
   std::vector<FpElem> vanish(shamir.points().betas().begin(),
                              shamir.points().betas().end());
   return VssBatch(shamir.ctx(), shamir.points(), std::move(holders),

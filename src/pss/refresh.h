@@ -26,6 +26,11 @@ struct RefreshPlan {
   std::size_t groups = 0;
 
   static RefreshPlan For(std::size_t blocks, const Params& p);
+  // Plan for a round run by a subset of `dealers` live participants (dealer
+  // exclusion). Requires dealers > 2t: the hyperinvertible transform still
+  // opens 2t check rows, so at least one usable row must remain.
+  static RefreshPlan For(std::size_t blocks, const Params& p,
+                         std::size_t dealers);
 
   // Block refreshed by usable row a_rel of group g; nullopt for padding
   // outputs beyond the block count.
@@ -39,6 +44,13 @@ struct RefreshPlan {
 // Builds the VssBatch for a refresh round: all n parties, vanishing set
 // {beta_1..beta_l}, degree d, 2t check rows.
 VssBatch MakeRefreshBatch(const PackedShamir& shamir, std::size_t blocks);
+
+// Same, but run among an agreed subset of live participants (dealer set ==
+// holder set == participants). Used after dealer exclusion: the round
+// completes from the surviving >= n-2t dealings as long as more than 2t
+// participants remain. Participants must be sorted host ids.
+VssBatch MakeRefreshBatch(const PackedShamir& shamir, std::size_t blocks,
+                          std::span<const std::uint32_t> participants);
 
 // Runs the complete refresh locally: shares_by_party[i][b] is party i's share
 // of block b; updated in place. Throws InternalError if verification fails

@@ -21,8 +21,9 @@ ClusterConfig Config() {
 
 TEST(Fault, TamperedDealIsRejectedByChannelAuth) {
   // Flipping bytes of an encrypted kDeal makes the HMAC fail; the host drops
-  // the message and the refresh session times out rather than accepting a
-  // corrupted share. The hypervisor reports failure.
+  // the message and the first refresh round times out. The hypervisor then
+  // RETRIES, the tamperer is one-shot, and the second round completes: the
+  // window no longer aborts on a transient fault.
   Cluster cluster(Config());
   Rng rng(1);
   Bytes file = rng.RandomBytes(400);
@@ -36,20 +37,26 @@ TEST(Fault, TamperedDealIsRejectedByChannelAuth) {
     }
     return true;
   });
-  EXPECT_FALSE(cluster.RefreshAllFiles());
+  WindowReport report;
+  EXPECT_TRUE(cluster.hypervisor().RefreshAllFiles(&report));
   cluster.net().SetMutator(nullptr);
   EXPECT_TRUE(tampered);
-  // Shares were not half-updated: the file still downloads.
+  EXPECT_GE(report.refresh_retries, 1u);
+  EXPECT_GE(report.timeouts_fired, 1u);
+  // A single dropped dealing is one strike, not an exclusion.
+  EXPECT_TRUE(cluster.hypervisor().excluded_dealers().empty());
+  // Shares were consistently updated: the file still downloads.
   EXPECT_EQ(cluster.Download(1), file);
-  // And the system recovers on the next (untampered) window.
+  // And the next (untampered) window is clean.
   EXPECT_TRUE(cluster.RunUpdateWindow().ok);
   EXPECT_EQ(cluster.Download(1), file);
 }
 
 TEST(Fault, CorruptDealerCaughtWithPlaintextLinks) {
   // With encryption off, a corrupted payload reaches the VSS layer itself:
-  // the check-row verification must reject it and hosts must report failure
-  // (this exercises the hyperinvertible verification, not the channel MAC).
+  // the check-row verification rejects the round, the hypervisor attributes
+  // the inconsistent dealing columns to dealer 3, EXCLUDES it, and completes
+  // the refresh from the remaining 7 dealers.
   ClusterConfig cfg = Config();
   cfg.encrypt_links = false;
   Cluster cluster(cfg);
@@ -65,14 +72,20 @@ TEST(Fault, CorruptDealerCaughtWithPlaintextLinks) {
     }
     return true;
   });
-  EXPECT_FALSE(cluster.RefreshAllFiles());
+  WindowReport report;
+  EXPECT_TRUE(cluster.hypervisor().RefreshAllFiles(&report));
   cluster.net().SetMutator(nullptr);
   std::uint64_t rejected = 0;
   for (std::size_t i = 0; i < cfg.params.n; ++i) {
     rejected += cluster.host(i).verdicts_rejected();
   }
   EXPECT_GT(rejected, 0u) << "verification should have caught the dealer";
-  // Refresh aborted atomically: data still intact.
+  EXPECT_EQ(cluster.hypervisor().excluded_dealers().count(3), 1u)
+      << "the corrupt dealer should have been attributed and excluded";
+  EXPECT_GE(report.refresh_retries, 1u);
+  // Host 3 missed the retried round and was resynced from the fresh quorum.
+  EXPECT_TRUE(cluster.hypervisor().stale_hosts().empty());
+  // Data survives the whole episode.
   EXPECT_EQ(cluster.Download(1), file);
 }
 

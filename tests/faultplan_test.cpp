@@ -1,0 +1,270 @@
+// FaultPlan fabric: every knob (drop, duplicate, reorder, delay+jitter,
+// partition, crash-at-Nth-message), per-endpoint fault counters, offline
+// mailbox hygiene, and seed-determinism of the whole fault trace.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <tuple>
+#include <vector>
+
+#include "net/sim_transport.h"
+
+namespace pisces::net {
+namespace {
+
+Message Mk(std::uint32_t from, std::uint32_t to, std::uint8_t tag) {
+  Message m;
+  m.from = from;
+  m.to = to;
+  m.type = MsgType::kDeal;
+  m.payload = Bytes{tag};
+  return m;
+}
+
+std::vector<std::uint8_t> Drain(SimEndpoint* ep) {
+  std::vector<std::uint8_t> tags;
+  while (auto m = ep->Receive()) tags.push_back(m->payload.at(0));
+  return tags;
+}
+
+TEST(FaultPlan, DropEverything) {
+  SimNet net;
+  auto* a = net.AddEndpoint(0);
+  auto* b = net.AddEndpoint(1);
+  FaultPlan plan;
+  plan.seed = 7;
+  plan.all_links.drop_prob = 1.0;
+  net.SetFaultPlan(plan);
+
+  for (std::uint8_t i = 0; i < 5; ++i) a->Send(Mk(0, 1, i));
+  EXPECT_TRUE(Drain(b).empty());
+  EXPECT_EQ(net.TotalDropped(), 5u);
+  EXPECT_EQ(net.StatsFor(0).msgs_dropped, 5u);  // charged to the sender
+  EXPECT_EQ(net.StatsFor(1).msgs_dropped, 0u);
+}
+
+TEST(FaultPlan, PerLinkOverrideBeatsDefault) {
+  SimNet net;
+  auto* a = net.AddEndpoint(0);
+  net.AddEndpoint(1);
+  auto* c = net.AddEndpoint(2);
+  FaultPlan plan;
+  plan.seed = 7;
+  plan.all_links.drop_prob = 1.0;
+  plan.links[{0, 2}] = LinkFault{};  // the 0->2 link is healthy
+  net.SetFaultPlan(plan);
+
+  a->Send(Mk(0, 1, 1));
+  a->Send(Mk(0, 2, 2));
+  EXPECT_EQ(net.PendingFor(1), 0u);
+  EXPECT_EQ(Drain(c), (std::vector<std::uint8_t>{2}));
+}
+
+TEST(FaultPlan, DuplicateDeliversTwoCopies) {
+  SimNet net;
+  auto* a = net.AddEndpoint(0);
+  auto* b = net.AddEndpoint(1);
+  FaultPlan plan;
+  plan.seed = 9;
+  plan.all_links.dup_prob = 1.0;
+  net.SetFaultPlan(plan);
+
+  a->Send(Mk(0, 1, 42));
+  EXPECT_EQ(Drain(b), (std::vector<std::uint8_t>{42, 42}));
+  EXPECT_EQ(net.StatsFor(0).msgs_duplicated, 1u);
+  EXPECT_EQ(net.TotalMessages(), 1u);  // one send, two deliveries
+}
+
+TEST(FaultPlan, ReorderShufflesQueueButLosesNothing) {
+  SimNet net;
+  auto* a = net.AddEndpoint(0);
+  auto* b = net.AddEndpoint(1);
+  FaultPlan plan;
+  plan.seed = 11;
+  plan.all_links.reorder_prob = 1.0;
+  net.SetFaultPlan(plan);
+
+  std::vector<std::uint8_t> sent;
+  for (std::uint8_t i = 0; i < 8; ++i) {
+    sent.push_back(i);
+    a->Send(Mk(0, 1, i));
+  }
+  std::vector<std::uint8_t> got = Drain(b);
+  EXPECT_NE(got, sent) << "seed 11 should shuffle an 8-message burst";
+  std::sort(got.begin(), got.end());
+  EXPECT_EQ(got, sent) << "reordering must not lose or duplicate messages";
+  EXPECT_GT(net.StatsFor(0).msgs_reordered, 0u);
+  EXPECT_EQ(net.TotalDropped(), 0u);
+}
+
+TEST(FaultPlan, FixedDelayMaturesAtExactSweep) {
+  SimNet net;
+  auto* a = net.AddEndpoint(0);
+  auto* b = net.AddEndpoint(1);
+  FaultPlan plan;
+  plan.seed = 13;
+  plan.all_links.delay_sweeps = 3;
+  net.SetFaultPlan(plan);
+
+  a->Send(Mk(0, 1, 5));
+  EXPECT_EQ(net.PendingFor(1), 0u);
+  EXPECT_EQ(net.StagedCount(), 1u);
+  EXPECT_TRUE(net.AnyPending()) << "staged traffic must keep the pump alive";
+  net.AdvanceSweep();
+  net.AdvanceSweep();
+  EXPECT_EQ(net.PendingFor(1), 0u) << "too early at sweep 2";
+  net.AdvanceSweep();
+  EXPECT_EQ(Drain(b), (std::vector<std::uint8_t>{5}));
+  EXPECT_EQ(net.StagedCount(), 0u);
+  EXPECT_EQ(net.StatsFor(0).msgs_delayed, 1u);
+}
+
+TEST(FaultPlan, JitteredDelayStaysWithinBound) {
+  SimNet net;
+  auto* a = net.AddEndpoint(0);
+  auto* b = net.AddEndpoint(1);
+  FaultPlan plan;
+  plan.seed = 17;
+  plan.all_links.delay_sweeps = 1;
+  plan.all_links.delay_jitter = 3;  // total delay uniform in [1, 4]
+  net.SetFaultPlan(plan);
+
+  const std::size_t kMsgs = 40;
+  for (std::size_t i = 0; i < kMsgs; ++i) {
+    a->Send(Mk(0, 1, static_cast<std::uint8_t>(i)));
+  }
+  EXPECT_EQ(net.PendingFor(1), 0u) << "minimum delay is one sweep";
+  EXPECT_EQ(net.StagedCount(), kMsgs);
+  for (int s = 0; s < 4; ++s) net.AdvanceSweep();
+  EXPECT_EQ(net.StagedCount(), 0u) << "maximum delay is four sweeps";
+  EXPECT_EQ(Drain(b).size(), kMsgs);
+  EXPECT_EQ(net.StatsFor(0).msgs_delayed, kMsgs);
+}
+
+TEST(FaultPlan, CrashAfterNthMessageIsOneShot) {
+  SimNet net;
+  auto* a = net.AddEndpoint(0);
+  auto* b = net.AddEndpoint(1);
+  FaultPlan plan;
+  plan.seed = 19;
+  plan.crash_after[0] = 3;
+  net.SetFaultPlan(plan);
+
+  a->Send(Mk(0, 1, 1));
+  a->Send(Mk(0, 1, 2));
+  EXPECT_FALSE(net.IsOffline(0));
+  a->Send(Mk(0, 1, 3));  // dies mid-send: the 3rd message is lost with it
+  EXPECT_TRUE(net.IsOffline(0));
+  EXPECT_EQ(net.StatsFor(0).crashes, 1u);
+  EXPECT_EQ(Drain(b), (std::vector<std::uint8_t>{1, 2}));
+
+  // Reboot: the trigger must not re-fire (it is one-shot).
+  net.SetOffline(0, false);
+  a->Send(Mk(0, 1, 4));
+  EXPECT_FALSE(net.IsOffline(0));
+  EXPECT_EQ(net.StatsFor(0).crashes, 1u);
+  EXPECT_EQ(Drain(b), (std::vector<std::uint8_t>{4}));
+}
+
+TEST(FaultPlan, PartitionDropsCrossingTrafficBothWays) {
+  SimNet net;
+  auto* a = net.AddEndpoint(0);
+  auto* b = net.AddEndpoint(1);
+  auto* c = net.AddEndpoint(2);
+  const std::uint32_t island[] = {0, 1};
+  net.PartitionOff(island);
+  EXPECT_TRUE(net.PartitionActive());
+
+  a->Send(Mk(0, 1, 1));  // inside the island: fine
+  a->Send(Mk(0, 2, 2));  // island -> outside: dropped
+  c->Send(Mk(2, 1, 3));  // outside -> island: dropped
+  EXPECT_EQ(Drain(b), (std::vector<std::uint8_t>{1}));
+  EXPECT_EQ(Drain(c).size(), 0u);
+  EXPECT_EQ(net.TotalDropped(), 2u);
+
+  net.ClearPartition();
+  c->Send(Mk(2, 1, 4));
+  EXPECT_EQ(Drain(b), (std::vector<std::uint8_t>{4}));
+}
+
+// Regression for the SetOffline asymmetry: going offline must purge the
+// mailbox, in-flight staged traffic, and outbound sends; coming back online
+// must start from a clean mailbox in every path.
+TEST(FaultPlan, OfflinePurgesQueuedAndStagedTrafficInAllPaths) {
+  SimNet net;
+  auto* a = net.AddEndpoint(0);
+  auto* b = net.AddEndpoint(1);
+  auto* c = net.AddEndpoint(2);
+  FaultPlan plan;
+  plan.seed = 23;
+  plan.links[{2, 1}] = LinkFault{.delay_sweeps = 5};
+  net.SetFaultPlan(plan);
+
+  a->Send(Mk(0, 1, 1));  // queued in 1's mailbox
+  c->Send(Mk(2, 1, 2));  // staged in flight toward 1
+  EXPECT_EQ(net.PendingFor(1), 1u);
+  EXPECT_EQ(net.StagedCount(), 1u);
+
+  net.SetOffline(1, true);
+  EXPECT_EQ(net.PendingFor(1), 0u) << "queued traffic dies with the host";
+  EXPECT_EQ(net.StagedCount(), 0u) << "staged traffic dies with the host";
+  EXPECT_FALSE(net.AnyPending());
+
+  a->Send(Mk(0, 1, 3));  // sent at a dead host: dropped at delivery
+  b->Send(Mk(1, 0, 4));  // sent by the dead host: dropped at source
+  EXPECT_EQ(Drain(a).size(), 0u);
+
+  net.SetOffline(1, false);
+  EXPECT_EQ(b->Receive(), std::nullopt) << "reboot starts from a clean mailbox";
+  a->Send(Mk(0, 1, 5));
+  EXPECT_EQ(Drain(b), (std::vector<std::uint8_t>{5}));
+}
+
+// One scripted run under a mixed fault plan, summarized as (delivery trace,
+// fault counters).
+struct Trace {
+  std::vector<std::tuple<std::uint32_t, std::uint8_t>> delivered;
+  std::vector<std::uint64_t> counters;
+  bool operator==(const Trace&) const = default;
+};
+
+Trace RunScript(std::uint64_t fault_seed) {
+  SimNet net;
+  SimEndpoint* eps[3] = {net.AddEndpoint(0), net.AddEndpoint(1),
+                         net.AddEndpoint(2)};
+  FaultPlan plan;
+  plan.seed = fault_seed;
+  plan.all_links.drop_prob = 0.3;
+  plan.all_links.dup_prob = 0.2;
+  plan.all_links.reorder_prob = 0.3;
+  plan.all_links.delay_jitter = 2;
+  net.SetFaultPlan(plan);
+
+  Trace trace;
+  for (std::uint8_t i = 0; i < 60; ++i) {
+    const std::uint32_t from = i % 3;
+    eps[from]->Send(Mk(from, (from + 1) % 3, i));
+    if (i % 5 == 4) net.AdvanceSweep();
+  }
+  for (int s = 0; s < 3; ++s) net.AdvanceSweep();
+  for (std::uint32_t id = 0; id < 3; ++id) {
+    for (std::uint8_t tag : Drain(eps[id])) trace.delivered.push_back({id, tag});
+    const auto& st = net.StatsFor(id);
+    trace.counters.insert(trace.counters.end(),
+                          {st.msgs_sent, st.msgs_dropped, st.msgs_duplicated,
+                           st.msgs_delayed, st.msgs_reordered});
+  }
+  trace.counters.push_back(net.TotalDropped());
+  return trace;
+}
+
+TEST(FaultPlan, IdenticalSeedsReproduceTheFaultTraceExactly) {
+  EXPECT_EQ(RunScript(101), RunScript(101));
+}
+
+TEST(FaultPlan, DifferentSeedsDiverge) {
+  EXPECT_NE(RunScript(101), RunScript(102));
+}
+
+}  // namespace
+}  // namespace pisces::net
