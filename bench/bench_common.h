@@ -18,6 +18,29 @@
 
 namespace pisces::bench {
 
+// Parses `--threads N` (or `--threads=N`) from argv, falling back to the
+// PISCES_THREADS environment variable. Returns 0 when unset, which leaves the
+// global task pool and params.b at their defaults. Thread count changes wall
+// time only -- every computed value (shares, transcripts, byte counts) is
+// identical at any setting (see docs/parallelism.md).
+inline std::size_t ThreadsArg(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--threads" && i + 1 < argc) {
+      return static_cast<std::size_t>(std::strtoull(argv[i + 1], nullptr, 10));
+    }
+    if (a.rfind("--threads=", 0) == 0) {
+      return static_cast<std::size_t>(
+          std::strtoull(a.c_str() + 10, nullptr, 10));
+    }
+  }
+  const char* env = std::getenv("PISCES_THREADS");
+  if (env != nullptr) {
+    return static_cast<std::size_t>(std::strtoull(env, nullptr, 10));
+  }
+  return 0;
+}
+
 inline bool PaperScale() {
   const char* s = std::getenv("PISCES_BENCH_SCALE");
   return s != nullptr && std::string(s) == "paper";

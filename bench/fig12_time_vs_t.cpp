@@ -6,10 +6,12 @@
 // more packing and better amortization.
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pisces;
   bench::Banner("Figure 12",
                 "Total time to refresh vs tolerated corruptions t");
+  const std::size_t threads = bench::ThreadsArg(argc, argv);
+  if (threads > 0) std::printf("threads: %zu\n", threads);
 
   std::vector<std::size_t> ns{21, 29, 37};
   // r = 3 keeps the reboot schedule affordable; the series compare n at
@@ -35,6 +37,7 @@ int main() {
       std::size_t l = bench::MaxPacking(n, t, r_eff);
       ExperimentConfig cfg =
           bench::MakeConfig(n, t, l, r_eff, 1024, file_bytes);
+      cfg.threads = threads;
       ExperimentResult res = RunRefreshExperiment(cfg);
       std::string name = "n" + std::to_string(n);
       std::printf("%-6s %3zu %3zu %16.4f %16.3e\n", name.c_str(), t, l,

@@ -5,10 +5,12 @@
 // dominates rerandomization; near the threshold the curves blow up.
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pisces;
   bench::Banner("Figure 7",
                 "n=37: refresh time per byte vs t, sending/computing split");
+  const std::size_t threads = bench::ThreadsArg(argc, argv);
+  if (threads > 0) std::printf("threads: %zu\n", threads);
 
   const std::size_t n = 37;
   const std::size_t r = 3;
@@ -23,6 +25,7 @@ int main() {
     std::size_t l = bench::MaxPacking(n, t, r);
     ExperimentConfig cfg =
         bench::MakeConfig(n, t, l, r, 1024, bench::FileBytes(n));
+    cfg.threads = threads;
     ExperimentResult res = RunRefreshExperiment(cfg);
     const double fb = static_cast<double>(res.file_bytes);
     std::printf("%3zu %3zu | %18.3e %18.3e %18.3e %18.3e\n", t, l,

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# ThreadSanitizer check: configures a dedicated build tree with PISCES_TSAN=ON
+# and runs the suites that exercise the task pool hardest -- the pool/PSS unit
+# tests, the threaded determinism tests, and the chaos drill -- with a
+# multi-thread global pool so races in parallel bodies actually interleave.
+# Any report is fatal (-fno-sanitize-recover=all + halt_on_error).
+#
+# The determinism contract (docs/parallelism.md) says parallel bodies write
+# only index-owned state; TSan is the tool that proves every call site keeps
+# that promise instead of merely asserting it.
+#
+# Usage: scripts/check_tsan.sh [build-dir]   (default: build-tsan)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-tsan}"
+
+cmake -B "$BUILD_DIR" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DPISCES_TSAN=ON
+cmake --build "$BUILD_DIR" -j "$(nproc)" --target pisces_tests
+
+export TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1"
+# Run the pool-heavy suites with a wide pool (PISCES_THREADS is honored by the
+# benches; the tests size the pool themselves via SetGlobalPoolThreads /
+# params.b, so the filters below are what matters).
+"$BUILD_DIR/tests/pisces_tests" --gtest_filter='Determinism.*:*VssBatchTest*:*PssGridTest*:RobustShamir.*:*FieldPropertyTest*:DifferentialTest.*:Chaos.*:Cluster.*:LongHorizon.*'

@@ -1,0 +1,176 @@
+#include "common/task_pool.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "common/clock.h"
+#include "common/error.h"
+
+namespace pisces {
+
+namespace {
+// Nesting guard: a ParallelFor issued from inside another parallel section
+// (on any thread) runs inline. Depth is per thread, so independent pools in
+// tests do not interfere.
+thread_local int g_parallel_depth = 0;
+}  // namespace
+
+TaskPool::TaskPool(std::size_t threads) {
+  const std::size_t workers = threads == 0 ? 0 : threads - 1;
+  workers_.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    workers_.emplace_back([this, w] { WorkerLoop(w); });
+  }
+}
+
+TaskPool::~TaskPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& th : workers_) th.join();
+}
+
+std::pair<std::size_t, std::size_t> TaskPool::ChunkBounds(std::size_t begin,
+                                                          std::size_t end,
+                                                          std::size_t chunks,
+                                                          std::size_t c) {
+  const std::size_t range = end - begin;
+  const std::size_t base = range / chunks;
+  const std::size_t extra = range % chunks;  // first `extra` chunks get +1
+  const std::size_t lo = begin + c * base + std::min(c, extra);
+  const std::size_t hi = lo + base + (c < extra ? 1 : 0);
+  return {lo, hi};
+}
+
+void TaskPool::ParallelChunks(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, std::size_t)>& fn,
+    std::uint64_t* extra_cpu_ns, std::size_t max_workers) {
+  if (begin >= end) return;
+  const std::size_t range = end - begin;
+  const std::size_t chunks =
+      std::min({threads(), std::max<std::size_t>(1, max_workers), range});
+  if (chunks == 1 || g_parallel_depth > 0) {
+    // Serial (or nested) execution: no synchronization, no worker CPU.
+    ++g_parallel_depth;
+    try {
+      fn(begin, end);
+    } catch (...) {
+      --g_parallel_depth;
+      throw;
+    }
+    --g_parallel_depth;
+    return;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_.fn = &fn;
+    job_.begin = begin;
+    job_.end = end;
+    job_.chunks = chunks;
+    job_.remaining = chunks - 1;  // chunk 0 runs on the caller
+    job_.worker_cpu_ns = 0;
+    job_.error = nullptr;
+    ++generation_;
+  }
+  work_cv_.notify_all();
+
+  // The caller executes chunk 0; its CPU time is visible to the caller's own
+  // thread-CPU clock, so it is deliberately NOT added to worker_cpu_ns.
+  ++g_parallel_depth;
+  std::exception_ptr caller_error;
+  auto [lo, hi] = ChunkBounds(begin, end, chunks, 0);
+  try {
+    fn(lo, hi);
+  } catch (...) {
+    caller_error = std::current_exception();
+  }
+  --g_parallel_depth;
+
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] { return job_.remaining == 0; });
+  job_.fn = nullptr;
+  if (extra_cpu_ns != nullptr) *extra_cpu_ns += job_.worker_cpu_ns;
+  std::exception_ptr error = caller_error ? caller_error : job_.error;
+  job_.error = nullptr;
+  lock.unlock();
+  if (error) std::rethrow_exception(error);
+}
+
+void TaskPool::ParallelFor(std::size_t begin, std::size_t end,
+                           const std::function<void(std::size_t)>& fn,
+                           std::uint64_t* extra_cpu_ns,
+                           std::size_t max_workers) {
+  ParallelChunks(
+      begin, end,
+      [&fn](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) fn(i);
+      },
+      extra_cpu_ns, max_workers);
+}
+
+void TaskPool::WorkerLoop(std::size_t worker_index) {
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    std::unique_lock<std::mutex> lock(mu_);
+    work_cv_.wait(lock, [&] {
+      return stopping_ || generation_ != seen_generation;
+    });
+    if (stopping_) return;
+    seen_generation = generation_;
+    // Static assignment: worker w always owns chunk w+1 of this job.
+    const std::size_t chunk = worker_index + 1;
+    if (chunk >= job_.chunks) continue;  // no chunk for this worker
+    const auto* fn = job_.fn;
+    const auto [lo, hi] =
+        ChunkBounds(job_.begin, job_.end, job_.chunks, chunk);
+    lock.unlock();
+
+    const std::uint64_t cpu_start = ThreadCpuNanos();
+    std::exception_ptr error;
+    ++g_parallel_depth;
+    try {
+      (*fn)(lo, hi);
+    } catch (...) {
+      error = std::current_exception();
+    }
+    --g_parallel_depth;
+    const std::uint64_t cpu_delta = ThreadCpuNanos() - cpu_start;
+
+    lock.lock();
+    job_.worker_cpu_ns += cpu_delta;
+    if (error && !job_.error) job_.error = error;
+    if (--job_.remaining == 0) {
+      lock.unlock();
+      done_cv_.notify_one();
+    }
+  }
+}
+
+namespace {
+std::unique_ptr<TaskPool>& GlobalPoolSlot() {
+  static std::unique_ptr<TaskPool> pool = std::make_unique<TaskPool>(1);
+  return pool;
+}
+}  // namespace
+
+TaskPool& GlobalPool() { return *GlobalPoolSlot(); }
+
+void SetGlobalPoolThreads(std::size_t threads) {
+  Require(threads >= 1, "SetGlobalPoolThreads: need at least one thread");
+  if (GlobalPoolSlot()->threads() == threads) return;
+  GlobalPoolSlot() = std::make_unique<TaskPool>(threads);
+}
+
+void EnsureGlobalPoolThreads(std::size_t threads) {
+  if (threads > GlobalPoolSlot()->threads()) {
+    GlobalPoolSlot() = std::make_unique<TaskPool>(threads);
+  }
+}
+
+std::size_t GlobalPoolThreads() { return GlobalPoolSlot()->threads(); }
+
+}  // namespace pisces

@@ -1,0 +1,106 @@
+// Determinism-preserving worker pool for the compute-bound protocol paths.
+//
+// The refresh protocol is embarrassingly parallel across blocks, dealers, and
+// output rows, but the simulator's value is bit-reproducibility: the same
+// seed must produce the same shares, transcripts, and CSVs under any thread
+// count. The pool therefore offers exactly one primitive, a ParallelFor that
+//
+//   * splits [begin, end) into at most `threads()` contiguous chunks whose
+//     boundaries depend only on (begin, end, chunk count) -- never on timing;
+//   * requires the body to write only state owned by its index (no shared
+//     accumulators, no data-dependent work stealing);
+//   * runs nested invocations inline on the calling thread, so library code
+//     can parallelize unconditionally without deadlocking the pool.
+//
+// Under that contract the result of a ParallelFor is byte-identical for any
+// pool size, including 1 (where it degenerates to a plain loop with no
+// synchronization at all). All protocol randomness must be drawn serially
+// BEFORE entering a parallel section (see VssBatch::DrawDealRandomness).
+//
+// CPU accounting: thread-CPU clocks do not observe child threads, so the
+// ambient CpuTimer of a caller misses work done by pool workers. Every entry
+// point takes an optional `extra_cpu_ns` that accumulates the CPU time spent
+// on pool worker threads (the caller's own chunk is excluded -- the caller's
+// ambient timer already sees it). docs/parallelism.md has the full contract.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pisces {
+
+class TaskPool {
+ public:
+  // `threads` is total parallelism including the calling thread; the pool
+  // spawns threads-1 workers. threads == 1 spawns nothing.
+  explicit TaskPool(std::size_t threads = 1);
+  ~TaskPool();
+
+  TaskPool(const TaskPool&) = delete;
+  TaskPool& operator=(const TaskPool&) = delete;
+
+  std::size_t threads() const { return workers_.size() + 1; }
+
+  // Runs fn(chunk_begin, chunk_end) over contiguous chunks covering
+  // [begin, end). At most min(threads(), max_workers, end - begin) chunks;
+  // chunk c covers indices [begin + c*size .. ) with the static split below,
+  // independent of scheduling. The calling thread executes chunk 0 and blocks
+  // until every chunk finished. Exceptions from any chunk are rethrown on the
+  // calling thread (first one in chunk order wins deterministically only when
+  // a single chunk throws; treat any throw as fatal).
+  void ParallelChunks(std::size_t begin, std::size_t end,
+                      const std::function<void(std::size_t, std::size_t)>& fn,
+                      std::uint64_t* extra_cpu_ns = nullptr,
+                      std::size_t max_workers = SIZE_MAX);
+
+  // Per-index convenience wrapper over ParallelChunks.
+  void ParallelFor(std::size_t begin, std::size_t end,
+                   const std::function<void(std::size_t)>& fn,
+                   std::uint64_t* extra_cpu_ns = nullptr,
+                   std::size_t max_workers = SIZE_MAX);
+
+ private:
+  struct Job {
+    const std::function<void(std::size_t, std::size_t)>* fn = nullptr;
+    std::size_t begin = 0;
+    std::size_t end = 0;
+    std::size_t chunks = 0;  // number of chunks this job was split into
+    std::size_t remaining = 0;  // worker chunks not yet finished
+    std::uint64_t worker_cpu_ns = 0;
+    std::exception_ptr error;
+  };
+
+  // Chunk c of `chunks` over [begin, end): the canonical static split.
+  static std::pair<std::size_t, std::size_t> ChunkBounds(std::size_t begin,
+                                                         std::size_t end,
+                                                         std::size_t chunks,
+                                                         std::size_t c);
+
+  void WorkerLoop(std::size_t worker_index);
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;  // workers wait for a new generation
+  std::condition_variable done_cv_;  // caller waits for remaining == 0
+  std::uint64_t generation_ = 0;     // bumped per dispatched job
+  Job job_;
+  bool stopping_ = false;
+};
+
+// Process-wide pool shared by every protocol object (the simulator runs all
+// hosts in one process; a real deployment would own one pool per host).
+// Thread count does not affect any computed value -- only wall time.
+TaskPool& GlobalPool();
+// Replaces the global pool with one of exactly `threads` threads. Must not be
+// called while a ParallelFor is in flight (the simulator's single control
+// thread never does).
+void SetGlobalPoolThreads(std::size_t threads);
+// Grows the global pool to at least `threads`; never shrinks.
+void EnsureGlobalPoolThreads(std::size_t threads);
+std::size_t GlobalPoolThreads();
+
+}  // namespace pisces

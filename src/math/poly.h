@@ -45,6 +45,15 @@ class Poly {
                                     std::span<const FpElem> xs,
                                     std::span<const FpElem> ys);
 
+  // Deterministic half of RandomWithConstraints: builds W(x)*u(x) + I(x) from
+  // a pre-drawn mask polynomial u of degree <= deg - xs.size(). Splitting the
+  // randomness draw (serial, RNG-ordered) from the constraint solve (pure
+  // compute) is what lets the task pool fan blocks out across threads without
+  // changing which random values any block consumes.
+  static Poly ConstrainedFrom(const FpCtx& ctx, const Poly& u, std::size_t deg,
+                              std::span<const FpElem> xs,
+                              std::span<const FpElem> ys);
+
   // Unique interpolating polynomial of degree <= xs.size()-1 (Newton form
   // internally, returned in coefficient form). xs must be distinct.
   static Poly Interpolate(const FpCtx& ctx, std::span<const FpElem> xs,

@@ -74,7 +74,7 @@ std::optional<Bytes> Adversary::AttemptReconstruction(
       for (std::size_t j = 0; j < p.l; ++j) {
         field::FpElem acc = ctx.Zero();
         for (std::size_t k = 0; k < parties.size(); ++k) {
-          acc = ctx.Add(acc, ctx.Mul(weights[j][k], (*rows[k])[blk]));
+          acc = ctx.Add(acc, ctx.Mul((*weights)[j][k], (*rows[k])[blk]));
         }
         elems[blk * p.l + j] = acc;
       }
@@ -122,7 +122,7 @@ std::optional<Bytes> Adversary::AttemptMixedReconstruction(
     for (std::size_t j = 0; j < p.l; ++j) {
       field::FpElem acc = ctx.Zero();
       for (std::size_t k = 0; k < parties.size(); ++k) {
-        acc = ctx.Add(acc, ctx.Mul(weights[j][k], (*rows[k])[blk]));
+        acc = ctx.Add(acc, ctx.Mul((*weights)[j][k], (*rows[k])[blk]));
       }
       elems[blk * p.l + j] = acc;
     }

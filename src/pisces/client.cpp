@@ -1,6 +1,7 @@
 #include "pisces/client.h"
 
 #include "common/log.h"
+#include "common/task_pool.h"
 
 namespace pisces {
 
@@ -63,23 +64,33 @@ Bytes Client::OpenFrom(std::uint32_t peer, std::span<const std::uint8_t> ct) {
 
 FileMeta Client::BeginUpload(std::uint64_t file_id,
                              std::span<const std::uint8_t> data) {
-  CpuTimer cpu;
-  cpu.Start();
-  auto [meta, elems] = codec_.Encode(file_id, data);
   const std::size_t n = cfg_.params.n;
   const std::size_t l = cfg_.params.l;
+  FileMeta meta;
+  std::vector<std::vector<FpElem>> shares_for_host;
+  {
+    ComputeSection section(metrics_);
+    std::vector<FpElem> elems;
+    std::tie(meta, elems) = codec_.Encode(file_id, data, section.extra());
 
-  // shares_for_host[i][blk]
-  std::vector<std::vector<FpElem>> shares_for_host(
-      n, std::vector<FpElem>(meta.num_blocks, cfg_.ctx->Zero()));
-  std::vector<FpElem> block(l, cfg_.ctx->Zero());
-  for (std::size_t blk = 0; blk < meta.num_blocks; ++blk) {
-    for (std::size_t j = 0; j < l; ++j) block[j] = elems[blk * l + j];
-    std::vector<FpElem> shares = shamir_->ShareBlock(block, rng_);
-    for (std::size_t i = 0; i < n; ++i) shares_for_host[i][blk] = shares[i];
+    std::vector<std::vector<FpElem>> blocks(
+        meta.num_blocks, std::vector<FpElem>(l, cfg_.ctx->Zero()));
+    for (std::size_t blk = 0; blk < meta.num_blocks; ++blk) {
+      for (std::size_t j = 0; j < l; ++j) blocks[blk][j] = elems[blk * l + j];
+    }
+    // Per-block sharing fans out over the task pool; the rng is consumed
+    // serially inside ShareBlocks, so the shares match a serial run.
+    auto shares_by_block = shamir_->ShareBlocks(blocks, rng_, section.extra());
+
+    // shares_for_host[i][blk]
+    shares_for_host.assign(n,
+                           std::vector<FpElem>(meta.num_blocks, cfg_.ctx->Zero()));
+    for (std::size_t blk = 0; blk < meta.num_blocks; ++blk) {
+      for (std::size_t i = 0; i < n; ++i) {
+        shares_for_host[i][blk] = shares_by_block[blk][i];
+      }
+    }
   }
-  cpu.Stop();
-  metrics_.cpu_ns += cpu.nanos();
 
   PendingUpload& up = uploads_[file_id];
   up.acked.clear();
@@ -191,8 +202,7 @@ std::optional<Bytes> Client::TryAssemble(std::uint64_t file_id) {
   const std::size_t need = cfg_.params.degree() + 1;
   if (responses.size() < need) return std::nullopt;
 
-  CpuTimer cpu;
-  cpu.Start();
+  ComputeSection section(metrics_);
   // Adopt the majority meta (all honest hosts agree; a corrupted meta from a
   // minority cannot win).
   std::map<Bytes, std::size_t> meta_votes;
@@ -218,41 +228,41 @@ std::optional<Bytes> Client::TryAssemble(std::uint64_t file_id) {
     rows.push_back(&resp.second);
     if (parties.size() == need) break;
   }
-  if (parties.size() < need) {
-    cpu.Stop();
-    metrics_.cpu_ns += cpu.nanos();
-    return std::nullopt;
-  }
+  if (parties.size() < need) return std::nullopt;
 
   auto weights = shamir_->ReconstructionWeights(parties);
   std::vector<FpElem> elems(meta.num_blocks * cfg_.params.l, cfg_.ctx->Zero());
-  for (std::size_t blk = 0; blk < meta.num_blocks; ++blk) {
-    for (std::size_t j = 0; j < cfg_.params.l; ++j) {
-      FpElem acc = cfg_.ctx->Zero();
-      for (std::size_t k = 0; k < need; ++k) {
-        acc = cfg_.ctx->Add(acc, cfg_.ctx->Mul(weights[j][k], (*rows[k])[blk]));
-      }
-      elems[blk * cfg_.params.l + j] = acc;
-    }
-  }
+  // Blocks are independent and each writes only its own elems slots, so the
+  // per-block weighted sums fan out over the task pool deterministically.
+  GlobalPool().ParallelFor(
+      0, meta.num_blocks,
+      [&](std::size_t blk) {
+        for (std::size_t j = 0; j < cfg_.params.l; ++j) {
+          FpElem acc = cfg_.ctx->Zero();
+          for (std::size_t k = 0; k < need; ++k) {
+            acc = cfg_.ctx->Add(
+                acc, cfg_.ctx->Mul((*weights)[j][k], (*rows[k])[blk]));
+          }
+          elems[blk * cfg_.params.l + j] = acc;
+        }
+      },
+      section.extra());
   Bytes out;
   try {
-    out = codec_.Decode(meta, elems);
+    out = codec_.Decode(meta, elems, section.extra());
   } catch (const ParseError&) {
     // Fast path failed the integrity check: some host returned corrupted
     // shares. Fall back to Berlekamp-Welch decoding over ALL responses,
     // which tolerates a minority of wrong values per block. Throws
     // ParseError (propagated) if even robust decoding cannot explain the
     // responses.
-    out = AssembleRobust(meta);
+    out = AssembleRobust(meta, section.extra());
   }
-  cpu.Stop();
-  metrics_.cpu_ns += cpu.nanos();
   downloads_.erase(file_id);
   return out;
 }
 
-Bytes Client::AssembleRobust(const FileMeta& meta) {
+Bytes Client::AssembleRobust(const FileMeta& meta, std::uint64_t* extra_cpu_ns) {
   auto it = downloads_.find(meta.file_id);
   Invariant(it != downloads_.end(), "AssembleRobust: no pending download");
   std::vector<std::uint32_t> parties;
@@ -263,20 +273,26 @@ Bytes Client::AssembleRobust(const FileMeta& meta) {
     rows.push_back(&resp.second);
   }
   std::vector<FpElem> elems(meta.num_blocks * cfg_.params.l, cfg_.ctx->Zero());
-  std::vector<FpElem> shares(parties.size(), cfg_.ctx->Zero());
-  for (std::size_t blk = 0; blk < meta.num_blocks; ++blk) {
-    for (std::size_t k = 0; k < parties.size(); ++k) {
-      shares[k] = (*rows[k])[blk];
-    }
-    auto secrets = shamir_->RobustReconstructBlock(parties, shares);
-    if (!secrets) {
-      throw ParseError("Client: robust reconstruction failed for a block");
-    }
-    for (std::size_t j = 0; j < cfg_.params.l; ++j) {
-      elems[blk * cfg_.params.l + j] = (*secrets)[j];
-    }
-  }
-  return codec_.Decode(meta, elems);
+  // Berlekamp-Welch decoding is the expensive path; each block decodes
+  // independently on the task pool (a failed block throws, which the pool
+  // rethrows on this thread).
+  GlobalPool().ParallelFor(
+      0, meta.num_blocks,
+      [&](std::size_t blk) {
+        std::vector<FpElem> shares(parties.size(), cfg_.ctx->Zero());
+        for (std::size_t k = 0; k < parties.size(); ++k) {
+          shares[k] = (*rows[k])[blk];
+        }
+        auto secrets = shamir_->RobustReconstructBlock(parties, shares);
+        if (!secrets) {
+          throw ParseError("Client: robust reconstruction failed for a block");
+        }
+        for (std::size_t j = 0; j < cfg_.params.l; ++j) {
+          elems[blk * cfg_.params.l + j] = (*secrets)[j];
+        }
+      },
+      extra_cpu_ns);
+  return codec_.Decode(meta, elems, extra_cpu_ns);
 }
 
 void Client::RequestDelete(std::uint64_t file_id) {

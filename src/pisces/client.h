@@ -81,7 +81,8 @@ class Client : public net::MessageHandler {
   crypto::SecureChannel& ChannelTo(std::uint32_t peer);
   // Berlekamp-Welch fallback over all responses when the fast path fails its
   // integrity check (a minority of hosts returned corrupted shares).
-  Bytes AssembleRobust(const FileMeta& meta);
+  Bytes AssembleRobust(const FileMeta& meta,
+                       std::uint64_t* extra_cpu_ns = nullptr);
 
   ClientConfig cfg_;
   net::Transport& transport_;

@@ -1,9 +1,15 @@
 #include "pisces/cluster.h"
 
+#include "common/task_pool.h"
+
 namespace pisces {
 
 Cluster::Cluster(ClusterConfig cfg) : cfg_(std::move(cfg)) {
   cfg_.params.Validate();
+  // Honor the paper's per-host worker count b: grow (never shrink) the
+  // process-wide pool so Transform's fan-out can actually run b-wide. Pool
+  // size affects wall time only, never results.
+  EnsureGlobalPoolThreads(cfg_.params.b);
   ctx_ = std::make_shared<const field::FpCtx>(
       field::StandardPrimeBe(cfg_.params.field_bits));
   deployment_ = cfg_.deployment.value_or(Deployment::SingleCloud(cfg_.params.n));

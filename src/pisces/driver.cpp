@@ -1,10 +1,18 @@
 #include "pisces/driver.h"
 
+#include "common/task_pool.h"
+
 namespace pisces {
 
 ExperimentResult RunRefreshExperiment(const ExperimentConfig& cfg) {
   ClusterConfig cc;
   cc.params = cfg.params;
+  if (cfg.threads > 0) {
+    // --threads N: size the process-wide pool AND model N workers per host
+    // (the paper's b). Pool size affects wall time only, never results.
+    cc.params.b = cfg.threads;
+    SetGlobalPoolThreads(cfg.threads);
+  }
   cc.seed = cfg.seed;
   cc.encrypt_links = cfg.encrypt_links;
   cc.schedule = cfg.schedule;
@@ -19,9 +27,10 @@ ExperimentResult RunRefreshExperiment(const ExperimentConfig& cfg) {
   cluster.ResetMetrics();
 
   ExperimentResult r;
-  r.params = cfg.params;
+  r.params = cc.params;
   r.file_bytes = cfg.file_bytes;
   r.file_blocks = meta.num_blocks;
+  r.threads = GlobalPoolThreads();
 
   WindowReport report;
   if (cfg.run_recovery) {
@@ -32,6 +41,9 @@ ExperimentResult RunRefreshExperiment(const ExperimentConfig& cfg) {
 
   r.cpu_rerand_s = static_cast<double>(report.rerandomize_total.cpu_ns) * 1e-9;
   r.cpu_recover_s = static_cast<double>(report.recover_total.cpu_ns) * 1e-9;
+  r.wall_rerand_s =
+      static_cast<double>(report.rerandomize_total.wall_ns) * 1e-9;
+  r.wall_recover_s = static_cast<double>(report.recover_total.wall_ns) * 1e-9;
   r.bytes_rerand = report.rerandomize_total.bytes_sent;
   r.bytes_recover = report.recover_total.bytes_sent;
   r.msgs_rerand = report.rerandomize_total.msgs_sent;
@@ -46,9 +58,9 @@ ExperimentResult RunRefreshExperiment(const ExperimentConfig& cfg) {
   const double cpu_rerand_per_host = r.cpu_rerand_s / static_cast<double>(n);
   const double cpu_recover_per_host = r.cpu_recover_s / static_cast<double>(n);
   r.compute_rerand_s = cost.machine.InstanceSeconds(
-      cpu_rerand_per_host, static_cast<std::uint32_t>(cfg.params.b));
+      cpu_rerand_per_host, static_cast<std::uint32_t>(cc.params.b));
   r.compute_recover_s = cost.machine.InstanceSeconds(
-      cpu_recover_per_host, static_cast<std::uint32_t>(cfg.params.b));
+      cpu_recover_per_host, static_cast<std::uint32_t>(cc.params.b));
   r.send_rerand_s = netm.TransferTime(
       r.bytes_rerand / std::max<std::uint64_t>(1, n), r.sweeps_rerand);
   r.send_recover_s = netm.TransferTime(
@@ -73,8 +85,9 @@ ExperimentResult RunRefreshExperiment(const ExperimentConfig& cfg) {
 }
 
 Recorder MakeExperimentRecorder() {
-  return Recorder({"series", "n", "t", "l", "r", "b", "g", "file_bytes",
-                   "blocks", "ok", "cpu_rerand_s", "cpu_recover_s",
+  return Recorder({"series", "n", "t", "l", "r", "b", "g", "threads",
+                   "file_bytes", "blocks", "ok", "cpu_rerand_s",
+                   "cpu_recover_s", "wall_rerand_s", "wall_recover_s",
                    "bytes_rerand", "bytes_recover", "compute_rerand_s",
                    "compute_recover_s", "send_rerand_s", "send_recover_s",
                    "refresh_time_s", "window_time_s", "cost_dedicated_usd",
@@ -92,11 +105,14 @@ void RecordExperiment(Recorder& rec, const std::string& series,
       {"r", std::to_string(r.params.r)},
       {"b", std::to_string(r.params.b)},
       {"g", std::to_string(r.params.field_bits)},
+      {"threads", std::to_string(r.threads)},
       {"file_bytes", std::to_string(r.file_bytes)},
       {"blocks", std::to_string(r.file_blocks)},
       {"ok", r.ok ? "1" : "0"},
       {"cpu_rerand_s", Recorder::Num(r.cpu_rerand_s)},
       {"cpu_recover_s", Recorder::Num(r.cpu_recover_s)},
+      {"wall_rerand_s", Recorder::Num(r.wall_rerand_s)},
+      {"wall_recover_s", Recorder::Num(r.wall_recover_s)},
       {"bytes_rerand", std::to_string(r.bytes_rerand)},
       {"bytes_recover", std::to_string(r.bytes_recover)},
       {"compute_rerand_s", Recorder::Num(r.compute_rerand_s)},

@@ -23,6 +23,10 @@ struct ExperimentConfig {
   std::string schedule = "round-robin";
   net::NetworkModel net_model;
   bool run_recovery = true;  // false: measure rerandomization only
+  // Worker threads for the global task pool (and the paper's per-host b).
+  // 0 keeps the current pool and params.b untouched. Thread count never
+  // changes any computed value -- only wall time (see docs/parallelism.md).
+  std::size_t threads = 0;
 };
 
 struct ExperimentResult {
@@ -31,9 +35,15 @@ struct ExperimentResult {
   std::size_t file_blocks = 0;
   bool ok = false;
 
+  std::size_t threads = 1;  // task-pool size the window ran with
+
   // Measured on the build machine (totals across all hosts).
   double cpu_rerand_s = 0;
   double cpu_recover_s = 0;
+  // Wall-clock inside the same compute sections: shrinks with --threads
+  // while the cpu_* totals stay constant, so wall/cpu exposes the speedup.
+  double wall_rerand_s = 0;
+  double wall_recover_s = 0;
   std::uint64_t bytes_rerand = 0;
   std::uint64_t bytes_recover = 0;
   std::uint64_t msgs_rerand = 0;

@@ -1,5 +1,7 @@
 #include "pisces/file_codec.h"
 
+#include "common/task_pool.h"
+
 namespace pisces {
 
 Bytes FileMeta::Serialize() const {
@@ -38,7 +40,8 @@ std::uint64_t FileCodec::PaddingFor(std::uint64_t size) const {
 }
 
 std::pair<FileMeta, std::vector<field::FpElem>> FileCodec::Encode(
-    std::uint64_t file_id, std::span<const std::uint8_t> data) const {
+    std::uint64_t file_id, std::span<const std::uint8_t> data,
+    std::uint64_t* extra_cpu_ns) const {
   const std::size_t payload = ctx_->payload_bytes();
   FileMeta meta;
   meta.file_id = file_id;
@@ -51,31 +54,40 @@ std::pair<FileMeta, std::vector<field::FpElem>> FileCodec::Encode(
   StoreLe64(data.size(), framed.data());
   std::copy(data.begin(), data.end(), framed.begin() + 8);
 
-  std::vector<field::FpElem> elems;
-  elems.reserve(meta.num_blocks * l_);
-  for (std::size_t off = 0; off < framed.size(); off += payload) {
-    elems.push_back(
-        ctx_->FromBytes(std::span<const std::uint8_t>(framed).subspan(off, payload)));
-  }
+  // One Montgomery conversion per element, each writing its own slot.
+  std::vector<field::FpElem> elems(meta.num_blocks * l_, ctx_->Zero());
+  GlobalPool().ParallelFor(
+      0, elems.size(),
+      [&](std::size_t i) {
+        elems[i] = ctx_->FromBytes(
+            std::span<const std::uint8_t>(framed).subspan(i * payload, payload));
+      },
+      extra_cpu_ns);
   return {meta, std::move(elems)};
 }
 
 Bytes FileCodec::Decode(const FileMeta& meta,
-                        std::span<const field::FpElem> elems) const {
+                        std::span<const field::FpElem> elems,
+                        std::uint64_t* extra_cpu_ns) const {
   const std::size_t payload = ctx_->payload_bytes();
   if (elems.size() < meta.num_elems) {
     throw ParseError("FileCodec::Decode: missing elements");
   }
-  Bytes framed;
-  framed.reserve(elems.size() * payload);
-  for (const auto& e : elems) {
-    Bytes full = ctx_->ToBytes(e);  // elem_bytes(), little-endian
-    // High bytes beyond the payload must be zero for well-formed elements.
-    for (std::size_t i = payload; i < full.size(); ++i) {
-      if (full[i] != 0) throw ParseError("FileCodec::Decode: element overflow");
-    }
-    framed.insert(framed.end(), full.begin(), full.begin() + payload);
-  }
+  Bytes framed(elems.size() * payload, 0);
+  GlobalPool().ParallelFor(
+      0, elems.size(),
+      [&](std::size_t i) {
+        Bytes full = ctx_->ToBytes(elems[i]);  // elem_bytes(), little-endian
+        // High bytes beyond the payload must be zero for well-formed elements.
+        for (std::size_t j = payload; j < full.size(); ++j) {
+          if (full[j] != 0) {
+            throw ParseError("FileCodec::Decode: element overflow");
+          }
+        }
+        std::copy(full.begin(), full.begin() + payload,
+                  framed.begin() + i * payload);
+      },
+      extra_cpu_ns);
   if (framed.size() < 8) throw ParseError("FileCodec::Decode: truncated");
   std::uint64_t len = LoadLe64(framed.data());
   if (len != meta.raw_size || framed.size() < 8 + len) {

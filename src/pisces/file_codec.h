@@ -44,13 +44,16 @@ class FileCodec {
   std::uint64_t PaddingFor(std::uint64_t size) const;
 
   // Encodes a file into blocks of exactly l elements each (zero padded).
+  // The per-element Montgomery conversions fan out over the global task pool;
+  // extra_cpu_ns accumulates pool-worker CPU (see common/task_pool.h).
   std::pair<FileMeta, std::vector<field::FpElem>> Encode(
-      std::uint64_t file_id, std::span<const std::uint8_t> data) const;
+      std::uint64_t file_id, std::span<const std::uint8_t> data,
+      std::uint64_t* extra_cpu_ns = nullptr) const;
 
   // Inverse of Encode; validates the length header and checksum. Throws
   // ParseError on corrupted input.
-  Bytes Decode(const FileMeta& meta,
-               std::span<const field::FpElem> elems) const;
+  Bytes Decode(const FileMeta& meta, std::span<const field::FpElem> elems,
+               std::uint64_t* extra_cpu_ns = nullptr) const;
 
  private:
   const field::FpCtx* ctx_;

@@ -193,17 +193,17 @@ void Host::OnHostCert(const Message& msg) {
 // ---------------------------------------------------------------------------
 
 void Host::OnSetShares(const Message& msg) {
-  CpuTimer cpu;
-  cpu.Start();
-  Bytes pt = OpenFrom(msg.from, msg.payload);
-  ByteReader r(pt);
-  FileMeta meta = FileMeta::Deserialize(r.Blob());
-  std::vector<FpElem> shares =
-      field::DeserializeElems(*cfg_.ctx, r.Raw(r.Remaining()));
-  Require(shares.size() == meta.num_blocks, "SetShares: wrong share count");
-  store_.Put(meta, std::move(shares));
-  cpu.Stop();
-  metrics_.serve.cpu_ns += cpu.nanos();
+  FileMeta meta;
+  {
+    ComputeSection section(metrics_.serve);
+    Bytes pt = OpenFrom(msg.from, msg.payload);
+    ByteReader r(pt);
+    meta = FileMeta::Deserialize(r.Blob());
+    std::vector<FpElem> shares =
+        field::DeserializeElems(*cfg_.ctx, r.Raw(r.Remaining()));
+    Require(shares.size() == meta.num_blocks, "SetShares: wrong share count");
+    store_.Put(meta, std::move(shares));
+  }
 
   Message ack;
   ack.from = cfg_.id;
@@ -228,17 +228,17 @@ void Host::OnReconstructRequest(const Message& msg) {
     SendMetered(std::move(nak), metrics_.serve);
     return;
   }
-  CpuTimer cpu;
-  cpu.Start();
-  const FileMeta& meta = store_.MetaOf(msg.file_id);
-  std::vector<FpElem>& shares = store_.Load(msg.file_id);
-  ByteWriter w;
-  w.Blob(meta.Serialize());
-  w.Raw(field::SerializeElems(*cfg_.ctx, shares));
-  Bytes sealed = SealFor(msg.from, w.bytes());
-  store_.Stash(msg.file_id);
-  cpu.Stop();
-  metrics_.serve.cpu_ns += cpu.nanos();
+  Bytes sealed;
+  {
+    ComputeSection section(metrics_.serve);
+    const FileMeta& meta = store_.MetaOf(msg.file_id);
+    std::vector<FpElem>& shares = store_.Load(msg.file_id);
+    ByteWriter w;
+    w.Blob(meta.Serialize());
+    w.Raw(field::SerializeElems(*cfg_.ctx, shares));
+    sealed = SealFor(msg.from, w.bytes());
+    store_.Stash(msg.file_id);
+  }
 
   Message resp;
   resp.from = cfg_.id;
@@ -299,20 +299,20 @@ void Host::OnStartRefresh(const Message& msg) {
   const FileMeta& meta = store_.MetaOf(msg.file_id);
 
   RefreshSession s;
-  CpuTimer cpu;
-  cpu.Start();
-  s.plan = pss::RefreshPlan::For(meta.num_blocks, cfg_.params,
-                                 participants.size());
-  s.batch.emplace(pss::MakeRefreshBatch(*shamir_, meta.num_blocks,
-                                        participants));
-  s.deals_by_dealer.resize(participants.size());
-  s.deal_seen.assign(participants.size(), false);
-  if (participants.size() < cfg_.params.n) {
-    metrics_.faults.deals_excluded += cfg_.params.n - participants.size();
+  std::vector<std::vector<FpElem>> deal;
+  {
+    ComputeSection section(metrics_.rerandomize);
+    s.plan = pss::RefreshPlan::For(meta.num_blocks, cfg_.params,
+                                   participants.size());
+    s.batch.emplace(pss::MakeRefreshBatch(*shamir_, meta.num_blocks,
+                                          participants));
+    s.deals_by_dealer.resize(participants.size());
+    s.deal_seen.assign(participants.size(), false);
+    if (participants.size() < cfg_.params.n) {
+      metrics_.faults.deals_excluded += cfg_.params.n - participants.size();
+    }
+    deal = s.batch->Deal(rng_, section.extra());
   }
-  auto deal = s.batch->Deal(rng_);
-  cpu.Stop();
-  metrics_.rerandomize.cpu_ns += cpu.nanos();
 
   auto [it, inserted] = refresh_.emplace(key, std::move(s));
   RefreshSession& session = it->second;
@@ -383,9 +383,11 @@ void Host::OnDealPlain(const Message& msg) {
 }
 
 void Host::RefreshTransformAndCheck(RefreshKey key, RefreshSession& s) {
-  std::uint64_t cpu = 0;
-  s.outputs = s.batch->Transform(s.deals_by_dealer, cfg_.params.b, &cpu);
-  metrics_.rerandomize.cpu_ns += cpu;
+  {
+    ComputeSection section(metrics_.rerandomize);
+    s.outputs =
+        s.batch->Transform(s.deals_by_dealer, cfg_.params.b, section.extra());
+  }
   // deals_by_dealer is deliberately kept: if verification fails, the raw
   // columns are archived so the hypervisor can attribute the corrupt dealer.
 
@@ -473,11 +475,11 @@ bool VerifyRow(const pss::VssBatch& batch,
 
 void Host::MaybeVerifyRefreshRow(RefreshKey key, RefreshSession& s,
                                  std::uint32_t row) {
-  CpuTimer cpu;
-  cpu.Start();
-  bool ok = VerifyRow(*s.batch, s.check_vals[row], *cfg_.ctx);
-  cpu.Stop();
-  metrics_.rerandomize.cpu_ns += cpu.nanos();
+  bool ok;
+  {
+    ComputeSection section(metrics_.rerandomize);
+    ok = VerifyRow(*s.batch, s.check_vals[row], *cfg_.ctx);
+  }
   s.check_vals.erase(row);
   if (!ok) verdicts_rejected_ += 1;
 
@@ -541,8 +543,7 @@ void Host::MaybeApplyRefresh(RefreshKey key, RefreshSession& s) {
     failed_refresh_[key] = std::move(fr);
   }
   if (ok) {
-    CpuTimer cpu;
-    cpu.Start();
+    ComputeSection section(metrics_.rerandomize);
     std::vector<FpElem>& shares = store_.Load(key.first);
     const std::size_t base = s.batch->check_rows();
     for (std::size_t g = 0; g < s.batch->groups(); ++g) {
@@ -555,8 +556,6 @@ void Host::MaybeApplyRefresh(RefreshKey key, RefreshSession& s) {
     // Stash persists the new shares and destroys the old serialized copy:
     // the proactive "delete old shares" step.
     store_.Stash(key.first);
-    cpu.Stop();
-    metrics_.rerandomize.cpu_ns += cpu.nanos();
   }
   ReportPhaseDone(key.first, key.second, 0, ok, metrics_.rerandomize);
   refresh_.erase(key);
@@ -619,16 +618,16 @@ void Host::OnStartRecovery(const Message& msg) {
     Require(survivor_.find(key) == survivor_.end(),
             "OnStartRecovery: duplicate session");
     SurvivorSession s;
-    CpuTimer cpu;
-    cpu.Start();
-    s.plan = plan;
-    s.target = target;
-    s.batch.emplace(pss::MakeRecoveryBatch(*shamir_, plan, target));
-    s.deals_by_dealer.resize(plan.survivors.size());
-    s.deal_seen.assign(plan.survivors.size(), false);
-    auto deal = s.batch->Deal(rng_);
-    cpu.Stop();
-    metrics_.recover.cpu_ns += cpu.nanos();
+    std::vector<std::vector<FpElem>> deal;
+    {
+      ComputeSection section(metrics_.recover);
+      s.plan = plan;
+      s.target = target;
+      s.batch.emplace(pss::MakeRecoveryBatch(*shamir_, plan, target));
+      s.deals_by_dealer.resize(plan.survivors.size());
+      s.deal_seen.assign(plan.survivors.size(), false);
+      deal = s.batch->Deal(rng_, section.extra());
+    }
 
     auto [it, inserted] = survivor_.emplace(key, std::move(s));
     SurvivorSession& session = it->second;
@@ -659,9 +658,11 @@ void Host::OnStartRecovery(const Message& msg) {
 }
 
 void Host::SurvivorTransformAndCheck(SurvivorKey key, SurvivorSession& s) {
-  std::uint64_t cpu = 0;
-  s.outputs = s.batch->Transform(s.deals_by_dealer, cfg_.params.b, &cpu);
-  metrics_.recover.cpu_ns += cpu;
+  {
+    ComputeSection section(metrics_.recover);
+    s.outputs =
+        s.batch->Transform(s.deals_by_dealer, cfg_.params.b, section.extra());
+  }
   s.deals_by_dealer.clear();
   s.deals_by_dealer.shrink_to_fit();
 
@@ -690,11 +691,11 @@ void Host::SurvivorTransformAndCheck(SurvivorKey key, SurvivorSession& s) {
 
 void Host::MaybeVerifySurvivorRow(SurvivorKey key, SurvivorSession& s,
                                   std::uint32_t row) {
-  CpuTimer cpu;
-  cpu.Start();
-  bool ok = VerifyRow(*s.batch, s.check_vals[row], *cfg_.ctx);
-  cpu.Stop();
-  metrics_.recover.cpu_ns += cpu.nanos();
+  bool ok;
+  {
+    ComputeSection section(metrics_.recover);
+    ok = VerifyRow(*s.batch, s.check_vals[row], *cfg_.ctx);
+  }
   s.check_vals.erase(row);
   if (!ok) verdicts_rejected_ += 1;
 
@@ -737,20 +738,20 @@ void Host::MaybeSendMaskedShares(SurvivorKey key, SurvivorSession& s) {
     return;
   }
 
-  CpuTimer cpu;
-  cpu.Start();
-  std::vector<FpElem>& shares = store_.Load(file_id);
-  const std::size_t base = s.batch->check_rows();
-  std::vector<FpElem> masked(s.plan.blocks, cfg_.ctx->Zero());
-  for (std::size_t blk = 0; blk < s.plan.blocks; ++blk) {
-    std::size_t g = blk / s.plan.usable;
-    std::size_t a_rel = blk % s.plan.usable;
-    masked[blk] = cfg_.ctx->Add(shares[blk], s.outputs[base + a_rel][g]);
+  Bytes sealed;
+  {
+    ComputeSection section(metrics_.recover);
+    std::vector<FpElem>& shares = store_.Load(file_id);
+    const std::size_t base = s.batch->check_rows();
+    std::vector<FpElem> masked(s.plan.blocks, cfg_.ctx->Zero());
+    for (std::size_t blk = 0; blk < s.plan.blocks; ++blk) {
+      std::size_t g = blk / s.plan.usable;
+      std::size_t a_rel = blk % s.plan.usable;
+      masked[blk] = cfg_.ctx->Add(shares[blk], s.outputs[base + a_rel][g]);
+    }
+    store_.Stash(file_id);
+    sealed = SealFor(target, field::SerializeElems(*cfg_.ctx, masked));
   }
-  store_.Stash(file_id);
-  Bytes sealed = SealFor(target, field::SerializeElems(*cfg_.ctx, masked));
-  cpu.Stop();
-  metrics_.recover.cpu_ns += cpu.nanos();
 
   Message m;
   m.from = cfg_.id;
@@ -771,11 +772,11 @@ void Host::OnMaskedSharePlain(const Message& msg) {
     return;
   }
   TargetSession& s = it->second;
-  CpuTimer cpu;
-  cpu.Start();
-  std::vector<FpElem> elems = field::DeserializeElems(*cfg_.ctx, msg.payload);
-  cpu.Stop();
-  metrics_.recover.cpu_ns += cpu.nanos();
+  std::vector<FpElem> elems;
+  {
+    ComputeSection section(metrics_.recover);
+    elems = field::DeserializeElems(*cfg_.ctx, msg.payload);
+  }
   Require(elems.size() == s.meta.num_blocks, "MaskedShare: wrong block count");
   const bool is_survivor =
       std::find(s.plan.survivors.begin(), s.plan.survivors.end(), msg.from) !=
@@ -790,8 +791,7 @@ void Host::OnMaskedSharePlain(const Message& msg) {
 
 void Host::MaybeFinishTarget(std::uint64_t file_id, std::uint32_t seq,
                              TargetSession& s) {
-  CpuTimer cpu;
-  cpu.Start();
+  ComputeSection section(metrics_.recover);
   const std::size_t d = cfg_.params.degree();
   // Senders arrive keyed by id; the map iterates in ascending order, matching
   // plan.survivors (also ascending).
@@ -820,8 +820,6 @@ void Host::MaybeFinishTarget(std::uint64_t file_id, std::uint32_t seq,
     shares[blk] = math::PointChecker::Apply(*cfg_.ctx, w, ys);
   }
   if (ok) store_.Put(s.meta, std::move(shares));
-  cpu.Stop();
-  metrics_.recover.cpu_ns += cpu.nanos();
   ReportPhaseDone(file_id, seq, 1, ok, metrics_.recover);
 }
 

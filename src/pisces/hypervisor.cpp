@@ -381,6 +381,8 @@ bool Hypervisor::RefreshAllFiles(WindowReport* report) {
     const HostMetrics after = TotalHostMetrics();
     report->rerandomize_total.cpu_ns +=
         after.rerandomize.cpu_ns - before.rerandomize.cpu_ns;
+    report->rerandomize_total.wall_ns +=
+        after.rerandomize.wall_ns - before.rerandomize.wall_ns;
     report->rerandomize_total.bytes_sent +=
         after.rerandomize.bytes_sent - before.rerandomize.bytes_sent;
     report->rerandomize_total.msgs_sent +=
@@ -584,6 +586,8 @@ bool Hypervisor::RebootAndRecover(std::span<const std::uint32_t> batch,
     const HostMetrics after = TotalHostMetrics();
     report->recover_total.cpu_ns +=
         after.recover.cpu_ns - before.recover.cpu_ns;
+    report->recover_total.wall_ns +=
+        after.recover.wall_ns - before.recover.wall_ns;
     report->recover_total.bytes_sent +=
         after.recover.bytes_sent - before.recover.bytes_sent;
     report->recover_total.msgs_sent +=

@@ -5,18 +5,50 @@
 
 #include <cstdint>
 
+#include "common/clock.h"
+
 namespace pisces {
 
 struct PhaseMetrics {
+  // Total CPU consumed by the phase's compute sections, across every thread
+  // (ambient CpuTimer + pool-worker extra). Invariant under thread count.
   std::uint64_t cpu_ns = 0;
+  // Wall-clock spent inside the same sections. This is what shrinks when the
+  // task pool fans work out (--threads); cpu_ns does not.
+  std::uint64_t wall_ns = 0;
   std::uint64_t bytes_sent = 0;
   std::uint64_t msgs_sent = 0;
 
   void Add(const PhaseMetrics& o) {
     cpu_ns += o.cpu_ns;
+    wall_ns += o.wall_ns;
     bytes_sent += o.bytes_sent;
     msgs_sent += o.msgs_sent;
   }
+};
+
+// RAII meter for one compute section: on destruction adds the calling
+// thread's CPU plus any pool-worker CPU (reported through extra()) to cpu_ns,
+// and the elapsed monotonic time to wall_ns. Pass extra() as the
+// extra_cpu_ns argument of task-pool-backed calls inside the section.
+class ComputeSection {
+ public:
+  explicit ComputeSection(PhaseMetrics& m)
+      : m_(m), cpu_start_(ThreadCpuNanos()), wall_start_(MonotonicNanos()) {}
+  ~ComputeSection() {
+    m_.cpu_ns += ThreadCpuNanos() - cpu_start_ + extra_;
+    m_.wall_ns += MonotonicNanos() - wall_start_;
+  }
+  ComputeSection(const ComputeSection&) = delete;
+  ComputeSection& operator=(const ComputeSection&) = delete;
+
+  std::uint64_t* extra() { return &extra_; }
+
+ private:
+  PhaseMetrics& m_;
+  std::uint64_t extra_ = 0;
+  std::uint64_t cpu_start_;
+  std::uint64_t wall_start_;
 };
 
 // Robustness counters: how often the fault-tolerance machinery had to act.

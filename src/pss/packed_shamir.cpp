@@ -1,6 +1,8 @@
 #include "pss/packed_shamir.h"
 
+#include "common/task_pool.h"
 #include "math/berlekamp_welch.h"
+#include "math/weight_cache.h"
 
 namespace pisces::pss {
 
@@ -22,6 +24,43 @@ std::vector<FpElem> PackedShamir::ShareBlock(std::span<const FpElem> secrets,
     shares.push_back(f.Eval(*ctx_, points_.alpha(i)));
   }
   return shares;
+}
+
+std::vector<std::vector<FpElem>> PackedShamir::ShareBlocks(
+    std::span<const std::vector<FpElem>> blocks, Rng& rng,
+    std::uint64_t* extra_cpu_ns) const {
+  const std::size_t d = params_.degree();
+  for (const auto& block : blocks) {
+    Require(block.size() == params_.l, "ShareBlocks: need exactly l secrets");
+  }
+  // Serial randomness draw in block order: consuming the rng exactly as the
+  // per-block ShareBlock loop would is what keeps multi-threaded runs
+  // bit-identical to serial ones.
+  std::vector<math::Poly> us;
+  us.reserve(blocks.size());
+  for (std::size_t b = 0; b < blocks.size(); ++b) {
+    us.push_back(math::Poly::Random(*ctx_, rng, d - params_.l));
+  }
+  auto eval_rows =
+      math::CachedVandermondeRows(*ctx_, points_.alphas(), d + 1);
+  std::vector<std::vector<FpElem>> out(
+      blocks.size(), std::vector<FpElem>(params_.n, ctx_->Zero()));
+  GlobalPool().ParallelFor(
+      0, blocks.size(),
+      [&](std::size_t b) {
+        math::Poly f = math::Poly::ConstrainedFrom(*ctx_, us[b], d,
+                                                   points_.betas(), blocks[b]);
+        const std::vector<FpElem>& c = f.coeffs();
+        for (std::size_t i = 0; i < params_.n; ++i) {
+          FpElem acc = ctx_->Zero();
+          for (std::size_t j = 0; j < c.size(); ++j) {
+            acc = ctx_->Add(acc, ctx_->Mul(eval_rows->At(i, j), c[j]));
+          }
+          out[b][i] = acc;
+        }
+      },
+      extra_cpu_ns);
+  return out;
 }
 
 std::vector<FpElem> PackedShamir::ReconstructBlock(
@@ -68,18 +107,38 @@ std::optional<std::vector<FpElem>> PackedShamir::RobustReconstructBlock(
   return secrets;
 }
 
-std::vector<std::vector<FpElem>> PackedShamir::ReconstructionWeights(
+std::shared_ptr<const std::vector<std::vector<FpElem>>>
+PackedShamir::ReconstructionWeights(
     std::span<const std::uint32_t> parties) const {
   Require(parties.size() >= params_.degree() + 1,
           "ReconstructionWeights: not enough parties");
   std::vector<FpElem> xs = points_.AlphasOf(parties);
   std::span<const FpElem> xs_used(xs.data(), params_.degree() + 1);
-  std::vector<std::vector<FpElem>> weights;
-  weights.reserve(params_.l);
-  for (std::size_t j = 0; j < params_.l; ++j) {
-    weights.push_back(math::LagrangeCoeffs(*ctx_, xs_used, points_.beta(j)));
+  return math::CachedLagrangeWeights(*ctx_, xs_used, points_.betas());
+}
+
+std::vector<std::vector<FpElem>> PackedShamir::ReconstructBlocks(
+    std::span<const std::uint32_t> parties,
+    std::span<const std::vector<FpElem>> shares_by_block,
+    std::uint64_t* extra_cpu_ns) const {
+  auto weights = ReconstructionWeights(parties);
+  const std::size_t m = params_.degree() + 1;
+  for (const auto& shares : shares_by_block) {
+    Require(shares.size() == parties.size(),
+            "ReconstructBlocks: size mismatch");
   }
-  return weights;
+  std::vector<std::vector<FpElem>> out(
+      shares_by_block.size(), std::vector<FpElem>(params_.l, ctx_->Zero()));
+  GlobalPool().ParallelFor(
+      0, shares_by_block.size(),
+      [&](std::size_t b) {
+        std::span<const FpElem> ys(shares_by_block[b].data(), m);
+        for (std::size_t j = 0; j < params_.l; ++j) {
+          out[b][j] = math::PointChecker::Apply(*ctx_, (*weights)[j], ys);
+        }
+      },
+      extra_cpu_ns);
+  return out;
 }
 
 }  // namespace pisces::pss

@@ -26,14 +26,34 @@ class PackedShamir {
   const EvalPoints& points() const { return points_; }
 
   // Shares one block; secrets.size() must be exactly l. Returns n shares,
-  // indexed by party.
+  // indexed by party. Equivalent to ShareBlocks on a single block (same RNG
+  // consumption), kept for the scalar call sites.
   std::vector<FpElem> ShareBlock(std::span<const FpElem> secrets,
                                  Rng& rng) const;
+
+  // Shares many blocks at once: out[b][i] is party i's share of block b.
+  // Randomness is drawn serially in block order (so the result is
+  // bit-identical to calling ShareBlock per block with the same rng), then
+  // the constraint solve and share evaluation fan out over the global task
+  // pool. extra_cpu_ns accumulates pool-worker CPU (see common/task_pool.h).
+  std::vector<std::vector<FpElem>> ShareBlocks(
+      std::span<const std::vector<FpElem>> blocks, Rng& rng,
+      std::uint64_t* extra_cpu_ns = nullptr) const;
 
   // Reconstructs the l secrets of one block from shares held by `parties`
   // (at least d+1 of them; extras are used for a consistency check).
   std::vector<FpElem> ReconstructBlock(std::span<const std::uint32_t> parties,
                                        std::span<const FpElem> shares) const;
+
+  // Reconstructs many blocks against one responder set: out[b] is the secret
+  // block recovered from shares_by_block[b] (aligned with `parties`). The
+  // Lagrange weights are computed once (memoized across calls, see
+  // ReconstructionWeights) and the per-block weighted sums fan out over the
+  // global task pool.
+  std::vector<std::vector<FpElem>> ReconstructBlocks(
+      std::span<const std::uint32_t> parties,
+      std::span<const std::vector<FpElem>> shares_by_block,
+      std::uint64_t* extra_cpu_ns = nullptr) const;
 
   // True iff the given (party, share) points lie on a degree <= d polynomial.
   bool ConsistentShares(std::span<const std::uint32_t> parties,
@@ -47,12 +67,12 @@ class PackedShamir {
       std::span<const std::uint32_t> parties,
       std::span<const FpElem> shares) const;
 
-  // Precomputed reconstruction weights: recon[j][i] is the weight of
-  // parties[i]'s share in secret j. Reconstructing many blocks against the
-  // same responder set amortizes the O(d^2) Lagrange work (the client's
-  // download path).
-  std::vector<std::vector<FpElem>> ReconstructionWeights(
-      std::span<const std::uint32_t> parties) const;
+  // Precomputed reconstruction weights: (*recon)[j][i] is the weight of
+  // parties[i]'s share in secret j. Memoized process-wide per responder set
+  // (math/weight_cache.h), so reconstructing many blocks -- or many files --
+  // against the same responders pays the O(d^2) Lagrange work once.
+  std::shared_ptr<const std::vector<std::vector<FpElem>>>
+  ReconstructionWeights(std::span<const std::uint32_t> parties) const;
 
  private:
   std::shared_ptr<const FpCtx> ctx_;

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "common/task_pool.h"
+#include "math/weight_cache.h"
+
 namespace pisces::pss {
 
 RecoveryPlan RecoveryPlan::For(std::size_t blocks, const Params& p,
@@ -56,38 +59,49 @@ void ReferenceRecover(const PackedShamir& shamir,
   for (std::uint32_t target : rebooting) {
     VssBatch batch = MakeRecoveryBatch(shamir, plan, target);
 
-    // Survivors deal masks and transform.
-    std::vector<std::vector<std::vector<FpElem>>> deals;
-    deals.reserve(ns);
-    for (std::size_t i = 0; i < ns; ++i) deals.push_back(batch.Deal(rng));
+    // Survivors deal masks and transform: randomness first (serial, RNG
+    // order fixed), then per-dealer and per-holder fan-out on the task pool.
+    std::vector<std::vector<math::Poly>> us_by_dealer;
+    us_by_dealer.reserve(ns);
+    for (std::size_t i = 0; i < ns; ++i) {
+      us_by_dealer.push_back(batch.DrawDealRandomness(rng));
+    }
+    std::vector<std::vector<std::vector<FpElem>>> deals(ns);
+    GlobalPool().ParallelFor(0, ns, [&](std::size_t i) {
+      deals[i] = batch.DealFrom(us_by_dealer[i]);
+    });
     std::vector<std::vector<std::vector<FpElem>>> outputs(ns);
-    for (std::size_t k = 0; k < ns; ++k) {
+    GlobalPool().ParallelFor(0, ns, [&](std::size_t k) {
       std::vector<std::vector<FpElem>> col(ns);
       for (std::size_t i = 0; i < ns; ++i) col[i] = deals[i][k];
       outputs[k] = batch.Transform(col, p.b);
-    }
+    });
 
-    // Verify check rows.
-    for (std::size_t a = 0; a < batch.check_rows(); ++a) {
+    // Verify check rows (independent; failures rethrow on this thread).
+    GlobalPool().ParallelFor(0, batch.check_rows(), [&](std::size_t a) {
       for (std::size_t g = 0; g < batch.groups(); ++g) {
         std::vector<FpElem> values(ns, ctx.Zero());
         for (std::size_t k = 0; k < ns; ++k) values[k] = outputs[k][a][g];
         Invariant(batch.VerifyCheckVector(values),
                   "ReferenceRecover: check row failed");
       }
-    }
+    });
 
     // Survivors send masked shares; target interpolates at alpha_target.
     std::vector<FpElem> xs;
     xs.reserve(ns);
     for (std::uint32_t s : plan.survivors) xs.push_back(shamir.points().alpha(s));
     const std::size_t m = p.degree() + 1;
-    std::vector<FpElem> w = math::LagrangeCoeffs(
-        ctx, std::span<const FpElem>(xs.data(), m), shamir.points().alpha(target));
+    const FpElem target_alpha = shamir.points().alpha(target);
+    auto w_cached = math::CachedLagrangeWeights(
+        ctx, std::span<const FpElem>(xs.data(), m),
+        std::span<const FpElem>(&target_alpha, 1));
+    const std::vector<FpElem>& w = (*w_cached)[0];
 
     std::vector<FpElem>& target_shares = shares_by_party[target];
     target_shares.assign(blocks, ctx.Zero());
-    for (std::size_t blk = 0; blk < blocks; ++blk) {
+    // Each block interpolates independently and writes only its own slot.
+    GlobalPool().ParallelFor(0, blocks, [&](std::size_t blk) {
       std::size_t g = blk / plan.usable;
       std::size_t a = batch.check_rows() + (blk % plan.usable);
       // masked[k] = f_blk(alpha_k) + q_blk(alpha_k)
@@ -99,7 +113,7 @@ void ReferenceRecover(const PackedShamir& shamir,
       }
       // q_blk(alpha_target) == 0, so acc == f_blk(alpha_target).
       target_shares[blk] = acc;
-    }
+    });
   }
 }
 

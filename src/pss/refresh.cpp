@@ -1,5 +1,7 @@
 #include "pss/refresh.h"
 
+#include "common/task_pool.h"
+
 namespace pisces::pss {
 
 RefreshPlan RefreshPlan::For(std::size_t blocks, const Params& p) {
@@ -51,41 +53,53 @@ void ReferenceRefresh(const PackedShamir& shamir,
   VssBatch batch = MakeRefreshBatch(shamir, blocks);
 
   // Phase 1: every party deals. deals[i][k][g] = dealer i's value for holder k.
-  std::vector<std::vector<std::vector<FpElem>>> deals;
-  deals.reserve(p.n);
-  for (std::size_t i = 0; i < p.n; ++i) deals.push_back(batch.Deal(rng));
+  // Randomness for ALL dealers is drawn serially first (RNG order is part of
+  // the determinism contract); the pure-compute dealing evaluation then fans
+  // out per dealer over the task pool.
+  std::vector<std::vector<math::Poly>> us_by_dealer;
+  us_by_dealer.reserve(p.n);
+  for (std::size_t i = 0; i < p.n; ++i) {
+    us_by_dealer.push_back(batch.DrawDealRandomness(rng));
+  }
+  std::vector<std::vector<std::vector<FpElem>>> deals(p.n);
+  GlobalPool().ParallelFor(0, p.n, [&](std::size_t i) {
+    deals[i] = batch.DealFrom(us_by_dealer[i]);
+  });
 
-  // Phase 2: every holder transforms its received column.
+  // Phase 2: every holder transforms its received column (per-holder fan-out;
+  // the per-call `workers` cap models the paper's b inside each host).
   // outputs[k][a][g] = holder k's share of output row a, group g.
   std::vector<std::vector<std::vector<FpElem>>> outputs(p.n);
-  for (std::size_t k = 0; k < p.n; ++k) {
+  GlobalPool().ParallelFor(0, p.n, [&](std::size_t k) {
     std::vector<std::vector<FpElem>> col(p.n);
     for (std::size_t i = 0; i < p.n; ++i) col[i] = deals[i][k];
     outputs[k] = batch.Transform(col, p.b);
-  }
+  });
 
-  // Phase 3: verify the first 2t rows across all holders.
-  for (std::size_t a = 0; a < batch.check_rows(); ++a) {
+  // Phase 3: verify the first 2t rows across all holders (independent rows;
+  // a failure throws and the pool rethrows it here).
+  GlobalPool().ParallelFor(0, batch.check_rows(), [&](std::size_t a) {
     for (std::size_t g = 0; g < batch.groups(); ++g) {
       std::vector<FpElem> values(p.n, ctx.Zero());
       for (std::size_t k = 0; k < p.n; ++k) values[k] = outputs[k][a][g];
       Invariant(batch.VerifyCheckVector(values),
                 "ReferenceRefresh: check row failed");
     }
-  }
+  });
 
-  // Phase 4: apply usable rows to blocks and discard old shares.
-  for (std::size_t g = 0; g < batch.groups(); ++g) {
-    for (std::size_t a_rel = 0; a_rel < batch.usable_rows(); ++a_rel) {
-      auto blk = plan.BlockFor(a_rel, g);
-      if (!blk) continue;
-      std::size_t a = batch.check_rows() + a_rel;
-      for (std::size_t k = 0; k < p.n; ++k) {
+  // Phase 4: apply usable rows to blocks and discard old shares. Party k's
+  // share vector is owned by iteration k.
+  GlobalPool().ParallelFor(0, p.n, [&](std::size_t k) {
+    for (std::size_t g = 0; g < batch.groups(); ++g) {
+      for (std::size_t a_rel = 0; a_rel < batch.usable_rows(); ++a_rel) {
+        auto blk = plan.BlockFor(a_rel, g);
+        if (!blk) continue;
+        std::size_t a = batch.check_rows() + a_rel;
         shares_by_party[k][*blk] =
             ctx.Add(shares_by_party[k][*blk], outputs[k][a][g]);
       }
     }
-  }
+  });
 }
 
 }  // namespace pisces::pss

@@ -41,7 +41,7 @@ std::vector<std::vector<FpElem>> ReferenceReshare(
     for (std::size_t i = 0; i <= d_old; ++i) {
       FpElem acc = ctx.Zero();
       for (std::size_t j = 0; j < l; ++j) {
-        acc = ctx.Add(acc, ctx.Mul(lb[rho][j], w[j][i]));
+        acc = ctx.Add(acc, ctx.Mul(lb[rho][j], (*w)[j][i]));
       }
       c[rho][i] = acc;
     }

@@ -1,10 +1,9 @@
 #include "pss/vss.h"
 
 #include <algorithm>
-#include <atomic>
-#include <thread>
 
-#include "common/clock.h"
+#include "common/task_pool.h"
+#include "math/weight_cache.h"
 
 namespace pisces::pss {
 
@@ -32,19 +31,19 @@ VssBatch::VssBatch(const FpCtx& ctx, const EvalPoints& points,
   for (std::uint32_t h : holders_) holder_alphas_.push_back(points.alpha(h));
   m_ = math::CachedHyperInvertible(*ctx_, holders_.size(), holders_.size());
   vanishing_poly_ = math::Poly::Vanishing(*ctx_, vanish_);
+  eval_rows_ = math::CachedVandermondeRows(*ctx_, holder_alphas_, degree_ + 1);
   Require(holders_.size() >= degree_ + 1,
           "VssBatch: verification needs degree+1 holders");
   // One weight vector per extra holder point (degree check) and per vanish
-  // point (zero check), sharing one batch inversion.
+  // point (zero check), sharing one batch inversion. Every refresh window
+  // rebuilds a batch with the same point sets, so the weights are memoized.
   std::vector<FpElem> eval_points(holder_alphas_.begin() + degree_ + 1,
                                   holder_alphas_.end());
-  const std::size_t n_extra = eval_points.size();
+  n_extra_ = eval_points.size();
   eval_points.insert(eval_points.end(), vanish_.begin(), vanish_.end());
-  auto weights = math::LagrangeCoeffsMulti(
+  check_weights_ = math::CachedLagrangeWeights(
       *ctx_, std::span<const FpElem>(holder_alphas_.data(), degree_ + 1),
       eval_points);
-  extra_weights_.assign(weights.begin(), weights.begin() + n_extra);
-  vanish_weights_.assign(weights.begin() + n_extra, weights.end());
 }
 
 std::size_t VssBatch::IndexOf(std::uint32_t party) const {
@@ -53,25 +52,50 @@ std::size_t VssBatch::IndexOf(std::uint32_t party) const {
                               : static_cast<std::size_t>(it - holders_.begin());
 }
 
-std::vector<std::vector<FpElem>> VssBatch::Deal(Rng& rng) const {
+std::vector<math::Poly> VssBatch::DrawDealRandomness(Rng& rng) const {
+  std::vector<math::Poly> us;
+  us.reserve(groups_);
+  for (std::size_t g = 0; g < groups_; ++g) {
+    us.push_back(math::Poly::Random(*ctx_, rng, degree_ - vanish_.size()));
+  }
+  return us;
+}
+
+std::vector<std::vector<FpElem>> VssBatch::DealFrom(
+    std::span<const math::Poly> us, std::uint64_t* extra_cpu_ns) const {
+  Require(us.size() == groups_, "DealFrom: wrong group count");
   const std::size_t nh = holders_.size();
   std::vector<std::vector<FpElem>> out(
       nh, std::vector<FpElem>(groups_, ctx_->Zero()));
-  for (std::size_t g = 0; g < groups_; ++g) {
-    // Random degree-<=d polynomial vanishing on V: z = W * u with W the
-    // precomputed vanishing polynomial and u uniform of degree d - |V|.
-    math::Poly u = math::Poly::Random(*ctx_, rng, degree_ - vanish_.size());
-    math::Poly z = math::Poly::Mul(*ctx_, vanishing_poly_, u);
-    for (std::size_t k = 0; k < nh; ++k) {
-      out[k][g] = z.Eval(*ctx_, holder_alphas_[k]);
-    }
-  }
+  // Each group is independent pure compute: z_g = W * u_g evaluated at every
+  // holder point via the cached Vandermonde rows. out[k][g] slots are owned
+  // by (k, g), so the per-group fan-out is deterministic for any pool size.
+  GlobalPool().ParallelFor(
+      0, groups_,
+      [&](std::size_t g) {
+        math::Poly z = math::Poly::Mul(*ctx_, vanishing_poly_, us[g]);
+        const std::vector<FpElem>& c = z.coeffs();
+        Invariant(c.size() <= degree_ + 1, "DealFrom: dealing degree too high");
+        for (std::size_t k = 0; k < nh; ++k) {
+          FpElem acc = ctx_->Zero();
+          for (std::size_t j = 0; j < c.size(); ++j) {
+            acc = ctx_->Add(acc, ctx_->Mul(eval_rows_->At(k, j), c[j]));
+          }
+          out[k][g] = acc;
+        }
+      },
+      extra_cpu_ns);
   return out;
+}
+
+std::vector<std::vector<FpElem>> VssBatch::Deal(
+    Rng& rng, std::uint64_t* extra_cpu_ns) const {
+  return DealFrom(DrawDealRandomness(rng), extra_cpu_ns);
 }
 
 std::vector<std::vector<FpElem>> VssBatch::Transform(
     const std::vector<std::vector<FpElem>>& deals_by_dealer,
-    std::size_t workers, std::uint64_t* cpu_ns) const {
+    std::size_t workers, std::uint64_t* extra_cpu_ns) const {
   const std::size_t nh = holders_.size();
   Require(deals_by_dealer.size() == nh, "Transform: wrong dealer count");
   for (const auto& row : deals_by_dealer) {
@@ -80,55 +104,37 @@ std::vector<std::vector<FpElem>> VssBatch::Transform(
   std::vector<std::vector<FpElem>> out(
       nh, std::vector<FpElem>(groups_, ctx_->Zero()));
 
-  std::atomic<std::uint64_t> cpu_total{0};
-  auto compute_rows = [&](std::size_t a_begin, std::size_t a_end) {
-    const std::uint64_t cpu_start = ThreadCpuNanos();
-    for (std::size_t a = a_begin; a < a_end; ++a) {
-      for (std::size_t i = 0; i < nh; ++i) {
-        const FpElem& m_ai = m_->At(a, i);
-        for (std::size_t g = 0; g < groups_; ++g) {
-          out[a][g] =
-              ctx_->Add(out[a][g], ctx_->Mul(m_ai, deals_by_dealer[i][g]));
+  // Static partition over output rows: each row a is owned by exactly one
+  // chunk, so results are deterministic regardless of scheduling.
+  GlobalPool().ParallelChunks(
+      0, nh,
+      [&](std::size_t a_begin, std::size_t a_end) {
+        for (std::size_t a = a_begin; a < a_end; ++a) {
+          for (std::size_t i = 0; i < nh; ++i) {
+            const FpElem& m_ai = m_->At(a, i);
+            for (std::size_t g = 0; g < groups_; ++g) {
+              out[a][g] =
+                  ctx_->Add(out[a][g], ctx_->Mul(m_ai, deals_by_dealer[i][g]));
+            }
+          }
         }
-      }
-    }
-    cpu_total.fetch_add(ThreadCpuNanos() - cpu_start,
-                        std::memory_order_relaxed);
-  };
-
-  workers = std::max<std::size_t>(1, std::min(workers, nh));
-  if (workers == 1) {
-    compute_rows(0, nh);
-  } else {
-    // Static partition over output rows: deterministic results regardless of
-    // scheduling.
-    std::vector<std::thread> pool;
-    pool.reserve(workers);
-    const std::size_t chunk = (nh + workers - 1) / workers;
-    for (std::size_t w = 0; w < workers; ++w) {
-      std::size_t begin = w * chunk;
-      std::size_t end = std::min(nh, begin + chunk);
-      if (begin >= end) break;
-      pool.emplace_back(compute_rows, begin, end);
-    }
-    for (auto& th : pool) th.join();
-  }
-  if (cpu_ns != nullptr) *cpu_ns += cpu_total.load();
+      },
+      extra_cpu_ns, std::max<std::size_t>(1, workers));
   return out;
 }
 
 bool VssBatch::VerifyCheckVector(std::span<const FpElem> values) const {
   if (values.size() != holders_.size()) return false;
+  const auto& weights = *check_weights_;
   // Degree check: each point beyond the first degree+1 must match the
   // interpolant of those first points.
-  for (std::size_t e = 0; e < extra_weights_.size(); ++e) {
-    FpElem predicted =
-        math::PointChecker::Apply(*ctx_, extra_weights_[e], values);
+  for (std::size_t e = 0; e < n_extra_; ++e) {
+    FpElem predicted = math::PointChecker::Apply(*ctx_, weights[e], values);
     if (!ctx_->Eq(predicted, values[degree_ + 1 + e])) return false;
   }
   // Vanishing check: evaluate the interpolant on V (precomputed weights).
-  for (const auto& w : vanish_weights_) {
-    if (!ctx_->IsZero(math::PointChecker::Apply(*ctx_, w, values))) {
+  for (std::size_t v = n_extra_; v < weights.size(); ++v) {
+    if (!ctx_->IsZero(math::PointChecker::Apply(*ctx_, weights[v], values))) {
       return false;
     }
   }

@@ -54,19 +54,32 @@ class VssBatch {
   // --- dealer side ---
   // Samples G vanishing polynomials and evaluates them for every holder.
   // Result: deal[k][g] = z_g(alpha of holders()[k]). Row k is the payload of
-  // the Deal message to holder k.
-  std::vector<std::vector<FpElem>> Deal(Rng& rng) const;
+  // the Deal message to holder k. Randomness is drawn serially (RNG order is
+  // part of the determinism contract); the evaluations fan out across the
+  // global task pool. extra_cpu_ns accumulates pool-worker CPU time (the
+  // caller's ambient CpuTimer cannot see it).
+  std::vector<std::vector<FpElem>> Deal(
+      Rng& rng, std::uint64_t* extra_cpu_ns = nullptr) const;
+
+  // The two halves of Deal, separated so batch callers (refresh: one dealing
+  // per live party) can draw every dealer's randomness serially and then
+  // evaluate all dealings in parallel. us[g] is the uniform mask polynomial
+  // of group g; DealFrom is pure compute.
+  std::vector<math::Poly> DrawDealRandomness(Rng& rng) const;
+  std::vector<std::vector<FpElem>> DealFrom(
+      std::span<const math::Poly> us,
+      std::uint64_t* extra_cpu_ns = nullptr) const;
 
   // --- holder side ---
   // deals_by_dealer[i][g]: the evaluation received from dealer i (order of
   // holders()). Returns out[a][g] for output rows a < dealers().
-  // `workers` splits the output rows across threads (the paper's b). When
-  // cpu_ns is non-null it accumulates the CPU time consumed across all
-  // workers (thread-CPU clocks do not see child threads, so the caller
-  // cannot measure this itself).
+  // `workers` caps the output-row fan-out (the paper's b); the chunks run on
+  // the global task pool. When extra_cpu_ns is non-null it accumulates the
+  // CPU time consumed on pool worker threads -- the caller's own chunk is
+  // visible to the caller's thread-CPU clock and is not included.
   std::vector<std::vector<FpElem>> Transform(
       const std::vector<std::vector<FpElem>>& deals_by_dealer,
-      std::size_t workers = 1, std::uint64_t* cpu_ns = nullptr) const;
+      std::size_t workers = 1, std::uint64_t* extra_cpu_ns = nullptr) const;
 
   // --- verifier side ---
   // values[k]: holder k's evaluation of one check-row sharing (one group).
@@ -90,11 +103,16 @@ class VssBatch {
   std::size_t groups_;
   std::shared_ptr<const math::Matrix> m_;  // hyperinvertible, dealers^2
   math::Poly vanishing_poly_;  // prod over V of (x - v), reused per dealing
+  // Vandermonde rows over the holder alphas (degree+1 columns): dotting row k
+  // with a dealing's coefficients evaluates it at holder k. Cached across
+  // batches with the same holder set (every window rebuilds this batch).
+  std::shared_ptr<const math::Matrix> eval_rows_;
   // Verification weights over the first degree+1 holder points: one weight
   // vector per extra holder point (degree check) followed by one per
-  // vanishing point (zero check). All from a single batch inversion.
-  std::vector<std::vector<FpElem>> extra_weights_;
-  std::vector<std::vector<FpElem>> vanish_weights_;
+  // vanishing point (zero check). All from a single batch inversion, cached
+  // across batches keyed by the point sets (see math/weight_cache.h).
+  std::shared_ptr<const std::vector<std::vector<FpElem>>> check_weights_;
+  std::size_t n_extra_ = 0;  // first n_extra_ weight vectors are degree checks
 };
 
 // Groups needed so that usable_rows * groups >= wanted sharings.

@@ -3,6 +3,9 @@
 // the reason every figure in bench/ is exactly re-runnable.
 #include <gtest/gtest.h>
 
+#include <set>
+
+#include "common/task_pool.h"
 #include "pisces/pisces.h"
 
 namespace pisces {
@@ -102,6 +105,88 @@ TEST(Determinism, RefreshRandomnessDiffersAcrossEpochs) {
     if (!ctx.Eq(d1, d2)) delta_differs = true;
   }
   EXPECT_TRUE(delta_differs);
+}
+
+TEST(Determinism, PoolSizeNeverChangesSharesOrTranscripts) {
+  // The tentpole contract (docs/parallelism.md): any pool size produces
+  // bit-identical share stores, transcripts, and downloads. Run the same
+  // seeded window at 1, 2, and 8 threads and compare everything exact.
+  struct Observed {
+    std::vector<std::vector<field::FpElem>> stores;  // per host, post-window
+    bool ok = false;
+    std::uint64_t bytes_rerand = 0, bytes_recover = 0;
+    std::uint64_t msgs_rerand = 0, msgs_recover = 0;
+    Bytes download;
+
+    bool operator==(const Observed&) const = default;
+  };
+  auto run = [](std::size_t pool_threads) {
+    SetGlobalPoolThreads(pool_threads);
+    Cluster cluster(Config(42));
+    Rng rng(99);
+    Bytes file = rng.RandomBytes(1500);
+    cluster.Upload(1, file);
+    cluster.ResetMetrics();
+    Observed o;
+    o.ok = cluster.RunUpdateWindow().ok;
+    HostMetrics m = cluster.TotalMetrics();
+    o.bytes_rerand = m.rerandomize.bytes_sent;
+    o.bytes_recover = m.recover.bytes_sent;
+    o.msgs_rerand = m.rerandomize.msgs_sent;
+    o.msgs_recover = m.recover.msgs_sent;
+    for (std::size_t i = 0; i < 8; ++i) {
+      o.stores.push_back(cluster.host(i).store().Load(1));
+      cluster.host(i).store().Stash(1);
+    }
+    o.download = cluster.Download(1);
+    return o;
+  };
+  Observed one = run(1);
+  Observed two = run(2);
+  Observed eight = run(8);
+  SetGlobalPoolThreads(1);
+  EXPECT_TRUE(one.ok);
+  EXPECT_EQ(one, two);
+  EXPECT_EQ(one, eight);
+}
+
+TEST(Determinism, CsvRowsMatchAcrossPoolSizesOnNonTimingColumns) {
+  // The figure benches' CSV must be reproducible under --threads: every
+  // column except the physical timing measurements (and the thread count
+  // itself, which is recorded on purpose) is identical at any pool size.
+  const std::set<std::string> timing_cols{
+      "threads",        "b",
+      "cpu_rerand_s",   "cpu_recover_s",
+      "wall_rerand_s",  "wall_recover_s",
+      "compute_rerand_s", "compute_recover_s",
+      "refresh_time_s", "window_time_s",
+      "cost_dedicated_usd", "cost_spot_usd"};
+  auto row_for = [](std::size_t threads) {
+    ExperimentConfig cfg;
+    cfg.params.n = 8;
+    cfg.params.t = 1;
+    cfg.params.l = 2;
+    cfg.params.r = 2;
+    cfg.params.field_bits = 256;
+    cfg.file_bytes = 2048;
+    cfg.seed = 7;
+    cfg.threads = threads;
+    Recorder rec = MakeExperimentRecorder();
+    RecordExperiment(rec, "det", RunRefreshExperiment(cfg));
+    return std::pair{rec.columns(), rec.raw_rows().at(0)};
+  };
+  auto [cols1, row1] = row_for(1);
+  auto [cols2, row2] = row_for(2);
+  auto [cols8, row8] = row_for(8);
+  SetGlobalPoolThreads(1);
+  ASSERT_EQ(cols1, cols2);
+  ASSERT_EQ(cols1, cols8);
+  ASSERT_EQ(row1.size(), cols1.size());
+  for (std::size_t c = 0; c < cols1.size(); ++c) {
+    if (timing_cols.count(cols1[c]) > 0) continue;
+    EXPECT_EQ(row1[c], row2[c]) << "column " << cols1[c] << " at 2 threads";
+    EXPECT_EQ(row1[c], row8[c]) << "column " << cols1[c] << " at 8 threads";
+  }
 }
 
 }  // namespace

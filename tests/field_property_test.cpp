@@ -1,0 +1,175 @@
+// Randomized property tests for the prime-field layer.
+//
+// field_test.cpp pins down the basic axioms with a handful of draws; this
+// suite hammers the algebraic laws with many seeded random triples across all
+// four standard prime sizes, cross-checks Montgomery-form arithmetic against
+// plain integer arithmetic on small values (the round-trip through ToBytes /
+// FromBytes is exactly the from/to-Montgomery conversion), and covers the
+// BatchInv edge cases the interpolation hot path depends on: singleton spans,
+// spans of identical values, and interleaving with scalar Inv.
+//
+// Everything is seeded -- a failure reproduces exactly.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "field/fp.h"
+#include "field/primes.h"
+
+namespace pisces::field {
+namespace {
+
+class FieldPropertyTest : public ::testing::TestWithParam<std::size_t> {
+ protected:
+  FieldPropertyTest()
+      : ctx_(StandardPrimeBe(GetParam())), rng_(0x51EED ^ GetParam()) {}
+
+  // Larger fields make Inv (a full modular exponentiation) expensive; scale
+  // the iteration count down so the suite stays fast at g = 2048.
+  int Iters() const { return GetParam() <= 512 ? 40 : 8; }
+
+  FpCtx ctx_;
+  Rng rng_;
+};
+
+TEST_P(FieldPropertyTest, AdditionGroupLaws) {
+  for (int i = 0; i < Iters(); ++i) {
+    FpElem a = ctx_.Random(rng_);
+    FpElem b = ctx_.Random(rng_);
+    FpElem c = ctx_.Random(rng_);
+    EXPECT_TRUE(ctx_.Eq(ctx_.Add(a, b), ctx_.Add(b, a)));
+    EXPECT_TRUE(ctx_.Eq(ctx_.Add(ctx_.Add(a, b), c),
+                        ctx_.Add(a, ctx_.Add(b, c))));
+    EXPECT_TRUE(ctx_.Eq(ctx_.Add(a, ctx_.Zero()), a));
+    EXPECT_TRUE(ctx_.IsZero(ctx_.Add(a, ctx_.Neg(a))));
+    // Sub is Add of the negation.
+    EXPECT_TRUE(ctx_.Eq(ctx_.Sub(a, b), ctx_.Add(a, ctx_.Neg(b))));
+    // Double negation.
+    EXPECT_TRUE(ctx_.Eq(ctx_.Neg(ctx_.Neg(a)), a));
+  }
+}
+
+TEST_P(FieldPropertyTest, MultiplicationLawsAndDistributivity) {
+  for (int i = 0; i < Iters(); ++i) {
+    FpElem a = ctx_.Random(rng_);
+    FpElem b = ctx_.Random(rng_);
+    FpElem c = ctx_.Random(rng_);
+    EXPECT_TRUE(ctx_.Eq(ctx_.Mul(a, b), ctx_.Mul(b, a)));
+    EXPECT_TRUE(ctx_.Eq(ctx_.Mul(ctx_.Mul(a, b), c),
+                        ctx_.Mul(a, ctx_.Mul(b, c))));
+    EXPECT_TRUE(ctx_.Eq(ctx_.Mul(a, ctx_.One()), a));
+    EXPECT_TRUE(ctx_.IsZero(ctx_.Mul(a, ctx_.Zero())));
+    // Left and right distributivity.
+    EXPECT_TRUE(ctx_.Eq(ctx_.Mul(a, ctx_.Add(b, c)),
+                        ctx_.Add(ctx_.Mul(a, b), ctx_.Mul(a, c))));
+    EXPECT_TRUE(ctx_.Eq(ctx_.Mul(ctx_.Add(a, b), c),
+                        ctx_.Add(ctx_.Mul(a, c), ctx_.Mul(b, c))));
+    // Negation commutes with multiplication.
+    EXPECT_TRUE(ctx_.Eq(ctx_.Mul(ctx_.Neg(a), b), ctx_.Neg(ctx_.Mul(a, b))));
+    // Sqr is Mul with itself.
+    EXPECT_TRUE(ctx_.Eq(ctx_.Sqr(a), ctx_.Mul(a, a)));
+  }
+}
+
+TEST_P(FieldPropertyTest, FermatInverse) {
+  for (int i = 0; i < Iters() / 4 + 1; ++i) {
+    FpElem a = ctx_.RandomNonZero(rng_);
+    FpElem inv = ctx_.Inv(a);
+    // a * a^{-1} == 1 and the inverse of the inverse is a.
+    EXPECT_TRUE(ctx_.Eq(ctx_.Mul(a, inv), ctx_.One()));
+    EXPECT_TRUE(ctx_.Eq(ctx_.Inv(inv), a));
+    // Inv agrees with explicit a^{p-2} via PowBytes: p-2 has the same byte
+    // length as p because every standard prime ends in an odd byte > 2.
+    Bytes e = ctx_.ModulusBytes();
+    ASSERT_GE(e.back(), 3);
+    e.back() -= 2;
+    EXPECT_TRUE(ctx_.Eq(ctx_.PowBytes(a, e), inv));
+    // Fermat's little theorem directly: a^{p-1} == 1.
+    Bytes e1 = ctx_.ModulusBytes();
+    e1.back() -= 1;
+    EXPECT_TRUE(ctx_.Eq(ctx_.PowBytes(a, e1), ctx_.One()));
+  }
+  // (ab)^{-1} == a^{-1} b^{-1}.
+  FpElem a = ctx_.RandomNonZero(rng_);
+  FpElem b = ctx_.RandomNonZero(rng_);
+  EXPECT_TRUE(ctx_.Eq(ctx_.Inv(ctx_.Mul(a, b)),
+                      ctx_.Mul(ctx_.Inv(a), ctx_.Inv(b))));
+  // 1^{-1} == 1.
+  EXPECT_TRUE(ctx_.Eq(ctx_.Inv(ctx_.One()), ctx_.One()));
+}
+
+TEST_P(FieldPropertyTest, MontgomeryRoundTrip) {
+  // ToBytes/FromBytes convert out of and back into Montgomery form; the
+  // round trip must be exact in both directions for random elements.
+  for (int i = 0; i < Iters(); ++i) {
+    FpElem a = ctx_.Random(rng_);
+    Bytes le = ctx_.ToBytes(a);
+    ASSERT_EQ(le.size(), ctx_.elem_bytes());
+    EXPECT_TRUE(ctx_.Eq(ctx_.FromBytes(le), a));
+    // Serializing the round-tripped element reproduces the same bytes.
+    EXPECT_EQ(ctx_.ToBytes(ctx_.FromBytes(le)), le);
+  }
+  // Montgomery-form arithmetic must agree with plain integer arithmetic on
+  // values small enough to check directly.
+  for (int i = 0; i < Iters(); ++i) {
+    std::uint64_t x = rng_.Below(1u << 20);
+    std::uint64_t y = rng_.Below(1u << 20);
+    FpElem fx = ctx_.FromUint64(x);
+    FpElem fy = ctx_.FromUint64(y);
+    EXPECT_EQ(ctx_.ToUint64(ctx_.Add(fx, fy)), x + y);
+    EXPECT_EQ(ctx_.ToUint64(ctx_.Mul(fx, fy)), x * y);
+  }
+  // Edge values: 0 and 1 survive the trip and map to the canonical elements.
+  EXPECT_TRUE(ctx_.Eq(ctx_.FromBytes(ctx_.ToBytes(ctx_.Zero())), ctx_.Zero()));
+  EXPECT_TRUE(ctx_.Eq(ctx_.FromBytes(ctx_.ToBytes(ctx_.One())), ctx_.One()));
+  EXPECT_EQ(ctx_.ToUint64(ctx_.One()), 1u);
+}
+
+TEST_P(FieldPropertyTest, BatchInvSingleton) {
+  FpElem a = ctx_.RandomNonZero(rng_);
+  std::vector<FpElem> v{a};
+  ctx_.BatchInv(v);
+  EXPECT_TRUE(ctx_.Eq(v[0], ctx_.Inv(a)));
+}
+
+TEST_P(FieldPropertyTest, BatchInvAllSame) {
+  // Every slot holds the same value; the running-product trick must still
+  // produce the right inverse in every slot independently.
+  FpElem a = ctx_.RandomNonZero(rng_);
+  FpElem expected = ctx_.Inv(a);
+  std::vector<FpElem> v(9, a);
+  ctx_.BatchInv(v);
+  for (const auto& e : v) EXPECT_TRUE(ctx_.Eq(e, expected));
+}
+
+TEST_P(FieldPropertyTest, BatchInvInterleavedWithInv) {
+  // Alternate scalar Inv and BatchInv over the same draws: both paths must
+  // agree element-wise, and calling one must not perturb the other.
+  std::vector<FpElem> draws;
+  for (int i = 0; i < 7; ++i) draws.push_back(ctx_.RandomNonZero(rng_));
+
+  std::vector<FpElem> batch = draws;
+  ctx_.BatchInv(batch);
+  for (std::size_t i = 0; i < draws.size(); ++i) {
+    FpElem scalar = ctx_.Inv(draws[i]);
+    EXPECT_TRUE(ctx_.Eq(batch[i], scalar)) << i;
+    // Invert again through the other path: must return to the original.
+    std::vector<FpElem> again{scalar};
+    ctx_.BatchInv(again);
+    EXPECT_TRUE(ctx_.Eq(again[0], draws[i])) << i;
+  }
+}
+
+TEST_P(FieldPropertyTest, BatchInvEmptyIsNoop) {
+  std::vector<FpElem> empty;
+  ctx_.BatchInv(empty);  // must not crash or touch anything
+  EXPECT_TRUE(empty.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFieldSizes, FieldPropertyTest,
+                         ::testing::Values(256, 512, 1024, 2048));
+
+}  // namespace
+}  // namespace pisces::field

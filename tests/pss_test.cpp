@@ -5,6 +5,7 @@
 
 #include <memory>
 
+#include "common/clock.h"
 #include "field/primes.h"
 #include "pss/recovery.h"
 #include "pss/refresh.h"
@@ -336,17 +337,24 @@ TEST_F(VssBatchTest, TransformWithWorkersMatchesSerial) {
   auto deal = batch.Deal(rng_);
   std::vector<std::vector<FpElem>> col(params_.n);
   for (std::size_t i = 0; i < params_.n; ++i) col[i] = deal[i % deal.size()];
-  std::uint64_t cpu1 = 0, cpu4 = 0;
-  auto serial = batch.Transform(col, 1, &cpu1);
-  auto parallel = batch.Transform(col, 4, &cpu4);
+  // Total CPU = ambient (caller's chunk) + extra (pool workers); with a
+  // single-thread global pool the extra stays zero and everything runs inline.
+  std::uint64_t extra1 = 0, extra4 = 0;
+  CpuTimer ambient1, ambient4;
+  ambient1.Start();
+  auto serial = batch.Transform(col, 1, &extra1);
+  ambient1.Stop();
+  ambient4.Start();
+  auto parallel = batch.Transform(col, 4, &extra4);
+  ambient4.Stop();
   ASSERT_EQ(serial.size(), parallel.size());
   for (std::size_t a = 0; a < serial.size(); ++a) {
     for (std::size_t g = 0; g < batch.groups(); ++g) {
       EXPECT_TRUE(ctx_->Eq(serial[a][g], parallel[a][g]));
     }
   }
-  EXPECT_GT(cpu1, 0u);
-  EXPECT_GT(cpu4, 0u);
+  EXPECT_GT(ambient1.nanos() + extra1, 0u);
+  EXPECT_GT(ambient4.nanos() + extra4, 0u);
 }
 
 TEST_F(VssBatchTest, GroupsFor) {
