@@ -26,6 +26,23 @@ const FpCtx& CtxFor(std::size_t bits) {
   return *it->second;
 }
 
+// Generic runtime-width CIOS path (the pre-specialization baseline): the
+// Generic-suffixed benchmarks below measure the same op on this context, so
+// specialized/generic ratios come straight out of one run.
+const FpCtx& GenericCtxFor(std::size_t bits) {
+  static std::map<std::size_t, std::unique_ptr<FpCtx>> ctxs;
+  auto it = ctxs.find(bits);
+  if (it == ctxs.end()) {
+    it = ctxs.emplace(bits, std::make_unique<FpCtx>(
+                                StandardPrimeBe(bits),
+                                pisces::field::KernelDispatch::kGeneric))
+             .first;
+  }
+  return *it->second;
+}
+
+constexpr std::size_t kDotLen = 32;
+
 void BM_FieldMul(benchmark::State& state) {
   const FpCtx& ctx = CtxFor(state.range(0));
   Rng rng(1);
@@ -36,6 +53,73 @@ void BM_FieldMul(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FieldMul)->Arg(256)->Arg(512)->Arg(1024)->Arg(2048);
+
+void BM_FieldMulGeneric(benchmark::State& state) {
+  const FpCtx& ctx = GenericCtxFor(state.range(0));
+  Rng rng(1);
+  FpElem a = ctx.Random(rng), b = ctx.Random(rng);
+  for (auto _ : state) {
+    a = ctx.Mul(a, b);
+    benchmark::DoNotOptimize(a);
+  }
+}
+BENCHMARK(BM_FieldMulGeneric)->Arg(256)->Arg(512)->Arg(1024)->Arg(2048);
+
+void BM_FieldSqr(benchmark::State& state) {
+  const FpCtx& ctx = CtxFor(state.range(0));
+  Rng rng(8);
+  FpElem a = ctx.Random(rng);
+  for (auto _ : state) {
+    a = ctx.Sqr(a);
+    benchmark::DoNotOptimize(a);
+  }
+}
+BENCHMARK(BM_FieldSqr)->Arg(256)->Arg(512)->Arg(1024)->Arg(2048);
+
+void BM_FieldSqrGeneric(benchmark::State& state) {
+  const FpCtx& ctx = GenericCtxFor(state.range(0));
+  Rng rng(8);
+  FpElem a = ctx.Random(rng);
+  for (auto _ : state) {
+    a = ctx.Sqr(a);
+    benchmark::DoNotOptimize(a);
+  }
+}
+BENCHMARK(BM_FieldSqrGeneric)->Arg(256)->Arg(512)->Arg(1024)->Arg(2048);
+
+// Lazy-reduction dot product (one wide reduction per output) vs the naive
+// Add(Mul(...)) fold it replaced in MulVec / Lagrange / VSS hot loops.
+void BM_FieldDot(benchmark::State& state) {
+  const FpCtx& ctx = CtxFor(state.range(0));
+  Rng rng(9);
+  std::vector<FpElem> a, b;
+  for (std::size_t i = 0; i < kDotLen; ++i) {
+    a.push_back(ctx.Random(rng));
+    b.push_back(ctx.Random(rng));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ctx.Dot(a, b));
+  }
+}
+BENCHMARK(BM_FieldDot)->Arg(256)->Arg(512)->Arg(1024)->Arg(2048);
+
+void BM_FieldDotNaive(benchmark::State& state) {
+  const FpCtx& ctx = CtxFor(state.range(0));
+  Rng rng(9);
+  std::vector<FpElem> a, b;
+  for (std::size_t i = 0; i < kDotLen; ++i) {
+    a.push_back(ctx.Random(rng));
+    b.push_back(ctx.Random(rng));
+  }
+  for (auto _ : state) {
+    FpElem acc = ctx.Zero();
+    for (std::size_t i = 0; i < kDotLen; ++i) {
+      acc = ctx.Add(acc, ctx.Mul(a[i], b[i]));
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_FieldDotNaive)->Arg(256)->Arg(512)->Arg(1024)->Arg(2048);
 
 void BM_FieldAdd(benchmark::State& state) {
   const FpCtx& ctx = CtxFor(state.range(0));

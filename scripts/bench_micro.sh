@@ -1,0 +1,90 @@
+#!/usr/bin/env bash
+# Field-kernel microbenchmark harness: builds the release tree, runs the
+# mul/sqr/dot benchmarks at every standard prime size, and distills the
+# google-benchmark JSON into BENCH_field.json at the repo root --
+# machine-readable specialized-vs-generic numbers plus speedup ratios, with
+# the ISSUE's acceptance gate (>= 1.5x Montgomery multiply at g=256) spelled
+# out as a field.
+#
+# Usage: scripts/bench_micro.sh [build-dir]   (default: build)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+RAW_JSON="$BUILD_DIR/micro_field_raw.json"
+OUT_JSON="BENCH_field.json"
+
+cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$BUILD_DIR" -j "$(nproc)" --target micro_field_ops
+
+# Repetitions with a min-selecting post-pass: on a shared host, interference
+# is one-sided (it only ever slows a rep down), so the minimum across reps is
+# the faithful estimate of the kernel's cost.
+"$BUILD_DIR/bench/micro_field_ops" \
+  --benchmark_filter='BM_Field(Mul|Sqr|Dot)' \
+  --benchmark_out="$RAW_JSON" \
+  --benchmark_out_format=json \
+  --benchmark_repetitions=5
+
+python3 - "$RAW_JSON" "$OUT_JSON" <<'EOF'
+import json
+import sys
+
+raw_path, out_path = sys.argv[1], sys.argv[2]
+with open(raw_path) as f:
+    raw = json.load(f)
+
+# Keep the MIN across repetitions of each benchmark/size pair (interference
+# on a shared host only ever inflates a rep).
+ns = {}
+for b in raw["benchmarks"]:
+    if b.get("run_type") != "iteration":
+        continue
+    name, arg = b["run_name"].split("/")
+    d = ns.setdefault(name, {})
+    g = int(arg)
+    d[g] = min(d.get(g, float("inf")), b["real_time"])
+
+def ratio(num, den):
+    return round(num / den, 3) if den else None
+
+sizes = sorted(ns.get("BM_FieldMul", {}))
+result = {
+    "benchmark": "micro_field_ops",
+    "dot_length": 32,
+    "unit": "ns_min_of_5_reps",
+    "context": raw.get("context", {}),
+    "sizes": {},
+}
+for g in sizes:
+    mul = ns["BM_FieldMul"][g]
+    mul_gen = ns["BM_FieldMulGeneric"][g]
+    sqr = ns["BM_FieldSqr"][g]
+    sqr_gen = ns["BM_FieldSqrGeneric"][g]
+    dot = ns["BM_FieldDot"][g]
+    dot_naive = ns["BM_FieldDotNaive"][g]
+    result["sizes"][str(g)] = {
+        "mul_ns": mul,
+        "mul_generic_ns": mul_gen,
+        "mul_speedup": ratio(mul_gen, mul),
+        "sqr_ns": sqr,
+        "sqr_generic_ns": sqr_gen,
+        "sqr_speedup": ratio(sqr_gen, sqr),
+        "sqr_vs_mul": ratio(mul, sqr),
+        "dot32_ns": dot,
+        "dot32_naive_ns": dot_naive,
+        "dot_speedup": ratio(dot_naive, dot),
+    }
+
+mul256 = result["sizes"].get("256", {}).get("mul_speedup")
+result["acceptance"] = {
+    "mul256_speedup": mul256,
+    "mul256_target": 1.5,
+    "mul256_ok": bool(mul256 and mul256 >= 1.5),
+}
+with open(out_path, "w") as f:
+    json.dump(result, f, indent=2)
+    f.write("\n")
+print(f"wrote {out_path}")
+print(json.dumps(result["acceptance"], indent=2))
+EOF

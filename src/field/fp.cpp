@@ -1,6 +1,9 @@
 #include "field/fp.h"
 
 #include <algorithm>
+#include <atomic>
+
+#include "field/fp_kernels.h"
 
 namespace pisces::field {
 
@@ -8,6 +11,85 @@ using u64 = std::uint64_t;
 using u128 = unsigned __int128;
 
 namespace {
+
+// Process-wide kernel instrumentation (relaxed: counters only, never control
+// flow, so they cannot perturb results or determinism).
+struct KernelCounters {
+  std::atomic<u64> mont_muls{0};
+  std::atomic<u64> mont_sqrs{0};
+  std::atomic<u64> dot_calls{0};
+  std::atomic<u64> dot_products{0};
+  std::atomic<u64> dot_reductions{0};
+};
+KernelCounters g_kernel_stats;
+
+#ifndef NDEBUG
+inline void CountMul() {
+  g_kernel_stats.mont_muls.fetch_add(1, std::memory_order_relaxed);
+}
+inline void CountSqr() {
+  g_kernel_stats.mont_sqrs.fetch_add(1, std::memory_order_relaxed);
+}
+#else
+inline void CountMul() {}
+inline void CountSqr() {}
+#endif
+
+// Generic Montgomery reduction of a 2k-limb value T < R*p (k REDC steps):
+// r = T*R^{-1} mod p, canonical. Clobbers t. Runtime-k mirror of
+// kernels::MontRedcK, kept separate as the differential-test oracle.
+void MontRedcN(const u64* p, u64 n0inv, std::size_t k, u64* t, u64* r) {
+  u64 extra = 0;  // virtual limb t[2k]
+  for (std::size_t s = 0; s < k; ++s) {
+    u64 m = t[s] * n0inv;
+    u64 carry = 0;
+    for (std::size_t j = 0; j < k; ++j) {
+      u128 cur = static_cast<u128>(m) * p[j] + t[s + j] + carry;
+      t[s + j] = static_cast<u64>(cur);
+      carry = static_cast<u64>(cur >> 64);
+    }
+    for (std::size_t idx = s + k; carry != 0 && idx < 2 * k; ++idx) {
+      u128 sum = static_cast<u128>(t[idx]) + carry;
+      t[idx] = static_cast<u64>(sum);
+      carry = static_cast<u64>(sum >> 64);
+    }
+    extra += carry;
+  }
+  u64* th = t + k;
+  if (extra != 0 || CmpN(th, p, k) >= 0) {
+    SubN(r, th, p, k);
+  } else {
+    std::copy(th, th + k, r);
+  }
+}
+
+// Generic reduction of a (2k+1)-limb lazy accumulator with k+1 REDC steps:
+// r = T * 2^{-64(k+1)} mod p, canonical (< 2p before the conditional
+// subtraction for any T < 2^64 * p^2; see docs/field_kernels.md for the
+// bound). t must have 2k+2 limbs with t[2k+1] == 0 on entry; clobbered.
+void MontRedcWideN(const u64* p, u64 n0inv, std::size_t k, u64* t, u64* r) {
+  const std::size_t len = 2 * k + 2;
+  for (std::size_t s = 0; s <= k; ++s) {
+    u64 m = t[s] * n0inv;
+    u64 carry = 0;
+    for (std::size_t j = 0; j < k; ++j) {
+      u128 cur = static_cast<u128>(m) * p[j] + t[s + j] + carry;
+      t[s + j] = static_cast<u64>(cur);
+      carry = static_cast<u64>(cur >> 64);
+    }
+    for (std::size_t idx = s + k; carry != 0 && idx < len; ++idx) {
+      u128 sum = static_cast<u128>(t[idx]) + carry;
+      t[idx] = static_cast<u64>(sum);
+      carry = static_cast<u64>(sum >> 64);
+    }
+  }
+  u64* th = t + k + 1;
+  if (th[k] != 0 || CmpN(th, p, k) >= 0) {
+    SubN(r, th, p, k);
+  } else {
+    std::copy(th, th + k, r);
+  }
+}
 
 Limbs LimbsFromBe(std::span<const std::uint8_t> be) {
   pisces::Require(be.size() <= kMaxLimbs * 8, "value too wide");
@@ -26,7 +108,27 @@ Limbs LimbsFromBe(std::span<const std::uint8_t> be) {
 
 }  // namespace
 
-FpCtx::FpCtx(std::span<const std::uint8_t> modulus_be) {
+KernelStatsSnapshot GetKernelStats() {
+  KernelStatsSnapshot s;
+  s.mont_muls = g_kernel_stats.mont_muls.load(std::memory_order_relaxed);
+  s.mont_sqrs = g_kernel_stats.mont_sqrs.load(std::memory_order_relaxed);
+  s.dot_calls = g_kernel_stats.dot_calls.load(std::memory_order_relaxed);
+  s.dot_products = g_kernel_stats.dot_products.load(std::memory_order_relaxed);
+  s.dot_reductions =
+      g_kernel_stats.dot_reductions.load(std::memory_order_relaxed);
+  return s;
+}
+
+void ResetKernelStats() {
+  g_kernel_stats.mont_muls.store(0, std::memory_order_relaxed);
+  g_kernel_stats.mont_sqrs.store(0, std::memory_order_relaxed);
+  g_kernel_stats.dot_calls.store(0, std::memory_order_relaxed);
+  g_kernel_stats.dot_products.store(0, std::memory_order_relaxed);
+  g_kernel_stats.dot_reductions.store(0, std::memory_order_relaxed);
+}
+
+FpCtx::FpCtx(std::span<const std::uint8_t> modulus_be,
+             KernelDispatch dispatch) {
   while (!modulus_be.empty() && modulus_be.front() == 0)
     modulus_be = modulus_be.subspan(1);
   Require(!modulus_be.empty(), "FpCtx: empty modulus");
@@ -55,8 +157,27 @@ FpCtx::FpCtx(std::span<const std::uint8_t> modulus_be) {
   };
   for (std::size_t i = 0; i < 64 * k_; ++i) double_mod(x);
   one_.v = x;  // R mod p == Montgomery form of 1
+  // 64 more doublings of R mod p give 2^64 * R mod p, the fixup constant for
+  // the lazy dot-product reduction (which divides by an extra 2^64).
+  Limbs y = x;
+  for (std::size_t i = 0; i < 64; ++i) double_mod(y);
+  two64m_.v = y;
   for (std::size_t i = 0; i < 64 * k_; ++i) double_mod(x);
   r2_.v = x;  // R^2 mod p
+
+  if (dispatch == KernelDispatch::kAuto) {
+    kernels_ = kernels::KernelsForWidth(k_);
+    if (kernels_ != nullptr) kernel_width_ = k_;
+  }
+}
+
+void FpCtx::MulInto(const u64* a, const u64* b, u64* r) const {
+  CountMul();
+  if (kernels_ != nullptr) {
+    kernels_->mul(p_.data(), n0inv_, a, b, r);
+  } else {
+    MontMul(a, b, r);
+  }
 }
 
 void FpCtx::MontMul(const u64* a, const u64* b, u64* r) const {
@@ -98,7 +219,7 @@ void FpCtx::MontMul(const u64* a, const u64* b, u64* r) const {
 
 FpElem FpCtx::ToMont(const Limbs& raw) const {
   FpElem out;
-  MontMul(raw.data(), r2_.v.data(), out.v.data());
+  MulInto(raw.data(), r2_.v.data(), out.v.data());
   return out;
 }
 
@@ -106,7 +227,7 @@ Limbs FpCtx::FromMont(const FpElem& a) const {
   Limbs one{};
   one[0] = 1;
   Limbs out{};
-  MontMul(a.v.data(), one.data(), out.data());
+  MulInto(a.v.data(), one.data(), out.data());
   return out;
 }
 
@@ -164,7 +285,80 @@ FpElem FpCtx::Neg(const FpElem& a) const { return Sub(Zero(), a); }
 
 FpElem FpCtx::Mul(const FpElem& a, const FpElem& b) const {
   FpElem r;
-  MontMul(a.v.data(), b.v.data(), r.v.data());
+  MulInto(a.v.data(), b.v.data(), r.v.data());
+  return r;
+}
+
+FpElem FpCtx::Sqr(const FpElem& a) const {
+  CountSqr();
+  FpElem r;
+  if (kernels_ != nullptr) {
+    kernels_->sqr(p_.data(), n0inv_, a.v.data(), r.v.data());
+  } else {
+    u64 t[2 * kMaxLimbs];
+    SqrN(t, a.v.data(), k_);
+    MontRedcN(p_.data(), n0inv_, k_, t, r.v.data());
+  }
+  return r;
+}
+
+void FpCtx::AccMulAdd(u64* t, const FpElem& a, const FpElem& b) const {
+  g_kernel_stats.dot_products.fetch_add(1, std::memory_order_relaxed);
+  if (kernels_ != nullptr) {
+    kernels_->mul_acc(t, a.v.data(), b.v.data());
+  } else {
+    MulAccN(t, a.v.data(), b.v.data(), k_);
+  }
+}
+
+FpElem FpCtx::AccReduce(const u64* t, std::uint64_t n_products) const {
+  g_kernel_stats.dot_calls.fetch_add(1, std::memory_order_relaxed);
+  if (n_products == 0) return Zero();
+  g_kernel_stats.dot_reductions.fetch_add(1, std::memory_order_relaxed);
+  // Copy: the reduction is destructive, but a DotAcc may keep accumulating.
+  u64 w[2 * kMaxLimbs + 2];
+  std::copy(t, t + 2 * k_ + 1, w);
+  w[2 * k_ + 1] = 0;
+  FpElem u;
+  if (kernels_ != nullptr) {
+    kernels_->redc_wide(p_.data(), n0inv_, w, u.v.data());
+  } else {
+    MontRedcWideN(p_.data(), n0inv_, k_, w, u.v.data());
+  }
+  // The wide reduction divided by R*2^64; one multiply by 2^64*R mod p
+  // restores the plain Montgomery factor: result = (sum a_i*b_i)*R^{-1} mod p.
+  FpElem r;
+  MulInto(u.v.data(), two64m_.v.data(), r.v.data());
+  return r;
+}
+
+FpElem FpCtx::Dot(std::span<const FpElem> a, std::span<const FpElem> b) const {
+  Require(a.size() == b.size(), "Dot: size mismatch");
+  if (a.empty()) {
+    g_kernel_stats.dot_calls.fetch_add(1, std::memory_order_relaxed);
+    return Zero();
+  }
+  u64 t[2 * kMaxLimbs + 2] = {0};
+  if (kernels_ != nullptr) {
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      kernels_->mul_acc(t, a[i].v.data(), b[i].v.data());
+    }
+  } else {
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      MulAccN(t, a[i].v.data(), b[i].v.data(), k_);
+    }
+  }
+  g_kernel_stats.dot_products.fetch_add(a.size(), std::memory_order_relaxed);
+  g_kernel_stats.dot_calls.fetch_add(1, std::memory_order_relaxed);
+  g_kernel_stats.dot_reductions.fetch_add(1, std::memory_order_relaxed);
+  FpElem u;
+  if (kernels_ != nullptr) {
+    kernels_->redc_wide(p_.data(), n0inv_, t, u.v.data());
+  } else {
+    MontRedcWideN(p_.data(), n0inv_, k_, t, u.v.data());
+  }
+  FpElem r;
+  MulInto(u.v.data(), two64m_.v.data(), r.v.data());
   return r;
 }
 

@@ -22,6 +22,10 @@
 
 namespace pisces::field {
 
+namespace kernels {
+struct KernelVTable;  // width-specialized fast path (field/fp_kernels.h)
+}  // namespace kernels
+
 // A field element in Montgomery form. Unused high limbs are always zero, so
 // default equality over the whole array is exact.
 struct FpElem {
@@ -30,13 +34,37 @@ struct FpElem {
   bool operator==(const FpElem&) const = default;
 };
 
+// Process-wide instrumentation for the kernel layer (docs/field_kernels.md).
+// The dot counters are always live (one relaxed atomic bump per Dot call,
+// amortized over n products); the per-multiply counters are debug-only so the
+// release hot path stays untouched.
+struct KernelStatsSnapshot {
+  std::uint64_t mont_muls = 0;       // debug builds only (0 under NDEBUG)
+  std::uint64_t mont_sqrs = 0;       // debug builds only (0 under NDEBUG)
+  std::uint64_t dot_calls = 0;       // Dot() calls + DotAcc::Reduce() calls
+  std::uint64_t dot_products = 0;    // products accumulated without reduction
+  std::uint64_t dot_reductions = 0;  // wide reductions: exactly 1 per output
+};
+KernelStatsSnapshot GetKernelStats();
+void ResetKernelStats();
+
+// Kernel selection policy for FpCtx: kAuto binds the width-specialized
+// kernels when the modulus width is one of the standard sizes (k in
+// {4, 8, 16, 32} limbs); kGeneric forces the runtime-width path, which the
+// differential tests use as the oracle.
+enum class KernelDispatch { kAuto, kGeneric };
+
 class FpCtx {
  public:
   // big-endian modulus bytes; modulus must be odd and > 2.
-  explicit FpCtx(std::span<const std::uint8_t> modulus_be);
+  explicit FpCtx(std::span<const std::uint8_t> modulus_be,
+                 KernelDispatch dispatch = KernelDispatch::kAuto);
 
   std::size_t limbs() const { return k_; }
   std::size_t bits() const { return bits_; }
+  // Compile-time limb width of the bound fast-path kernels, or 0 when the
+  // generic runtime-width path is active (odd widths / kGeneric).
+  std::size_t kernel_width() const { return kernel_width_; }
   // Serialized size of one element (little-endian limb dump of k_ limbs).
   std::size_t elem_bytes() const { return k_ * 8; }
   // Bytes of application payload that always fit in one element (see codec).
@@ -56,7 +84,14 @@ class FpCtx {
   FpElem Sub(const FpElem& a, const FpElem& b) const;
   FpElem Neg(const FpElem& a) const;
   FpElem Mul(const FpElem& a, const FpElem& b) const;
-  FpElem Sqr(const FpElem& a) const { return Mul(a, a); }
+  // Dedicated squaring kernel (cross products computed once and doubled);
+  // bit-identical to Mul(a, a). Pow's square step rides on this.
+  FpElem Sqr(const FpElem& a) const;
+  // Lazy-reduction dot product: sum_i a[i]*b[i] with ONE Montgomery reduction
+  // for the whole sum instead of one per product. Bit-identical to the naive
+  // Add(Mul(...)) loop; a.size() must equal b.size(). The inner loops of
+  // MulVec, Lagrange weight application, and VSS deal/transform live on this.
+  FpElem Dot(std::span<const FpElem> a, std::span<const FpElem> b) const;
   // a^e where e is given as big-endian bytes. Not constant-time (see rng.h
   // note: the simulator models crypto, the PSS privacy is information
   // theoretic).
@@ -83,10 +118,21 @@ class FpCtx {
   Bytes ModulusBytes() const;
 
  private:
-  friend class FpMont;  // none; internal helpers only
+  friend class DotAcc;
 
+  // Generic runtime-width CIOS multiply: the fallback for odd widths and the
+  // oracle the specialized kernels are differentially tested against.
   void MontMul(const std::uint64_t* a, const std::uint64_t* b,
                std::uint64_t* r) const;
+  // Dispatched multiply: specialized kernel when bound, generic otherwise.
+  // Writes k_ limbs; the caller's destination high limbs must already be 0.
+  void MulInto(const std::uint64_t* a, const std::uint64_t* b,
+               std::uint64_t* r) const;
+  // Lazy-accumulator primitives behind Dot/DotAcc (see docs/field_kernels.md).
+  // AccReduce copies the accumulator before the (destructive) reduction, so a
+  // DotAcc can keep accumulating after a Reduce.
+  void AccMulAdd(std::uint64_t* t, const FpElem& a, const FpElem& b) const;
+  FpElem AccReduce(const std::uint64_t* t, std::uint64_t n_products) const;
   FpElem ToMont(const Limbs& raw) const;
   Limbs FromMont(const FpElem& a) const;
 
@@ -94,8 +140,39 @@ class FpCtx {
   std::size_t bits_ = 0;
   Limbs p_{};
   std::uint64_t n0inv_ = 0;
-  FpElem r2_;   // R^2 mod p (Montgomery form of R)
-  FpElem one_;  // Montgomery form of 1 (= R mod p)
+  FpElem r2_;      // R^2 mod p (Montgomery form of R)
+  FpElem one_;     // Montgomery form of 1 (= R mod p)
+  FpElem two64m_;  // Montgomery form of 2^64: fixes up the wide reduction
+  const kernels::KernelVTable* kernels_ = nullptr;  // null => generic path
+  std::size_t kernel_width_ = 0;
+};
+
+// Streaming lazy-reduction accumulator for dot products whose terms are not
+// contiguous in memory (e.g. the VSS transform accumulating over dealers).
+// MulAdd accumulates double-width products with no reduction; Reduce performs
+// the single Montgomery reduction and returns the canonical sum, bit-identical
+// to folding Add(Mul(...)) term by term. At most 2^64 - 1 products may be
+// accumulated between resets (the overflow bound; see docs/field_kernels.md).
+class DotAcc {
+ public:
+  explicit DotAcc(const FpCtx& ctx) : ctx_(&ctx) {}
+
+  void MulAdd(const FpElem& a, const FpElem& b) {
+    ctx_->AccMulAdd(t_.data(), a, b);
+    ++n_;
+  }
+  FpElem Reduce() const { return ctx_->AccReduce(t_.data(), n_); }
+  void Reset() {
+    t_.fill(0);
+    n_ = 0;
+  }
+  std::uint64_t products() const { return n_; }
+
+ private:
+  const FpCtx* ctx_;
+  // 2k+1 active limbs plus one headroom limb for the reduction steps.
+  std::array<std::uint64_t, 2 * kMaxLimbs + 2> t_{};
+  std::uint64_t n_ = 0;
 };
 
 // Convenience: serialize a vector of elements (used by wire messages).

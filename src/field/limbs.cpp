@@ -46,6 +46,54 @@ void MulN(u64* r, const u64* a, const u64* b, std::size_t k) {
   }
 }
 
+void SqrN(u64* r, const u64* a, std::size_t k) {
+  for (std::size_t i = 0; i < 2 * k; ++i) r[i] = 0;
+  // Cross products a[i]*a[j] for i < j, computed once.
+  for (std::size_t i = 0; i < k; ++i) {
+    u64 carry = 0;
+    for (std::size_t j = i + 1; j < k; ++j) {
+      u128 cur = static_cast<u128>(a[i]) * a[j] + r[i + j] + carry;
+      r[i + j] = static_cast<u64>(cur);
+      carry = static_cast<u64>(cur >> 64);
+    }
+    r[i + k] = carry;
+  }
+  // Double (2*cross < a^2 < 2^{128k}: the shifted-out bit is always 0).
+  u64 bit = 0;
+  for (std::size_t i = 0; i < 2 * k; ++i) {
+    u64 v = r[i];
+    r[i] = (v << 1) | bit;
+    bit = v >> 63;
+  }
+  // Diagonal a[i]^2 at limb 2i.
+  u64 carry = 0;
+  for (std::size_t i = 0; i < k; ++i) {
+    u128 sq = static_cast<u128>(a[i]) * a[i];
+    u128 lo = static_cast<u128>(r[2 * i]) + static_cast<u64>(sq) + carry;
+    r[2 * i] = static_cast<u64>(lo);
+    u128 hi = static_cast<u128>(r[2 * i + 1]) + static_cast<u64>(sq >> 64) +
+              static_cast<u64>(lo >> 64);
+    r[2 * i + 1] = static_cast<u64>(hi);
+    carry = static_cast<u64>(hi >> 64);
+  }
+}
+
+void MulAccN(u64* t, const u64* a, const u64* b, std::size_t k) {
+  for (std::size_t i = 0; i < k; ++i) {
+    u64 carry = 0;
+    for (std::size_t j = 0; j < k; ++j) {
+      u128 cur = static_cast<u128>(a[i]) * b[j] + t[i + j] + carry;
+      t[i + j] = static_cast<u64>(cur);
+      carry = static_cast<u64>(cur >> 64);
+    }
+    for (std::size_t idx = i + k; carry != 0 && idx <= 2 * k; ++idx) {
+      u128 s = static_cast<u128>(t[idx]) + carry;
+      t[idx] = static_cast<u64>(s);
+      carry = static_cast<u64>(s >> 64);
+    }
+  }
+}
+
 void CondSubN(u64* a, const u64* m, std::size_t k) {
   if (CmpN(a, m, k) >= 0) SubN(a, a, m, k);
 }

@@ -32,6 +32,16 @@ int CmpN(const std::uint64_t* a, const std::uint64_t* b, std::size_t k);
 void MulN(std::uint64_t* r, const std::uint64_t* a, const std::uint64_t* b,
           std::size_t k);
 
+// r[0..2k) = a * a, exploiting symmetry (cross products doubled, then the
+// diagonal added): ~k^2/2 limb multiplies. r must not alias a.
+void SqrN(std::uint64_t* r, const std::uint64_t* a, std::size_t k);
+
+// Lazy accumulate t[0..2k] += a * b with no reduction; the top limb t[2k]
+// absorbs the carries of up to 2^64 accumulated k-limb products. t must not
+// alias a or b.
+void MulAccN(std::uint64_t* t, const std::uint64_t* a, const std::uint64_t* b,
+             std::size_t k);
+
 // Conditional subtract: if a >= m then a -= m. Constant-shape (always computes
 // the subtraction); used for Montgomery reduction tail.
 void CondSubN(std::uint64_t* a, const std::uint64_t* m, std::size_t k);

@@ -33,11 +33,7 @@ std::vector<FpElem> Matrix::MulVec(const FpCtx& ctx,
   Require(v.size() == cols_, "Matrix::MulVec: shape mismatch");
   std::vector<FpElem> out(rows_, ctx.Zero());
   for (std::size_t i = 0; i < rows_; ++i) {
-    FpElem acc = ctx.Zero();
-    for (std::size_t j = 0; j < cols_; ++j) {
-      acc = ctx.Add(acc, ctx.Mul(At(i, j), v[j]));
-    }
-    out[i] = acc;
+    out[i] = ctx.Dot(Row(i), v);  // one reduction per output row
   }
   return out;
 }

@@ -35,6 +35,10 @@ class Matrix {
   const FpElem& At(std::size_t r, std::size_t c) const {
     return data_[r * cols_ + c];
   }
+  // Row r as a contiguous span (storage is row-major); feeds FpCtx::Dot.
+  std::span<const FpElem> Row(std::size_t r) const {
+    return {data_.data() + r * cols_, cols_};
+  }
 
   static Matrix Identity(const FpCtx& ctx, std::size_t n);
 

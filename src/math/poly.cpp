@@ -214,11 +214,7 @@ FpElem LagrangeEval(const FpCtx& ctx, std::span<const FpElem> xs,
                     std::span<const FpElem> ys, const FpElem& x) {
   Require(xs.size() == ys.size(), "LagrangeEval: xs/ys mismatch");
   std::vector<FpElem> w = LagrangeCoeffs(ctx, xs, x);
-  FpElem acc = ctx.Zero();
-  for (std::size_t i = 0; i < xs.size(); ++i) {
-    acc = ctx.Add(acc, ctx.Mul(w[i], ys[i]));
-  }
-  return acc;
+  return ctx.Dot(w, ys);
 }
 
 bool PointsOnLowDegree(const FpCtx& ctx, std::span<const FpElem> xs,
@@ -263,11 +259,7 @@ std::vector<FpElem> PointChecker::WeightsAt(const FpElem& x) const {
 FpElem PointChecker::Apply(const FpCtx& ctx, std::span<const FpElem> weights,
                            std::span<const FpElem> ys) {
   Require(ys.size() >= weights.size(), "PointChecker::Apply: ys too short");
-  FpElem acc = ctx.Zero();
-  for (std::size_t k = 0; k < weights.size(); ++k) {
-    acc = ctx.Add(acc, ctx.Mul(weights[k], ys[k]));
-  }
-  return acc;
+  return ctx.Dot(weights, ys.first(weights.size()));
 }
 
 }  // namespace pisces::math

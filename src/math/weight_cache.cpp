@@ -1,5 +1,6 @@
 #include "math/weight_cache.h"
 
+#include <atomic>
 #include <map>
 #include <mutex>
 
@@ -8,6 +9,9 @@
 namespace pisces::math {
 
 namespace {
+
+std::atomic<std::uint64_t> g_wc_hits{0};
+std::atomic<std::uint64_t> g_wc_misses{0};
 
 // Cache key: context identity plus the raw limb dump of every point (points
 // are in Montgomery form, which is canonical for a fixed modulus) and a size
@@ -55,8 +59,12 @@ std::shared_ptr<const std::vector<std::vector<FpElem>>> CachedLagrangeWeights(
   {
     std::lock_guard<std::mutex> lock(c.mu);
     auto it = c.weights.find(key);
-    if (it != c.weights.end()) return it->second;
+    if (it != c.weights.end()) {
+      g_wc_hits.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
   }
+  g_wc_misses.fetch_add(1, std::memory_order_relaxed);
   // Compute outside the lock: misses are rare and the computation is the
   // expensive part. Two racing misses insert identical values; first wins.
   auto value = std::make_shared<const std::vector<std::vector<FpElem>>>(
@@ -77,8 +85,12 @@ std::shared_ptr<const Matrix> CachedVandermondeRows(const FpCtx& ctx,
   {
     std::lock_guard<std::mutex> lock(c.mu);
     auto it = c.vandermonde.find(key);
-    if (it != c.vandermonde.end()) return it->second;
+    if (it != c.vandermonde.end()) {
+      g_wc_hits.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
   }
+  g_wc_misses.fetch_add(1, std::memory_order_relaxed);
   auto value =
       std::make_shared<const Matrix>(Vandermonde(ctx, xs, cols));
   std::lock_guard<std::mutex> lock(c.mu);
@@ -97,6 +109,16 @@ std::size_t WeightCacheSize() {
   Caches& c = Instance();
   std::lock_guard<std::mutex> lock(c.mu);
   return c.weights.size() + c.vandermonde.size();
+}
+
+WeightCacheStats GetWeightCacheStats() {
+  return {g_wc_hits.load(std::memory_order_relaxed),
+          g_wc_misses.load(std::memory_order_relaxed)};
+}
+
+void ResetWeightCacheStats() {
+  g_wc_hits.store(0, std::memory_order_relaxed);
+  g_wc_misses.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace pisces::math

@@ -1,6 +1,7 @@
 #include "pisces/driver.h"
 
 #include "common/task_pool.h"
+#include "math/weight_cache.h"
 
 namespace pisces {
 
@@ -32,12 +33,26 @@ ExperimentResult RunRefreshExperiment(const ExperimentConfig& cfg) {
   r.file_blocks = meta.num_blocks;
   r.threads = GlobalPoolThreads();
 
+  // Substrate counters are process-wide; the deltas around the window
+  // attribute lazy-dot and weight-cache activity to this experiment.
+  const field::KernelStatsSnapshot ks0 = field::GetKernelStats();
+  const math::WeightCacheStats wc0 = math::GetWeightCacheStats();
+
   WindowReport report;
   if (cfg.run_recovery) {
     report = cluster.RunUpdateWindow();
   } else {
     report.ok = cluster.hypervisor().RefreshAllFiles(&report);
   }
+
+  const field::KernelStatsSnapshot ks1 = field::GetKernelStats();
+  const math::WeightCacheStats wc1 = math::GetWeightCacheStats();
+  r.substrate.kernel_width = cluster.ctx().kernel_width();
+  r.substrate.dot_calls = ks1.dot_calls - ks0.dot_calls;
+  r.substrate.dot_products = ks1.dot_products - ks0.dot_products;
+  r.substrate.dot_reductions = ks1.dot_reductions - ks0.dot_reductions;
+  r.substrate.wc_hits = wc1.hits - wc0.hits;
+  r.substrate.wc_misses = wc1.misses - wc0.misses;
 
   r.cpu_rerand_s = static_cast<double>(report.rerandomize_total.cpu_ns) * 1e-9;
   r.cpu_recover_s = static_cast<double>(report.recover_total.cpu_ns) * 1e-9;
@@ -92,7 +107,9 @@ Recorder MakeExperimentRecorder() {
                    "compute_recover_s", "send_rerand_s", "send_recover_s",
                    "refresh_time_s", "window_time_s", "cost_dedicated_usd",
                    "cost_spot_usd", "deals_excluded", "retries",
-                   "timeouts_fired", "msgs_dropped"});
+                   "timeouts_fired", "msgs_dropped", "kernel_width",
+                   "dot_calls", "dot_products", "dot_reductions", "wc_hits",
+                   "wc_misses"});
 }
 
 void RecordExperiment(Recorder& rec, const std::string& series,
@@ -127,6 +144,12 @@ void RecordExperiment(Recorder& rec, const std::string& series,
       {"retries", std::to_string(r.retries)},
       {"timeouts_fired", std::to_string(r.timeouts_fired)},
       {"msgs_dropped", std::to_string(r.msgs_dropped)},
+      {"kernel_width", std::to_string(r.substrate.kernel_width)},
+      {"dot_calls", std::to_string(r.substrate.dot_calls)},
+      {"dot_products", std::to_string(r.substrate.dot_products)},
+      {"dot_reductions", std::to_string(r.substrate.dot_reductions)},
+      {"wc_hits", std::to_string(r.substrate.wc_hits)},
+      {"wc_misses", std::to_string(r.substrate.wc_misses)},
   });
 }
 

@@ -9,6 +9,7 @@
 #pragma once
 
 #include "pisces/cluster.h"
+#include "pisces/metrics.h"
 #include "pisces/recorder.h"
 
 namespace pisces {
@@ -62,6 +63,10 @@ struct ExperimentResult {
   double window_time_s = 0;   // rerandomization + full recovery schedule
   double cost_dedicated = 0;  // one update window, all n machines
   double cost_spot = 0;
+
+  // Field-substrate counters for the window (kernel dispatch width, lazy-dot
+  // reductions, weight-cache hits/misses); see pisces/metrics.h.
+  SubstrateMetrics substrate;
 
   // Robustness counters for the window (zero on a fault-free run).
   std::uint64_t deals_excluded = 0;

@@ -77,4 +77,19 @@ struct HostMetrics {
   void Reset() { *this = HostMetrics{}; }
 };
 
+// Field-substrate observability for one measurement window: which kernel
+// path the cluster's field context dispatched to and how hard the lazy-dot
+// and weight-cache layers worked. Filled by the driver from process-wide
+// counter deltas (field::GetKernelStats, math::GetWeightCacheStats) taken
+// around the window; carried into the experiment CSV.
+struct SubstrateMetrics {
+  // Compile-time limb count of the bound kernels (0 = generic runtime path).
+  std::uint64_t kernel_width = 0;
+  std::uint64_t dot_calls = 0;       // lazy dot outputs produced
+  std::uint64_t dot_products = 0;    // products accumulated unreduced
+  std::uint64_t dot_reductions = 0;  // wide reductions (== dot outputs)
+  std::uint64_t wc_hits = 0;         // weight/Vandermonde cache hits
+  std::uint64_t wc_misses = 0;
+};
+
 }  // namespace pisces

@@ -52,11 +52,7 @@ std::vector<std::vector<FpElem>> PackedShamir::ShareBlocks(
                                                    points_.betas(), blocks[b]);
         const std::vector<FpElem>& c = f.coeffs();
         for (std::size_t i = 0; i < params_.n; ++i) {
-          FpElem acc = ctx_->Zero();
-          for (std::size_t j = 0; j < c.size(); ++j) {
-            acc = ctx_->Add(acc, ctx_->Mul(eval_rows->At(i, j), c[j]));
-          }
-          out[b][i] = acc;
+          out[b][i] = ctx_->Dot(eval_rows->Row(i).first(c.size()), c);
         }
       },
       extra_cpu_ns);

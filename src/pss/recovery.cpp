@@ -104,15 +104,16 @@ void ReferenceRecover(const PackedShamir& shamir,
     GlobalPool().ParallelFor(0, blocks, [&](std::size_t blk) {
       std::size_t g = blk / plan.usable;
       std::size_t a = batch.check_rows() + (blk % plan.usable);
-      // masked[k] = f_blk(alpha_k) + q_blk(alpha_k)
-      FpElem acc = ctx.Zero();
+      // masked[k] = f_blk(alpha_k) + q_blk(alpha_k); lazy-accumulate the
+      // weighted sum and reduce once per block.
+      field::DotAcc acc(ctx);
       for (std::size_t k = 0; k < m; ++k) {
         FpElem masked = ctx.Add(shares_by_party[plan.survivors[k]][blk],
                                 outputs[k][a][g]);
-        acc = ctx.Add(acc, ctx.Mul(w[k], masked));
+        acc.MulAdd(w[k], masked);
       }
-      // q_blk(alpha_target) == 0, so acc == f_blk(alpha_target).
-      target_shares[blk] = acc;
+      // q_blk(alpha_target) == 0, so the sum is f_blk(alpha_target).
+      target_shares[blk] = acc.Reduce();
     });
   }
 }

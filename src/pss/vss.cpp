@@ -77,11 +77,7 @@ std::vector<std::vector<FpElem>> VssBatch::DealFrom(
         const std::vector<FpElem>& c = z.coeffs();
         Invariant(c.size() <= degree_ + 1, "DealFrom: dealing degree too high");
         for (std::size_t k = 0; k < nh; ++k) {
-          FpElem acc = ctx_->Zero();
-          for (std::size_t j = 0; j < c.size(); ++j) {
-            acc = ctx_->Add(acc, ctx_->Mul(eval_rows_->At(k, j), c[j]));
-          }
-          out[k][g] = acc;
+          out[k][g] = ctx_->Dot(eval_rows_->Row(k).first(c.size()), c);
         }
       },
       extra_cpu_ns);
@@ -109,13 +105,19 @@ std::vector<std::vector<FpElem>> VssBatch::Transform(
   GlobalPool().ParallelChunks(
       0, nh,
       [&](std::size_t a_begin, std::size_t a_end) {
+        // Lazy accumulation: one DotAcc per (row, group), fed across dealers
+        // in the same cache-friendly i-outer order, reduced once per output.
+        std::vector<field::DotAcc> accs(groups_, field::DotAcc(*ctx_));
         for (std::size_t a = a_begin; a < a_end; ++a) {
+          for (auto& acc : accs) acc.Reset();
           for (std::size_t i = 0; i < nh; ++i) {
             const FpElem& m_ai = m_->At(a, i);
             for (std::size_t g = 0; g < groups_; ++g) {
-              out[a][g] =
-                  ctx_->Add(out[a][g], ctx_->Mul(m_ai, deals_by_dealer[i][g]));
+              accs[g].MulAdd(m_ai, deals_by_dealer[i][g]);
             }
+          }
+          for (std::size_t g = 0; g < groups_; ++g) {
+            out[a][g] = accs[g].Reduce();
           }
         }
       },
