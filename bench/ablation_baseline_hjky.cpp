@@ -13,8 +13,9 @@
 #include "pss/baseline.h"
 #include "pss/refresh.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pisces;
+  const bench::Options opts = bench::Parse(argc, argv);
   bench::Banner("Ablation A5",
                 "Batched PSS [7] vs HJKY'95 baseline [25], per-secret cost");
 
@@ -63,13 +64,15 @@ int main() {
     std::printf("%3zu %3zu %-10s %10zu %14llu %18.2f %18.2f\n", n, t,
                 "batched", secrets, static_cast<unsigned long long>(elems),
                 eps, cpu_us);
-    rec.AddRow({{"n", std::to_string(n)},
-                {"t", std::to_string(t)},
-                {"scheme", "batched"},
-                {"secrets", std::to_string(secrets)},
-                {"elems_sent", std::to_string(elems)},
-                {"elems_per_secret", Recorder::Num(eps)},
-                {"cpu_us_per_secret", Recorder::Num(cpu_us)}});
+    rec.NewRow()
+        .Set("n", n)
+        .Set("t", t)
+        .Set("scheme", "batched")
+        .Set("secrets", secrets)
+        .Set("elems_sent", elems)
+        .Set("elems_per_secret", eps)
+        .Set("cpu_us_per_secret", cpu_us)
+        .Commit();
 
     // --- HJKY'95 baseline: same raw secrets, no packing, no batching ---
     pss::EvalPoints points(*ctx, n, 1);
@@ -83,15 +86,17 @@ int main() {
     std::printf("%3zu %3zu %-10s %10zu %14llu %18.2f %18.2f\n", n, t, "hjky95",
                 secrets, static_cast<unsigned long long>(stats.elems_sent),
                 eps_b, cpu_us_b);
-    rec.AddRow({{"n", std::to_string(n)},
-                {"t", std::to_string(t)},
-                {"scheme", "hjky95"},
-                {"secrets", std::to_string(secrets)},
-                {"elems_sent", std::to_string(stats.elems_sent)},
-                {"elems_per_secret", Recorder::Num(eps_b)},
-                {"cpu_us_per_secret", Recorder::Num(cpu_us_b)}});
+    rec.NewRow()
+        .Set("n", n)
+        .Set("t", t)
+        .Set("scheme", "hjky95")
+        .Set("secrets", secrets)
+        .Set("elems_sent", stats.elems_sent)
+        .Set("elems_per_secret", eps_b)
+        .Set("cpu_us_per_secret", cpu_us_b)
+        .Commit();
   }
-  bench::DumpCsv(rec);
+  bench::Finish(rec, opts);
   std::printf(
       "\nShape check: hjky95 elems/secret grows ~n^2 (each secret pays a "
       "full\nall-to-all round); batched stays near-constant and orders of "

@@ -6,8 +6,9 @@
 // sealing/opening, bytes from framing) for a full update window.
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pisces;
+  const bench::Options opts = bench::Parse(argc, argv);
   bench::Banner("Ablation A4", "Channel encryption overhead");
 
   Recorder rec = MakeExperimentRecorder();
@@ -23,7 +24,7 @@ int main() {
                 res.TotalBytes() / 1e6);
     RecordExperiment(rec, encrypted ? "sealed" : "plain", res);
   }
-  bench::DumpCsv(rec);
+  bench::Finish(rec, opts);
   std::printf(
       "\nShape check: sealing adds a few percent of bytes (framing + tags)"
       "\nand a modest CPU overhead -- the PSS protocol dominates.\n");

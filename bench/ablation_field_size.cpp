@@ -5,8 +5,9 @@
 // fewer, larger elements. This sweep quantifies the tradeoff.
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pisces;
+  const bench::Options opts = bench::Parse(argc, argv);
   bench::Banner("Ablation A1", "Field size g sweep at fixed (n,t,l,r)");
 
   Recorder rec = MakeExperimentRecorder();
@@ -21,7 +22,7 @@ int main() {
                 res.TotalBytes() / static_cast<double>(res.file_bytes));
     RecordExperiment(rec, "g" + std::to_string(g), res);
   }
-  bench::DumpCsv(rec);
+  bench::Finish(rec, opts);
   std::printf(
       "\nShape check: larger g -> fewer blocks but costlier arithmetic; the"
       "\nper-byte optimum sits at an intermediate g (the paper picked 1024).\n");

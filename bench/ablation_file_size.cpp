@@ -4,8 +4,9 @@
 // refresh per-byte ... primarily due to a reduction in padding").
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pisces;
+  const bench::Options opts = bench::Parse(argc, argv);
   bench::Banner("Ablation A3", "File size sweep: per-byte cost vs s");
 
   std::vector<std::size_t> sizes =
@@ -28,7 +29,7 @@ int main() {
                 res.cost_dedicated / (s / 1024.0));
     RecordExperiment(rec, std::to_string(s), res);
   }
-  bench::DumpCsv(rec);
+  bench::Finish(rec, opts);
   std::printf(
       "\nShape check: per-byte time and cost decrease slightly with file size"
       "\n(padding amortizes); absolute time grows roughly linearly.\n");

@@ -5,8 +5,9 @@
 // Also compares the round-robin complete schedule against the randomized one.
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pisces;
+  const bench::Options opts = bench::Parse(argc, argv);
   bench::Banner("Ablation A2", "Restart batch r, worker pool b, schedule");
 
   Recorder rec = MakeExperimentRecorder();
@@ -44,7 +45,7 @@ int main() {
     RecordExperiment(rec, sched, res);
   }
 
-  bench::DumpCsv(rec);
+  bench::Finish(rec, opts);
   std::printf(
       "\nShape check: window time falls as r grows (fewer recovery phases);"
       "\nb=2 halves modeled compute on the 2-vCPU instance, b=4 adds "

@@ -8,37 +8,102 @@
 // bench binary finishes in minutes on a laptop; PISCES_BENCH_SCALE=paper uses
 // the paper's 100 KB files (and wider sweeps where noted). Shapes are the
 // same at both scales -- per-byte metrics are reported throughout.
+//
+// Every bench main starts with `bench::Options opts = bench::Parse(argc,
+// argv);` -- the one place command-line handling lives:
+//   --threads N   size the global task pool (wall time only; results are
+//                 identical at any setting, see docs/parallelism.md)
+//   --seed S      override the experiment seed MakeConfig derives
+//   --out PATH    also write the CSV dump to PATH
+//   --trace PATH  record a protocol trace; Finish() writes Chrome-trace JSON
+//                 to PATH and prints the per-window flame summary
+// Each flag falls back to its environment variable (PISCES_THREADS,
+// PISCES_SEED, PISCES_OUT, PISCES_TRACE). Unrecognized arguments are kept in
+// opts.rest for binaries that forward to another parser (google-benchmark).
 #pragma once
 
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <vector>
 
+#include "common/task_pool.h"
+#include "obs/trace.h"
 #include "pisces/pisces.h"
 
 namespace pisces::bench {
 
-// Parses `--threads N` (or `--threads=N`) from argv, falling back to the
-// PISCES_THREADS environment variable. Returns 0 when unset, which leaves the
-// global task pool and params.b at their defaults. Thread count changes wall
-// time only -- every computed value (shares, transcripts, byte counts) is
-// identical at any setting (see docs/parallelism.md).
-inline std::size_t ThreadsArg(int argc, char** argv) {
+namespace detail {
+// --seed override consumed by MakeConfig (0 = use the derived default).
+inline std::uint64_t g_seed_override = 0;
+}  // namespace detail
+
+struct Options {
+  std::size_t threads = 0;   // 0 = leave pool/params.b at their defaults
+  std::uint64_t seed = 0;    // 0 = per-bench derived seed
+  std::string out;           // "" = CSV to stdout only
+  std::string trace;         // "" = tracing disabled
+  std::vector<char*> rest;   // argv[0] + args not consumed here
+};
+
+// Parses the shared flags (with environment fallbacks), applies the side
+// effects every bench wants -- pool sizing, seed override, trace collection --
+// and returns the result. Call once, first thing in main().
+inline Options Parse(int argc, char** argv) {
+  Options opts;
+  if (argc > 0) opts.rest.push_back(argv[0]);
+  auto value_of = [&](const std::string& arg, const char* flag, int& i,
+                      std::string& out_val) {
+    const std::string prefix = std::string(flag) + "=";
+    if (arg == flag && i + 1 < argc) {
+      out_val = argv[++i];
+      return true;
+    }
+    if (arg.rfind(prefix, 0) == 0) {
+      out_val = arg.substr(prefix.size());
+      return true;
+    }
+    return false;
+  };
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
-    if (a == "--threads" && i + 1 < argc) {
-      return static_cast<std::size_t>(std::strtoull(argv[i + 1], nullptr, 10));
-    }
-    if (a.rfind("--threads=", 0) == 0) {
-      return static_cast<std::size_t>(
-          std::strtoull(a.c_str() + 10, nullptr, 10));
+    std::string v;
+    if (value_of(a, "--threads", i, v)) {
+      opts.threads = static_cast<std::size_t>(
+          std::strtoull(v.c_str(), nullptr, 10));
+    } else if (value_of(a, "--seed", i, v)) {
+      opts.seed = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (value_of(a, "--out", i, v)) {
+      opts.out = v;
+    } else if (value_of(a, "--trace", i, v)) {
+      opts.trace = v;
+    } else {
+      opts.rest.push_back(argv[i]);
     }
   }
-  const char* env = std::getenv("PISCES_THREADS");
-  if (env != nullptr) {
-    return static_cast<std::size_t>(std::strtoull(env, nullptr, 10));
+  auto env_or = [](const char* name, const std::string& cur) {
+    if (!cur.empty()) return cur;
+    const char* e = std::getenv(name);
+    return e != nullptr ? std::string(e) : std::string();
+  };
+  if (opts.threads == 0) {
+    const std::string e = env_or("PISCES_THREADS", "");
+    if (!e.empty()) {
+      opts.threads = static_cast<std::size_t>(
+          std::strtoull(e.c_str(), nullptr, 10));
+    }
   }
-  return 0;
+  if (opts.seed == 0) {
+    const std::string e = env_or("PISCES_SEED", "");
+    if (!e.empty()) opts.seed = std::strtoull(e.c_str(), nullptr, 10);
+  }
+  opts.out = env_or("PISCES_OUT", opts.out);
+  opts.trace = env_or("PISCES_TRACE", opts.trace);
+
+  if (opts.threads > 0) SetGlobalPoolThreads(opts.threads);
+  detail::g_seed_override = opts.seed;
+  if (!opts.trace.empty()) obs::EnableTracing(opts.trace);
+  return opts;
 }
 
 inline bool PaperScale() {
@@ -69,7 +134,8 @@ inline ExperimentConfig MakeConfig(std::size_t n, std::size_t t, std::size_t l,
   cfg.params.r = r;
   cfg.params.field_bits = g;
   cfg.file_bytes = file_bytes;
-  cfg.seed = 0xBE7C4 + n * 131 + t * 17 + l * 3 + r;
+  cfg.seed = detail::g_seed_override != 0 ? detail::g_seed_override
+                                          : 0xBE7C4 + n * 131 + t * 17 + l * 3 + r;
   // The paper's own measurement isolates the PSS protocol; channel crypto is
   // modeled by TLS in their deployment and metered separately here, so the
   // figure benches run with plaintext links (tests cover encryption).
@@ -85,8 +151,21 @@ inline void Banner(const char* artifact, const char* title) {
   std::printf("============================================================\n");
 }
 
-inline void DumpCsv(const Recorder& rec) {
+// Dumps the series CSV and finalizes the shared outputs: writes the CSV to
+// --out when given, and when tracing is on writes the Chrome-trace JSON to
+// the --trace path and prints the per-window flame summary.
+inline void Finish(const Recorder& rec, const Options& opts) {
   std::printf("\n--- CSV ---\n%s", rec.ToCsv().c_str());
+  if (!opts.out.empty()) {
+    rec.WriteFile(opts.out);
+    std::printf("csv written to %s\n", opts.out.c_str());
+  }
+  if (obs::TraceEnabled()) {
+    obs::WriteTrace();
+    std::printf("\n%s", obs::FlameSummary().c_str());
+    std::printf("trace written to %s (chrome://tracing, ui.perfetto.dev)\n",
+                opts.trace.c_str());
+  }
 }
 
 }  // namespace pisces::bench

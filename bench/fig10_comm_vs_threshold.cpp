@@ -5,8 +5,9 @@
 // squeezed), sharply near the threshold.
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pisces;
+  const bench::Options opts = bench::Parse(argc, argv);
   bench::Banner("Figure 10",
                 "Total communication overhead vs corruption threshold t");
 
@@ -31,7 +32,7 @@ int main() {
       RecordExperiment(rec, name, res);
     }
   }
-  bench::DumpCsv(rec);
+  bench::Finish(rec, opts);
   std::printf("\nShape check: overhead rises with t for every n series.\n");
   return 0;
 }

@@ -6,8 +6,9 @@
 // inversely proportional to w.
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pisces;
+  const bench::Options opts = bench::Parse(argc, argv);
   bench::Banner("Figure 11",
                 "Fraction of uptime spent refreshing vs window size w");
 
@@ -33,13 +34,15 @@ int main() {
       double fraction = res.window_time_s / (h * 3600.0);
       std::printf("%-10s %10.0f %16.3f %12.3e\n", name.c_str(), h,
                   res.window_time_s, fraction);
-      rec.AddRow({{"series", name},
-                  {"window_h", Recorder::Num(h)},
-                  {"window_work_s", Recorder::Num(res.window_time_s)},
-                  {"fraction", Recorder::Num(fraction)}});
+      rec.NewRow()
+          .Set("series", name)
+          .Set("window_h", h)
+          .Set("window_work_s", res.window_time_s)
+          .Set("fraction", fraction)
+          .Commit();
     }
   }
-  bench::DumpCsv(rec);
+  bench::Finish(rec, opts);
   std::printf(
       "\nShape check: fraction < 1%% for daily (24h) windows in every "
       "configuration;\nfraction scales as 1/w.\n");

@@ -8,10 +8,10 @@
 
 int main(int argc, char** argv) {
   using namespace pisces;
+  const bench::Options opts = bench::Parse(argc, argv);
   bench::Banner("Figure 12",
                 "Total time to refresh vs tolerated corruptions t");
-  const std::size_t threads = bench::ThreadsArg(argc, argv);
-  if (threads > 0) std::printf("threads: %zu\n", threads);
+  if (opts.threads > 0) std::printf("threads: %zu\n", opts.threads);
 
   std::vector<std::size_t> ns{21, 29, 37};
   // r = 3 keeps the reboot schedule affordable; the series compare n at
@@ -37,7 +37,7 @@ int main(int argc, char** argv) {
       std::size_t l = bench::MaxPacking(n, t, r_eff);
       ExperimentConfig cfg =
           bench::MakeConfig(n, t, l, r_eff, 1024, file_bytes);
-      cfg.threads = threads;
+      cfg.threads = opts.threads;
       ExperimentResult res = RunRefreshExperiment(cfg);
       std::string name = "n" + std::to_string(n);
       std::printf("%-6s %3zu %3zu %16.4f %16.3e\n", name.c_str(), t, l,
@@ -45,7 +45,7 @@ int main(int argc, char** argv) {
       RecordExperiment(rec, name, res);
     }
   }
-  bench::DumpCsv(rec);
+  bench::Finish(rec, opts);
   std::printf(
       "\nShape check: for each fixed t, the n=37 series sits below n=29 below"
       "\nn=21 (more servers -> faster refresh at constant threat level).\n");

@@ -5,8 +5,9 @@
 // bytes for the same file (better amortization through larger packing).
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pisces;
+  const bench::Options opts = bench::Parse(argc, argv);
   bench::Banner("Figure 13",
                 "Communication overhead vs tolerated corruptions t");
 
@@ -42,7 +43,7 @@ int main() {
       RecordExperiment(rec, name, res);
     }
   }
-  bench::DumpCsv(rec);
+  bench::Finish(rec, opts);
   std::printf(
       "\nShape check: at fixed t, larger n transfers fewer bytes per file "
       "byte.\n");

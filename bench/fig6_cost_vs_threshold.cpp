@@ -6,8 +6,9 @@
 // toward 1 and the amortization of the underlying PSS is lost.
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pisces;
+  const bench::Options opts = bench::Parse(argc, argv);
   bench::Banner("Figure 6", "Total cost to refresh vs corruption threshold t");
 
   const std::size_t n = 21;
@@ -32,7 +33,7 @@ int main() {
       RecordExperiment(rec, SpecOf(type).name, res);
     }
   }
-  bench::DumpCsv(rec);
+  bench::Finish(rec, opts);
   std::printf("\nShape check: cost should rise sharply as t -> n/3 = 7.\n");
   return 0;
 }

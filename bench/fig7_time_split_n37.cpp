@@ -7,10 +7,10 @@
 
 int main(int argc, char** argv) {
   using namespace pisces;
+  const bench::Options opts = bench::Parse(argc, argv);
   bench::Banner("Figure 7",
                 "n=37: refresh time per byte vs t, sending/computing split");
-  const std::size_t threads = bench::ThreadsArg(argc, argv);
-  if (threads > 0) std::printf("threads: %zu\n", threads);
+  if (opts.threads > 0) std::printf("threads: %zu\n", opts.threads);
 
   const std::size_t n = 37;
   const std::size_t r = 3;
@@ -25,7 +25,7 @@ int main(int argc, char** argv) {
     std::size_t l = bench::MaxPacking(n, t, r);
     ExperimentConfig cfg =
         bench::MakeConfig(n, t, l, r, 1024, bench::FileBytes(n));
-    cfg.threads = threads;
+    cfg.threads = opts.threads;
     ExperimentResult res = RunRefreshExperiment(cfg);
     const double fb = static_cast<double>(res.file_bytes);
     std::printf("%3zu %3zu | %18.3e %18.3e %18.3e %18.3e\n", t, l,
@@ -33,7 +33,7 @@ int main(int argc, char** argv) {
                 res.compute_rerand_s / fb, res.compute_recover_s / fb);
     RecordExperiment(rec, "n37", res);
   }
-  bench::DumpCsv(rec);
+  bench::Finish(rec, opts);
   std::printf(
       "\nShape check: all four series rise with t; recovery > rerandomization;"
       "\nnear t = 11 (l -> 1 region) the per-byte time spikes.\n");

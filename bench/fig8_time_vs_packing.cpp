@@ -7,8 +7,9 @@
 // "interesting" observation, Figures 8/9).
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pisces;
+  const bench::Options opts = bench::Parse(argc, argv);
   bench::Banner("Figure 8", "Time to refresh (s/byte) vs packing parameter l");
 
   struct Series {
@@ -35,7 +36,7 @@ int main() {
       RecordExperiment(rec, name, res);
     }
   }
-  bench::DumpCsv(rec);
+  bench::Finish(rec, opts);
   std::printf(
       "\nShape check: steep drop from l=1, then flattening; interior minimum"
       "\n(per-byte time rises again at the largest l values).\n");

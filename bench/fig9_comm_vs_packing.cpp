@@ -6,8 +6,9 @@
 // beneficial thing to do").
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pisces;
+  const bench::Options opts = bench::Parse(argc, argv);
   bench::Banner("Figure 9",
                 "Total communication overhead vs packing parameter l");
 
@@ -37,7 +38,7 @@ int main() {
       RecordExperiment(rec, name, res);
     }
   }
-  bench::DumpCsv(rec);
+  bench::Finish(rec, opts);
   std::printf("\nShape check: minimum at an interior l per configuration.\n");
   return 0;
 }

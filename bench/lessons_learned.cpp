@@ -6,8 +6,9 @@
 //    machine calibration, the neighborhood ordering is the check).
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pisces;
+  const bench::Options opts = bench::Parse(argc, argv);
   bench::Banner("SectionVIII", "Lessons learned: best-parameter neighborhood");
 
   struct Point {
@@ -36,7 +37,7 @@ int main() {
                 res.cost_dedicated, cents_per_kb);
     RecordExperiment(rec, p.name, res);
   }
-  bench::DumpCsv(rec);
+  bench::Finish(rec, opts);
   std::printf(
       "\nShape check: the paper-best point should be at or near the cheapest"
       "\nrow; g=2048 and l-off-optimum rows should be worse.\n");

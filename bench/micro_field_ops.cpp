@@ -6,6 +6,7 @@
 #include <map>
 #include <memory>
 
+#include "bench_common.h"
 #include "field/primes.h"
 #include "math/poly.h"
 
@@ -197,4 +198,18 @@ BENCHMARK(BM_LagrangeCoeffs)->Arg(19)->Arg(37);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): the shared flags (--threads,
+// --trace, ...) are stripped by bench::Parse before google-benchmark sees
+// argv, since ReportUnrecognizedArguments treats any leftover as fatal.
+int main(int argc, char** argv) {
+  pisces::bench::Options opts = pisces::bench::Parse(argc, argv);
+  int rest_argc = static_cast<int>(opts.rest.size());
+  benchmark::Initialize(&rest_argc, opts.rest.data());
+  if (benchmark::ReportUnrecognizedArguments(rest_argc, opts.rest.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (obs::TraceEnabled()) obs::WriteTrace();
+  return 0;
+}

@@ -2,8 +2,9 @@
 // sanity rows (what one hour of an n-host deployment costs).
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pisces;
+  const bench::Options opts = bench::Parse(argc, argv);
   bench::Banner("Table I", "Amazon EC2 instance specifications");
 
   std::printf("%-8s %4s %12s %12s %18s %16s\n", "Type", "CPU", "Memory(GiB)",
@@ -29,12 +30,14 @@ int main() {
       double spot = cost.WindowCost(n, 3600.0, true);
       std::printf("  %-8s n=%2zu  $%7.3f / $%7.4f\n", SpecOf(type).name, n,
                   ded, spot);
-      rec.AddRow({{"instance", SpecOf(type).name},
-                  {"n", std::to_string(n)},
-                  {"dedicated_usd_per_h", Recorder::Num(ded)},
-                  {"spot_usd_per_h", Recorder::Num(spot)}});
+      rec.NewRow()
+          .Set("instance", SpecOf(type).name)
+          .Set("n", n)
+          .Set("dedicated_usd_per_h", ded)
+          .Set("spot_usd_per_h", spot)
+          .Commit();
     }
   }
-  bench::DumpCsv(rec);
+  bench::Finish(rec, opts);
   return 0;
 }

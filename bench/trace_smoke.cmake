@@ -1,0 +1,25 @@
+# CI smoke for --trace: runs one real-protocol bench with tracing on and
+# validates that the emitted file is well-formed Chrome-trace JSON with at
+# least one event. Invoked by the `trace_smoke` ctest as
+#   cmake -DBENCH=<bench-binary> -DTRACE=<output-path> -P trace_smoke.cmake
+execute_process(COMMAND "${BENCH}" --trace "${TRACE}"
+                RESULT_VARIABLE rc OUTPUT_QUIET)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "bench exited with ${rc}")
+endif()
+if(NOT EXISTS "${TRACE}")
+  message(FATAL_ERROR "no trace written to ${TRACE}")
+endif()
+file(READ "${TRACE}" content)
+if(CMAKE_VERSION VERSION_GREATER_EQUAL 3.19)
+  # string(JSON) fatals on malformed JSON, which is exactly what we want.
+  string(JSON n LENGTH "${content}" traceEvents)
+  if(n LESS 1)
+    message(FATAL_ERROR "trace has no events")
+  endif()
+else()
+  string(FIND "${content}" "\"traceEvents\":[" pos)
+  if(pos EQUAL -1)
+    message(FATAL_ERROR "not a chrome trace: ${TRACE}")
+  endif()
+endif()

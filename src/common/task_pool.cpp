@@ -56,6 +56,7 @@ void TaskPool::ParallelChunks(
     // Serial (or nested) execution: no synchronization, no worker CPU.
     ++g_parallel_depth;
     try {
+      obs::Span span(obs::SpanKind::kPoolChunk, 0, 1);
       fn(begin, end);
     } catch (...) {
       --g_parallel_depth;
@@ -73,6 +74,7 @@ void TaskPool::ParallelChunks(
     job_.chunks = chunks;
     job_.remaining = chunks - 1;  // chunk 0 runs on the caller
     job_.worker_cpu_ns = 0;
+    job_.trace = obs::CurrentTraceContext();
     job_.error = nullptr;
     ++generation_;
   }
@@ -84,6 +86,7 @@ void TaskPool::ParallelChunks(
   std::exception_ptr caller_error;
   auto [lo, hi] = ChunkBounds(begin, end, chunks, 0);
   try {
+    obs::Span span(obs::SpanKind::kPoolChunk, 0, chunks);
     fn(lo, hi);
   } catch (...) {
     caller_error = std::current_exception();
@@ -125,6 +128,8 @@ void TaskPool::WorkerLoop(std::size_t worker_index) {
     const std::size_t chunk = worker_index + 1;
     if (chunk >= job_.chunks) continue;  // no chunk for this worker
     const auto* fn = job_.fn;
+    const std::size_t job_chunks = job_.chunks;
+    const obs::TraceContext trace_ctx = job_.trace;
     const auto [lo, hi] =
         ChunkBounds(job_.begin, job_.end, job_.chunks, chunk);
     lock.unlock();
@@ -133,6 +138,8 @@ void TaskPool::WorkerLoop(std::size_t worker_index) {
     std::exception_ptr error;
     ++g_parallel_depth;
     try {
+      obs::ScopedTraceContext trace_scope(trace_ctx);
+      obs::Span span(obs::SpanKind::kPoolChunk, chunk, job_chunks);
       (*fn)(lo, hi);
     } catch (...) {
       error = std::current_exception();

@@ -31,6 +31,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/trace.h"
+
 namespace pisces {
 
 class TaskPool {
@@ -71,6 +73,9 @@ class TaskPool {
     std::size_t chunks = 0;  // number of chunks this job was split into
     std::size_t remaining = 0;  // worker chunks not yet finished
     std::uint64_t worker_cpu_ns = 0;
+    // Dispatcher's trace context, installed in each worker so chunk spans
+    // parent under the protocol span that issued the job.
+    obs::TraceContext trace;
     std::exception_ptr error;
   };
 

@@ -1,9 +1,9 @@
 #include "field/fp.h"
 
 #include <algorithm>
-#include <atomic>
 
 #include "field/fp_kernels.h"
+#include "obs/registry.h"
 
 namespace pisces::field {
 
@@ -12,24 +12,27 @@ using u128 = unsigned __int128;
 
 namespace {
 
-// Process-wide kernel instrumentation (relaxed: counters only, never control
-// flow, so they cannot perturb results or determinism).
+// Process-wide kernel instrumentation, held in the obs telemetry registry
+// under "field.*" (relaxed counters only, never control flow, so they cannot
+// perturb results or determinism). GetKernelStats/ResetKernelStats below
+// stay as thin views over these registry entries.
 struct KernelCounters {
-  std::atomic<u64> mont_muls{0};
-  std::atomic<u64> mont_sqrs{0};
-  std::atomic<u64> dot_calls{0};
-  std::atomic<u64> dot_products{0};
-  std::atomic<u64> dot_reductions{0};
+  obs::Counter& mont_muls = obs::RegisterCounter(
+      "field.mont_muls", "Montgomery multiplications (debug builds only)");
+  obs::Counter& mont_sqrs = obs::RegisterCounter(
+      "field.mont_sqrs", "Montgomery squarings (debug builds only)");
+  obs::Counter& dot_calls =
+      obs::RegisterCounter("field.dot_calls", "lazy dot outputs produced");
+  obs::Counter& dot_products = obs::RegisterCounter(
+      "field.dot_products", "products accumulated unreduced");
+  obs::Counter& dot_reductions = obs::RegisterCounter(
+      "field.dot_reductions", "wide reductions (== nonzero dot outputs)");
 };
 KernelCounters g_kernel_stats;
 
 #ifndef NDEBUG
-inline void CountMul() {
-  g_kernel_stats.mont_muls.fetch_add(1, std::memory_order_relaxed);
-}
-inline void CountSqr() {
-  g_kernel_stats.mont_sqrs.fetch_add(1, std::memory_order_relaxed);
-}
+inline void CountMul() { g_kernel_stats.mont_muls.Add(); }
+inline void CountSqr() { g_kernel_stats.mont_sqrs.Add(); }
 #else
 inline void CountMul() {}
 inline void CountSqr() {}
@@ -110,21 +113,20 @@ Limbs LimbsFromBe(std::span<const std::uint8_t> be) {
 
 KernelStatsSnapshot GetKernelStats() {
   KernelStatsSnapshot s;
-  s.mont_muls = g_kernel_stats.mont_muls.load(std::memory_order_relaxed);
-  s.mont_sqrs = g_kernel_stats.mont_sqrs.load(std::memory_order_relaxed);
-  s.dot_calls = g_kernel_stats.dot_calls.load(std::memory_order_relaxed);
-  s.dot_products = g_kernel_stats.dot_products.load(std::memory_order_relaxed);
-  s.dot_reductions =
-      g_kernel_stats.dot_reductions.load(std::memory_order_relaxed);
+  s.mont_muls = g_kernel_stats.mont_muls.Load();
+  s.mont_sqrs = g_kernel_stats.mont_sqrs.Load();
+  s.dot_calls = g_kernel_stats.dot_calls.Load();
+  s.dot_products = g_kernel_stats.dot_products.Load();
+  s.dot_reductions = g_kernel_stats.dot_reductions.Load();
   return s;
 }
 
 void ResetKernelStats() {
-  g_kernel_stats.mont_muls.store(0, std::memory_order_relaxed);
-  g_kernel_stats.mont_sqrs.store(0, std::memory_order_relaxed);
-  g_kernel_stats.dot_calls.store(0, std::memory_order_relaxed);
-  g_kernel_stats.dot_products.store(0, std::memory_order_relaxed);
-  g_kernel_stats.dot_reductions.store(0, std::memory_order_relaxed);
+  g_kernel_stats.mont_muls.Reset();
+  g_kernel_stats.mont_sqrs.Reset();
+  g_kernel_stats.dot_calls.Reset();
+  g_kernel_stats.dot_products.Reset();
+  g_kernel_stats.dot_reductions.Reset();
 }
 
 FpCtx::FpCtx(std::span<const std::uint8_t> modulus_be,
@@ -303,7 +305,7 @@ FpElem FpCtx::Sqr(const FpElem& a) const {
 }
 
 void FpCtx::AccMulAdd(u64* t, const FpElem& a, const FpElem& b) const {
-  g_kernel_stats.dot_products.fetch_add(1, std::memory_order_relaxed);
+  g_kernel_stats.dot_products.Add();
   if (kernels_ != nullptr) {
     kernels_->mul_acc(t, a.v.data(), b.v.data());
   } else {
@@ -312,9 +314,9 @@ void FpCtx::AccMulAdd(u64* t, const FpElem& a, const FpElem& b) const {
 }
 
 FpElem FpCtx::AccReduce(const u64* t, std::uint64_t n_products) const {
-  g_kernel_stats.dot_calls.fetch_add(1, std::memory_order_relaxed);
+  g_kernel_stats.dot_calls.Add();
   if (n_products == 0) return Zero();
-  g_kernel_stats.dot_reductions.fetch_add(1, std::memory_order_relaxed);
+  g_kernel_stats.dot_reductions.Add();
   // Copy: the reduction is destructive, but a DotAcc may keep accumulating.
   u64 w[2 * kMaxLimbs + 2];
   std::copy(t, t + 2 * k_ + 1, w);
@@ -335,7 +337,7 @@ FpElem FpCtx::AccReduce(const u64* t, std::uint64_t n_products) const {
 FpElem FpCtx::Dot(std::span<const FpElem> a, std::span<const FpElem> b) const {
   Require(a.size() == b.size(), "Dot: size mismatch");
   if (a.empty()) {
-    g_kernel_stats.dot_calls.fetch_add(1, std::memory_order_relaxed);
+    g_kernel_stats.dot_calls.Add();
     return Zero();
   }
   u64 t[2 * kMaxLimbs + 2] = {0};
@@ -348,9 +350,9 @@ FpElem FpCtx::Dot(std::span<const FpElem> a, std::span<const FpElem> b) const {
       MulAccN(t, a[i].v.data(), b[i].v.data(), k_);
     }
   }
-  g_kernel_stats.dot_products.fetch_add(a.size(), std::memory_order_relaxed);
-  g_kernel_stats.dot_calls.fetch_add(1, std::memory_order_relaxed);
-  g_kernel_stats.dot_reductions.fetch_add(1, std::memory_order_relaxed);
+  g_kernel_stats.dot_products.Add(a.size());
+  g_kernel_stats.dot_calls.Add();
+  g_kernel_stats.dot_reductions.Add();
   FpElem u;
   if (kernels_ != nullptr) {
     kernels_->redc_wide(p_.data(), n0inv_, t, u.v.data());

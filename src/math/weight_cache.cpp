@@ -1,17 +1,21 @@
 #include "math/weight_cache.h"
 
-#include <atomic>
 #include <map>
 #include <mutex>
 
 #include "math/poly.h"
+#include "obs/registry.h"
 
 namespace pisces::math {
 
 namespace {
 
-std::atomic<std::uint64_t> g_wc_hits{0};
-std::atomic<std::uint64_t> g_wc_misses{0};
+// Registry-held ("math.*") hit/miss counters; GetWeightCacheStats below is a
+// thin view over them.
+obs::Counter& g_wc_hits =
+    obs::RegisterCounter("math.wc_hits", "weight/Vandermonde cache hits");
+obs::Counter& g_wc_misses =
+    obs::RegisterCounter("math.wc_misses", "weight/Vandermonde cache misses");
 
 // Cache key: context identity plus the raw limb dump of every point (points
 // are in Montgomery form, which is canonical for a fixed modulus) and a size
@@ -60,11 +64,11 @@ std::shared_ptr<const std::vector<std::vector<FpElem>>> CachedLagrangeWeights(
     std::lock_guard<std::mutex> lock(c.mu);
     auto it = c.weights.find(key);
     if (it != c.weights.end()) {
-      g_wc_hits.fetch_add(1, std::memory_order_relaxed);
+      g_wc_hits.Add();
       return it->second;
     }
   }
-  g_wc_misses.fetch_add(1, std::memory_order_relaxed);
+  g_wc_misses.Add();
   // Compute outside the lock: misses are rare and the computation is the
   // expensive part. Two racing misses insert identical values; first wins.
   auto value = std::make_shared<const std::vector<std::vector<FpElem>>>(
@@ -86,11 +90,11 @@ std::shared_ptr<const Matrix> CachedVandermondeRows(const FpCtx& ctx,
     std::lock_guard<std::mutex> lock(c.mu);
     auto it = c.vandermonde.find(key);
     if (it != c.vandermonde.end()) {
-      g_wc_hits.fetch_add(1, std::memory_order_relaxed);
+      g_wc_hits.Add();
       return it->second;
     }
   }
-  g_wc_misses.fetch_add(1, std::memory_order_relaxed);
+  g_wc_misses.Add();
   auto value =
       std::make_shared<const Matrix>(Vandermonde(ctx, xs, cols));
   std::lock_guard<std::mutex> lock(c.mu);
@@ -112,13 +116,12 @@ std::size_t WeightCacheSize() {
 }
 
 WeightCacheStats GetWeightCacheStats() {
-  return {g_wc_hits.load(std::memory_order_relaxed),
-          g_wc_misses.load(std::memory_order_relaxed)};
+  return {g_wc_hits.Load(), g_wc_misses.Load()};
 }
 
 void ResetWeightCacheStats() {
-  g_wc_hits.store(0, std::memory_order_relaxed);
-  g_wc_misses.store(0, std::memory_order_relaxed);
+  g_wc_hits.Reset();
+  g_wc_misses.Reset();
 }
 
 }  // namespace pisces::math

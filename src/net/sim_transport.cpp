@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
+
 namespace pisces::net {
 
 void SimEndpoint::Send(Message msg) {
@@ -132,6 +134,7 @@ void SimNet::Deliver(Message msg) {
   src.stats.bytes_sent += wire;
   total_bytes_ += wire;
   total_msgs_ += 1;
+  obs::NetEvent("send", msg.from, msg.to, wire);
 
   // Crash-at-Nth-message: the host dies while sending; this message and
   // everything queued toward the host is lost. The trigger is one-shot so a
@@ -232,6 +235,7 @@ std::optional<Message> SimNet::Pop(std::uint32_t id) {
   if (box.offline || box.queue.empty()) return std::nullopt;
   Message m = std::move(box.queue.front());
   box.queue.pop_front();
+  obs::NetEvent("recv", m.from, id, m.WireSize());
   return m;
 }
 

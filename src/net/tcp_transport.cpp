@@ -1,5 +1,7 @@
 #include "net/tcp_transport.h"
 
+#include "obs/trace.h"
+
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
@@ -171,6 +173,7 @@ int TcpEndpoint::ConnectTo(std::uint32_t peer_id) {
 
 void TcpEndpoint::Send(Message msg) {
   Require(msg.from == id_, "TcpEndpoint::Send: from must match endpoint id");
+  obs::NetEvent("send", msg.from, msg.to, msg.WireSize());
   Bytes body = msg.Serialize();
   Bytes frame(4 + body.size());
   StoreLe32(static_cast<std::uint32_t>(body.size()), frame.data());
@@ -197,6 +200,7 @@ std::optional<Message> TcpEndpoint::Receive() {
   if (queue_.empty()) return std::nullopt;
   Message m = std::move(queue_.front());
   queue_.pop_front();
+  obs::NetEvent("recv", m.from, id_, m.WireSize());
   return m;
 }
 
@@ -208,6 +212,7 @@ std::optional<Message> TcpEndpoint::ReceiveWait(int timeout_ms) {
   }
   Message m = std::move(queue_.front());
   queue_.pop_front();
+  obs::NetEvent("recv", m.from, id_, m.WireSize());
   return m;
 }
 

@@ -1,0 +1,121 @@
+#include "obs/registry.h"
+
+#include <deque>
+#include <mutex>
+
+#include "common/error.h"
+
+namespace obs {
+namespace {
+
+enum class Kind { kCounter, kGauge };
+
+struct Entry {
+  std::string name;
+  std::string help;
+  Kind kind;
+  Counter counter;  // exactly one of the two is live, by kind
+  Gauge gauge;
+};
+
+// Deque: stable addresses across registration (entries are never removed).
+struct Registry {
+  std::mutex mu;
+  std::deque<Entry> entries;
+};
+
+Registry& Reg() {
+  static Registry* r = new Registry();  // leaked: outlive all static dtors
+  return *r;
+}
+
+Entry& RegisterEntry(const std::string& name, const std::string& help,
+                     Kind kind) {
+  pisces::Require(!name.empty(), "obs: metric name empty");
+  Registry& reg = Reg();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  for (Entry& e : reg.entries) {
+    if (e.name == name) {
+      pisces::Require(e.kind == kind,
+                      "obs: metric '" + name +
+                          "' re-registered with a different kind");
+      return e;
+    }
+  }
+  reg.entries.emplace_back();
+  Entry& e = reg.entries.back();
+  e.name = name;
+  e.help = help;
+  e.kind = kind;
+  return e;
+}
+
+}  // namespace
+
+Counter& RegisterCounter(const std::string& name, const std::string& help) {
+  return RegisterEntry(name, help, Kind::kCounter).counter;
+}
+
+Gauge& RegisterGauge(const std::string& name, const std::string& help) {
+  return RegisterEntry(name, help, Kind::kGauge).gauge;
+}
+
+Snapshot TakeSnapshot() {
+  Registry& reg = Reg();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  Snapshot snap;
+  snap.reserve(reg.entries.size());
+  for (const Entry& e : reg.entries) {
+    snap.push_back({e.name, e.kind == Kind::kCounter ? e.counter.Load()
+                                                     : e.gauge.Load()});
+  }
+  return snap;
+}
+
+Snapshot Delta(const Snapshot& before, const Snapshot& after) {
+  // Names are append-only and ordered, so `before` is a prefix of `after`.
+  pisces::Require(before.size() <= after.size(),
+                  "obs::Delta: snapshots out of order");
+  Snapshot out;
+  out.reserve(after.size());
+  // Gauge entries report the latest value rather than a difference; look the
+  // kind up once under the registry lock.
+  std::vector<bool> is_gauge(after.size(), false);
+  {
+    Registry& reg = Reg();
+    std::lock_guard<std::mutex> lock(reg.mu);
+    for (std::size_t i = 0; i < after.size() && i < reg.entries.size(); ++i) {
+      is_gauge[i] = reg.entries[i].kind == Kind::kGauge;
+    }
+  }
+  for (std::size_t i = 0; i < after.size(); ++i) {
+    std::uint64_t base = 0;
+    if (i < before.size()) {
+      pisces::Require(
+          before[i].name == after[i].name,
+          "obs::Delta: snapshot name mismatch at '" + after[i].name + "'");
+      base = before[i].value;
+    }
+    out.push_back(
+        {after[i].name, is_gauge[i] ? after[i].value : after[i].value - base});
+  }
+  return out;
+}
+
+std::uint64_t Value(const Snapshot& snap, const std::string& name) {
+  for (const MetricValue& m : snap) {
+    if (m.name == name) return m.value;
+  }
+  return 0;
+}
+
+std::vector<std::pair<std::string, std::string>> ListMetrics() {
+  Registry& reg = Reg();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  std::vector<std::pair<std::string, std::string>> out;
+  out.reserve(reg.entries.size());
+  for (const Entry& e : reg.entries) out.emplace_back(e.name, e.help);
+  return out;
+}
+
+}  // namespace obs

@@ -69,7 +69,8 @@ FileMeta Client::BeginUpload(std::uint64_t file_id,
   FileMeta meta;
   std::vector<std::vector<FpElem>> shares_for_host;
   {
-    ComputeSection section(metrics_);
+    ComputeSection section(metrics_, obs::SpanKind::kClientSet, file_id,
+                           data.size());
     std::vector<FpElem> elems;
     std::tie(meta, elems) = codec_.Encode(file_id, data, section.extra());
 
@@ -202,7 +203,8 @@ std::optional<Bytes> Client::TryAssemble(std::uint64_t file_id) {
   const std::size_t need = cfg_.params.degree() + 1;
   if (responses.size() < need) return std::nullopt;
 
-  ComputeSection section(metrics_);
+  ComputeSection section(metrics_, obs::SpanKind::kClientReconstruct,
+                         file_id);
   // Adopt the majority meta (all honest hosts agree; a corrupted meta from a
   // minority cannot win).
   std::map<Bytes, std::size_t> meta_votes;

@@ -1,7 +1,7 @@
 #include "pisces/driver.h"
 
 #include "common/task_pool.h"
-#include "math/weight_cache.h"
+#include "obs/registry.h"
 
 namespace pisces {
 
@@ -33,10 +33,9 @@ ExperimentResult RunRefreshExperiment(const ExperimentConfig& cfg) {
   r.file_blocks = meta.num_blocks;
   r.threads = GlobalPoolThreads();
 
-  // Substrate counters are process-wide; the deltas around the window
-  // attribute lazy-dot and weight-cache activity to this experiment.
-  const field::KernelStatsSnapshot ks0 = field::GetKernelStats();
-  const math::WeightCacheStats wc0 = math::GetWeightCacheStats();
+  // Substrate counters are process-wide; one registry delta around the
+  // window attributes lazy-dot and weight-cache activity to this experiment.
+  const obs::Snapshot snap0 = obs::TakeSnapshot();
 
   WindowReport report;
   if (cfg.run_recovery) {
@@ -45,14 +44,13 @@ ExperimentResult RunRefreshExperiment(const ExperimentConfig& cfg) {
     report.ok = cluster.hypervisor().RefreshAllFiles(&report);
   }
 
-  const field::KernelStatsSnapshot ks1 = field::GetKernelStats();
-  const math::WeightCacheStats wc1 = math::GetWeightCacheStats();
+  const obs::Snapshot delta = obs::Delta(snap0, obs::TakeSnapshot());
   r.substrate.kernel_width = cluster.ctx().kernel_width();
-  r.substrate.dot_calls = ks1.dot_calls - ks0.dot_calls;
-  r.substrate.dot_products = ks1.dot_products - ks0.dot_products;
-  r.substrate.dot_reductions = ks1.dot_reductions - ks0.dot_reductions;
-  r.substrate.wc_hits = wc1.hits - wc0.hits;
-  r.substrate.wc_misses = wc1.misses - wc0.misses;
+  r.substrate.dot_calls = obs::Value(delta, "field.dot_calls");
+  r.substrate.dot_products = obs::Value(delta, "field.dot_products");
+  r.substrate.dot_reductions = obs::Value(delta, "field.dot_reductions");
+  r.substrate.wc_hits = obs::Value(delta, "math.wc_hits");
+  r.substrate.wc_misses = obs::Value(delta, "math.wc_misses");
 
   r.cpu_rerand_s = static_cast<double>(report.rerandomize_total.cpu_ns) * 1e-9;
   r.cpu_recover_s = static_cast<double>(report.recover_total.cpu_ns) * 1e-9;
@@ -114,43 +112,43 @@ Recorder MakeExperimentRecorder() {
 
 void RecordExperiment(Recorder& rec, const std::string& series,
                       const ExperimentResult& r) {
-  rec.AddRow({
-      {"series", series},
-      {"n", std::to_string(r.params.n)},
-      {"t", std::to_string(r.params.t)},
-      {"l", std::to_string(r.params.l)},
-      {"r", std::to_string(r.params.r)},
-      {"b", std::to_string(r.params.b)},
-      {"g", std::to_string(r.params.field_bits)},
-      {"threads", std::to_string(r.threads)},
-      {"file_bytes", std::to_string(r.file_bytes)},
-      {"blocks", std::to_string(r.file_blocks)},
-      {"ok", r.ok ? "1" : "0"},
-      {"cpu_rerand_s", Recorder::Num(r.cpu_rerand_s)},
-      {"cpu_recover_s", Recorder::Num(r.cpu_recover_s)},
-      {"wall_rerand_s", Recorder::Num(r.wall_rerand_s)},
-      {"wall_recover_s", Recorder::Num(r.wall_recover_s)},
-      {"bytes_rerand", std::to_string(r.bytes_rerand)},
-      {"bytes_recover", std::to_string(r.bytes_recover)},
-      {"compute_rerand_s", Recorder::Num(r.compute_rerand_s)},
-      {"compute_recover_s", Recorder::Num(r.compute_recover_s)},
-      {"send_rerand_s", Recorder::Num(r.send_rerand_s)},
-      {"send_recover_s", Recorder::Num(r.send_recover_s)},
-      {"refresh_time_s", Recorder::Num(r.refresh_time_s)},
-      {"window_time_s", Recorder::Num(r.window_time_s)},
-      {"cost_dedicated_usd", Recorder::Num(r.cost_dedicated)},
-      {"cost_spot_usd", Recorder::Num(r.cost_spot)},
-      {"deals_excluded", std::to_string(r.deals_excluded)},
-      {"retries", std::to_string(r.retries)},
-      {"timeouts_fired", std::to_string(r.timeouts_fired)},
-      {"msgs_dropped", std::to_string(r.msgs_dropped)},
-      {"kernel_width", std::to_string(r.substrate.kernel_width)},
-      {"dot_calls", std::to_string(r.substrate.dot_calls)},
-      {"dot_products", std::to_string(r.substrate.dot_products)},
-      {"dot_reductions", std::to_string(r.substrate.dot_reductions)},
-      {"wc_hits", std::to_string(r.substrate.wc_hits)},
-      {"wc_misses", std::to_string(r.substrate.wc_misses)},
-  });
+  rec.NewRow()
+      .Set("series", series)
+      .Set("n", r.params.n)
+      .Set("t", r.params.t)
+      .Set("l", r.params.l)
+      .Set("r", r.params.r)
+      .Set("b", r.params.b)
+      .Set("g", r.params.field_bits)
+      .Set("threads", r.threads)
+      .Set("file_bytes", r.file_bytes)
+      .Set("blocks", r.file_blocks)
+      .Set("ok", r.ok)
+      .Set("cpu_rerand_s", r.cpu_rerand_s)
+      .Set("cpu_recover_s", r.cpu_recover_s)
+      .Set("wall_rerand_s", r.wall_rerand_s)
+      .Set("wall_recover_s", r.wall_recover_s)
+      .Set("bytes_rerand", r.bytes_rerand)
+      .Set("bytes_recover", r.bytes_recover)
+      .Set("compute_rerand_s", r.compute_rerand_s)
+      .Set("compute_recover_s", r.compute_recover_s)
+      .Set("send_rerand_s", r.send_rerand_s)
+      .Set("send_recover_s", r.send_recover_s)
+      .Set("refresh_time_s", r.refresh_time_s)
+      .Set("window_time_s", r.window_time_s)
+      .Set("cost_dedicated_usd", r.cost_dedicated)
+      .Set("cost_spot_usd", r.cost_spot)
+      .Set("deals_excluded", r.deals_excluded)
+      .Set("retries", r.retries)
+      .Set("timeouts_fired", r.timeouts_fired)
+      .Set("msgs_dropped", r.msgs_dropped)
+      .Set("kernel_width", r.substrate.kernel_width)
+      .Set("dot_calls", r.substrate.dot_calls)
+      .Set("dot_products", r.substrate.dot_products)
+      .Set("dot_reductions", r.substrate.dot_reductions)
+      .Set("wc_hits", r.substrate.wc_hits)
+      .Set("wc_misses", r.substrate.wc_misses)
+      .Commit();
 }
 
 }  // namespace pisces

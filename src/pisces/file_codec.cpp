@@ -1,6 +1,7 @@
 #include "pisces/file_codec.h"
 
 #include "common/task_pool.h"
+#include "obs/trace.h"
 
 namespace pisces {
 
@@ -50,6 +51,7 @@ std::pair<FileMeta, std::vector<field::FpElem>> FileCodec::Encode(
   meta.num_blocks = BlocksFor(data.size());
   meta.checksum = crypto::Sha256Hash(data);
 
+  obs::Span span(obs::SpanKind::kCodecEncode, meta.num_blocks);
   Bytes framed(meta.num_blocks * l_ * payload, 0);
   StoreLe64(data.size(), framed.data());
   std::copy(data.begin(), data.end(), framed.begin() + 8);
@@ -73,6 +75,7 @@ Bytes FileCodec::Decode(const FileMeta& meta,
   if (elems.size() < meta.num_elems) {
     throw ParseError("FileCodec::Decode: missing elements");
   }
+  obs::Span span(obs::SpanKind::kCodecDecode, meta.num_blocks);
   Bytes framed(elems.size() * payload, 0);
   GlobalPool().ParallelFor(
       0, elems.size(),

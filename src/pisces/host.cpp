@@ -195,7 +195,8 @@ void Host::OnHostCert(const Message& msg) {
 void Host::OnSetShares(const Message& msg) {
   FileMeta meta;
   {
-    ComputeSection section(metrics_.serve);
+    ComputeSection section(metrics_.serve, obs::SpanKind::kServe, cfg_.id,
+                           msg.file_id);
     Bytes pt = OpenFrom(msg.from, msg.payload);
     ByteReader r(pt);
     meta = FileMeta::Deserialize(r.Blob());
@@ -230,7 +231,8 @@ void Host::OnReconstructRequest(const Message& msg) {
   }
   Bytes sealed;
   {
-    ComputeSection section(metrics_.serve);
+    ComputeSection section(metrics_.serve, obs::SpanKind::kServe, cfg_.id,
+                           msg.file_id);
     const FileMeta& meta = store_.MetaOf(msg.file_id);
     std::vector<FpElem>& shares = store_.Load(msg.file_id);
     ByteWriter w;
@@ -301,7 +303,8 @@ void Host::OnStartRefresh(const Message& msg) {
   RefreshSession s;
   std::vector<std::vector<FpElem>> deal;
   {
-    ComputeSection section(metrics_.rerandomize);
+    ComputeSection section(metrics_.rerandomize, obs::SpanKind::kRefreshDeal,
+                           cfg_.id, msg.file_id);
     s.plan = pss::RefreshPlan::For(meta.num_blocks, cfg_.params,
                                    participants.size());
     s.batch.emplace(pss::MakeRefreshBatch(*shamir_, meta.num_blocks,
@@ -384,7 +387,9 @@ void Host::OnDealPlain(const Message& msg) {
 
 void Host::RefreshTransformAndCheck(RefreshKey key, RefreshSession& s) {
   {
-    ComputeSection section(metrics_.rerandomize);
+    ComputeSection section(metrics_.rerandomize,
+                           obs::SpanKind::kRefreshTransform, cfg_.id,
+                           key.first);
     s.outputs =
         s.batch->Transform(s.deals_by_dealer, cfg_.params.b, section.extra());
   }
@@ -464,6 +469,7 @@ namespace {
 bool VerifyRow(const pss::VssBatch& batch,
                const std::vector<std::vector<FpElem>>& mat,
                const field::FpCtx& ctx) {
+  obs::Span span(obs::SpanKind::kVssVerify, mat.size(), batch.groups());
   for (std::size_t g = 0; g < batch.groups(); ++g) {
     std::vector<FpElem> column(mat.size(), ctx.Zero());
     for (std::size_t k = 0; k < mat.size(); ++k) column[k] = mat[k][g];
@@ -477,7 +483,8 @@ void Host::MaybeVerifyRefreshRow(RefreshKey key, RefreshSession& s,
                                  std::uint32_t row) {
   bool ok;
   {
-    ComputeSection section(metrics_.rerandomize);
+    ComputeSection section(metrics_.rerandomize, obs::SpanKind::kRefreshVerify,
+                           cfg_.id, row);
     ok = VerifyRow(*s.batch, s.check_vals[row], *cfg_.ctx);
   }
   s.check_vals.erase(row);
@@ -543,7 +550,8 @@ void Host::MaybeApplyRefresh(RefreshKey key, RefreshSession& s) {
     failed_refresh_[key] = std::move(fr);
   }
   if (ok) {
-    ComputeSection section(metrics_.rerandomize);
+    ComputeSection section(metrics_.rerandomize, obs::SpanKind::kRefreshApply,
+                           cfg_.id, key.first);
     std::vector<FpElem>& shares = store_.Load(key.first);
     const std::size_t base = s.batch->check_rows();
     for (std::size_t g = 0; g < s.batch->groups(); ++g) {
@@ -620,7 +628,8 @@ void Host::OnStartRecovery(const Message& msg) {
     SurvivorSession s;
     std::vector<std::vector<FpElem>> deal;
     {
-      ComputeSection section(metrics_.recover);
+      ComputeSection section(metrics_.recover, obs::SpanKind::kRecoverDeal,
+                             cfg_.id, target);
       s.plan = plan;
       s.target = target;
       s.batch.emplace(pss::MakeRecoveryBatch(*shamir_, plan, target));
@@ -659,7 +668,9 @@ void Host::OnStartRecovery(const Message& msg) {
 
 void Host::SurvivorTransformAndCheck(SurvivorKey key, SurvivorSession& s) {
   {
-    ComputeSection section(metrics_.recover);
+    ComputeSection section(metrics_.recover,
+                           obs::SpanKind::kRecoverTransform, cfg_.id,
+                           std::get<2>(key));
     s.outputs =
         s.batch->Transform(s.deals_by_dealer, cfg_.params.b, section.extra());
   }
@@ -693,7 +704,8 @@ void Host::MaybeVerifySurvivorRow(SurvivorKey key, SurvivorSession& s,
                                   std::uint32_t row) {
   bool ok;
   {
-    ComputeSection section(metrics_.recover);
+    ComputeSection section(metrics_.recover, obs::SpanKind::kRecoverVerify,
+                           cfg_.id, row);
     ok = VerifyRow(*s.batch, s.check_vals[row], *cfg_.ctx);
   }
   s.check_vals.erase(row);
@@ -740,7 +752,8 @@ void Host::MaybeSendMaskedShares(SurvivorKey key, SurvivorSession& s) {
 
   Bytes sealed;
   {
-    ComputeSection section(metrics_.recover);
+    ComputeSection section(metrics_.recover, obs::SpanKind::kRecoverMask,
+                           cfg_.id, target);
     std::vector<FpElem>& shares = store_.Load(file_id);
     const std::size_t base = s.batch->check_rows();
     std::vector<FpElem> masked(s.plan.blocks, cfg_.ctx->Zero());
@@ -774,7 +787,8 @@ void Host::OnMaskedSharePlain(const Message& msg) {
   TargetSession& s = it->second;
   std::vector<FpElem> elems;
   {
-    ComputeSection section(metrics_.recover);
+    ComputeSection section(metrics_.recover, obs::SpanKind::kRecoverMask,
+                           cfg_.id, msg.from);
     elems = field::DeserializeElems(*cfg_.ctx, msg.payload);
   }
   Require(elems.size() == s.meta.num_blocks, "MaskedShare: wrong block count");
@@ -791,7 +805,8 @@ void Host::OnMaskedSharePlain(const Message& msg) {
 
 void Host::MaybeFinishTarget(std::uint64_t file_id, std::uint32_t seq,
                              TargetSession& s) {
-  ComputeSection section(metrics_.recover);
+  ComputeSection section(metrics_.recover, obs::SpanKind::kRecoverFinish,
+                         cfg_.id, file_id);
   const std::size_t d = cfg_.params.degree();
   // Senders arrive keyed by id; the map iterates in ascending order, matching
   // plan.survivors (also ascending).

@@ -4,6 +4,7 @@
 
 #include "common/log.h"
 #include "math/poly.h"
+#include "obs/trace.h"
 
 namespace pisces {
 
@@ -240,6 +241,9 @@ bool Hypervisor::RefreshAllFiles(WindowReport* report) {
     phase_reports_.clear();
     recent_failures_.clear();
     const std::uint32_t seq = ++op_seq_;
+    // One span per refresh attempt over the still-pending files; the message
+    // pump below runs every host's dealing/transform/verify under it.
+    obs::Span session_span(obs::SpanKind::kRefreshSession, seq, todo.size());
 
     // Launch one session per pending file among the holders that are
     // reachable and not excluded.
@@ -435,6 +439,9 @@ bool Hypervisor::RunRecovery(std::vector<std::uint32_t> targets,
       }
 
       const std::uint32_t seq = ++op_seq_;
+      // One span per recovery attempt of this target chunk; the pump runs
+      // every survivor/target session under it.
+      obs::Span batch_span(obs::SpanKind::kRecoveryBatch, seq, chunk.size());
       std::vector<std::uint64_t> launched;
       bool quorum_fatal = false;
       const std::vector<std::uint64_t> stored = AllFileIds();
@@ -604,6 +611,10 @@ bool Hypervisor::RebootAndRecover(std::span<const std::uint32_t> batch,
 }
 
 WindowReport Hypervisor::RunUpdateWindow() {
+  // Root trace span of the whole update window; every refresh session,
+  // recovery batch, and host compute section below nests under it, and its
+  // ordinal tags all contained events for the per-window flame summary.
+  obs::Span window_span(obs::SpanKind::kWindow, window_);
   WindowReport report;
   RefreshAllFiles(&report);
   for (const auto& batch : schedule_->BatchesForWindow(window_)) {

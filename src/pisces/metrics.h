@@ -6,6 +6,7 @@
 #include <cstdint>
 
 #include "common/clock.h"
+#include "obs/trace.h"
 
 namespace pisces {
 
@@ -31,13 +32,26 @@ struct PhaseMetrics {
 // thread's CPU plus any pool-worker CPU (reported through extra()) to cpu_ns,
 // and the elapsed monotonic time to wall_ns. Pass extra() as the
 // extra_cpu_ns argument of task-pool-backed calls inside the section.
+//
+// Every section is also a trace span of the given kind (a/b are the span's
+// protocol args; see obs/trace.h). The span is closed with THIS meter's
+// wall/cpu numbers, so span durations in an exported trace reconcile exactly
+// with the PhaseMetrics sums the CSV reports. The clock reads are the same
+// with tracing on or off -- metrics are byte-identical either way.
 class ComputeSection {
  public:
-  explicit ComputeSection(PhaseMetrics& m)
-      : m_(m), cpu_start_(ThreadCpuNanos()), wall_start_(MonotonicNanos()) {}
+  ComputeSection(PhaseMetrics& m, obs::SpanKind kind, std::uint64_t a = 0,
+                 std::uint64_t b = 0)
+      : m_(m),
+        span_(kind, a, b),
+        cpu_start_(ThreadCpuNanos()),
+        wall_start_(MonotonicNanos()) {}
   ~ComputeSection() {
-    m_.cpu_ns += ThreadCpuNanos() - cpu_start_ + extra_;
-    m_.wall_ns += MonotonicNanos() - wall_start_;
+    const std::uint64_t cpu = ThreadCpuNanos() - cpu_start_ + extra_;
+    const std::uint64_t wall = MonotonicNanos() - wall_start_;
+    m_.cpu_ns += cpu;
+    m_.wall_ns += wall;
+    span_.CloseWithTimes(wall, cpu);
   }
   ComputeSection(const ComputeSection&) = delete;
   ComputeSection& operator=(const ComputeSection&) = delete;
@@ -46,6 +60,7 @@ class ComputeSection {
 
  private:
   PhaseMetrics& m_;
+  obs::Span span_;
   std::uint64_t extra_ = 0;
   std::uint64_t cpu_start_;
   std::uint64_t wall_start_;
@@ -79,9 +94,9 @@ struct HostMetrics {
 
 // Field-substrate observability for one measurement window: which kernel
 // path the cluster's field context dispatched to and how hard the lazy-dot
-// and weight-cache layers worked. Filled by the driver from process-wide
-// counter deltas (field::GetKernelStats, math::GetWeightCacheStats) taken
-// around the window; carried into the experiment CSV.
+// and weight-cache layers worked. Filled by the driver from one obs registry
+// snapshot delta ("field.*" / "math.*" counters) taken around the window;
+// carried into the experiment CSV.
 struct SubstrateMetrics {
   // Compile-time limb count of the bound kernels (0 = generic runtime path).
   std::uint64_t kernel_width = 0;

@@ -11,16 +11,40 @@ Recorder::Recorder(std::vector<std::string> columns)
   Require(!columns_.empty(), "Recorder: no columns");
 }
 
-void Recorder::AddRow(const std::map<std::string, std::string>& values) {
-  std::vector<std::string> row;
-  row.reserve(columns_.size());
-  for (const auto& col : columns_) {
-    auto it = values.find(col);
-    Require(it != values.end(), "Recorder: missing column '" + col + "'");
-    row.push_back(it->second);
+std::size_t Recorder::ColumnIndex(const std::string& col) const {
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    if (columns_[c] == col) return c;
   }
-  Require(values.size() == columns_.size(), "Recorder: unexpected extra column");
-  rows_.push_back(std::move(row));
+  throw InvalidArgument("Recorder: unknown column '" + col + "'");
+}
+
+Recorder::Row::Row(Recorder& rec)
+    : rec_(&rec),
+      cells_(rec.columns_.size()),
+      filled_(rec.columns_.size(), false) {}
+
+Recorder::Row& Recorder::Row::SetCell(const std::string& col,
+                                      std::string value) {
+  Require(!committed_, "Recorder::Row: row already committed");
+  const std::size_t c = rec_->ColumnIndex(col);
+  Require(!filled_[c], "Recorder::Row: column '" + col + "' set twice");
+  cells_[c] = std::move(value);
+  filled_[c] = true;
+  return *this;
+}
+
+Recorder::Row& Recorder::Row::Set(const std::string& col, double value) {
+  return SetCell(col, Num(value));
+}
+
+void Recorder::Row::Commit() {
+  Require(!committed_, "Recorder::Row: row already committed");
+  for (std::size_t c = 0; c < filled_.size(); ++c) {
+    Require(filled_[c],
+            "Recorder: missing column '" + rec_->columns_[c] + "'");
+  }
+  committed_ = true;
+  rec_->rows_.push_back(std::move(cells_));
 }
 
 std::string Recorder::ToCsv() const {

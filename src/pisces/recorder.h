@@ -4,10 +4,19 @@
 // result exploration"; our stand-in writes CSV (one row per measurement,
 // stable column order) to memory and optionally to a file, which the bench
 // binaries use to dump the series behind every figure.
+//
+// Rows are built through the typed `Recorder::Row` builder: `NewRow()` hands
+// out a builder bound to the recorder's column set, `Set(col, value)` formats
+// the value with the same rules everywhere (integers via std::to_string,
+// doubles via Num's "%.6g", bools as "1"/"0"), and `Commit()` appends the
+// row. Unknown or duplicate columns fail at Set time, missing columns at
+// Commit time, so a schema drift between a bench and its recorder is an
+// immediate InvalidArgument instead of a silently shifted CSV.
 #pragma once
 
-#include <map>
+#include <cstdint>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "common/error.h"
@@ -16,10 +25,51 @@ namespace pisces {
 
 class Recorder {
  public:
+  // A single pending row. Cells may be set in any order; every column must
+  // be set exactly once before Commit(). The builder holds a reference to
+  // its Recorder and must not outlive it.
+  class Row {
+   public:
+    Row(const Row&) = delete;
+    Row& operator=(const Row&) = delete;
+    Row(Row&&) = default;
+
+    Row& Set(const std::string& col, const std::string& value) {
+      return SetCell(col, value);
+    }
+    Row& Set(const std::string& col, const char* value) {
+      return SetCell(col, value);
+    }
+    Row& Set(const std::string& col, double value);
+    Row& Set(const std::string& col, bool value) {
+      return SetCell(col, value ? "1" : "0");
+    }
+    template <typename T,
+              std::enable_if_t<std::is_integral_v<T> && !std::is_same_v<T, bool>,
+                               int> = 0>
+    Row& Set(const std::string& col, T value) {
+      return SetCell(col, std::to_string(value));
+    }
+
+    // Appends the row to the recorder. Throws InvalidArgument if any column
+    // is still unset; the builder is spent afterwards.
+    void Commit();
+
+   private:
+    friend class Recorder;
+    explicit Row(Recorder& rec);
+    Row& SetCell(const std::string& col, std::string value);
+
+    Recorder* rec_;
+    std::vector<std::string> cells_;
+    std::vector<bool> filled_;
+    bool committed_ = false;
+  };
+
   // Columns are fixed at construction; rows must supply every column.
   explicit Recorder(std::vector<std::string> columns);
 
-  void AddRow(const std::map<std::string, std::string>& values);
+  Row NewRow() { return Row(*this); }
 
   std::size_t rows() const { return rows_.size(); }
   const std::vector<std::string>& columns() const { return columns_; }
@@ -30,10 +80,12 @@ class Recorder {
   std::string ToCsv() const;
   void WriteFile(const std::string& path) const;
 
-  // Convenience formatting for numeric cells.
+  // Convenience formatting for numeric cells ("%.6g").
   static std::string Num(double v);
 
  private:
+  std::size_t ColumnIndex(const std::string& col) const;
+
   std::vector<std::string> columns_;
   std::vector<std::vector<std::string>> rows_;
 };

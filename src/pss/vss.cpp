@@ -4,6 +4,7 @@
 
 #include "common/task_pool.h"
 #include "math/weight_cache.h"
+#include "obs/trace.h"
 
 namespace pisces::pss {
 
@@ -65,6 +66,7 @@ std::vector<std::vector<FpElem>> VssBatch::DealFrom(
     std::span<const math::Poly> us, std::uint64_t* extra_cpu_ns) const {
   Require(us.size() == groups_, "DealFrom: wrong group count");
   const std::size_t nh = holders_.size();
+  obs::Span span(obs::SpanKind::kVssDeal, groups_, nh);
   std::vector<std::vector<FpElem>> out(
       nh, std::vector<FpElem>(groups_, ctx_->Zero()));
   // Each group is independent pure compute: z_g = W * u_g evaluated at every
@@ -97,6 +99,7 @@ std::vector<std::vector<FpElem>> VssBatch::Transform(
   for (const auto& row : deals_by_dealer) {
     Require(row.size() == groups_, "Transform: wrong group count");
   }
+  obs::Span span(obs::SpanKind::kVssTransform, nh, groups_);
   std::vector<std::vector<FpElem>> out(
       nh, std::vector<FpElem>(groups_, ctx_->Zero()));
 

@@ -3,10 +3,14 @@
 // the reason every figure in bench/ is exactly re-runnable.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
+#include <vector>
 
 #include "common/task_pool.h"
+#include "obs/trace.h"
 #include "pisces/pisces.h"
+#include "trace_util.h"
 
 namespace pisces {
 namespace {
@@ -146,6 +150,39 @@ TEST(Determinism, PoolSizeNeverChangesSharesOrTranscripts) {
   Observed eight = run(8);
   SetGlobalPoolThreads(1);
   EXPECT_TRUE(one.ok);
+  EXPECT_EQ(one, two);
+  EXPECT_EQ(one, eight);
+}
+
+TEST(Determinism, SpanIdsAreBitIdenticalAcrossPoolSizes) {
+  // The trace id contract (src/obs/trace.h): protocol span ids are a pure
+  // function of protocol structure, so the multiset of ids from the same
+  // seeded window is bit-identical at any pool size. Task-pool chunk spans
+  // (category "pool") are excluded -- their COUNT follows the chunk split --
+  // but each chunk id is itself order-free, so the remaining multiset must
+  // match exactly.
+  auto span_ids = [](std::size_t pool_threads) {
+    SetGlobalPoolThreads(pool_threads);
+    obs::ResetTrace();
+    obs::EnableTracing("");
+    Cluster cluster(Config(42));
+    Rng rng(99);
+    cluster.Upload(1, rng.RandomBytes(1500));
+    EXPECT_TRUE(cluster.RunUpdateWindow().ok);
+    obs::DisableTracing();
+    std::vector<std::uint64_t> ids;
+    for (const auto& e : test::ParseTraceEvents(obs::TraceToJson())) {
+      if (e.ph == 'X' && e.cat != "pool") ids.push_back(e.id);
+    }
+    obs::ResetTrace();
+    std::sort(ids.begin(), ids.end());
+    return ids;
+  };
+  auto one = span_ids(1);
+  auto two = span_ids(2);
+  auto eight = span_ids(8);
+  SetGlobalPoolThreads(1);
+  ASSERT_FALSE(one.empty());
   EXPECT_EQ(one, two);
   EXPECT_EQ(one, eight);
 }

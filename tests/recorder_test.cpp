@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstdint>
 #include <fstream>
 
 #include "pisces/recorder.h"
@@ -11,22 +12,69 @@ namespace {
 
 TEST(Recorder, CsvShapeAndOrder) {
   Recorder rec({"a", "b", "c"});
-  rec.AddRow({{"b", "2"}, {"a", "1"}, {"c", "3"}});
-  rec.AddRow({{"a", "x"}, {"b", "y"}, {"c", "z"}});
+  // Cells may be set in any order; output follows the column order.
+  rec.NewRow().Set("b", 2).Set("a", 1).Set("c", 3).Commit();
+  rec.NewRow().Set("a", "x").Set("b", "y").Set("c", "z").Commit();
   EXPECT_EQ(rec.rows(), 2u);
   EXPECT_EQ(rec.ToCsv(), "a,b,c\n1,2,3\nx,y,z\n");
 }
 
-TEST(Recorder, MissingColumnThrows) {
+TEST(Recorder, UnknownColumnThrowsAtSet) {
   Recorder rec({"a", "b"});
-  EXPECT_THROW(rec.AddRow({{"a", "1"}}), InvalidArgument);
-  EXPECT_THROW(rec.AddRow({{"a", "1"}, {"b", "2"}, {"z", "3"}}),
-               InvalidArgument);
+  EXPECT_THROW(rec.NewRow().Set("z", 3), InvalidArgument);
+}
+
+TEST(Recorder, MissingColumnThrowsAtCommit) {
+  Recorder rec({"a", "b"});
+  auto row = rec.NewRow();
+  row.Set("a", 1);
+  EXPECT_THROW(row.Commit(), InvalidArgument);
+  EXPECT_EQ(rec.rows(), 0u);
+}
+
+TEST(Recorder, DuplicateSetThrows) {
+  Recorder rec({"a"});
+  auto row = rec.NewRow();
+  row.Set("a", 1);
+  EXPECT_THROW(row.Set("a", 2), InvalidArgument);
+}
+
+TEST(Recorder, CommitTwiceThrows) {
+  Recorder rec({"a"});
+  auto row = rec.NewRow();
+  row.Set("a", 1);
+  row.Commit();
+  EXPECT_THROW(row.Commit(), InvalidArgument);
+  EXPECT_EQ(rec.rows(), 1u);
+}
+
+// Golden bytes: the typed setters must produce exactly the strings the old
+// hand-formatted rows produced (std::to_string for integers, "%.6g" for
+// doubles, "1"/"0" for bools), so existing CSV consumers see no diff.
+TEST(Recorder, TypedSettersGoldenCsv) {
+  Recorder rec({"series", "n", "big", "neg", "ok", "bad", "ratio", "tiny",
+                "wide", "label"});
+  rec.NewRow()
+      .Set("series", std::string("fig7"))
+      .Set("n", 21)
+      .Set("big", std::uint64_t{18446744073709551615ull})
+      .Set("neg", std::int64_t{-42})
+      .Set("ok", true)
+      .Set("bad", false)
+      .Set("ratio", 1.5)
+      .Set("tiny", 0.000123456)
+      .Set("wide", 123456789.0)
+      .Set("label", "x,y")  // commas are not escaped; columns must avoid them
+      .Commit();
+  const char* golden =
+      "series,n,big,neg,ok,bad,ratio,tiny,wide,label\n"
+      "fig7,21,18446744073709551615,-42,1,0,1.5,0.000123456,1.23457e+08,x,y\n";
+  EXPECT_EQ(rec.ToCsv(), golden);
 }
 
 TEST(Recorder, WritesFile) {
   Recorder rec({"x"});
-  rec.AddRow({{"x", "42"}});
+  rec.NewRow().Set("x", 42).Commit();
   std::string path = ::testing::TempDir() + "/recorder_test.csv";
   rec.WriteFile(path);
   std::ifstream f(path);

@@ -1,0 +1,191 @@
+// Test-side helpers for the obs trace export: a minimal strict JSON syntax
+// checker (no external deps) and a line-oriented extractor for the fields the
+// tests assert on. The extractor leans on TraceToJson's one-event-per-line
+// layout, which the syntax checker independently validates as real JSON.
+#pragma once
+
+#include <cctype>
+#include <cstdint>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace pisces::test {
+
+// --- minimal JSON validator ----------------------------------------------
+
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& s) : s_(s) {}
+
+  bool Valid() {
+    SkipWs();
+    if (!Value()) return false;
+    SkipWs();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool Value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{': return Object();
+      case '[': return Array();
+      case '"': return String();
+      case 't': return Literal("true");
+      case 'f': return Literal("false");
+      case 'n': return Literal("null");
+      default: return Number();
+    }
+  }
+
+  bool Object() {
+    ++pos_;  // '{'
+    SkipWs();
+    if (Peek('}')) return true;
+    while (true) {
+      SkipWs();
+      if (!String()) return false;
+      SkipWs();
+      if (!Expect(':')) return false;
+      SkipWs();
+      if (!Value()) return false;
+      SkipWs();
+      if (Peek('}')) return true;
+      if (!Expect(',')) return false;
+    }
+  }
+
+  bool Array() {
+    ++pos_;  // '['
+    SkipWs();
+    if (Peek(']')) return true;
+    while (true) {
+      SkipWs();
+      if (!Value()) return false;
+      SkipWs();
+      if (Peek(']')) return true;
+      if (!Expect(',')) return false;
+    }
+  }
+
+  bool String() {
+    if (pos_ >= s_.size() || s_[pos_] != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size()) {
+      char c = s_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos_ >= s_.size()) return false;
+        ++pos_;  // accept any escaped char (the emitter never writes \u)
+      }
+    }
+    return false;
+  }
+
+  bool Number() {
+    const std::size_t start = pos_;
+    if (pos_ < s_.size() && s_[pos_] == '-') ++pos_;
+    while (pos_ < s_.size() && std::isdigit(static_cast<unsigned char>(s_[pos_])))
+      ++pos_;
+    if (pos_ < s_.size() && s_[pos_] == '.') {
+      ++pos_;
+      while (pos_ < s_.size() &&
+             std::isdigit(static_cast<unsigned char>(s_[pos_])))
+        ++pos_;
+    }
+    if (pos_ < s_.size() && (s_[pos_] == 'e' || s_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < s_.size() && (s_[pos_] == '+' || s_[pos_] == '-')) ++pos_;
+      while (pos_ < s_.size() &&
+             std::isdigit(static_cast<unsigned char>(s_[pos_])))
+        ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  bool Literal(const char* lit) {
+    for (const char* p = lit; *p != '\0'; ++p, ++pos_) {
+      if (pos_ >= s_.size() || s_[pos_] != *p) return false;
+    }
+    return true;
+  }
+
+  void SkipWs() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_])))
+      ++pos_;
+  }
+  bool Peek(char c) {
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool Expect(char c) { return Peek(c); }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+// --- event extraction -----------------------------------------------------
+
+struct TraceEv {
+  std::string name;
+  std::string cat;
+  std::string phase;  // "" unless metric-backed
+  char ph = '?';      // 'X' or 'i'
+  std::uint64_t id = 0;
+  std::uint64_t parent = 0;
+  std::uint64_t window = 0;
+  std::uint64_t wall_ns = 0;
+  std::uint64_t cpu_ns = 0;
+  std::uint64_t bytes = 0;
+};
+
+inline std::string FindStr(const std::string& line, const std::string& key) {
+  const std::string pat = "\"" + key + "\":\"";
+  const std::size_t p = line.find(pat);
+  if (p == std::string::npos) return "";
+  const std::size_t v = p + pat.size();
+  return line.substr(v, line.find('"', v) - v);
+}
+
+inline std::uint64_t FindU64(const std::string& line, const std::string& key) {
+  const std::string pat = "\"" + key + "\":";
+  const std::size_t p = line.find(pat);
+  if (p == std::string::npos) return 0;
+  return std::strtoull(line.c_str() + p + pat.size(), nullptr, 10);
+}
+
+inline std::uint64_t FindHex(const std::string& line, const std::string& key) {
+  const std::string v = FindStr(line, key);  // hex ids are quoted "0x..."
+  if (v.empty()) return 0;
+  return std::strtoull(v.c_str(), nullptr, 16);
+}
+
+inline std::vector<TraceEv> ParseTraceEvents(const std::string& json) {
+  std::vector<TraceEv> out;
+  std::istringstream in(json);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind("{\"name\":", 0) != 0) continue;
+    TraceEv e;
+    e.name = FindStr(line, "name");
+    e.cat = FindStr(line, "cat");
+    e.phase = FindStr(line, "phase");
+    e.ph = FindStr(line, "ph").empty() ? '?' : FindStr(line, "ph")[0];
+    e.id = FindHex(line, "id");
+    e.parent = FindHex(line, "parent");
+    e.window = FindU64(line, "window");
+    e.wall_ns = FindU64(line, "wall_ns");
+    e.cpu_ns = FindU64(line, "cpu_ns");
+    e.bytes = FindU64(line, "bytes");
+    out.push_back(std::move(e));
+  }
+  return out;
+}
+
+}  // namespace pisces::test
