@@ -1,0 +1,73 @@
+#!/usr/bin/env bash
+# Line-coverage gate over the protocol core (src/pss + src/pisces): builds a
+# dedicated tree with PISCES_COVERAGE=ON, runs the unit suite, aggregates
+# per-file line coverage with plain gcov (gcovr/lcov are not in the image),
+# and fails if the aggregate drops below scripts/coverage_baseline.txt.
+#
+# When coverage legitimately rises, ratchet the baseline up in the same
+# change; never lower it to make a regression pass.
+#
+# Usage: scripts/check_coverage.sh [build-dir]   (default: build-cov)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-cov}"
+
+cmake -B "$BUILD_DIR" -S . \
+  -DCMAKE_BUILD_TYPE=Debug \
+  -DPISCES_COVERAGE=ON
+cmake --build "$BUILD_DIR" -j "$(nproc)" --target pisces_tests
+
+# Fresh counters each run; stale .gcda from an earlier source revision makes
+# gcov mis-attribute lines.
+find "$BUILD_DIR" -name '*.gcda' -delete
+
+"$BUILD_DIR/tests/pisces_tests" --gtest_brief=1
+
+# gcov -n prints, for every source a .gcda touches:
+#   File '<path>'
+#   Lines executed:<pct>% of <total>
+# The same header can appear under several objects; keep the best-covered
+# record per file so shared templates are not double counted.
+report=$(find "$BUILD_DIR" -name '*.gcda' -print0 |
+  xargs -0 -n 64 gcov -n 2>/dev/null || true)
+
+summary=$(printf '%s\n' "$report" | awk '
+  /^File / {
+    f = $0
+    sub(/^File '\''/, "", f); sub(/'\''$/, "", f)
+    keep = (f ~ /src\/(pss|pisces)\//)
+    next
+  }
+  keep && /^Lines executed:/ {
+    line = $0
+    sub(/^Lines executed:/, "", line)
+    split(line, a, /% of /)
+    exec_lines = a[1] * a[2] / 100.0
+    if (!(f in tot) || exec_lines > covered[f]) {
+      covered[f] = exec_lines; tot[f] = a[2]
+    }
+    keep = 0
+  }
+  END {
+    te = 0; tt = 0
+    for (f in tot) {
+      short = f; sub(/^.*src\//, "src/", short)
+      printf "  %6.2f%%  %5d lines  %s\n", 100.0 * covered[f] / tot[f], tot[f], short
+      te += covered[f]; tt += tot[f]
+    }
+    if (tt == 0) { print "TOTAL 0.00 0"; exit }
+    printf "TOTAL %.2f %d\n", 100.0 * te / tt, tt
+  }' | sort -k3)
+
+printf '%s\n' "$summary" | grep -v '^TOTAL'
+pct=$(printf '%s\n' "$summary" | awk '/^TOTAL/ { print $2 }')
+lines=$(printf '%s\n' "$summary" | awk '/^TOTAL/ { print $3 }')
+baseline=$(cat scripts/coverage_baseline.txt)
+
+echo "protocol-core line coverage: ${pct}% of ${lines} lines (baseline ${baseline}%)"
+if ! awk -v p="$pct" -v b="$baseline" 'BEGIN { exit !(p + 0 >= b + 0) }'; then
+  echo "FAIL: coverage ${pct}% is below the checked-in baseline ${baseline}%" >&2
+  exit 1
+fi
+echo "coverage gate passed"

@@ -16,4 +16,7 @@ cmake --build "$BUILD_DIR" -j "$(nproc)"
 
 export ASAN_OPTIONS="halt_on_error=1:detect_leaks=1"
 export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
+# Longer structured-fuzz soak under the sanitizers: the message-deserializer
+# fuzzer honors PISCES_FUZZ_ITERS (default 2000 in a plain test run).
+export PISCES_FUZZ_ITERS="${PISCES_FUZZ_ITERS:-20000}"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Regenerates the golden known-answer vectors under tests/data/.
+#
+# Run this ONLY after an intentional numeric change (RNG draw order, field
+# arithmetic, share/VSS pipeline) and review the resulting data-file diff:
+# every changed line is a vector that moved. golden_test fails until the
+# checked-in vectors match the code again.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build}"
+cmake -B "$BUILD_DIR" -S . >/dev/null
+cmake --build "$BUILD_DIR" --target golden_gen -j"$(nproc)"
+
+mkdir -p tests/data
+"$BUILD_DIR/tests/golden_gen" tests/data
+echo "golden vectors regenerated; review: git diff tests/data"

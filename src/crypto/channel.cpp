@@ -71,8 +71,20 @@ std::optional<Bytes> SecureChannel::Open(std::span<const std::uint8_t> frame) {
     std::uint64_t counter = r.U64();
     auto ct = r.Blob();
     if (!r.AtEnd()) return std::nullopt;
-    if (counter <= recv_highwater_) return std::nullopt;  // replay
-    recv_highwater_ = counter;
+    // Sliding-window anti-replay. recv_seen_ bit i covers counter
+    // recv_highwater_ - i; bit 0 (the highwater itself) is always set.
+    if (counter > recv_highwater_) {
+      const std::uint64_t advance = counter - recv_highwater_;
+      recv_seen_ = advance >= 64 ? 0 : recv_seen_ << advance;
+      recv_seen_ |= 1;
+      recv_highwater_ = counter;
+    } else {
+      const std::uint64_t behind = recv_highwater_ - counter;
+      if (behind >= kReplayWindow) return std::nullopt;  // too old
+      const std::uint64_t bit = 1ull << behind;
+      if ((recv_seen_ & bit) != 0) return std::nullopt;  // replay
+      recv_seen_ |= bit;
+    }
     Bytes pt(ct.begin(), ct.end());
     ChaCha20Xor(cipher_key, NonceFor(counter), 1, pt);
     return pt;

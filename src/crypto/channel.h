@@ -25,13 +25,21 @@ std::pair<Bytes, Bytes> DeriveChannelKeys(std::span<const std::uint8_t> shared,
                                           std::uint32_t id_hi);
 
 // One direction of a secure channel. Sealing increments a nonce counter;
-// opening enforces strictly increasing counters (replay protection).
+// opening rejects replays with a sliding acceptance window (IPsec/DTLS
+// style): frames up to kReplayWindow counters behind the highest seen are
+// accepted exactly once, anything older or already seen is rejected. Plain
+// strictly-increasing enforcement would turn benign network reordering into
+// silent message loss -- the fault fabric's reorder knob found exactly that.
 class SecureChannel {
  public:
+  // Frames this far behind the newest accepted counter are still accepted
+  // (once). Bounds legitimate reorder tolerance AND replay memory.
+  static constexpr std::uint64_t kReplayWindow = 64;
+
   SecureChannel(Bytes send_key, Bytes recv_key);
 
   Bytes Seal(std::span<const std::uint8_t> plaintext);
-  // nullopt on tag mismatch, replay, or malformed frame.
+  // nullopt on tag mismatch, replay/too-old counter, or malformed frame.
   std::optional<Bytes> Open(std::span<const std::uint8_t> frame);
 
   std::uint64_t sent_count() const { return send_counter_; }
@@ -40,7 +48,9 @@ class SecureChannel {
   Bytes send_key_;
   Bytes recv_key_;
   std::uint64_t send_counter_ = 0;
-  std::uint64_t recv_highwater_ = 0;
+  std::uint64_t recv_highwater_ = 0;  // highest counter accepted so far
+  // Bit i records whether counter recv_highwater_ - i has been accepted.
+  std::uint64_t recv_seen_ = 0;
 };
 
 // Convenience: build the pair of matching channel endpoints for two hosts

@@ -173,10 +173,14 @@ Matrix HyperInvertible(const FpCtx& ctx, std::size_t n_out, std::size_t n_in) {
 std::shared_ptr<const Matrix> CachedHyperInvertible(const FpCtx& ctx,
                                                     std::size_t n_out,
                                                     std::size_t n_in) {
-  using Key = std::tuple<const FpCtx*, std::size_t, std::size_t>;
+  // The matrix is a pure function of (modulus, shape), so key on the modulus
+  // bytes, not the context address: a freed context's address can be reused
+  // by a context over a DIFFERENT prime (same-size allocation), and an
+  // address-keyed entry would silently hand that context the wrong matrix.
+  using Key = std::tuple<Bytes, std::size_t, std::size_t>;
   static std::mutex mutex;
   static std::map<Key, std::shared_ptr<const Matrix>> cache;
-  const Key key{&ctx, n_out, n_in};
+  Key key{ctx.ModulusBytes(), n_out, n_in};
   std::lock_guard<std::mutex> lock(mutex);
   auto it = cache.find(key);
   if (it == cache.end()) {

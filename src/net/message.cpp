@@ -22,11 +22,8 @@ const char* MsgTypeName(MsgType t) {
   return "Unknown";
 }
 
-namespace {
-constexpr std::size_t kHeaderSize = 4 + 4 + 1 + 8 + 4 + 4 + 4 + 4;
-}
-
 Bytes Message::Serialize() const {
+  Require(payload.size() <= kMaxPayload, "Message: payload exceeds wire cap");
   ByteWriter w;
   w.U32(from);
   w.U32(to);
@@ -53,13 +50,19 @@ Message Message::Deserialize(std::span<const std::uint8_t> data) {
   m.epoch = r.U32();
   m.batch = r.U32();
   m.row = r.U32();
-  auto p = r.Blob();
+  // Inlined Blob() so a lying length field fails the cap check explicitly
+  // (not just by underflow against however many bytes happen to follow).
+  const std::uint32_t plen = r.U32();
+  if (plen > kMaxPayload) throw ParseError("Message: payload exceeds wire cap");
+  auto p = r.Raw(plen);
   m.payload.assign(p.begin(), p.end());
   if (!r.AtEnd()) throw ParseError("Message: trailing bytes");
   return m;
 }
 
-std::size_t Message::WireSize() const { return kHeaderSize + payload.size(); }
+std::size_t Message::WireSize() const {
+  return kWireHeaderSize + payload.size();
+}
 
 std::string Message::Describe() const {
   std::ostringstream out;

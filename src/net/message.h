@@ -40,6 +40,16 @@ enum class MsgType : std::uint8_t {
 
 const char* MsgTypeName(MsgType t);
 
+// Fixed wire-header size: from, to, type, file_id, epoch, batch, row, and
+// the payload length prefix.
+inline constexpr std::size_t kWireHeaderSize = 4 + 4 + 1 + 8 + 4 + 4 + 4 + 4;
+
+// Hard cap on the payload size accepted off the wire. A length-field lie in
+// a frame must fail parsing up front instead of driving allocation; the cap
+// is generous against every real payload (the largest dealings are a few MiB
+// at paper-scale parameters).
+inline constexpr std::size_t kMaxPayload = 64u << 20;
+
 struct Message {
   std::uint32_t from = 0;
   std::uint32_t to = 0;

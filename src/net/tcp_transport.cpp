@@ -115,7 +115,7 @@ void TcpEndpoint::ReadLoop(int fd) {
     std::uint8_t len_buf[4];
     if (!ReadAll(fd, len_buf, 4)) break;
     std::uint32_t len = LoadLe32(len_buf);
-    if (len > (64u << 20)) break;  // sanity: 64 MiB frame cap
+    if (len > kMaxPayload + kWireHeaderSize) break;  // sanity: frame cap
     Bytes frame(len);
     if (!ReadAll(fd, frame.data(), len)) break;
     try {

@@ -45,6 +45,8 @@ constexpr KindInfo kKinds[static_cast<std::size_t>(SpanKind::kCount)] = {
     {"codec.encode", "codec", nullptr},
     {"codec.decode", "codec", nullptr},
     {"pool.chunk", "pool", nullptr},
+    {"byz.action", "byz", nullptr},
+    {"byz.detect", "byz", nullptr},
 };
 
 const KindInfo& Info(SpanKind k) {
@@ -113,8 +115,22 @@ thread_local uint64_t t_ctx_parent = 0;  // installed by ScopedTraceContext
 thread_local uint64_t t_window = 0;
 thread_local uint64_t t_root_children = 0;
 
+// Frees the lazily-allocated stack when its thread exits. The store above
+// can lean on a reachable static pointer, but a pool worker's stack has no
+// root once the thread is gone and would be reported as leaked.
+struct StackOwner {
+  ~StackOwner() {
+    delete t_stack;
+    t_stack = nullptr;
+  }
+};
+thread_local StackOwner t_stack_owner;
+
 std::vector<Frame>& Stack() {
-  if (t_stack == nullptr) t_stack = new std::vector<Frame>();
+  if (t_stack == nullptr) {
+    t_stack = new std::vector<Frame>();
+    (void)&t_stack_owner;  // odr-use: registers the thread-exit cleanup
+  }
   return *t_stack;
 }
 

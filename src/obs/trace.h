@@ -52,6 +52,8 @@ enum class SpanKind : std::uint32_t {
   kCodecEncode,        // file -> field blocks; a = #blocks
   kCodecDecode,        // field blocks -> file; a = #blocks
   kPoolChunk,          // one task-pool chunk; a = chunk index, b = #chunks
+  kByzAction,          // byzantine actor cheats; a = host, b = strategy
+  kByzDetect,          // cheat detected/attributed; a = host, b = site
   kCount
 };
 

@@ -1,10 +1,42 @@
 #include "pisces/adversary.h"
 
+#include "obs/registry.h"
+
 namespace pisces {
+namespace {
+
+// Mobile-adversary activity ledger (adv.* namespace; the active engine's
+// counters live under byz.*). Drills and the chaos suite read these as
+// registry deltas instead of threading bespoke getters around.
+obs::Counter& HostsCorrupted() {
+  static obs::Counter& c = obs::RegisterCounter(
+      "adv.hosts_corrupted", "host corruption events (mobile adversary)");
+  return c;
+}
+obs::Counter& SharesCaptured() {
+  static obs::Counter& c = obs::RegisterCounter(
+      "adv.shares_captured", "share elements exfiltrated from corrupted hosts");
+  return c;
+}
+obs::Counter& ReconstructionAttempts() {
+  static obs::Counter& c = obs::RegisterCounter(
+      "adv.reconstruction_attempts",
+      "same-period reconstruction attempts by the adversary");
+  return c;
+}
+obs::Counter& MixedAttempts() {
+  static obs::Counter& c = obs::RegisterCounter(
+      "adv.mixed_reconstruction_attempts",
+      "cross-period (mixed-share) reconstruction attempts");
+  return c;
+}
+
+}  // namespace
 
 void Adversary::Corrupt(std::uint32_t host) {
   Require(host < cluster_->config().params.n, "Adversary: no such host");
   corrupted_.insert(host);
+  HostsCorrupted().Add(1);
   SnapshotHost(host);
 }
 
@@ -16,6 +48,7 @@ void Adversary::SnapshotHost(std::uint32_t host) {
     metas_[file_id] = meta;
     std::vector<field::FpElem> shares = h.store().Load(file_id);
     h.store().Stash(file_id);
+    SharesCaptured().Add(shares.size());
     captures_[file_id][period_][host] = std::move(shares);
   }
 }
@@ -45,6 +78,7 @@ bool Adversary::ExceedsPrivacyThreshold(std::uint64_t file_id) const {
 
 std::optional<Bytes> Adversary::AttemptReconstruction(
     std::uint64_t file_id) const {
+  ReconstructionAttempts().Add(1);
   auto it = captures_.find(file_id);
   if (it == captures_.end()) return std::nullopt;
   auto meta_it = metas_.find(file_id);
@@ -90,6 +124,7 @@ std::optional<Bytes> Adversary::AttemptReconstruction(
 
 std::optional<Bytes> Adversary::AttemptMixedReconstruction(
     std::uint64_t file_id) const {
+  MixedAttempts().Add(1);
   auto it = captures_.find(file_id);
   if (it == captures_.end()) return std::nullopt;
   auto meta_it = metas_.find(file_id);

@@ -2,12 +2,35 @@
 
 #include "common/log.h"
 #include "common/task_pool.h"
+#include "obs/registry.h"
 
 namespace pisces {
 
 using field::FpElem;
 using net::Message;
 using net::MsgType;
+
+namespace {
+
+// Detection-side byz.* counters for client reconstruction: the fast path
+// failing its integrity check and the number of share values Berlekamp-Welch
+// decoding had to override. Counters are atomic, so per-block bumps from the
+// task pool are safe (totals are pool-size invariant; only interleaving is
+// not).
+obs::Counter& RobustFallbacks() {
+  static obs::Counter& c = obs::RegisterCounter(
+      "byz.client_robust_fallbacks",
+      "downloads that fell back to robust (Berlekamp-Welch) reconstruction");
+  return c;
+}
+obs::Counter& ClientSharesCorrected() {
+  static obs::Counter& c = obs::RegisterCounter(
+      "byz.client_shares_corrected",
+      "share values overridden by robust decoding during downloads");
+  return c;
+}
+
+}  // namespace
 
 Client::Client(ClientConfig cfg, net::Transport& transport,
                const crypto::SchnorrGroup& group, Bytes ca_pk,
@@ -267,6 +290,7 @@ std::optional<Bytes> Client::TryAssemble(std::uint64_t file_id) {
 Bytes Client::AssembleRobust(const FileMeta& meta, std::uint64_t* extra_cpu_ns) {
   auto it = downloads_.find(meta.file_id);
   Invariant(it != downloads_.end(), "AssembleRobust: no pending download");
+  RobustFallbacks().Add(1);
   std::vector<std::uint32_t> parties;
   std::vector<const std::vector<FpElem>*> rows;
   for (const auto& [host, resp] : it->second.responses) {
@@ -285,10 +309,13 @@ Bytes Client::AssembleRobust(const FileMeta& meta, std::uint64_t* extra_cpu_ns) 
         for (std::size_t k = 0; k < parties.size(); ++k) {
           shares[k] = (*rows[k])[blk];
         }
-        auto secrets = shamir_->RobustReconstructBlock(parties, shares);
+        std::vector<std::size_t> corrupted;
+        auto secrets =
+            shamir_->RobustReconstructBlock(parties, shares, &corrupted);
         if (!secrets) {
           throw ParseError("Client: robust reconstruction failed for a block");
         }
+        if (!corrupted.empty()) ClientSharesCorrected().Add(corrupted.size());
         for (std::size_t j = 0; j < cfg_.params.l; ++j) {
           elems[blk * cfg_.params.l + j] = (*secrets)[j];
         }

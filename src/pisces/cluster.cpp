@@ -105,6 +105,23 @@ WindowReport Cluster::RunUpdateWindow() { return hypervisor_->RunUpdateWindow();
 
 bool Cluster::RefreshAllFiles() { return hypervisor_->RefreshAllFiles(); }
 
+void Cluster::ArmByzantine(const ByzantinePlan& plan) {
+  // Disarm before replacing: hosts must never hold a pointer into an engine
+  // that is about to be destroyed.
+  DisarmByzantine();
+  byzantine_ = std::make_unique<ByzantineEngine>(plan, *ctx_);
+  for (std::uint32_t i = 0; i < cfg_.params.n; ++i) {
+    hypervisor_->host(i).ArmByzantine(byzantine_->ActorFor(i));
+  }
+}
+
+void Cluster::DisarmByzantine() {
+  for (std::uint32_t i = 0; i < cfg_.params.n; ++i) {
+    hypervisor_->host(i).ArmByzantine(nullptr);
+  }
+  byzantine_.reset();
+}
+
 CostModel Cluster::cost_model() const {
   CostModel model;
   model.machine.instance = cfg_.instance;

@@ -17,6 +17,7 @@
 #include <memory>
 
 #include "field/primes.h"
+#include "pisces/byzantine.h"
 #include "pisces/client.h"
 #include "pisces/cost_model.h"
 #include "pisces/deployment.h"
@@ -54,6 +55,14 @@ class Cluster {
   WindowReport RunUpdateWindow();
   bool RefreshAllFiles();
 
+  // --- active adversary (tests, seed sweeps) ---
+  // Arms every host named in `plan` with a seeded ByzantineActor; honest
+  // hosts stay untouched (byte-identical behaviour when the plan is empty).
+  // Re-arming replaces the previous engine; Disarm restores the honest fleet.
+  void ArmByzantine(const ByzantinePlan& plan);
+  void DisarmByzantine();
+  const ByzantineEngine* byzantine_engine() const { return byzantine_.get(); }
+
   // --- accessors for tests, benches, adversary simulations ---
   const ClusterConfig& config() const { return cfg_; }
   const field::FpCtx& ctx() const { return *ctx_; }
@@ -79,6 +88,7 @@ class Cluster {
   std::unique_ptr<Hypervisor> hypervisor_;
   net::SimEndpoint* client_endpoint_ = nullptr;
   std::unique_ptr<Client> client_;
+  std::unique_ptr<ByzantineEngine> byzantine_;
 };
 
 }  // namespace pisces

@@ -52,6 +52,19 @@ ExperimentResult RunRefreshExperiment(const ExperimentConfig& cfg) {
   r.substrate.wc_hits = obs::Value(delta, "math.wc_hits");
   r.substrate.wc_misses = obs::Value(delta, "math.wc_misses");
 
+  // Byzantine ledger for the window: absent counters read as zero, so an
+  // honest build reports all-zero columns without registering anything.
+  r.byz_actions = obs::Value(delta, "byz.deals_tampered") +
+                  obs::Value(delta, "byz.shares_tampered") +
+                  obs::Value(delta, "byz.messages_withheld");
+  r.byz_detections = obs::Value(delta, "byz.vss_check_failures") +
+                     obs::Value(delta, "byz.recovery_inconsistent") +
+                     obs::Value(delta, "byz.recovery_shares_corrected") +
+                     obs::Value(delta, "byz.client_robust_fallbacks") +
+                     obs::Value(delta, "byz.client_shares_corrected");
+  r.byz_dealers_attributed = obs::Value(delta, "byz.dealers_attributed");
+  r.byz_survivors_suspected = obs::Value(delta, "byz.survivors_suspected");
+
   r.cpu_rerand_s = static_cast<double>(report.rerandomize_total.cpu_ns) * 1e-9;
   r.cpu_recover_s = static_cast<double>(report.recover_total.cpu_ns) * 1e-9;
   r.wall_rerand_s =
@@ -107,7 +120,8 @@ Recorder MakeExperimentRecorder() {
                    "cost_spot_usd", "deals_excluded", "retries",
                    "timeouts_fired", "msgs_dropped", "kernel_width",
                    "dot_calls", "dot_products", "dot_reductions", "wc_hits",
-                   "wc_misses"});
+                   "wc_misses", "byz_actions", "byz_detections",
+                   "byz_dealers_attributed", "byz_survivors_suspected"});
 }
 
 void RecordExperiment(Recorder& rec, const std::string& series,
@@ -148,6 +162,10 @@ void RecordExperiment(Recorder& rec, const std::string& series,
       .Set("dot_reductions", r.substrate.dot_reductions)
       .Set("wc_hits", r.substrate.wc_hits)
       .Set("wc_misses", r.substrate.wc_misses)
+      .Set("byz_actions", r.byz_actions)
+      .Set("byz_detections", r.byz_detections)
+      .Set("byz_dealers_attributed", r.byz_dealers_attributed)
+      .Set("byz_survivors_suspected", r.byz_survivors_suspected)
       .Commit();
 }
 

@@ -74,6 +74,14 @@ struct ExperimentResult {
   std::uint64_t timeouts_fired = 0;
   std::uint64_t msgs_dropped = 0;   // fabric-level drops (faults + crashes)
 
+  // Byzantine dispute counters for the window, read as registry deltas over
+  // the byz.* namespace (all zero unless a ByzantinePlan is armed). Actions
+  // are what the adversary did; detections are what the protocol caught.
+  std::uint64_t byz_actions = 0;
+  std::uint64_t byz_detections = 0;
+  std::uint64_t byz_dealers_attributed = 0;
+  std::uint64_t byz_survivors_suspected = 0;
+
   double WindowTimePerByte() const {
     return window_time_s / static_cast<double>(file_bytes);
   }

@@ -4,12 +4,41 @@
 #include <sstream>
 
 #include "common/log.h"
+#include "math/berlekamp_welch.h"
+#include "obs/registry.h"
+#include "pisces/byzantine.h"
 
 namespace pisces {
 
 using field::FpElem;
 using net::Message;
 using net::MsgType;
+
+namespace {
+
+// Detection-side counters for the active-adversary model. They count causes,
+// not strategies: any corrupted input trips them, whether it came from a
+// ByzantineActor or from wire-level fault injection.
+obs::Counter& VssCheckFailures() {
+  static obs::Counter& c = obs::RegisterCounter(
+      "byz.vss_check_failures",
+      "hyperinvertible check rows rejected by verifiers");
+  return c;
+}
+obs::Counter& RecoveryInconsistent() {
+  static obs::Counter& c = obs::RegisterCounter(
+      "byz.recovery_inconsistent",
+      "masked-share blocks failing the target consistency check");
+  return c;
+}
+obs::Counter& RecoverySharesCorrected() {
+  static obs::Counter& c = obs::RegisterCounter(
+      "byz.recovery_shares_corrected",
+      "wrong masked shares decoded through by the recovery target");
+  return c;
+}
+
+}  // namespace
 
 Host::Host(HostConfig cfg, net::Transport& transport,
            const crypto::SchnorrGroup& group, Bytes ca_pk)
@@ -117,7 +146,8 @@ void Host::SendMetered(Message msg, PhaseMetrics& bucket) {
 }
 
 void Host::ReportPhaseDone(std::uint64_t file_id, std::uint32_t epoch,
-                           std::uint32_t kind, bool ok, PhaseMetrics& bucket) {
+                           std::uint32_t kind, bool ok, PhaseMetrics& bucket,
+                           const std::vector<std::uint32_t>& accused) {
   Message m;
   m.from = cfg_.id;
   m.to = net::kHypervisorId;
@@ -125,7 +155,17 @@ void Host::ReportPhaseDone(std::uint64_t file_id, std::uint32_t epoch,
   m.file_id = file_id;
   m.epoch = epoch;
   m.row = kind;
-  m.payload = Bytes{static_cast<std::uint8_t>(ok ? 1 : 0)};
+  if (accused.empty()) {
+    m.payload = Bytes{static_cast<std::uint8_t>(ok ? 1 : 0)};
+  } else {
+    // Dispute report: ok byte, then the survivors whose masked shares the
+    // robust decode rejected. Only non-empty lists change the wire format.
+    ByteWriter w;
+    w.U8(ok ? 1 : 0);
+    w.U32(static_cast<std::uint32_t>(accused.size()));
+    for (std::uint32_t id : accused) w.U32(id);
+    m.payload = w.bytes();
+  }
   SendMetered(std::move(m), bucket);
 }
 
@@ -237,7 +277,16 @@ void Host::OnReconstructRequest(const Message& msg) {
     std::vector<FpElem>& shares = store_.Load(msg.file_id);
     ByteWriter w;
     w.Blob(meta.Serialize());
-    w.Raw(field::SerializeElems(*cfg_.ctx, shares));
+    if (byz_ != nullptr) {
+      // Wrong-share attack on client reconstruction: lie on the wire while
+      // the stored shares stay honest (the mobile adversary corrupts and
+      // leaves; it does not get to rot the store beyond the decode radius).
+      std::vector<FpElem> served = shares;
+      byz_->TamperShares(served);
+      w.Raw(field::SerializeElems(*cfg_.ctx, served));
+    } else {
+      w.Raw(field::SerializeElems(*cfg_.ctx, shares));
+    }
     sealed = SealFor(msg.from, w.bytes());
     store_.Stash(msg.file_id);
   }
@@ -314,7 +363,9 @@ void Host::OnStartRefresh(const Message& msg) {
     if (participants.size() < cfg_.params.n) {
       metrics_.faults.deals_excluded += cfg_.params.n - participants.size();
     }
-    deal = s.batch->Deal(rng_, section.extra());
+    // The optional tamper hook is the dealer-side attack seam (equivocation,
+    // corrupted zero-sharings); nullptr on honest hosts.
+    deal = s.batch->Deal(rng_, section.extra(), byz_);
   }
 
   auto [it, inserted] = refresh_.emplace(key, std::move(s));
@@ -323,6 +374,7 @@ void Host::OnStartRefresh(const Message& msg) {
   for (std::size_t k = 0; k < participants.size(); ++k) {
     const std::uint32_t holder = participants[k];
     if (holder == cfg_.id) continue;
+    if (byz_ != nullptr && byz_->WithholdSend()) continue;
     Message m;
     m.from = cfg_.id;
     m.to = holder;
@@ -488,7 +540,11 @@ void Host::MaybeVerifyRefreshRow(RefreshKey key, RefreshSession& s,
     ok = VerifyRow(*s.batch, s.check_vals[row], *cfg_.ctx);
   }
   s.check_vals.erase(row);
-  if (!ok) verdicts_rejected_ += 1;
+  if (!ok) {
+    verdicts_rejected_ += 1;
+    VssCheckFailures().Add(1);
+    obs::Span span(obs::SpanKind::kByzDetect, cfg_.id, row);
+  }
 
   // Deliver to every other holder first: our own verdict may complete (and
   // erase) the session, and peers still need this row's verdict.
@@ -646,6 +702,7 @@ void Host::OnStartRecovery(const Message& msg) {
     for (std::size_t k = 0; k < plan.survivors.size(); ++k) {
       std::uint32_t holder = plan.survivors[k];
       if (holder == cfg_.id) continue;
+      if (byz_ != nullptr && byz_->WithholdSend()) continue;
       Message m;
       m.from = cfg_.id;
       m.to = holder;
@@ -709,7 +766,11 @@ void Host::MaybeVerifySurvivorRow(SurvivorKey key, SurvivorSession& s,
     ok = VerifyRow(*s.batch, s.check_vals[row], *cfg_.ctx);
   }
   s.check_vals.erase(row);
-  if (!ok) verdicts_rejected_ += 1;
+  if (!ok) {
+    verdicts_rejected_ += 1;
+    VssCheckFailures().Add(1);
+    obs::Span span(obs::SpanKind::kByzDetect, cfg_.id, row);
+  }
 
   // Deliver to every other survivor first: our own verdict may complete (and
   // erase) the session, and peers still need this row's verdict.
@@ -763,9 +824,16 @@ void Host::MaybeSendMaskedShares(SurvivorKey key, SurvivorSession& s) {
       masked[blk] = cfg_.ctx->Add(shares[blk], s.outputs[base + a_rel][g]);
     }
     store_.Stash(file_id);
+    // Wrong-share attack on recovery: the target's consistency check and
+    // robust decode are responsible for catching this.
+    if (byz_ != nullptr) byz_->TamperShares(masked);
     sealed = SealFor(target, field::SerializeElems(*cfg_.ctx, masked));
   }
 
+  if (byz_ != nullptr && byz_->WithholdSend()) {
+    survivor_.erase(key);
+    return;
+  }
   Message m;
   m.from = cfg_.id;
   m.to = target;
@@ -811,16 +879,22 @@ void Host::MaybeFinishTarget(std::uint64_t file_id, std::uint32_t seq,
   // Senders arrive keyed by id; the map iterates in ascending order, matching
   // plan.survivors (also ascending).
   std::vector<FpElem> xs;
+  std::vector<std::uint32_t> senders;
   std::vector<const std::vector<FpElem>*> rows;
   xs.reserve(s.masked_by_sender.size());
   for (const auto& [sender, elems] : s.masked_by_sender) {
     xs.push_back(shamir_->points().alpha(sender));
+    senders.push_back(sender);
     rows.push_back(&elems);
   }
   math::PointChecker checker(*cfg_.ctx, xs, d);
   std::vector<FpElem> w = checker.WeightsAt(shamir_->points().alpha(cfg_.id));
+  // Unique-decoding radius of the masked-share code: with all survivors
+  // responding and 3t + l < n there is slack for e wrong values per block.
+  const std::size_t max_errors = xs.size() > d + 1 ? (xs.size() - d - 1) / 2 : 0;
 
   bool ok = true;
+  std::set<std::uint32_t> accused_set;
   std::vector<FpElem> shares(s.meta.num_blocks, cfg_.ctx->Zero());
   std::vector<FpElem> ys(xs.size(), cfg_.ctx->Zero());
   for (std::size_t blk = 0; blk < s.meta.num_blocks; ++blk) {
@@ -828,14 +902,30 @@ void Host::MaybeFinishTarget(std::uint64_t file_id, std::uint32_t seq,
     // The masked polynomial f + q has degree <= d; inconsistency means a
     // corrupted survivor (caught here even though verification passed for
     // the masks, since the share component is unverified).
-    if (!checker.Consistent(ys)) {
+    if (checker.Consistent(ys)) {
+      shares[blk] = math::PointChecker::Apply(*cfg_.ctx, w, ys);
+      continue;
+    }
+    // Dispute path: decode through the wrong values with Berlekamp-Welch and
+    // accuse the senders whose points the decoded polynomial rejects. The
+    // fast path above is byte-identical to the pre-dispute behaviour.
+    RecoveryInconsistent().Add(1);
+    obs::Span span(obs::SpanKind::kByzDetect, cfg_.id, blk);
+    auto f = math::RobustInterpolate(*cfg_.ctx, xs, ys, d, max_errors);
+    if (!f.has_value()) {
+      // Beyond the decoding radius: fail the phase; the hypervisor retries
+      // with a survivor set that excludes the accused/stuck hosts.
       ok = false;
       break;
     }
-    shares[blk] = math::PointChecker::Apply(*cfg_.ctx, w, ys);
+    std::vector<std::size_t> bad = math::Mismatches(*cfg_.ctx, *f, xs, ys);
+    RecoverySharesCorrected().Add(bad.size());
+    for (std::size_t b : bad) accused_set.insert(senders[b]);
+    shares[blk] = f->Eval(*cfg_.ctx, shamir_->points().alpha(cfg_.id));
   }
   if (ok) store_.Put(s.meta, std::move(shares));
-  ReportPhaseDone(file_id, seq, 1, ok, metrics_.recover);
+  std::vector<std::uint32_t> accused(accused_set.begin(), accused_set.end());
+  ReportPhaseDone(file_id, seq, 1, ok, metrics_.recover, accused);
 }
 
 // ---------------------------------------------------------------------------
@@ -873,6 +963,38 @@ std::vector<Host::StuckRefresh> Host::StuckRefreshSessions() const {
       }
     }
     info.waiting_verdicts = info.missing_dealers.empty();
+    out.push_back(std::move(info));
+  }
+  return out;
+}
+
+std::vector<Host::StuckRecovery> Host::StuckRecoverySessions() const {
+  std::vector<StuckRecovery> out;
+  for (const auto& [key, s] : survivor_) {
+    StuckRecovery info;
+    info.file_id = std::get<0>(key);
+    info.epoch = std::get<1>(key);
+    info.target = std::get<2>(key);
+    if (s.batch.has_value()) {
+      const auto& holders = s.batch->holders();
+      for (std::size_t i = 0; i < holders.size(); ++i) {
+        if (i < s.deal_seen.size() && !s.deal_seen[i]) {
+          info.missing_dealers.push_back(holders[i]);
+        }
+      }
+    }
+    out.push_back(std::move(info));
+  }
+  for (const auto& [key, s] : target_) {
+    StuckRecovery info;
+    info.file_id = key.first;
+    info.epoch = key.second;
+    info.target = cfg_.id;
+    for (std::uint32_t sv : s.plan.survivors) {
+      if (s.masked_by_sender.count(sv) == 0) {
+        info.missing_senders.push_back(sv);
+      }
+    }
     out.push_back(std::move(info));
   }
   return out;

@@ -34,6 +34,8 @@
 
 namespace pisces {
 
+class ByzantineActor;
+
 // `row` marker distinguishing refresh sub-sessions from per-target recovery
 // sub-sessions in kDeal/kCheckShare/kVerdict headers.
 inline constexpr std::uint32_t kRefreshMarker = 0xFFFFFFFF;
@@ -85,6 +87,26 @@ class Host : public net::MessageHandler {
     bool waiting_verdicts = false;  // all deals arrived; stuck later
   };
   std::vector<StuckRefresh> StuckRefreshSessions() const;
+
+  // Same idea for recovery sessions wedged at the bounded-delay timeout:
+  // which survivors' mask dealings never arrived (survivor side) and which
+  // survivors' masked shares never arrived (target side). The hypervisor
+  // applies the dealer-exclusion strike rule to both.
+  struct StuckRecovery {
+    std::uint64_t file_id = 0;
+    std::uint32_t epoch = 0;  // hypervisor op sequence
+    std::uint32_t target = 0;
+    std::vector<std::uint32_t> missing_dealers;  // survivor-session view
+    std::vector<std::uint32_t> missing_senders;  // target-session view
+  };
+  std::vector<StuckRecovery> StuckRecoverySessions() const;
+
+  // Arms (or disarms, with nullptr) the active-adversary hooks: a non-null
+  // actor makes this host cheat per its ByzantineStrategy. Stored state stays
+  // honest; the actor only perturbs what leaves on the wire. With no actor
+  // armed every code path is a null-pointer check away from the honest
+  // build (the armed-vs-unarmed differential test pins this down).
+  void ArmByzantine(ByzantineActor* actor) { byz_ = actor; }
 
   // Raw dealing columns of a refresh session that failed hyperinvertible
   // verification, archived so the hypervisor can attribute the corrupt
@@ -186,8 +208,12 @@ class Host : public net::MessageHandler {
   Bytes SealFor(std::uint32_t peer, std::span<const std::uint8_t> plaintext);
   Bytes OpenFrom(std::uint32_t peer, std::span<const std::uint8_t> payload);
   crypto::SecureChannel& ChannelTo(std::uint32_t peer);
+  // When `accused` is non-empty the report carries the accused host ids after
+  // the ok byte (recovery dispute); an empty list keeps the legacy one-byte
+  // payload, so honest-path bytes are unchanged.
   void ReportPhaseDone(std::uint64_t file_id, std::uint32_t epoch,
-                       std::uint32_t kind, bool ok, PhaseMetrics& bucket);
+                       std::uint32_t kind, bool ok, PhaseMetrics& bucket,
+                       const std::vector<std::uint32_t>& accused = {});
   void ReplayPending();
 
   HostConfig cfg_;
@@ -224,6 +250,8 @@ class Host : public net::MessageHandler {
   // resurrect sessions that already ran under the same (file, seq) key.
   std::set<RefreshKey> refresh_started_;
   std::set<std::pair<std::uint64_t, std::uint32_t>> recovery_started_;
+  // Active-adversary hooks; nullptr on honest hosts (pisces/byzantine.h).
+  ByzantineActor* byz_ = nullptr;
 };
 
 }  // namespace pisces

@@ -4,6 +4,7 @@
 
 #include "common/log.h"
 #include "math/poly.h"
+#include "obs/registry.h"
 #include "obs/trace.h"
 
 namespace pisces {
@@ -11,6 +12,26 @@ namespace pisces {
 using field::FpElem;
 using net::Message;
 using net::MsgType;
+
+namespace {
+
+// Detection-side dispute counters (the matching action-side byz.* counters
+// live in pisces/byzantine.cpp).
+obs::Counter& DealersAttributed() {
+  static obs::Counter& c = obs::RegisterCounter(
+      "byz.dealers_attributed",
+      "dealers attributed as corrupt from archived dealing columns");
+  return c;
+}
+obs::Counter& SurvivorsSuspected() {
+  static obs::Counter& c = obs::RegisterCounter(
+      "byz.survivors_suspected",
+      "survivors barred from recovery (accused by robust decode or "
+      "repeatedly silent)");
+  return c;
+}
+
+}  // namespace
 
 Hypervisor::Hypervisor(HypervisorConfig cfg, net::SimNet& net,
                        net::SyncNetwork& sync,
@@ -62,6 +83,8 @@ void Hypervisor::BootHost(std::uint32_t id) {
   // The fresh image is trusted again: wipe its exclusion record.
   excluded_.erase(id);
   dealer_strikes_.erase(id);
+  suspects_.erase(id);
+  suspect_strikes_.erase(id);
 }
 
 std::pair<crypto::HostCert, Bytes> Hypervisor::EnrollExternal(
@@ -189,7 +212,10 @@ std::set<std::uint32_t> Hypervisor::AttributeCorruptDealers(
           }
         }
       }
-      if (bad) corrupt.insert(dealers[i]);
+      if (bad && corrupt.insert(dealers[i]).second) {
+        DealersAttributed().Add(1);
+        obs::Span span(obs::SpanKind::kByzDetect, dealers[i], file);
+      }
     }
   }
   return corrupt;
@@ -434,6 +460,11 @@ bool Hypervisor::RunRecovery(std::vector<std::uint32_t> targets,
       std::vector<std::uint32_t> reserve;
       for (std::uint32_t id : ReachableHosts()) {
         if (stale_.count(id) != 0) continue;
+        // Suspects never serve as survivors -- not even reserve. Exclusion
+        // distrusts a host's dealing (which the target re-verifies), but a
+        // suspect's verified-at-target contribution is exactly what a robust
+        // decode convicted, or it starved sessions by withholding.
+        if (suspects_.count(id) != 0) continue;
         if (std::find(chunk.begin(), chunk.end(), id) != chunk.end()) continue;
         (excluded_.count(id) != 0 ? reserve : base).push_back(id);
       }
@@ -522,6 +553,40 @@ bool Hypervisor::RunRecovery(std::vector<std::uint32_t> targets,
         if (host->HasActiveSessions()) {
           bad = true;
           break;
+        }
+      }
+      // Snapshot wedged recovery sessions before aborting them, mirroring the
+      // refresh dealer-strike rule: a survivor whose dealing or masked share
+      // is missing at more than half of a (file, target)'s wedged sessions
+      // earns a strike; two strikes mark it suspect. A single missing message
+      // blames the link, not the host.
+      std::map<std::pair<std::uint64_t, std::uint32_t>, std::size_t> stuck_cnt;
+      std::map<std::pair<std::uint64_t, std::uint32_t>,
+               std::map<std::uint32_t, std::size_t>>
+          missing_at;
+      for (const auto& host : hosts_) {
+        for (const auto& stuck : host->StuckRecoverySessions()) {
+          if (stuck.epoch != seq) continue;
+          const auto key = std::make_pair(stuck.file_id, stuck.target);
+          stuck_cnt[key] += 1;
+          for (std::uint32_t id : stuck.missing_dealers) missing_at[key][id]++;
+          for (std::uint32_t id : stuck.missing_senders) missing_at[key][id]++;
+        }
+      }
+      std::set<std::uint32_t> silent;
+      for (const auto& [key, counts] : missing_at) {
+        for (const auto& [id, cnt] : counts) {
+          if (cnt * 2 > stuck_cnt[key]) silent.insert(id);
+        }
+      }
+      for (std::uint32_t id : silent) {
+        if (net_.IsOffline(id)) continue;  // crash: availability covers it
+        if (++suspect_strikes_[id] >= 2 && suspects_.insert(id).second) {
+          SurvivorsSuspected().Add(1);
+          obs::Span span(obs::SpanKind::kByzDetect, id, seq);
+          recent_failures_.push_back(
+              "host " + std::to_string(id) +
+              " suspected: recovery traffic repeatedly missing");
         }
       }
       AbortStuckFleet(&recent_failures_);
@@ -643,6 +708,33 @@ void Hypervisor::HandleMessage(const Message& msg) {
   }
   const bool ok = !msg.payload.empty() && msg.payload[0] == 1;
   phase_reports_.push_back({msg.from, msg.row, msg.file_id, msg.epoch, ok});
+  // Recovery targets append the survivor ids their robust decode convicted
+  // of serving wrong masked shares (Host::ReportPhaseDone); honest reports
+  // keep the legacy one-byte payload. An accusation comes from one (possibly
+  // lying) host, so its effect is bounded: the suspect only loses its
+  // survivor role until its next reboot re-establishes trust.
+  if (msg.row == 1 && msg.payload.size() > 1) {
+    try {
+      ByteReader r(msg.payload);
+      r.U8();  // ok byte, already consumed above
+      const std::uint32_t count = r.U32();
+      for (std::uint32_t i = 0; i < count; ++i) {
+        const std::uint32_t id = r.U32();
+        if (id >= hosts_.size() || id == msg.from) continue;
+        if (suspects_.insert(id).second) {
+          SurvivorsSuspected().Add(1);
+          obs::Span span(obs::SpanKind::kByzDetect, id, msg.from);
+          recent_failures_.push_back(
+              "host " + std::to_string(id) +
+              " suspected: wrong masked shares (accused by target " +
+              std::to_string(msg.from) + ")");
+        }
+      }
+    } catch (const ParseError&) {
+      LogWarn() << "hypervisor: malformed accusation list from host "
+                << msg.from;
+    }
+  }
   if (!ok) {
     ++failures_seen_;
     recent_failures_.push_back("host " + std::to_string(msg.from) +

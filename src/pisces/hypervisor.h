@@ -123,6 +123,11 @@ class Hypervisor : public net::MessageHandler {
   std::uint64_t failures_seen() const { return failures_seen_; }
   // Hosts currently barred from dealing (corrupt or repeatedly silent).
   const std::set<std::uint32_t>& excluded_dealers() const { return excluded_; }
+  // Hosts barred from acting as recovery survivors: accused by a recovery
+  // target's robust decode (wrong masked shares) or repeatedly silent during
+  // recovery (withheld dealings/masked shares, two strikes). Cleared by
+  // reboot, like the dealer exclusion record.
+  const std::set<std::uint32_t>& suspected_hosts() const { return suspects_; }
   // Hosts holding shares that missed the latest rerandomization (awaiting
   // resync through recovery).
   const std::set<std::uint32_t>& stale_hosts() const { return stale_; }
@@ -190,6 +195,11 @@ class Hypervisor : public net::MessageHandler {
   std::vector<PhaseReport> phase_reports_;  // cleared per attempt
   std::set<std::uint32_t> excluded_;
   std::map<std::uint32_t, std::uint32_t> dealer_strikes_;
+  // Recovery dispute state: suspects are excluded from the survivor set (base
+  // AND reserve -- their verified-at-target contribution is exactly what was
+  // rejected); strikes accumulate toward suspicion for silent survivors.
+  std::set<std::uint32_t> suspects_;
+  std::map<std::uint32_t, std::uint32_t> suspect_strikes_;
   std::set<std::uint32_t> stale_;
   // Every file id ever observed on a host. Host stores are the only file
   // directory, so once the last holder is wiped a file would silently vanish

@@ -85,8 +85,8 @@ bool PackedShamir::ConsistentShares(std::span<const std::uint32_t> parties,
 }
 
 std::optional<std::vector<FpElem>> PackedShamir::RobustReconstructBlock(
-    std::span<const std::uint32_t> parties,
-    std::span<const FpElem> shares) const {
+    std::span<const std::uint32_t> parties, std::span<const FpElem> shares,
+    std::vector<std::size_t>* corrupted) const {
   Require(parties.size() == shares.size(),
           "RobustReconstructBlock: size mismatch");
   const std::size_t d = params_.degree();
@@ -95,6 +95,7 @@ std::optional<std::vector<FpElem>> PackedShamir::RobustReconstructBlock(
   const std::size_t max_errors = (parties.size() - d - 1) / 2;
   auto f = math::RobustInterpolate(*ctx_, xs, shares, d, max_errors);
   if (!f) return std::nullopt;
+  if (corrupted != nullptr) *corrupted = math::Mismatches(*ctx_, *f, xs, shares);
   std::vector<FpElem> secrets;
   secrets.reserve(params_.l);
   for (std::size_t j = 0; j < params_.l; ++j) {

@@ -62,10 +62,12 @@ class PackedShamir {
   // Reconstruction tolerating corrupted share values (Berlekamp-Welch):
   // succeeds when at most floor((parties.size() - d - 1) / 2) shares are
   // wrong -- with the paper's 3t + l < n this covers t actively corrupted
-  // responders when all n respond. nullopt when decoding fails.
+  // responders when all n respond. nullopt when decoding fails. When
+  // `corrupted` is non-null it receives the indices into `parties` whose
+  // shares disagreed with the decoded polynomial (empty on clean input).
   std::optional<std::vector<FpElem>> RobustReconstructBlock(
-      std::span<const std::uint32_t> parties,
-      std::span<const FpElem> shares) const;
+      std::span<const std::uint32_t> parties, std::span<const FpElem> shares,
+      std::vector<std::size_t>* corrupted = nullptr) const;
 
   // Precomputed reconstruction weights: (*recon)[j][i] is the weight of
   // parties[i]'s share in secret j. Memoized process-wide per responder set

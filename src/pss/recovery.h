@@ -56,4 +56,18 @@ void ReferenceRecover(const PackedShamir& shamir,
                       std::vector<std::vector<FpElem>>& shares_by_party,
                       std::span<const std::uint32_t> rebooting, Rng& rng);
 
+// Active-adversary variant: every survivor listed in `liars` sends corrupted
+// masked shares (its true value plus a fixed nonzero offset). The target
+// interpolates through them with Berlekamp-Welch -- the mask dealings leave
+// exactly the Reed-Solomon slack for e = (survivors - d - 1) / 2 errors --
+// and identifies the lying survivors via the decoded polynomial's mismatch
+// set. Returns the accused host ids (union over targets and blocks); the
+// recovered shares are correct whenever liars.size() fits the radius.
+// Executable documentation of the dispute path in Host::MaybeFinishTarget.
+std::vector<std::uint32_t> ReferenceRecoverRobust(
+    const PackedShamir& shamir,
+    std::vector<std::vector<FpElem>>& shares_by_party,
+    std::span<const std::uint32_t> rebooting, Rng& rng,
+    std::span<const std::uint32_t> liars);
+
 }  // namespace pisces::pss

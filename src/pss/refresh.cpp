@@ -102,4 +102,89 @@ void ReferenceRefresh(const PackedShamir& shamir,
   });
 }
 
+std::vector<std::uint32_t> ReferenceRefreshDetect(
+    const PackedShamir& shamir,
+    std::vector<std::vector<FpElem>>& shares_by_party, Rng& rng,
+    std::uint32_t cheater, DealTamper& tamper) {
+  const Params& p = shamir.params();
+  const FpCtx& ctx = shamir.ctx();
+  Require(shares_by_party.size() == p.n,
+          "ReferenceRefreshDetect: wrong party count");
+  Require(cheater < p.n, "ReferenceRefreshDetect: cheater out of range");
+  const std::size_t blocks = shares_by_party[0].size();
+  RefreshPlan plan = RefreshPlan::For(blocks, p);
+  VssBatch batch = MakeRefreshBatch(shamir, blocks);
+
+  // Phase 1 mirrors ReferenceRefresh, except the cheater's dealing passes
+  // through the tamper hook after evaluation.
+  std::vector<std::vector<math::Poly>> us_by_dealer;
+  us_by_dealer.reserve(p.n);
+  for (std::size_t i = 0; i < p.n; ++i) {
+    us_by_dealer.push_back(batch.DrawDealRandomness(rng));
+  }
+  std::vector<std::vector<std::vector<FpElem>>> deals(p.n);
+  GlobalPool().ParallelFor(0, p.n, [&](std::size_t i) {
+    deals[i] = batch.DealFrom(us_by_dealer[i], nullptr,
+                              i == cheater ? &tamper : nullptr);
+  });
+
+  // Phase 2: holder transforms.
+  std::vector<std::vector<std::vector<FpElem>>> outputs(p.n);
+  GlobalPool().ParallelFor(0, p.n, [&](std::size_t k) {
+    std::vector<std::vector<FpElem>> col(p.n);
+    for (std::size_t i = 0; i < p.n; ++i) col[i] = deals[i][k];
+    outputs[k] = batch.Transform(col, p.b);
+  });
+
+  // Phase 3: open the check rows. Any tampered dealing perturbs every output
+  // row of its group (the hyperinvertible matrix mixes all dealer inputs into
+  // each output), so a check row fails with overwhelming probability.
+  bool check_failed = false;
+  for (std::size_t a = 0; a < batch.check_rows() && !check_failed; ++a) {
+    for (std::size_t g = 0; g < batch.groups(); ++g) {
+      std::vector<FpElem> values(p.n, ctx.Zero());
+      for (std::size_t k = 0; k < p.n; ++k) values[k] = outputs[k][a][g];
+      if (!batch.VerifyCheckVector(values)) {
+        check_failed = true;
+        break;
+      }
+    }
+  }
+
+  if (!check_failed) {
+    // Clean round: apply as usual.
+    GlobalPool().ParallelFor(0, p.n, [&](std::size_t k) {
+      for (std::size_t g = 0; g < batch.groups(); ++g) {
+        for (std::size_t a_rel = 0; a_rel < batch.usable_rows(); ++a_rel) {
+          auto blk = plan.BlockFor(a_rel, g);
+          if (!blk) continue;
+          std::size_t a = batch.check_rows() + a_rel;
+          shares_by_party[k][*blk] =
+              ctx.Add(shares_by_party[k][*blk], outputs[k][a][g]);
+        }
+      }
+    });
+    return {};
+  }
+
+  // Attribution: each dealer's dealing is itself a claimed degree-<=d
+  // polynomial vanishing on the betas, evaluated at every holder point -- the
+  // exact vector shape VerifyCheckVector validates. An equivocating dealer
+  // has no single polynomial consistent with all receivers (degree check
+  // fails w.h.p.); a degree/vanishing violator fails directly. Honest
+  // dealings always pass, so exactly the cheaters are attributed.
+  std::vector<std::uint32_t> attributed;
+  for (std::size_t i = 0; i < p.n; ++i) {
+    for (std::size_t g = 0; g < batch.groups(); ++g) {
+      std::vector<FpElem> values(p.n, ctx.Zero());
+      for (std::size_t k = 0; k < p.n; ++k) values[k] = deals[i][k][g];
+      if (!batch.VerifyCheckVector(values)) {
+        attributed.push_back(static_cast<std::uint32_t>(i));
+        break;
+      }
+    }
+  }
+  return attributed;
+}
+
 }  // namespace pisces::pss

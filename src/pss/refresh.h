@@ -59,4 +59,18 @@ void ReferenceRefresh(const PackedShamir& shamir,
                       std::vector<std::vector<FpElem>>& shares_by_party,
                       Rng& rng);
 
+// Active-adversary variant: dealer `cheater` deals through `tamper` (see
+// pss/tamper.h). Instead of throwing on a failed check row, the round runs
+// the attribution pass the hypervisor uses after a wedged refresh: every
+// dealer's dealing vector (its value at each holder point) is re-verified for
+// degree <= d and vanishing on the betas, and the dealers that fail are
+// returned. When the returned set is empty the round verified clean and the
+// refresh was applied; otherwise shares_by_party is left untouched (the
+// protocol would retry without the attributed dealers). Executable
+// documentation of the algebra behind Hypervisor::AttributeCorruptDealers.
+std::vector<std::uint32_t> ReferenceRefreshDetect(
+    const PackedShamir& shamir,
+    std::vector<std::vector<FpElem>>& shares_by_party, Rng& rng,
+    std::uint32_t cheater, DealTamper& tamper);
+
 }  // namespace pisces::pss

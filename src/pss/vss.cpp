@@ -16,13 +16,14 @@ std::size_t GroupsFor(std::size_t wanted, std::size_t usable_rows) {
 VssBatch::VssBatch(const FpCtx& ctx, const EvalPoints& points,
                    std::vector<std::uint32_t> holders,
                    std::vector<FpElem> vanish, std::size_t degree,
-                   std::size_t check_rows, std::size_t groups)
+                   std::size_t check_rows, std::size_t groups, bool recovery)
     : ctx_(&ctx),
       holders_(std::move(holders)),
       vanish_(std::move(vanish)),
       degree_(degree),
       check_rows_(check_rows),
-      groups_(groups) {
+      groups_(groups),
+      recovery_(recovery) {
   Require(!holders_.empty(), "VssBatch: no holders");
   Require(check_rows_ < holders_.size(),
           "VssBatch: need at least one usable row");
@@ -63,7 +64,8 @@ std::vector<math::Poly> VssBatch::DrawDealRandomness(Rng& rng) const {
 }
 
 std::vector<std::vector<FpElem>> VssBatch::DealFrom(
-    std::span<const math::Poly> us, std::uint64_t* extra_cpu_ns) const {
+    std::span<const math::Poly> us, std::uint64_t* extra_cpu_ns,
+    DealTamper* tamper) const {
   Require(us.size() == groups_, "DealFrom: wrong group count");
   const std::size_t nh = holders_.size();
   obs::Span span(obs::SpanKind::kVssDeal, groups_, nh);
@@ -83,12 +85,23 @@ std::vector<std::vector<FpElem>> VssBatch::DealFrom(
         }
       },
       extra_cpu_ns);
+  // Active-adversary seam: applied on the caller's thread after the pool
+  // fan-out so tampering is deterministic for any pool size. Honest callers
+  // pass null and take the branch-not-taken path only.
+  if (tamper != nullptr) {
+    tamper->TamperDeal(holders_, recovery_shape(), out);
+    Require(out.size() == nh, "DealFrom: tamper changed holder count");
+    for (const auto& row : out) {
+      Require(row.size() == groups_, "DealFrom: tamper changed group count");
+    }
+  }
   return out;
 }
 
-std::vector<std::vector<FpElem>> VssBatch::Deal(
-    Rng& rng, std::uint64_t* extra_cpu_ns) const {
-  return DealFrom(DrawDealRandomness(rng), extra_cpu_ns);
+std::vector<std::vector<FpElem>> VssBatch::Deal(Rng& rng,
+                                                std::uint64_t* extra_cpu_ns,
+                                                DealTamper* tamper) const {
+  return DealFrom(DrawDealRandomness(rng), extra_cpu_ns, tamper);
 }
 
 std::vector<std::vector<FpElem>> VssBatch::Transform(

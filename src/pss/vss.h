@@ -26,6 +26,7 @@
 #include "math/matrix.h"
 #include "math/poly.h"
 #include "pss/params.h"
+#include "pss/tamper.h"
 
 namespace pisces::pss {
 
@@ -37,9 +38,13 @@ class VssBatch {
  public:
   // `holders` are the live parties (dealer set == holder set), in a globally
   // agreed order. `vanish` is V. `degree` is d. `ctx` must outlive the batch.
+  // `recovery` marks recovery-mask batches (set by MakeRecoveryBatch); it
+  // cannot be inferred from the vanishing set -- a refresh batch at packing
+  // l = 1 also vanishes on a single point.
   VssBatch(const FpCtx& ctx, const EvalPoints& points,
            std::vector<std::uint32_t> holders, std::vector<FpElem> vanish,
-           std::size_t degree, std::size_t check_rows, std::size_t groups);
+           std::size_t degree, std::size_t check_rows, std::size_t groups,
+           bool recovery = false);
 
   const FpCtx& ctx() const { return *ctx_; }
   std::size_t dealers() const { return holders_.size(); }
@@ -57,18 +62,26 @@ class VssBatch {
   // the Deal message to holder k. Randomness is drawn serially (RNG order is
   // part of the determinism contract); the evaluations fan out across the
   // global task pool. extra_cpu_ns accumulates pool-worker CPU time (the
-  // caller's ambient CpuTimer cannot see it).
-  std::vector<std::vector<FpElem>> Deal(
-      Rng& rng, std::uint64_t* extra_cpu_ns = nullptr) const;
+  // caller's ambient CpuTimer cannot see it). `tamper`, when non-null, is
+  // applied to the finished dealing matrix on the caller's thread (after the
+  // pool fan-out) -- the active-adversary seam; see pss/tamper.h.
+  std::vector<std::vector<FpElem>> Deal(Rng& rng,
+                                        std::uint64_t* extra_cpu_ns = nullptr,
+                                        DealTamper* tamper = nullptr) const;
 
   // The two halves of Deal, separated so batch callers (refresh: one dealing
   // per live party) can draw every dealer's randomness serially and then
   // evaluate all dealings in parallel. us[g] is the uniform mask polynomial
-  // of group g; DealFrom is pure compute.
+  // of group g; DealFrom is pure compute (apart from the optional tamper).
   std::vector<math::Poly> DrawDealRandomness(Rng& rng) const;
   std::vector<std::vector<FpElem>> DealFrom(
-      std::span<const math::Poly> us,
-      std::uint64_t* extra_cpu_ns = nullptr) const;
+      std::span<const math::Poly> us, std::uint64_t* extra_cpu_ns = nullptr,
+      DealTamper* tamper = nullptr) const;
+
+  // True for recovery-mask batches (V = {alpha_rho}), false for refresh
+  // zero-sharing batches (V = betas). Forwarded to the tamper hook so
+  // strategies can target one phase.
+  bool recovery_shape() const { return recovery_; }
 
   // --- holder side ---
   // deals_by_dealer[i][g]: the evaluation received from dealer i (order of
@@ -101,6 +114,7 @@ class VssBatch {
   std::size_t degree_;
   std::size_t check_rows_;
   std::size_t groups_;
+  bool recovery_ = false;
   std::shared_ptr<const math::Matrix> m_;  // hyperinvertible, dealers^2
   math::Poly vanishing_poly_;  // prod over V of (x - v), reused per dealing
   // Vandermonde rows over the holder alphas (degree+1 columns): dotting row k

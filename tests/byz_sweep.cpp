@@ -1,0 +1,234 @@
+// Deterministic Byzantine seed-sweep campaign runner (ctest label: byz_sweep).
+//
+// Each seed drives one multi-window campaign: every window draws a fresh
+// corruption schedule (DrawByzantinePlan: which hosts cheat and how), a mild
+// link-fault plan (duplicates + reordering from the same seed stream), and a
+// passive capture set topped up to exactly t hosts, then runs a full
+// proactive update window and asserts the paper's three invariants:
+//
+//   safety    the file still downloads bit-exactly after the window;
+//   privacy   the adversary never holds > t same-period shares, and neither
+//             same-period nor cross-period reconstruction succeeds;
+//   liveness  refresh + every recovery batch complete (window report ok)
+//             despite <= t active corruptions.
+//
+// plus a detection ledger check: every dealer-side cheater (equivocation or
+// corrupted zero-sharing) must be attributed by the hypervisor within the
+// window, and tampered masked shares must trip the robust-decode counters.
+//
+// Replay workflow: when a seed fails, the runner prints a single REPLAY line
+// with the exact command to re-run just that campaign, e.g.
+//
+//   REPLAY: tests/byz_sweep --seed 17 --windows 10
+//
+// Run it from the build directory (or any directory -- the binary is
+// self-contained) to reproduce the failure deterministically; add --verbose
+// for the per-window plan and counter deltas. Sweep-wide knobs:
+//   --seeds N     number of seeds, starting at --start (default 25)
+//   --start S     first seed (default 1)
+//   --windows W   update windows per campaign (default 10)
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <set>
+#include <string>
+
+#include "obs/registry.h"
+#include "pisces/byzantine.h"
+#include "pisces/pisces.h"
+
+namespace pisces {
+namespace {
+
+struct SweepOptions {
+  std::uint64_t start_seed = 1;
+  std::size_t seeds = 25;
+  std::size_t windows = 10;
+  bool verbose = false;
+};
+
+// Campaign parameters: n = 10, t = 2, l = 1, r = 2 (3t + l = 7 < 10 and
+// r + l = 3 < n - 3t = 4). The client decoding radius is (10 - d - 1)/2 = 3
+// >= t and the masked-share radius with n - r = 8 survivors is 2 >= t, so
+// every drawn schedule is inside what the dispute machinery absorbs.
+pss::Params CampaignParams() {
+  pss::Params p;
+  p.n = 10;
+  p.t = 2;
+  p.l = 1;
+  p.r = 2;
+  p.b = 1;
+  p.field_bits = 256;
+  return p;
+}
+
+bool Check(bool cond, std::uint64_t seed, std::size_t window,
+           const char* invariant, const char* detail) {
+  if (cond) return true;
+  std::fprintf(stderr, "byz_sweep: seed %llu window %zu: %s violated (%s)\n",
+               static_cast<unsigned long long>(seed), window, invariant,
+               detail);
+  return false;
+}
+
+bool RunCampaign(std::uint64_t seed, const SweepOptions& opt) {
+  const pss::Params params = CampaignParams();
+  ClusterConfig cc;
+  cc.params = params;
+  cc.seed = seed ^ 0xB12A57ULL;
+  Cluster cluster(cc);
+
+  Rng rng(seed);
+  const Bytes file = rng.RandomBytes(400);
+  cluster.Upload(1, file);
+  Adversary spy(cluster);
+
+  for (std::size_t w = 0; w < opt.windows; ++w) {
+    const std::uint64_t wseed = rng.Next();
+    const ByzantinePlan plan = DrawByzantinePlan(wseed, params);
+
+    // Mild fabric faults on top of the corruptions: duplicates and
+    // reordering never cost liveness, so the invariants stay assertable.
+    net::FaultPlan fp;
+    fp.seed = wseed ^ 0xFA57;
+    fp.all_links.dup_prob = 0.02;
+    fp.all_links.reorder_prob = 0.05;
+    cluster.net().SetFaultPlan(fp);
+    cluster.ArmByzantine(plan);
+
+    // The passive adversary reads every actively corrupt host and tops the
+    // capture set up to exactly t hosts -- the worst case the privacy
+    // invariant must hold against.
+    std::set<std::uint32_t> spied;
+    for (const auto& [host, strategy] : plan.hosts) spied.insert(host);
+    while (spied.size() < params.t) {
+      spied.insert(static_cast<std::uint32_t>(rng.Below(params.n)));
+    }
+    for (std::uint32_t id : spied) spy.Corrupt(id);
+
+    const obs::Snapshot before = obs::TakeSnapshot();
+    const WindowReport report = cluster.RunUpdateWindow();
+    const obs::Snapshot delta = obs::Delta(before, obs::TakeSnapshot());
+
+    cluster.DisarmByzantine();
+    cluster.net().SetFaultPlan(net::FaultPlan{});
+    spy.ObserveWindow();
+
+    std::size_t dealer_side = 0;
+    std::size_t wrong_share = 0;
+    for (const auto& [host, strategy] : plan.hosts) {
+      if (strategy == ByzantineStrategy::kEquivocate ||
+          strategy == ByzantineStrategy::kCorruptDeal) {
+        ++dealer_side;
+      }
+      if (strategy == ByzantineStrategy::kWrongShare) ++wrong_share;
+    }
+    if (opt.verbose) {
+      std::string plan_desc;
+      for (const auto& [host, strategy] : plan.hosts) {
+        plan_desc += " " + std::to_string(host) + "=" + StrategyName(strategy);
+      }
+      std::printf(
+          "seed %llu window %zu: plan{%s } ok=%d attributed=%llu "
+          "suspected=%llu corrected=%llu withheld=%llu\n",
+          static_cast<unsigned long long>(seed), w, plan_desc.c_str(),
+          report.ok ? 1 : 0,
+          static_cast<unsigned long long>(
+              obs::Value(delta, "byz.dealers_attributed")),
+          static_cast<unsigned long long>(
+              obs::Value(delta, "byz.survivors_suspected")),
+          static_cast<unsigned long long>(
+              obs::Value(delta, "byz.recovery_shares_corrected")),
+          static_cast<unsigned long long>(
+              obs::Value(delta, "byz.messages_withheld")));
+    }
+
+    bool good = true;
+    // Liveness: <= t corruptions must not stop refresh or recovery.
+    good &= Check(report.ok, seed, w, "liveness",
+                  report.failures.empty() ? "window not ok"
+                                          : report.failures.front().c_str());
+    // Safety: the stored plaintext is intact.
+    good &= Check(cluster.Download(1) == file, seed, w, "safety",
+                  "download does not match uploaded plaintext");
+    // Privacy: never > t same-period shares, and no reconstruction -- not
+    // even mixing captures across periods.
+    good &= Check(!spy.ExceedsPrivacyThreshold(1), seed, w, "privacy",
+                  "adversary holds > t same-period shares");
+    good &= Check(!spy.AttemptReconstruction(1).has_value(), seed, w,
+                  "privacy", "same-period reconstruction succeeded");
+    good &= Check(!spy.AttemptMixedReconstruction(1).has_value(), seed, w,
+                  "privacy", "cross-period reconstruction succeeded");
+    // Detection ledger: every seeded dealer-side cheater is attributed, and
+    // tampered masked shares trip the robust decode.
+    good &= Check(obs::Value(delta, "byz.dealers_attributed") >= dealer_side,
+                  seed, w, "detection", "cheating dealer not attributed");
+    if (wrong_share > 0) {
+      good &= Check(obs::Value(delta, "byz.recovery_inconsistent") > 0, seed,
+                    w, "detection", "tampered masked shares never detected");
+    }
+    if (!good) return false;
+  }
+  return true;
+}
+
+int Main(int argc, char** argv) {
+  SweepOptions opt;
+  bool single_seed = false;
+  std::uint64_t seed_arg = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "byz_sweep: %s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--seed") {
+      single_seed = true;
+      seed_arg = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--seeds") {
+      opt.seeds = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--start") {
+      opt.start_seed = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--windows") {
+      opt.windows = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--verbose") {
+      opt.verbose = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: byz_sweep [--seed S | --seeds N --start S] "
+                   "[--windows W] [--verbose]\n");
+      return 2;
+    }
+  }
+
+  if (single_seed) {
+    opt.start_seed = seed_arg;
+    opt.seeds = 1;
+  }
+  std::size_t failed = 0;
+  for (std::size_t k = 0; k < opt.seeds; ++k) {
+    const std::uint64_t seed = opt.start_seed + k;
+    if (RunCampaign(seed, opt)) {
+      std::printf("seed %llu: ok (%zu windows)\n",
+                  static_cast<unsigned long long>(seed), opt.windows);
+      continue;
+    }
+    ++failed;
+    std::printf("REPLAY: tests/byz_sweep --seed %llu --windows %zu --verbose\n",
+                static_cast<unsigned long long>(seed), opt.windows);
+  }
+  if (failed != 0) {
+    std::printf("byz_sweep: %zu of %zu seeds FAILED\n", failed, opt.seeds);
+    return 1;
+  }
+  std::printf("byz_sweep: all %zu seeds passed\n", opt.seeds);
+  return 0;
+}
+
+}  // namespace
+}  // namespace pisces
+
+int main(int argc, char** argv) { return pisces::Main(argc, argv); }

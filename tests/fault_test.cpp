@@ -89,7 +89,7 @@ TEST(Fault, CorruptDealerCaughtWithPlaintextLinks) {
   EXPECT_EQ(cluster.Download(1), file);
 }
 
-TEST(Fault, CorruptMaskedShareCaughtByTargetConsistencyCheck) {
+TEST(Fault, CorruptMaskedShareHealedByRobustDecodeAndSenderSuspected) {
   ClusterConfig cfg = Config();
   cfg.encrypt_links = false;
   Cluster cluster(cfg);
@@ -108,9 +108,17 @@ TEST(Fault, CorruptMaskedShareCaughtByTargetConsistencyCheck) {
   WindowReport report;
   bool ok = cluster.hypervisor().RebootAndRecover(batch, &report);
   cluster.net().SetMutator(nullptr);
-  EXPECT_FALSE(ok);
-  // Surviving hosts still serve the file (d+1 = 4 <= 7 survivors).
+  // One wrong masked share among 7 survivors is within the Berlekamp-Welch
+  // radius (7 - d - 1)/2 = 1: the target decodes through it, recovery
+  // completes, and the dispute machinery bars the sender from the survivor
+  // role (either accused by the robust decode or struck out for the share
+  // never deserializing, depending on where the flipped bit lands).
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(cluster.hypervisor().suspected_hosts().count(4), 1u);
   EXPECT_EQ(cluster.Download(1), file);
+  // The recovered target holds a working share again: the file survives even
+  // with the suspect barred and the original survivors minus one.
+  EXPECT_TRUE(cluster.host(0).store().Has(1));
 }
 
 TEST(Fault, DroppedVerdictsLeaveStuckSessionsThatAreDetected) {

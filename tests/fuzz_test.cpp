@@ -1,7 +1,16 @@
 // Deserialization robustness: every wire-facing parser must reject arbitrary
 // and truncated bytes with ParseError (never crash, never accept garbage),
 // and mutated-but-parseable inputs must fail verification downstream.
+//
+// The structured fuzzer below starts from VALID wire messages and applies
+// format-aware mutations (truncation, length-field lies, trailing garbage,
+// byte flips) -- random blobs almost never get past the first length check,
+// so structure-aware inputs exercise far deeper parser states. Default
+// iteration counts keep the suite fast; set PISCES_FUZZ_ITERS to raise them
+// for a longer sanitizer soak (scripts/check_sanitize.sh does).
 #include <gtest/gtest.h>
+
+#include <cstdlib>
 
 #include "crypto/ca.h"
 #include "field/primes.h"
@@ -14,6 +23,32 @@ namespace {
 Bytes RandomBlob(Rng& rng, std::size_t max_len) {
   return rng.RandomBytes(rng.Below(max_len + 1));
 }
+
+std::size_t FuzzIters(std::size_t base) {
+  if (const char* env = std::getenv("PISCES_FUZZ_ITERS")) {
+    const long v = std::atol(env);
+    if (v > 0) return static_cast<std::size_t>(v);
+  }
+  return base;
+}
+
+// A structurally valid message with randomized fields and payload.
+net::Message RandomValidMessage(Rng& rng) {
+  net::Message m;
+  m.from = static_cast<std::uint32_t>(rng.Next());
+  m.to = static_cast<std::uint32_t>(rng.Next());
+  m.type = static_cast<net::MsgType>(
+      rng.Below(static_cast<std::uint8_t>(net::MsgType::kPhaseDone) + 1));
+  m.file_id = rng.Next();
+  m.epoch = static_cast<std::uint32_t>(rng.Next());
+  m.batch = static_cast<std::uint32_t>(rng.Next());
+  m.row = static_cast<std::uint32_t>(rng.Next());
+  m.payload = RandomBlob(rng, 96);
+  return m;
+}
+
+// Byte offset of the payload length prefix in the wire format.
+constexpr std::size_t kLenOffset = 4 + 4 + 1 + 8 + 4 + 4 + 4;
 
 TEST(Fuzz, MessageDeserializeNeverCrashes) {
   Rng rng(0xF122);
@@ -45,6 +80,89 @@ TEST(Fuzz, MessageTruncationAlwaysRejected) {
     Bytes cut(wire.begin(), wire.begin() + len);
     EXPECT_THROW(net::Message::Deserialize(cut), ParseError) << len;
   }
+}
+
+TEST(Fuzz, MessageStructuredMutationsNeverCrash) {
+  Rng rng(0xF126);
+  const std::size_t iters = FuzzIters(2000);
+  for (std::size_t iter = 0; iter < iters; ++iter) {
+    net::Message m = RandomValidMessage(rng);
+    Bytes wire = m.Serialize();
+    switch (rng.Below(4)) {
+      case 0:  // truncate
+        wire.resize(rng.Below(wire.size() + 1));
+        break;
+      case 1: {  // length-field lie
+        StoreLe32(static_cast<std::uint32_t>(rng.Next()),
+                  wire.data() + kLenOffset);
+        break;
+      }
+      case 2: {  // trailing garbage
+        Bytes extra = rng.RandomBytes(1 + rng.Below(16));
+        wire.insert(wire.end(), extra.begin(), extra.end());
+        break;
+      }
+      default:  // random byte flips
+        for (std::size_t k = 0; k < 1 + rng.Below(4); ++k) {
+          wire[rng.Below(wire.size())] ^=
+              static_cast<std::uint8_t>(1u << rng.Below(8));
+        }
+        break;
+    }
+    try {
+      net::Message out = net::Message::Deserialize(wire);
+      // Anything accepted must round-trip bit-exactly: the parser may only
+      // accept inputs it would itself produce.
+      EXPECT_EQ(out.Serialize(), wire) << "iteration " << iter;
+    } catch (const ParseError&) {
+      // expected for most mutations
+    }
+  }
+}
+
+TEST(Fuzz, MessageLengthFieldLiesAlwaysRejected) {
+  net::Message m;
+  m.from = 7;
+  m.to = 8;
+  m.type = net::MsgType::kMaskedShare;
+  m.payload = Bytes(21, 0x5C);
+  const Bytes wire = m.Serialize();
+  const std::uint32_t actual = static_cast<std::uint32_t>(m.payload.size());
+  // Shorter claim -> trailing bytes; longer claim -> underflow; absurd claim
+  // -> the kMaxPayload cap fires before any allocation.
+  const std::uint32_t lies[] = {
+      0, actual - 1, actual + 1, actual + 1000,
+      static_cast<std::uint32_t>(net::kMaxPayload + 1), 0xFFFFFFFFu};
+  for (std::uint32_t lie : lies) {
+    Bytes bad = wire;
+    StoreLe32(lie, bad.data() + kLenOffset);
+    EXPECT_THROW(net::Message::Deserialize(bad), ParseError) << lie;
+  }
+}
+
+TEST(Fuzz, MessageTrailingGarbageAlwaysRejected) {
+  Rng rng(0xF127);
+  net::Message m = RandomValidMessage(rng);
+  const Bytes wire = m.Serialize();
+  for (std::size_t extra = 1; extra <= 32; ++extra) {
+    Bytes bad = wire;
+    Bytes tail = rng.RandomBytes(extra);
+    bad.insert(bad.end(), tail.begin(), tail.end());
+    EXPECT_THROW(net::Message::Deserialize(bad), ParseError) << extra;
+  }
+}
+
+TEST(Fuzz, MessagePayloadCapRejectedWithoutAllocation) {
+  // A header claiming a payload just over the cap, with no payload bytes at
+  // all: the cap check must fire (clean ParseError) before any attempt to
+  // consume or allocate the claimed length.
+  net::Message m;
+  m.type = net::MsgType::kDeal;
+  Bytes wire = m.Serialize();
+  wire.resize(net::kWireHeaderSize);  // keep header + length prefix only
+  StoreLe32(static_cast<std::uint32_t>(net::kMaxPayload + 1),
+            wire.data() + kLenOffset);
+  EXPECT_THROW(net::Message::Deserialize(wire), ParseError);
 }
 
 TEST(Fuzz, FileMetaRejectsShortBlobs) {

@@ -1,0 +1,26 @@
+// Writes the golden known-answer vector files consumed by golden_test.
+// Usage: golden_gen <output-dir>   (scripts/gen_golden.sh wraps this)
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "golden_common.h"
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: golden_gen <output-dir>\n");
+    return 2;
+  }
+  const std::string dir = argv[1];
+  for (std::size_t bits : {256, 512, 1024, 2048}) {
+    const std::string path = dir + "/golden_" + std::to_string(bits) + ".txt";
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "golden_gen: cannot write %s\n", path.c_str());
+      return 1;
+    }
+    out << pisces::golden::Transcript(bits);
+    std::printf("wrote %s\n", path.c_str());
+  }
+  return 0;
+}

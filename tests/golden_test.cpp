@@ -1,0 +1,109 @@
+// Golden known-answer regression: the sharing and VSS pipelines must produce
+// bit-identical output to the checked-in vectors under tests/data/ at every
+// supported field size. Any numeric drift -- an RNG draw-order change, a
+// Montgomery kernel bug, a serialization change -- shows up as a transcript
+// mismatch here before it shows up as silent data corruption anywhere else.
+//
+// On an INTENTIONAL change, regenerate with scripts/gen_golden.sh and review
+// the data-file diff. PISCES_GOLDEN_DIR is injected by the build.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "golden_common.h"
+#include "pss/packed_shamir.h"
+
+namespace pisces {
+namespace {
+
+std::string ReadFileOrEmpty(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return {};
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+class GoldenTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(GoldenTest, TranscriptMatchesCheckedInVectors) {
+  const std::size_t bits = GetParam();
+  const std::string path =
+      std::string(PISCES_GOLDEN_DIR) + "/golden_" + std::to_string(bits) +
+      ".txt";
+  const std::string want = ReadFileOrEmpty(path);
+  ASSERT_FALSE(want.empty()) << "missing golden vectors: " << path
+                             << " (run scripts/gen_golden.sh)";
+  const std::string got = golden::Transcript(bits);
+  if (got != want) {
+    // Point at the first diverging line instead of dumping two transcripts.
+    std::istringstream a(want), b(got);
+    std::string la, lb;
+    std::size_t line = 1;
+    while (std::getline(a, la) && std::getline(b, lb) && la == lb) ++line;
+    FAIL() << "golden transcript mismatch at " << path << " line " << line
+           << "\n  checked-in: " << la << "\n  recomputed: " << lb
+           << "\nIf this change is intentional, regenerate with "
+              "scripts/gen_golden.sh and review the diff.";
+  }
+}
+
+// The vectors are not just stable but CORRECT: the checked-in shares
+// reconstruct to the checked-in secrets through the current decoder.
+TEST_P(GoldenTest, CheckedInSharesReconstructToSecrets) {
+  const std::size_t bits = GetParam();
+  auto ctx =
+      std::make_shared<const field::FpCtx>(field::StandardPrimeBe(bits));
+  pss::Params p;
+  p.n = 13;
+  p.t = 2;
+  p.l = 3;
+  p.r = 2;
+  p.field_bits = bits;
+  pss::PackedShamir shamir(ctx, p);
+
+  const std::string path =
+      std::string(PISCES_GOLDEN_DIR) + "/golden_" + std::to_string(bits) +
+      ".txt";
+  std::istringstream in(ReadFileOrEmpty(path));
+  ASSERT_FALSE(in.str().empty()) << path;
+
+  auto from_hex = [&](const std::string& hex) {
+    Bytes bytes;
+    for (std::size_t i = 0; i + 1 < hex.size(); i += 2) {
+      bytes.push_back(static_cast<std::uint8_t>(
+          std::stoul(hex.substr(i, 2), nullptr, 16)));
+    }
+    return ctx->FromBytes(bytes);
+  };
+
+  std::vector<field::FpElem> secrets, shares;
+  std::string kind, hex;
+  std::size_t idx;
+  std::string line;
+  while (std::getline(in, line)) {
+    std::istringstream ls(line);
+    ls >> kind;
+    if (kind == "secret" && ls >> idx >> hex) secrets.push_back(from_hex(hex));
+    if (kind == "share" && ls >> idx >> hex) shares.push_back(from_hex(hex));
+  }
+  ASSERT_EQ(secrets.size(), p.l);
+  ASSERT_EQ(shares.size(), p.n);
+
+  std::vector<std::uint32_t> parties(p.n);
+  for (std::uint32_t i = 0; i < p.n; ++i) parties[i] = i;
+  const auto rec = shamir.ReconstructBlock(parties, shares);
+  for (std::size_t j = 0; j < p.l; ++j) {
+    EXPECT_TRUE(ctx->Eq(rec[j], secrets[j])) << "secret " << j;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(FieldSizes, GoldenTest,
+                         ::testing::Values(256, 512, 1024, 2048),
+                         [](const ::testing::TestParamInfo<std::size_t>& i) {
+                           return "g" + std::to_string(i.param);
+                         });
+
+}  // namespace
+}  // namespace pisces
