@@ -3,6 +3,9 @@
 # and runs the suites that exercise the task pool hardest -- the pool/PSS unit
 # tests, the threaded determinism tests, and the chaos drill -- with a
 # multi-thread global pool so races in parallel bodies actually interleave.
+# The event-loop and async-TCP suites ride along: the reactor thread vs
+# application thread locking discipline (net/async_tcp.h) is exactly the kind
+# of contract TSan can falsify.
 # Any report is fatal (-fno-sanitize-recover=all + halt_on_error).
 #
 # The determinism contract (docs/parallelism.md) says parallel bodies write
@@ -24,4 +27,4 @@ export TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1"
 # Run the pool-heavy suites with a wide pool (PISCES_THREADS is honored by the
 # benches; the tests size the pool themselves via SetGlobalPoolThreads /
 # params.b, so the filters below are what matters).
-"$BUILD_DIR/tests/pisces_tests" --gtest_filter='Determinism.*:*VssBatchTest*:*PssGridTest*:RobustShamir.*:*FieldPropertyTest*:*FieldKernelTest*:FieldKernelFallback.*:DifferentialTest.*:Chaos.*:Cluster.*:LongHorizon.*:Registry.*:Trace.*:Byzantine*:Fuzz.*'
+"$BUILD_DIR/tests/pisces_tests" --gtest_filter='Determinism.*:*VssBatchTest*:*PssGridTest*:RobustShamir.*:*FieldPropertyTest*:*FieldKernelTest*:FieldKernelFallback.*:DifferentialTest.*:Chaos.*:Cluster.*:LongHorizon.*:Registry.*:Trace.*:Byzantine*:Fuzz.*:EventLoop.*:AsyncTcp.*:TransportConformance.*'

@@ -1,0 +1,171 @@
+#include "common/event_loop.h"
+
+#include <cerrno>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <algorithm>
+
+#include "common/clock.h"
+#include "common/error.h"
+
+namespace pisces {
+
+namespace {
+
+std::uint32_t ToEpoll(std::uint32_t interest) {
+  std::uint32_t ev = EPOLLRDHUP;
+  if (interest & EventLoop::kReadable) ev |= EPOLLIN;
+  if (interest & EventLoop::kWritable) ev |= EPOLLOUT;
+  return ev;
+}
+
+std::uint32_t FromEpoll(std::uint32_t ev) {
+  std::uint32_t out = 0;
+  if (ev & (EPOLLIN | EPOLLPRI)) out |= EventLoop::kReadable;
+  if (ev & EPOLLOUT) out |= EventLoop::kWritable;
+  if (ev & (EPOLLERR | EPOLLHUP | EPOLLRDHUP)) out |= EventLoop::kError;
+  return out;
+}
+
+std::uint64_t NowMs() { return MonotonicNanos() / 1'000'000; }
+
+}  // namespace
+
+EventLoop::EventLoop() {
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  Invariant(epoll_fd_ >= 0, "EventLoop: epoll_create1 failed");
+  wake_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  Invariant(wake_fd_ >= 0, "EventLoop: eventfd failed");
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = wake_fd_;
+  Invariant(::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) == 0,
+            "EventLoop: epoll_ctl(wake) failed");
+}
+
+EventLoop::~EventLoop() {
+  if (wake_fd_ >= 0) ::close(wake_fd_);
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+}
+
+void EventLoop::AddFd(int fd, std::uint32_t interest, FdCallback cb) {
+  Require(fds_.emplace(fd, std::move(cb)).second,
+          "EventLoop::AddFd: fd already registered");
+  epoll_event ev{};
+  ev.events = ToEpoll(interest);
+  ev.data.fd = fd;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+    fds_.erase(fd);
+    throw InternalError("EventLoop::AddFd: epoll_ctl failed");
+  }
+}
+
+void EventLoop::UpdateFd(int fd, std::uint32_t interest) {
+  Require(fds_.count(fd) != 0, "EventLoop::UpdateFd: fd not registered");
+  epoll_event ev{};
+  ev.events = ToEpoll(interest);
+  ev.data.fd = fd;
+  Invariant(::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev) == 0,
+            "EventLoop::UpdateFd: epoll_ctl failed");
+}
+
+void EventLoop::RemoveFd(int fd) {
+  if (fds_.erase(fd) == 0) return;
+  // The fd may already be closed (EPOLL_CTL_DEL then fails with EBADF);
+  // closing an fd removes it from the epoll set anyway.
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+}
+
+std::uint64_t EventLoop::AddTimer(std::uint64_t delay_ms, TimerCallback cb) {
+  const std::uint64_t token = next_token_++;
+  timers_.push(Timer{NowMs() + delay_ms, token});
+  timer_cbs_.emplace(token, std::move(cb));
+  return token;
+}
+
+void EventLoop::CancelTimer(std::uint64_t token) {
+  // The heap entry stays; FireDueTimers skips tokens with no callback.
+  timer_cbs_.erase(token);
+}
+
+std::size_t EventLoop::FireDueTimers() {
+  std::size_t fired = 0;
+  const std::uint64_t now = NowMs();
+  while (!timers_.empty() && timers_.top().deadline_ms <= now) {
+    const std::uint64_t token = timers_.top().token;
+    timers_.pop();
+    auto it = timer_cbs_.find(token);
+    if (it == timer_cbs_.end()) continue;  // cancelled
+    TimerCallback cb = std::move(it->second);
+    timer_cbs_.erase(it);
+    cb();
+    ++fired;
+  }
+  return fired;
+}
+
+int EventLoop::TimeoutToNextTimer(int timeout_ms) const {
+  // Skip cancelled heads so a cancelled short timer does not busy-poll.
+  auto heap = timers_;  // cheap: tokens + deadlines only
+  while (!heap.empty() && timer_cbs_.count(heap.top().token) == 0) heap.pop();
+  if (heap.empty()) return timeout_ms;
+  const std::uint64_t now = NowMs();
+  const std::uint64_t due = heap.top().deadline_ms;
+  const int until = due > now ? static_cast<int>(std::min<std::uint64_t>(
+                                    due - now, 60'000))
+                              : 0;
+  if (timeout_ms < 0) return until;
+  return std::min(timeout_ms, until);
+}
+
+std::size_t EventLoop::PollOnce(int timeout_ms) {
+  std::size_t ran = FireDueTimers();
+  if (ran > 0) timeout_ms = 0;  // timers may have queued I/O; don't linger
+
+  epoll_event events[64];
+  int n;
+  do {
+    n = ::epoll_wait(epoll_fd_, events, 64, TimeoutToNextTimer(timeout_ms));
+  } while (n < 0 && errno == EINTR);
+  Invariant(n >= 0, "EventLoop: epoll_wait failed");
+
+  for (int i = 0; i < n; ++i) {
+    const int fd = events[i].data.fd;
+    if (fd == wake_fd_) {
+      std::uint64_t drain;
+      while (::read(wake_fd_, &drain, sizeof(drain)) > 0) {
+      }
+      continue;
+    }
+    auto it = fds_.find(fd);
+    if (it == fds_.end()) continue;  // removed by an earlier callback
+    // Copy: the callback may remove (and thereby destroy) its own entry.
+    FdCallback cb = it->second;
+    cb(FromEpoll(events[i].events));
+    ++ran;
+  }
+  ran += FireDueTimers();
+  return ran;
+}
+
+void EventLoop::Run() {
+  stop_ = false;
+  while (!stop_) PollOnce(-1);
+}
+
+void EventLoop::Stop() {
+  stop_ = true;
+  Wakeup();
+}
+
+void EventLoop::Wakeup() {
+  const std::uint64_t one = 1;
+  // write(2) on an eventfd: EINTR-retry, EAGAIN means already signaled.
+  for (;;) {
+    if (::write(wake_fd_, &one, sizeof(one)) >= 0 || errno != EINTR) break;
+  }
+}
+
+}  // namespace pisces

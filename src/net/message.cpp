@@ -18,6 +18,11 @@ const char* MsgTypeName(MsgType t) {
     case MsgType::kVerdict: return "Verdict";
     case MsgType::kMaskedShare: return "MaskedShare";
     case MsgType::kPhaseDone: return "PhaseDone";
+    case MsgType::kBootHost: return "BootHost";
+    case MsgType::kHaltHost: return "HaltHost";
+    case MsgType::kStatusRequest: return "StatusRequest";
+    case MsgType::kStatusReport: return "StatusReport";
+    case MsgType::kAbortStuck: return "AbortStuck";
   }
   return "Unknown";
 }
@@ -42,7 +47,7 @@ Message Message::Deserialize(std::span<const std::uint8_t> data) {
   m.from = r.U32();
   m.to = r.U32();
   auto raw_type = r.U8();
-  if (raw_type > static_cast<std::uint8_t>(MsgType::kPhaseDone)) {
+  if (raw_type > kMaxMsgType) {
     throw ParseError("Message: unknown type");
   }
   m.type = static_cast<MsgType>(raw_type);

@@ -36,7 +36,23 @@ enum class MsgType : std::uint8_t {
 
   // Session completion notices (host -> hypervisor/driver).
   kPhaseDone,
+
+  // Process-per-host control plane (docs/deployment.md). In-process clusters
+  // never emit these: the hypervisor drives its hosts by direct privileged
+  // calls. In a multiprocess deployment the same lifecycle operations travel
+  // the wire between the coordinator and each pisces_hostd process.
+  kBootHost,       // hypervisor -> hostd: boot material (cert, sk, directory)
+  kHaltHost,       // hypervisor -> hostd: secure disassociation (wipe state)
+  kStatusRequest,  // hypervisor -> hostd: report status
+  kStatusReport,   // hostd -> hypervisor: online?, epoch, held file ids;
+                   //   also the "needs boot" announcement of a fresh process
+  kAbortStuck,     // hypervisor -> hostd: bounded-delay timeout fired; abort
+                   //   wedged sessions so the next attempt starts clean
 };
+
+// Last valid wire value of MsgType; Deserialize rejects anything above.
+inline constexpr std::uint8_t kMaxMsgType =
+    static_cast<std::uint8_t>(MsgType::kAbortStuck);
 
 const char* MsgTypeName(MsgType t);
 
@@ -49,6 +65,18 @@ inline constexpr std::size_t kWireHeaderSize = 4 + 4 + 1 + 8 + 4 + 4 + 4 + 4;
 // is generous against every real payload (the largest dealings are a few MiB
 // at paper-scale parameters).
 inline constexpr std::size_t kMaxPayload = 64u << 20;
+
+// Hard cap on a framed message as it appears on a TCP stream: the 4-byte
+// length prefix announces at most header + max payload. Both TCP transports
+// validate the prefix against this BEFORE allocating the frame buffer, so a
+// lying length field can never drive a giant allocation; a zero length is a
+// transport-level heartbeat, not a message.
+inline constexpr std::size_t kMaxFrameBytes = kWireHeaderSize + kMaxPayload;
+
+// Whether a received length prefix is acceptable to read and buffer.
+inline constexpr bool FrameLengthAcceptable(std::uint64_t len) {
+  return len <= kMaxFrameBytes;
+}
 
 struct Message {
   std::uint32_t from = 0;

@@ -12,47 +12,14 @@
 #include <cstring>
 
 #include "common/log.h"
+#include "common/socket_util.h"
 
 namespace pisces::net {
 
-namespace {
-
-bool WriteAll(int fd, const std::uint8_t* data, std::size_t n) {
-  std::size_t off = 0;
-  while (off < n) {
-    ssize_t w = ::send(fd, data + off, n - off, MSG_NOSIGNAL);
-    if (w <= 0) return false;
-    off += static_cast<std::size_t>(w);
-  }
-  return true;
-}
-
-bool ReadAll(int fd, std::uint8_t* data, std::size_t n) {
-  std::size_t off = 0;
-  while (off < n) {
-    ssize_t r = ::recv(fd, data + off, n - off, 0);
-    if (r <= 0) return false;
-    off += static_cast<std::size_t>(r);
-  }
-  return true;
-}
-
-}  // namespace
-
 TcpEndpoint::TcpEndpoint(std::uint32_t id, std::uint16_t listen_port)
     : id_(id) {
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  Require(listen_fd_ >= 0, "TcpEndpoint: socket() failed");
-  int one = 1;
-  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(listen_port);
-  Require(::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
-                 sizeof(addr)) == 0,
-          "TcpEndpoint: bind() failed (port in use?)");
-  Require(::listen(listen_fd_, 64) == 0, "TcpEndpoint: listen() failed");
+  IgnoreSigpipe();
+  listen_fd_ = ListenLoopback(listen_port);
   accept_thread_ = std::thread([this] { AcceptLoop(); });
 }
 
@@ -72,10 +39,10 @@ TcpEndpoint::~TcpEndpoint() {
 }
 
 void TcpEndpoint::CloseAll() {
-  if (listen_fd_ >= 0) {
-    ::shutdown(listen_fd_, SHUT_RDWR);
-    ::close(listen_fd_);
-    listen_fd_ = -1;
+  const int lfd = listen_fd_.exchange(-1);
+  if (lfd >= 0) {
+    ::shutdown(lfd, SHUT_RDWR);
+    ::close(lfd);
   }
   {
     std::lock_guard<std::mutex> lock(peers_mutex_);
@@ -98,7 +65,9 @@ void TcpEndpoint::AddPeer(std::uint32_t peer_id, std::uint16_t port) {
 
 void TcpEndpoint::AcceptLoop() {
   for (;;) {
-    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    const int lfd = listen_fd_.load();
+    if (lfd < 0) return;  // listener retired by CloseAll
+    int fd = AcceptRetry(lfd);
     if (fd < 0) return;  // listener closed
     if (stopping_.load()) {
       ::close(fd);
@@ -113,11 +82,12 @@ void TcpEndpoint::AcceptLoop() {
 void TcpEndpoint::ReadLoop(int fd) {
   for (;;) {
     std::uint8_t len_buf[4];
-    if (!ReadAll(fd, len_buf, 4)) break;
+    if (!ReadFull(fd, len_buf, 4)) break;
     std::uint32_t len = LoadLe32(len_buf);
-    if (len > kMaxPayload + kWireHeaderSize) break;  // sanity: frame cap
+    // Reject a lying length prefix before it can drive an allocation.
+    if (!FrameLengthAcceptable(len)) break;
     Bytes frame(len);
-    if (!ReadAll(fd, frame.data(), len)) break;
+    if (!ReadFull(fd, frame.data(), len)) break;
     try {
       Message m = Message::Deserialize(frame);
       {
@@ -155,14 +125,14 @@ int TcpEndpoint::ConnectTo(std::uint32_t peer_id) {
   for (int attempt = 0;; ++attempt) {
     int fd = ::socket(AF_INET, SOCK_STREAM, 0);
     Require(fd >= 0, "TcpEndpoint: socket() failed");
-    int one = 1;
-    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0) {
+    SetNoDelay(fd);
+    if (ConnectRetry(fd, reinterpret_cast<sockaddr*>(&addr),
+                     sizeof(addr)) == 0) {
       if (attempt > 0) reconnects_.fetch_add(1);
       out_fds_[peer_id] = fd;
       return fd;
     }
-    ::close(fd);
+    CloseQuiet(fd);
     if (attempt >= 5 || stopping_.load()) {
       throw Error("TcpEndpoint: connect() failed");
     }
@@ -184,11 +154,11 @@ void TcpEndpoint::Send(Message msg) {
   // retry the write once through a freshly established connection.
   for (int attempt = 0; attempt < 2; ++attempt) {
     int fd = ConnectTo(msg.to);
-    if (WriteAll(fd, frame.data(), frame.size())) {
+    if (WriteFull(fd, frame.data(), frame.size())) {
       bytes_sent_.fetch_add(frame.size());
       return;
     }
-    ::close(fd);
+    CloseQuiet(fd);
     out_fds_.erase(msg.to);
     reconnects_.fetch_add(1);
   }

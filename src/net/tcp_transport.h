@@ -51,7 +51,9 @@ class TcpEndpoint : public Transport {
   void CloseAll();
 
   std::uint32_t id_;
-  int listen_fd_ = -1;
+  // Atomic: the destructor (CloseAll) retires the listener while the accept
+  // thread is still reading it between accept() calls.
+  std::atomic<int> listen_fd_{-1};
 
   std::mutex peers_mutex_;
   std::unordered_map<std::uint32_t, std::uint16_t> peer_ports_;

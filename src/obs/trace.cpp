@@ -47,6 +47,7 @@ constexpr KindInfo kKinds[static_cast<std::size_t>(SpanKind::kCount)] = {
     {"pool.chunk", "pool", nullptr},
     {"byz.action", "byz", nullptr},
     {"byz.detect", "byz", nullptr},
+    {"net.connect", "net", nullptr},
 };
 
 const KindInfo& Info(SpanKind k) {

@@ -54,6 +54,7 @@ enum class SpanKind : std::uint32_t {
   kPoolChunk,          // one task-pool chunk; a = chunk index, b = #chunks
   kByzAction,          // byzantine actor cheats; a = host, b = strategy
   kByzDetect,          // cheat detected/attributed; a = host, b = site
+  kNetConnect,         // async-TCP (re)connect; a = self, b = peer
   kCount
 };
 

@@ -65,6 +65,14 @@ ExperimentResult RunRefreshExperiment(const ExperimentConfig& cfg) {
   r.byz_dealers_attributed = obs::Value(delta, "byz.dealers_attributed");
   r.byz_survivors_suspected = obs::Value(delta, "byz.survivors_suspected");
 
+  // Deployment-plane counters: zero on SimNet, live when the window shares
+  // the process with async-TCP endpoints (the multiprocess coordinator).
+  r.net_reconnects = obs::Value(delta, "net.reconnects");
+  r.net_heartbeat_misses = obs::Value(delta, "net.heartbeat_misses");
+  r.net_deadline_expiries = obs::Value(delta, "net.deadline_expiries");
+  r.net_backpressure_stalls = obs::Value(delta, "net.backpressure_stalls");
+  r.net_frames_dropped = obs::Value(delta, "net.frames_dropped");
+
   r.cpu_rerand_s = static_cast<double>(report.rerandomize_total.cpu_ns) * 1e-9;
   r.cpu_recover_s = static_cast<double>(report.recover_total.cpu_ns) * 1e-9;
   r.wall_rerand_s =
@@ -121,7 +129,10 @@ Recorder MakeExperimentRecorder() {
                    "timeouts_fired", "msgs_dropped", "kernel_width",
                    "dot_calls", "dot_products", "dot_reductions", "wc_hits",
                    "wc_misses", "byz_actions", "byz_detections",
-                   "byz_dealers_attributed", "byz_survivors_suspected"});
+                   "byz_dealers_attributed", "byz_survivors_suspected",
+                   "net_reconnects", "net_heartbeat_misses",
+                   "net_deadline_expiries", "net_backpressure_stalls",
+                   "net_frames_dropped"});
 }
 
 void RecordExperiment(Recorder& rec, const std::string& series,
@@ -166,6 +177,11 @@ void RecordExperiment(Recorder& rec, const std::string& series,
       .Set("byz_detections", r.byz_detections)
       .Set("byz_dealers_attributed", r.byz_dealers_attributed)
       .Set("byz_survivors_suspected", r.byz_survivors_suspected)
+      .Set("net_reconnects", r.net_reconnects)
+      .Set("net_heartbeat_misses", r.net_heartbeat_misses)
+      .Set("net_deadline_expiries", r.net_deadline_expiries)
+      .Set("net_backpressure_stalls", r.net_backpressure_stalls)
+      .Set("net_frames_dropped", r.net_frames_dropped)
       .Commit();
 }
 

@@ -82,6 +82,16 @@ struct ExperimentResult {
   std::uint64_t byz_dealers_attributed = 0;
   std::uint64_t byz_survivors_suspected = 0;
 
+  // Deployment-plane network counters for the window, read as registry
+  // deltas over the net.* namespace. All zero on the SimNet substrate (the
+  // async transport owns these counters); nonzero when the experiment runs
+  // against real sockets in the same process.
+  std::uint64_t net_reconnects = 0;
+  std::uint64_t net_heartbeat_misses = 0;
+  std::uint64_t net_deadline_expiries = 0;
+  std::uint64_t net_backpressure_stalls = 0;
+  std::uint64_t net_frames_dropped = 0;
+
   double WindowTimePerByte() const {
     return window_time_s / static_cast<double>(file_bytes);
   }

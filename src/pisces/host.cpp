@@ -199,6 +199,14 @@ void Host::HandleMessage(const Message& msg) {
       }
       case MsgType::kShareResponse:
       case MsgType::kPhaseDone:
+      // Process-lifecycle control is handled by the HostProcess wrapper (a
+      // bare in-process Host has no process to manage); reaching here means a
+      // peer sent control traffic to the wrong layer.
+      case MsgType::kBootHost:
+      case MsgType::kHaltHost:
+      case MsgType::kStatusRequest:
+      case MsgType::kStatusReport:
+      case MsgType::kAbortStuck:
         LogWarn() << "host " << cfg_.id << ": unexpected " << msg.Describe();
         break;
     }

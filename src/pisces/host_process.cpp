@@ -1,0 +1,208 @@
+#include "pisces/host_process.h"
+
+#include "common/clock.h"
+#include "common/error.h"
+#include "common/log.h"
+#include "field/primes.h"
+
+namespace pisces {
+
+namespace {
+constexpr std::uint64_t kAnnounceIntervalMs = 200;
+}
+
+// ---- wire formats ----------------------------------------------------------
+
+Bytes BootMaterial::Serialize() const {
+  ByteWriter w;
+  w.Blob(ca_pk);
+  w.U32(epoch);
+  w.Blob(cert.Serialize());
+  w.Blob(sk);
+  w.U32(static_cast<std::uint32_t>(peers.size()));
+  for (std::uint32_t p : peers) w.U32(p);
+  w.U32(static_cast<std::uint32_t>(directory.size()));
+  for (const auto& c : directory) w.Blob(c.Serialize());
+  return w.Take();
+}
+
+BootMaterial BootMaterial::Deserialize(std::span<const std::uint8_t> data) {
+  ByteReader r(data);
+  BootMaterial b;
+  const auto ca_pk = r.Blob();
+  b.ca_pk.assign(ca_pk.begin(), ca_pk.end());
+  b.epoch = r.U32();
+  b.cert = crypto::HostCert::Deserialize(r.Blob());
+  const auto sk = r.Blob();
+  b.sk.assign(sk.begin(), sk.end());
+  const std::uint32_t np = r.U32();
+  b.peers.reserve(np);
+  for (std::uint32_t i = 0; i < np; ++i) b.peers.push_back(r.U32());
+  const std::uint32_t nc = r.U32();
+  b.directory.reserve(nc);
+  for (std::uint32_t i = 0; i < nc; ++i) {
+    b.directory.push_back(crypto::HostCert::Deserialize(r.Blob()));
+  }
+  Require(r.AtEnd(), "BootMaterial: trailing bytes");
+  return b;
+}
+
+Bytes HostStatus::Serialize() const {
+  ByteWriter w;
+  w.U8(online ? 1 : 0);
+  w.U32(epoch);
+  w.U32(static_cast<std::uint32_t>(files.size()));
+  for (std::uint64_t f : files) w.U64(f);
+  return w.Take();
+}
+
+HostStatus HostStatus::Deserialize(std::span<const std::uint8_t> data) {
+  ByteReader r(data);
+  HostStatus s;
+  s.online = r.U8() != 0;
+  s.epoch = r.U32();
+  const std::uint32_t nf = r.U32();
+  s.files.reserve(nf);
+  for (std::uint32_t i = 0; i < nf; ++i) s.files.push_back(r.U64());
+  Require(r.AtEnd(), "HostStatus: trailing bytes");
+  return s;
+}
+
+// ---- HostProcess -----------------------------------------------------------
+
+HostProcess::HostProcess(MpConfig cfg, std::uint32_t id)
+    : cfg_(std::move(cfg)), id_(id) {
+  cfg_.Validate();
+  Require(id_ < cfg_.n, "HostProcess: host id out of range");
+  ctx_ = std::make_shared<const field::FpCtx>(
+      field::StandardPrimeBe(cfg_.field_bits));
+
+  net::AsyncTcpOptions topts;
+  topts.id = id_;
+  topts.listen_port = cfg_.HostPort(id_);
+  topts.seed = cfg_.seed ^ (0xA5A5u + id_);
+  topts.heartbeat_interval_ms = cfg_.heartbeat_ms;
+  endpoint_ = std::make_unique<net::AsyncTcpEndpoint>(topts);
+  for (std::uint32_t j = 0; j < cfg_.n; ++j) {
+    if (j != id_) endpoint_->AddPeer(j, cfg_.HostPort(j));
+  }
+  endpoint_->AddPeer(net::kHypervisorId, cfg_.HypervisorPort());
+  endpoint_->AddPeer(net::kClientId, cfg_.ClientPort());
+}
+
+void HostProcess::Serve() {
+  std::uint64_t next_announce = 0;
+  while (running_) {
+    const std::uint64_t now = MonotonicNanos() / 1'000'000;
+    const bool booted = host_ != nullptr && host_->online();
+    if (!booted && now >= next_announce) {
+      SendStatus(0);  // "I exist and need boot material"
+      next_announce = now + kAnnounceIntervalMs;
+    }
+    auto msg = endpoint_->ReceiveWait(50);
+    if (msg) HandleMessage(*msg);
+  }
+}
+
+void HostProcess::HandleMessage(const net::Message& msg) {
+  try {
+    switch (msg.type) {
+      case net::MsgType::kBootHost:
+        Require(msg.from == net::kHypervisorId,
+                "BootHost: not from the hypervisor");
+        OnBootHost(msg);
+        return;
+      case net::MsgType::kHaltHost:
+        Require(msg.from == net::kHypervisorId,
+                "HaltHost: not from the hypervisor");
+        OnHaltHost(msg);
+        return;
+      case net::MsgType::kStatusRequest:
+        Require(msg.from == net::kHypervisorId,
+                "StatusRequest: not from the hypervisor");
+        SendStatus(msg.row);
+        return;
+      case net::MsgType::kAbortStuck: {
+        Require(msg.from == net::kHypervisorId,
+                "AbortStuck: not from the hypervisor");
+        if (host_ != nullptr) {
+          for (const auto& what : host_->AbortStuckSessions()) {
+            LogWarn() << "hostd " << id_ << ": aborted stuck session: " << what;
+          }
+        }
+        SendStatus(msg.row);  // ack so the coordinator knows the slate is clean
+        return;
+      }
+      default:
+        if (host_ != nullptr) host_->HandleMessage(msg);
+        return;
+    }
+  } catch (const ParseError& e) {
+    LogWarn() << "hostd " << id_ << ": dropping control message (" << e.what()
+              << "): " << msg.Describe();
+  } catch (const InvalidArgument& e) {
+    LogWarn() << "hostd " << id_ << ": rejecting control message (" << e.what()
+              << "): " << msg.Describe();
+  }
+}
+
+void HostProcess::OnBootHost(const net::Message& msg) {
+  BootMaterial boot = BootMaterial::Deserialize(msg.payload);
+  Require(boot.cert.host_id == id_, "BootHost: cert is for another host");
+  if (ca_pk_.empty()) {
+    // Trust-on-first-boot: the CA key rides the privileged management link.
+    ca_pk_ = boot.ca_pk;
+  } else {
+    Require(ca_pk_ == boot.ca_pk, "BootHost: CA key changed across boots");
+  }
+  if (host_ == nullptr) {
+    HostConfig hc;
+    hc.id = id_;
+    hc.params = cfg_.ToParams();
+    hc.ctx = ctx_;
+    hc.encrypt_links = cfg_.encrypt;
+    hc.rng_seed = cfg_.seed + 7 + id_;
+    host_ = std::make_unique<Host>(hc, *endpoint_,
+                                   crypto::SchnorrGroup::Default(), ca_pk_);
+  }
+  if (host_->online()) host_->Shutdown();  // re-boot = disassociate first
+  host_->Boot(boot.epoch, boot.cert, std::move(boot.sk), boot.peers);
+  for (const auto& cert : boot.directory) {
+    if (cert.host_id != id_) host_->InstallPeerCert(cert);
+  }
+  SendStatus(msg.row);  // boot ack
+}
+
+void HostProcess::OnHaltHost(const net::Message& msg) {
+  if (host_ != nullptr && host_->online()) host_->Shutdown();
+  SendStatus(msg.row);  // halt ack (reports online=false)
+}
+
+void HostProcess::SendStatus(std::uint32_t echo_row) {
+  HostStatus s;
+  if (host_ != nullptr && host_->online()) {
+    s.online = true;
+    s.epoch = host_->epoch();
+    s.files = host_->store().FileIds();
+  }
+  net::Message m;
+  m.from = id_;
+  m.to = net::kHypervisorId;
+  m.type = net::MsgType::kStatusReport;
+  m.row = echo_row;
+  m.payload = s.Serialize();
+  endpoint_->Send(std::move(m));
+}
+
+int RunHostProcess(const std::string& config_path, std::uint32_t id) {
+  try {
+    HostProcess hp(MpConfig::Load(config_path), id);
+    hp.Serve();
+    return 0;
+  } catch (const Error& e) {
+    LogError() << "hostd " << id << ": fatal: " << e.what();
+    return 1;
+  }
+}
+
+}  // namespace pisces

@@ -1,0 +1,141 @@
+// Wire-driving hypervisor for the process-per-host deployment.
+//
+// The in-process Hypervisor (pisces/hypervisor.h) drives its hosts through
+// direct privileged calls; across process boundaries the same lifecycle
+// travels the control message types (kBootHost/kHaltHost/kStatusRequest/
+// kStatusReport/kAbortStuck). MpCoordinator owns the certificate authority,
+// the cert directory, and the file catalog, and runs the proactive window
+// over real sockets with the paper's bounded-delay discipline: every RPC wait
+// carries a deadline (MpConfig::deadline_ms); an expiry is counted as
+// net.deadline_expiries, the wedged sessions are aborted over the wire, and
+// the operation is retried against the hosts that are actually alive.
+//
+// Crash-restart handling (the drills in tests/mp_drill.cpp): a SIGKILLed
+// host's supervisor restarts the process; the fresh hostd owns no key
+// material and announces itself with kStatusReport(online=false). The
+// coordinator queues that announcement and, between operations, puts the
+// host through the secure-reboot path -- halt (idempotent wipe), boot with
+// fresh CA-signed keys for a new epoch, then share recovery from surviving
+// holders, at most r hosts per batch (the paper's reboot-rate bound).
+//
+// Partial refresh application (some holders applied the new shares, some
+// wedged with the old ones -- possible when a crash lands mid-verdict) is
+// repaired the way the in-process hypervisor repairs stale hosts: whichever
+// side of the split holds a recovery quorum becomes the survivor set and the
+// minority side is recovered from it before the refresh is retried.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "crypto/ca.h"
+#include "net/async_tcp.h"
+#include "pisces/file_codec.h"
+#include "pisces/host_process.h"
+#include "pisces/mp_config.h"
+
+namespace pisces {
+
+struct MpWindowReport {
+  bool refresh_ok = false;
+  std::uint32_t refresh_attempts = 0;
+  std::uint32_t hosts_rebooted = 0;
+  std::uint32_t deadline_expiries = 0;
+  std::uint32_t stale_resyncs = 0;  // partial-apply repairs
+};
+
+class MpCoordinator {
+ public:
+  MpCoordinator(MpConfig cfg, net::AsyncTcpEndpoint& endpoint);
+
+  // Runs inside every deadline wait; the launcher installs the supervisor's
+  // child-reaping poll here so restarts happen while the coordinator blocks.
+  void SetTick(std::function<void()> tick) { tick_ = std::move(tick); }
+  // Test seam: fires once, right after the first refresh attempt of the next
+  // window is launched (the drill SIGKILLs hosts here, mid-protocol).
+  void SetMidWindowHook(std::function<void()> hook) {
+    mid_window_hook_ = std::move(hook);
+  }
+
+  Bytes ca_pk() const;
+  // Current cert directory (hosts + client). Rebooted hosts re-broadcast
+  // their fresh certs over the wire, so a snapshot is only a starting point.
+  const std::map<std::uint32_t, crypto::HostCert>& directory() const {
+    return directory_;
+  }
+  // Issues (and adds to the directory) the client identity. Must run before
+  // BootAll so hosts learn the client cert with their boot material.
+  std::pair<crypto::HostCert, Bytes> IssueClient();
+
+  // Initial bring-up: waits for every hostd's announcement, then boots it.
+  bool BootAll();
+  // Secure-reboots one host: halt, fresh keys for a new epoch, boot.
+  bool BootHost(std::uint32_t id);
+
+  // Registers an uploaded file so refresh/recovery cover it.
+  void RegisterUpload(const FileMeta& meta);
+
+  std::optional<HostStatus> QueryStatus(std::uint32_t id);
+
+  // One proactive window: service pending restarts, refresh every catalog
+  // file (with retries, wedge-abort, and stale-resync), service restarts
+  // discovered meanwhile.
+  MpWindowReport RunWindow();
+
+  // Reboots + recovers every host that announced "needs boot", r at a time.
+  // Returns the number of hosts put through the path.
+  std::uint32_t ProcessAnnouncements();
+
+  // Drains announcements/stray traffic for `ms` without driving an operation.
+  void Pump(int ms);
+
+  std::uint64_t deadline_expiries() const { return deadline_expiries_; }
+
+ private:
+  using Pred = std::function<bool(const net::Message&)>;
+
+  // Receives until `pred` matches or the bounded-delay deadline fires.
+  // Non-matching traffic is stashed (protocol completions) or absorbed
+  // (announcements); a nullopt return has already counted the expiry.
+  std::optional<net::Message> WaitMatch(const Pred& pred,
+                                        std::uint64_t deadline_ms,
+                                        bool count_expiry = true);
+  void Absorb(const net::Message& msg);  // announcement bookkeeping
+  std::optional<HostStatus> WaitAck(std::uint32_t from, std::uint32_t token);
+
+  bool SendBoot(std::uint32_t id, std::uint32_t epoch);
+  bool HaltHost(std::uint32_t id);
+  void AbortStuck(const std::vector<std::uint32_t>& hosts);
+
+  // One refresh pass over one file; fills ok/timeout splits for the caller.
+  bool RefreshFile(std::uint64_t file_id,
+                   const std::vector<std::uint32_t>& participants,
+                   std::set<std::uint32_t>* applied,
+                   std::set<std::uint32_t>* wedged);
+  // Recovers `targets`' shares of every catalog file from `survivors`.
+  bool RecoverTargets(const std::vector<std::uint32_t>& targets,
+                      const std::vector<std::uint32_t>& survivors);
+  bool RebootAndRecover(const std::vector<std::uint32_t>& targets);
+  std::uint32_t MinQuorum() const;
+
+  MpConfig cfg_;
+  net::AsyncTcpEndpoint& ep_;
+  Rng rng_;
+  crypto::CertAuthority ca_;
+  std::map<std::uint32_t, crypto::HostCert> directory_;
+  std::map<std::uint64_t, FileMeta> catalog_;
+  std::uint32_t next_epoch_ = 1;
+  std::uint32_t next_seq_ = 1000;   // op sequence for kStartRefresh/Recovery
+  std::uint32_t next_token_ = 1;    // row echo token for control acks
+  std::set<std::uint32_t> needs_boot_;
+  std::deque<net::Message> stash_;  // completions received out of band
+  std::function<void()> tick_;
+  std::function<void()> mid_window_hook_;
+  std::uint64_t deadline_expiries_ = 0;
+};
+
+}  // namespace pisces

@@ -1,0 +1,133 @@
+// Reactor primitive tests: fd readiness, timers, cross-thread wakeup.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <chrono>
+#include <thread>
+
+#include "common/event_loop.h"
+
+namespace pisces {
+namespace {
+
+struct Pipe {
+  int fds[2] = {-1, -1};
+  Pipe() { EXPECT_EQ(::pipe(fds), 0); }
+  ~Pipe() {
+    ::close(fds[0]);
+    ::close(fds[1]);
+  }
+  int rd() const { return fds[0]; }
+  int wr() const { return fds[1]; }
+};
+
+TEST(EventLoop, FdReadableCallback) {
+  EventLoop loop;
+  Pipe p;
+  int fired = 0;
+  loop.AddFd(p.rd(), EventLoop::kReadable, [&](std::uint32_t events) {
+    EXPECT_TRUE(events & EventLoop::kReadable);
+    char c;
+    EXPECT_EQ(::read(p.rd(), &c, 1), 1);
+    EXPECT_EQ(c, 'x');
+    ++fired;
+  });
+  EXPECT_EQ(loop.PollOnce(0), 0u);  // nothing ready yet
+  EXPECT_EQ(::write(p.wr(), "x", 1), 1);
+  EXPECT_EQ(loop.PollOnce(1000), 1u);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventLoop, UpdateAndRemoveFd) {
+  EventLoop loop;
+  Pipe p;
+  int fired = 0;
+  loop.AddFd(p.rd(), EventLoop::kReadable, [&](std::uint32_t) {
+    char c;
+    (void)::read(p.rd(), &c, 1);
+    ++fired;
+  });
+  EXPECT_TRUE(loop.WatchesFd(p.rd()));
+
+  // Interest off: readable data must not fire the callback.
+  loop.UpdateFd(p.rd(), 0);
+  EXPECT_EQ(::write(p.wr(), "a", 1), 1);
+  loop.PollOnce(20);
+  EXPECT_EQ(fired, 0);
+
+  loop.UpdateFd(p.rd(), EventLoop::kReadable);
+  EXPECT_EQ(loop.PollOnce(1000), 1u);
+  EXPECT_EQ(fired, 1);
+
+  loop.RemoveFd(p.rd());
+  EXPECT_FALSE(loop.WatchesFd(p.rd()));
+  EXPECT_EQ(::write(p.wr(), "b", 1), 1);
+  loop.PollOnce(20);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventLoop, TimersFireInDeadlineOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  loop.AddTimer(40, [&] { order.push_back(2); });
+  loop.AddTimer(5, [&] { order.push_back(1); });
+  const auto start = std::chrono::steady_clock::now();
+  while (order.size() < 2 &&
+         std::chrono::steady_clock::now() - start < std::chrono::seconds(5)) {
+    loop.PollOnce(100);
+  }
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], 1);
+  EXPECT_EQ(order[1], 2);
+}
+
+TEST(EventLoop, CancelTimer) {
+  EventLoop loop;
+  bool fired = false;
+  const std::uint64_t token = loop.AddTimer(5, [&] { fired = true; });
+  loop.CancelTimer(token);
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  loop.PollOnce(0);
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventLoop, TimerMayRescheduleItself) {
+  EventLoop loop;
+  int ticks = 0;
+  std::function<void()> tick = [&] {
+    if (++ticks < 3) loop.AddTimer(1, tick);
+  };
+  loop.AddTimer(1, tick);
+  const auto start = std::chrono::steady_clock::now();
+  while (ticks < 3 &&
+         std::chrono::steady_clock::now() - start < std::chrono::seconds(5)) {
+    loop.PollOnce(50);
+  }
+  EXPECT_EQ(ticks, 3);
+}
+
+TEST(EventLoop, WakeupInterruptsBlockedPoll) {
+  EventLoop loop;
+  std::thread waker([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    loop.Wakeup();
+  });
+  const auto start = std::chrono::steady_clock::now();
+  loop.PollOnce(10'000);  // would block 10 s without the wakeup
+  const auto waited = std::chrono::steady_clock::now() - start;
+  waker.join();
+  EXPECT_LT(waited, std::chrono::seconds(5));
+}
+
+TEST(EventLoop, StopEndsRun) {
+  EventLoop loop;
+  std::thread runner([&] { loop.Run(); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  loop.Stop();
+  runner.join();
+  EXPECT_TRUE(loop.stopped());
+}
+
+}  // namespace
+}  // namespace pisces

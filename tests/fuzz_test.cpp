@@ -14,6 +14,7 @@
 
 #include "crypto/ca.h"
 #include "field/primes.h"
+#include "net/async_tcp.h"
 #include "net/message.h"
 #include "pisces/file_codec.h"
 
@@ -37,8 +38,7 @@ net::Message RandomValidMessage(Rng& rng) {
   net::Message m;
   m.from = static_cast<std::uint32_t>(rng.Next());
   m.to = static_cast<std::uint32_t>(rng.Next());
-  m.type = static_cast<net::MsgType>(
-      rng.Below(static_cast<std::uint8_t>(net::MsgType::kPhaseDone) + 1));
+  m.type = static_cast<net::MsgType>(rng.Below(net::kMaxMsgType + 1));
   m.file_id = rng.Next();
   m.epoch = static_cast<std::uint32_t>(rng.Next());
   m.batch = static_cast<std::uint32_t>(rng.Next());
@@ -163,6 +163,28 @@ TEST(Fuzz, MessagePayloadCapRejectedWithoutAllocation) {
   StoreLe32(static_cast<std::uint32_t>(net::kMaxPayload + 1),
             wire.data() + kLenOffset);
   EXPECT_THROW(net::Message::Deserialize(wire), ParseError);
+}
+
+TEST(Fuzz, FrameLengthPrefixCapFiresBeforeAllocation) {
+  // Transport framing (tcp_transport, async_tcp): the 4-byte frame length
+  // prefix must be bounds-checked against kMaxFrameBytes before any buffer
+  // for the claimed frame is allocated. FrameLengthAcceptable is that check;
+  // an absurd prefix (a ~4 GiB claim from one malicious/corrupt peer) must
+  // be rejected while every length an honest sender can produce passes.
+  EXPECT_TRUE(net::FrameLengthAcceptable(0));  // keepalive frame
+  EXPECT_TRUE(net::FrameLengthAcceptable(net::kHeartbeatFrameLen));
+  EXPECT_TRUE(net::FrameLengthAcceptable(net::kWireHeaderSize));
+  EXPECT_TRUE(net::FrameLengthAcceptable(net::kMaxFrameBytes));
+  EXPECT_FALSE(net::FrameLengthAcceptable(net::kMaxFrameBytes + 1));
+  EXPECT_FALSE(net::FrameLengthAcceptable(0xFFFFFFFFull));
+  EXPECT_FALSE(net::FrameLengthAcceptable(~0ull));
+
+  // Every serialized message an honest endpoint frames fits the cap.
+  Rng rng(0xF128);
+  for (int iter = 0; iter < 200; ++iter) {
+    net::Message m = RandomValidMessage(rng);
+    EXPECT_TRUE(net::FrameLengthAcceptable(m.Serialize().size()));
+  }
 }
 
 TEST(Fuzz, FileMetaRejectsShortBlobs) {
