@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# Serving-plane throughput harness: builds the release tree and runs the
+# open-loop load generator against the sharded serving plane twice --
+#
+#   sustainable   an offered rate the plane absorbs without shedding, so the
+#                 p50/p99 columns measure protocol latency, not queueing;
+#   overload      an offered rate well past the service rate, so admission
+#                 control sheds (bounded queues, retry-after) and the p99
+#                 column measures honest open-loop queueing delay.
+#
+# BENCH_serving.json at the repo root combines both runs plus the ISSUE's
+# acceptance gate: >= 2 shards, ops/sec and p50/p99 reported, and rejection
+# counts present (zero in the sustainable run, nonzero under overload).
+#
+# Usage: scripts/bench_serving.sh [build-dir]   (default: build)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+OUT_JSON="BENCH_serving.json"
+
+cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$BUILD_DIR" -j "$(nproc)" --target throughput_serving
+
+BIN="$BUILD_DIR/bench/throughput_serving"
+SUSTAIN_JSON="$BUILD_DIR/serving_sustain.json"
+OVERLOAD_JSON="$BUILD_DIR/serving_overload.json"
+
+"$BIN" --shards 2 --rate 400 --duration-ms 3000 --json "$SUSTAIN_JSON"
+"$BIN" --shards 2 --rate 20000 --duration-ms 2000 --json "$OVERLOAD_JSON"
+
+python3 - "$SUSTAIN_JSON" "$OVERLOAD_JSON" "$OUT_JSON" <<'EOF'
+import json
+import sys
+
+with open(sys.argv[1]) as f:
+    sustain = json.load(f)
+with open(sys.argv[2]) as f:
+    overload = json.load(f)
+
+result = {
+    "benchmark": "throughput_serving",
+    "description": "open-loop load vs the 2-shard serving plane; latency "
+                   "from scheduled arrival (coordinated-omission-safe)",
+    "sustainable": sustain,
+    "overload": overload,
+    "acceptance": {
+        "shards": sustain["shards"],
+        "shards_ok": sustain["shards"] >= 2 and overload["shards"] >= 2,
+        "ops_per_sec": overload["ops_per_sec"],
+        "p50_ms": sustain["p50_ms"],
+        "p99_ms": sustain["p99_ms"],
+        "rejections_reported": overload["rejected"],
+        "overload_shed_ok": overload["rejected"] > 0,
+        "no_accepted_request_lost": bool(
+            sustain["ok"] and overload["ok"]),
+    },
+}
+result["acceptance"]["ok"] = all(
+    result["acceptance"][k]
+    for k in ("shards_ok", "overload_shed_ok", "no_accepted_request_lost"))
+
+with open(sys.argv[3], "w") as f:
+    json.dump(result, f, indent=2)
+    f.write("\n")
+print(f"wrote {sys.argv[3]}")
+print(json.dumps(result["acceptance"], indent=2))
+EOF

@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
 # ASan+UBSan check: configures a dedicated build tree with PISCES_SANITIZE=ON
 # and runs the full test suite under both sanitizers -- including the chaos
-# drill and the multiprocess crash-restart drill (ctest -L mp_drill), whose
-# pisces_hostd children are themselves sanitized binaries, so host-process
-# code paths get the same memory-safety scrutiny as in-process ones. Any
-# report is fatal (-fno-sanitize-recover=all + halt_on_error).
+# drill, the multiprocess crash-restart drill (ctest -L mp_drill), whose
+# pisces_hostd children are themselves sanitized binaries, and the serving
+# lane (ctest -L serving: the open-loop load drill plus the wall-clock bench
+# smoke), so host-process and serving-plane code paths get the same
+# memory-safety scrutiny as in-process ones. Any report is fatal
+# (-fno-sanitize-recover=all + halt_on_error).
 #
 # Usage: scripts/check_sanitize.sh [build-dir]   (default: build-asan)
 set -euo pipefail

@@ -23,6 +23,8 @@ const char* MsgTypeName(MsgType t) {
     case MsgType::kStatusRequest: return "StatusRequest";
     case MsgType::kStatusReport: return "StatusReport";
     case MsgType::kAbortStuck: return "AbortStuck";
+    case MsgType::kServingRequest: return "ServingRequest";
+    case MsgType::kServingResponse: return "ServingResponse";
   }
   return "Unknown";
 }

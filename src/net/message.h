@@ -17,6 +17,8 @@ namespace pisces::net {
 // Reserved endpoint ids; hosts are 0..n-1.
 inline constexpr std::uint32_t kClientId = 0xFFFF0000;
 inline constexpr std::uint32_t kHypervisorId = 0xFFFF0001;
+// Serving-plane gateway (docs/serving.md); serving clients use ids above it.
+inline constexpr std::uint32_t kGatewayId = 0xFFFF0002;
 
 enum class MsgType : std::uint8_t {
   // Client / hypervisor -> host control plane.
@@ -48,11 +50,19 @@ enum class MsgType : std::uint8_t {
                    //   also the "needs boot" announcement of a fresh process
   kAbortStuck,     // hypervisor -> hostd: bounded-delay timeout fired; abort
                    //   wedged sessions so the next attempt starts clean
+
+  // Serving plane (docs/serving.md): multiplexed request framing. The
+  // payload is a net::ServingRequestFrame / ServingResponseFrame carrying
+  // the session id, per-session request ordinal, and shard routing header,
+  // so many logical client sessions share one persistent connection to a
+  // serving gateway instead of one-shot Client objects.
+  kServingRequest,   // client -> gateway: one serving operation
+  kServingResponse,  // gateway -> client: completion or admission reject
 };
 
 // Last valid wire value of MsgType; Deserialize rejects anything above.
 inline constexpr std::uint8_t kMaxMsgType =
-    static_cast<std::uint8_t>(MsgType::kAbortStuck);
+    static_cast<std::uint8_t>(MsgType::kServingResponse);
 
 const char* MsgTypeName(MsgType t);
 

@@ -1,0 +1,119 @@
+#include "net/serving_frame.h"
+
+#include <sstream>
+
+namespace pisces::net {
+
+const char* ServingOpName(ServingOp op) {
+  switch (op) {
+    case ServingOp::kUpload: return "Upload";
+    case ServingOp::kDownload: return "Download";
+    case ServingOp::kDelete: return "Delete";
+    case ServingOp::kPing: return "Ping";
+    case ServingOp::kCloseSession: return "CloseSession";
+  }
+  return "Unknown";
+}
+
+const char* ServingStatusName(ServingStatus st) {
+  switch (st) {
+    case ServingStatus::kOk: return "Ok";
+    case ServingStatus::kRejected: return "Rejected";
+    case ServingStatus::kDuplicate: return "Duplicate";
+    case ServingStatus::kNotFound: return "NotFound";
+    case ServingStatus::kBadRoute: return "BadRoute";
+    case ServingStatus::kBadSession: return "BadSession";
+    case ServingStatus::kFailed: return "Failed";
+  }
+  return "Unknown";
+}
+
+Bytes ServingRequestFrame::Serialize() const {
+  Require(payload.size() <= kMaxServingPayload,
+          "ServingRequestFrame: payload exceeds wire cap");
+  ByteWriter w;
+  w.U64(session);
+  w.U64(request);
+  w.U32(shard);
+  w.U8(static_cast<std::uint8_t>(op));
+  w.U64(file_id);
+  w.Blob(payload);
+  return w.Take();
+}
+
+ServingRequestFrame ServingRequestFrame::Deserialize(
+    std::span<const std::uint8_t> data) {
+  ByteReader r(data);
+  ServingRequestFrame f;
+  f.session = r.U64();
+  f.request = r.U64();
+  f.shard = r.U32();
+  const std::uint8_t raw_op = r.U8();
+  if (raw_op > kMaxServingOp) {
+    throw ParseError("ServingRequestFrame: unknown op");
+  }
+  f.op = static_cast<ServingOp>(raw_op);
+  f.file_id = r.U64();
+  // Inlined Blob(): the cap check must fire on the announced length, before
+  // any buffer for the claimed payload exists.
+  const std::uint32_t plen = r.U32();
+  if (plen > kMaxServingPayload) {
+    throw ParseError("ServingRequestFrame: payload exceeds wire cap");
+  }
+  auto p = r.Raw(plen);
+  f.payload.assign(p.begin(), p.end());
+  if (!r.AtEnd()) throw ParseError("ServingRequestFrame: trailing bytes");
+  return f;
+}
+
+std::string ServingRequestFrame::Describe() const {
+  std::ostringstream out;
+  out << "serving " << ServingOpName(op) << " session=" << session
+      << " req=" << request << " shard=" << shard << " file=" << file_id
+      << " payload=" << payload.size() << "B";
+  return out.str();
+}
+
+Bytes ServingResponseFrame::Serialize() const {
+  Require(payload.size() <= kMaxServingPayload,
+          "ServingResponseFrame: payload exceeds wire cap");
+  ByteWriter w;
+  w.U64(session);
+  w.U64(request);
+  w.U8(static_cast<std::uint8_t>(status));
+  w.U32(retry_after_ms);
+  w.Blob(payload);
+  return w.Take();
+}
+
+ServingResponseFrame ServingResponseFrame::Deserialize(
+    std::span<const std::uint8_t> data) {
+  ByteReader r(data);
+  ServingResponseFrame f;
+  f.session = r.U64();
+  f.request = r.U64();
+  const std::uint8_t raw_status = r.U8();
+  if (raw_status > kMaxServingStatus) {
+    throw ParseError("ServingResponseFrame: unknown status");
+  }
+  f.status = static_cast<ServingStatus>(raw_status);
+  f.retry_after_ms = r.U32();
+  const std::uint32_t plen = r.U32();
+  if (plen > kMaxServingPayload) {
+    throw ParseError("ServingResponseFrame: payload exceeds wire cap");
+  }
+  auto p = r.Raw(plen);
+  f.payload.assign(p.begin(), p.end());
+  if (!r.AtEnd()) throw ParseError("ServingResponseFrame: trailing bytes");
+  return f;
+}
+
+std::string ServingResponseFrame::Describe() const {
+  std::ostringstream out;
+  out << "serving " << ServingStatusName(status) << " session=" << session
+      << " req=" << request << " retry_after=" << retry_after_ms << "ms"
+      << " payload=" << payload.size() << "B";
+  return out.str();
+}
+
+}  // namespace pisces::net

@@ -1,0 +1,91 @@
+// Multiplexed serving-plane request framing.
+//
+// The serving plane carries many logical client sessions over one physical
+// connection: every request/response is a ServingFrame travelling as the
+// payload of a kServingRequest / kServingResponse net::Message. The frame
+// header names the session, the per-session request ordinal, and the shard
+// the sender routed the file to, so a gateway can demultiplex thousands of
+// concurrent uploads/downloads arriving on a single persistent endpoint and
+// fan them out to independent PSS groups without re-hashing every file id
+// (the routing header is validated, never trusted blindly).
+//
+// Parsing follows the wire-hardening discipline of net/message.h: every
+// length field is validated against a hard cap BEFORE any allocation, a
+// frame must consume its buffer exactly (no trailing bytes), and unknown
+// opcodes or status codes are a ParseError, never a silent default.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/bytes.h"
+#include "net/message.h"
+
+namespace pisces::net {
+
+// Client-visible operations a serving request can carry.
+enum class ServingOp : std::uint8_t {
+  kUpload = 0,    // payload = file bytes
+  kDownload,      // payload empty; response payload = file bytes
+  kDelete,        // payload empty
+  kPing,          // liveness / session keep-open; payload echoed back
+  kCloseSession,  // explicit end of the logical session
+};
+inline constexpr std::uint8_t kMaxServingOp =
+    static_cast<std::uint8_t>(ServingOp::kCloseSession);
+
+// Outcome of a serving request.
+enum class ServingStatus : std::uint8_t {
+  kOk = 0,
+  kRejected,    // admission control: queue full; see retry_after_ms
+  kDuplicate,   // upload of a file id that already exists
+  kNotFound,    // download/delete of an unknown file id
+  kBadRoute,    // shard header disagrees with the deterministic router
+  kBadSession,  // request on a closed (or never-opened) session
+  kFailed,      // backend protocol failure (quorum loss, integrity reject)
+};
+inline constexpr std::uint8_t kMaxServingStatus =
+    static_cast<std::uint8_t>(ServingStatus::kFailed);
+
+const char* ServingOpName(ServingOp op);
+const char* ServingStatusName(ServingStatus st);
+
+// Upper bound on the file payload carried inside one serving frame. The
+// frame itself must fit a net::Message payload, so the cap leaves headroom
+// for the fixed frame header inside kMaxPayload.
+inline constexpr std::size_t kMaxServingPayload = kMaxPayload - 64;
+
+// Fixed header bytes preceding the length-prefixed payload of a request:
+// session(8) + request(8) + shard(4) + op(1) + file_id(8) + len(4).
+inline constexpr std::size_t kServingRequestHeaderSize = 8 + 8 + 4 + 1 + 8 + 4;
+// Response: session(8) + request(8) + status(1) + retry_after_ms(4) + len(4).
+inline constexpr std::size_t kServingResponseHeaderSize = 8 + 8 + 1 + 4 + 4;
+
+struct ServingRequestFrame {
+  std::uint64_t session = 0;  // logical session id (multiplexing key)
+  std::uint64_t request = 0;  // per-session ordinal, strictly increasing
+  std::uint32_t shard = 0;    // routing header: ShardRouter::ShardOf(file)
+  ServingOp op = ServingOp::kPing;
+  std::uint64_t file_id = 0;
+  Bytes payload;
+
+  Bytes Serialize() const;
+  static ServingRequestFrame Deserialize(std::span<const std::uint8_t> data);
+  std::string Describe() const;
+};
+
+struct ServingResponseFrame {
+  std::uint64_t session = 0;
+  std::uint64_t request = 0;
+  ServingStatus status = ServingStatus::kOk;
+  // Backpressure hint: when status == kRejected, the client should hold off
+  // at least this long before re-offering load (0 otherwise).
+  std::uint32_t retry_after_ms = 0;
+  Bytes payload;
+
+  Bytes Serialize() const;
+  static ServingResponseFrame Deserialize(std::span<const std::uint8_t> data);
+  std::string Describe() const;
+};
+
+}  // namespace pisces::net

@@ -48,6 +48,8 @@ constexpr KindInfo kKinds[static_cast<std::size_t>(SpanKind::kCount)] = {
     {"byz.action", "byz", nullptr},
     {"byz.detect", "byz", nullptr},
     {"net.connect", "net", nullptr},
+    {"serving.request", "serving", nullptr},
+    {"serving.refresh_batch", "serving", nullptr},
 };
 
 const KindInfo& Info(SpanKind k) {

@@ -55,6 +55,8 @@ enum class SpanKind : std::uint32_t {
   kByzAction,          // byzantine actor cheats; a = host, b = strategy
   kByzDetect,          // cheat detected/attributed; a = host, b = site
   kNetConnect,         // async-TCP (re)connect; a = self, b = peer
+  kServingRequest,     // one serving-plane request; a = session, b = file
+  kServingRefresh,     // one batched shard refresh launch; a = shard, b = #files
   kCount
 };
 

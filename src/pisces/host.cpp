@@ -207,6 +207,9 @@ void Host::HandleMessage(const Message& msg) {
       case MsgType::kStatusRequest:
       case MsgType::kStatusReport:
       case MsgType::kAbortStuck:
+      // Serving frames terminate at a ServingGateway, never at a host.
+      case MsgType::kServingRequest:
+      case MsgType::kServingResponse:
         LogWarn() << "host " << cfg_.id << ": unexpected " << msg.Describe();
         break;
     }

@@ -222,19 +222,36 @@ std::set<std::uint32_t> Hypervisor::AttributeCorruptDealers(
 }
 
 bool Hypervisor::RefreshAllFiles(WindowReport* report) {
+  return RefreshFilesInternal(AllFileIds(), /*audit_catalog=*/true, report);
+}
+
+bool Hypervisor::RefreshFiles(std::span<const std::uint64_t> file_ids,
+                              WindowReport* report) {
+  // Subset refresh (the serving plane's batch scheduler): only the named
+  // files are launched, and the fleet-wide loss audit is skipped -- a batch
+  // of B files must not fail because a file in a LATER batch is degraded.
+  return RefreshFilesInternal(
+      std::vector<std::uint64_t>(file_ids.begin(), file_ids.end()),
+      /*audit_catalog=*/false, report);
+}
+
+bool Hypervisor::RefreshFilesInternal(std::vector<std::uint64_t> files,
+                                      bool audit_catalog,
+                                      WindowReport* report) {
   const HostMetrics before = TotalHostMetrics();
   recent_failures_.clear();
-  const std::vector<std::uint64_t> files = AllFileIds();
   catalog_.insert(files.begin(), files.end());
 
   std::vector<std::string> fatal;  // non-retryable failures
   // A catalogued file that no booted host holds any more is lost data and
   // must fail the window loudly: an empty holder list looks exactly like
   // "nothing stored yet", and every later phase would succeed vacuously.
-  for (std::uint64_t f : catalog_) {
-    if (std::find(files.begin(), files.end(), f) == files.end()) {
-      fatal.push_back("file " + std::to_string(f) +
-                      " lost: no booted host holds a share");
+  if (audit_catalog) {
+    for (std::uint64_t f : catalog_) {
+      if (std::find(files.begin(), files.end(), f) == files.end()) {
+        fatal.push_back("file " + std::to_string(f) +
+                        " lost: no booted host holds a share");
+      }
     }
   }
   if (files.empty() && fatal.empty()) return true;

@@ -108,6 +108,15 @@ class Hypervisor : public net::MessageHandler {
   // (up to t+2 attempts) and resyncing stale hosts afterwards. Returns false
   // only when a file could not be refreshed within the corruption bound.
   bool RefreshAllFiles(WindowReport* report = nullptr);
+  // Rerandomizes exactly `file_ids` (the serving plane's batch-refresh
+  // scheduler feeds shard-local batches through this). All sessions of a
+  // call launch before a single network pump, so a batch of F files costs
+  // one round-trip structure, not F of them. Byte-identity with F
+  // sequential single-file calls is a tested contract (differential_test):
+  // per-host refresh randomness is drawn once per session at kStartRefresh
+  // receipt, and start messages are delivered in launch order.
+  bool RefreshFiles(std::span<const std::uint64_t> file_ids,
+                    WindowReport* report = nullptr);
   // Reboots `batch` (secure disassociation + fresh keys) and runs share
   // recovery for every stored file toward the rebooted hosts.
   bool RebootAndRecover(std::span<const std::uint32_t> batch,
@@ -149,6 +158,10 @@ class Hypervisor : public net::MessageHandler {
   };
 
   void BootHost(std::uint32_t id);
+  // Shared body of RefreshAllFiles / RefreshFiles; `audit_catalog` enables
+  // the fleet-wide lost-file check (full-namespace refresh only).
+  bool RefreshFilesInternal(std::vector<std::uint64_t> files,
+                            bool audit_catalog, WindowReport* report);
   std::vector<std::uint64_t> AllFileIds() const;
   std::optional<FileMeta> MetaFromAnyHost(
       std::uint64_t file_id, std::span<const std::uint32_t> exclude) const;

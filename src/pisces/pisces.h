@@ -17,3 +17,5 @@
 #include "pisces/file_codec.h"
 #include "pisces/recorder.h"
 #include "pisces/schedule.h"
+#include "pisces/serving.h"
+#include "pisces/shard_router.h"

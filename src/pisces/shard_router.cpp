@@ -1,0 +1,32 @@
+#include "pisces/shard_router.h"
+
+#include "common/error.h"
+
+namespace pisces {
+
+namespace {
+// splitmix64 finalizer (same mix the trace ids use): full-avalanche, so file
+// ids that differ in one bit land on unrelated shards.
+std::uint64_t Mix(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+}  // namespace
+
+ShardRouter::ShardRouter(std::uint32_t shard_count) : shards_(shard_count) {
+  Require(shard_count > 0, "ShardRouter: shard_count must be positive");
+}
+
+std::uint32_t ShardRouter::ShardOf(std::uint64_t file_id) const {
+  return Route(file_id, shards_);
+}
+
+std::uint32_t ShardRouter::Route(std::uint64_t file_id,
+                                 std::uint32_t shard_count) {
+  Require(shard_count > 0, "ShardRouter: shard_count must be positive");
+  return static_cast<std::uint32_t>(Mix(file_id) % shard_count);
+}
+
+}  // namespace pisces

@@ -1,0 +1,33 @@
+// Deterministic sharded file namespace.
+//
+// The serving plane routes every file id to exactly one shard -- one
+// independent PSS group with its own (n, t, l) cluster -- by hashing the id
+// through the splitmix64 finalizer and reducing modulo the shard count. The
+// map is a pure function of (file_id, shard_count): no state, no RNG, no
+// dependence on upload order, task-pool size, or process lifetime, so a
+// restarted gateway routes every file to the same shard it was stored on
+// (tested in determinism_test.cpp). Raw modulo over sequential ids would
+// stripe adjacent ids onto adjacent shards -- fine for balance, terrible for
+// hot ranges -- so the id is mixed first; the balance test in
+// serving_test.cpp pins the spread.
+#pragma once
+
+#include <cstdint>
+
+namespace pisces {
+
+class ShardRouter {
+ public:
+  explicit ShardRouter(std::uint32_t shard_count);
+
+  std::uint32_t shard_count() const { return shards_; }
+  std::uint32_t ShardOf(std::uint64_t file_id) const;
+
+  // The stateless core, usable without an instance.
+  static std::uint32_t Route(std::uint64_t file_id, std::uint32_t shard_count);
+
+ private:
+  std::uint32_t shards_;
+};
+
+}  // namespace pisces

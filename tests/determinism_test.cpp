@@ -230,5 +230,90 @@ TEST(Determinism, CsvRowsMatchAcrossPoolSizesOnNonTimingColumns) {
   }
 }
 
+TEST(Determinism, ShardRoutingIsPureAcrossPoolSizesAndRestarts) {
+  // The serving-plane shard map must be a pure function of
+  // (file_id, shard_count): same result from any instance, any task-pool
+  // size, and -- pinned by the golden triples below -- any process lifetime
+  // (a restarted gateway routes every file to the shard that stores it).
+  struct Pin {
+    std::uint64_t id;
+    std::uint32_t at2, at5;
+  };
+  const Pin pins[] = {
+      {0ull, 1, 0},    {1ull, 1, 0},          {2ull, 0, 0},
+      {42ull, 1, 3},   {1000ull, 0, 1},       {3735928559ull, 1, 2},
+  };
+  for (std::size_t pool_threads : {1, 2, 8}) {
+    SetGlobalPoolThreads(pool_threads);
+    ShardRouter two(2);
+    ShardRouter five(5);
+    for (const Pin& p : pins) {
+      EXPECT_EQ(two.ShardOf(p.id), p.at2) << "id " << p.id;
+      EXPECT_EQ(five.ShardOf(p.id), p.at5) << "id " << p.id;
+      EXPECT_EQ(ShardRouter::Route(p.id, 2), p.at2);
+      EXPECT_EQ(ShardRouter::Route(p.id, 5), p.at5);
+    }
+  }
+  SetGlobalPoolThreads(1);
+}
+
+TEST(Determinism, ServingBatchedRefreshBitIdenticalAcrossPoolSizesAndRestarts) {
+  // The serving plane's batched refresh must be deterministic on BYTES: the
+  // post-refresh share vectors of every host on every shard, and every
+  // download, identical across task-pool sizes and across plane re-creation
+  // (the restart analog: a fresh object graph from the same seed).
+  auto run = [](std::size_t pool_threads) {
+    SetGlobalPoolThreads(pool_threads);
+    ServingConfig cfg;
+    cfg.shards = 2;
+    cfg.params.n = 8;
+    cfg.params.t = 1;
+    cfg.params.l = 2;
+    cfg.params.r = 2;
+    cfg.params.field_bits = 256;
+    cfg.seed = 21;
+    ServingPlane plane(cfg);
+    const std::uint64_t session = plane.OpenSession();
+    Rng rng(77);
+    for (std::uint64_t id = 1; id <= 6; ++id) {
+      EXPECT_EQ(plane.Submit(session, net::ServingOp::kUpload, id,
+                             rng.RandomBytes(700))
+                    .status,
+                net::ServingStatus::kOk);
+    }
+    plane.Drain();
+    plane.TakeCompletions();
+    EXPECT_TRUE(plane.BatchRefresh());
+
+    std::vector<std::vector<field::FpElem>> shares;
+    for (std::uint32_t s = 0; s < plane.shard_count(); ++s) {
+      for (std::uint32_t h = 0; h < cfg.params.n; ++h) {
+        ShareStore& store = plane.shard(s).host(h).store();
+        for (std::uint64_t id : store.FileIds()) {
+          shares.push_back(store.Load(id));
+          store.Stash(id);
+        }
+      }
+    }
+    std::vector<Bytes> downloads;
+    for (std::uint64_t id = 1; id <= 6; ++id) {
+      plane.Submit(session, net::ServingOp::kDownload, id);
+      plane.Drain();
+      auto done = plane.TakeCompletions();
+      EXPECT_EQ(done.size(), 1u);
+      downloads.push_back(done[0].payload);
+    }
+    return std::pair{shares, downloads};
+  };
+  auto base = run(1);
+  auto restarted = run(1);  // same pool: isolates the restart property
+  auto pool2 = run(2);
+  auto pool8 = run(8);
+  SetGlobalPoolThreads(1);
+  EXPECT_EQ(base, restarted);
+  EXPECT_EQ(base, pool2);
+  EXPECT_EQ(base, pool8);
+}
+
 }  // namespace
 }  // namespace pisces

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "field/primes.h"
+#include "pisces/pisces.h"
 #include "pss/baseline.h"
 #include "pss/refresh.h"
 
@@ -162,6 +163,76 @@ TEST_F(DifferentialTest, RobustReconstructSurvivesCorruptionAfterRefresh) {
         EXPECT_TRUE(ctx_->Eq(plain[j], (*robust)[j]));
       }
     }
+  }
+}
+
+// Serving-plane scheduler differential: refreshing a shard's F files in ONE
+// batched launch must leave every host holding bytes IDENTICAL to F
+// sequential per-file refreshes. The two schedules share the code path but
+// not the interleaving: the batched plane launches every session before a
+// single network pump, the sequential plane pumps per file. Byte identity
+// holds because each host draws its zero-sharing randomness exactly once per
+// session at launch, in file order, in both schedules.
+TEST(ServingDifferential, BatchedRefreshMatchesSequentialPerFile) {
+  auto build = [](std::size_t refresh_batch) {
+    ServingConfig cfg;
+    cfg.shards = 2;
+    cfg.params.n = 8;
+    cfg.params.t = 1;
+    cfg.params.l = 2;
+    cfg.params.r = 2;
+    cfg.params.field_bits = 256;
+    cfg.seed = 404;
+    cfg.refresh_batch = refresh_batch;  // 0 = whole population per launch
+    return std::make_unique<ServingPlane>(cfg);
+  };
+  auto batched = build(0);
+  auto sequential = build(1);
+
+  // Identical uploads in identical order -> identical pre-refresh state.
+  Rng rng(55);
+  const std::uint64_t sb = batched->OpenSession();
+  const std::uint64_t ss = sequential->OpenSession();
+  std::vector<Bytes> files;
+  for (std::uint64_t id = 1; id <= 5; ++id) {
+    files.push_back(rng.RandomBytes(512 + 64 * id));
+    ASSERT_EQ(batched->Submit(sb, net::ServingOp::kUpload, id, files.back())
+                  .status,
+              net::ServingStatus::kOk);
+    ASSERT_EQ(sequential->Submit(ss, net::ServingOp::kUpload, id, files.back())
+                  .status,
+              net::ServingStatus::kOk);
+  }
+  batched->Drain();
+  sequential->Drain();
+
+  ASSERT_TRUE(batched->BatchRefresh());
+  ASSERT_TRUE(sequential->BatchRefresh());
+  // The sequential plane really did launch once per file.
+  EXPECT_EQ(batched->stats().refresh_batches, 2u);  // one per non-empty shard
+  EXPECT_EQ(sequential->stats().refresh_batches, 5u);
+
+  // Every host's post-refresh share vector must agree on bytes.
+  for (std::uint32_t s = 0; s < 2; ++s) {
+    for (std::uint32_t h = 0; h < 8; ++h) {
+      ShareStore& a = batched->shard(s).host(h).store();
+      ShareStore& b = sequential->shard(s).host(h).store();
+      ASSERT_EQ(a.FileIds(), b.FileIds()) << "shard " << s << " host " << h;
+      for (std::uint64_t id : a.FileIds()) {
+        EXPECT_EQ(a.Load(id), b.Load(id))
+            << "shard " << s << " host " << h << " file " << id;
+        a.Stash(id);
+        b.Stash(id);
+      }
+    }
+  }
+
+  // And both serve the original contents.
+  for (std::uint64_t id = 1; id <= 5; ++id) {
+    EXPECT_EQ(batched->shard(batched->ShardOf(id)).Download(id),
+              files[id - 1]);
+    EXPECT_EQ(sequential->shard(sequential->ShardOf(id)).Download(id),
+              files[id - 1]);
   }
 }
 

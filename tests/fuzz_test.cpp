@@ -16,6 +16,7 @@
 #include "field/primes.h"
 #include "net/async_tcp.h"
 #include "net/message.h"
+#include "net/serving_frame.h"
 #include "pisces/file_codec.h"
 
 namespace pisces {
@@ -229,6 +230,157 @@ TEST(Fuzz, BitFlippedCertNeverVerifies) {
       // Structurally destroyed -- also fine. (FromBytes may reject values
       // >= modulus with InvalidArgument before signature verification.)
     }
+  }
+}
+
+// ---- multiplexed serving frames (net/serving_frame.h) ---------------------
+
+net::ServingRequestFrame RandomValidServingRequest(Rng& rng) {
+  net::ServingRequestFrame f;
+  f.session = rng.Next();
+  f.request = rng.Next();
+  f.shard = static_cast<std::uint32_t>(rng.Next());
+  f.op = static_cast<net::ServingOp>(rng.Below(net::kMaxServingOp + 1));
+  f.file_id = rng.Next();
+  f.payload = RandomBlob(rng, 96);
+  return f;
+}
+
+net::ServingResponseFrame RandomValidServingResponse(Rng& rng) {
+  net::ServingResponseFrame f;
+  f.session = rng.Next();
+  f.request = rng.Next();
+  f.status =
+      static_cast<net::ServingStatus>(rng.Below(net::kMaxServingStatus + 1));
+  f.retry_after_ms = static_cast<std::uint32_t>(rng.Next());
+  f.payload = RandomBlob(rng, 96);
+  return f;
+}
+
+// Payload length-prefix offsets inside each frame (last header field).
+constexpr std::size_t kReqLenOffset = net::kServingRequestHeaderSize - 4;
+constexpr std::size_t kRespLenOffset = net::kServingResponseHeaderSize - 4;
+// Op / status byte offsets (after session + request [+ shard]).
+constexpr std::size_t kReqOpOffset = 8 + 8 + 4;
+constexpr std::size_t kRespStatusOffset = 8 + 8;
+
+TEST(Fuzz, ServingFrameDeserializeNeverCrashes) {
+  Rng rng(0xF201);
+  std::size_t accepted = 0;
+  for (int iter = 0; iter < 2000; ++iter) {
+    Bytes blob = RandomBlob(rng, 160);
+    try {
+      auto f = net::ServingRequestFrame::Deserialize(blob);
+      ++accepted;
+      EXPECT_EQ(f.Serialize(), blob);
+    } catch (const ParseError&) {
+    }
+    try {
+      auto f = net::ServingResponseFrame::Deserialize(blob);
+      ++accepted;
+      EXPECT_EQ(f.Serialize(), blob);
+    } catch (const ParseError&) {
+    }
+  }
+  // Random blobs essentially never satisfy the length linkage plus the
+  // op/status validity check.
+  EXPECT_LT(accepted, 5u);
+}
+
+TEST(Fuzz, ServingFrameStructuredMutationsNeverCrash) {
+  Rng rng(0xF202);
+  const std::size_t iters = FuzzIters(2000);
+  for (std::size_t iter = 0; iter < iters; ++iter) {
+    const bool request_side = rng.Below(2) == 0;
+    Bytes wire = request_side ? RandomValidServingRequest(rng).Serialize()
+                              : RandomValidServingResponse(rng).Serialize();
+    const std::size_t len_off = request_side ? kReqLenOffset : kRespLenOffset;
+    switch (rng.Below(4)) {
+      case 0:  // truncate
+        wire.resize(rng.Below(wire.size() + 1));
+        break;
+      case 1:  // length-field lie
+        StoreLe32(static_cast<std::uint32_t>(rng.Next()),
+                  wire.data() + len_off);
+        break;
+      case 2: {  // trailing garbage
+        Bytes extra = rng.RandomBytes(1 + rng.Below(16));
+        wire.insert(wire.end(), extra.begin(), extra.end());
+        break;
+      }
+      default:  // random byte flips
+        for (std::size_t k = 0; k < 1 + rng.Below(4); ++k) {
+          wire[rng.Below(wire.size())] ^=
+              static_cast<std::uint8_t>(1u << rng.Below(8));
+        }
+        break;
+    }
+    // Anything accepted must round-trip bit-exactly; anything else must be a
+    // clean ParseError, never a crash or a silent default.
+    try {
+      if (request_side) {
+        EXPECT_EQ(net::ServingRequestFrame::Deserialize(wire).Serialize(),
+                  wire)
+            << "iteration " << iter;
+      } else {
+        EXPECT_EQ(net::ServingResponseFrame::Deserialize(wire).Serialize(),
+                  wire)
+            << "iteration " << iter;
+      }
+    } catch (const ParseError&) {
+    }
+  }
+}
+
+TEST(Fuzz, ServingFrameTruncationAlwaysRejected) {
+  Rng rng(0xF203);
+  Bytes req = RandomValidServingRequest(rng).Serialize();
+  for (std::size_t len = 0; len < req.size(); ++len) {
+    Bytes cut(req.begin(), req.begin() + len);
+    EXPECT_THROW(net::ServingRequestFrame::Deserialize(cut), ParseError)
+        << len;
+  }
+  Bytes resp = RandomValidServingResponse(rng).Serialize();
+  for (std::size_t len = 0; len < resp.size(); ++len) {
+    Bytes cut(resp.begin(), resp.begin() + len);
+    EXPECT_THROW(net::ServingResponseFrame::Deserialize(cut), ParseError)
+        << len;
+  }
+}
+
+TEST(Fuzz, ServingFramePayloadCapRejectedBeforeAllocation) {
+  // A length field claiming a payload over the serving cap must throw on the
+  // ANNOUNCED length -- before any buffer for it exists. A tiny frame lying
+  // about a multi-GiB payload is the attack shape.
+  Rng rng(0xF204);
+  for (std::uint64_t lie :
+       {static_cast<std::uint64_t>(net::kMaxServingPayload) + 1,
+        std::uint64_t{0x40000000}, std::uint64_t{0xFFFFFFFF}}) {
+    Bytes req = RandomValidServingRequest(rng).Serialize();
+    req.resize(net::kServingRequestHeaderSize);  // drop any real payload
+    StoreLe32(static_cast<std::uint32_t>(lie), req.data() + kReqLenOffset);
+    EXPECT_THROW(net::ServingRequestFrame::Deserialize(req), ParseError);
+
+    Bytes resp = RandomValidServingResponse(rng).Serialize();
+    resp.resize(net::kServingResponseHeaderSize);
+    StoreLe32(static_cast<std::uint32_t>(lie), resp.data() + kRespLenOffset);
+    EXPECT_THROW(net::ServingResponseFrame::Deserialize(resp), ParseError);
+  }
+}
+
+TEST(Fuzz, ServingFrameUnknownOpAndStatusRejected) {
+  Rng rng(0xF205);
+  for (std::uint32_t bad = net::kMaxServingOp + 1; bad <= 0xFF; ++bad) {
+    Bytes req = RandomValidServingRequest(rng).Serialize();
+    req[kReqOpOffset] = static_cast<std::uint8_t>(bad);
+    EXPECT_THROW(net::ServingRequestFrame::Deserialize(req), ParseError)
+        << "op byte " << bad;
+  }
+  for (std::uint32_t bad = net::kMaxServingStatus + 1; bad <= 0xFF; ++bad) {
+    Bytes resp = RandomValidServingResponse(rng).Serialize();
+    resp[kRespStatusOffset] = static_cast<std::uint8_t>(bad);
+    EXPECT_THROW(net::ServingResponseFrame::Deserialize(resp), ParseError)
+        << "status byte " << bad;
   }
 }
 

@@ -1,0 +1,301 @@
+// Open-loop serving-plane load drill (ctest label: serving).
+//
+// A deterministic virtual-tick generator offers MORE load than the plane's
+// configured service rate -- the open-loop discipline: arrivals keep coming
+// whether or not earlier requests finished -- against a 2-shard in-process
+// cluster, with a batched proactive refresh fired mid-drill. Asserts the
+// serving plane's contract under overload:
+//
+//   no loss        every accepted request produces exactly one completion,
+//                  every completed download is bit-exact against the
+//                  reference copy, and after the drill every live file is
+//                  stored on its routed shard and NOWHERE else;
+//   bounded shed   admission control rejects (with a retry-after hint)
+//                  rather than buffering without bound: rejections happen
+//                  under overload, queues never exceed capacity, and
+//                  everything accepted still completes;
+//   deadline       accepted requests finish within a generous per-request
+//                  latency deadline even at peak backlog.
+//
+// Replay: the drill is seed-deterministic; run tests/serving_drill --seed S
+// to reproduce a failure, --verbose for per-tick accounting.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "pisces/pisces.h"
+
+namespace pisces {
+namespace {
+
+using net::ServingOp;
+using net::ServingStatus;
+
+struct DrillOptions {
+  std::uint64_t seed = 2026;
+  std::size_t ticks = 120;
+  std::size_t ops_per_tick = 6;  // offered load; service rate is 4/tick
+  bool verbose = false;
+};
+
+#define DRILL_CHECK(cond, ...)                                       \
+  do {                                                               \
+    if (!(cond)) {                                                   \
+      std::printf("FAIL %s:%d: %s\n", __FILE__, __LINE__, #cond);    \
+      std::printf("  " __VA_ARGS__);                                 \
+      std::printf("\n");                                             \
+      return false;                                                  \
+    }                                                                \
+  } while (0)
+
+bool RunDrill(const DrillOptions& opt) {
+  ServingConfig cfg;
+  cfg.shards = 2;
+  cfg.params.n = 8;
+  cfg.params.t = 1;
+  cfg.params.l = 2;
+  cfg.params.r = 2;
+  cfg.params.field_bits = 256;
+  cfg.seed = opt.seed;
+  cfg.admission_capacity = 16;
+  cfg.max_inflight = 2;  // service rate = shards * max_inflight = 4 ops/tick
+  cfg.retry_after_ms = 5;
+  ServingPlane plane(cfg);
+  Rng rng(opt.seed ^ 0x5E21);
+
+  const std::uint64_t session = plane.OpenSession();
+
+  // Reference model: what a correct plane must serve. `content` keeps every
+  // byte ever uploaded; `live` tracks admission-order liveness (an accepted
+  // delete kills the id the moment it is admitted, because the shard queue
+  // is FIFO: nothing admitted later can observe the file alive).
+  std::map<std::uint64_t, Bytes> content;
+  std::set<std::uint64_t> live;
+  std::uint64_t next_file = 1;
+
+  auto upload = [&](bool must_accept) -> bool {
+    const std::uint64_t id = next_file++;
+    Bytes data = rng.RandomBytes(256 + rng.Below(1024));
+    auto adm = plane.Submit(session, ServingOp::kUpload, id, data);
+    if (adm.status == ServingStatus::kOk) {
+      content[id] = std::move(data);
+      live.insert(id);
+      return true;
+    }
+    return !must_accept && adm.status == ServingStatus::kRejected;
+  };
+
+  // Preload a namespace so downloads have targets from tick zero.
+  for (int k = 0; k < 10; ++k) {
+    if (!upload(/*must_accept=*/true)) {
+      std::printf("FAIL: preload upload refused\n");
+      return false;
+    }
+    plane.Drain();
+  }
+
+  std::uint64_t offered = 0, rejects_seen = 0;
+  std::size_t completions_seen = 0;
+  std::uint64_t max_latency_ns = 0, max_queue_ns = 0;
+  bool refreshed = false;
+
+  auto absorb = [&](std::vector<ServingCompletion> batch) -> bool {
+    for (const ServingCompletion& c : batch) {
+      ++completions_seen;
+      DRILL_CHECK(c.status == ServingStatus::kOk,
+                  "request %llu (%s, file %llu) failed: %s",
+                  static_cast<unsigned long long>(c.request),
+                  net::ServingOpName(c.op),
+                  static_cast<unsigned long long>(c.file_id),
+                  net::ServingStatusName(c.status));
+      if (c.op == ServingOp::kDownload) {
+        DRILL_CHECK(c.payload == content.at(c.file_id),
+                    "download of file %llu returned wrong bytes",
+                    static_cast<unsigned long long>(c.file_id));
+      }
+      if (c.latency_ns > max_latency_ns) max_latency_ns = c.latency_ns;
+      if (c.queue_ns > max_queue_ns) max_queue_ns = c.queue_ns;
+    }
+    return true;
+  };
+
+  auto pick_live = [&]() -> std::uint64_t {
+    // Deterministic pick: k-th element of the ordered live set.
+    auto it = live.begin();
+    std::advance(it, static_cast<long>(rng.Below(live.size())));
+    return *it;
+  };
+
+  for (std::size_t tick = 0; tick < opt.ticks; ++tick) {
+    // Offer ops_per_tick arrivals regardless of backlog (open loop).
+    for (std::size_t k = 0; k < opt.ops_per_tick; ++k) {
+      ++offered;
+      const std::uint64_t dice = rng.Below(100);
+      if (dice < 15 || live.empty()) {
+        DRILL_CHECK(upload(/*must_accept=*/false),
+                    "upload neither accepted nor queue-full rejected");
+      } else if (dice < 90) {
+        const std::uint64_t id = pick_live();
+        auto adm = plane.Submit(session, ServingOp::kDownload, id);
+        DRILL_CHECK(adm.status == ServingStatus::kOk ||
+                        adm.status == ServingStatus::kRejected,
+                    "download of live file %llu refused: %s",
+                    static_cast<unsigned long long>(id),
+                    net::ServingStatusName(adm.status));
+        if (adm.status == ServingStatus::kRejected) {
+          DRILL_CHECK(adm.retry_after_ms >= cfg.retry_after_ms,
+                      "reject without a usable retry-after hint");
+        }
+      } else {
+        const std::uint64_t id = pick_live();
+        auto adm = plane.Submit(session, ServingOp::kDelete, id);
+        if (adm.status == ServingStatus::kOk) live.erase(id);
+      }
+      // Bounded buffering is the whole point of admission control.
+      for (std::uint32_t s = 0; s < plane.shard_count(); ++s) {
+        DRILL_CHECK(plane.QueueDepth(s) <= cfg.admission_capacity,
+                    "shard %u queue exceeded capacity", s);
+      }
+    }
+
+    // Service one scheduling quantum and absorb whatever finished.
+    plane.Poll();
+    if (!absorb(plane.TakeCompletions())) return false;
+
+    // Proactive window fires mid-drill, on top of live queued work.
+    if (!refreshed && tick == opt.ticks / 2) {
+      if (!absorb(plane.TakeCompletions())) return false;
+      DRILL_CHECK(plane.BatchRefresh(), "mid-drill batched refresh failed");
+      refreshed = true;
+    }
+
+    if (opt.verbose && tick % 20 == 0) {
+      std::printf("tick %3zu: offered=%llu accepted=%llu rejected=%llu "
+                  "queued=%zu\n",
+                  tick, static_cast<unsigned long long>(offered),
+                  static_cast<unsigned long long>(plane.stats().accepted),
+                  static_cast<unsigned long long>(plane.stats().rejected),
+                  plane.TotalQueued());
+    }
+  }
+
+  plane.Drain();
+  if (!absorb(plane.TakeCompletions())) return false;
+  const ServingStats& st = plane.stats();
+
+  // --- accounting: nothing lost, nothing invented -------------------------
+  DRILL_CHECK(st.failed == 0, "accepted requests failed in execution");
+  DRILL_CHECK(st.completed == st.accepted,
+              "accepted=%llu completed=%llu: requests lost or duplicated",
+              static_cast<unsigned long long>(st.accepted),
+              static_cast<unsigned long long>(st.completed));
+  DRILL_CHECK(completions_seen == st.completed,
+              "completion records do not match the completed counter");
+  // Every Submit was the 10 preload uploads plus the open-loop arrivals, and
+  // each landed in exactly one ledger bucket.
+  DRILL_CHECK(st.accepted + st.rejected + st.refused == offered + 10,
+              "admission ledger does not cover the offered load");
+
+  // --- overload shed, but bounded -----------------------------------------
+  DRILL_CHECK(st.rejected > 0,
+              "open-loop overload never tripped admission control");
+  DRILL_CHECK(st.rejected < offered / 2,
+              "admission shed more than half the offered load");
+  DRILL_CHECK(st.queue_peak <= cfg.admission_capacity,
+              "queue peak %llu exceeded capacity",
+              static_cast<unsigned long long>(st.queue_peak));
+  rejects_seen = st.rejected;
+
+  // --- refresh actually covered the namespace -----------------------------
+  DRILL_CHECK(refreshed && st.refresh_batches > 0 && st.refresh_files > 0,
+              "mid-drill refresh did not launch");
+
+  // --- zero lost / duplicated files ---------------------------------------
+  DRILL_CHECK(plane.files().size() == live.size(),
+              "plane namespace (%zu) disagrees with the reference (%zu)",
+              plane.files().size(), live.size());
+  const std::uint32_t n = cfg.params.n;
+  for (const std::uint64_t id : live) {
+    auto adm = plane.Submit(session, ServingOp::kDownload, id);
+    DRILL_CHECK(adm.status == ServingStatus::kOk,
+                "post-drill download of live file %llu refused",
+                static_cast<unsigned long long>(id));
+    plane.Drain();
+    auto done = plane.TakeCompletions();
+    DRILL_CHECK(done.size() == 1 && done[0].status == ServingStatus::kOk &&
+                    done[0].payload == content.at(id),
+                "post-drill download of file %llu not bit-exact",
+                static_cast<unsigned long long>(id));
+    const std::uint32_t home = plane.ShardOf(id);
+    for (std::uint32_t s = 0; s < plane.shard_count(); ++s) {
+      for (std::uint32_t h = 0; h < n; ++h) {
+        DRILL_CHECK(plane.shard(s).host(h).store().Has(id) == (s == home),
+                    "file %llu misplaced: shard %u host %u",
+                    static_cast<unsigned long long>(id), s, h);
+      }
+    }
+  }
+
+  // --- deadline: even peak-backlog requests finished promptly -------------
+  // Virtual ticks run as fast as the CPU allows; 30s of wall time per
+  // request is a generous bound that still catches a wedged queue.
+  constexpr std::uint64_t kDeadlineNs = 30ull * 1000 * 1000 * 1000;
+  DRILL_CHECK(max_latency_ns < kDeadlineNs,
+              "worst accepted-request latency blew the deadline");
+  DRILL_CHECK(max_queue_ns <= max_latency_ns, "queue time exceeds latency");
+
+  std::printf(
+      "serving_drill: seed=%llu offered=%llu accepted=%llu completed=%llu "
+      "rejected=%llu refused=%llu queue_peak=%llu refresh_batches=%llu "
+      "live_files=%zu max_latency_ms=%.2f\n",
+      static_cast<unsigned long long>(opt.seed),
+      static_cast<unsigned long long>(offered),
+      static_cast<unsigned long long>(st.accepted),
+      static_cast<unsigned long long>(st.completed),
+      static_cast<unsigned long long>(rejects_seen),
+      static_cast<unsigned long long>(st.refused),
+      static_cast<unsigned long long>(st.queue_peak),
+      static_cast<unsigned long long>(st.refresh_batches), live.size(),
+      static_cast<double>(max_latency_ns) / 1e6);
+  return true;
+}
+
+int Main(int argc, char** argv) {
+  DrillOptions opt;
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", argv[i]);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--seed") == 0) {
+      opt.seed = std::strtoull(next(), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--ticks") == 0) {
+      opt.ticks = std::strtoul(next(), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--ops-per-tick") == 0) {
+      opt.ops_per_tick = std::strtoul(next(), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--verbose") == 0) {
+      opt.verbose = true;
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", argv[i]);
+      return 2;
+    }
+  }
+  if (!RunDrill(opt)) {
+    std::printf("REPLAY: tests/serving_drill --seed %llu --verbose\n",
+                static_cast<unsigned long long>(opt.seed));
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace pisces
+
+int main(int argc, char** argv) { return pisces::Main(argc, argv); }
