@@ -5,10 +5,12 @@
 
 #include <map>
 #include <memory>
+#include <string>
 
 #include "bench_common.h"
 #include "field/primes.h"
 #include "math/poly.h"
+#include "math/poly_engine.h"
 
 namespace {
 
@@ -144,18 +146,22 @@ void BM_FieldInv(benchmark::State& state) {
 }
 BENCHMARK(BM_FieldInv)->Arg(256)->Arg(1024);
 
-void BM_BatchInv32(benchmark::State& state) {
-  const FpCtx& ctx = CtxFor(state.range(0));
+// Batch inversion over the poly-engine point counts (256-bit field): one Inv
+// plus 3(m-1) muls, vs m full Inv exponentiations without the trick.
+void BM_BatchInv(benchmark::State& state) {
+  const FpCtx& ctx = CtxFor(256);
   Rng rng(4);
   std::vector<FpElem> elems;
-  for (int i = 0; i < 32; ++i) elems.push_back(ctx.RandomNonZero(rng));
+  for (std::int64_t i = 0; i < state.range(0); ++i) {
+    elems.push_back(ctx.RandomNonZero(rng));
+  }
   for (auto _ : state) {
     auto copy = elems;
     ctx.BatchInv(copy);
     benchmark::DoNotOptimize(copy);
   }
 }
-BENCHMARK(BM_BatchInv32)->Arg(256)->Arg(1024);
+BENCHMARK(BM_BatchInv)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
 
 void BM_PolyEvalDeg18(benchmark::State& state) {
   const FpCtx& ctx = CtxFor(state.range(0));
@@ -196,6 +202,88 @@ void BM_LagrangeCoeffs(benchmark::State& state) {
 }
 BENCHMARK(BM_LagrangeCoeffs)->Arg(19)->Arg(37);
 
+// --- Poly-engine suite (docs/polynomial_engine.md) ------------------------
+// Engine-vs-oracle pairs at n in {16, 64, 256, 1024} on the 256-bit field
+// (the serving hot path); scripts/bench_micro.sh turns these into the
+// eval/interp sections of BENCH_field.json and the measured crossover.
+
+// Share-generation shape: a degree n/2 polynomial evaluated at n points.
+std::vector<FpElem> BenchPoints(const FpCtx& ctx, std::size_t n) {
+  std::vector<FpElem> xs;
+  for (std::size_t i = 0; i < n; ++i) xs.push_back(ctx.FromUint64(i + 1));
+  return xs;
+}
+
+void BM_PolyEvalTree(benchmark::State& state) {
+  const FpCtx& ctx = CtxFor(256);
+  Rng rng(10);
+  const std::size_t n = state.range(0);
+  const std::vector<FpElem> xs = BenchPoints(ctx, n);
+  // Domain built once outside the loop: the cache amortizes it in the
+  // protocol exactly the same way (BM_PolyDomainBuild prices the build).
+  pisces::math::SubproductTree tree(ctx, xs);
+  auto f = pisces::math::Poly::Random(ctx, rng, n / 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.EvalAll(f.coeffs()));
+  }
+}
+BENCHMARK(BM_PolyEvalTree)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_PolyEvalHorner(benchmark::State& state) {
+  const FpCtx& ctx = CtxFor(256);
+  Rng rng(10);
+  const std::size_t n = state.range(0);
+  const std::vector<FpElem> xs = BenchPoints(ctx, n);
+  auto f = pisces::math::Poly::Random(ctx, rng, n / 2);
+  for (auto _ : state) {
+    std::vector<FpElem> out(n);
+    for (std::size_t i = 0; i < n; ++i) out[i] = f.Eval(ctx, xs[i]);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_PolyEvalHorner)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_PolyInterpTree(benchmark::State& state) {
+  const FpCtx& ctx = CtxFor(256);
+  Rng rng(11);
+  const std::size_t n = state.range(0);
+  const std::vector<FpElem> xs = BenchPoints(ctx, n);
+  pisces::math::SubproductTree tree(ctx, xs);
+  std::vector<FpElem> ys;
+  for (std::size_t i = 0; i < n; ++i) ys.push_back(ctx.Random(rng));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.Interpolate(ys));
+  }
+}
+BENCHMARK(BM_PolyInterpTree)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_PolyInterpLagrange(benchmark::State& state) {
+  const FpCtx& ctx = CtxFor(256);
+  Rng rng(11);
+  const std::size_t n = state.range(0);
+  const std::vector<FpElem> xs = BenchPoints(ctx, n);
+  std::vector<FpElem> ys;
+  for (std::size_t i = 0; i < n; ++i) ys.push_back(ctx.Random(rng));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        pisces::math::Poly::InterpolateLagrange(ctx, xs, ys));
+  }
+}
+BENCHMARK(BM_PolyInterpLagrange)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
+
+// One-time domain cost: tree + per-node inverse series + barycentric
+// weights. Amortized across every block/window that reuses the point set.
+void BM_PolyDomainBuild(benchmark::State& state) {
+  const FpCtx& ctx = CtxFor(256);
+  const std::size_t n = state.range(0);
+  const std::vector<FpElem> xs = BenchPoints(ctx, n);
+  for (auto _ : state) {
+    pisces::math::SubproductTree tree(ctx, xs);
+    benchmark::DoNotOptimize(tree);
+  }
+}
+BENCHMARK(BM_PolyDomainBuild)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
+
 }  // namespace
 
 // Custom main instead of BENCHMARK_MAIN(): the shared flags (--threads,
@@ -203,6 +291,19 @@ BENCHMARK(BM_LagrangeCoeffs)->Arg(19)->Arg(37);
 // argv, since ReportUnrecognizedArguments treats any leftover as fatal.
 int main(int argc, char** argv) {
   pisces::bench::Options opts = pisces::bench::Parse(argc, argv);
+  // Trustworthy build-type marker for scripts/bench_micro.sh's release gate.
+  // google-benchmark's own "library_build_type" context key reflects the
+  // NDEBUG state of the *library* when IT was compiled (the distro package
+  // reports "debug" regardless of how this binary is built), so the gate
+  // keys on our translation unit instead.
+#ifdef NDEBUG
+  benchmark::AddCustomContext("pisces_build_type", "release");
+#else
+  benchmark::AddCustomContext("pisces_build_type", "debug");
+#endif
+  benchmark::AddCustomContext(
+      "pisces_poly_crossover",
+      std::to_string(pisces::math::PolyEngineCrossover()));
   int rest_argc = static_cast<int>(opts.rest.size());
   benchmark::Initialize(&rest_argc, opts.rest.data());
   if (benchmark::ReportUnrecognizedArguments(rest_argc, opts.rest.data())) {

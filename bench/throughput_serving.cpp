@@ -10,7 +10,9 @@
 // Reported per run: offered/accepted/completed/rejected ops, achieved ops/sec,
 // and p50/p99 completion latency measured from the request's SCHEDULED arrival
 // time (coordinated-omission-safe: a stalled plane charges every queued
-// arrival for the stall).
+// arrival for the stall). Preload uploads are accounted separately
+// (preload_accepted); every other counter is a measured-window delta, and the
+// gate asserts accepted <= offered_ops.
 //
 // Flags (after the shared --threads/--seed/--out/--trace of bench_common.h):
 //   --shards N        shard count (default 2; the acceptance gate needs >= 2)
@@ -144,6 +146,11 @@ int Main(int argc, char** argv) {
     plane.Drain();
   }
   plane.TakeCompletions();
+  // Preload flows through the same stats ledger as measured load; snapshot
+  // here so the summary reports measured-WINDOW deltas. Without this the run
+  // double-counted (accepted > offered_ops: preload uploads were admitted
+  // but never offered on the open-loop clock).
+  const ServingStats preload_stats = plane.stats();
 
   // (session, request) -> scheduled arrival, for open-loop latency.
   std::map<std::pair<std::uint64_t, std::uint64_t>, std::uint64_t> scheduled;
@@ -213,6 +220,12 @@ int Main(int argc, char** argv) {
   const std::uint64_t elapsed_ns = MonotonicNanos() - start_ns;
 
   const ServingStats& st = plane.stats();
+  // Measured-window deltas: only work offered on the open-loop clock.
+  const std::uint64_t win_accepted = st.accepted - preload_stats.accepted;
+  const std::uint64_t win_completed = st.completed - preload_stats.completed;
+  const std::uint64_t win_rejected = st.rejected - preload_stats.rejected;
+  const std::uint64_t win_refused = st.refused - preload_stats.refused;
+  const std::uint64_t win_failed = st.failed - preload_stats.failed;
   const double secs = static_cast<double>(elapsed_ns) / 1e9;
   const double ops_per_sec = static_cast<double>(completed_ops) / secs;
   std::sort(latencies_ns.begin(), latencies_ns.end());
@@ -222,18 +235,22 @@ int Main(int argc, char** argv) {
   std::printf("\n%-22s %12s\n", "metric", "value");
   std::printf("%-22s %12u\n", "shards", cfg.shards);
   std::printf("%-22s %12.0f\n", "offered rate (ops/s)", opt.rate);
+  std::printf("%-22s %12zu\n", "preload uploads", opt.preload);
   std::printf("%-22s %12" PRIu64 "\n", "offered ops", offered);
-  std::printf("%-22s %12" PRIu64 "\n", "accepted", st.accepted);
-  std::printf("%-22s %12" PRIu64 "\n", "completed", st.completed);
-  std::printf("%-22s %12" PRIu64 "\n", "rejected", st.rejected);
-  std::printf("%-22s %12" PRIu64 "\n", "refused", st.refused);
+  std::printf("%-22s %12" PRIu64 "\n", "accepted", win_accepted);
+  std::printf("%-22s %12" PRIu64 "\n", "completed", win_completed);
+  std::printf("%-22s %12" PRIu64 "\n", "rejected", win_rejected);
+  std::printf("%-22s %12" PRIu64 "\n", "refused", win_refused);
   std::printf("%-22s %12" PRIu64 "\n", "queue peak", st.queue_peak);
   std::printf("%-22s %12.1f\n", "achieved ops/sec", ops_per_sec);
   std::printf("%-22s %12.3f\n", "p50 latency (ms)", p50);
   std::printf("%-22s %12.3f\n", "p99 latency (ms)", p99);
 
-  const bool ok = failed_ops == 0 && st.completed == st.accepted &&
-                  completed_ops > 0 && cfg.shards >= 2;
+  // Accounting sanity is part of the gate: the measured window can never
+  // admit more than the open loop offered.
+  const bool ok = failed_ops == 0 && win_completed == win_accepted &&
+                  win_accepted <= offered && completed_ops > 0 &&
+                  cfg.shards >= 2;
 
   FILE* f = std::fopen(opt.json.c_str(), "w");
   if (f == nullptr) {
@@ -248,6 +265,7 @@ int Main(int argc, char** argv) {
                "  \"duration_ms\": %" PRIu64 ",\n"
                "  \"file_bytes\": %zu,\n"
                "  \"preload_files\": %zu,\n"
+               "  \"preload_accepted\": %" PRIu64 ",\n"
                "  \"offered_ops\": %" PRIu64 ",\n"
                "  \"accepted\": %" PRIu64 ",\n"
                "  \"completed\": %" PRIu64 ",\n"
@@ -262,9 +280,9 @@ int Main(int argc, char** argv) {
                "  \"ok\": %s\n"
                "}\n",
                cfg.shards, opt.rate, opt.duration_ms, opt.file_bytes,
-               opt.preload, offered,
-               st.accepted, st.completed, st.rejected, st.refused,
-               static_cast<std::uint64_t>(failed_ops), st.queue_peak,
+               opt.preload, preload_stats.accepted, offered,
+               win_accepted, win_completed, win_rejected, win_refused,
+               win_failed, st.queue_peak,
                ops_per_sec, p50, p99, plane.files().size(),
                ok ? "true" : "false");
   std::fclose(f);

@@ -47,6 +47,11 @@ result = {
     "acceptance": {
         "shards": sustain["shards"],
         "shards_ok": sustain["shards"] >= 2 and overload["shards"] >= 2,
+        # Accounting sanity: the measured window can never admit more than
+        # the open loop offered (preload is reported separately).
+        "accounting_ok": (
+            sustain["accepted"] <= sustain["offered_ops"]
+            and overload["accepted"] <= overload["offered_ops"]),
         "ops_per_sec": overload["ops_per_sec"],
         "p50_ms": sustain["p50_ms"],
         "p99_ms": sustain["p99_ms"],
@@ -58,7 +63,8 @@ result = {
 }
 result["acceptance"]["ok"] = all(
     result["acceptance"][k]
-    for k in ("shards_ok", "overload_shed_ok", "no_accepted_request_lost"))
+    for k in ("shards_ok", "accounting_ok", "overload_shed_ok",
+              "no_accepted_request_lost"))
 
 with open(sys.argv[3], "w") as f:
     json.dump(result, f, indent=2)

@@ -405,6 +405,36 @@ FpElem FpCtx::Inv(const FpElem& a) const {
 
 void FpCtx::BatchInv(std::span<FpElem> elems) const {
   if (elems.empty()) return;
+  // A zero element would silently poison every prefix product from its
+  // position on (Inv of the zero total is 0^{p-2} = 0, so the unwind would
+  // hand back garbage for ALL entries, not just the zero one). Scan first --
+  // one cheap limb compare per element -- and take the compacting path only
+  // when a zero is actually present, so the common all-nonzero case runs the
+  // straight-line trick unchanged.
+  bool has_zero = false;
+  for (const FpElem& e : elems) {
+    if (IsZero(e)) {
+      has_zero = true;
+      break;
+    }
+  }
+  if (has_zero) {
+    // Invert the nonzero entries through a compacted view; zeros stay zero
+    // (0 has no inverse; callers that require invertibility must check, as
+    // the interpolation paths do via their duplicate-point guards).
+    std::vector<FpElem> nz;
+    nz.reserve(elems.size());
+    for (const FpElem& e : elems) {
+      if (!IsZero(e)) nz.push_back(e);
+    }
+    if (nz.empty()) return;
+    BatchInv(nz);
+    std::size_t j = 0;
+    for (FpElem& e : elems) {
+      if (!IsZero(e)) e = nz[j++];
+    }
+    return;
+  }
   // prefix[i] = e_0 * ... * e_i
   std::vector<FpElem> prefix(elems.size());
   prefix[0] = elems[0];

@@ -101,7 +101,10 @@ class FpCtx {
   // a^{p-2}; requires prime modulus and a != 0.
   FpElem Inv(const FpElem& a) const;
   // Inverts every element in place with Montgomery's batch-inversion trick:
-  // one Inv plus 3(m-1) multiplications. All elements must be nonzero.
+  // one Inv plus 3(m-1) multiplications. Zero elements are left at zero (0
+  // has no inverse): the all-nonzero fast path is guarded by a cheap scan,
+  // and a batch containing zeros is inverted through a compacted view rather
+  // than letting a zero prefix product poison every later entry.
   // Interpolation over many points lives on this (a plain Inv is a full
   // modular exponentiation -- prohibitive at g = 1024/2048).
   void BatchInv(std::span<FpElem> elems) const;

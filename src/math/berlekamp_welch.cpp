@@ -1,6 +1,7 @@
 #include "math/berlekamp_welch.h"
 
 #include "math/matrix.h"
+#include "math/poly_engine.h"
 
 namespace pisces::math {
 
@@ -51,9 +52,13 @@ std::optional<Poly> TryDecode(const FpCtx& ctx, std::span<const FpElem> xs,
 std::vector<std::size_t> Mismatches(const FpCtx& ctx, const Poly& f,
                                     std::span<const FpElem> xs,
                                     std::span<const FpElem> ys) {
+  // Every decode attempt audits f against ALL points, so batch the
+  // evaluation: EvalMany takes the remainder tree above the crossover and
+  // per-point Horner below it (identical values either way).
+  const std::vector<FpElem> vals = EvalMany(ctx, f.coeffs(), xs);
   std::vector<std::size_t> out;
   for (std::size_t i = 0; i < xs.size(); ++i) {
-    if (!ctx.Eq(f.Eval(ctx, xs[i]), ys[i])) out.push_back(i);
+    if (!ctx.Eq(vals[i], ys[i])) out.push_back(i);
   }
   return out;
 }

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "math/poly_engine.h"
+
 namespace pisces::math {
 
 bool Poly::IsZero(const FpCtx& ctx) const {
@@ -49,6 +51,15 @@ Poly Poly::ConstrainedFrom(const FpCtx& ctx, const Poly& u, std::size_t deg,
 
 Poly Poly::Interpolate(const FpCtx& ctx, std::span<const FpElem> xs,
                        std::span<const FpElem> ys) {
+  Require(xs.size() == ys.size() && !xs.empty(), "Interpolate: bad input");
+  if (xs.size() >= PolyEngineCrossover()) {
+    return Poly(CachedSubproductTree(ctx, xs)->Interpolate(ys));
+  }
+  return InterpolateLagrange(ctx, xs, ys);
+}
+
+Poly Poly::InterpolateLagrange(const FpCtx& ctx, std::span<const FpElem> xs,
+                               std::span<const FpElem> ys) {
   Require(xs.size() == ys.size() && !xs.empty(), "Interpolate: bad input");
   const std::size_t m = xs.size();
   if (m == 1) return Poly(std::vector<FpElem>{ys[0]});
@@ -99,17 +110,17 @@ Poly Poly::Add(const FpCtx& ctx, const Poly& a, const Poly& b) {
 }
 
 Poly Poly::Mul(const FpCtx& ctx, const Poly& a, const Poly& b) {
-  if (a.c_.empty() || b.c_.empty()) return Poly();
-  std::vector<FpElem> c(a.c_.size() + b.c_.size() - 1, ctx.Zero());
-  for (std::size_t i = 0; i < a.c_.size(); ++i) {
-    for (std::size_t j = 0; j < b.c_.size(); ++j) {
-      c[i + j] = ctx.Add(c[i + j], ctx.Mul(a.c_[i], b.c_[j]));
-    }
-  }
-  return Poly(std::move(c));
+  // MulPolys is the engine product: Karatsuba above its base size, lazy-dot
+  // schoolbook below it -- the same exact convolution either way.
+  return Poly(MulPolys(ctx, a.c_, b.c_));
 }
 
 Poly Poly::Vanishing(const FpCtx& ctx, std::span<const FpElem> xs) {
+  if (xs.size() >= PolyEngineCrossover()) {
+    // The tree root IS the vanishing polynomial, and the domain cache makes
+    // repeated per-block calls (ConstrainedFrom in ShareBlocks) a lookup.
+    return Poly(CachedSubproductTree(ctx, xs)->root());
+  }
   std::vector<FpElem> c{ctx.One()};
   for (const FpElem& root : xs) {
     c.push_back(ctx.Zero());
@@ -155,6 +166,26 @@ std::vector<FpElem> LagrangeCoeffs(const FpCtx& ctx,
                                    const FpElem& x) {
   const std::size_t m = xs.size();
   Require(m >= 1, "LagrangeCoeffs: empty points");
+  if (m >= PolyEngineCrossover()) {
+    // Barycentric form: den_i = prod_{j!=i}(x_i - x_j) = P'(x_i), which the
+    // cached subproduct tree already holds inverted; the numerators are the
+    // O(m) prefix/suffix products of (x - x_j).
+    auto tree = CachedSubproductTree(ctx, xs);
+    std::span<const FpElem> inv_dens = tree->inv_derivs();
+    std::vector<FpElem> prefix(m + 1, ctx.One());
+    std::vector<FpElem> suffix(m + 1, ctx.One());
+    for (std::size_t j = 0; j < m; ++j) {
+      prefix[j + 1] = ctx.Mul(prefix[j], ctx.Sub(x, xs[j]));
+    }
+    for (std::size_t j = m; j-- > 0;) {
+      suffix[j] = ctx.Mul(suffix[j + 1], ctx.Sub(x, xs[j]));
+    }
+    std::vector<FpElem> w(m);
+    for (std::size_t i = 0; i < m; ++i) {
+      w[i] = ctx.Mul(ctx.Mul(prefix[i], suffix[i + 1]), inv_dens[i]);
+    }
+    return w;
+  }
   std::vector<FpElem> nums(m, ctx.One());
   std::vector<FpElem> dens(m, ctx.One());
   for (std::size_t i = 0; i < m; ++i) {
@@ -178,16 +209,24 @@ std::vector<std::vector<FpElem>> LagrangeCoeffsMulti(
   const std::size_t m = xs.size();
   Require(m >= 1, "LagrangeCoeffsMulti: empty points");
   // Denominators do not depend on the evaluation point: invert them once.
-  std::vector<FpElem> inv_dens(m, ctx.One());
-  for (std::size_t i = 0; i < m; ++i) {
-    for (std::size_t j = 0; j < m; ++j) {
-      if (j == i) continue;
-      FpElem d = ctx.Sub(xs[i], xs[j]);
-      Require(!ctx.IsZero(d), "LagrangeCoeffsMulti: duplicate x");
-      inv_dens[i] = ctx.Mul(inv_dens[i], d);
+  // Above the crossover the cached tree supplies them (den_i = P'(x_i))
+  // without the O(m^2) difference products.
+  std::vector<FpElem> inv_dens;
+  if (m >= PolyEngineCrossover()) {
+    auto tree = CachedSubproductTree(ctx, xs);
+    inv_dens.assign(tree->inv_derivs().begin(), tree->inv_derivs().end());
+  } else {
+    inv_dens.assign(m, ctx.One());
+    for (std::size_t i = 0; i < m; ++i) {
+      for (std::size_t j = 0; j < m; ++j) {
+        if (j == i) continue;
+        FpElem d = ctx.Sub(xs[i], xs[j]);
+        Require(!ctx.IsZero(d), "LagrangeCoeffsMulti: duplicate x");
+        inv_dens[i] = ctx.Mul(inv_dens[i], d);
+      }
     }
+    ctx.BatchInv(inv_dens);
   }
-  ctx.BatchInv(inv_dens);
 
   std::vector<std::vector<FpElem>> out;
   out.reserve(eval_points.size());
@@ -222,6 +261,16 @@ bool PointsOnLowDegree(const FpCtx& ctx, std::span<const FpElem> xs,
   Require(xs.size() == ys.size(), "PointsOnLowDegree: xs/ys mismatch");
   if (xs.size() <= deg + 1) return true;  // always interpolatable
   Poly f = Poly::Interpolate(ctx, xs.subspan(0, deg + 1), ys.subspan(0, deg + 1));
+  std::span<const FpElem> extras = xs.subspan(deg + 1);
+  if (extras.size() >= PolyEvalCrossover()) {
+    // Many check points: one multipoint evaluation instead of per-point
+    // Horner (the early-exit below is worthless once evaluation is batched).
+    std::vector<FpElem> vals = EvalMany(ctx, f.coeffs(), extras);
+    for (std::size_t i = 0; i < extras.size(); ++i) {
+      if (!ctx.Eq(vals[i], ys[deg + 1 + i])) return false;
+    }
+    return true;
+  }
   for (std::size_t i = deg + 1; i < xs.size(); ++i) {
     if (!ctx.Eq(f.Eval(ctx, xs[i]), ys[i])) return false;
   }

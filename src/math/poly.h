@@ -2,8 +2,12 @@
 //
 // Shares are evaluations of degree-<=d polynomials; secrets sit at the packed
 // evaluation points beta_1..beta_l; refresh deals polynomials constrained to
-// vanish on a point set. Everything here is coefficient-form with O(m^2)
-// interpolation, which is ample for the paper's degrees (d = t + l <= ~40).
+// vanish on a point set. Everything here is coefficient-form. The generic
+// algorithms are O(m^2), ample for the paper's degrees (d = t + l <= ~40);
+// above PolyEngineCrossover() points the entry points dispatch to the
+// quasi-linear subproduct-tree engine (math/poly_engine.h), which computes
+// bit-identical elements (F_p arithmetic is exact, Montgomery form is
+// canonical), so callers never see which path ran.
 #pragma once
 
 #include <span>
@@ -54,10 +58,17 @@ class Poly {
                               std::span<const FpElem> xs,
                               std::span<const FpElem> ys);
 
-  // Unique interpolating polynomial of degree <= xs.size()-1 (Newton form
-  // internally, returned in coefficient form). xs must be distinct.
+  // Unique interpolating polynomial of degree <= xs.size()-1 in coefficient
+  // form. xs must be distinct. Dispatches to the subproduct-tree engine
+  // (math/poly_engine.h) above PolyEngineCrossover() points and to the
+  // generic Lagrange path below it; both compute the exact same elements.
   static Poly Interpolate(const FpCtx& ctx, std::span<const FpElem> xs,
                           std::span<const FpElem> ys);
+
+  // The generic O(m^2) Lagrange interpolation, always taken regardless of
+  // size: the differential oracle for the engine and the bench baseline.
+  static Poly InterpolateLagrange(const FpCtx& ctx, std::span<const FpElem> xs,
+                                  std::span<const FpElem> ys);
 
   static Poly Add(const FpCtx& ctx, const Poly& a, const Poly& b);
   static Poly Mul(const FpCtx& ctx, const Poly& a, const Poly& b);

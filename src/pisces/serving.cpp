@@ -5,6 +5,7 @@
 
 #include "common/clock.h"
 #include "common/log.h"
+#include "common/task_pool.h"
 #include "obs/registry.h"
 #include "obs/trace.h"
 
@@ -253,12 +254,13 @@ void ServingPlane::CompleteImmediate(const Pending& p, ServingStatus status,
   }
 }
 
-void ServingPlane::Execute(std::uint32_t shard, Pending p) {
+ServingPlane::Executed ServingPlane::Execute(std::uint32_t shard, Pending p) {
   obs::Span span(obs::SpanKind::kServingRequest, p.session, p.file_id);
   Cluster& cluster = *shards_[shard];
   const std::uint64_t start_ns = MonotonicNanos();
 
-  ServingCompletion c;
+  Executed r;
+  ServingCompletion& c = r.completion;
   c.session = p.session;
   c.request = p.request;
   c.op = p.op;
@@ -277,7 +279,7 @@ void ServingPlane::Execute(std::uint32_t shard, Pending p) {
         break;
       case ServingOp::kDelete:
         cluster.Delete(p.file_id);
-        files_.erase(p.file_id);
+        r.erase_file = true;
         Counters().deletes.Add(1);
         break;
       default:
@@ -290,28 +292,55 @@ void ServingPlane::Execute(std::uint32_t shard, Pending p) {
               << p.file_id << " failed: " << e.what();
     c.status = ServingStatus::kFailed;
     // A failed upload surrenders its namespace claim.
-    if (p.op == ServingOp::kUpload) files_.erase(p.file_id);
+    if (p.op == ServingOp::kUpload) r.erase_file = true;
   }
   c.latency_ns = MonotonicNanos() - p.accept_ns;
-  if (c.status == ServingStatus::kOk) {
-    stats_.completed += 1;
-    Counters().completed.Add(1);
-  } else {
-    stats_.failed += 1;
-    Counters().failed.Add(1);
-  }
-  completions_.push_back(std::move(c));
+  return r;
 }
 
 std::size_t ServingPlane::Poll() {
+  // Phase 1 (serial): pop this poll's batch per shard, in admission order.
+  std::vector<std::vector<Pending>> batches(cfg_.shards);
   std::size_t executed = 0;
   for (std::uint32_t s = 0; s < cfg_.shards; ++s) {
     for (std::size_t k = 0; k < cfg_.max_inflight && !queues_[s].empty();
          ++k) {
-      Pending p = std::move(queues_[s].front());
+      batches[s].push_back(std::move(queues_[s].front()));
       queues_[s].pop_front();
-      Execute(s, std::move(p));
       ++executed;
+    }
+  }
+  if (executed == 0) return 0;
+
+  // Phase 2 (parallel): shards execute concurrently; each writes only its
+  // own results slot. A shard's batch stays sequential (same-shard requests
+  // may touch the same file), and shards never share a file (the router
+  // partitions the namespace), so cross-shard execution is independent pure
+  // compute against disjoint clusters. Nested pool use inside Cluster runs
+  // inline on the worker (common/task_pool.h contract).
+  std::vector<std::vector<Executed>> results(cfg_.shards);
+  GlobalPool().ParallelFor(0, cfg_.shards, [&](std::size_t s) {
+    results[s].reserve(batches[s].size());
+    for (Pending& p : batches[s]) {
+      results[s].push_back(Execute(static_cast<std::uint32_t>(s),
+                                   std::move(p)));
+    }
+  });
+
+  // Phase 3 (serial): apply effects and emit completions in shard order --
+  // exactly the order the old sequential shard-by-shard loop produced, so
+  // the completion stream is bit-identical for any pool size.
+  for (std::uint32_t s = 0; s < cfg_.shards; ++s) {
+    for (Executed& r : results[s]) {
+      if (r.erase_file) files_.erase(r.completion.file_id);
+      if (r.completion.status == ServingStatus::kOk) {
+        stats_.completed += 1;
+        Counters().completed.Add(1);
+      } else {
+        stats_.failed += 1;
+        Counters().failed.Add(1);
+      }
+      completions_.push_back(std::move(r.completion));
     }
   }
   return executed;

@@ -123,7 +123,11 @@ class ServingPlane {
 
   // --- execution ---
   // Services up to max_inflight queued requests per shard, in admission
-  // order. Returns the number of requests executed.
+  // order. Shards execute concurrently on the global task pool (a shard's
+  // own batch stays sequential; shards never share a file, so cross-shard
+  // work is independent); completions are merged in shard order, so the
+  // completion stream is bit-identical to a sequential shard-by-shard poll
+  // for any pool size. Returns the number of requests executed.
   std::size_t Poll();
   // Polls until every queue is empty; returns total requests executed.
   std::size_t Drain();
@@ -161,7 +165,15 @@ class ServingPlane {
 
   Admission Offer(std::uint64_t session, std::uint64_t request,
                   net::ServingOp op, std::uint64_t file_id, Bytes payload);
-  void Execute(std::uint32_t shard, Pending p);
+  // One executed request: the completion record plus its deferred namespace
+  // effect. Execute mutates no plane state (only the shard's own cluster and
+  // the atomic obs counters), so Poll can run whole shards concurrently and
+  // apply the effects serially in shard order.
+  struct Executed {
+    ServingCompletion completion;
+    bool erase_file = false;  // committed delete, or failed-upload rollback
+  };
+  Executed Execute(std::uint32_t shard, Pending p);
   void CompleteImmediate(const Pending& p, net::ServingStatus status,
                          Bytes payload);
   std::uint32_t RetryHint(std::uint32_t shard) const;

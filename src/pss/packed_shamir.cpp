@@ -2,6 +2,7 @@
 
 #include "common/task_pool.h"
 #include "math/berlekamp_welch.h"
+#include "math/poly_engine.h"
 #include "math/weight_cache.h"
 
 namespace pisces::pss {
@@ -41,10 +42,27 @@ std::vector<std::vector<FpElem>> PackedShamir::ShareBlocks(
   for (std::size_t b = 0; b < blocks.size(); ++b) {
     us.push_back(math::Poly::Random(*ctx_, rng, d - params_.l));
   }
-  auto eval_rows =
-      math::CachedVandermondeRows(*ctx_, points_.alphas(), d + 1);
   std::vector<std::vector<FpElem>> out(
       blocks.size(), std::vector<FpElem>(params_.n, ctx_->Zero()));
+  if (params_.n >= math::PolyEvalCrossover()) {
+    // Very large n: one remainder-tree multipoint evaluation per block over
+    // the cached alpha domain, O(M(n) log n) instead of the O(n*d)
+    // Vandermonde dots. Same elements either way (exact arithmetic,
+    // canonical form); the high default crossover reflects that the dots
+    // measure faster through n = 1024 (see math/poly_engine.h).
+    auto domain = math::CachedSubproductTree(*ctx_, points_.alphas());
+    GlobalPool().ParallelFor(
+        0, blocks.size(),
+        [&](std::size_t b) {
+          math::Poly f = math::Poly::ConstrainedFrom(
+              *ctx_, us[b], d, points_.betas(), blocks[b]);
+          out[b] = domain->EvalAll(f.coeffs());
+        },
+        extra_cpu_ns);
+    return out;
+  }
+  auto eval_rows =
+      math::CachedVandermondeRows(*ctx_, points_.alphas(), d + 1);
   GlobalPool().ParallelFor(
       0, blocks.size(),
       [&](std::size_t b) {

@@ -315,5 +315,66 @@ TEST(Determinism, ServingBatchedRefreshBitIdenticalAcrossPoolSizesAndRestarts) {
   EXPECT_EQ(base, pool8);
 }
 
+TEST(Determinism, ServingPollBitIdenticalAcrossPoolSizes) {
+  // Poll() executes whole shards concurrently but merges completions in
+  // shard order, so the completion STREAM (everything but the physical
+  // latency clocks), the stats ledger, and the live-file namespace must be
+  // bit-identical across task-pool sizes -- including execution failures
+  // and the deferred delete erasure.
+  auto run = [](std::size_t pool_threads) {
+    SetGlobalPoolThreads(pool_threads);
+    ServingConfig cfg;
+    cfg.shards = 3;
+    cfg.params.n = 8;
+    cfg.params.t = 1;
+    cfg.params.l = 2;
+    cfg.params.r = 2;
+    cfg.params.field_bits = 256;
+    cfg.seed = 33;
+    cfg.max_inflight = 2;  // forces several polls per drain
+    ServingPlane plane(cfg);
+    const std::uint64_t session = plane.OpenSession();
+    Rng rng(123);
+    for (std::uint64_t id = 1; id <= 9; ++id) {
+      plane.Submit(session, net::ServingOp::kUpload, id, rng.RandomBytes(500));
+    }
+    for (std::uint64_t id = 1; id <= 9; ++id) {
+      plane.Submit(session, net::ServingOp::kDownload, id);
+    }
+    // Delete then download of the same id in one batch: the download is
+    // admitted (the id is still live at offer time), ordered behind the
+    // delete by the shard FIFO, and fails in execution -- covering the
+    // kFailed completion path and the deferred namespace erasure.
+    plane.Submit(session, net::ServingOp::kDelete, 4);
+    plane.Submit(session, net::ServingOp::kDownload, 4);
+    plane.Drain();
+    plane.Submit(session, net::ServingOp::kDownload, 4);  // refused: deleted
+    plane.Drain();
+
+    // Project out the physical clocks; everything else must be exact.
+    std::vector<std::tuple<std::uint64_t, std::uint64_t, net::ServingOp,
+                           std::uint64_t, net::ServingStatus, Bytes>>
+        stream;
+    for (const ServingCompletion& c : plane.TakeCompletions()) {
+      stream.emplace_back(c.session, c.request, c.op, c.file_id, c.status,
+                          c.payload);
+    }
+    const ServingStats& st = plane.stats();
+    std::vector<std::uint64_t> live;
+    for (const auto& [id, shard] : plane.files()) {
+      live.push_back(id);
+      live.push_back(shard);
+    }
+    return std::tuple{stream, st.accepted, st.completed, st.failed,
+                      st.refused, live};
+  };
+  auto base = run(1);
+  auto pool2 = run(2);
+  auto pool8 = run(8);
+  SetGlobalPoolThreads(1);
+  EXPECT_EQ(base, pool2);
+  EXPECT_EQ(base, pool8);
+}
+
 }  // namespace
 }  // namespace pisces
