@@ -62,7 +62,7 @@ int main() {
   std::printf("  mixed-period reconstruction attempt: %s\n",
               mixed ? "SUCCEEDED (bug!)" : "failed (as designed)");
   std::printf("  file still downloads for the legitimate user: %s\n\n",
-              cluster.Download(1) == secret_file ? "yes" : "no");
+              cluster.Download(pisces::ReadSpec::Classic(1)) == secret_file ? "yes" : "no");
 
   // --- Scenario B: threshold crossed within one period ---
   std::printf("Scenario B: corrupt d+1=%zu hosts in ONE period.\n",

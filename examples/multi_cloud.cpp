@@ -61,7 +61,7 @@ int main() {
   Bytes archive = rng.RandomBytes(8 * 1024);
   cluster.Upload(1, archive);
   WindowReport report = cluster.RunUpdateWindow();
-  Bytes back = cluster.Download(1);
+  Bytes back = cluster.Download(pisces::ReadSpec::Classic(1));
   std::printf("Multi-cloud cluster: window ok=%s, download intact=%s\n",
               report.ok ? "true" : "false",
               back == archive ? "true" : "false");

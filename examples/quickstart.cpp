@@ -58,7 +58,7 @@ int main() {
   }
 
   // Download: any d+1 = t+l+1 responsive hosts suffice.
-  Bytes back = cluster.Download(1);
+  Bytes back = cluster.Download(pisces::ReadSpec::Classic(1));
   std::printf("Downloaded %zu bytes; matches upload: %s\n", back.size(),
               back == document ? "YES" : "NO");
 

@@ -221,7 +221,7 @@ int main(int argc, char** argv) {
               recovered ? "yes" : "NO");
 
   // 4. Download and verify.
-  client.RequestFile(1);
+  client.BeginDownload(pisces::ReadSpec::Classic(1));
   Bytes back;
   bool got = pump_client(
       [&] {

@@ -1,0 +1,21 @@
+#include "common/status.h"
+
+namespace pisces {
+
+const char* StatusName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "Ok";
+    case StatusCode::kRejected: return "Rejected";
+    case StatusCode::kDuplicate: return "Duplicate";
+    case StatusCode::kNotFound: return "NotFound";
+    case StatusCode::kBadRoute: return "BadRoute";
+    case StatusCode::kBadSession: return "BadSession";
+    case StatusCode::kFailed: return "Failed";
+    case StatusCode::kTimeout: return "Timeout";
+    case StatusCode::kUnavailable: return "Unavailable";
+    case StatusCode::kBadFrame: return "BadFrame";
+  }
+  return "Unknown";
+}
+
+}  // namespace pisces

@@ -9,6 +9,7 @@
 #include "common/clock.h"
 #include "common/error.h"
 #include "common/socket_util.h"
+#include "net/net_obs.h"
 #include "obs/registry.h"
 #include "obs/trace.h"
 
@@ -103,6 +104,7 @@ void AsyncTcpEndpoint::Send(Message msg) {
   Bytes frame(4 + body.size());
   StoreLe32(static_cast<std::uint32_t>(body.size()), frame.data());
   std::copy(body.begin(), body.end(), frame.begin() + 4);
+  CountSend(msg.type, msg.WireSize());
 
   std::unique_lock<std::mutex> lk(mutex_);
   auto it = peers_.find(msg.to);
@@ -307,6 +309,7 @@ void AsyncTcpEndpoint::ParseInbound(Inbound& in) {
     p.stats.frames_received++;
     p.stats.bytes_received += 4u + len;
     Counters().frames_received.Add();
+    CountReceive(m.type, m.WireSize());
     recv_queue_bytes_ += m.WireSize();
     recv_queue_.push_back(std::move(m));
     recv_cv_.notify_one();

@@ -1,0 +1,57 @@
+#include "net/net_obs.h"
+
+#include <array>
+
+namespace pisces::net {
+
+namespace {
+
+constexpr std::size_t kTypes = static_cast<std::size_t>(kMaxMsgType) + 1;
+
+std::array<obs::Counter*, kTypes> BuildTable(const char* direction) {
+  std::array<obs::Counter*, kTypes> table{};
+  for (std::size_t i = 0; i < kTypes; ++i) {
+    const MsgType t = static_cast<MsgType>(i);
+    table[i] = &obs::RegisterCounter(
+        std::string("net.") + direction + "." + MsgTypeName(t),
+        std::string("wire bytes (header + payload) of ") + MsgTypeName(t) +
+            " messages, " + direction + " direction");
+  }
+  return table;
+}
+
+}  // namespace
+
+obs::Counter& BytesSentTotal() {
+  static obs::Counter& c = obs::RegisterCounter(
+      "net.bytes_sent", "wire bytes sent across all transports");
+  return c;
+}
+
+obs::Counter& BytesReceivedTotal() {
+  static obs::Counter& c = obs::RegisterCounter(
+      "net.bytes_received", "wire bytes received across all transports");
+  return c;
+}
+
+obs::Counter& BytesSentCounter(MsgType type) {
+  static std::array<obs::Counter*, kTypes> table = BuildTable("bytes_sent");
+  return *table[static_cast<std::size_t>(type)];
+}
+
+obs::Counter& BytesReceivedCounter(MsgType type) {
+  static std::array<obs::Counter*, kTypes> table = BuildTable("bytes_received");
+  return *table[static_cast<std::size_t>(type)];
+}
+
+void CountSend(MsgType type, std::size_t wire) {
+  BytesSentTotal().Add(wire);
+  BytesSentCounter(type).Add(wire);
+}
+
+void CountReceive(MsgType type, std::size_t wire) {
+  BytesReceivedTotal().Add(wire);
+  BytesReceivedCounter(type).Add(wire);
+}
+
+}  // namespace pisces::net

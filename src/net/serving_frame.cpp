@@ -15,19 +15,6 @@ const char* ServingOpName(ServingOp op) {
   return "Unknown";
 }
 
-const char* ServingStatusName(ServingStatus st) {
-  switch (st) {
-    case ServingStatus::kOk: return "Ok";
-    case ServingStatus::kRejected: return "Rejected";
-    case ServingStatus::kDuplicate: return "Duplicate";
-    case ServingStatus::kNotFound: return "NotFound";
-    case ServingStatus::kBadRoute: return "BadRoute";
-    case ServingStatus::kBadSession: return "BadSession";
-    case ServingStatus::kFailed: return "Failed";
-  }
-  return "Unknown";
-}
-
 Bytes ServingRequestFrame::Serialize() const {
   Require(payload.size() <= kMaxServingPayload,
           "ServingRequestFrame: payload exceeds wire cap");
@@ -77,6 +64,10 @@ std::string ServingRequestFrame::Describe() const {
 Bytes ServingResponseFrame::Serialize() const {
   Require(payload.size() <= kMaxServingPayload,
           "ServingResponseFrame: payload exceeds wire cap");
+  // Local-only StatusCode values (kTimeout, ...) have no wire meaning; a
+  // frame carrying one is a programming error, not a protocol extension.
+  Require(static_cast<std::uint8_t>(status) <= kMaxServingStatus,
+          "ServingResponseFrame: status is not a wire status");
   ByteWriter w;
   w.U64(session);
   w.U64(request);
@@ -110,7 +101,7 @@ ServingResponseFrame ServingResponseFrame::Deserialize(
 
 std::string ServingResponseFrame::Describe() const {
   std::ostringstream out;
-  out << "serving " << ServingStatusName(status) << " session=" << session
+  out << "serving " << StatusName(status) << " session=" << session
       << " req=" << request << " retry_after=" << retry_after_ms << "ms"
       << " payload=" << payload.size() << "B";
   return out.str();

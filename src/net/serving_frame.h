@@ -19,6 +19,7 @@
 #include <string>
 
 #include "common/bytes.h"
+#include "common/status.h"
 #include "net/message.h"
 
 namespace pisces::net {
@@ -34,21 +35,15 @@ enum class ServingOp : std::uint8_t {
 inline constexpr std::uint8_t kMaxServingOp =
     static_cast<std::uint8_t>(ServingOp::kCloseSession);
 
-// Outcome of a serving request.
-enum class ServingStatus : std::uint8_t {
-  kOk = 0,
-  kRejected,    // admission control: queue full; see retry_after_ms
-  kDuplicate,   // upload of a file id that already exists
-  kNotFound,    // download/delete of an unknown file id
-  kBadRoute,    // shard header disagrees with the deterministic router
-  kBadSession,  // request on a closed (or never-opened) session
-  kFailed,      // backend protocol failure (quorum loss, integrity reject)
-};
-inline constexpr std::uint8_t kMaxServingStatus =
-    static_cast<std::uint8_t>(ServingStatus::kFailed);
+// Outcome of a serving request: the unified status vocabulary of
+// common/status.h. Only codes up through kFailed are legal on the wire --
+// exactly the byte values the pre-unification ServingStatus enum carried, so
+// golden vectors and fuzzer reject paths are unchanged. Names come from
+// pisces::StatusName.
+using ServingStatus = ::pisces::StatusCode;
+inline constexpr std::uint8_t kMaxServingStatus = ::pisces::kMaxWireStatus;
 
 const char* ServingOpName(ServingOp op);
-const char* ServingStatusName(ServingStatus st);
 
 // Upper bound on the file payload carried inside one serving frame. The
 // frame itself must fit a net::Message payload, so the cap leaves headroom

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "net/net_obs.h"
 #include "obs/trace.h"
 
 namespace pisces::net {
@@ -112,6 +113,7 @@ void SimNet::Enqueue(Mailbox& src, Mailbox& dst, Message msg,
                      double reorder_prob) {
   dst.stats.msgs_received += 1;
   dst.stats.bytes_received += msg.WireSize();
+  CountReceive(msg.type, msg.WireSize());
   if (tap_) tap_(msg);
   if (reorder_prob > 0 && !dst.queue.empty() && Chance(reorder_prob)) {
     src.stats.msgs_reordered += 1;
@@ -134,6 +136,7 @@ void SimNet::Deliver(Message msg) {
   src.stats.bytes_sent += wire;
   total_bytes_ += wire;
   total_msgs_ += 1;
+  CountSend(msg.type, wire);
   obs::NetEvent("send", msg.from, msg.to, wire);
 
   // Crash-at-Nth-message: the host dies while sending; this message and

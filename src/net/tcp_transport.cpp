@@ -1,5 +1,6 @@
 #include "net/tcp_transport.h"
 
+#include "net/net_obs.h"
 #include "obs/trace.h"
 
 #include <arpa/inet.h>
@@ -90,6 +91,7 @@ void TcpEndpoint::ReadLoop(int fd) {
     if (!ReadFull(fd, frame.data(), len)) break;
     try {
       Message m = Message::Deserialize(frame);
+      CountReceive(m.type, m.WireSize());
       {
         std::lock_guard<std::mutex> lock(queue_mutex_);
         queue_.push_back(std::move(m));
@@ -143,6 +145,7 @@ int TcpEndpoint::ConnectTo(std::uint32_t peer_id) {
 
 void TcpEndpoint::Send(Message msg) {
   Require(msg.from == id_, "TcpEndpoint::Send: from must match endpoint id");
+  CountSend(msg.type, msg.WireSize());
   obs::NetEvent("send", msg.from, msg.to, msg.WireSize());
   Bytes body = msg.Serialize();
   Bytes frame(4 + body.size());

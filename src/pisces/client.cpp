@@ -29,6 +29,13 @@ obs::Counter& ClientSharesCorrected() {
       "share values overridden by robust decoding during downloads");
   return c;
 }
+obs::Counter& StaircaseInfeasible() {
+  static obs::Counter& c = obs::RegisterCounter(
+      "comm.staircase_infeasible",
+      "staircase reads degraded to full-share because the contact budget "
+      "cannot cover degree+1 senders per block");
+  return c;
+}
 
 }  // namespace
 
@@ -175,40 +182,90 @@ void Client::FinishUpload(std::uint64_t file_id) {
   }
 }
 
-void Client::RequestFile(std::uint64_t file_id) {
-  downloads_[file_id] = PendingDownload{};
-  for (std::size_t i = 0; i < cfg_.params.n; ++i) {
-    Message m;
-    m.from = cfg_.id;
-    m.to = static_cast<std::uint32_t>(i);
-    m.type = MsgType::kReconstructRequest;
-    m.file_id = file_id;
-    metrics_.msgs_sent += 1;
-    metrics_.bytes_sent += m.WireSize();
-    transport_.Send(std::move(m));
+void Client::SendReconstructRequest(std::uint64_t file_id, std::uint32_t host,
+                                    const PendingDownload& dl) {
+  Message m;
+  m.from = cfg_.id;
+  m.to = host;
+  m.type = MsgType::kReconstructRequest;
+  m.file_id = file_id;
+  if (!dl.contacted.empty()) {
+    // Staircase read descriptor: the host only needs its own window of the
+    // rotation to compute its stripe. Classic requests keep the empty
+    // payload, byte-identical to the pre-ReadSpec protocol.
+    std::uint32_t index = 0;
+    for (; index < dl.contacted.size(); ++index) {
+      if (dl.contacted[index] == host) break;
+    }
+    Invariant(index < dl.contacted.size(),
+              "Client: staircase request to a host outside the contact set");
+    ByteWriter w;
+    w.U32(index);
+    w.U32(static_cast<std::uint32_t>(dl.contacted.size()));
+    w.U32(static_cast<std::uint32_t>(cfg_.params.degree() + 1));
+    m.payload = w.Take();
+  }
+  metrics_.msgs_sent += 1;
+  metrics_.bytes_sent += m.WireSize();
+  transport_.Send(std::move(m));
+}
+
+void Client::BeginDownload(const ReadSpec& spec) {
+  PendingDownload dl;
+  dl.policy = spec.policy;
+  if (spec.policy.path == ReadPath::kStaircase) {
+    const std::size_t d =
+        pss::ResolveContacts(cfg_.params, spec.policy.contacts);
+    if (d == 0) {
+      if (spec.policy.fallback == ReadFallback::kFail) {
+        throw InvalidArgument(
+            "Client::BeginDownload: staircase contact budget infeasible");
+      }
+      StaircaseInfeasible().Add(1);
+      dl.policy.path = ReadPath::kFullShare;
+    } else {
+      dl.contacted.reserve(d);
+      for (std::size_t i = 0; i < d; ++i) {
+        dl.contacted.push_back(static_cast<std::uint32_t>(i));
+      }
+    }
+  }
+  auto [it, _] =
+      downloads_.insert_or_assign(spec.file_id, std::move(dl));
+  if (it->second.contacted.empty()) {
+    for (std::size_t i = 0; i < cfg_.params.n; ++i) {
+      SendReconstructRequest(spec.file_id, static_cast<std::uint32_t>(i),
+                             it->second);
+    }
+  } else {
+    for (std::uint32_t host : it->second.contacted) {
+      SendReconstructRequest(spec.file_id, host, it->second);
+    }
   }
 }
 
-std::size_t Client::RetryDownload(std::uint64_t file_id) {
-  auto it = downloads_.find(file_id);
+std::size_t Client::RetryDownload(const ReadSpec& spec) {
+  auto it = downloads_.find(spec.file_id);
   if (it == downloads_.end()) {
-    RequestFile(file_id);
+    BeginDownload(spec);
     ++retries_;
     return cfg_.params.n;
   }
+  const PendingDownload& dl = it->second;
   std::size_t asked = 0;
-  for (std::size_t i = 0; i < cfg_.params.n; ++i) {
-    const std::uint32_t host = static_cast<std::uint32_t>(i);
-    if (it->second.responses.count(host) != 0) continue;
-    Message m;
-    m.from = cfg_.id;
-    m.to = host;
-    m.type = MsgType::kReconstructRequest;
-    m.file_id = file_id;
-    metrics_.msgs_sent += 1;
-    metrics_.bytes_sent += m.WireSize();
-    transport_.Send(std::move(m));
-    ++asked;
+  if (dl.contacted.empty()) {
+    for (std::size_t i = 0; i < cfg_.params.n; ++i) {
+      const std::uint32_t host = static_cast<std::uint32_t>(i);
+      if (dl.responses.count(host) != 0) continue;
+      SendReconstructRequest(spec.file_id, host, dl);
+      ++asked;
+    }
+  } else {
+    for (std::uint32_t host : dl.contacted) {
+      if (dl.responses.count(host) != 0) continue;
+      SendReconstructRequest(spec.file_id, host, dl);
+      ++asked;
+    }
   }
   if (asked > 0) ++retries_;
   return asked;
@@ -222,6 +279,9 @@ std::size_t Client::ResponsesFor(std::uint64_t file_id) const {
 std::optional<Bytes> Client::TryAssemble(std::uint64_t file_id) {
   auto it = downloads_.find(file_id);
   if (it == downloads_.end()) return std::nullopt;
+  if (!it->second.contacted.empty()) {
+    return AssembleStaircase(file_id, it->second);
+  }
   const auto& responses = it->second.responses;
   const std::size_t need = cfg_.params.degree() + 1;
   if (responses.size() < need) return std::nullopt;
@@ -232,7 +292,7 @@ std::optional<Bytes> Client::TryAssemble(std::uint64_t file_id) {
   // minority cannot win).
   std::map<Bytes, std::size_t> meta_votes;
   for (const auto& [host, resp] : responses) {
-    meta_votes[resp.first.Serialize()] += 1;
+    meta_votes[resp.meta.Serialize()] += 1;
   }
   const Bytes* best = nullptr;
   std::size_t best_votes = 0;
@@ -245,12 +305,15 @@ std::optional<Bytes> Client::TryAssemble(std::uint64_t file_id) {
   FileMeta meta = FileMeta::Deserialize(*best);
 
   // First d+1 hosts (ascending ids) whose response matches the block count.
+  // Striped rows (stale responses from an abandoned staircase attempt on the
+  // same file id) are never full share vectors, so the length filter also
+  // keeps them out of the oracle path.
   std::vector<std::uint32_t> parties;
   std::vector<const std::vector<FpElem>*> rows;
   for (const auto& [host, resp] : responses) {
-    if (resp.second.size() != meta.num_blocks) continue;
+    if (resp.striped || resp.elems.size() != meta.num_blocks) continue;
     parties.push_back(host);
-    rows.push_back(&resp.second);
+    rows.push_back(&resp.elems);
     if (parties.size() == need) break;
   }
   if (parties.size() < need) return std::nullopt;
@@ -287,6 +350,56 @@ std::optional<Bytes> Client::TryAssemble(std::uint64_t file_id) {
   return out;
 }
 
+std::optional<Bytes> Client::AssembleStaircase(std::uint64_t file_id,
+                                               PendingDownload& dl) {
+  // Striping has no redundancy inside one read: every contact's stripe is
+  // load-bearing, so assembly waits for the FULL contact set. Whether to
+  // keep pumping, re-ask, or fall back is the caller's policy decision.
+  const pss::StripeLayout layout(dl.contacted.size(),
+                                 cfg_.params.degree() + 1);
+  std::vector<const ShareResponse*> by_contact(dl.contacted.size(), nullptr);
+  for (std::size_t j = 0; j < dl.contacted.size(); ++j) {
+    auto rit = dl.responses.find(dl.contacted[j]);
+    if (rit == dl.responses.end() || !rit->second.striped) return std::nullopt;
+    by_contact[j] = &rit->second;
+  }
+
+  ComputeSection section(metrics_, obs::SpanKind::kClientReconstruct, file_id);
+  std::map<Bytes, std::size_t> meta_votes;
+  for (const ShareResponse* resp : by_contact) {
+    meta_votes[resp->meta.Serialize()] += 1;
+  }
+  const Bytes* best = nullptr;
+  std::size_t best_votes = 0;
+  for (const auto& [blob, votes] : meta_votes) {
+    if (votes > best_votes) {
+      best = &blob;
+      best_votes = votes;
+    }
+  }
+  FileMeta meta = FileMeta::Deserialize(*best);
+
+  std::vector<std::vector<FpElem>> rows(dl.contacted.size());
+  for (std::size_t j = 0; j < dl.contacted.size(); ++j) {
+    if (by_contact[j]->elems.size() != layout.CountFor(j, meta.num_blocks)) {
+      // Wrong stripe length (host disagreed about the file's block count or
+      // sent garbage): drop the response so a retry re-asks that host.
+      dl.responses.erase(dl.contacted[j]);
+      return std::nullopt;
+    }
+    rows[j] = by_contact[j]->elems;
+  }
+
+  std::vector<FpElem> elems = pss::StripedReconstruct(
+      *shamir_, layout, dl.contacted, rows, meta.num_blocks, section.extra());
+  // No robust fallback on this path: a stripe carries exactly degree+1
+  // points per block, so a corrupted contribution surfaces as a codec
+  // integrity failure (ParseError) and the caller falls back per policy.
+  Bytes out = codec_.Decode(meta, elems, section.extra());
+  downloads_.erase(file_id);
+  return out;
+}
+
 Bytes Client::AssembleRobust(const FileMeta& meta, std::uint64_t* extra_cpu_ns) {
   auto it = downloads_.find(meta.file_id);
   Invariant(it != downloads_.end(), "AssembleRobust: no pending download");
@@ -294,9 +407,9 @@ Bytes Client::AssembleRobust(const FileMeta& meta, std::uint64_t* extra_cpu_ns) 
   std::vector<std::uint32_t> parties;
   std::vector<const std::vector<FpElem>*> rows;
   for (const auto& [host, resp] : it->second.responses) {
-    if (resp.second.size() != meta.num_blocks) continue;
+    if (resp.striped || resp.elems.size() != meta.num_blocks) continue;
     parties.push_back(host);
-    rows.push_back(&resp.second);
+    rows.push_back(&resp.elems);
   }
   std::vector<FpElem> elems(meta.num_blocks * cfg_.params.l, cfg_.ctx->Zero());
   // Berlekamp-Welch decoding is the expensive path; each block decodes
@@ -363,11 +476,11 @@ void Client::HandleMessage(const Message& msg) {
         if (it == downloads_.end()) return;  // stale response
         Bytes pt = OpenFrom(msg.from, msg.payload);
         ByteReader r(pt);
-        FileMeta meta = FileMeta::Deserialize(r.Blob());
-        std::vector<FpElem> shares =
-            field::DeserializeElems(*cfg_.ctx, r.Raw(r.Remaining()));
-        it->second.responses.emplace(msg.from,
-                                     std::make_pair(meta, std::move(shares)));
+        ShareResponse resp;
+        resp.meta = FileMeta::Deserialize(r.Blob());
+        resp.elems = field::DeserializeElems(*cfg_.ctx, r.Raw(r.Remaining()));
+        resp.striped = msg.row == 1;  // row 0 = full share vector
+        it->second.responses.insert_or_assign(msg.from, std::move(resp));
         return;
       }
       default:

@@ -19,6 +19,8 @@
 #include "net/sync_network.h"
 #include "pisces/file_codec.h"
 #include "pisces/metrics.h"
+#include "pisces/read_spec.h"
+#include "pss/comm_efficient.h"
 #include "pss/packed_shamir.h"
 
 namespace pisces {
@@ -55,16 +57,22 @@ class Client : public net::MessageHandler {
   // Drops the cached upload payloads once the caller is done retrying.
   void FinishUpload(std::uint64_t file_id);
 
-  // Requests shares of a file from every host. Caller pumps, then calls
-  // TryAssemble.
-  void RequestFile(std::uint64_t file_id);
+  // Starts the download described by `spec` (pisces/read_spec.h). On the
+  // full-share path this asks every host for its whole share vector; on the
+  // staircase path it contacts spec.policy.contacts hosts (0 = all n) and
+  // each ships only its assigned stripe. An infeasible staircase budget
+  // degrades to the full-share path when the spec's fallback allows it and
+  // throws InvalidArgument otherwise. Caller pumps, then calls TryAssemble.
+  void BeginDownload(const ReadSpec& spec);
   // Re-requests only from hosts whose response is still missing, keeping the
   // responses already received. Returns the number of hosts re-asked.
-  std::size_t RetryDownload(std::uint64_t file_id);
+  std::size_t RetryDownload(const ReadSpec& spec);
   std::size_t ResponsesFor(std::uint64_t file_id) const;
-  // Reconstructs and decodes; nullopt when fewer than d+1 usable responses
-  // arrived. Throws ParseError if reconstruction succeeds but integrity
-  // checks fail (inconsistent shares above threshold).
+  // Reconstructs and decodes; nullopt when the active path is still missing
+  // responses. Throws ParseError if reconstruction succeeds but integrity
+  // checks fail (classic path: inconsistent shares above threshold;
+  // staircase path: any corrupted stripe -- the caller decides whether to
+  // fall back to the full-share oracle).
   std::optional<Bytes> TryAssemble(std::uint64_t file_id);
 
   void RequestDelete(std::uint64_t file_id);
@@ -109,11 +117,24 @@ class Client : public net::MessageHandler {
     std::vector<Bytes> payloads;  // [host] serialized meta + shares
   };
   std::map<std::uint64_t, PendingUpload> uploads_;
+  struct ShareResponse {
+    FileMeta meta;
+    std::vector<field::FpElem> elems;
+    bool striped = false;  // stripe (row=1) vs full share vector (row=0)
+  };
   struct PendingDownload {
-    std::map<std::uint32_t, std::pair<FileMeta, std::vector<field::FpElem>>>
-        responses;
+    ReadPolicy policy;  // resolved policy this download runs under
+    // Staircase only: contacted host ids in contact-index order. Empty on
+    // the full-share path (which asks all n hosts).
+    std::vector<std::uint32_t> contacted;
+    std::map<std::uint32_t, ShareResponse> responses;
   };
   std::map<std::uint64_t, PendingDownload> downloads_;
+
+  void SendReconstructRequest(std::uint64_t file_id, std::uint32_t host,
+                              const PendingDownload& dl);
+  std::optional<Bytes> AssembleStaircase(std::uint64_t file_id,
+                                         PendingDownload& dl);
 
   PhaseMetrics metrics_;
   std::uint64_t retries_ = 0;

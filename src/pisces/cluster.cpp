@@ -1,8 +1,21 @@
 #include "pisces/cluster.h"
 
+#include "common/log.h"
 #include "common/task_pool.h"
+#include "obs/registry.h"
 
 namespace pisces {
+
+namespace {
+
+obs::Counter& StaircaseFallbacks() {
+  static obs::Counter& c = obs::RegisterCounter(
+      "comm.staircase_fallbacks",
+      "staircase reads that fell back to the classic full-share path");
+  return c;
+}
+
+}  // namespace
 
 Cluster::Cluster(ClusterConfig cfg) : cfg_(std::move(cfg)) {
   cfg_.params.Validate();
@@ -25,6 +38,7 @@ Cluster::Cluster(ClusterConfig cfg) : cfg_(std::move(cfg)) {
   hc.encrypt_links = cfg_.encrypt_links;
   hc.schedule = cfg_.schedule;
   hc.seed = cfg_.seed;
+  hc.repair = cfg_.repair;
   hypervisor_ = std::make_unique<Hypervisor>(hc, *net_, *sync_,
                                              crypto::SchnorrGroup::Default());
 
@@ -81,16 +95,39 @@ FileMeta Cluster::Upload(std::uint64_t file_id,
   return meta;
 }
 
-Bytes Cluster::Download(std::uint64_t file_id) {
-  client_->RequestFile(file_id);
+std::optional<Bytes> Cluster::DownloadAttempt(const ReadSpec& spec) {
+  client_->BeginDownload(spec);
   sync_->RunToQuiescence();
-  auto data = client_->TryAssemble(file_id);
+  auto data = client_->TryAssemble(spec.file_id);
   const std::size_t max_attempts = cfg_.params.t + 2;
   for (std::size_t a = 0; a < max_attempts && !data.has_value(); ++a) {
-    client_->RetryDownload(file_id);
+    client_->RetryDownload(spec);
     sync_->RunToQuiescence();
-    data = client_->TryAssemble(file_id);
+    data = client_->TryAssemble(spec.file_id);
   }
+  return data;
+}
+
+Bytes Cluster::Download(const ReadSpec& spec) {
+  if (spec.policy.path == ReadPath::kStaircase) {
+    try {
+      if (auto data = DownloadAttempt(spec)) return std::move(*data);
+    } catch (const ParseError& e) {
+      // A stripe has no redundancy: any corrupted contribution surfaces as
+      // a codec integrity failure here rather than a robust decode.
+      LogWarn() << "Cluster: staircase reconstruct failed integrity ("
+                << e.what() << ")";
+    }
+    Require(spec.policy.fallback == ReadFallback::kClassic,
+            "Cluster::Download: staircase read failed (fallback disabled)");
+    StaircaseFallbacks().Add(1);
+    ReadSpec classic = ReadSpec::Classic(spec.file_id);
+    classic.ordinal = spec.ordinal;
+    auto data = DownloadAttempt(classic);
+    Require(data.has_value(), "Cluster::Download: not enough responses");
+    return std::move(*data);
+  }
+  auto data = DownloadAttempt(spec);
   Require(data.has_value(), "Cluster::Download: not enough responses");
   return std::move(*data);
 }

@@ -11,7 +11,7 @@
 //   pisces::Cluster cluster(cfg);
 //   cluster.Upload(1, file_bytes);
 //   cluster.RunUpdateWindow();             // refresh + reboot everyone
-//   pisces::Bytes back = cluster.Download(1);
+//   pisces::Bytes back = cluster.Download(pisces::ReadSpec::Classic(1));
 #pragma once
 
 #include <memory>
@@ -34,6 +34,9 @@ struct ClusterConfig {
   InstanceType instance = InstanceType::kMedium;
   double build_machine_ecu = 25.0;
   std::optional<Deployment> deployment;  // defaults to single-cloud
+  // Repair read policy forwarded to the hypervisor (reduced masked-share
+  // stripes when kStaircase; see HypervisorConfig::repair).
+  ReadPolicy repair;
 };
 
 class Cluster {
@@ -47,8 +50,12 @@ class Cluster {
   // --- user operations (each pumps the network to completion) ---
   // Uploads and waits for all n acks; throws Error if any host missed it.
   FileMeta Upload(std::uint64_t file_id, std::span<const std::uint8_t> data);
-  // Downloads and reassembles; throws Error when unavailable.
-  Bytes Download(std::uint64_t file_id);
+  // Downloads and reassembles under the spec's read policy; throws Error
+  // when unavailable (or when a staircase read fails and the spec forbids
+  // falling back to the full-share path). All call sites name their policy:
+  // ReadSpec::Classic(id) is the oracle path, ReadSpec::Staircase(id, d)
+  // the communication-efficient one (docs/bandwidth.md).
+  Bytes Download(const ReadSpec& spec);
   void Delete(std::uint64_t file_id);
 
   // --- proactive operations ---
@@ -80,6 +87,10 @@ class Cluster {
   void ResetMetrics();
 
  private:
+  // One begin-pump-retry cycle under `spec`'s path; nullopt when responses
+  // never sufficed, ParseError when reconstruction failed integrity.
+  std::optional<Bytes> DownloadAttempt(const ReadSpec& spec);
+
   ClusterConfig cfg_;
   std::shared_ptr<const field::FpCtx> ctx_;
   Deployment deployment_;

@@ -45,4 +45,44 @@ double CostModel::WindowCost(std::size_t n, double seconds, bool spot) const {
   return cost;
 }
 
+double CostModel::ReconstructBytes(std::size_t n, std::size_t need,
+                                   std::size_t contacts, double share_bytes,
+                                   bool staircase,
+                                   double per_contact_overhead) {
+  if (!staircase) {
+    return static_cast<double>(n) * (share_bytes + per_contact_overhead);
+  }
+  // Striped: each of the `contacts` hosts ships a need/contacts fraction of
+  // its vector, so the share payload totals exactly `need` vectors' worth.
+  return static_cast<double>(need) * share_bytes +
+         static_cast<double>(contacts) * per_contact_overhead;
+}
+
+ReadPlanChoice CostModel::PlanRead(std::size_t n, std::size_t need,
+                                   double share_bytes,
+                                   double per_contact_overhead) const {
+  ReadPlanChoice best;
+  best.staircase = false;
+  best.share_bytes =
+      ReconstructBytes(n, need, n, share_bytes, false, per_contact_overhead);
+  best.dollars_per_read = EgressCost(best.share_bytes);
+  // Feasible staircase budgets run from the degenerate d = need (every
+  // contact ships everything it is asked for, minimal overhead) up to d = n
+  // (widest stripe, most parallelism). Egress for the share payload is flat
+  // in d; only the request overhead grows, so scanning widest-first makes
+  // ties resolve toward parallelism.
+  for (std::size_t d = n; d >= need && d > 0; --d) {
+    const double bytes =
+        ReconstructBytes(n, need, d, share_bytes, true, per_contact_overhead);
+    const double dollars = EgressCost(bytes);
+    if (dollars < best.dollars_per_read) {
+      best.staircase = true;
+      best.contacts = d;
+      best.share_bytes = bytes;
+      best.dollars_per_read = dollars;
+    }
+  }
+  return best;
+}
+
 }  // namespace pisces

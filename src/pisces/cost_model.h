@@ -49,8 +49,23 @@ struct MachineModel {
   double InstanceSeconds(double cpu_seconds, std::uint32_t threads) const;
 };
 
+// A priced read plan: which download codepoint the planner picked for a
+// deployment and what one reconstruct costs in egress dollars under it.
+// Produced by CostModel::PlanRead for the deployment planner's
+// dollars-vs-download-bandwidth trade (docs/bandwidth.md).
+struct ReadPlanChoice {
+  bool staircase = false;      // false = classic full-share read
+  std::size_t contacts = 0;    // d for the staircase path (0 on classic)
+  double share_bytes = 0.0;    // share evaluations billed per reconstruct
+  double dollars_per_read = 0.0;
+};
+
 struct CostModel {
   MachineModel machine;
+  // Egress is billed per GB leaving the provider; EC2-era internet-out price
+  // ~$0.09/GB. Download bandwidth is the one cost that scales with every
+  // read, which is what the staircase read path trades against.
+  double egress_per_gb = 0.09;
 
   // Dollars to keep n instances busy for `seconds` (no flat fee).
   double ComputeCost(std::size_t n, double seconds, bool spot) const;
@@ -59,6 +74,23 @@ struct CostModel {
   double WindowCost(std::size_t n, double seconds, bool spot) const;
   // Storage is billed per GB-month; EBS-era price ~$0.10/GB-month.
   double StorageCostPerMonth(double gigabytes) const { return 0.10 * gigabytes; }
+  // Dollars for `bytes` of egress.
+  double EgressCost(double bytes) const {
+    return egress_per_gb * bytes / (1024.0 * 1024.0 * 1024.0);
+  }
+  // Share bytes one reconstruct of a `share_bytes`-per-host file downloads:
+  // the classic path bills all n full share vectors; a staircase read at d
+  // contacts bills exactly `need` vectors' worth regardless of d, plus
+  // per-contact request overhead.
+  static double ReconstructBytes(std::size_t n, std::size_t need,
+                                 std::size_t contacts, double share_bytes,
+                                 bool staircase,
+                                 double per_contact_overhead = 0.0);
+  // Picks the cheapest feasible read plan for a group of n hosts needing
+  // `need` = degree+1 evaluations per block. Ties prefer wider contact sets
+  // (more parallelism at equal dollars).
+  ReadPlanChoice PlanRead(std::size_t n, std::size_t need, double share_bytes,
+                          double per_contact_overhead = 0.0) const;
 };
 
 }  // namespace pisces

@@ -107,7 +107,7 @@ ExperimentResult RunRefreshExperiment(const ExperimentConfig& cfg) {
 
   // End-to-end validation: the refreshed, recovered file must still download
   // bit-exactly.
-  Bytes back = cluster.Download(1);
+  Bytes back = cluster.Download(ReadSpec::Classic(1));
   r.ok = report.ok && back == file;
 
   r.deals_excluded = report.deals_excluded;

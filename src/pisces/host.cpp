@@ -7,6 +7,7 @@
 #include "math/berlekamp_welch.h"
 #include "obs/registry.h"
 #include "pisces/byzantine.h"
+#include "pss/comm_efficient.h"
 
 namespace pisces {
 
@@ -280,6 +281,26 @@ void Host::OnReconstructRequest(const Message& msg) {
     SendMetered(std::move(nak), metrics_.serve);
     return;
   }
+  // Empty payload = classic full-share read (wire bytes unchanged).
+  // Non-empty = staircase descriptor {contact index, contacts, need}: serve
+  // only the blocks this host's contact index covers (docs/bandwidth.md).
+  bool striped = false;
+  std::vector<std::size_t> assigned;
+  if (!msg.payload.empty()) {
+    ByteReader r(msg.payload);
+    const std::uint32_t index = r.U32();
+    const std::uint32_t contacts = r.U32();
+    const std::uint32_t need = r.U32();
+    Require(r.AtEnd(), "ReconstructRequest: trailing bytes");
+    Require(need == cfg_.params.degree() + 1,
+            "ReconstructRequest: need must be degree+1");
+    Require(contacts <= cfg_.params.n && index < contacts,
+            "ReconstructRequest: bad contact window");
+    const pss::StripeLayout layout(contacts, need);
+    assigned = layout.BlocksFor(index, store_.MetaOf(msg.file_id).num_blocks);
+    striped = true;
+  }
+
   Bytes sealed;
   {
     ComputeSection section(metrics_.serve, obs::SpanKind::kServe, cfg_.id,
@@ -288,16 +309,20 @@ void Host::OnReconstructRequest(const Message& msg) {
     std::vector<FpElem>& shares = store_.Load(msg.file_id);
     ByteWriter w;
     w.Blob(meta.Serialize());
+    std::vector<FpElem> served;
+    if (striped) {
+      served.reserve(assigned.size());
+      for (std::size_t b : assigned) served.push_back(shares[b]);
+    } else {
+      served = shares;
+    }
     if (byz_ != nullptr) {
       // Wrong-share attack on client reconstruction: lie on the wire while
       // the stored shares stay honest (the mobile adversary corrupts and
       // leaves; it does not get to rot the store beyond the decode radius).
-      std::vector<FpElem> served = shares;
       byz_->TamperShares(served);
-      w.Raw(field::SerializeElems(*cfg_.ctx, served));
-    } else {
-      w.Raw(field::SerializeElems(*cfg_.ctx, shares));
     }
+    w.Raw(field::SerializeElems(*cfg_.ctx, served));
     sealed = SealFor(msg.from, w.bytes());
     store_.Stash(msg.file_id);
   }
@@ -308,6 +333,7 @@ void Host::OnReconstructRequest(const Message& msg) {
   resp.type = MsgType::kShareResponse;
   resp.file_id = msg.file_id;
   resp.epoch = epoch_;
+  resp.row = striped ? 1 : 0;  // stripe vs full share vector
   resp.payload = std::move(sealed);
   SendMetered(std::move(resp), metrics_.serve);
 }
@@ -671,12 +697,30 @@ void Host::OnStartRecovery(const Message& msg) {
     plan = pss::RecoveryPlan::For(meta.num_blocks, cfg_.params, targets);
   }
 
+  // Optional trailing repair-mode section (after the survivor list): mode
+  // byte 1 = reduced masking with a per-block point budget, so survivors
+  // stripe their masked vectors instead of each shipping all blocks.
+  // Absent (legacy / retry format) means full masked vectors.
+  std::size_t mask_budget = 0;
+  if (r.Remaining() >= 5) {
+    const std::uint8_t mode = r.U8();
+    const std::uint32_t budget = r.U32();
+    Require(mode <= 1, "StartRecovery: unknown repair mode");
+    if (mode == 1) {
+      Require(budget >= cfg_.params.degree() + 1 &&
+                  budget <= plan.survivors.size(),
+              "StartRecovery: repair budget out of range");
+      if (budget < plan.survivors.size()) mask_budget = budget;
+    }
+  }
+
   const bool i_am_target =
       std::find(targets.begin(), targets.end(), cfg_.id) != targets.end();
   if (i_am_target) {
     TargetSession s;
     s.meta = meta;
     s.plan = plan;
+    s.mask_budget = mask_budget;
     target_[{meta.file_id, msg.epoch}] = std::move(s);
     ReplayPending();
     return;
@@ -699,6 +743,7 @@ void Host::OnStartRecovery(const Message& msg) {
                              cfg_.id, target);
       s.plan = plan;
       s.target = target;
+      s.mask_budget = mask_budget;
       s.batch.emplace(pss::MakeRecoveryBatch(*shamir_, plan, target));
       s.deals_by_dealer.resize(plan.survivors.size());
       s.deal_seen.assign(plan.survivors.size(), false);
@@ -828,11 +873,29 @@ void Host::MaybeSendMaskedShares(SurvivorKey key, SurvivorSession& s) {
                            cfg_.id, target);
     std::vector<FpElem>& shares = store_.Load(file_id);
     const std::size_t base = s.batch->check_rows();
-    std::vector<FpElem> masked(s.plan.blocks, cfg_.ctx->Zero());
-    for (std::size_t blk = 0; blk < s.plan.blocks; ++blk) {
+    // Reduced mode: ship only the stripe this survivor's rank covers (the
+    // target needs just `budget` points per block); classic mode masks and
+    // ships every block.
+    std::vector<std::size_t> blocks_to_send;
+    if (s.mask_budget > 0) {
+      const std::size_t rank =
+          static_cast<std::size_t>(std::find(s.plan.survivors.begin(),
+                                             s.plan.survivors.end(), cfg_.id) -
+                                   s.plan.survivors.begin());
+      const pss::StripeLayout layout(s.plan.survivors.size(), s.mask_budget);
+      blocks_to_send = layout.BlocksFor(rank, s.plan.blocks);
+    } else {
+      blocks_to_send.resize(s.plan.blocks);
+      for (std::size_t blk = 0; blk < s.plan.blocks; ++blk) {
+        blocks_to_send[blk] = blk;
+      }
+    }
+    std::vector<FpElem> masked(blocks_to_send.size(), cfg_.ctx->Zero());
+    for (std::size_t i = 0; i < blocks_to_send.size(); ++i) {
+      const std::size_t blk = blocks_to_send[i];
       std::size_t g = blk / s.plan.usable;
       std::size_t a_rel = blk % s.plan.usable;
-      masked[blk] = cfg_.ctx->Add(shares[blk], s.outputs[base + a_rel][g]);
+      masked[i] = cfg_.ctx->Add(shares[blk], s.outputs[base + a_rel][g]);
     }
     store_.Stash(file_id);
     // Wrong-share attack on recovery: the target's consistency check and
@@ -870,11 +933,18 @@ void Host::OnMaskedSharePlain(const Message& msg) {
                            cfg_.id, msg.from);
     elems = field::DeserializeElems(*cfg_.ctx, msg.payload);
   }
-  Require(elems.size() == s.meta.num_blocks, "MaskedShare: wrong block count");
-  const bool is_survivor =
-      std::find(s.plan.survivors.begin(), s.plan.survivors.end(), msg.from) !=
-      s.plan.survivors.end();
-  Require(is_survivor, "MaskedShare: sender is not a survivor");
+  const auto sender_it =
+      std::find(s.plan.survivors.begin(), s.plan.survivors.end(), msg.from);
+  Require(sender_it != s.plan.survivors.end(),
+          "MaskedShare: sender is not a survivor");
+  std::size_t expected = s.meta.num_blocks;
+  if (s.mask_budget > 0) {
+    const pss::StripeLayout layout(s.plan.survivors.size(), s.mask_budget);
+    expected = layout.CountFor(
+        static_cast<std::size_t>(sender_it - s.plan.survivors.begin()),
+        s.meta.num_blocks);
+  }
+  Require(elems.size() == expected, "MaskedShare: wrong block count");
   if (!s.masked_by_sender.emplace(msg.from, std::move(elems)).second) return;
   if (s.masked_by_sender.size() == s.plan.survivors.size()) {
     MaybeFinishTarget(msg.file_id, msg.epoch, s);
@@ -887,6 +957,76 @@ void Host::MaybeFinishTarget(std::uint64_t file_id, std::uint32_t seq,
   ComputeSection section(metrics_.recover, obs::SpanKind::kRecoverFinish,
                          cfg_.id, file_id);
   const std::size_t d = cfg_.params.degree();
+  const FpElem alpha_me = shamir_->points().alpha(cfg_.id);
+  bool ok = true;
+  std::set<std::uint32_t> accused_set;
+  std::vector<FpElem> shares(s.meta.num_blocks, cfg_.ctx->Zero());
+
+  if (s.mask_budget > 0) {
+    // Reduced repair: each survivor shipped only its stripe, so each block
+    // interpolates from exactly `budget` points. Blocks with the same
+    // residue mod |survivors| share a sender set, hence one interpolation
+    // system (checker + weights + decode radius) per residue class.
+    const std::size_t S = s.plan.survivors.size();
+    const pss::StripeLayout layout(S, s.mask_budget);
+    std::vector<const std::vector<FpElem>*> rows(S, nullptr);
+    for (std::size_t k = 0; k < S; ++k) {
+      auto rit = s.masked_by_sender.find(s.plan.survivors[k]);
+      Invariant(rit != s.masked_by_sender.end(),
+                "MaybeFinishTarget: missing reduced row");
+      rows[k] = &rit->second;
+    }
+    struct ClassInterp {
+      std::vector<std::uint32_t> ranks;
+      std::vector<FpElem> xs;
+      std::optional<math::PointChecker> checker;
+      std::vector<FpElem> w;
+    };
+    const std::size_t classes = std::min<std::size_t>(S, s.meta.num_blocks);
+    std::vector<ClassInterp> cls(classes);
+    for (std::size_t rc = 0; rc < classes; ++rc) {
+      cls[rc].ranks = layout.SendersFor(rc);
+      for (std::uint32_t k : cls[rc].ranks) {
+        cls[rc].xs.push_back(shamir_->points().alpha(s.plan.survivors[k]));
+      }
+      cls[rc].checker.emplace(*cfg_.ctx, cls[rc].xs, d);
+      cls[rc].w = cls[rc].checker->WeightsAt(alpha_me);
+    }
+    // The budget's slack over d+1 buys a small decode radius; a corruption
+    // beyond it fails the phase and the hypervisor retries in full mode.
+    const std::size_t max_errors =
+        s.mask_budget > d + 1 ? (s.mask_budget - d - 1) / 2 : 0;
+    std::vector<std::size_t> cursor(S, 0);
+    std::vector<FpElem> ys(s.mask_budget, cfg_.ctx->Zero());
+    for (std::size_t blk = 0; blk < s.meta.num_blocks && ok; ++blk) {
+      const ClassInterp& c = cls[blk % S];
+      for (std::size_t i = 0; i < c.ranks.size(); ++i) {
+        ys[i] = (*rows[c.ranks[i]])[cursor[c.ranks[i]]++];
+      }
+      if (c.checker->Consistent(ys)) {
+        shares[blk] = math::PointChecker::Apply(*cfg_.ctx, c.w, ys);
+        continue;
+      }
+      RecoveryInconsistent().Add(1);
+      obs::Span span(obs::SpanKind::kByzDetect, cfg_.id, blk);
+      auto f = math::RobustInterpolate(*cfg_.ctx, c.xs, ys, d, max_errors);
+      if (!f.has_value()) {
+        ok = false;
+        break;
+      }
+      std::vector<std::size_t> bad = math::Mismatches(*cfg_.ctx, *f, c.xs, ys);
+      RecoverySharesCorrected().Add(bad.size());
+      for (std::size_t b : bad) {
+        accused_set.insert(s.plan.survivors[c.ranks[b]]);
+      }
+      shares[blk] = f->Eval(*cfg_.ctx, alpha_me);
+    }
+    if (ok) store_.Put(s.meta, std::move(shares));
+    std::vector<std::uint32_t> accused(accused_set.begin(), accused_set.end());
+    ReportPhaseDone(file_id, seq, 1, ok, metrics_.recover, accused);
+    return;
+  }
+
   // Senders arrive keyed by id; the map iterates in ascending order, matching
   // plan.survivors (also ascending).
   std::vector<FpElem> xs;
@@ -899,14 +1039,11 @@ void Host::MaybeFinishTarget(std::uint64_t file_id, std::uint32_t seq,
     rows.push_back(&elems);
   }
   math::PointChecker checker(*cfg_.ctx, xs, d);
-  std::vector<FpElem> w = checker.WeightsAt(shamir_->points().alpha(cfg_.id));
+  std::vector<FpElem> w = checker.WeightsAt(alpha_me);
   // Unique-decoding radius of the masked-share code: with all survivors
   // responding and 3t + l < n there is slack for e wrong values per block.
   const std::size_t max_errors = xs.size() > d + 1 ? (xs.size() - d - 1) / 2 : 0;
 
-  bool ok = true;
-  std::set<std::uint32_t> accused_set;
-  std::vector<FpElem> shares(s.meta.num_blocks, cfg_.ctx->Zero());
   std::vector<FpElem> ys(xs.size(), cfg_.ctx->Zero());
   for (std::size_t blk = 0; blk < s.meta.num_blocks; ++blk) {
     for (std::size_t k = 0; k < rows.size(); ++k) ys[k] = (*rows[k])[blk];
@@ -932,7 +1069,7 @@ void Host::MaybeFinishTarget(std::uint64_t file_id, std::uint32_t seq,
     std::vector<std::size_t> bad = math::Mismatches(*cfg_.ctx, *f, xs, ys);
     RecoverySharesCorrected().Add(bad.size());
     for (std::size_t b : bad) accused_set.insert(senders[b]);
-    shares[blk] = f->Eval(*cfg_.ctx, shamir_->points().alpha(cfg_.id));
+    shares[blk] = f->Eval(*cfg_.ctx, alpha_me);
   }
   if (ok) store_.Put(s.meta, std::move(shares));
   std::vector<std::uint32_t> accused(accused_set.begin(), accused_set.end());

@@ -149,6 +149,9 @@ class Host : public net::MessageHandler {
   struct SurvivorSession {  // one per (file, target)
     pss::RecoveryPlan plan;
     std::uint32_t target = 0;
+    // Reduced-repair point budget per block (pss/comm_efficient.h); 0 means
+    // classic full masked vectors from every survivor.
+    std::size_t mask_budget = 0;
     std::optional<pss::VssBatch> batch;
     std::vector<std::vector<field::FpElem>> deals_by_dealer;
     std::vector<bool> deal_seen;
@@ -164,6 +167,7 @@ class Host : public net::MessageHandler {
   struct TargetSession {  // rebooted host waiting for masked shares
     FileMeta meta;
     pss::RecoveryPlan plan;
+    std::size_t mask_budget = 0;  // 0 = full masked vectors
     std::map<std::uint32_t, std::vector<field::FpElem>> masked_by_sender;
     bool failed = false;
     bool done = false;

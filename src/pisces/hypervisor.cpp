@@ -6,6 +6,7 @@
 #include "math/poly.h"
 #include "obs/registry.h"
 #include "obs/trace.h"
+#include "pss/comm_efficient.h"
 
 namespace pisces {
 
@@ -523,6 +524,25 @@ bool Hypervisor::RunRecovery(std::vector<std::uint32_t> targets,
           continue;
         }
         const FileMeta meta = hosts_[survivors.front()]->store().MetaOf(f);
+        // Reduced repair (cfg_.repair): with fallback kClassic only the
+        // first attempt ships stripes; a failed attempt (corruption beyond
+        // the reduced decode radius, or a wedged session) retries with full
+        // masked vectors, byte-identical to the legacy format.
+        const bool want_reduced =
+            cfg_.repair.path == ReadPath::kStaircase &&
+            (attempt == 0 || cfg_.repair.fallback == ReadFallback::kFail);
+        std::size_t budget = 0;
+        if (want_reduced) {
+          budget = cfg_.repair.contacts != 0
+                       ? std::min<std::size_t>(cfg_.repair.contacts,
+                                               survivors.size())
+                       : pss::DefaultRecoveryBudget(cfg_.params,
+                                                    survivors.size());
+          // A budget below degree+1 or covering every survivor is not a
+          // reduction; fall back to the classic full-vector format.
+          if (budget < cfg_.params.degree() + 1 || budget >= survivors.size())
+            budget = 0;
+        }
         Message proto;
         proto.from = net::kHypervisorId;
         proto.type = MsgType::kStartRecovery;
@@ -534,6 +554,11 @@ bool Hypervisor::RunRecovery(std::vector<std::uint32_t> targets,
         for (std::uint32_t id : chunk) w.U32(id);
         w.U32(static_cast<std::uint32_t>(survivors.size()));
         for (std::uint32_t id : survivors) w.U32(id);
+        if (budget != 0) {
+          // Optional trailing repair-mode section (Host::OnStartRecovery).
+          w.U8(1);
+          w.U32(static_cast<std::uint32_t>(budget));
+        }
         proto.payload = w.Take();
         for (std::uint32_t id : survivors) {
           Message m = proto;

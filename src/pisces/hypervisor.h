@@ -46,6 +46,7 @@
 #include <set>
 
 #include "pisces/host.h"
+#include "pisces/read_spec.h"
 #include "pisces/schedule.h"
 
 namespace pisces {
@@ -79,6 +80,13 @@ struct HypervisorConfig {
   bool encrypt_links = true;
   std::string schedule = "round-robin";
   std::uint64_t seed = 1;
+  // Repair read policy (docs/bandwidth.md): kStaircase asks survivors to
+  // ship reduced masked-share stripes (budget points per block instead of
+  // every survivor's full vector); `contacts` overrides the per-block point
+  // budget (0 = DefaultRecoveryBudget). With fallback kClassic only the
+  // first attempt of a chunk runs reduced -- retries use full vectors, so a
+  // corruption beyond the reduced decode radius heals at classic cost.
+  ReadPolicy repair;
 };
 
 class Hypervisor : public net::MessageHandler {
@@ -145,6 +153,11 @@ class Hypervisor : public net::MessageHandler {
   // catalog would report the disappearance as data loss and fail every
   // subsequent window.
   void ForgetFile(std::uint64_t file_id) { catalog_.erase(file_id); }
+
+  // Swaps the repair read policy at runtime (benchmarks and ablations flip
+  // between classic and reduced repair on a live fleet).
+  void set_repair_policy(const ReadPolicy& p) { cfg_.repair = p; }
+  const ReadPolicy& repair_policy() const { return cfg_.repair; }
 
  private:
   // A kPhaseDone record: host reported the end of a protocol phase.

@@ -120,7 +120,7 @@ void MpCoordinator::Pump(int ms) {
 
 // ---- lifecycle -------------------------------------------------------------
 
-bool MpCoordinator::SendBoot(std::uint32_t id, std::uint32_t epoch) {
+StatusCode MpCoordinator::SendBoot(std::uint32_t id, std::uint32_t epoch) {
   auto [cert, sk] = ca_.IssueHostKey(id, epoch, rng_);
   directory_[id] = cert;
 
@@ -143,15 +143,20 @@ bool MpCoordinator::SendBoot(std::uint32_t id, std::uint32_t epoch) {
   ep_.Send(std::move(m));
 
   auto ack = WaitAck(id, token);
-  if (!ack || !ack->online || ack->epoch != epoch) {
-    LogWarn() << "coordinator: boot of host " << id << " not acknowledged";
-    return false;
+  const StatusCode status = !ack ? StatusCode::kTimeout
+                           : (!ack->online || ack->epoch != epoch)
+                               ? StatusCode::kFailed
+                               : StatusCode::kOk;
+  if (status != StatusCode::kOk) {
+    LogWarn() << "coordinator: boot of host " << id << ": "
+              << StatusName(status);
+    return status;
   }
   needs_boot_.erase(id);
-  return true;
+  return StatusCode::kOk;
 }
 
-bool MpCoordinator::HaltHost(std::uint32_t id) {
+StatusCode MpCoordinator::HaltHost(std::uint32_t id) {
   const std::uint32_t token = next_token_++;
   net::Message m;
   m.from = net::kHypervisorId;
@@ -160,7 +165,8 @@ bool MpCoordinator::HaltHost(std::uint32_t id) {
   m.row = token;
   ep_.Send(std::move(m));
   auto ack = WaitAck(id, token);
-  return ack.has_value() && !ack->online;
+  if (!ack) return StatusCode::kTimeout;
+  return ack->online ? StatusCode::kFailed : StatusCode::kOk;
 }
 
 bool MpCoordinator::BootAll() {
@@ -180,7 +186,9 @@ bool MpCoordinator::BootAll() {
       Pump(50);  // wait for more announcements
       continue;
     }
-    if (SendBoot(candidate, next_epoch_)) booted.insert(candidate);
+    if (SendBoot(candidate, next_epoch_) == StatusCode::kOk) {
+      booted.insert(candidate);
+    }
   }
   if (booted.size() == cfg_.n) {
     ++next_epoch_;  // all initial boots share one epoch
@@ -190,13 +198,15 @@ bool MpCoordinator::BootAll() {
 }
 
 bool MpCoordinator::BootHost(std::uint32_t id) {
-  if (!HaltHost(id)) {
+  const StatusCode halt = HaltHost(id);
+  if (halt != StatusCode::kOk) {
     // A freshly exec'd process has nothing to halt and still acks; a dead
     // process cannot ack at all -- the boot below will fail and be retried
     // after its supervisor restarts it.
-    LogWarn() << "coordinator: halt of host " << id << " not acknowledged";
+    LogWarn() << "coordinator: halt of host " << id << ": "
+              << StatusName(halt);
   }
-  return SendBoot(id, next_epoch_++);
+  return SendBoot(id, next_epoch_++) == StatusCode::kOk;
 }
 
 std::optional<HostStatus> MpCoordinator::QueryStatus(std::uint32_t id) {

@@ -32,6 +32,7 @@
 #include <set>
 #include <vector>
 
+#include "common/status.h"
 #include "crypto/ca.h"
 #include "net/async_tcp.h"
 #include "pisces/file_codec.h"
@@ -107,8 +108,12 @@ class MpCoordinator {
   void Absorb(const net::Message& msg);  // announcement bookkeeping
   std::optional<HostStatus> WaitAck(std::uint32_t from, std::uint32_t token);
 
-  bool SendBoot(std::uint32_t id, std::uint32_t epoch);
-  bool HaltHost(std::uint32_t id);
+  // Lifecycle RPCs report pisces::StatusCode (common/status.h): kOk on an
+  // acknowledged transition, kTimeout when no ack arrived before the
+  // bounded-delay deadline, kFailed when the ack contradicts the request
+  // (wrong epoch, still online after halt). Logs carry StatusName().
+  StatusCode SendBoot(std::uint32_t id, std::uint32_t epoch);
+  StatusCode HaltHost(std::uint32_t id);
   void AbortStuck(const std::vector<std::uint32_t>& hosts);
 
   // One refresh pass over one file; fills ok/timeout splits for the caller.

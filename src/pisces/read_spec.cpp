@@ -1,0 +1,47 @@
+#include "pisces/read_spec.h"
+
+namespace pisces {
+
+Bytes ReadPolicy::Serialize() const {
+  ByteWriter w;
+  w.U8(static_cast<std::uint8_t>(path));
+  w.U32(contacts);
+  w.U8(static_cast<std::uint8_t>(fallback));
+  return w.Take();
+}
+
+ReadPolicy ReadPolicy::Deserialize(std::span<const std::uint8_t> data) {
+  ByteReader r(data);
+  ReadPolicy p;
+  const std::uint8_t raw_path = r.U8();
+  if (raw_path > static_cast<std::uint8_t>(ReadPath::kStaircase)) {
+    throw ParseError("ReadPolicy: unknown read path");
+  }
+  p.path = static_cast<ReadPath>(raw_path);
+  p.contacts = r.U32();
+  const std::uint8_t raw_fb = r.U8();
+  if (raw_fb > static_cast<std::uint8_t>(ReadFallback::kFail)) {
+    throw ParseError("ReadPolicy: unknown fallback");
+  }
+  p.fallback = static_cast<ReadFallback>(raw_fb);
+  if (!r.AtEnd()) throw ParseError("ReadPolicy: trailing bytes");
+  return p;
+}
+
+ReadSpec ReadSpec::Classic(std::uint64_t file_id) {
+  ReadSpec s;
+  s.file_id = file_id;
+  return s;
+}
+
+ReadSpec ReadSpec::Staircase(std::uint64_t file_id, std::uint32_t contacts,
+                             ReadFallback fallback) {
+  ReadSpec s;
+  s.file_id = file_id;
+  s.policy.path = ReadPath::kStaircase;
+  s.policy.contacts = contacts;
+  s.policy.fallback = fallback;
+  return s;
+}
+
+}  // namespace pisces

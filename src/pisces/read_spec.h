@@ -1,0 +1,70 @@
+// Policy-driven read API: every download in the system is described by a
+// ReadSpec instead of a bag of positional arguments.
+//
+// The spec names WHAT to read (file id, freshness ordinal) and HOW to read
+// it (which reconstruct codepoint, how many hosts to contact, what to do
+// when the cheap path cannot complete). Client::BeginDownload,
+// Cluster::Download, the serving plane's download op, and the hypervisor's
+// repair reads all consume the same vocabulary, so a bandwidth experiment is
+// a one-line policy change at any layer instead of a new overload.
+//
+// Read paths (docs/bandwidth.md):
+//   kFullShare  -- the classic oracle: ask every host for its full share
+//                  vector, reconstruct from the first degree+1 responses.
+//                  Wire bytes are unchanged from the pre-ReadSpec protocol.
+//   kStaircase  -- staircase-style striped read: contact d in (t, n] hosts
+//                  and download only the needed fraction of each share
+//                  (pss/comm_efficient.h). Total share traffic drops from
+//                  n full vectors to exactly degree+1 vectors' worth.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace pisces {
+
+enum class ReadPath : std::uint8_t {
+  kFullShare = 0,
+  kStaircase = 1,
+};
+
+// What a reader does when the selected path cannot complete (not enough
+// striped responses, integrity failure on the striped reconstruct, or an
+// infeasible contact budget).
+enum class ReadFallback : std::uint8_t {
+  kClassic = 0,  // retry on the full-share oracle path
+  kFail = 1,     // surface the failure to the caller
+};
+
+// The HOW of a read, independent of any particular file. Layers that apply
+// one policy to many files (serving config, hypervisor repair) hold this.
+struct ReadPolicy {
+  ReadPath path = ReadPath::kFullShare;
+  // Staircase contact budget d; 0 means "all n hosts" (the widest stripe,
+  // which minimizes per-host download). Ignored on the full-share path.
+  std::uint32_t contacts = 0;
+  ReadFallback fallback = ReadFallback::kClassic;
+
+  // Wire form carried in a serving download frame's payload (empty payload =
+  // the plane's configured default policy). Fixed 6 bytes: path, contacts,
+  // fallback -- an explicit ablation codepoint on the serving wire.
+  Bytes Serialize() const;
+  static ReadPolicy Deserialize(std::span<const std::uint8_t> data);
+};
+
+// One concrete read: a policy applied to a file.
+struct ReadSpec {
+  std::uint64_t file_id = 0;
+  ReadPolicy policy;
+  // Freshness tag (per-session request ordinal on the serving plane, 0 for
+  // ad-hoc reads); carried into traces so a completion can be matched to
+  // the request that priced it.
+  std::uint64_t ordinal = 0;
+
+  static ReadSpec Classic(std::uint64_t file_id);
+  static ReadSpec Staircase(std::uint64_t file_id, std::uint32_t contacts = 0,
+                            ReadFallback fallback = ReadFallback::kClassic);
+};
+
+}  // namespace pisces

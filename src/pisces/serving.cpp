@@ -273,10 +273,19 @@ ServingPlane::Executed ServingPlane::Execute(std::uint32_t shard, Pending p) {
         cluster.Upload(p.file_id, p.payload);
         Counters().uploads.Add(1);
         break;
-      case ServingOp::kDownload:
-        c.payload = cluster.Download(p.file_id);
+      case ServingOp::kDownload: {
+        // Policy-driven read: the plane's configured default, overridden
+        // per-request when the frame carried a serialized ReadPolicy. The
+        // request ordinal rides along as the spec's freshness tag.
+        ReadSpec spec;
+        spec.file_id = p.file_id;
+        spec.policy = p.payload.empty() ? cfg_.read_policy
+                                        : ReadPolicy::Deserialize(p.payload);
+        spec.ordinal = p.request;
+        c.payload = cluster.Download(spec);
         Counters().downloads.Add(1);
         break;
+      }
       case ServingOp::kDelete:
         cluster.Delete(p.file_id);
         r.erase_file = true;

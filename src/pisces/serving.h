@@ -51,6 +51,10 @@ struct ServingConfig {
   // Files per batched refresh launch (bounds peak session memory on a
   // shard); 0 = the whole shard population in one launch.
   std::size_t refresh_batch = 0;
+  // Default read policy for download ops. A download frame may override it
+  // per-request by carrying a serialized ReadPolicy as its payload (empty
+  // payload = this default); see docs/bandwidth.md.
+  ReadPolicy read_policy;
 };
 
 // One finished request, delivered out of Poll()/Drain() via TakeCompletions.

@@ -149,7 +149,7 @@ bool RunCampaign(std::uint64_t seed, const SweepOptions& opt) {
                   report.failures.empty() ? "window not ok"
                                           : report.failures.front().c_str());
     // Safety: the stored plaintext is intact.
-    good &= Check(cluster.Download(1) == file, seed, w, "safety",
+    good &= Check(cluster.Download(pisces::ReadSpec::Classic(1)) == file, seed, w, "safety",
                   "download does not match uploaded plaintext");
     // Privacy: never > t same-period shares, and no reconstruction -- not
     // even mixing captures across periods.

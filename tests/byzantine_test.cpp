@@ -261,7 +261,7 @@ TEST(ByzantineCluster, EquivocatingDealerAttributedAndExcluded) {
   EXPECT_GE(obs::Value(delta, "byz.vss_check_failures"), 1u);
   EXPECT_GE(report.refresh_retries, 1u);
   // The retried round succeeded without the cheater; data intact.
-  EXPECT_EQ(cluster.Download(1), file);
+  EXPECT_EQ(cluster.Download(pisces::ReadSpec::Classic(1)), file);
 }
 
 TEST(ByzantineCluster, CorruptZeroSharingDetectedAndExcluded) {
@@ -283,7 +283,7 @@ TEST(ByzantineCluster, CorruptZeroSharingDetectedAndExcluded) {
   EXPECT_GE(obs::Value(delta, "byz.dealers_attributed"), 1u);
   // Applying the corrupted zero-sharing would have shifted the secrets; the
   // round was instead rejected and re-run, so the plaintext is unchanged.
-  EXPECT_EQ(cluster.Download(1), file);
+  EXPECT_EQ(cluster.Download(pisces::ReadSpec::Classic(1)), file);
 }
 
 TEST(ByzantineCluster, WrongSharesToClientHealedByRobustDownload) {
@@ -297,7 +297,7 @@ TEST(ByzantineCluster, WrongSharesToClientHealedByRobustDownload) {
   cluster.ArmByzantine(OnePlan(0x59, {{2, ByzantineStrategy::kWrongShare},
                                       {8, ByzantineStrategy::kWrongShare}}));
   const obs::Snapshot before = obs::TakeSnapshot();
-  EXPECT_EQ(cluster.Download(1), file);
+  EXPECT_EQ(cluster.Download(pisces::ReadSpec::Classic(1)), file);
   const obs::Snapshot delta = obs::Delta(before, obs::TakeSnapshot());
   cluster.DisarmByzantine();
 
@@ -306,7 +306,7 @@ TEST(ByzantineCluster, WrongSharesToClientHealedByRobustDownload) {
   EXPECT_GE(obs::Value(delta, "byz.client_shares_corrected"), 2u)
       << "both liars' shares must be corrected (and counted)";
   // Honest again: the plain fast path serves the same bytes.
-  EXPECT_EQ(cluster.Download(1), file);
+  EXPECT_EQ(cluster.Download(pisces::ReadSpec::Classic(1)), file);
 }
 
 TEST(ByzantineCluster, WrongMaskedSharesAccusedAndRecoveryCompletes) {
@@ -331,7 +331,7 @@ TEST(ByzantineCluster, WrongMaskedSharesAccusedAndRecoveryCompletes) {
   EXPECT_GE(obs::Value(delta, "byz.recovery_inconsistent"), 1u);
   EXPECT_GE(obs::Value(delta, "byz.recovery_shares_corrected"), 1u);
   EXPECT_GE(obs::Value(delta, "byz.survivors_suspected"), 1u);
-  EXPECT_EQ(cluster.Download(1), file);
+  EXPECT_EQ(cluster.Download(pisces::ReadSpec::Classic(1)), file);
   // The recovered targets hold working shares again.
   EXPECT_TRUE(cluster.host(0).store().Has(1));
   EXPECT_TRUE(cluster.host(1).store().Has(1));
@@ -358,7 +358,7 @@ TEST(ByzantineCluster, WithholdingDealerStruckOutAndRefreshCompletes) {
       << "two withheld dealings must strike the dealer out";
   EXPECT_GE(report.refresh_retries, 2u);
   EXPECT_GE(report.timeouts_fired, 1u);
-  EXPECT_EQ(cluster.Download(1), file);
+  EXPECT_EQ(cluster.Download(pisces::ReadSpec::Classic(1)), file);
 }
 
 TEST(ByzantineCluster, WithholdingSurvivorSuspectedAndRecoveryCompletes) {
@@ -383,7 +383,7 @@ TEST(ByzantineCluster, WithholdingSurvivorSuspectedAndRecoveryCompletes) {
   EXPECT_EQ(cluster.hypervisor().suspected_hosts().count(4), 1u)
       << "a silent survivor must be struck out of the survivor role";
   EXPECT_GE(obs::Value(delta, "byz.survivors_suspected"), 1u);
-  EXPECT_EQ(cluster.Download(1), file);
+  EXPECT_EQ(cluster.Download(pisces::ReadSpec::Classic(1)), file);
 }
 
 TEST(ByzantineCluster, SuspectsClearedByReboot) {
@@ -455,7 +455,7 @@ TEST(ByzantineCluster, ArmedEmptyPlanIsByteIdenticalToUnarmed) {
       EXPECT_TRUE(ctx.Eq(su[b], sa[b])) << "host " << i << " block " << b;
     }
   }
-  EXPECT_EQ(unarmed.Download(1), armed.Download(1));
+  EXPECT_EQ(unarmed.Download(pisces::ReadSpec::Classic(1)), armed.Download(pisces::ReadSpec::Classic(1)));
 }
 
 TEST(ByzantineCluster, MixedPlanFullWindowKeepsAllInvariants) {
@@ -482,7 +482,7 @@ TEST(ByzantineCluster, MixedPlanFullWindowKeepsAllInvariants) {
   // Liveness.
   EXPECT_TRUE(report.ok);
   // Safety.
-  EXPECT_EQ(cluster.Download(1), file);
+  EXPECT_EQ(cluster.Download(pisces::ReadSpec::Classic(1)), file);
   // Privacy: t captured hosts reveal nothing, in-period or across periods.
   EXPECT_FALSE(spy.ExceedsPrivacyThreshold(1));
   EXPECT_FALSE(spy.AttemptReconstruction(1).has_value());

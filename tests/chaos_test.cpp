@@ -90,7 +90,7 @@ Digest RunDrill() {
     // 1. Data: bit-exact downloads, with the fault plan still active (the
     //    client's retry + robust-decode path is part of what is drilled).
     for (const auto& [id, data] : files) {
-      EXPECT_EQ(cluster.Download(id), data)
+      EXPECT_EQ(cluster.Download(pisces::ReadSpec::Classic(id)), data)
           << "window " << w << " corrupted file " << id;
     }
 
@@ -111,7 +111,7 @@ Digest RunDrill() {
   WindowReport calm = cluster.hypervisor().RunUpdateWindow();
   EXPECT_TRUE(calm.ok) << "fault-free window after the drill must succeed";
   EXPECT_TRUE(cluster.hypervisor().stale_hosts().empty());
-  for (const auto& [id, data] : files) EXPECT_EQ(cluster.Download(id), data);
+  for (const auto& [id, data] : files) EXPECT_EQ(cluster.Download(pisces::ReadSpec::Classic(id)), data);
 
   // 3. Determinism material: the full per-endpoint fault trace.
   for (std::uint32_t id = 0; id < n; ++id) {

@@ -25,7 +25,7 @@ TEST(Cluster, UploadDownloadRoundTrip) {
   Bytes file = rng.RandomBytes(2000);
   FileMeta meta = cluster.Upload(1, file);
   EXPECT_EQ(meta.raw_size, 2000u);
-  EXPECT_EQ(cluster.Download(1), file);
+  EXPECT_EQ(cluster.Download(pisces::ReadSpec::Classic(1)), file);
 }
 
 TEST(Cluster, UpdateWindowPreservesFileAndRotatesShares) {
@@ -48,7 +48,7 @@ TEST(Cluster, UpdateWindowPreservesFileAndRotatesShares) {
   cluster.host(3).store().Stash(5);
   EXPECT_NE(before, after);
 
-  EXPECT_EQ(cluster.Download(5), file);
+  EXPECT_EQ(cluster.Download(pisces::ReadSpec::Classic(5)), file);
 }
 
 TEST(Cluster, MultipleWindowsMultipleFiles) {
@@ -64,9 +64,9 @@ TEST(Cluster, MultipleWindowsMultipleFiles) {
     WindowReport report = cluster.RunUpdateWindow();
     ASSERT_TRUE(report.ok) << "window " << w;
   }
-  EXPECT_EQ(cluster.Download(1), f1);
-  EXPECT_EQ(cluster.Download(2), f2);
-  EXPECT_EQ(cluster.Download(3), f3);
+  EXPECT_EQ(cluster.Download(pisces::ReadSpec::Classic(1)), f1);
+  EXPECT_EQ(cluster.Download(pisces::ReadSpec::Classic(2)), f2);
+  EXPECT_EQ(cluster.Download(pisces::ReadSpec::Classic(3)), f3);
 }
 
 TEST(Cluster, DeleteRemovesShares) {
@@ -78,19 +78,19 @@ TEST(Cluster, DeleteRemovesShares) {
   for (std::size_t i = 0; i < 8; ++i) {
     EXPECT_FALSE(cluster.host(i).store().Has(9));
   }
-  EXPECT_THROW(cluster.Download(9), Error);
+  EXPECT_THROW(cluster.Download(pisces::ReadSpec::Classic(9)), Error);
 }
 
 TEST(Cluster, EmptyFileAndTinyFile) {
   Cluster cluster(SmallConfig());
   Bytes empty;
   cluster.Upload(1, empty);
-  EXPECT_EQ(cluster.Download(1), empty);
+  EXPECT_EQ(cluster.Download(pisces::ReadSpec::Classic(1)), empty);
   Bytes one{0x42};
   cluster.Upload(2, one);
   cluster.RunUpdateWindow();
-  EXPECT_EQ(cluster.Download(1), empty);
-  EXPECT_EQ(cluster.Download(2), one);
+  EXPECT_EQ(cluster.Download(pisces::ReadSpec::Classic(1)), empty);
+  EXPECT_EQ(cluster.Download(pisces::ReadSpec::Classic(2)), one);
 }
 
 TEST(Cluster, RandomizedScheduleWorks) {
@@ -102,7 +102,7 @@ TEST(Cluster, RandomizedScheduleWorks) {
   cluster.Upload(1, file);
   WindowReport report = cluster.RunUpdateWindow();
   EXPECT_TRUE(report.ok);
-  EXPECT_EQ(cluster.Download(1), file);
+  EXPECT_EQ(cluster.Download(pisces::ReadSpec::Classic(1)), file);
 }
 
 TEST(Cluster, PlaintextLinksModeWorks) {
@@ -113,7 +113,7 @@ TEST(Cluster, PlaintextLinksModeWorks) {
   Bytes file = rng.RandomBytes(700);
   cluster.Upload(1, file);
   EXPECT_TRUE(cluster.RunUpdateWindow().ok);
-  EXPECT_EQ(cluster.Download(1), file);
+  EXPECT_EQ(cluster.Download(pisces::ReadSpec::Classic(1)), file);
 }
 
 TEST(Cluster, EncryptionActuallyHidesPayloads) {
@@ -165,7 +165,7 @@ TEST(Cluster, RefreshOnlyKeepsFileIntact) {
   cluster.Upload(1, file);
   EXPECT_TRUE(cluster.RefreshAllFiles());
   EXPECT_TRUE(cluster.RefreshAllFiles());  // idempotent across epochs
-  EXPECT_EQ(cluster.Download(1), file);
+  EXPECT_EQ(cluster.Download(pisces::ReadSpec::Classic(1)), file);
 }
 
 TEST(Cluster, DeploymentMismatchRejected) {
@@ -182,7 +182,7 @@ TEST(Cluster, MultiCloudDeploymentRuns) {
   Bytes file = rng.RandomBytes(400);
   cluster.Upload(1, file);
   EXPECT_TRUE(cluster.RunUpdateWindow().ok);
-  EXPECT_EQ(cluster.Download(1), file);
+  EXPECT_EQ(cluster.Download(pisces::ReadSpec::Classic(1)), file);
   EXPECT_EQ(cluster.deployment().MinProvidersToBreach(cfg.params.t), 1u);
 }
 
@@ -195,7 +195,7 @@ TEST(Cluster, DownloadSurvivesOfflineMinority) {
   cluster.net().SetOffline(2, true);
   cluster.net().SetOffline(5, true);
   cluster.net().SetOffline(7, true);
-  EXPECT_EQ(cluster.Download(1), file);
+  EXPECT_EQ(cluster.Download(pisces::ReadSpec::Classic(1)), file);
 }
 
 TEST(Cluster, DownloadFailsBelowThreshold) {
@@ -204,7 +204,7 @@ TEST(Cluster, DownloadFailsBelowThreshold) {
   cluster.Upload(1, rng.RandomBytes(100));
   for (std::uint32_t i = 0; i < 5; ++i) cluster.net().SetOffline(i, true);
   // Only 3 hosts respond < d+1 = 4.
-  EXPECT_THROW(cluster.Download(1), Error);
+  EXPECT_THROW(cluster.Download(pisces::ReadSpec::Classic(1)), Error);
 }
 
 TEST(Cluster, WorkerPoolProducesSameResults) {
@@ -215,7 +215,7 @@ TEST(Cluster, WorkerPoolProducesSameResults) {
   Bytes file = rng.RandomBytes(1200);
   cluster.Upload(1, file);
   EXPECT_TRUE(cluster.RunUpdateWindow().ok);
-  EXPECT_EQ(cluster.Download(1), file);
+  EXPECT_EQ(cluster.Download(pisces::ReadSpec::Classic(1)), file);
 }
 
 TEST(Cluster, HostCertsRotateOnReboot) {

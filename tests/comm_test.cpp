@@ -1,0 +1,514 @@
+// Communication-efficient download & repair: differential and bytes-on-wire
+// coverage for the staircase read path and reduced recovery
+// (docs/bandwidth.md).
+//
+// The staircase codepoints must be bit-identical to the classic full-share
+// oracle -- across all four standard prime sizes, at the degenerate contact
+// budget d = degree+1, and under fault/Byzantine plans where the policy
+// falls back to the oracle. On top of equivalence, this suite pins the wire
+// contract itself: the per-message-type byte counters must show a striped
+// read moving measurably fewer ShareResponse bytes and a reduced repair
+// moving measurably fewer MaskedShare bytes.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "field/primes.h"
+#include "net/message.h"
+#include "net/serving_frame.h"
+#include "obs/registry.h"
+#include "pisces/cluster.h"
+#include "pisces/serving.h"
+#include "pss/comm_efficient.h"
+
+namespace pisces {
+namespace {
+
+Bytes MakeFile(std::size_t size, std::uint8_t tweak = 0) {
+  Bytes file(size);
+  for (std::size_t i = 0; i < size; ++i) {
+    file[i] = static_cast<std::uint8_t>((i * 131 + 17 + tweak) & 0xFF);
+  }
+  return file;
+}
+
+ClusterConfig MidConfig(std::uint64_t seed = 1) {
+  // n = 16: t = 4, l = 2, degree = 6, need = 7 -- a staircase read at d = 16
+  // moves need/n = 7/16 of the classic protocol's share bytes.
+  ClusterConfig cfg;
+  cfg.params = pss::Params::Natural(16, 256);
+  cfg.seed = seed;
+  return cfg;
+}
+
+std::uint64_t SentBytes(const obs::Snapshot& before, net::MsgType type) {
+  const obs::Snapshot delta = obs::Delta(before, obs::TakeSnapshot());
+  return obs::Value(delta,
+                    std::string("net.bytes_sent.") + net::MsgTypeName(type));
+}
+
+// ---------------------------------------------------------------------------
+// Stripe layout math
+// ---------------------------------------------------------------------------
+
+TEST(CommStripe, EveryBlockCoveredByExactlyNeedContacts) {
+  for (std::size_t contacts : {3u, 5u, 8u, 16u}) {
+    for (std::size_t need = 1; need <= contacts; ++need) {
+      const pss::StripeLayout layout(contacts, need);
+      const std::size_t blocks = 41;  // not a multiple of any contact count
+      std::size_t total = 0;
+      for (std::size_t b = 0; b < blocks; ++b) {
+        const auto senders = layout.SendersFor(b);
+        EXPECT_EQ(senders.size(), need);
+        std::set<std::uint32_t> uniq(senders.begin(), senders.end());
+        EXPECT_EQ(uniq.size(), need) << "duplicate sender for block " << b;
+        for (std::uint32_t j : senders) {
+          EXPECT_TRUE(layout.Sends(j, b));
+        }
+      }
+      for (std::size_t j = 0; j < contacts; ++j) {
+        const auto mine = layout.BlocksFor(j, blocks);
+        EXPECT_EQ(mine.size(), layout.CountFor(j, blocks));
+        EXPECT_TRUE(std::is_sorted(mine.begin(), mine.end()));
+        for (std::size_t b : mine) EXPECT_TRUE(layout.Sends(j, b));
+        total += mine.size();
+      }
+      // Exactly need points per block cross the wire, no redundancy.
+      EXPECT_EQ(total, need * blocks);
+    }
+  }
+}
+
+TEST(CommStripe, LoadIsBalanced) {
+  const pss::StripeLayout layout(16, 8);
+  // When contacts divides the block count every contact serves exactly
+  // need/contacts of the blocks.
+  for (std::size_t j = 0; j < layout.contacts; ++j) {
+    EXPECT_EQ(layout.CountFor(j, 112), 112 * 8 / 16);
+  }
+  // Otherwise the ragged residue classes spread the remainder: per-contact
+  // load stays within `need` blocks of even.
+  std::size_t lo = 107, hi = 0;
+  for (std::size_t j = 0; j < layout.contacts; ++j) {
+    const std::size_t c = layout.CountFor(j, 107);
+    lo = std::min(lo, c);
+    hi = std::max(hi, c);
+  }
+  EXPECT_LE(hi - lo, layout.need);
+}
+
+TEST(CommStripe, FeasibilityWindow) {
+  const pss::Params p = pss::Params::Natural(16, 256);
+  const std::size_t need = p.degree() + 1;
+  EXPECT_FALSE(pss::StaircaseFeasible(p, need - 1));
+  EXPECT_TRUE(pss::StaircaseFeasible(p, need));
+  EXPECT_TRUE(pss::StaircaseFeasible(p, p.n));
+  EXPECT_FALSE(pss::StaircaseFeasible(p, p.n + 1));
+  EXPECT_EQ(pss::ResolveContacts(p, 0), p.n);  // 0 = widest stripe
+  EXPECT_EQ(pss::ResolveContacts(p, static_cast<std::uint32_t>(need)), need);
+  EXPECT_EQ(pss::ResolveContacts(p, static_cast<std::uint32_t>(need - 1)), 0u);
+  EXPECT_EQ(pss::ResolveContacts(p, static_cast<std::uint32_t>(p.n + 4)), 0u);
+  EXPECT_EQ(pss::DefaultRecoveryBudget(p, 15), p.degree() + 3);
+  EXPECT_EQ(pss::DefaultRecoveryBudget(p, 5), 5u);
+}
+
+// ---------------------------------------------------------------------------
+// ReadSpec / ReadPolicy wire form
+// ---------------------------------------------------------------------------
+
+TEST(CommReadSpec, PolicyRoundTripsAndRejectsGarbage) {
+  ReadPolicy p;
+  p.path = ReadPath::kStaircase;
+  p.contacts = 12;
+  p.fallback = ReadFallback::kFail;
+  const Bytes wire = p.Serialize();
+  EXPECT_EQ(wire.size(), 6u);
+  const ReadPolicy back = ReadPolicy::Deserialize(wire);
+  EXPECT_EQ(back.path, p.path);
+  EXPECT_EQ(back.contacts, p.contacts);
+  EXPECT_EQ(back.fallback, p.fallback);
+
+  Bytes bad_path = wire;
+  bad_path[0] = 7;
+  EXPECT_THROW(ReadPolicy::Deserialize(bad_path), ParseError);
+  Bytes bad_fb = wire;
+  bad_fb[5] = 9;
+  EXPECT_THROW(ReadPolicy::Deserialize(bad_fb), ParseError);
+  Bytes trailing = wire;
+  trailing.push_back(0);
+  EXPECT_THROW(ReadPolicy::Deserialize(trailing), ParseError);
+  EXPECT_THROW(ReadPolicy::Deserialize(Bytes{1, 2}), ParseError);
+}
+
+TEST(CommReadSpec, FactoriesNameTheCodepoints) {
+  const ReadSpec classic = ReadSpec::Classic(42);
+  EXPECT_EQ(classic.file_id, 42u);
+  EXPECT_EQ(classic.policy.path, ReadPath::kFullShare);
+  const ReadSpec stair = ReadSpec::Staircase(7, 12, ReadFallback::kFail);
+  EXPECT_EQ(stair.file_id, 7u);
+  EXPECT_EQ(stair.policy.path, ReadPath::kStaircase);
+  EXPECT_EQ(stair.policy.contacts, 12u);
+  EXPECT_EQ(stair.policy.fallback, ReadFallback::kFail);
+}
+
+// ---------------------------------------------------------------------------
+// Differential: staircase == classic oracle
+// ---------------------------------------------------------------------------
+
+TEST(CommDifferential, StaircaseMatchesOracleAcrossPrimeSizes) {
+  // All four standard prime sizes; n = 13 keeps the big fields affordable.
+  for (std::size_t bits : field::kStandardFieldBits) {
+    ClusterConfig cfg;
+    cfg.params = pss::Params::Natural(13, bits);
+    cfg.seed = 3;
+    Cluster cluster(cfg);
+    const Bytes file = MakeFile(700, static_cast<std::uint8_t>(bits));
+    cluster.Upload(1, file);
+    const obs::Snapshot before = obs::TakeSnapshot();
+    const Bytes oracle = cluster.Download(ReadSpec::Classic(1));
+    EXPECT_EQ(oracle, file) << bits << "-bit oracle";
+    EXPECT_EQ(cluster.Download(ReadSpec::Staircase(1)), oracle)
+        << bits << "-bit staircase (d = n)";
+    const std::uint32_t need =
+        static_cast<std::uint32_t>(cfg.params.degree() + 1);
+    EXPECT_EQ(cluster.Download(ReadSpec::Staircase(1, need)), oracle)
+        << bits << "-bit staircase (degenerate d = need)";
+    // Healthy fleet: equivalence must come from the staircase path itself,
+    // never from a silent fallback to the oracle.
+    const obs::Snapshot delta = obs::Delta(before, obs::TakeSnapshot());
+    EXPECT_EQ(obs::Value(delta, "comm.staircase_fallbacks"), 0u) << bits;
+  }
+}
+
+TEST(CommDifferential, EveryFeasibleContactBudgetAgrees) {
+  Cluster cluster(MidConfig(5));
+  const Bytes file = MakeFile(4096);
+  cluster.Upload(1, file);
+  const pss::Params& p = cluster.config().params;
+  const obs::Snapshot before = obs::TakeSnapshot();
+  for (std::size_t d = p.degree() + 1; d <= p.n; ++d) {
+    // kFail leaves no fallback: equivalence must hold on the stripe itself.
+    EXPECT_EQ(cluster.Download(ReadSpec::Staircase(
+                  1, static_cast<std::uint32_t>(d), ReadFallback::kFail)),
+              file)
+        << "contacts = " << d;
+  }
+  const obs::Snapshot delta = obs::Delta(before, obs::TakeSnapshot());
+  EXPECT_EQ(obs::Value(delta, "comm.staircase_fallbacks"), 0u);
+}
+
+TEST(CommDifferential, InfeasibleBudgetDegradesOrFailsPerPolicy) {
+  Cluster cluster(MidConfig(7));
+  const Bytes file = MakeFile(512);
+  cluster.Upload(1, file);
+  const obs::Snapshot before = obs::TakeSnapshot();
+  // d below degree+1 cannot cover a block's quorum: kClassic degrades...
+  EXPECT_EQ(cluster.Download(ReadSpec::Staircase(1, 3, ReadFallback::kClassic)),
+            file);
+  const obs::Snapshot delta = obs::Delta(before, obs::TakeSnapshot());
+  EXPECT_GE(obs::Value(delta, "comm.staircase_infeasible"), 1u);
+  // ...and kFail surfaces the infeasibility to the caller.
+  EXPECT_THROW(cluster.Download(ReadSpec::Staircase(1, 3, ReadFallback::kFail)),
+               InvalidArgument);
+}
+
+TEST(CommDifferential, OfflineContactFallsBackToOracle) {
+  Cluster cluster(MidConfig(9));
+  const Bytes file = MakeFile(2048);
+  cluster.Upload(1, file);
+  // Host 2 sits inside every widest-stripe contact set; taking it offline
+  // starves the stripe (no redundancy inside one staircase read), so the
+  // fallback policy decides the outcome.
+  cluster.net().SetOffline(2, true);
+  const obs::Snapshot before = obs::TakeSnapshot();
+  EXPECT_EQ(cluster.Download(ReadSpec::Staircase(1, 0, ReadFallback::kClassic)),
+            file);
+  const obs::Snapshot delta = obs::Delta(before, obs::TakeSnapshot());
+  EXPECT_GE(obs::Value(delta, "comm.staircase_fallbacks"), 1u);
+  EXPECT_THROW(cluster.Download(ReadSpec::Staircase(1, 0, ReadFallback::kFail)),
+               Error);
+  cluster.net().SetOffline(2, false);
+  EXPECT_EQ(cluster.Download(ReadSpec::Staircase(1)), file);
+}
+
+TEST(CommDifferential, ByzantineContactFallsBackToOracle) {
+  Cluster cluster(MidConfig(11));
+  const Bytes file = MakeFile(2048);
+  cluster.Upload(1, file);
+  ByzantinePlan plan;
+  plan.seed = 0xB0B;
+  plan.hosts[1] = ByzantineStrategy::kWrongShare;
+  cluster.ArmByzantine(plan);
+  // A tampered stripe has no decode slack: the corruption surfaces as a
+  // codec integrity failure and the read falls back to the oracle path,
+  // whose robust decoder reconstructs through the lie.
+  const obs::Snapshot before = obs::TakeSnapshot();
+  EXPECT_EQ(cluster.Download(ReadSpec::Staircase(1)), file);
+  const obs::Snapshot delta = obs::Delta(before, obs::TakeSnapshot());
+  EXPECT_GE(obs::Value(delta, "comm.staircase_fallbacks"), 1u);
+  cluster.DisarmByzantine();
+  EXPECT_EQ(cluster.Download(ReadSpec::Staircase(1)), file);
+}
+
+TEST(CommDifferential, StaircaseSurvivesUpdateWindows) {
+  Cluster cluster(MidConfig(13));
+  const Bytes file = MakeFile(1024);
+  cluster.Upload(1, file);
+  const obs::Snapshot before = obs::TakeSnapshot();
+  for (int w = 0; w < 2; ++w) {
+    ASSERT_TRUE(cluster.RunUpdateWindow().ok) << "window " << w;
+    EXPECT_EQ(cluster.Download(ReadSpec::Staircase(1)), file)
+        << "window " << w;
+    EXPECT_EQ(cluster.Download(ReadSpec::Classic(1)), file) << "window " << w;
+  }
+  const obs::Snapshot delta = obs::Delta(before, obs::TakeSnapshot());
+  EXPECT_EQ(obs::Value(delta, "comm.staircase_fallbacks"), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Bytes on the wire per codepoint
+// ---------------------------------------------------------------------------
+
+TEST(CommBytes, StripedReadMovesFewerShareResponseBytes) {
+  Cluster cluster(MidConfig(17));
+  const Bytes file = MakeFile(8192);
+  cluster.Upload(1, file);
+
+  obs::Snapshot before = obs::TakeSnapshot();
+  ASSERT_EQ(cluster.Download(ReadSpec::Classic(1)), file);
+  const std::uint64_t classic = SentBytes(before, net::MsgType::kShareResponse);
+
+  before = obs::TakeSnapshot();
+  ASSERT_EQ(cluster.Download(ReadSpec::Staircase(1)), file);
+  const std::uint64_t striped = SentBytes(before, net::MsgType::kShareResponse);
+
+  ASSERT_GT(classic, 0u);
+  ASSERT_GT(striped, 0u);
+  // need/n = 8/16: the share payload halves; meta and sealing overhead ride
+  // on every response, so gate at 0.7 rather than the asymptotic 0.5.
+  EXPECT_LT(static_cast<double>(striped), 0.7 * static_cast<double>(classic))
+      << "striped " << striped << "B vs classic " << classic << "B";
+}
+
+TEST(CommBytes, StaircaseRequestCarriesTwelveByteDescriptor) {
+  ClusterConfig cfg = MidConfig(19);
+  cfg.encrypt_links = false;  // count plaintext frames, not sealed ones
+  Cluster cluster(cfg);
+  const Bytes file = MakeFile(512);
+  cluster.Upload(1, file);
+  const std::size_t n = cluster.config().params.n;
+
+  obs::Snapshot before = obs::TakeSnapshot();
+  ASSERT_EQ(cluster.Download(ReadSpec::Classic(1)), file);
+  const std::uint64_t classic_req =
+      SentBytes(before, net::MsgType::kReconstructRequest);
+
+  before = obs::TakeSnapshot();
+  ASSERT_EQ(cluster.Download(ReadSpec::Staircase(1)), file);
+  const std::uint64_t striped_req =
+      SentBytes(before, net::MsgType::kReconstructRequest);
+
+  // Classic requests stay byte-identical to the pre-ReadSpec protocol
+  // (header only); the staircase descriptor adds exactly 12 bytes
+  // (index, contacts, need) per contacted host.
+  EXPECT_EQ(classic_req, n * net::kWireHeaderSize);
+  EXPECT_EQ(striped_req, n * (net::kWireHeaderSize + 12));
+}
+
+TEST(CommBytes, ReducedRepairMovesFewerMaskedShareBytes) {
+  const Bytes file = MakeFile(8192);
+  const std::vector<std::uint32_t> batch{0};
+
+  Cluster full(MidConfig(23));
+  full.Upload(1, file);
+  obs::Snapshot before = obs::TakeSnapshot();
+  ASSERT_TRUE(full.hypervisor().RebootAndRecover(batch));
+  const std::uint64_t full_bytes =
+      SentBytes(before, net::MsgType::kMaskedShare);
+  EXPECT_EQ(full.Download(ReadSpec::Classic(1)), file);
+
+  ClusterConfig red_cfg = MidConfig(23);
+  red_cfg.repair.path = ReadPath::kStaircase;
+  Cluster reduced(red_cfg);
+  reduced.Upload(1, file);
+  before = obs::TakeSnapshot();
+  ASSERT_TRUE(reduced.hypervisor().RebootAndRecover(batch));
+  const std::uint64_t reduced_bytes =
+      SentBytes(before, net::MsgType::kMaskedShare);
+  EXPECT_EQ(reduced.Download(ReadSpec::Classic(1)), file);
+
+  ASSERT_GT(full_bytes, 0u);
+  ASSERT_GT(reduced_bytes, 0u);
+  // 15 survivors ship budget = degree+3 = 9 points per block instead of 15:
+  // a 3/5 payload ratio; sealing overhead keeps the gate at 0.85.
+  EXPECT_LT(static_cast<double>(reduced_bytes),
+            0.85 * static_cast<double>(full_bytes))
+      << "reduced " << reduced_bytes << "B vs full " << full_bytes << "B";
+}
+
+// ---------------------------------------------------------------------------
+// Reduced repair end-to-end
+// ---------------------------------------------------------------------------
+
+TEST(CommRecovery, ReducedRepairHealsTheFleet) {
+  ClusterConfig cfg = MidConfig(29);
+  cfg.repair.path = ReadPath::kStaircase;
+  Cluster cluster(cfg);
+  const Bytes file = MakeFile(3000);
+  cluster.Upload(1, file);
+  const std::vector<std::uint32_t> batch{3, 4};
+  ASSERT_TRUE(cluster.hypervisor().RebootAndRecover(batch));
+  EXPECT_TRUE(cluster.host(3).store().Has(1));
+  EXPECT_TRUE(cluster.host(4).store().Has(1));
+  EXPECT_EQ(cluster.Download(ReadSpec::Classic(1)), file);
+  EXPECT_EQ(cluster.Download(ReadSpec::Staircase(1)), file);
+  // Subsequent proactive windows run reduced too and keep the file intact.
+  ASSERT_TRUE(cluster.RunUpdateWindow().ok);
+  EXPECT_EQ(cluster.Download(ReadSpec::Classic(1)), file);
+}
+
+TEST(CommRecovery, ReducedRepairCorrectsATamperedStripe) {
+  ClusterConfig cfg = MidConfig(31);
+  cfg.repair.path = ReadPath::kStaircase;
+  Cluster cluster(cfg);
+  const Bytes file = MakeFile(3000);
+  cluster.Upload(1, file);
+  // One lying survivor: the reduced budget's slack over degree+1 gives the
+  // target a decode radius of one wrong point per block, so the repair
+  // either corrects in place or fails the attempt and retries in full mode
+  // -- both must end with the true share restored.
+  ByzantinePlan plan;
+  plan.seed = 0x5EED;
+  plan.hosts[7] = ByzantineStrategy::kWrongShare;
+  cluster.ArmByzantine(plan);
+  const std::vector<std::uint32_t> batch{0};
+  ASSERT_TRUE(cluster.hypervisor().RebootAndRecover(batch));
+  cluster.DisarmByzantine();
+  EXPECT_TRUE(cluster.host(0).store().Has(1));
+  EXPECT_EQ(cluster.Download(ReadSpec::Classic(1)), file);
+}
+
+TEST(CommRecovery, ExplicitBudgetOverrideIsHonored) {
+  ClusterConfig cfg = MidConfig(37);
+  cfg.repair.path = ReadPath::kStaircase;
+  cfg.repair.contacts = 12;  // explicit per-block point budget
+  Cluster cluster(cfg);
+  const Bytes file = MakeFile(2000);
+  cluster.Upload(1, file);
+  const std::vector<std::uint32_t> batch{5};
+  ASSERT_TRUE(cluster.hypervisor().RebootAndRecover(batch));
+  EXPECT_EQ(cluster.Download(ReadSpec::Classic(1)), file);
+}
+
+// ---------------------------------------------------------------------------
+// Serving plane: policy-driven download op
+// ---------------------------------------------------------------------------
+
+TEST(CommServing, PlaneDefaultAndPerRequestPolicyAgree) {
+  ServingConfig cfg;
+  cfg.shards = 1;
+  cfg.params = pss::Params::Natural(16, 256);
+  cfg.seed = 41;
+  cfg.read_policy = ReadSpec::Staircase(0).policy;  // plane-wide staircase
+  ServingPlane plane(cfg);
+  const std::uint64_t session = plane.OpenSession();
+  const Bytes file = MakeFile(1500);
+
+  ASSERT_EQ(plane.Submit(session, net::ServingOp::kUpload, 10, file).status,
+            net::ServingStatus::kOk);
+  plane.Drain();
+  // Download under the plane default (staircase, empty payload)...
+  ASSERT_EQ(plane.Submit(session, net::ServingOp::kDownload, 10, {}).status,
+            net::ServingStatus::kOk);
+  // ...and under an explicit per-request classic override.
+  ASSERT_EQ(plane
+                .Submit(session, net::ServingOp::kDownload, 10,
+                        ReadSpec::Classic(0).policy.Serialize())
+                .status,
+            net::ServingStatus::kOk);
+  plane.Drain();
+  std::size_t downloads = 0;
+  for (const auto& c : plane.TakeCompletions()) {
+    if (c.op != net::ServingOp::kDownload) continue;
+    ++downloads;
+    EXPECT_EQ(c.status, net::ServingStatus::kOk);
+    EXPECT_EQ(c.payload, file);
+  }
+  EXPECT_EQ(downloads, 2u);
+}
+
+TEST(CommServing, GarbagePolicyPayloadFailsTheRequestNotThePlane) {
+  ServingConfig cfg;
+  cfg.shards = 1;
+  cfg.params.n = 8;
+  cfg.params.t = 1;
+  cfg.params.l = 2;
+  cfg.params.r = 2;
+  cfg.params.field_bits = 256;
+  cfg.seed = 43;
+  ServingPlane plane(cfg);
+  const std::uint64_t session = plane.OpenSession();
+  const Bytes file = MakeFile(256);
+  ASSERT_EQ(plane.Submit(session, net::ServingOp::kUpload, 10, file).status,
+            net::ServingStatus::kOk);
+  plane.Drain();
+  ASSERT_EQ(
+      plane.Submit(session, net::ServingOp::kDownload, 10, Bytes{0xFF}).status,
+      net::ServingStatus::kOk);  // admitted; fails at execution
+  plane.Drain();
+  bool saw_failed = false;
+  for (const auto& c : plane.TakeCompletions()) {
+    if (c.op == net::ServingOp::kDownload) {
+      EXPECT_EQ(c.status, net::ServingStatus::kFailed);
+      saw_failed = true;
+    }
+  }
+  EXPECT_TRUE(saw_failed);
+  // The plane still serves: a clean download right after.
+  ASSERT_EQ(plane.Submit(session, net::ServingOp::kDownload, 10, {}).status,
+            net::ServingStatus::kOk);
+  plane.Drain();
+  for (const auto& c : plane.TakeCompletions()) {
+    if (c.op == net::ServingOp::kDownload) {
+      EXPECT_EQ(c.status, net::ServingStatus::kOk);
+      EXPECT_EQ(c.payload, file);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// StatusCode unification
+// ---------------------------------------------------------------------------
+
+TEST(CommStatus, WireValuesAreFrozenAndNamed) {
+  // The first seven values are serving-frame wire bytes; changing any of
+  // them breaks golden frames and live gateways.
+  EXPECT_EQ(static_cast<int>(StatusCode::kOk), 0);
+  EXPECT_EQ(static_cast<int>(StatusCode::kRejected), 1);
+  EXPECT_EQ(static_cast<int>(StatusCode::kDuplicate), 2);
+  EXPECT_EQ(static_cast<int>(StatusCode::kNotFound), 3);
+  EXPECT_EQ(static_cast<int>(StatusCode::kBadRoute), 4);
+  EXPECT_EQ(static_cast<int>(StatusCode::kBadSession), 5);
+  EXPECT_EQ(static_cast<int>(StatusCode::kFailed), 6);
+  EXPECT_EQ(kMaxWireStatus, 6);
+  EXPECT_EQ(net::kMaxServingStatus, kMaxWireStatus);
+  EXPECT_STREQ(StatusName(StatusCode::kOk), "Ok");
+  EXPECT_STREQ(StatusName(StatusCode::kBadSession), "BadSession");
+  EXPECT_STREQ(StatusName(StatusCode::kTimeout), "Timeout");
+  EXPECT_STREQ(StatusName(StatusCode::kUnavailable), "Unavailable");
+  EXPECT_STREQ(StatusName(StatusCode::kBadFrame), "BadFrame");
+}
+
+TEST(CommStatus, ExtendedCodesNeverSerialize) {
+  net::ServingResponseFrame resp;
+  resp.session = 1;
+  resp.request = 1;
+  resp.status = StatusCode::kTimeout;  // local-only code
+  EXPECT_THROW(resp.Serialize(), Error);
+  resp.status = StatusCode::kFailed;  // largest wire code still serializes
+  EXPECT_NO_THROW(resp.Serialize());
+}
+
+}  // namespace
+}  // namespace pisces

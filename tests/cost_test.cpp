@@ -74,5 +74,63 @@ TEST(CostModel, StorageCost) {
   EXPECT_DOUBLE_EQ(cost.StorageCostPerMonth(10.0), 1.0);
 }
 
+TEST(CostModel, EgressCostPerGiB) {
+  CostModel cost;
+  EXPECT_NEAR(cost.EgressCost(1024.0 * 1024.0 * 1024.0), 0.09, 1e-12);
+  EXPECT_NEAR(cost.EgressCost(0.0), 0.0, 1e-12);
+  cost.egress_per_gb = 0.18;
+  EXPECT_NEAR(cost.EgressCost(512.0 * 1024.0 * 1024.0), 0.09, 1e-12);
+}
+
+TEST(CostModel, ReconstructBytesClassicVsStaircase) {
+  // Classic bills all n full vectors; staircase bills exactly `need`
+  // vectors' worth regardless of d, plus per-contact request overhead.
+  EXPECT_DOUBLE_EQ(CostModel::ReconstructBytes(16, 8, 16, 1000.0, false),
+                   16000.0);
+  EXPECT_DOUBLE_EQ(CostModel::ReconstructBytes(16, 8, 16, 1000.0, true),
+                   8000.0);
+  EXPECT_DOUBLE_EQ(CostModel::ReconstructBytes(16, 8, 12, 1000.0, true),
+                   8000.0);
+  // Overhead scales with contacts on the staircase path, with n on classic.
+  EXPECT_DOUBLE_EQ(CostModel::ReconstructBytes(16, 8, 12, 1000.0, true, 50.0),
+                   8000.0 + 12 * 50.0);
+  EXPECT_DOUBLE_EQ(CostModel::ReconstructBytes(16, 8, 16, 1000.0, false, 50.0),
+                   16000.0 + 16 * 50.0);
+}
+
+TEST(CostModel, PlanReadPicksTheStaircasePath) {
+  CostModel cost;
+  const ReadPlanChoice plan = cost.PlanRead(16, 8, 1.0e6);
+  EXPECT_TRUE(plan.staircase);
+  // Egress is flat in d, so ties resolve toward the widest contact set.
+  EXPECT_EQ(plan.contacts, 16u);
+  EXPECT_NEAR(plan.share_bytes / (16.0 * 1.0e6), 8.0 / 16.0, 1e-9);
+  EXPECT_NEAR(plan.dollars_per_read, cost.EgressCost(8.0e6), 1e-12);
+}
+
+TEST(CostModel, PlanReadDegeneratesWhenStripingCannotWin) {
+  CostModel cost;
+  // need == n: striping moves the same share bytes as classic and adds no
+  // win; the planner must not claim one.
+  const ReadPlanChoice plan = cost.PlanRead(8, 8, 1.0e6);
+  EXPECT_FALSE(plan.staircase);
+  EXPECT_DOUBLE_EQ(plan.share_bytes, 8.0e6);
+}
+
+TEST(CostModel, PlanReadWeighsPerContactOverhead) {
+  CostModel cost;
+  // Tiny shares + huge per-contact overhead: a narrower contact set wins
+  // over the widest stripe because the share saving is dwarfed.
+  const ReadPlanChoice plan = cost.PlanRead(16, 8, 10.0, 1.0e6);
+  if (plan.staircase) {
+    EXPECT_EQ(plan.contacts, 8u);  // minimal-overhead degenerate stripe
+  }
+  // Regardless of path, the chosen plan is never costlier than classic.
+  EXPECT_LE(plan.dollars_per_read,
+            cost.EgressCost(CostModel::ReconstructBytes(16, 8, 16, 10.0,
+                                                        false, 1.0e6)) +
+                1e-12);
+}
+
 }  // namespace
 }  // namespace pisces

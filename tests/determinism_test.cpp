@@ -37,7 +37,7 @@ TEST(Determinism, IdenticalSeedsProduceIdenticalRuns) {
     HostMetrics m = cluster.TotalMetrics();
     return std::tuple{report.ok, m.rerandomize.bytes_sent,
                       m.recover.bytes_sent, m.rerandomize.msgs_sent,
-                      m.recover.msgs_sent, cluster.Download(1)};
+                      m.recover.msgs_sent, cluster.Download(pisces::ReadSpec::Classic(1))};
   };
   auto a = run(42);
   auto b = run(42);
@@ -56,7 +56,7 @@ TEST(Determinism, DifferentSeedsProduceDifferentShares) {
   c1.host(0).store().Stash(1);
   c2.host(0).store().Stash(1);
   EXPECT_NE(s1, s2);  // share randomness differs...
-  EXPECT_EQ(c1.Download(1), c2.Download(1));  // ...but contents agree
+  EXPECT_EQ(c1.Download(pisces::ReadSpec::Classic(1)), c2.Download(pisces::ReadSpec::Classic(1)));  // ...but contents agree
 }
 
 TEST(Determinism, ExperimentDriverIsReproducibleOnBytes) {
@@ -142,7 +142,7 @@ TEST(Determinism, PoolSizeNeverChangesSharesOrTranscripts) {
       o.stores.push_back(cluster.host(i).store().Load(1));
       cluster.host(i).store().Stash(1);
     }
-    o.download = cluster.Download(1);
+    o.download = cluster.Download(pisces::ReadSpec::Classic(1));
     return o;
   };
   Observed one = run(1);

@@ -229,9 +229,9 @@ TEST(ServingDifferential, BatchedRefreshMatchesSequentialPerFile) {
 
   // And both serve the original contents.
   for (std::uint64_t id = 1; id <= 5; ++id) {
-    EXPECT_EQ(batched->shard(batched->ShardOf(id)).Download(id),
+    EXPECT_EQ(batched->shard(batched->ShardOf(id)).Download(pisces::ReadSpec::Classic(id)),
               files[id - 1]);
-    EXPECT_EQ(sequential->shard(sequential->ShardOf(id)).Download(id),
+    EXPECT_EQ(sequential->shard(sequential->ShardOf(id)).Download(pisces::ReadSpec::Classic(id)),
               files[id - 1]);
   }
 }

@@ -21,7 +21,7 @@ TEST_P(FieldSweepTest, FullLifecycleAtEveryFieldSize) {
   Bytes file = rng.RandomBytes(1024);
   cluster.Upload(1, file);
   ASSERT_TRUE(cluster.RunUpdateWindow().ok);
-  EXPECT_EQ(cluster.Download(1), file);
+  EXPECT_EQ(cluster.Download(pisces::ReadSpec::Classic(1)), file);
 }
 
 INSTANTIATE_TEST_SUITE_P(FieldSizes, FieldSweepTest,
@@ -55,8 +55,8 @@ TEST(LongHorizon, ManyWindowsWithChurnAndAdversary) {
     WindowReport report = cluster.RunUpdateWindow();
     ASSERT_TRUE(report.ok) << "window " << w;
     adv.ObserveWindow();
-    EXPECT_EQ(cluster.Download(1), f1) << "window " << w;
-    if (w == 1 || w == 2) EXPECT_EQ(cluster.Download(2), f2);
+    EXPECT_EQ(cluster.Download(pisces::ReadSpec::Classic(1)), f1) << "window " << w;
+    if (w == 1 || w == 2) EXPECT_EQ(cluster.Download(pisces::ReadSpec::Classic(2)), f2);
   }
   // The adversary touched every host at least once yet never breached.
   EXPECT_FALSE(adv.AttemptReconstruction(1).has_value());

@@ -46,10 +46,10 @@ TEST(Fault, TamperedDealIsRejectedByChannelAuth) {
   // A single dropped dealing is one strike, not an exclusion.
   EXPECT_TRUE(cluster.hypervisor().excluded_dealers().empty());
   // Shares were consistently updated: the file still downloads.
-  EXPECT_EQ(cluster.Download(1), file);
+  EXPECT_EQ(cluster.Download(pisces::ReadSpec::Classic(1)), file);
   // And the next (untampered) window is clean.
   EXPECT_TRUE(cluster.RunUpdateWindow().ok);
-  EXPECT_EQ(cluster.Download(1), file);
+  EXPECT_EQ(cluster.Download(pisces::ReadSpec::Classic(1)), file);
 }
 
 TEST(Fault, CorruptDealerCaughtWithPlaintextLinks) {
@@ -86,7 +86,7 @@ TEST(Fault, CorruptDealerCaughtWithPlaintextLinks) {
   // Host 3 missed the retried round and was resynced from the fresh quorum.
   EXPECT_TRUE(cluster.hypervisor().stale_hosts().empty());
   // Data survives the whole episode.
-  EXPECT_EQ(cluster.Download(1), file);
+  EXPECT_EQ(cluster.Download(pisces::ReadSpec::Classic(1)), file);
 }
 
 TEST(Fault, CorruptMaskedShareHealedByRobustDecodeAndSenderSuspected) {
@@ -115,7 +115,7 @@ TEST(Fault, CorruptMaskedShareHealedByRobustDecodeAndSenderSuspected) {
   // never deserializing, depending on where the flipped bit lands).
   EXPECT_TRUE(ok);
   EXPECT_EQ(cluster.hypervisor().suspected_hosts().count(4), 1u);
-  EXPECT_EQ(cluster.Download(1), file);
+  EXPECT_EQ(cluster.Download(pisces::ReadSpec::Classic(1)), file);
   // The recovered target holds a working share again: the file survives even
   // with the suspect barred and the original survivors minus one.
   EXPECT_TRUE(cluster.host(0).store().Has(1));
@@ -161,7 +161,7 @@ TEST(Fault, GarbageMessagesAreSurvived) {
   cluster.sync().RunToQuiescence();
   // The junk sender has no session/certs; host should have dropped it all.
   EXPECT_TRUE(cluster.RunUpdateWindow().ok);
-  EXPECT_EQ(cluster.Download(1), file);
+  EXPECT_EQ(cluster.Download(pisces::ReadSpec::Classic(1)), file);
 }
 
 TEST(Fault, ForgedCertRejected) {
@@ -184,7 +184,7 @@ TEST(Fault, ForgedCertRejected) {
   Bytes file = Rng(7).RandomBytes(150);
   cluster.Upload(4, file);
   EXPECT_TRUE(cluster.RunUpdateWindow().ok);
-  EXPECT_EQ(cluster.Download(4), file);
+  EXPECT_EQ(cluster.Download(pisces::ReadSpec::Classic(4)), file);
 }
 
 TEST(Fault, AbortStuckSessionsReportsDescriptions) {

@@ -166,12 +166,12 @@ int main() {
   }
   std::printf("drill: victims rebooted and recovered their shares\n");
 
-  client.RequestFile(1);
+  client.BeginDownload(pisces::ReadSpec::Classic(1));
   Bytes back;
   const bool got = pump_client(
       [&] {
         if (client.ResponsesFor(1) < cc.params.degree() + 1) {
-          client.RetryDownload(1);
+          client.RetryDownload(pisces::ReadSpec::Classic(1));
           return false;
         }
         auto data = client.TryAssemble(1);

@@ -212,7 +212,7 @@ TEST(Trace, MetricsAreIdenticalWithTracingOnAndOff) {
     obs::ResetTrace();
     return std::tuple{report.ok, m.rerandomize.bytes_sent,
                       m.rerandomize.msgs_sent, m.recover.bytes_sent,
-                      m.recover.msgs_sent, cluster.Download(1)};
+                      m.recover.msgs_sent, cluster.Download(pisces::ReadSpec::Classic(1))};
   };
   EXPECT_EQ(run(false), run(true));
 }

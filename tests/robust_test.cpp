@@ -186,7 +186,7 @@ TEST(RobustDownload, ClientSurvivesLyingHosts) {
     }
     return true;
   });
-  Bytes back = cluster.Download(1);
+  Bytes back = cluster.Download(pisces::ReadSpec::Classic(1));
   cluster.net().SetMutator(nullptr);
   EXPECT_EQ(back, file);
 }

@@ -111,7 +111,7 @@ bool RunDrill(const DrillOptions& opt) {
                   static_cast<unsigned long long>(c.request),
                   net::ServingOpName(c.op),
                   static_cast<unsigned long long>(c.file_id),
-                  net::ServingStatusName(c.status));
+                  pisces::StatusName(c.status));
       if (c.op == ServingOp::kDownload) {
         DRILL_CHECK(c.payload == content.at(c.file_id),
                     "download of file %llu returned wrong bytes",
@@ -145,7 +145,7 @@ bool RunDrill(const DrillOptions& opt) {
                         adm.status == ServingStatus::kRejected,
                     "download of live file %llu refused: %s",
                     static_cast<unsigned long long>(id),
-                    net::ServingStatusName(adm.status));
+                    pisces::StatusName(adm.status));
         if (adm.status == ServingStatus::kRejected) {
           DRILL_CHECK(adm.retry_after_ms >= cfg.retry_after_ms,
                       "reject without a usable retry-after hint");

@@ -147,12 +147,12 @@ int main(int argc, char** argv) {
     if (!report.refresh_ok) return 1;
   }
 
-  client.RequestFile(1);
+  client.BeginDownload(pisces::ReadSpec::Classic(1));
   Bytes back;
   const bool got = pump_client(
       [&] {
         if (client.ResponsesFor(1) < cc.params.degree() + 1) {
-          client.RetryDownload(1);
+          client.RetryDownload(pisces::ReadSpec::Classic(1));
           return false;
         }
         auto data = client.TryAssemble(1);
