@@ -2,9 +2,11 @@
 # ASan+UBSan check: configures a dedicated build tree with PISCES_SANITIZE=ON
 # and runs the full test suite under both sanitizers -- including the chaos
 # drill, the multiprocess crash-restart drill (ctest -L mp_drill), whose
-# pisces_hostd children are themselves sanitized binaries, and the serving
+# pisces_hostd children are themselves sanitized binaries, the serving
 # lane (ctest -L serving: the open-loop load drill plus the wall-clock bench
-# smoke), so host-process and serving-plane code paths get the same
+# smoke), and the combined resharding drill (ctest -L reshare_drill: live
+# migrations + churn + Byzantine contributor under open-loop load), so
+# host-process, serving-plane, and shape-change code paths get the same
 # memory-safety scrutiny as in-process ones. Any report is fatal
 # (-fno-sanitize-recover=all + halt_on_error).
 #

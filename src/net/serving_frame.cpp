@@ -21,6 +21,7 @@ Bytes ServingRequestFrame::Serialize() const {
   ByteWriter w;
   w.U64(session);
   w.U64(request);
+  w.U64(epoch);
   w.U32(shard);
   w.U8(static_cast<std::uint8_t>(op));
   w.U64(file_id);
@@ -34,6 +35,7 @@ ServingRequestFrame ServingRequestFrame::Deserialize(
   ServingRequestFrame f;
   f.session = r.U64();
   f.request = r.U64();
+  f.epoch = r.U64();
   f.shard = r.U32();
   const std::uint8_t raw_op = r.U8();
   if (raw_op > kMaxServingOp) {
@@ -56,8 +58,8 @@ ServingRequestFrame ServingRequestFrame::Deserialize(
 std::string ServingRequestFrame::Describe() const {
   std::ostringstream out;
   out << "serving " << ServingOpName(op) << " session=" << session
-      << " req=" << request << " shard=" << shard << " file=" << file_id
-      << " payload=" << payload.size() << "B";
+      << " req=" << request << " epoch=" << epoch << " shard=" << shard
+      << " file=" << file_id << " payload=" << payload.size() << "B";
   return out.str();
 }
 
@@ -104,6 +106,56 @@ std::string ServingResponseFrame::Describe() const {
   out << "serving " << StatusName(status) << " session=" << session
       << " req=" << request << " retry_after=" << retry_after_ms << "ms"
       << " payload=" << payload.size() << "B";
+  return out.str();
+}
+
+Bytes RoutingMap::Serialize() const {
+  Require(shards.size() <= kMaxRoutingShards,
+          "RoutingMap: shard count exceeds wire cap");
+  ByteWriter w;
+  w.U64(epoch);
+  w.U32(static_cast<std::uint32_t>(shards.size()));
+  for (const RoutingShard& s : shards) {
+    Require(s.migrating <= 1, "RoutingMap: migrating byte must be 0 or 1");
+    w.U32(s.n);
+    w.U32(s.t);
+    w.U8(s.migrating);
+  }
+  return w.Take();
+}
+
+RoutingMap RoutingMap::Deserialize(std::span<const std::uint8_t> data) {
+  ByteReader r(data);
+  RoutingMap m;
+  m.epoch = r.U64();
+  // Cap check fires on the announced count, before reserving anything for
+  // the claimed shard list.
+  const std::uint32_t count = r.U32();
+  if (count > kMaxRoutingShards) {
+    throw ParseError("RoutingMap: shard count exceeds wire cap");
+  }
+  m.shards.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    RoutingShard s;
+    s.n = r.U32();
+    s.t = r.U32();
+    s.migrating = r.U8();
+    if (s.migrating > 1) {
+      throw ParseError("RoutingMap: migrating byte must be 0 or 1");
+    }
+    m.shards.push_back(s);
+  }
+  if (!r.AtEnd()) throw ParseError("RoutingMap: trailing bytes");
+  return m;
+}
+
+std::string RoutingMap::Describe() const {
+  std::ostringstream out;
+  out << "routing-map epoch=" << epoch << " shards=" << shards.size();
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    out << " [" << i << ": n=" << shards[i].n << " t=" << shards[i].t
+        << (shards[i].migrating != 0 ? " migrating" : "") << "]";
+  }
   return out.str();
 }
 

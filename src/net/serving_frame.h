@@ -17,6 +17,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "common/bytes.h"
 #include "common/status.h"
@@ -51,15 +52,25 @@ const char* ServingOpName(ServingOp op);
 inline constexpr std::size_t kMaxServingPayload = kMaxPayload - 64;
 
 // Fixed header bytes preceding the length-prefixed payload of a request:
-// session(8) + request(8) + shard(4) + op(1) + file_id(8) + len(4).
-inline constexpr std::size_t kServingRequestHeaderSize = 8 + 8 + 4 + 1 + 8 + 4;
+// session(8) + request(8) + epoch(8) + shard(4) + op(1) + file_id(8) +
+// len(4). The epoch sits between the ordinal and the routing header so the
+// whole "which fleet shape am I talking to" block (epoch + shard) is
+// contiguous on the wire; the layout is frozen by an exact-bytes test.
+inline constexpr std::size_t kServingRequestHeaderSize =
+    8 + 8 + 8 + 4 + 1 + 8 + 4;
 // Response: session(8) + request(8) + status(1) + retry_after_ms(4) + len(4).
 inline constexpr std::size_t kServingResponseHeaderSize = 8 + 8 + 1 + 4 + 4;
 
 struct ServingRequestFrame {
   std::uint64_t session = 0;  // logical session id (multiplexing key)
   std::uint64_t request = 0;  // per-session ordinal, strictly increasing
-  std::uint32_t shard = 0;    // routing header: ShardRouter::ShardOf(file)
+  // Routing-map version the sender routed under. 0 means "unversioned":
+  // a legacy client that has never seen a map; the plane accepts it and
+  // validates only the shard header. Any non-zero value must equal the
+  // plane's current epoch or the request is refused with kBadRoute (and the
+  // response carries the current RoutingMap so the client can re-route).
+  std::uint64_t epoch = 0;
+  std::uint32_t shard = 0;  // routing header: ShardRouter::ShardOf(file)
   ServingOp op = ServingOp::kPing;
   std::uint64_t file_id = 0;
   Bytes payload;
@@ -82,5 +93,37 @@ struct ServingResponseFrame {
   static ServingResponseFrame Deserialize(std::span<const std::uint8_t> data);
   std::string Describe() const;
 };
+
+// Hard cap on the shard count a routing map may announce; checked before any
+// allocation when parsing, like every other length field on the wire.
+inline constexpr std::uint32_t kMaxRoutingShards = 4096;
+
+// Per-shard entry of a RoutingMap: the group shape serving that shard.
+struct RoutingShard {
+  std::uint32_t n = 0;
+  std::uint32_t t = 0;
+  // 1 while the shard is mid-migration (drained, not yet cut over); clients
+  // should expect kRejected backpressure. Any wire value other than 0/1 is a
+  // ParseError -- the spare byte is not an extension point.
+  std::uint8_t migrating = 0;
+};
+
+// Versioned routing map pushed to clients inside kBadRoute responses (and
+// fetchable out of band). The epoch is monotone: a map with a lower epoch
+// than one already adopted must be discarded by the client (rollback).
+//
+// Wire layout (frozen): epoch(8) + shard_count(4) + shard_count x
+// { n(4) + t(4) + migrating(1) }, exact consume.
+struct RoutingMap {
+  std::uint64_t epoch = 0;
+  std::vector<RoutingShard> shards;
+
+  Bytes Serialize() const;
+  static RoutingMap Deserialize(std::span<const std::uint8_t> data);
+  std::string Describe() const;
+};
+
+inline constexpr std::size_t kRoutingMapHeaderSize = 8 + 4;
+inline constexpr std::size_t kRoutingShardSize = 4 + 4 + 1;
 
 }  // namespace pisces::net

@@ -50,6 +50,9 @@ constexpr KindInfo kKinds[static_cast<std::size_t>(SpanKind::kCount)] = {
     {"net.connect", "net", nullptr},
     {"serving.request", "serving", nullptr},
     {"serving.refresh_batch", "serving", nullptr},
+    {"reshare.session", "proto", nullptr},
+    {"reshare.file", "proto", nullptr},
+    {"serving.reshard", "serving", nullptr},
 };
 
 const KindInfo& Info(SpanKind k) {

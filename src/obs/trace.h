@@ -57,6 +57,9 @@ enum class SpanKind : std::uint32_t {
   kNetConnect,         // async-TCP (re)connect; a = self, b = peer
   kServingRequest,     // one serving-plane request; a = session, b = file
   kServingRefresh,     // one batched shard refresh launch; a = shard, b = #files
+  kReshare,            // one fleet migration to (n', t'); a = #files, b = n'
+  kReshareFile,        // one file's reshare round; a = file, b = attempt
+  kReshardShard,       // one serving-plane shard reshard; a = shard, b = epoch
   kCount
 };
 

@@ -1,0 +1,198 @@
+#include "pisces/autoscaler.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+#include "obs/registry.h"
+
+namespace pisces {
+
+namespace {
+
+struct ElasticCounters {
+  obs::Counter& grows = obs::RegisterCounter(
+      "elastic.grows", "shard fleets grown by the autoscaler");
+  obs::Counter& shrinks = obs::RegisterCounter(
+      "elastic.shrinks", "shard fleets shrunk by the autoscaler");
+  obs::Counter& reprovisions = obs::RegisterCounter(
+      "elastic.reprovisions",
+      "dead slots re-provisioned through a degenerate reshare");
+  obs::Counter& holds = obs::RegisterCounter(
+      "elastic.holds", "autoscaler sweeps that left a shard unchanged");
+  obs::Counter& denied = obs::RegisterCounter(
+      "elastic.denied", "scale decisions denied by budget or a failed reshard");
+};
+
+ElasticCounters& Counters() {
+  static ElasticCounters* c = new ElasticCounters();
+  return *c;
+}
+
+}  // namespace
+
+const char* ScaleActionName(ScaleAction action) {
+  switch (action) {
+    case ScaleAction::kHold: return "hold";
+    case ScaleAction::kGrow: return "grow";
+    case ScaleAction::kShrink: return "shrink";
+    case ScaleAction::kReprovision: return "reprovision";
+  }
+  return "unknown";
+}
+
+ElasticAutoscaler::ElasticAutoscaler(AutoscalerConfig cfg)
+    : cfg_(std::move(cfg)) {
+  Require(cfg_.min_n >= 4, "ElasticAutoscaler: min_n below any valid group");
+  Require(cfg_.min_n <= cfg_.max_n, "ElasticAutoscaler: min_n > max_n");
+  Require(cfg_.grow_step > 0, "ElasticAutoscaler: grow_step must be positive");
+  Require(cfg_.grow_pressure > cfg_.shrink_pressure,
+          "ElasticAutoscaler: grow threshold must sit above shrink");
+}
+
+pss::Params ElasticAutoscaler::ScaledParams(const pss::Params& base,
+                                            std::size_t n) {
+  pss::Params p = base;
+  p.n = n;
+  // Largest t with 3t + l < n AND r + l < n - 3t, i.e. the most corruption
+  // tolerance the packed constraints allow at this fleet size.
+  for (std::size_t t = (n - 1) / 3 + 1; t-- > 1;) {
+    p.t = t;
+    if (p.IsValid()) return p;
+  }
+  throw Error("ElasticAutoscaler: no valid threshold at n=" +
+              std::to_string(n) + " for l=" + std::to_string(base.l) +
+              " r=" + std::to_string(base.r));
+}
+
+double ElasticAutoscaler::HourlyCost(std::size_t n) const {
+  const InstanceSpec& spec = SpecOf(cfg_.instance);
+  return static_cast<double>(n) *
+         (cfg_.spot ? spec.spot_per_hour : spec.dedicated_per_hour);
+}
+
+ScaleDecision ElasticAutoscaler::Decide(const ShardSignal& signal,
+                                        std::uint64_t tick) {
+  ScaleDecision d;
+  d.target = signal.params;
+
+  auto it = applied_tick_.find(signal.shard);
+  if (it != applied_tick_.end() && tick - it->second < cfg_.cooldown_ticks) {
+    d.reason = "cooldown";
+    return d;
+  }
+
+  // Health first: a fleet with dead slots is losing redundancy every tick it
+  // waits, so re-provisioning outranks any demand signal. The degenerate
+  // reshare (same shape) re-deals every file across the full fleet, which
+  // boots and refills the dead slots without reconstructing anything --
+  // redistribution-as-recovery.
+  if (signal.dead_hosts > 0) {
+    d.action = ScaleAction::kReprovision;
+    d.reason = std::to_string(signal.dead_hosts) +
+               " dead slot(s); re-provision via degenerate reshare";
+    return d;
+  }
+
+  const double pressure =
+      signal.capacity == 0
+          ? 0.0
+          : static_cast<double>(signal.queue_depth) /
+                static_cast<double>(signal.capacity);
+
+  if (pressure > cfg_.grow_pressure && signal.params.n < cfg_.max_n) {
+    const std::size_t n2 =
+        std::min(cfg_.max_n, signal.params.n + cfg_.grow_step);
+    const double cost2 = HourlyCost(n2);
+    if (cfg_.budget_per_hour > 0.0 && cost2 > cfg_.budget_per_hour) {
+      d.reason = "grow denied: $" + std::to_string(cost2) +
+                 "/h exceeds budget $" + std::to_string(cfg_.budget_per_hour) +
+                 "/h";
+      Counters().denied.Add(1);
+      return d;
+    }
+    d.action = ScaleAction::kGrow;
+    d.target = ScaledParams(signal.params, n2);
+    d.dollars_per_hour_delta = cost2 - HourlyCost(signal.params.n);
+    d.reason = "pressure " + std::to_string(pressure) + " above grow threshold";
+    return d;
+  }
+
+  if (pressure < cfg_.shrink_pressure && signal.params.n > cfg_.min_n) {
+    const std::size_t n2 = std::max(
+        cfg_.min_n, signal.params.n > cfg_.grow_step
+                        ? signal.params.n - cfg_.grow_step
+                        : cfg_.min_n);
+    try {
+      d.target = ScaledParams(signal.params, n2);
+    } catch (const Error&) {
+      d.reason = "shrink infeasible: no valid threshold at n=" +
+                 std::to_string(n2);
+      return d;
+    }
+    d.action = ScaleAction::kShrink;
+    d.dollars_per_hour_delta = HourlyCost(n2) - HourlyCost(signal.params.n);
+    d.reason =
+        "pressure " + std::to_string(pressure) + " below shrink threshold";
+    return d;
+  }
+
+  d.reason = "pressure in band";
+  return d;
+}
+
+void ElasticAutoscaler::NoteApplied(std::uint32_t shard, std::uint64_t tick) {
+  applied_tick_[shard] = tick;
+}
+
+AutoscaleReport RunAutoscaler(ServingPlane& plane, ElasticAutoscaler& scaler,
+                              std::uint64_t tick) {
+  AutoscaleReport rep;
+  for (std::uint32_t s = 0; s < plane.shard_count(); ++s) {
+    ShardSignal sig;
+    sig.shard = s;
+    sig.queue_depth = plane.QueueDepth(s);
+    sig.capacity = plane.config().admission_capacity;
+    sig.params = plane.shard_params(s);
+    Cluster& cluster = plane.shard(s);
+    for (std::uint32_t i = 0; i < sig.params.n; ++i) {
+      if (!cluster.host(i).online() || cluster.net().IsOffline(i)) {
+        sig.dead_hosts += 1;
+      }
+    }
+
+    const ScaleDecision d = scaler.Decide(sig, tick);
+    if (d.action == ScaleAction::kHold) {
+      rep.holds += 1;
+      Counters().holds.Add(1);
+      continue;
+    }
+    LogInfo() << "autoscaler: shard " << s << " " << ScaleActionName(d.action)
+              << " to n=" << d.target.n << " t=" << d.target.t << " ("
+              << d.reason << ", $" << d.dollars_per_hour_delta << "/h)";
+    if (!plane.Reshard(s, d.target)) {
+      rep.denied += 1;
+      Counters().denied.Add(1);
+      continue;
+    }
+    scaler.NoteApplied(s, tick);
+    switch (d.action) {
+      case ScaleAction::kGrow:
+        rep.grows += 1;
+        Counters().grows.Add(1);
+        break;
+      case ScaleAction::kShrink:
+        rep.shrinks += 1;
+        Counters().shrinks.Add(1);
+        break;
+      case ScaleAction::kReprovision:
+        rep.reprovisions += 1;
+        Counters().reprovisions.Add(1);
+        break;
+      case ScaleAction::kHold:
+        break;
+    }
+  }
+  return rep;
+}
+
+}  // namespace pisces

@@ -1,0 +1,116 @@
+// Elastic-fleet autoscaler: policy layer that turns serving-plane pressure
+// and EC2 pricing into reshare decisions (docs/resharding.md).
+//
+// The autoscaler closes the loop the paper leaves to the operator: admission
+// queues measure demand, the CostModel prices supply, and the live reshare
+// subsystem (ServingPlane::Reshard -> Hypervisor::Reshare) applies the
+// chosen group shape without reconstructing a single file. Three stimuli,
+// in priority order:
+//
+//   * dead fleet slots (spot churn, crashes)  -> kReprovision: a degenerate
+//     reshare to the SAME shape re-deals every file to the full fleet,
+//     reviving dead slots through redistribution instead of per-file
+//     recovery sessions;
+//   * sustained queue pressure above grow_pressure -> kGrow to n + grow_step
+//     (t scales to the largest valid threshold, so a bigger fleet also
+//     tolerates more corruptions), unless the hourly bill would exceed
+//     budget_per_hour;
+//   * pressure below shrink_pressure -> kShrink by grow_step, never below
+//     min_n, returning rented instances to the provider.
+//
+// Decisions are pure and deterministic: same signal + same tick -> same
+// decision, no RNG, no wall clock. A per-shard cooldown keeps the policy
+// from thrashing between grow and shrink on a noisy queue.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "pisces/cost_model.h"
+#include "pisces/serving.h"
+
+namespace pisces {
+
+enum class ScaleAction { kHold, kGrow, kShrink, kReprovision };
+
+const char* ScaleActionName(ScaleAction action);
+
+struct AutoscalerConfig {
+  // Queue pressure = depth / admission_capacity. Grow above, shrink below.
+  double grow_pressure = 0.75;
+  double shrink_pressure = 0.10;
+  // Fleet-size step per grow/shrink decision.
+  std::size_t grow_step = 4;
+  std::size_t min_n = 4;
+  std::size_t max_n = 64;
+  // Hard hourly budget for one shard's fleet (0 = unlimited). A grow whose
+  // hourly bill would cross it is denied and logged, not clamped.
+  double budget_per_hour = 0.0;
+  bool spot = true;  // price against the spot or dedicated column
+  InstanceType instance = InstanceType::kMedium;
+  // Ticks a shard must wait after any applied action before the next one.
+  std::uint64_t cooldown_ticks = 2;
+};
+
+// Per-shard demand/health snapshot fed into Decide.
+struct ShardSignal {
+  std::uint32_t shard = 0;
+  std::size_t queue_depth = 0;
+  std::size_t capacity = 1;
+  pss::Params params;           // shape currently serving the shard
+  std::size_t dead_hosts = 0;   // offline/unreachable fleet slots
+};
+
+struct ScaleDecision {
+  ScaleAction action = ScaleAction::kHold;
+  pss::Params target;  // meaningful when action != kHold
+  // Hourly compute-bill change this decision causes (negative for shrink).
+  double dollars_per_hour_delta = 0.0;
+  std::string reason;
+};
+
+class ElasticAutoscaler {
+ public:
+  explicit ElasticAutoscaler(AutoscalerConfig cfg);
+
+  const AutoscalerConfig& config() const { return cfg_; }
+
+  // Largest-threshold shape at fleet size `n` keeping base's packing l,
+  // recovery chunk r, pool width b, and field: t' = max t with the packed
+  // constraints (3t + l < n, r + l < n - 3t) still satisfied. Throws when
+  // no valid t exists for this n.
+  static pss::Params ScaledParams(const pss::Params& base, std::size_t n);
+
+  // Pure policy decision for one shard at `tick`. Never mutates a fleet;
+  // RunAutoscaler applies it.
+  ScaleDecision Decide(const ShardSignal& signal, std::uint64_t tick);
+
+  // Marks `shard`'s decision as applied at `tick`, starting its cooldown.
+  void NoteApplied(std::uint32_t shard, std::uint64_t tick);
+
+  // Hourly compute bill for an n-instance fleet under this config's pricing
+  // column (flat region fee excluded: it is per-deployment, not per-shard).
+  double HourlyCost(std::size_t n) const;
+
+ private:
+  AutoscalerConfig cfg_;
+  std::map<std::uint32_t, std::uint64_t> applied_tick_;
+};
+
+struct AutoscaleReport {
+  std::size_t grows = 0;
+  std::size_t shrinks = 0;
+  std::size_t reprovisions = 0;
+  std::size_t holds = 0;
+  std::size_t denied = 0;   // grow blocked by budget, or any reshard failure
+};
+
+// One autoscaler sweep: reads every shard's queue depth and fleet health off
+// the plane, asks `scaler` for a decision, and applies non-hold decisions
+// through ServingPlane::Reshard (which re-routes sessions via the epoch
+// bump). Deterministic given the plane state and tick.
+AutoscaleReport RunAutoscaler(ServingPlane& plane, ElasticAutoscaler& scaler,
+                              std::uint64_t tick);
+
+}  // namespace pisces

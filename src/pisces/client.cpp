@@ -437,6 +437,28 @@ Bytes Client::AssembleRobust(const FileMeta& meta, std::uint64_t* extra_cpu_ns) 
   return codec_.Decode(meta, elems, extra_cpu_ns);
 }
 
+void Client::AdoptParams(const pss::Params& params) {
+  params.Validate();
+  Require(params.l == cfg_.params.l,
+          "Client::AdoptParams: packing must match (re-pack via the codec)");
+  Require(params.field_bits == cfg_.params.field_bits,
+          "Client::AdoptParams: field must match");
+  // Finished uploads keep a payload-less entry behind for UploadAcks; only
+  // cached retry payloads or an open download mean in-flight work.
+  for (const auto& [id, up] : uploads_) {
+    Require(up.payloads.empty(),
+            "Client::AdoptParams: upload " + std::to_string(id) +
+                " still in flight");
+  }
+  Require(downloads_.empty(),
+          "Client::AdoptParams: downloads still in flight");
+  cfg_.params = params;
+  shamir_ = std::make_shared<pss::PackedShamir>(cfg_.ctx, cfg_.params);
+  // codec_ depends only on l, which is fixed across a reshare; the ack
+  // bookkeeping named hosts of the old fleet, so it goes.
+  uploads_.clear();
+}
+
 void Client::RequestDelete(std::uint64_t file_id) {
   for (std::size_t i = 0; i < cfg_.params.n; ++i) {
     Message m;

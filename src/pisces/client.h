@@ -77,6 +77,13 @@ class Client : public net::MessageHandler {
 
   void RequestDelete(std::uint64_t file_id);
 
+  // Retargets the client at a resharded fleet (Hypervisor::Reshare). The
+  // packing l must match -- the codec's chunking depends only on l, so every
+  // stored FileMeta stays valid across the migration. Refuses while uploads
+  // or downloads are in flight (their share vectors are sized for the old
+  // fleet).
+  void AdoptParams(const pss::Params& params);
+
   void HandleMessage(const net::Message& msg) override;
 
   const PhaseMetrics& metrics() const { return metrics_; }

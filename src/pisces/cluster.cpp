@@ -142,18 +142,36 @@ WindowReport Cluster::RunUpdateWindow() { return hypervisor_->RunUpdateWindow();
 
 bool Cluster::RefreshAllFiles() { return hypervisor_->RefreshAllFiles(); }
 
+ReshareReport Cluster::Reshare(const pss::Params& to) {
+  ReshareReport report;
+  if (!hypervisor_->Reshare(to, &report)) {
+    std::string detail = "Cluster::Reshare: migration failed";
+    for (const std::string& f : report.failures) detail += "; " + f;
+    throw Error(detail);
+  }
+  // The fleet has already adopted `to`; retarget everything fleet-shaped.
+  cfg_.params = to;
+  deployment_ = Deployment::SingleCloud(to.n);
+  EnsureGlobalPoolThreads(to.b);
+  client_->AdoptParams(to);
+  return report;
+}
+
 void Cluster::ArmByzantine(const ByzantinePlan& plan) {
   // Disarm before replacing: hosts must never hold a pointer into an engine
   // that is about to be destroyed.
   DisarmByzantine();
   byzantine_ = std::make_unique<ByzantineEngine>(plan, *ctx_);
-  for (std::uint32_t i = 0; i < cfg_.params.n; ++i) {
+  // Cover every physical slot, not just the current n: after a shrink the
+  // parked hosts outlive the group shape, and a later grow revives them --
+  // they must never come back holding an actor from a destroyed engine.
+  for (std::uint32_t i = 0; i < hypervisor_->host_slots(); ++i) {
     hypervisor_->host(i).ArmByzantine(byzantine_->ActorFor(i));
   }
 }
 
 void Cluster::DisarmByzantine() {
-  for (std::uint32_t i = 0; i < cfg_.params.n; ++i) {
+  for (std::uint32_t i = 0; i < hypervisor_->host_slots(); ++i) {
     hypervisor_->host(i).ArmByzantine(nullptr);
   }
   byzantine_.reset();

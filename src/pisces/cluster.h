@@ -61,6 +61,11 @@ class Cluster {
   // --- proactive operations ---
   WindowReport RunUpdateWindow();
   bool RefreshAllFiles();
+  // Live migration to a new group shape (n', t') without reconstructing any
+  // file (docs/resharding.md). The packing l and field must match the
+  // current params. Throws Error when the migration cannot complete; the
+  // old fleet keeps serving in that case. Returns the hypervisor's report.
+  ReshareReport Reshare(const pss::Params& to);
 
   // --- active adversary (tests, seed sweeps) ---
   // Arms every host named in `plan` with a seeded ByzantineActor; honest

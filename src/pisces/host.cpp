@@ -1192,4 +1192,42 @@ bool Host::HasActiveSessions() const {
   return !refresh_.empty() || !survivor_.empty() || !target_.empty();
 }
 
+std::optional<std::vector<std::vector<field::FpElem>>> Host::ComputeReshare(
+    std::uint64_t file_id, const pss::ResharePublic& pub,
+    std::size_t ordinal) {
+  if (!online_ || !store_.Has(file_id)) return std::nullopt;
+  if (byz_ != nullptr && byz_->WithholdSend()) return std::nullopt;
+  ComputeSection section(metrics_.rerandomize, obs::SpanKind::kReshareFile,
+                         cfg_.id, file_id);
+  const std::vector<field::FpElem>& shares = store_.Load(file_id);
+  return pss::ReshareContribution(pub, ordinal, shares, rng_, byz_);
+}
+
+void Host::AdoptParams(const pss::Params& params) {
+  Require(!HasActiveSessions(),
+          "Host::AdoptParams: refresh/recovery sessions still active");
+  params.Validate();
+  Require(params.l == cfg_.params.l,
+          "Host::AdoptParams: packing must match (re-pack via the codec)");
+  cfg_.params = params;
+  shamir_ = std::make_shared<pss::PackedShamir>(cfg_.ctx, cfg_.params);
+  // The old-scheme share state is obsolete the moment the fleet reshapes;
+  // keeping it would hand a mobile adversary a second, stale sharing to
+  // collect. Keys and channels survive: resharing rotates share state, not
+  // identities.
+  store_.WipeAll();
+  pending_.clear();
+  failed_refresh_.clear();
+  refresh_started_.clear();
+  recovery_started_.clear();
+}
+
+void Host::InstallShares(const FileMeta& meta,
+                         std::vector<field::FpElem> shares) {
+  Require(online_, "Host::InstallShares: host is offline");
+  Require(shares.size() == meta.num_blocks,
+          "Host::InstallShares: share count does not match meta");
+  store_.Put(meta, std::move(shares));
+}
+
 }  // namespace pisces

@@ -31,6 +31,7 @@
 #include "pisces/share_store.h"
 #include "pss/recovery.h"
 #include "pss/refresh.h"
+#include "pss/reshare.h"
 
 namespace pisces {
 
@@ -119,6 +120,28 @@ class Host : public net::MessageHandler {
   };
   std::optional<FailedRefresh> TakeFailedRefresh(std::uint64_t file_id,
                                                  std::uint32_t epoch);
+
+  // --- resharing (privileged hypervisor calls; docs/resharding.md) ---
+  // Computes this host's masked reshare contribution toward the new group
+  // from nothing but its OWN stored share vector of `file_id`. Returns
+  // nullopt when the host is offline, does not hold the file, or (armed with
+  // a withholding actor) silently skips the send. The finished matrix passes
+  // through the Byzantine deal-tamper seam before it leaves the host, so the
+  // verification path downstream faces the same adversary as refresh.
+  std::optional<std::vector<std::vector<field::FpElem>>> ComputeReshare(
+      std::uint64_t file_id, const pss::ResharePublic& pub,
+      std::size_t ordinal);
+
+  // Adopts a new group shape: wipes every stored share (the old-scheme share
+  // state is obsolete after a reshare -- proactive obsolescence) and rebuilds
+  // the local scheme. Keys, certs, and channels survive: resharing is a
+  // share-state operation; key rotation stays with secure reboot.
+  void AdoptParams(const pss::Params& params);
+
+  // Installs a reshared file (privileged re-provisioning; the reshare analog
+  // of the recovery target's apply step).
+  void InstallShares(const FileMeta& meta,
+                     std::vector<field::FpElem> shares);
 
   ShareStore& store() { return store_; }
   const ShareStore& store() const { return store_; }

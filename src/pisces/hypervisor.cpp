@@ -32,6 +32,35 @@ obs::Counter& SurvivorsSuspected() {
   return c;
 }
 
+// Reshare migration counters (reshare.*): the no-reconstruction invariant is
+// asserted against these plus the absence of kReconstructRequest wire bytes
+// (net/net_obs.h) during a migration.
+struct ReshareCounters {
+  obs::Counter& migrations = obs::RegisterCounter(
+      "reshare.migrations", "completed fleet migrations to a new group shape");
+  obs::Counter& files = obs::RegisterCounter(
+      "reshare.files", "files migrated to a new sharing without reconstruction");
+  obs::Counter& contributions = obs::RegisterCounter(
+      "reshare.contributions", "reshare sub-sharings received from contributors");
+  obs::Counter& rejected = obs::RegisterCounter(
+      "reshare.contributions_rejected",
+      "reshare sub-sharings rejected by public verification");
+  obs::Counter& withheld = obs::RegisterCounter(
+      "reshare.contributions_withheld",
+      "reshare sub-sharings withheld by silent contributors");
+  obs::Counter& retries = obs::RegisterCounter(
+      "reshare.retries", "per-file reshare rounds re-run with offenders excluded");
+  obs::Counter& hosts_added = obs::RegisterCounter(
+      "reshare.hosts_added", "fleet slots created or revived by a migration");
+  obs::Counter& hosts_retired = obs::RegisterCounter(
+      "reshare.hosts_retired", "fleet slots shut down by a shrink migration");
+};
+
+ReshareCounters& ReshareObs() {
+  static ReshareCounters* c = new ReshareCounters();
+  return *c;
+}
+
 }  // namespace
 
 Hypervisor::Hypervisor(HypervisorConfig cfg, net::SimNet& net,
@@ -741,6 +770,168 @@ WindowReport Hypervisor::RunUpdateWindow() {
   }
   ++window_;
   return report;
+}
+
+bool Hypervisor::Reshare(const pss::Params& to, ReshareReport* report) {
+  to.Validate();
+  Require(to.l == cfg_.params.l,
+          "Hypervisor::Reshare: packing must match (re-pack via the codec)");
+  Require(to.field_bits == cfg_.params.field_bits,
+          "Hypervisor::Reshare: field must match");
+  const pss::Params from = cfg_.params;
+  ReshareReport local;
+  ReshareReport& rep = report != nullptr ? *report : local;
+  obs::Span span(obs::SpanKind::kReshare, window_, to.n);
+
+  const pss::PackedShamir& from_scheme = hosts_[0]->shamir();
+  pss::PackedShamir to_scheme(cfg_.ctx, to);
+  const std::size_t d_old = from.degree();
+
+  // Phase 1: per file, gather d_old+1 publicly verified contributions and
+  // sum them into the new sharing. Nothing in the fleet mutates until every
+  // file has a complete new sharing, so a failed migration leaves the old
+  // group serving untouched.
+  const std::vector<std::uint64_t> files = AllFileIds();
+  for (std::uint64_t id : catalog_) {
+    if (std::find(files.begin(), files.end(), id) == files.end()) {
+      rep.failures.push_back("reshare: file " + std::to_string(id) +
+                             " lost before migration (no online holder)");
+      rep.ok = false;
+    }
+  }
+  if (!rep.ok) return false;
+
+  std::map<std::uint64_t, std::vector<std::vector<FpElem>>> new_shares;
+  std::map<std::uint64_t, FileMeta> metas;
+  const std::size_t max_attempts = from.t + 2;
+  for (std::uint64_t file : files) {
+    auto meta = MetaFromAnyHost(file, {});
+    if (!meta.has_value()) {
+      rep.failures.push_back("reshare: file " + std::to_string(file) +
+                             " has no readable meta");
+      rep.ok = false;
+      continue;
+    }
+    bool migrated = false;
+    for (std::size_t attempt = 0; attempt < max_attempts && !migrated;
+         ++attempt) {
+      obs::Span round(obs::SpanKind::kReshareFile, file, attempt);
+      // Contributors: fresh (non-stale), non-excluded holders of the current
+      // sharing, ascending -- deterministic given the exclusion state.
+      std::vector<std::uint32_t> holders;
+      for (std::uint32_t i : ReachableHosts()) {
+        if (excluded_.count(i) != 0 || stale_.count(i) != 0) continue;
+        if (hosts_[i]->store().Has(file)) holders.push_back(i);
+      }
+      if (holders.size() < d_old + 1) break;
+      holders.resize(d_old + 1);
+      pss::ResharePublic pub =
+          pss::MakeResharePublic(from_scheme, to_scheme, holders);
+
+      std::vector<std::vector<FpElem>> acc;
+      bool round_ok = true;
+      for (std::size_t ordinal = 0; ordinal < holders.size(); ++ordinal) {
+        const std::uint32_t c = holders[ordinal];
+        auto contribution = hosts_[c]->ComputeReshare(file, pub, ordinal);
+        rep.contributions += 1;
+        ReshareObs().contributions.Add(1);
+        if (!contribution.has_value()) {
+          // Silent contributor: same two-strike rule as refresh dealers.
+          rep.contributions_withheld += 1;
+          ReshareObs().withheld.Add(1);
+          if (++dealer_strikes_[c] >= 2) {
+            excluded_.insert(c);
+            recent_failures_.push_back("host " + std::to_string(c) +
+                                       " excluded: silent reshare contributor");
+          }
+          round_ok = false;
+          continue;
+        }
+        if (!pss::VerifyReshareContribution(pub, ordinal, *contribution)) {
+          // Provably corrupt sub-sharing: exclude immediately, like a dealer
+          // whose archived dealing column fails attribution.
+          rep.contributions_rejected += 1;
+          ReshareObs().rejected.Add(1);
+          obs::Span detect(obs::SpanKind::kByzDetect, c, file);
+          excluded_.insert(c);
+          recent_failures_.push_back(
+              "host " + std::to_string(c) +
+              " excluded: corrupt reshare contribution (file " +
+              std::to_string(file) + ")");
+          round_ok = false;
+          continue;
+        }
+        if (round_ok) pss::AccumulateReshare(*cfg_.ctx, acc, *contribution);
+      }
+      if (!round_ok) {
+        rep.retries += 1;
+        ReshareObs().retries.Add(1);
+        continue;
+      }
+      new_shares[file] = std::move(acc);
+      metas[file] = *meta;
+      migrated = true;
+    }
+    if (!migrated) {
+      rep.failures.push_back("reshare: file " + std::to_string(file) +
+                             " could not gather " + std::to_string(d_old + 1) +
+                             " verified contributions");
+      rep.ok = false;
+    }
+  }
+  if (!rep.ok) return false;
+
+  // Phase 2: reshape the fleet. Surviving slots wipe-and-adopt the new
+  // scheme; grown slots boot fresh (reviving parked slots from an earlier
+  // shrink); every slot < n' that is offline -- crashed, parked, or spot-
+  // killed -- is re-provisioned with a fresh boot. Shrunk slots shut down
+  // and park for a later grow.
+  const std::size_t n_old = from.n;
+  cfg_.params = to;
+  for (std::uint32_t i = hosts_.size(); i < to.n; ++i) {
+    net::SimEndpoint* ep = net_.AddEndpoint(i);
+    host_endpoints_.push_back(ep);
+    HostConfig hc;
+    hc.id = i;
+    hc.params = to;
+    hc.ctx = cfg_.ctx;
+    hc.encrypt_links = cfg_.encrypt_links;
+    hc.rng_seed = cfg_.seed;
+    hosts_.push_back(std::make_unique<Host>(hc, *ep, group_, ca_.public_key()));
+    sync_.Register(i, ep, hosts_.back().get());
+    peer_ids_.push_back(i);
+  }
+  for (std::uint32_t i = 0; i < to.n; ++i) {
+    hosts_[i]->AdoptParams(to);
+    if (!hosts_[i]->online() || net_.IsOffline(i)) {
+      BootHost(i);
+      rep.hosts_added += 1;
+      ReshareObs().hosts_added.Add(1);
+    }
+  }
+  for (std::uint32_t i = to.n; i < n_old && i < hosts_.size(); ++i) {
+    if (!hosts_[i]->online()) continue;
+    hosts_[i]->Shutdown();
+    net_.SetOffline(i, true);
+    rep.hosts_retired += 1;
+    ReshareObs().hosts_retired.Add(1);
+  }
+  schedule_ = MakeSchedule(cfg_.schedule, to.n, to.r, cfg_.seed ^ 0x5C4ED);
+  // Every slot is about to receive the fresh sharing: nobody is stale.
+  stale_.clear();
+  sync_.RunToQuiescence();  // deliver the boot cert broadcasts
+
+  // Phase 3: install the new sharings (privileged re-provisioning, the same
+  // control channel BootHost uses).
+  for (const auto& [file, shares] : new_shares) {
+    for (std::uint32_t rho = 0; rho < to.n; ++rho) {
+      hosts_[rho]->InstallShares(metas.at(file), shares[rho]);
+    }
+    rep.files += 1;
+    ReshareObs().files.Add(1);
+  }
+  ReshareObs().migrations.Add(1);
+  return rep.ok;
 }
 
 void Hypervisor::HandleMessage(const Message& msg) {

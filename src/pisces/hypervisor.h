@@ -74,6 +74,19 @@ struct WindowReport {
   std::uint64_t timeouts_fired = 0;
 };
 
+// Outcome of one Hypervisor::Reshare migration (docs/resharding.md).
+struct ReshareReport {
+  bool ok = true;
+  std::vector<std::string> failures;
+  std::size_t files = 0;          // files migrated to the new shape
+  std::size_t hosts_added = 0;    // fleet slots created or revived
+  std::size_t hosts_retired = 0;  // fleet slots shut down (shrink)
+  std::uint64_t contributions = 0;
+  std::uint64_t contributions_rejected = 0;  // failed public verification
+  std::uint64_t contributions_withheld = 0;  // silent contributors (strikes)
+  std::uint64_t retries = 0;  // per-file rounds re-run with offenders excluded
+};
+
 struct HypervisorConfig {
   pss::Params params;
   std::shared_ptr<const field::FpCtx> ctx;
@@ -100,7 +113,16 @@ class Hypervisor : public net::MessageHandler {
 
   Host& host(std::size_t i) { return *hosts_.at(i); }
   const Host& host(std::size_t i) const { return *hosts_.at(i); }
-  std::size_t n() const { return hosts_.size(); }
+  // Logical fleet size: the current group shape's n. After a shrink the
+  // hosts_ vector keeps retired slots parked (offline, wiped) for reuse by a
+  // later grow, so hosts_.size() may exceed n().
+  std::size_t n() const { return cfg_.params.n; }
+  // Physical slot count including parked ones (>= n() after a shrink).
+  // Anything that plants per-host state -- e.g. arming fault injectors --
+  // must cover every slot, or a parked host revived by a later grow comes
+  // back holding stale pointers.
+  std::size_t host_slots() const { return hosts_.size(); }
+  const pss::Params& params() const { return cfg_.params; }
   Bytes ca_public_key() const { return ca_.public_key(); }
   // Public cert directory (hypervisor-signed; used to provision newcomers).
   const std::map<std::uint32_t, crypto::HostCert>& directory() const {
@@ -131,6 +153,22 @@ class Hypervisor : public net::MessageHandler {
                         WindowReport* report = nullptr);
   // One full proactive update window: refresh, then every schedule batch.
   WindowReport RunUpdateWindow();
+
+  // --- live resharing (docs/resharding.md) ---
+  // Migrates every stored file to the new group shape `to` (same packing l,
+  // same field) WITHOUT reconstructing: each of d_old+1 contributor hosts
+  // deals a masked sub-sharing from its own share (pss/reshare.h), the
+  // hypervisor publicly verifies every contribution (corrupt contributors
+  // are excluded and the file's round retried, silent ones accrue strikes),
+  // and only when every file's new sharing is ready does the fleet reshape:
+  // surviving hosts wipe-and-adopt the new scheme, grown slots boot fresh
+  // (parked slots from an earlier shrink are revived), shrunk slots shut
+  // down, and every slot <n' -- including previously crashed ones -- ends
+  // online with the fresh sharing installed (re-provisioning through
+  // reshare, not recovery). Returns false, fleet untouched, when any file
+  // cannot gather d_old+1 verified contributions within the corruption
+  // bound.
+  bool Reshare(const pss::Params& to, ReshareReport* report = nullptr);
 
   void HandleMessage(const net::Message& msg) override;
 

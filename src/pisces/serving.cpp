@@ -43,6 +43,10 @@ struct ServingCounters {
       "serving.refresh_files", "files refreshed through the batch scheduler");
   obs::Counter& bad_frames = obs::RegisterCounter(
       "serving.bad_frames", "serving frames dropped as unparseable");
+  obs::Counter& reshards = obs::RegisterCounter(
+      "serving.reshards", "completed shard migrations (route epoch bumps)");
+  obs::Counter& stale_epoch = obs::RegisterCounter(
+      "serving.stale_epoch", "requests refused for a stale route epoch");
   obs::Gauge& queue_peak = obs::RegisterGauge(
       "serving.queue_peak", "deepest admission queue observed on any shard");
 };
@@ -85,6 +89,7 @@ ServingPlane::ServingPlane(ServingConfig cfg)
     cc.schedule = cfg_.schedule;
     shards_.push_back(std::make_unique<Cluster>(std::move(cc)));
   }
+  shard_params_.assign(cfg_.shards, cfg_.params);
   queues_.resize(cfg_.shards);
 }
 
@@ -138,6 +143,20 @@ ServingPlane::Admission ServingPlane::Submit(std::uint64_t session,
 
 ServingPlane::Admission ServingPlane::SubmitFrame(
     const net::ServingRequestFrame& frame) {
+  // Epoch check first: a frame stamped with any epoch other than the current
+  // one was routed under a different fleet shape, so its shard header is
+  // meaningless -- refuse before validating it. Epoch 0 is the unversioned
+  // sentinel (a client that has never seen a map) and is always accepted; a
+  // FUTURE epoch is refused too, since this plane cannot honor a map it has
+  // not published. The gateway attaches the current RoutingMap to every
+  // kBadRoute response so the sender can re-route instead of failing.
+  if (frame.epoch != 0 && frame.epoch != route_epoch_) {
+    stats_.refused += 1;
+    stats_.stale_epoch += 1;
+    Counters().refused.Add(1);
+    Counters().stale_epoch.Add(1);
+    return {ServingStatus::kBadRoute, 0};
+  }
   // Routing header is validated, never trusted: a client that hashed with a
   // stale shard map must learn about it instead of landing on a wrong group.
   if (IsRoutedOp(frame.op) && frame.shard != router_.ShardOf(frame.file_id)) {
@@ -424,6 +443,59 @@ bool ServingPlane::RunProactiveWindow() {
   return ok;
 }
 
+net::RoutingMap ServingPlane::routing_map() const {
+  net::RoutingMap map;
+  map.epoch = route_epoch_;
+  map.shards.reserve(cfg_.shards);
+  for (std::uint32_t s = 0; s < cfg_.shards; ++s) {
+    net::RoutingShard entry;
+    entry.n = static_cast<std::uint32_t>(shard_params_[s].n);
+    entry.t = static_cast<std::uint32_t>(shard_params_[s].t);
+    entry.migrating = 0;  // migrations are synchronous; see the header
+    map.shards.push_back(entry);
+  }
+  return map;
+}
+
+bool ServingPlane::Reshard(std::uint32_t shard, const pss::Params& to) {
+  Require(shard < cfg_.shards, "ServingPlane::Reshard: no such shard");
+  obs::Span span(obs::SpanKind::kReshardShard, shard, route_epoch_ + 1);
+
+  // Drain only the migrating shard's queue: admitted work must execute
+  // against a consistent group, and the namespace claims of queued uploads
+  // must resolve before the cutover. Other shards' queues are untouched --
+  // they keep serving through Poll() while this shard migrates.
+  while (!queues_[shard].empty()) {
+    Pending p = std::move(queues_[shard].front());
+    queues_[shard].pop_front();
+    Executed r = Execute(shard, std::move(p));
+    if (r.erase_file) files_.erase(r.completion.file_id);
+    if (r.completion.status == ServingStatus::kOk) {
+      stats_.completed += 1;
+      Counters().completed.Add(1);
+    } else {
+      stats_.failed += 1;
+      Counters().failed.Add(1);
+    }
+    completions_.push_back(std::move(r.completion));
+  }
+
+  try {
+    shards_[shard]->Reshare(to);
+  } catch (const Error& e) {
+    // Failed migrations leave the old group serving (Hypervisor::Reshare
+    // mutates nothing on failure), so the epoch must not move either.
+    LogWarn() << "serving: reshard of shard " << shard << " failed: "
+              << e.what();
+    return false;
+  }
+  shard_params_[shard] = to;
+  ++route_epoch_;
+  stats_.reshards += 1;
+  Counters().reshards.Add(1);
+  return true;
+}
+
 // ---- gateway --------------------------------------------------------------
 
 ServingGateway::ServingGateway(ServingPlane& plane, net::Transport& transport,
@@ -462,6 +534,12 @@ void ServingGateway::HandleMessage(const net::Message& msg) {
     resp.request = frame.request;
     resp.status = adm.status;
     resp.retry_after_ms = adm.retry_after_ms;
+    if (adm.status == net::ServingStatus::kBadRoute) {
+      // Push the current routing map with the refusal so the sender can
+      // re-stamp and re-route instead of failing the operation (the
+      // bounded-retry loop in ServingWireClient).
+      resp.payload = plane_.routing_map().Serialize();
+    }
     Respond(msg.from, frame.file_id, resp);
   }
   // Accepted requests answer through Pump() once their completion lands.

@@ -81,6 +81,8 @@ struct ServingStats {
   std::uint64_t queue_peak = 0;  // deepest any shard queue ever got
   std::uint64_t refresh_batches = 0;
   std::uint64_t refresh_files = 0;
+  std::uint64_t reshards = 0;     // completed shard migrations (epoch bumps)
+  std::uint64_t stale_epoch = 0;  // requests refused for a stale route epoch
 };
 
 class ServingPlane {
@@ -90,6 +92,8 @@ class ServingPlane {
 
   ServingPlane(const ServingPlane&) = delete;
   ServingPlane& operator=(const ServingPlane&) = delete;
+
+  const ServingConfig& config() const { return cfg_; }
 
   // --- shard namespace ---
   std::uint32_t shard_count() const { return cfg_.shards; }
@@ -101,6 +105,32 @@ class ServingPlane {
   const std::map<std::uint64_t, std::uint32_t>& files() const {
     return files_;
   }
+  // Group shape currently serving shard `i` (diverges from cfg_.params once
+  // that shard has been resharded).
+  const pss::Params& shard_params(std::uint32_t i) const {
+    return shard_params_.at(i);
+  }
+
+  // --- versioned routing ---
+  // Monotone routing-map version. Starts at 1 (0 is the wire's "unversioned"
+  // sentinel) and bumps on every completed Reshard, so a frame stamped with
+  // an old epoch is refused with kBadRoute instead of landing on a shard
+  // whose group shape changed under it.
+  std::uint64_t route_epoch() const { return route_epoch_; }
+  // Snapshot of the current routing map (pushed to wire clients inside
+  // kBadRoute responses; see ServingGateway). The plane migrates shards
+  // synchronously inside Reshard(), so an emitted map never shows a shard
+  // mid-migration: `migrating` is always 0 here. The wire field exists so an
+  // asynchronous cutover can use it without a layout change.
+  net::RoutingMap routing_map() const;
+
+  // Live migration of one shard's PSS group to the shape `to` (same packing
+  // l and field): drains only that shard's admission queue, reshares every
+  // file through Cluster::Reshare (no reconstruction -- docs/resharding.md),
+  // then bumps the route epoch. Untouched shards keep their queues and keep
+  // serving. Returns false (fleet and epoch untouched) when the migration
+  // fails.
+  bool Reshard(std::uint32_t shard, const pss::Params& to);
 
   // --- session layer ---
   std::uint64_t OpenSession();
@@ -185,6 +215,8 @@ class ServingPlane {
   ServingConfig cfg_;
   ShardRouter router_;
   std::vector<std::unique_ptr<Cluster>> shards_;
+  std::vector<pss::Params> shard_params_;  // current shape per shard
+  std::uint64_t route_epoch_ = 1;
   std::map<std::uint64_t, Session> sessions_;
   std::uint64_t next_session_ = 1;
   std::map<std::uint64_t, std::uint32_t> files_;  // live: id -> shard

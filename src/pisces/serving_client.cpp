@@ -1,0 +1,150 @@
+#include "pisces/serving_client.h"
+
+#include "common/log.h"
+#include "obs/registry.h"
+
+namespace pisces {
+
+namespace {
+
+struct WireClientCounters {
+  obs::Counter& reroutes = obs::RegisterCounter(
+      "serving.reroutes",
+      "requests re-sent under a fresher routing map after kBadRoute");
+  obs::Counter& reroutes_exhausted = obs::RegisterCounter(
+      "serving.reroutes_exhausted",
+      "kBadRoute refusals delivered terminally after the re-route budget");
+  obs::Counter& maps_adopted = obs::RegisterCounter(
+      "serving.maps_adopted", "routing maps adopted by wire clients");
+  obs::Counter& maps_rejected = obs::RegisterCounter(
+      "serving.maps_rejected",
+      "routing maps discarded as stale or rolled back by wire clients");
+};
+
+WireClientCounters& Counters() {
+  static WireClientCounters* c = new WireClientCounters();
+  return *c;
+}
+
+}  // namespace
+
+ServingWireClient::ServingWireClient(WireClientConfig cfg,
+                                     net::Transport& transport)
+    : cfg_(std::move(cfg)), transport_(transport) {}
+
+bool ServingWireClient::AdoptMap(const net::RoutingMap& map) {
+  // Strictly newer only: adopting an equal epoch is a no-op and an OLDER
+  // epoch is a rollback -- a refusal or out-of-band push must never drag the
+  // client back to a routing view the plane has already superseded.
+  if (map.epoch <= map_.epoch) {
+    Counters().maps_rejected.Add(1);
+    return false;
+  }
+  map_ = map;
+  Counters().maps_adopted.Add(1);
+  return true;
+}
+
+std::uint64_t ServingWireClient::Send(std::uint64_t session, net::ServingOp op,
+                                      std::uint64_t file_id, Bytes payload) {
+  const std::uint64_t ordinal = ++next_request_[session];
+  net::ServingRequestFrame f;
+  f.session = session;
+  f.request = ordinal;
+  f.epoch = map_.epoch;  // 0 before the first adoption: unversioned
+  f.shard = map_.shards.empty()
+                ? 0
+                : ShardRouter::Route(
+                      file_id, static_cast<std::uint32_t>(map_.shards.size()));
+  f.op = op;
+  f.file_id = file_id;
+  f.payload = std::move(payload);
+
+  PendingRequest p;
+  p.frame = f;
+  p.reroutes_left = cfg_.reroute_budget;
+  pending_[{session, ordinal}] = std::move(p);
+  Transmit(f);
+  return ordinal;
+}
+
+void ServingWireClient::HandleMessage(const net::Message& msg) {
+  if (msg.type != net::MsgType::kServingResponse) return;  // not for us
+  net::ServingResponseFrame resp;
+  try {
+    resp = net::ServingResponseFrame::Deserialize(msg.payload);
+  } catch (const ParseError& e) {
+    LogWarn() << "wire client: dropping unparseable serving response: "
+              << e.what();
+    return;
+  }
+
+  auto it = pending_.find({resp.session, resp.request});
+  if (it == pending_.end()) {
+    // Unsolicited (or already-terminal) response: surface it rather than
+    // silently dropping; callers decide what a stray frame means.
+    responses_.push_back(std::move(resp));
+    return;
+  }
+
+  if (resp.status == net::ServingStatus::kBadRoute) {
+    // The plane refused our routing stamp and (from a gateway) pushed its
+    // current map. The refused ordinal was never consumed, so re-sending
+    // the same ordinal under the fresh stamp is not a replay.
+    if (!resp.payload.empty()) {
+      try {
+        AdoptMap(net::RoutingMap::Deserialize(resp.payload));
+      } catch (const ParseError& e) {
+        LogWarn() << "wire client: kBadRoute carried an unparseable map: "
+                  << e.what();
+      }
+    }
+    // Re-route whenever the adopted map would change the request's stamp --
+    // not only when THIS refusal's map was the one adopted. Two stale
+    // requests in flight share one epoch bump: the first refusal adopts the
+    // new map, and the second must still re-send under it even though its
+    // own AdoptMap is a no-op. If re-stamping changes nothing, re-sending
+    // would only be refused again, so the refusal is terminal instead.
+    net::ServingRequestFrame& f = it->second.frame;
+    const std::uint32_t fresh_shard =
+        map_.shards.empty()
+            ? 0
+            : ShardRouter::Route(
+                  f.file_id, static_cast<std::uint32_t>(map_.shards.size()));
+    const bool restamp_changes =
+        f.epoch != map_.epoch || f.shard != fresh_shard;
+    if (restamp_changes && it->second.reroutes_left > 0) {
+      it->second.reroutes_left -= 1;
+      reroutes_ += 1;
+      Counters().reroutes.Add(1);
+      f.epoch = map_.epoch;
+      f.shard = fresh_shard;
+      Transmit(f);
+      return;  // absorbed: the caller never sees the refusal
+    }
+    // No fresher stamp to try, or budget exhausted: terminal.
+    reroutes_exhausted_ += 1;
+    Counters().reroutes_exhausted.Add(1);
+  }
+
+  pending_.erase(it);
+  responses_.push_back(std::move(resp));
+}
+
+std::vector<net::ServingResponseFrame> ServingWireClient::TakeResponses() {
+  std::vector<net::ServingResponseFrame> out;
+  out.swap(responses_);
+  return out;
+}
+
+void ServingWireClient::Transmit(const net::ServingRequestFrame& frame) {
+  net::Message m;
+  m.from = cfg_.id;
+  m.to = cfg_.gateway;
+  m.type = net::MsgType::kServingRequest;
+  m.file_id = frame.file_id;
+  m.payload = frame.Serialize();
+  transport_.Send(std::move(m));
+}
+
+}  // namespace pisces

@@ -1,0 +1,93 @@
+// Wire-side serving client with versioned routing.
+//
+// ServingWireClient is the sender half of the serving plane's re-route
+// protocol (docs/resharding.md): it caches the most recently adopted
+// net::RoutingMap, stamps its epoch and the ShardRouter shard into every
+// outgoing ServingRequestFrame, and when the plane refuses a frame with
+// kBadRoute it adopts the map pushed back in the refusal payload and
+// re-sends the SAME request ordinal under the new stamp. Refused ordinals
+// are never consumed by the plane, so the re-send is not a replay.
+//
+// The re-route loop is bounded: each request may be re-stamped at most
+// cfg.reroute_budget times before the kBadRoute is delivered to the caller
+// as a terminal response (counted in obs as serving.reroutes_exhausted). A
+// refusal triggers a re-send whenever the adopted map would CHANGE the
+// request's stamp -- including when a sibling request's refusal already
+// adopted the fresher map -- and is terminal when re-stamping would change
+// nothing (re-sending could only be refused again). A map whose epoch is
+// not strictly newer than the adopted one is discarded -- rollback to an
+// older routing view is never accepted, even when a refusal carries it.
+#pragma once
+
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "net/serving_frame.h"
+#include "net/sync_network.h"
+#include "pisces/shard_router.h"
+
+namespace pisces {
+
+struct WireClientConfig {
+  std::uint32_t id = net::kGatewayId + 1;
+  std::uint32_t gateway = net::kGatewayId;
+  // Re-sends allowed per request after a kBadRoute refusal. 0 disables
+  // re-routing (every kBadRoute is terminal).
+  std::size_t reroute_budget = 3;
+};
+
+class ServingWireClient : public net::MessageHandler {
+ public:
+  ServingWireClient(WireClientConfig cfg, net::Transport& transport);
+
+  std::uint32_t id() const { return cfg_.id; }
+
+  // Adopts a routing map (initial provisioning, or a push from a kBadRoute
+  // refusal). Returns false and changes nothing when map.epoch is not
+  // strictly newer than the adopted epoch (monotone-epoch contract).
+  bool AdoptMap(const net::RoutingMap& map);
+  const net::RoutingMap& map() const { return map_; }
+
+  // Wire session ids are client-chosen; the gateway namespaces them per
+  // peer, so a simple local counter suffices.
+  std::uint64_t OpenSession() { return next_session_++; }
+
+  // Stamps epoch + shard from the adopted map (epoch 0 / shard 0 before any
+  // map is adopted -- the unversioned legacy path), assigns the session's
+  // next ordinal, and sends. Returns the ordinal used.
+  std::uint64_t Send(std::uint64_t session, net::ServingOp op,
+                     std::uint64_t file_id, Bytes payload = {});
+
+  void HandleMessage(const net::Message& msg) override;
+
+  // Terminal responses, in arrival order: everything except kBadRoute
+  // refusals that were absorbed by a successful re-route.
+  std::vector<net::ServingResponseFrame> TakeResponses();
+
+  std::uint64_t reroutes() const { return reroutes_; }
+  std::uint64_t reroutes_exhausted() const { return reroutes_exhausted_; }
+  std::size_t pending() const { return pending_.size(); }
+
+ private:
+  void Transmit(const net::ServingRequestFrame& frame);
+
+  WireClientConfig cfg_;
+  net::Transport& transport_;
+  net::RoutingMap map_;  // epoch 0 until first adoption
+  std::uint64_t next_session_ = 1;
+  std::map<std::uint64_t, std::uint64_t> next_request_;  // per session
+
+  struct PendingRequest {
+    net::ServingRequestFrame frame;  // as last sent (for re-stamping)
+    std::size_t reroutes_left = 0;
+  };
+  // Keyed by (session, ordinal): the gateway echoes both back unchanged.
+  std::map<std::pair<std::uint64_t, std::uint64_t>, PendingRequest> pending_;
+
+  std::vector<net::ServingResponseFrame> responses_;
+  std::uint64_t reroutes_ = 0;
+  std::uint64_t reroutes_exhausted_ = 0;
+};
+
+}  // namespace pisces

@@ -1,31 +1,40 @@
 #include "pss/reshare.h"
 
+#include <set>
+
 namespace pisces::pss {
 
 using field::FpElem;
 
-std::vector<std::vector<FpElem>> ReferenceReshare(
-    const PackedShamir& from, const PackedShamir& to,
-    const std::vector<std::vector<FpElem>>& shares_old, Rng& rng) {
+ResharePublic MakeResharePublic(const PackedShamir& from, const PackedShamir& to,
+                                std::vector<std::uint32_t> contributors) {
   const field::FpCtx& ctx = from.ctx();
-  Require(&ctx == &to.ctx(), "ReferenceReshare: schemes must share a field");
+  Require(&ctx == &to.ctx(), "MakeResharePublic: schemes must share a field");
   Require(from.params().l == to.params().l,
-          "ReferenceReshare: packing must match (re-pack via the codec "
+          "MakeResharePublic: packing must match (re-pack via the codec "
           "otherwise)");
   const std::size_t l = from.params().l;
   const std::size_t d_old = from.params().degree();
   const std::size_t d_new = to.params().degree();
-  const std::size_t n_old = from.params().n;
   const std::size_t n_new = to.params().n;
-  Require(shares_old.size() == n_old, "ReferenceReshare: wrong party count");
-  const std::size_t blocks = shares_old.at(0).size();
+  Require(d_new >= l, "MakeResharePublic: new degree below packing");
+  Require(contributors.size() == d_old + 1,
+          "MakeResharePublic: need exactly d_old+1 contributors");
+  std::set<std::uint32_t> distinct(contributors.begin(), contributors.end());
+  Require(distinct.size() == contributors.size(),
+          "MakeResharePublic: duplicate contributor");
+  for (std::uint32_t i : contributors) {
+    Require(i < from.params().n, "MakeResharePublic: contributor out of range");
+  }
 
-  // Contributors: the first d_old+1 old parties (HBC, all responsive).
-  std::vector<std::uint32_t> contributors(d_old + 1);
-  for (std::uint32_t i = 0; i <= d_old; ++i) contributors[i] = i;
+  ResharePublic pub;
+  pub.from = &from;
+  pub.to = &to;
+  pub.contributors = std::move(contributors);
 
   // w[j][i]: weight of contributor i's share in the old secret s_j.
-  auto w = from.ReconstructionWeights(contributors);
+  auto w = from.ReconstructionWeights(pub.contributors);
+  pub.weights = *w;
 
   // lb[rho][j]: Lagrange basis over the betas evaluated at the new party
   // points -- the degree-(l-1) interpolant of the secrets at alpha'_rho.
@@ -33,40 +42,141 @@ std::vector<std::vector<FpElem>> ReferenceReshare(
                                  to.points().alphas().end());
   auto lb = math::LagrangeCoeffsMulti(ctx, to.points().betas(), new_alphas);
 
-  // c[rho][i] = sum_j lb[rho][j] * w[j][i]: contributor i's public
-  // coefficient toward new party rho. Block independent.
-  std::vector<std::vector<FpElem>> c(n_new,
-                                     std::vector<FpElem>(d_old + 1, ctx.Zero()));
+  // coeff[rho][i] = sum_j lb[rho][j] * w[j][i]. Block independent.
+  pub.coeff.assign(n_new, std::vector<FpElem>(d_old + 1, ctx.Zero()));
   for (std::size_t rho = 0; rho < n_new; ++rho) {
     for (std::size_t i = 0; i <= d_old; ++i) {
       FpElem acc = ctx.Zero();
       for (std::size_t j = 0; j < l; ++j) {
-        acc = ctx.Add(acc, ctx.Mul(lb[rho][j], (*w)[j][i]));
+        acc = ctx.Add(acc, ctx.Mul(lb[rho][j], pub.weights[j][i]));
       }
-      c[rho][i] = acc;
+      pub.coeff[rho][i] = acc;
     }
   }
 
-  // Masking: each contributor adds a random degree-<=d_new polynomial that
-  // vanishes at every beta, so its wire contribution is marginally uniform.
-  math::Poly vanish = math::Poly::Vanishing(ctx, to.points().betas());
-  Require(d_new >= l, "ReferenceReshare: new degree below packing");
+  // Masking constraint: every mask polynomial vanishes at every new beta, so
+  // contributions rerandomize the sharing without moving the secrets.
+  pub.vanish = math::Poly::Vanishing(ctx, to.points().betas());
+  return pub;
+}
 
-  std::vector<std::vector<FpElem>> shares_new(
-      n_new, std::vector<FpElem>(blocks, ctx.Zero()));
+std::vector<std::vector<FpElem>> ReshareContribution(
+    const ResharePublic& pub, std::size_t ordinal,
+    std::span<const FpElem> own_shares, Rng& rng, DealTamper* tamper) {
+  const field::FpCtx& ctx = pub.from->ctx();
+  const std::size_t l = pub.from->params().l;
+  const std::size_t d_new = pub.to->params().degree();
+  const std::size_t n_new = pub.to->params().n;
+  Require(ordinal < pub.contributors.size(),
+          "ReshareContribution: ordinal out of range");
+  const std::size_t blocks = own_shares.size();
+
+  std::vector<std::vector<FpElem>> out(n_new,
+                                       std::vector<FpElem>(blocks, ctx.Zero()));
   for (std::size_t blk = 0; blk < blocks; ++blk) {
-    for (std::size_t i = 0; i <= d_old; ++i) {
-      math::Poly u = math::Poly::Random(ctx, rng, d_new - l);
-      math::Poly m = math::Poly::Mul(ctx, vanish, u);
-      const FpElem& share = shares_old[contributors[i]][blk];
-      for (std::size_t rho = 0; rho < n_new; ++rho) {
-        // v_i(rho) = c[rho][i] * f(alpha_i) + m_i(alpha'_rho): what old party
-        // i would send new party rho. The new share is the sum over i.
-        FpElem contribution = ctx.Add(ctx.Mul(c[rho][i], share),
-                                      m.Eval(ctx, to.points().alpha(rho)));
-        shares_new[rho][blk] = ctx.Add(shares_new[rho][blk], contribution);
-      }
+    // Fresh mask per block: random degree-<=d_new polynomial vanishing at
+    // every beta, so each wire value is marginally uniform.
+    math::Poly u = math::Poly::Random(ctx, rng, d_new - l);
+    math::Poly m = math::Poly::Mul(ctx, pub.vanish, u);
+    for (std::size_t rho = 0; rho < n_new; ++rho) {
+      // v_i(alpha'_rho) = c_i(alpha'_rho) * f(alpha_i) + m_i(alpha'_rho).
+      out[rho][blk] = ctx.Add(ctx.Mul(pub.coeff[rho][ordinal], own_shares[blk]),
+                              m.Eval(ctx, pub.to->points().alpha(rho)));
     }
+  }
+
+  if (tamper != nullptr) {
+    // The Byzantine dealer seam: holders are the new party ids, and a
+    // reshare sub-sharing is a (non-recovery) dealing for tamper purposes.
+    std::vector<std::uint32_t> holders(n_new);
+    for (std::uint32_t rho = 0; rho < n_new; ++rho) holders[rho] = rho;
+    tamper->TamperDeal(holders, /*recovery=*/false, out);
+  }
+  return out;
+}
+
+bool VerifyReshareContribution(
+    const ResharePublic& pub, std::size_t ordinal,
+    const std::vector<std::vector<FpElem>>& contribution) {
+  const field::FpCtx& ctx = pub.from->ctx();
+  const std::size_t l = pub.from->params().l;
+  const std::size_t d_new = pub.to->params().degree();
+  const std::size_t n_new = pub.to->params().n;
+  Require(ordinal < pub.contributors.size(),
+          "VerifyReshareContribution: ordinal out of range");
+  if (contribution.size() != n_new) return false;
+  const std::size_t blocks = contribution.at(0).size();
+  for (const auto& row : contribution) {
+    if (row.size() != blocks) return false;
+  }
+
+  std::vector<FpElem> xs(pub.to->points().alphas().begin(),
+                         pub.to->points().alphas().end());
+  math::PointChecker checker(ctx, xs, d_new);
+  std::vector<FpElem> col(n_new);
+  for (std::size_t blk = 0; blk < blocks; ++blk) {
+    for (std::size_t rho = 0; rho < n_new; ++rho) {
+      col[rho] = contribution[rho][blk];
+    }
+    // Degree check (vacuous when n' == d'+1; the parameter constraints give
+    // n' >= d'+2 whenever t' >= 1).
+    if (!checker.Consistent(col)) return false;
+    if (l < 2) continue;
+    // Beta proportionality: v_i(beta_j) = w[j][i] * f(alpha_i), so the beta
+    // values must be proportional to the contributor's weight column with
+    // one consistent (secret) factor. Cross-multiplying removes the factor:
+    //   v(beta_j) * w[k][i] == v(beta_k) * w[j][i]  for all j, k.
+    std::vector<FpElem> at_beta(l, ctx.Zero());
+    for (std::size_t j = 0; j < l; ++j) {
+      at_beta[j] = checker.EvalAt(pub.to->points().beta(j), col);
+    }
+    for (std::size_t j = 1; j < l; ++j) {
+      const FpElem lhs =
+          ctx.Mul(at_beta[0], pub.weights[j][ordinal]);
+      const FpElem rhs =
+          ctx.Mul(at_beta[j], pub.weights[0][ordinal]);
+      if (!ctx.Eq(lhs, rhs)) return false;
+    }
+  }
+  return true;
+}
+
+void AccumulateReshare(const field::FpCtx& ctx,
+                       std::vector<std::vector<FpElem>>& acc,
+                       const std::vector<std::vector<FpElem>>& contribution) {
+  if (acc.empty()) {
+    acc.assign(contribution.size(),
+               std::vector<FpElem>(contribution.at(0).size(), ctx.Zero()));
+  }
+  Require(acc.size() == contribution.size(),
+          "AccumulateReshare: party-count mismatch");
+  for (std::size_t rho = 0; rho < acc.size(); ++rho) {
+    Require(acc[rho].size() == contribution[rho].size(),
+            "AccumulateReshare: block-count mismatch");
+    for (std::size_t blk = 0; blk < acc[rho].size(); ++blk) {
+      acc[rho][blk] = ctx.Add(acc[rho][blk], contribution[rho][blk]);
+    }
+  }
+}
+
+std::vector<std::vector<FpElem>> ReferenceReshare(
+    const PackedShamir& from, const PackedShamir& to,
+    const std::vector<std::vector<FpElem>>& shares_old, Rng& rng) {
+  const field::FpCtx& ctx = from.ctx();
+  const std::size_t d_old = from.params().degree();
+  Require(shares_old.size() == from.params().n,
+          "ReferenceReshare: wrong party count");
+
+  // Contributors: the first d_old+1 old parties (HBC, all responsive).
+  std::vector<std::uint32_t> contributors(d_old + 1);
+  for (std::uint32_t i = 0; i <= d_old; ++i) contributors[i] = i;
+  ResharePublic pub = MakeResharePublic(from, to, std::move(contributors));
+
+  std::vector<std::vector<FpElem>> shares_new;
+  for (std::size_t i = 0; i < pub.contributors.size(); ++i) {
+    auto contribution =
+        ReshareContribution(pub, i, shares_old[pub.contributors[i]], rng);
+    AccumulateReshare(ctx, shares_new, contribution);
   }
   return shares_new;
 }

@@ -44,6 +44,11 @@ struct SweepOptions {
   std::uint64_t start_seed = 1;
   std::size_t seeds = 25;
   std::size_t windows = 10;
+  // Reshare-enabled campaigns appended after the plain sweep: every window
+  // first LIVE-RESHARDS the group (grow / degenerate / shrink, cycling)
+  // with the Byzantine plan already armed, then runs the update window at
+  // the new shape. 0 disables. Replay with --seed S --reshare.
+  std::size_t reshare_seeds = 5;
   bool verbose = false;
 };
 
@@ -69,6 +74,125 @@ bool Check(bool cond, std::uint64_t seed, std::size_t window,
                static_cast<unsigned long long>(seed), window, invariant,
                detail);
   return false;
+}
+
+// Reshare campaign parameters: n = 10, t = 2, l = 2, r = 1 (3t + l = 8 < 10
+// and r + l = 3 <= n - 3t = 4). Packing l >= 2 is deliberate: it is what
+// makes reshare contributions FULLY verifiable (the beta-consistency
+// cross-check needs at least two packed secrets -- docs/resharding.md), so
+// every dealer-side cheat the plan draws is detectable during the
+// redistribution itself, not only during refresh.
+pss::Params ReshareCampaignParams(std::size_t n) {
+  pss::Params p;
+  p.n = n;
+  p.t = 2;
+  p.l = 2;
+  p.r = 1;
+  p.b = 1;
+  p.field_bits = 256;
+  return p;
+}
+
+// One reshare-enabled campaign: each window arms a drawn Byzantine plan plus
+// mild link faults, live-reshards the fleet (grow -> degenerate -> shrink,
+// cycling), runs a full update window at the new shape, and asserts
+//
+//   liveness   the migration completes despite <= t armed cheaters (their
+//              contributions are rejected/withheld and the round retried),
+//              and the following update window is ok;
+//   safety     the file downloads bit-exactly after every migration;
+//   no-recon   the migration spends ZERO reconstruction traffic (obs deltas
+//              of kReconstructRequest and kMaskedShare bytes are exactly 0).
+bool RunReshareCampaign(std::uint64_t seed, const SweepOptions& opt) {
+  ClusterConfig cc;
+  cc.params = ReshareCampaignParams(10);
+  cc.seed = seed ^ 0x5EC0DULL;
+  Cluster cluster(cc);
+
+  Rng rng(seed ^ 0x7E5A);
+  const Bytes file = rng.RandomBytes(400);
+  cluster.Upload(1, file);
+
+  pss::Params current = cc.params;
+  for (std::size_t w = 0; w < opt.windows; ++w) {
+    const std::uint64_t wseed = rng.Next();
+    const ByzantinePlan plan = DrawByzantinePlan(wseed, current);
+
+    net::FaultPlan fp;
+    fp.seed = wseed ^ 0xFA57;
+    fp.all_links.dup_prob = 0.02;
+    fp.all_links.reorder_prob = 0.05;
+    cluster.net().SetFaultPlan(fp);
+    cluster.ArmByzantine(plan);
+
+    // Shape cycle: grow to 13, rerandomize in place, shrink back to 10.
+    pss::Params to = current;
+    switch (w % 3) {
+      case 0: to = ReshareCampaignParams(13); break;
+      case 1: break;  // degenerate: same shape, fresh shares
+      case 2: to = ReshareCampaignParams(10); break;
+    }
+
+    const obs::Snapshot before = obs::TakeSnapshot();
+    bool migrated = true;
+    std::string failure;
+    try {
+      cluster.Reshare(to);
+    } catch (const Error& e) {
+      migrated = false;
+      failure = e.what();
+    }
+    const obs::Snapshot delta = obs::Delta(before, obs::TakeSnapshot());
+
+    bool good = true;
+    good &= Check(migrated, seed, w, "liveness",
+                  migrated ? "" : failure.c_str());
+    if (!good) return false;
+    current = to;
+
+    const std::uint64_t recon_bytes =
+        obs::Value(delta, std::string("net.bytes_sent.") +
+                              net::MsgTypeName(
+                                  net::MsgType::kReconstructRequest)) +
+        obs::Value(delta, std::string("net.bytes_sent.") +
+                              net::MsgTypeName(net::MsgType::kMaskedShare));
+    good &= Check(recon_bytes == 0, seed, w, "no-recon",
+                  "migration spent reconstruction traffic");
+    good &= Check(cluster.Download(pisces::ReadSpec::Classic(1)) == file,
+                  seed, w, "safety",
+                  "download after migration does not match plaintext");
+
+    // Full proactive window at the new shape, cheaters still armed.
+    const WindowReport report = cluster.RunUpdateWindow();
+    cluster.DisarmByzantine();
+    cluster.net().SetFaultPlan(net::FaultPlan{});
+    good &= Check(report.ok, seed, w, "liveness",
+                  report.failures.empty() ? "window not ok"
+                                          : report.failures.front().c_str());
+    good &= Check(cluster.Download(pisces::ReadSpec::Classic(1)) == file,
+                  seed, w, "safety",
+                  "download after update window does not match plaintext");
+
+    if (opt.verbose) {
+      std::string plan_desc;
+      for (const auto& [host, strategy] : plan.hosts) {
+        plan_desc += " " + std::to_string(host) + "=" + StrategyName(strategy);
+      }
+      std::printf(
+          "reshare seed %llu window %zu: n=%zu plan{%s } rejected=%llu "
+          "withheld=%llu retries=%llu\n",
+          static_cast<unsigned long long>(seed), w, current.n,
+          plan_desc.c_str(),
+          static_cast<unsigned long long>(
+              obs::Value(delta, "reshare.contributions_rejected")),
+          static_cast<unsigned long long>(
+              obs::Value(delta, "reshare.contributions_withheld")),
+          static_cast<unsigned long long>(
+              obs::Value(delta, "reshare.retries")));
+    }
+    if (!good) return false;
+  }
+  return true;
 }
 
 bool RunCampaign(std::uint64_t seed, const SweepOptions& opt) {
@@ -175,6 +299,7 @@ bool RunCampaign(std::uint64_t seed, const SweepOptions& opt) {
 int Main(int argc, char** argv) {
   SweepOptions opt;
   bool single_seed = false;
+  bool reshare_replay = false;
   std::uint64_t seed_arg = 0;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -194,19 +319,24 @@ int Main(int argc, char** argv) {
       opt.start_seed = std::strtoull(next(), nullptr, 10);
     } else if (arg == "--windows") {
       opt.windows = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--reshare-seeds") {
+      opt.reshare_seeds = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--reshare") {
+      reshare_replay = true;
     } else if (arg == "--verbose") {
       opt.verbose = true;
     } else {
       std::fprintf(stderr,
-                   "usage: byz_sweep [--seed S | --seeds N --start S] "
-                   "[--windows W] [--verbose]\n");
+                   "usage: byz_sweep [--seed S [--reshare] | --seeds N "
+                   "--start S --reshare-seeds R] [--windows W] [--verbose]\n");
       return 2;
     }
   }
 
   if (single_seed) {
     opt.start_seed = seed_arg;
-    opt.seeds = 1;
+    opt.seeds = reshare_replay ? 0 : 1;
+    opt.reshare_seeds = reshare_replay ? 1 : 0;
   }
   std::size_t failed = 0;
   for (std::size_t k = 0; k < opt.seeds; ++k) {
@@ -220,11 +350,25 @@ int Main(int argc, char** argv) {
     std::printf("REPLAY: tests/byz_sweep --seed %llu --windows %zu --verbose\n",
                 static_cast<unsigned long long>(seed), opt.windows);
   }
+  for (std::size_t k = 0; k < opt.reshare_seeds; ++k) {
+    const std::uint64_t seed = opt.start_seed + k;
+    if (RunReshareCampaign(seed, opt)) {
+      std::printf("reshare seed %llu: ok (%zu windows)\n",
+                  static_cast<unsigned long long>(seed), opt.windows);
+      continue;
+    }
+    ++failed;
+    std::printf(
+        "REPLAY: tests/byz_sweep --seed %llu --windows %zu --reshare "
+        "--verbose\n",
+        static_cast<unsigned long long>(seed), opt.windows);
+  }
+  const std::size_t total = opt.seeds + opt.reshare_seeds;
   if (failed != 0) {
-    std::printf("byz_sweep: %zu of %zu seeds FAILED\n", failed, opt.seeds);
+    std::printf("byz_sweep: %zu of %zu seeds FAILED\n", failed, total);
     return 1;
   }
-  std::printf("byz_sweep: all %zu seeds passed\n", opt.seeds);
+  std::printf("byz_sweep: all %zu seeds passed\n", total);
   return 0;
 }
 

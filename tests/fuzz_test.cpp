@@ -17,7 +17,9 @@
 #include "net/async_tcp.h"
 #include "net/message.h"
 #include "net/serving_frame.h"
+#include "net/sim_transport.h"
 #include "pisces/file_codec.h"
+#include "pisces/serving_client.h"
 
 namespace pisces {
 namespace {
@@ -239,6 +241,7 @@ net::ServingRequestFrame RandomValidServingRequest(Rng& rng) {
   net::ServingRequestFrame f;
   f.session = rng.Next();
   f.request = rng.Next();
+  f.epoch = rng.Next();
   f.shard = static_cast<std::uint32_t>(rng.Next());
   f.op = static_cast<net::ServingOp>(rng.Below(net::kMaxServingOp + 1));
   f.file_id = rng.Next();
@@ -260,8 +263,8 @@ net::ServingResponseFrame RandomValidServingResponse(Rng& rng) {
 // Payload length-prefix offsets inside each frame (last header field).
 constexpr std::size_t kReqLenOffset = net::kServingRequestHeaderSize - 4;
 constexpr std::size_t kRespLenOffset = net::kServingResponseHeaderSize - 4;
-// Op / status byte offsets (after session + request [+ shard]).
-constexpr std::size_t kReqOpOffset = 8 + 8 + 4;
+// Op / status byte offsets (after session + request [+ epoch + shard]).
+constexpr std::size_t kReqOpOffset = 8 + 8 + 8 + 4;
 constexpr std::size_t kRespStatusOffset = 8 + 8;
 
 TEST(Fuzz, ServingFrameDeserializeNeverCrashes) {
@@ -382,6 +385,160 @@ TEST(Fuzz, ServingFrameUnknownOpAndStatusRejected) {
     EXPECT_THROW(net::ServingResponseFrame::Deserialize(resp), ParseError)
         << "status byte " << bad;
   }
+}
+
+// ---- versioned routing maps (net/serving_frame.h) --------------------------
+
+net::RoutingMap RandomValidRoutingMap(Rng& rng) {
+  net::RoutingMap m;
+  m.epoch = rng.Next();
+  const std::size_t count = rng.Below(6);
+  for (std::size_t i = 0; i < count; ++i) {
+    net::RoutingShard s;
+    s.n = static_cast<std::uint32_t>(rng.Next());
+    s.t = static_cast<std::uint32_t>(rng.Next());
+    s.migrating = static_cast<std::uint8_t>(rng.Below(2));
+    m.shards.push_back(s);
+  }
+  return m;
+}
+
+TEST(Fuzz, RoutingMapDeserializeNeverCrashes) {
+  Rng rng(0xF301);
+  std::size_t accepted = 0;
+  for (std::size_t iter = 0; iter < FuzzIters(2000); ++iter) {
+    Bytes blob = RandomBlob(rng, 120);
+    try {
+      net::RoutingMap m = net::RoutingMap::Deserialize(blob);
+      // Anything accepted must round-trip bit-exactly.
+      EXPECT_EQ(m.Serialize(), blob);
+      ++accepted;
+    } catch (const ParseError&) {
+      // expected for almost everything
+    }
+  }
+  (void)accepted;
+}
+
+TEST(Fuzz, RoutingMapTruncationAlwaysRejected) {
+  Rng rng(0xF302);
+  net::RoutingMap m = RandomValidRoutingMap(rng);
+  while (m.shards.empty()) m = RandomValidRoutingMap(rng);
+  const Bytes wire = m.Serialize();
+  for (std::size_t cut = 0; cut < wire.size(); ++cut) {
+    Bytes prefix(wire.begin(), wire.begin() + cut);
+    EXPECT_THROW(net::RoutingMap::Deserialize(prefix), ParseError)
+        << "prefix length " << cut;
+  }
+}
+
+TEST(Fuzz, RoutingMapShardCountLieRejectedBeforeAllocation) {
+  // A map announcing more shards than the cap must be rejected on the
+  // announced count alone -- the buffer holds no entries at all, so any
+  // attempt to reserve/read them first would be an allocation-before-check
+  // bug (or a wild read).
+  for (std::uint64_t lie :
+       {std::uint64_t{net::kMaxRoutingShards + 1}, std::uint64_t{1} << 20,
+        std::uint64_t{0xFFFFFFFF}}) {
+    ByteWriter w;
+    w.U64(7);  // epoch
+    w.U32(static_cast<std::uint32_t>(lie));
+    EXPECT_THROW(net::RoutingMap::Deserialize(w.bytes()), ParseError)
+        << "count lie " << lie;
+  }
+  // In-cap counts with missing entries reject on truncation, not crash.
+  ByteWriter w;
+  w.U64(7);
+  w.U32(3);
+  EXPECT_THROW(net::RoutingMap::Deserialize(w.bytes()), ParseError);
+}
+
+TEST(Fuzz, RoutingMapBadMigratingByteRejected) {
+  net::RoutingMap m;
+  m.epoch = 9;
+  m.shards.push_back({4, 1, 0});
+  Bytes wire = m.Serialize();
+  // The migrating byte is the last byte of the single entry.
+  for (std::uint32_t bad = 2; bad <= 0xFF; ++bad) {
+    wire.back() = static_cast<std::uint8_t>(bad);
+    EXPECT_THROW(net::RoutingMap::Deserialize(wire), ParseError)
+        << "migrating byte " << bad;
+  }
+}
+
+TEST(Fuzz, RoutingMapEpochRollbackRefusedByClient) {
+  net::SimNet simnet;
+  net::SimEndpoint* ep = simnet.AddEndpoint(1);
+  ServingWireClient client(WireClientConfig{}, *ep);
+
+  net::RoutingMap m;
+  m.epoch = 5;
+  m.shards.push_back({9, 2, 0});
+  ASSERT_TRUE(client.AdoptMap(m));
+  EXPECT_EQ(client.map().epoch, 5u);
+
+  // Equal and older epochs are both refused; the adopted map is untouched.
+  EXPECT_FALSE(client.AdoptMap(m));
+  m.epoch = 3;
+  m.shards[0].n = 13;
+  EXPECT_FALSE(client.AdoptMap(m));
+  EXPECT_EQ(client.map().epoch, 5u);
+  EXPECT_EQ(client.map().shards[0].n, 9u);
+
+  m.epoch = 6;
+  EXPECT_TRUE(client.AdoptMap(m));
+  EXPECT_EQ(client.map().shards[0].n, 13u);
+}
+
+// The wire layouts are frozen: golden byte images, like the 12-byte
+// staircase descriptor contract in comm_test.cpp. Changing any offset here
+// breaks live gateways mid-rollout.
+TEST(Fuzz, ServingRequestFrameLayoutFrozen) {
+  net::ServingRequestFrame f;
+  f.session = 0x1122334455667788ull;
+  f.request = 0x99AABBCCDDEEFF00ull;
+  f.epoch = 0x0102030405060708ull;
+  f.shard = 0x0A0B0C0Du;
+  f.op = net::ServingOp::kDownload;
+  f.file_id = 0x1020304050607080ull;
+  f.payload = Bytes{0xAA, 0xBB};
+
+  const Bytes expected{
+      0x88, 0x77, 0x66, 0x55, 0x44, 0x33, 0x22, 0x11,  // session (le)
+      0x00, 0xFF, 0xEE, 0xDD, 0xCC, 0xBB, 0xAA, 0x99,  // request (le)
+      0x08, 0x07, 0x06, 0x05, 0x04, 0x03, 0x02, 0x01,  // epoch (le)
+      0x0D, 0x0C, 0x0B, 0x0A,                          // shard (le)
+      0x01,                                            // op = kDownload
+      0x80, 0x70, 0x60, 0x50, 0x40, 0x30, 0x20, 0x10,  // file_id (le)
+      0x02, 0x00, 0x00, 0x00,                          // payload length
+      0xAA, 0xBB,
+  };
+  ASSERT_EQ(expected.size(), net::kServingRequestHeaderSize + 2);
+  EXPECT_EQ(f.Serialize(), expected);
+  EXPECT_EQ(net::ServingRequestFrame::Deserialize(expected).Serialize(),
+            expected);
+}
+
+TEST(Fuzz, RoutingMapLayoutFrozen) {
+  net::RoutingMap m;
+  m.epoch = 0x0102030405060708ull;
+  m.shards.push_back({9, 2, 0});
+  m.shards.push_back({13, 3, 1});
+
+  const Bytes expected{
+      0x08, 0x07, 0x06, 0x05, 0x04, 0x03, 0x02, 0x01,  // epoch (le)
+      0x02, 0x00, 0x00, 0x00,                          // shard count
+      0x09, 0x00, 0x00, 0x00,                          // shard 0: n
+      0x02, 0x00, 0x00, 0x00,                          //          t
+      0x00,                                            //          migrating
+      0x0D, 0x00, 0x00, 0x00,                          // shard 1: n
+      0x03, 0x00, 0x00, 0x00,                          //          t
+      0x01,                                            //          migrating
+  };
+  ASSERT_EQ(expected.size(),
+            net::kRoutingMapHeaderSize + 2 * net::kRoutingShardSize);
+  EXPECT_EQ(m.Serialize(), expected);
+  EXPECT_EQ(net::RoutingMap::Deserialize(expected).Serialize(), expected);
 }
 
 TEST(Fuzz, ElemDeserializeRejectsOverflowAndRagged) {

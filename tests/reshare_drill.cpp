@@ -1,0 +1,492 @@
+// Combined live-resharding campaign drill (ctest label: reshare_drill).
+//
+// The open-loop serving generator from serving_drill runs over the REAL wire
+// path -- ServingWireClient -> SimNet -> ServingGateway -> ServingPlane --
+// while the drill fires every disruptive subsystem at once:
+//
+//   * a Byzantine plan armed on shard 0 (an equivocating contributor whose
+//     reshare deals must be rejected, the host excluded, the round retried);
+//   * a mild link-fault plan (duplicates + reordering + delivery jitter) on
+//     every shard's internal fabric for the whole drill;
+//   * a mid-drill batched proactive refresh on top of live queued work;
+//   * spot churn: a host is killed through the fault fabric, and the elastic
+//     autoscaler re-provisions the slot through a DEGENERATE reshare (no
+//     reconstruction) instead of recovery;
+//   * a demand burst that drives one shard's admission queue over the grow
+//     threshold, so the autoscaler grows the fleet through a live reshare
+//     while the generator keeps offering load.
+//
+// Every migration bumps the routing epoch, so in-flight wire clients are
+// refused with kBadRoute + the new map and must re-route within their
+// bounded retry budget. Asserts, on top of serving_drill's no-loss /
+// bounded-shed contract:
+//
+//   zero lost or duplicated files across all migrations (reference model);
+//   bit-identical downloads before and after each migration;
+//   zero full-file reconstructions spent on any migration (obs deltas of
+//     net.bytes_sent.kReconstructRequest / kMaskedShare are exactly 0
+//     across each autoscaler sweep);
+//   every kBadRoute absorbed by a bounded re-route (no exhausted budgets),
+//     with at least one re-route actually exercised;
+//   route epoch == 1 + completed migrations, and the plane's reshard
+//     counter agrees.
+//
+// Replay: seed-deterministic; run tests/reshare_drill --seed S --verbose.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "net/net_obs.h"
+#include "net/sim_transport.h"
+#include "net/sync_network.h"
+#include "obs/registry.h"
+#include "pisces/autoscaler.h"
+#include "pisces/byzantine.h"
+#include "pisces/pisces.h"
+#include "pisces/serving_client.h"
+
+namespace pisces {
+namespace {
+
+using net::ServingOp;
+using net::ServingStatus;
+
+struct DrillOptions {
+  std::uint64_t seed = 2027;
+  std::size_t ticks = 80;
+  std::size_t ops_per_tick = 6;  // offered load; service rate is 4/tick
+  bool verbose = false;
+};
+
+#define DRILL_CHECK(cond, ...)                                       \
+  do {                                                               \
+    if (!(cond)) {                                                   \
+      std::printf("FAIL %s:%d: %s\n", __FILE__, __LINE__, #cond);    \
+      std::printf("  " __VA_ARGS__);                                 \
+      std::printf("\n");                                             \
+      return false;                                                  \
+    }                                                                \
+  } while (0)
+
+// One request the wire client has in flight, as the reference model sees it.
+struct Expected {
+  ServingOp op = ServingOp::kPing;
+  std::uint64_t file_id = 0;
+};
+
+// Recovery traffic a redistribution-based migration must never spend.
+// kMaskedShare exists ONLY on the reboot-recovery path, so its delta is
+// assertable even while queued downloads execute; kReconstructRequest is
+// also the ordinary client read path, so it can only be asserted zero
+// across a window with no download traffic in it.
+std::uint64_t MaskedDelta(const obs::Snapshot& before) {
+  const obs::Snapshot delta = obs::Delta(before, obs::TakeSnapshot());
+  return obs::Value(delta, std::string("net.bytes_sent.") +
+                               net::MsgTypeName(net::MsgType::kMaskedShare));
+}
+
+std::uint64_t ReconDelta(const obs::Snapshot& before) {
+  const obs::Snapshot delta = obs::Delta(before, obs::TakeSnapshot());
+  return obs::Value(delta, std::string("net.bytes_sent.") +
+                               net::MsgTypeName(
+                                   net::MsgType::kReconstructRequest)) +
+         MaskedDelta(before);
+}
+
+bool RunDrill(const DrillOptions& opt) {
+  ServingConfig cfg;
+  cfg.shards = 2;
+  cfg.params.n = 8;
+  cfg.params.t = 1;
+  cfg.params.l = 2;  // l >= 2: reshare contributions are fully verifiable
+  cfg.params.r = 2;
+  cfg.params.field_bits = 256;
+  cfg.seed = opt.seed;
+  cfg.admission_capacity = 16;
+  cfg.max_inflight = 2;
+  cfg.retry_after_ms = 5;
+  ServingPlane plane(cfg);
+  Rng rng(opt.seed ^ 0xD411);
+
+  // Byzantine plan on shard 0: host 2 equivocates on every deal it makes,
+  // including its reshare contributions. t = 1 absorbs it everywhere.
+  {
+    ByzantinePlan plan;
+    plan.seed = opt.seed ^ 0xB12;
+    plan.hosts[2] = ByzantineStrategy::kEquivocate;
+    plane.shard(0).ArmByzantine(plan);
+  }
+  // Mild fabric faults on every shard's internal links for the whole drill.
+  for (std::uint32_t s = 0; s < plane.shard_count(); ++s) {
+    net::FaultPlan fp;
+    fp.seed = opt.seed ^ (0xFA57 + s);
+    fp.all_links.dup_prob = 0.02;
+    fp.all_links.reorder_prob = 0.005;
+    fp.all_links.delay_jitter = 1;
+    plane.shard(s).net().SetFaultPlan(fp);
+  }
+
+  // The serving wire: gateway and client on their own fault-free SimNet (the
+  // re-route protocol under test is the deterministic part).
+  net::SimNet wire;
+  net::SimEndpoint* gw_ep = wire.AddEndpoint(net::kGatewayId);
+  WireClientConfig ccfg;  // reroute_budget = 3
+  net::SimEndpoint* cl_ep = wire.AddEndpoint(ccfg.id);
+  ServingGateway gateway(plane, *gw_ep);
+  ServingWireClient client(ccfg, *cl_ep);
+  net::SyncNetwork sync(wire);
+  sync.Register(net::kGatewayId, gw_ep, &gateway);
+  sync.Register(ccfg.id, cl_ep, &client);
+  client.AdoptMap(plane.routing_map());  // initial provisioning
+
+  const std::uint64_t session = client.OpenSession();
+
+  // Reference model. `content` keeps every byte ever uploaded; `live` holds
+  // ids whose upload was CONFIRMED (kOk response) and whose delete has not
+  // been sent; `expect` tracks one entry per in-flight wire request.
+  std::map<std::uint64_t, Bytes> content;
+  std::set<std::uint64_t> live;
+  std::map<std::uint64_t, Expected> expect;  // ordinal -> request
+  std::uint64_t next_file = 1;
+  std::uint64_t offered = 0, rejected_seen = 0, not_found_seen = 0;
+
+  auto send_upload = [&]() {
+    const std::uint64_t id = next_file++;
+    content[id] = rng.RandomBytes(256 + rng.Below(1024));
+    const std::uint64_t ord =
+        client.Send(session, ServingOp::kUpload, id, content[id]);
+    expect[ord] = {ServingOp::kUpload, id};
+    ++offered;
+  };
+  auto send_download = [&](std::uint64_t id) {
+    const std::uint64_t ord = client.Send(session, ServingOp::kDownload, id);
+    expect[ord] = {ServingOp::kDownload, id};
+    ++offered;
+  };
+  auto pick_live = [&]() -> std::uint64_t {
+    auto it = live.begin();
+    std::advance(it, static_cast<long>(rng.Below(live.size())));
+    return *it;
+  };
+
+  // Absorb every terminal response against the reference model.
+  auto absorb = [&]() -> bool {
+    for (const net::ServingResponseFrame& r : client.TakeResponses()) {
+      auto it = expect.find(r.request);
+      DRILL_CHECK(it != expect.end(), "response for unknown ordinal %llu",
+                  static_cast<unsigned long long>(r.request));
+      const Expected ex = it->second;
+      expect.erase(it);
+      // A kBadRoute must never reach the model: the client's bounded
+      // re-route absorbs every one (budget 3 vs at most one bump in flight).
+      DRILL_CHECK(r.status != ServingStatus::kBadRoute,
+                  "kBadRoute escaped the re-route loop (file %llu)",
+                  static_cast<unsigned long long>(ex.file_id));
+      if (r.status == ServingStatus::kRejected) {
+        ++rejected_seen;
+        // Rejected upload: the id never became live. Rejected delete: the
+        // file is still alive after all.
+        if (ex.op == ServingOp::kUpload) content.erase(ex.file_id);
+        if (ex.op == ServingOp::kDelete) live.insert(ex.file_id);
+        continue;
+      }
+      DRILL_CHECK(r.status == ServingStatus::kOk,
+                  "request %llu (file %llu) failed: %s",
+                  static_cast<unsigned long long>(r.request),
+                  static_cast<unsigned long long>(ex.file_id),
+                  pisces::StatusName(r.status));
+      switch (ex.op) {
+        case ServingOp::kUpload:
+          live.insert(ex.file_id);
+          break;
+        case ServingOp::kDownload:
+          DRILL_CHECK(r.payload == content.at(ex.file_id),
+                      "download of file %llu not bit-exact",
+                      static_cast<unsigned long long>(ex.file_id));
+          break;
+        case ServingOp::kDelete:
+          break;  // already removed from `live` at send time
+        default:
+          break;
+      }
+    }
+    return true;
+  };
+
+  auto pump = [&]() -> bool {
+    sync.RunToQuiescence();
+    gateway.Pump();
+    sync.RunToQuiescence();
+    return absorb();
+  };
+
+  // Preload a namespace so downloads have targets from tick zero.
+  for (int k = 0; k < 10; ++k) send_upload();
+  if (!pump()) return false;
+  while (plane.TotalQueued() > 0) {
+    if (!pump()) return false;
+  }
+  DRILL_CHECK(live.size() == 10, "preload uploads did not all land");
+
+  // Elastic policy: grow at 75% queue pressure, re-provision dead slots
+  // first, never exceed 16 slots.
+  AutoscalerConfig acfg;
+  acfg.grow_pressure = 0.75;
+  acfg.shrink_pressure = 0.0;  // no shrinks mid-drill (0 disables: never <)
+  acfg.grow_step = 4;
+  acfg.min_n = 4;
+  acfg.max_n = 16;
+  acfg.cooldown_ticks = 2;
+  ElasticAutoscaler scaler(acfg);
+
+  std::uint64_t reprovisions = 0, grows = 0;
+  bool refreshed = false;
+  const std::uint32_t churn_victim = 4;  // shard 1, killed at ticks/2
+
+  for (std::size_t tick = 0; tick < opt.ticks; ++tick) {
+    // Open loop: ops_per_tick arrivals regardless of backlog.
+    for (std::size_t k = 0; k < opt.ops_per_tick; ++k) {
+      const std::uint64_t dice = rng.Below(100);
+      if (dice < 15 || live.empty()) {
+        send_upload();
+      } else if (dice < 90) {
+        send_download(pick_live());
+      } else {
+        const std::uint64_t id = pick_live();
+        const std::uint64_t ord = client.Send(session, ServingOp::kDelete, id);
+        expect[ord] = {ServingOp::kDelete, id};
+        live.erase(id);  // nothing sent later may observe it alive
+        ++offered;
+      }
+    }
+    if (!pump()) return false;
+    for (std::uint32_t s = 0; s < plane.shard_count(); ++s) {
+      DRILL_CHECK(plane.QueueDepth(s) <= cfg.admission_capacity,
+                  "shard %u queue exceeded capacity", s);
+    }
+
+    // Mid-drill proactive refresh on top of live queued work.
+    if (!refreshed && tick == opt.ticks / 4) {
+      DRILL_CHECK(plane.BatchRefresh(), "mid-drill batched refresh failed");
+      refreshed = true;
+    }
+
+    // Spot churn: kill one slot (process gone, link dark) through the fault
+    // fabric, then let the autoscaler re-provision it through a DEGENERATE
+    // reshare -- redistribution-as-recovery, zero reconstruction traffic.
+    if (tick == opt.ticks / 2) {
+      // Drain first so the sweep's obs window holds ONLY migration traffic:
+      // with empty queues the strict no-reconstruction delta (reconstruct
+      // requests AND masked shares) is assertable.
+      for (int guard = 0; plane.TotalQueued() > 0; ++guard) {
+        DRILL_CHECK(guard < 1000, "pre-churn drain wedged");
+        if (!pump()) return false;
+      }
+      plane.shard(1).host(churn_victim).Shutdown();
+      plane.shard(1).net().SetOffline(churn_victim, true);
+      const obs::Snapshot before = obs::TakeSnapshot();
+      const AutoscaleReport rep = RunAutoscaler(plane, scaler, tick);
+      DRILL_CHECK(rep.reprovisions == 1, "churned slot was not re-provisioned");
+      DRILL_CHECK(rep.denied == 0, "autoscaler sweep denied under churn");
+      DRILL_CHECK(ReconDelta(before) == 0,
+                  "re-provisioning spent reconstruction traffic");
+      DRILL_CHECK(plane.shard(1).host(churn_victim).online() &&
+                      !plane.shard(1).net().IsOffline(churn_victim),
+                  "churned slot still dark after the sweep");
+      reprovisions += rep.reprovisions;
+      grows += rep.grows;
+      if (opt.verbose) {
+        std::printf("tick %3zu: churn -> reprovision (epoch %llu)\n", tick,
+                    static_cast<unsigned long long>(plane.route_epoch()));
+      }
+    }
+
+    // Demand burst: drive one shard's queue over the grow threshold and let
+    // the autoscaler grow it through a live reshare.
+    if (tick == 3 * opt.ticks / 4) {
+      DRILL_CHECK(!live.empty(), "no live file to burst against");
+      const std::uint64_t burst_file = *live.begin();
+      const std::uint32_t home = plane.ShardOf(burst_file);
+      for (int k = 0; k < 14; ++k) send_download(burst_file);
+      sync.RunToQuiescence();  // deliver the burst (no Pump: keep it queued)
+      if (!absorb()) return false;  // admission rejects answer synchronously
+      DRILL_CHECK(plane.QueueDepth(home) >
+                      cfg.admission_capacity * 3 / 4,
+                  "burst did not build grow pressure on shard %u", home);
+      const std::size_t n_before = plane.shard_params(home).n;
+      const obs::Snapshot before = obs::TakeSnapshot();
+      const AutoscaleReport rep = RunAutoscaler(plane, scaler, tick);
+      DRILL_CHECK(rep.grows >= 1, "pressured shard was not grown");
+      // The queue is deliberately full here, so the drain inside Reshard
+      // legitimately sends reconstruct-request reads; only the
+      // recovery-exclusive masked-share counter must stay at zero.
+      DRILL_CHECK(MaskedDelta(before) == 0,
+                  "grow migration spent recovery traffic");
+      DRILL_CHECK(plane.shard_params(home).n > n_before,
+                  "grown shard kept its old fleet size");
+      reprovisions += rep.reprovisions;
+      grows += rep.grows;
+      if (!pump()) return false;  // flush the burst completions
+      if (opt.verbose) {
+        std::printf("tick %3zu: burst -> grow shard %u to n=%zu (epoch %llu)\n",
+                    tick, home, plane.shard_params(home).n,
+                    static_cast<unsigned long long>(plane.route_epoch()));
+      }
+    }
+
+    if (opt.verbose && tick % 20 == 0) {
+      std::printf("tick %3zu: offered=%llu live=%zu queued=%zu reroutes=%llu\n",
+                  tick, static_cast<unsigned long long>(offered), live.size(),
+                  plane.TotalQueued(),
+                  static_cast<unsigned long long>(client.reroutes()));
+    }
+  }
+
+  // Drain everything still queued or in flight.
+  for (int guard = 0; plane.TotalQueued() > 0 || !expect.empty(); ++guard) {
+    DRILL_CHECK(guard < 1000, "drill failed to drain");
+    if (!pump()) return false;
+  }
+  DRILL_CHECK(client.pending() == 0, "wire client left requests pending");
+
+  const ServingStats& st = plane.stats();
+  const std::uint64_t migrations = reprovisions + grows;
+
+  // --- accounting: nothing lost, nothing invented -------------------------
+  DRILL_CHECK(st.failed == 0, "accepted requests failed in execution");
+  DRILL_CHECK(st.completed == st.accepted,
+              "accepted=%llu completed=%llu: requests lost or duplicated",
+              static_cast<unsigned long long>(st.accepted),
+              static_cast<unsigned long long>(st.completed));
+
+  // --- migrations really happened, and were routed ------------------------
+  DRILL_CHECK(reprovisions >= 1 && grows >= 1,
+              "drill did not exercise both migration kinds");
+  DRILL_CHECK(st.reshards == migrations,
+              "plane reshard counter (%llu) != observed migrations (%llu)",
+              static_cast<unsigned long long>(st.reshards),
+              static_cast<unsigned long long>(migrations));
+  DRILL_CHECK(plane.route_epoch() == 1 + migrations,
+              "route epoch %llu after %llu migrations",
+              static_cast<unsigned long long>(plane.route_epoch()),
+              static_cast<unsigned long long>(migrations));
+
+  // --- bounded kBadRoute retries ------------------------------------------
+  DRILL_CHECK(client.reroutes() >= 1,
+              "no stale-epoch traffic ever re-routed (drill too gentle)");
+  DRILL_CHECK(client.reroutes_exhausted() == 0,
+              "a request exhausted its re-route budget");
+  DRILL_CHECK(st.stale_epoch == client.reroutes(),
+              "stale-epoch refusals (%llu) != client re-routes (%llu)",
+              static_cast<unsigned long long>(st.stale_epoch),
+              static_cast<unsigned long long>(client.reroutes()));
+  DRILL_CHECK(client.reroutes() <= migrations * (opt.ops_per_tick + 16),
+              "re-route volume out of proportion to migrations");
+
+  // --- shed happened under overload, but bounded --------------------------
+  DRILL_CHECK(rejected_seen > 0,
+              "open-loop overload never tripped admission control");
+  DRILL_CHECK(st.queue_peak <= cfg.admission_capacity,
+              "queue peak exceeded capacity");
+
+  // --- zero lost / duplicated files, bit-exact after every migration ------
+  DRILL_CHECK(plane.files().size() == live.size(),
+              "plane namespace (%zu) disagrees with the reference (%zu)",
+              plane.files().size(), live.size());
+  const std::uint64_t check_session = plane.OpenSession();
+  for (const std::uint64_t id : live) {
+    auto adm = plane.Submit(check_session, ServingOp::kDownload, id);
+    DRILL_CHECK(adm.status == ServingStatus::kOk,
+                "post-drill download of live file %llu refused",
+                static_cast<unsigned long long>(id));
+    plane.Drain();
+    auto done = plane.TakeCompletions();
+    DRILL_CHECK(done.size() == 1 && done[0].status == ServingStatus::kOk &&
+                    done[0].payload == content.at(id),
+                "post-drill download of file %llu not bit-exact",
+                static_cast<unsigned long long>(id));
+    const std::uint32_t home = plane.ShardOf(id);
+    for (std::uint32_t s = 0; s < plane.shard_count(); ++s) {
+      const std::uint32_t n =
+          static_cast<std::uint32_t>(plane.shard_params(s).n);
+      for (std::uint32_t h = 0; h < n; ++h) {
+        DRILL_CHECK(plane.shard(s).host(h).store().Has(id) == (s == home),
+                    "file %llu misplaced: shard %u host %u",
+                    static_cast<unsigned long long>(id), s, h);
+      }
+    }
+  }
+
+  DRILL_CHECK(refreshed && st.refresh_batches > 0,
+              "mid-drill refresh did not launch");
+
+  // The armed equivocator must have been caught somewhere: either its
+  // reshare contributions were rejected by the verifier, or the batched
+  // refresh attributed it dealer-side first (and the reshare then simply
+  // never picked an excluded host).
+  const obs::Snapshot snap = obs::TakeSnapshot();
+  DRILL_CHECK(obs::Value(snap, "reshare.contributions_rejected") >= 1 ||
+                  obs::Value(snap, "byz.dealers_attributed") >= 1,
+              "armed equivocator was never detected");
+  std::printf(
+      "reshare_drill: seed=%llu offered=%llu accepted=%llu completed=%llu "
+      "rejected=%llu migrations=%llu (grow=%llu reprovision=%llu) "
+      "epoch=%llu reroutes=%llu reshare_files=%llu rejected_contribs=%llu "
+      "live_files=%zu\n",
+      static_cast<unsigned long long>(opt.seed),
+      static_cast<unsigned long long>(offered),
+      static_cast<unsigned long long>(st.accepted),
+      static_cast<unsigned long long>(st.completed),
+      static_cast<unsigned long long>(rejected_seen),
+      static_cast<unsigned long long>(migrations),
+      static_cast<unsigned long long>(grows),
+      static_cast<unsigned long long>(reprovisions),
+      static_cast<unsigned long long>(plane.route_epoch()),
+      static_cast<unsigned long long>(client.reroutes()),
+      static_cast<unsigned long long>(obs::Value(snap, "reshare.files")),
+      static_cast<unsigned long long>(
+          obs::Value(snap, "reshare.contributions_rejected")),
+      live.size());
+  (void)not_found_seen;
+  return true;
+}
+
+int Main(int argc, char** argv) {
+  DrillOptions opt;
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", argv[i]);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--seed") == 0) {
+      opt.seed = std::strtoull(next(), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--ticks") == 0) {
+      opt.ticks = std::strtoul(next(), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--ops-per-tick") == 0) {
+      opt.ops_per_tick = std::strtoul(next(), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--verbose") == 0) {
+      opt.verbose = true;
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", argv[i]);
+      return 2;
+    }
+  }
+  if (!RunDrill(opt)) {
+    std::printf("REPLAY: tests/reshare_drill --seed %llu --verbose\n",
+                static_cast<unsigned long long>(opt.seed));
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace pisces
+
+int main(int argc, char** argv) { return pisces::Main(argc, argv); }

@@ -1,9 +1,15 @@
-// Resharing to a new group (dynamic-group extension).
+// Resharing to a new group (dynamic-group extension): the ReferenceReshare
+// oracle, the decomposed contribution/verify API, and the differential suite
+// pinning Hypervisor::Reshare against the oracle (docs/resharding.md).
 #include <gtest/gtest.h>
 
 #include <memory>
 
+#include "common/task_pool.h"
 #include "field/primes.h"
+#include "net/net_obs.h"
+#include "obs/registry.h"
+#include "pisces/cluster.h"
 #include "pss/reshare.h"
 
 namespace pisces::pss {
@@ -139,5 +145,402 @@ TEST_F(ReshareTest, ContributionIsMaskedPerContributor) {
   ExpectSecrets(to, b, secrets);
 }
 
+// ---- decomposed execution-path API ----------------------------------------
+
+TEST_F(ReshareTest, ContributionsVerifyAndCompose) {
+  PackedShamir from = Make(8, 1, 2);
+  PackedShamir to = Make(13, 3, 2);
+  auto [old_shares, secrets] = ShareBlocks(from, 3);
+
+  std::vector<std::uint32_t> contributors;
+  for (std::uint32_t i = 0; i <= from.params().degree(); ++i) {
+    contributors.push_back(i);
+  }
+  ResharePublic pub = MakeResharePublic(from, to, contributors);
+
+  std::vector<std::vector<FpElem>> acc;
+  for (std::size_t ord = 0; ord < contributors.size(); ++ord) {
+    auto c = ReshareContribution(pub, ord, old_shares[contributors[ord]], rng_);
+    ASSERT_TRUE(VerifyReshareContribution(pub, ord, c)) << "ordinal " << ord;
+    AccumulateReshare(*ctx_, acc, c);
+  }
+  ExpectSecrets(to, acc, secrets);
+}
+
+TEST_F(ReshareTest, VerifierRejectsPerturbedContribution) {
+  PackedShamir from = Make(8, 1, 2);
+  PackedShamir to = Make(10, 2, 2);
+  auto [old_shares, secrets] = ShareBlocks(from, 2);
+  std::vector<std::uint32_t> contributors;
+  for (std::uint32_t i = 0; i <= from.params().degree(); ++i) {
+    contributors.push_back(i);
+  }
+  ResharePublic pub = MakeResharePublic(from, to, contributors);
+  auto c = ReshareContribution(pub, 0, old_shares[0], rng_);
+  ASSERT_TRUE(VerifyReshareContribution(pub, 0, c));
+
+  // Equivocation analog: one recipient's evaluation is off the polynomial.
+  auto bad = c;
+  bad[3][1] = ctx_->Add(bad[3][1], ctx_->One());
+  EXPECT_FALSE(VerifyReshareContribution(pub, 0, bad));
+
+  // Random garbage of the right shape.
+  auto noise = c;
+  for (auto& row : noise) {
+    for (auto& e : row) e = ctx_->Random(rng_);
+  }
+  EXPECT_FALSE(VerifyReshareContribution(pub, 0, noise));
+
+  // Wrong shape is rejected outright, never indexed out of bounds.
+  auto short_rows = c;
+  short_rows.pop_back();
+  EXPECT_FALSE(VerifyReshareContribution(pub, 0, short_rows));
+}
+
+TEST_F(ReshareTest, VerifierRejectsConsistentLowDegreeShiftForPackedBlocks) {
+  // The corrupt-deal analog: a degree-respecting additive shift that changes
+  // the dealt value. The column degree check passes; the beta-consistency
+  // cross-check catches it because l >= 2 couples the shifted evaluations.
+  // For l == 1 this freedom is genuinely unverifiable without commitments --
+  // which is why every reshare drill runs l >= 2 (docs/resharding.md).
+  PackedShamir from = Make(10, 2, 2);
+  PackedShamir to = Make(10, 2, 2);
+  auto [old_shares, secrets] = ShareBlocks(from, 1);
+  std::vector<std::uint32_t> contributors;
+  for (std::uint32_t i = 0; i <= from.params().degree(); ++i) {
+    contributors.push_back(i);
+  }
+  ResharePublic pub = MakeResharePublic(from, to, contributors);
+  auto c = ReshareContribution(pub, 0, old_shares[0], rng_);
+  ASSERT_TRUE(VerifyReshareContribution(pub, 0, c));
+
+  // Shift the whole column by a constant: still degree <= d', but the
+  // implied evaluations at the betas no longer share the contributor's
+  // secret-proportionality.
+  auto shifted = c;
+  for (auto& row : shifted) row[0] = ctx_->Add(row[0], ctx_->One());
+  EXPECT_FALSE(VerifyReshareContribution(pub, 0, shifted));
+}
+
+TEST_F(ReshareTest, OracleAllStandardPrimeSizes) {
+  for (std::size_t bits : {256u, 512u, 1024u, 2048u}) {
+    auto ctx = std::make_shared<const FpCtx>(field::StandardPrimeBe(bits));
+    Params fp;
+    fp.n = 8;
+    fp.t = 1;
+    fp.l = 2;
+    fp.field_bits = bits;
+    Params tp = fp;
+    tp.n = 10;
+    tp.t = 2;
+    PackedShamir from(ctx, fp);
+    PackedShamir to(ctx, tp);
+
+    Rng rng(bits);
+    std::vector<FpElem> secret{ctx->Random(rng), ctx->Random(rng)};
+    auto block = from.ShareBlock(secret, rng);
+    std::vector<std::vector<FpElem>> by_party(fp.n);
+    for (std::size_t i = 0; i < fp.n; ++i) by_party[i] = {block[i]};
+
+    auto reshared = ReferenceReshare(from, to, by_party, rng);
+    std::vector<std::uint32_t> parties;
+    std::vector<FpElem> sh;
+    for (std::uint32_t i = 0; i < tp.n; ++i) {
+      parties.push_back(i);
+      sh.push_back(reshared[i][0]);
+    }
+    ASSERT_TRUE(to.ConsistentShares(parties, sh)) << bits << "-bit";
+    auto rec = to.ReconstructBlock(parties, sh);
+    for (std::size_t j = 0; j < tp.l; ++j) {
+      EXPECT_TRUE(ctx->Eq(rec[j], secret[j])) << bits << "-bit, secret " << j;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace pisces::pss
+
+// ---- differential: cluster-driven reshare vs the oracle --------------------
+
+namespace pisces {
+namespace {
+
+using field::FpElem;
+
+ClusterConfig ReshareClusterConfig(std::size_t n, std::size_t t,
+                                   std::uint64_t seed, std::size_t bits = 256) {
+  ClusterConfig cfg;
+  cfg.params.n = n;
+  cfg.params.t = t;
+  cfg.params.l = 2;  // l >= 2: reshare verification needs packed blocks
+  cfg.params.field_bits = bits;
+  cfg.seed = seed;
+  return cfg;
+}
+
+Bytes DeterministicFile(std::size_t size, std::uint64_t seed) {
+  Rng rng(seed);
+  return rng.RandomBytes(size);
+}
+
+// Per-party share snapshot of every file on the first `n` hosts.
+std::map<std::uint64_t, std::vector<std::vector<FpElem>>> SnapshotShares(
+    Cluster& cluster, std::size_t n) {
+  std::map<std::uint64_t, std::vector<std::vector<FpElem>>> out;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    for (std::uint64_t id : cluster.host(i).store().FileIds()) {
+      auto& slot = out[id];
+      if (slot.size() < n) slot.resize(n);
+      slot[i] = cluster.host(i).store().Load(id);
+    }
+  }
+  return out;
+}
+
+// Reconstructs every block's secrets from a full per-party share snapshot.
+std::vector<std::vector<FpElem>> SecretsOf(
+    const pss::PackedShamir& scheme,
+    const std::vector<std::vector<FpElem>>& by_party) {
+  const std::size_t blocks = by_party.at(0).size();
+  std::vector<std::uint32_t> parties;
+  for (std::uint32_t i = 0; i < scheme.params().n; ++i) parties.push_back(i);
+  std::vector<std::vector<FpElem>> secrets;
+  for (std::size_t b = 0; b < blocks; ++b) {
+    std::vector<FpElem> sh;
+    for (std::uint32_t i : parties) sh.push_back(by_party[i][b]);
+    secrets.push_back(scheme.ReconstructBlock(parties, sh));
+  }
+  return secrets;
+}
+
+class ReshareClusterTest : public ::testing::Test {
+ protected:
+  // Uploads `files` deterministic files and returns their download images.
+  std::map<std::uint64_t, Bytes> Seed(Cluster& cluster, std::size_t files) {
+    std::map<std::uint64_t, Bytes> images;
+    for (std::uint64_t id = 1; id <= files; ++id) {
+      Bytes data = DeterministicFile(400 + 97 * id, id);
+      cluster.Upload(id, data);
+      images[id] = std::move(data);
+    }
+    return images;
+  }
+
+  // Bit-identical downloads against the recorded images.
+  void ExpectDownloads(Cluster& cluster,
+                       const std::map<std::uint64_t, Bytes>& images) {
+    for (const auto& [id, data] : images) {
+      EXPECT_EQ(cluster.Download(ReadSpec::Classic(id)), data)
+          << "file " << id;
+    }
+  }
+};
+
+TEST_F(ReshareClusterTest, GrowMatchesOracleWithoutReconstruction) {
+  Cluster cluster(ReshareClusterConfig(8, 1, 77));
+  auto images = Seed(cluster, 3);
+
+  const pss::PackedShamir from(cluster.ctx_ptr(), cluster.config().params);
+  auto before = SnapshotShares(cluster, 8);
+
+  pss::Params to = cluster.config().params;
+  to.n = 13;
+  to.t = 3;
+  const obs::Snapshot snap = obs::TakeSnapshot();
+  ReshareReport report = cluster.Reshare(to);
+  const obs::Snapshot delta = obs::Delta(snap, obs::TakeSnapshot());
+
+  EXPECT_TRUE(report.ok);
+  EXPECT_EQ(report.files, 3u);
+  EXPECT_EQ(report.hosts_added, 5u);
+  EXPECT_EQ(report.contributions_rejected, 0u);
+
+  // The no-reconstruction invariant, asserted two ways: the obs counters saw
+  // one migration and zero full-file reconstructions, and not one byte of
+  // reconstruct-request or recovery masked-share traffic moved.
+  EXPECT_EQ(obs::Value(delta, "reshare.migrations"), 1u);
+  EXPECT_EQ(obs::Value(delta, "reshare.files"), 3u);
+  EXPECT_EQ(obs::Value(delta, std::string("net.bytes_sent.") +
+                                  net::MsgTypeName(
+                                      net::MsgType::kReconstructRequest)),
+            0u);
+  EXPECT_EQ(obs::Value(delta, std::string("net.bytes_sent.") +
+                                  net::MsgTypeName(net::MsgType::kMaskedShare)),
+            0u);
+
+  // Differential against the oracle: the new sharing holds exactly the
+  // secrets the old one held (ReferenceReshare is the spec of "same secrets,
+  // new group"), and the files decode bit-identically.
+  const pss::PackedShamir to_scheme(cluster.ctx_ptr(), to);
+  auto after = SnapshotShares(cluster, 13);
+  ASSERT_EQ(after.size(), before.size());
+  for (const auto& [id, old_shares] : before) {
+    auto oracle_secrets = SecretsOf(from, old_shares);
+    auto live_secrets = SecretsOf(to_scheme, after.at(id));
+    ASSERT_EQ(live_secrets.size(), oracle_secrets.size()) << "file " << id;
+    for (std::size_t b = 0; b < oracle_secrets.size(); ++b) {
+      for (std::size_t j = 0; j < oracle_secrets[b].size(); ++j) {
+        EXPECT_TRUE(
+            cluster.ctx().Eq(live_secrets[b][j], oracle_secrets[b][j]))
+            << "file " << id << " block " << b << " secret " << j;
+      }
+    }
+  }
+  ExpectDownloads(cluster, images);
+
+  // The grown fleet is a fully functional PSS group: refresh + reboot run.
+  EXPECT_TRUE(cluster.RunUpdateWindow().ok);
+  ExpectDownloads(cluster, images);
+}
+
+TEST_F(ReshareClusterTest, ShrinkKeepsEverySecretAndDownload) {
+  Cluster cluster(ReshareClusterConfig(13, 3, 78));
+  auto images = Seed(cluster, 2);
+  const pss::PackedShamir from(cluster.ctx_ptr(), cluster.config().params);
+  auto before = SnapshotShares(cluster, 13);
+
+  pss::Params to = cluster.config().params;
+  to.n = 8;
+  to.t = 1;
+  ReshareReport report = cluster.Reshare(to);
+  EXPECT_TRUE(report.ok);
+  EXPECT_EQ(report.hosts_retired, 5u);
+
+  const pss::PackedShamir to_scheme(cluster.ctx_ptr(), to);
+  auto after = SnapshotShares(cluster, 8);
+  for (const auto& [id, old_shares] : before) {
+    auto oracle_secrets = SecretsOf(from, old_shares);
+    auto live_secrets = SecretsOf(to_scheme, after.at(id));
+    for (std::size_t b = 0; b < oracle_secrets.size(); ++b) {
+      for (std::size_t j = 0; j < oracle_secrets[b].size(); ++j) {
+        EXPECT_TRUE(
+            cluster.ctx().Eq(live_secrets[b][j], oracle_secrets[b][j]));
+      }
+    }
+  }
+  ExpectDownloads(cluster, images);
+  EXPECT_TRUE(cluster.RunUpdateWindow().ok);
+  ExpectDownloads(cluster, images);
+}
+
+TEST_F(ReshareClusterTest, DegenerateReshareRerandomizesInPlace) {
+  Cluster cluster(ReshareClusterConfig(10, 2, 79));
+  auto images = Seed(cluster, 2);
+  auto before = SnapshotShares(cluster, 10);
+
+  // Same shape: a pure redistribution round (the autoscaler's re-provision
+  // primitive). Every share must change; every secret and byte must not.
+  ReshareReport report = cluster.Reshare(cluster.config().params);
+  EXPECT_TRUE(report.ok);
+  EXPECT_EQ(report.hosts_added, 0u);
+  EXPECT_EQ(report.hosts_retired, 0u);
+
+  auto after = SnapshotShares(cluster, 10);
+  for (const auto& [id, old_shares] : before) {
+    for (std::size_t i = 0; i < old_shares.size(); ++i) {
+      for (std::size_t b = 0; b < old_shares[i].size(); ++b) {
+        EXPECT_FALSE(cluster.ctx().Eq(after.at(id)[i][b], old_shares[i][b]))
+            << "share unchanged: file " << id << " host " << i;
+      }
+    }
+  }
+  ExpectDownloads(cluster, images);
+}
+
+TEST_F(ReshareClusterTest, AllStandardPrimeSizes) {
+  for (std::size_t bits : {256u, 512u, 1024u, 2048u}) {
+    Cluster cluster(ReshareClusterConfig(8, 1, 80 + bits, bits));
+    auto images = Seed(cluster, 1);
+    pss::Params to = cluster.config().params;
+    to.n = 10;
+    to.t = 2;
+    EXPECT_TRUE(cluster.Reshare(to).ok) << bits << "-bit";
+    ExpectDownloads(cluster, images);
+  }
+}
+
+TEST_F(ReshareClusterTest, PoolSizeBitIdentity) {
+  // The migrated share material must be a pure function of the seed: pool
+  // width is a wall-clock knob, never a value knob (the determinism contract
+  // of common/task_pool.h), including across a live reshare.
+  auto run = [&](std::size_t threads) {
+    SetGlobalPoolThreads(threads);
+    Cluster cluster(ReshareClusterConfig(8, 1, 81));
+    Seed(cluster, 2);
+    pss::Params to = cluster.config().params;
+    to.n = 12;
+    to.t = 2;
+    EXPECT_TRUE(cluster.Reshare(to).ok);
+    std::map<std::uint64_t, std::vector<std::vector<Bytes>>> image;
+    for (const auto& [id, shares] : SnapshotShares(cluster, 12)) {
+      auto& file_image = image[id];
+      for (const auto& host_shares : shares) {
+        file_image.push_back({});
+        for (const FpElem& e : host_shares) {
+          file_image.back().push_back(cluster.ctx().ToBytes(e));
+        }
+      }
+    }
+    return image;
+  };
+  const auto one = run(1);
+  const auto two = run(2);
+  const auto eight = run(8);
+  EXPECT_EQ(one, two);
+  EXPECT_EQ(one, eight);
+}
+
+TEST_F(ReshareClusterTest, EquivocatingContributorExcludedAndRetried) {
+  Cluster cluster(ReshareClusterConfig(10, 2, 82));
+  auto images = Seed(cluster, 2);
+
+  ByzantinePlan plan;
+  plan.seed = 5;
+  plan.hosts[2] = ByzantineStrategy::kEquivocate;
+  cluster.ArmByzantine(plan);
+
+  pss::Params to = cluster.config().params;
+  to.n = 12;
+  ReshareReport report = cluster.Reshare(to);
+  cluster.DisarmByzantine();
+
+  // The tampered contribution failed public verification; the offender was
+  // excluded and the file's round re-ran with honest contributors.
+  EXPECT_TRUE(report.ok);
+  EXPECT_GE(report.contributions_rejected, 1u);
+  EXPECT_GE(report.retries, 1u);
+  ExpectDownloads(cluster, images);
+}
+
+TEST_F(ReshareClusterTest, SilentContributorToleratedViaRetry) {
+  Cluster cluster(ReshareClusterConfig(10, 2, 83));
+  auto images = Seed(cluster, 1);
+
+  ByzantinePlan plan;
+  plan.seed = 6;
+  plan.hosts[1] = ByzantineStrategy::kWithhold;
+  cluster.ArmByzantine(plan);
+
+  ReshareReport report = cluster.Reshare(cluster.config().params);
+  cluster.DisarmByzantine();
+
+  EXPECT_TRUE(report.ok);
+  EXPECT_GE(report.contributions_withheld, 1u);
+  ExpectDownloads(cluster, images);
+}
+
+TEST_F(ReshareClusterTest, MismatchedPackingOrFieldRefused) {
+  Cluster cluster(ReshareClusterConfig(8, 1, 84));
+  Seed(cluster, 1);
+  pss::Params bad_l = cluster.config().params;
+  bad_l.n = 13;
+  bad_l.t = 2;
+  bad_l.l = 3;
+  EXPECT_THROW(cluster.Reshare(bad_l), Error);
+  pss::Params bad_field = cluster.config().params;
+  bad_field.field_bits = 512;
+  EXPECT_THROW(cluster.Reshare(bad_field), Error);
+}
+
+}  // namespace
+}  // namespace pisces

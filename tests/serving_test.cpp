@@ -12,7 +12,9 @@
 #include "net/serving_frame.h"
 #include "net/sim_transport.h"
 #include "net/sync_network.h"
+#include "obs/registry.h"
 #include "pisces/pisces.h"
+#include "pisces/serving_client.h"
 
 namespace pisces {
 namespace {
@@ -450,6 +452,243 @@ TEST(Serving, ProactiveWindowKeepsNamespaceAlive) {
     ASSERT_EQ(done.size(), 1u);
     EXPECT_EQ(done[0].payload, want);
   }
+}
+
+// --- versioned routing + live resharding (docs/resharding.md) ---
+
+// Grow target for the SmallConfig shape: same packing (l = 2) and rate
+// (r = 2), four more slots, and the extra corruption tolerance the packed
+// constraints allow at n = 12 (3t + l < n and r + l < n - 3t).
+pss::Params GrownParams() {
+  pss::Params p;
+  p.n = 12;
+  p.t = 2;
+  p.l = 2;
+  p.r = 2;
+  p.field_bits = 256;
+  return p;
+}
+
+TEST(ReshareServing, StaleEpochRefusedWithoutConsumingTheOrdinal) {
+  ServingPlane plane(SmallConfig(41));
+  EXPECT_EQ(plane.route_epoch(), 1u);
+
+  net::ServingRequestFrame f;
+  f.session = 77;
+  f.request = 1;
+  f.op = ServingOp::kPing;
+  f.file_id = 0;
+  f.shard = plane.ShardOf(0);
+
+  // The current epoch and the unversioned sentinel (0) are both accepted.
+  f.epoch = plane.route_epoch();
+  EXPECT_EQ(plane.SubmitFrame(f).status, ServingStatus::kOk);
+
+  // A future epoch (client ahead of the plane: impossible under monotone
+  // maps, so it can only be corruption) is refused just like a stale one.
+  f.request = 2;
+  f.epoch = 999;
+  EXPECT_EQ(plane.SubmitFrame(f).status, ServingStatus::kBadRoute);
+  EXPECT_EQ(plane.stats().stale_epoch, 1u);
+
+  // The refused ordinal was NOT consumed: the same request re-sent under an
+  // acceptable stamp is a re-route, not a replay.
+  f.epoch = 0;
+  EXPECT_EQ(plane.SubmitFrame(f).status, ServingStatus::kOk);
+
+  // After a reshard the old epoch goes stale; the new one is accepted.
+  ASSERT_TRUE(plane.Reshard(0, GrownParams()));
+  EXPECT_EQ(plane.route_epoch(), 2u);
+  EXPECT_EQ(plane.stats().reshards, 1u);
+  f.request = 3;
+  f.epoch = 1;
+  EXPECT_EQ(plane.SubmitFrame(f).status, ServingStatus::kBadRoute);
+  EXPECT_EQ(plane.stats().stale_epoch, 2u);
+  f.epoch = 2;
+  EXPECT_EQ(plane.SubmitFrame(f).status, ServingStatus::kOk);
+}
+
+TEST(ReshareServing, ReshardMigratesOneShardWhileTheOtherKeepsItsQueue) {
+  ServingPlane plane(SmallConfig(42));
+  const std::uint64_t session = plane.OpenSession();
+  Rng rng(43);
+
+  std::map<std::uint64_t, Bytes> reference;
+  for (std::uint64_t id = 1; id <= 6; ++id) {
+    reference[id] = rng.RandomBytes(500 + 13 * id);
+    ASSERT_EQ(UploadNow(plane, session, id, reference[id]),
+              ServingStatus::kOk);
+  }
+  plane.TakeCompletions();
+  // The hashed namespace must populate both shards for this to test
+  // anything; six sequential ids always do (RouterIsPureBalancedAndStable).
+  std::array<std::size_t, 2> owned{};
+  for (const auto& [id, shard] : plane.files()) owned[shard] += 1;
+  ASSERT_GT(owned[0], 0u);
+  ASSERT_GT(owned[1], 0u);
+
+  // Queue (without draining) a download for every file homed on shard 1,
+  // then migrate shard 0 under it.
+  std::size_t queued = 0;
+  for (const auto& [id, data] : reference) {
+    if (plane.ShardOf(id) != 1) continue;
+    ASSERT_EQ(plane.Submit(session, ServingOp::kDownload, id).status,
+              ServingStatus::kOk);
+    ++queued;
+  }
+  ASSERT_EQ(plane.QueueDepth(1), queued);
+
+  ASSERT_TRUE(plane.Reshard(0, GrownParams()));
+  EXPECT_EQ(plane.route_epoch(), 2u);
+  EXPECT_EQ(plane.shard_params(0).n, 12u);
+  EXPECT_EQ(plane.shard_params(0).t, 2u);
+  EXPECT_EQ(plane.shard_params(1).n, 8u);   // untouched shard keeps shape...
+  EXPECT_EQ(plane.QueueDepth(1), queued);   // ...and its queued work
+  EXPECT_EQ(plane.QueueDepth(0), 0u);       // migrating shard was drained
+
+  // The routing-map snapshot mirrors the per-shard shapes and the epoch.
+  const net::RoutingMap map = plane.routing_map();
+  EXPECT_EQ(map.epoch, 2u);
+  ASSERT_EQ(map.shards.size(), 2u);
+  EXPECT_EQ(map.shards[0].n, 12u);
+  EXPECT_EQ(map.shards[0].t, 2u);
+  EXPECT_EQ(map.shards[1].n, 8u);
+  EXPECT_EQ(map.shards[0].migrating, 0u);  // migrations are synchronous
+
+  // The queued downloads execute against the untouched shard and every file
+  // on BOTH shards still downloads bit-exactly.
+  plane.Drain();
+  auto done = plane.TakeCompletions();
+  ASSERT_EQ(done.size(), queued);
+  for (const auto& c : done) {
+    EXPECT_EQ(c.status, ServingStatus::kOk);
+    EXPECT_EQ(c.payload, reference.at(c.file_id));
+  }
+  for (const auto& [id, data] : reference) {
+    ASSERT_EQ(plane.Submit(session, ServingOp::kDownload, id).status,
+              ServingStatus::kOk);
+    plane.Drain();
+    done = plane.TakeCompletions();
+    ASSERT_EQ(done.size(), 1u);
+    EXPECT_EQ(done[0].payload, data) << "file " << id;
+  }
+
+  // A failed migration (wrong field) leaves the epoch and shapes untouched.
+  pss::Params bad = GrownParams();
+  bad.field_bits = 512;
+  EXPECT_FALSE(plane.Reshard(1, bad));
+  EXPECT_EQ(plane.route_epoch(), 2u);
+  EXPECT_EQ(plane.shard_params(1).n, 8u);
+}
+
+// End-to-end wire re-route: a ServingWireClient with no routing map sends a
+// request that lands on the wrong shard, the gateway refuses it with
+// kBadRoute carrying the current map, the client adopts the map and re-sends
+// the SAME ordinal, and the request completes. Then a live reshard bumps the
+// epoch and the client's next request re-routes the same way.
+TEST(ReshareServing, GatewayPushesMapAndWireClientReroutes) {
+  ServingPlane plane(SmallConfig(44));
+
+  net::SimNet simnet;
+  net::SimEndpoint* gw_ep = simnet.AddEndpoint(net::kGatewayId);
+  WireClientConfig ccfg;
+  net::SimEndpoint* cl_ep = simnet.AddEndpoint(ccfg.id);
+
+  ServingGateway gateway(plane, *gw_ep);
+  ServingWireClient client(ccfg, *cl_ep);
+
+  net::SyncNetwork sync(simnet);
+  sync.Register(net::kGatewayId, gw_ep, &gateway);
+  sync.Register(ccfg.id, cl_ep, &client);
+
+  // A file homed on shard 1: with no map the client stamps shard 0, which
+  // the plane must refuse.
+  std::uint64_t file = 0;
+  while (plane.ShardOf(file) != 1) ++file;
+  Rng rng(45);
+  const Bytes data = rng.RandomBytes(640);
+
+  const std::uint64_t session = client.OpenSession();
+  client.Send(session, ServingOp::kUpload, file, data);
+  // One quiescence round covers the whole refusal loop: request -> kBadRoute
+  // + map (synchronous at the gateway) -> adopt -> re-send -> accepted.
+  sync.RunToQuiescence();
+  gateway.Pump();
+  sync.RunToQuiescence();
+
+  EXPECT_EQ(client.reroutes(), 1u);
+  EXPECT_EQ(client.reroutes_exhausted(), 0u);
+  EXPECT_EQ(client.map().epoch, 1u);
+  auto responses = client.TakeResponses();
+  ASSERT_EQ(responses.size(), 1u);
+  EXPECT_EQ(responses[0].status, ServingStatus::kOk);
+  EXPECT_EQ(plane.stats().stale_epoch, 0u);  // shard header, not epoch
+
+  // Reshard shard 1 under the live client: its adopted map (epoch 1) goes
+  // stale, the next request is refused once, re-stamped with epoch 2, and
+  // completes with the bit-exact payload.
+  ASSERT_TRUE(plane.Reshard(1, GrownParams()));
+  client.Send(session, ServingOp::kDownload, file);
+  sync.RunToQuiescence();
+  gateway.Pump();
+  sync.RunToQuiescence();
+
+  EXPECT_EQ(client.reroutes(), 2u);
+  EXPECT_EQ(client.map().epoch, 2u);
+  EXPECT_EQ(plane.stats().stale_epoch, 1u);
+  responses = client.TakeResponses();
+  ASSERT_EQ(responses.size(), 1u);
+  EXPECT_EQ(responses[0].status, ServingStatus::kOk);
+  EXPECT_EQ(responses[0].payload, data);
+  EXPECT_EQ(client.pending(), 0u);
+
+  const obs::Snapshot snap = obs::TakeSnapshot();
+  EXPECT_GE(obs::Value(snap, "serving.reroutes"), 2u);
+}
+
+TEST(ReshareServing, RerouteBudgetZeroMakesBadRouteTerminal) {
+  ServingPlane plane(SmallConfig(46));
+
+  net::SimNet simnet;
+  net::SimEndpoint* gw_ep = simnet.AddEndpoint(net::kGatewayId);
+  WireClientConfig ccfg;
+  ccfg.reroute_budget = 0;
+  net::SimEndpoint* cl_ep = simnet.AddEndpoint(ccfg.id);
+
+  ServingGateway gateway(plane, *gw_ep);
+  ServingWireClient client(ccfg, *cl_ep);
+
+  net::SyncNetwork sync(simnet);
+  sync.Register(net::kGatewayId, gw_ep, &gateway);
+  sync.Register(ccfg.id, cl_ep, &client);
+
+  // Routed op homed on shard 1: with no adopted map the client stamps
+  // shard 0, which the plane refuses.
+  std::uint64_t file = 0;
+  while (plane.ShardOf(file) != 1) ++file;
+  Rng rng(47);
+  const Bytes data = rng.RandomBytes(320);
+
+  const std::uint64_t session = client.OpenSession();
+  client.Send(session, ServingOp::kUpload, file, data);
+  sync.RunToQuiescence();
+
+  // Budget 0: the refusal is delivered to the caller instead of re-sent.
+  auto responses = client.TakeResponses();
+  ASSERT_EQ(responses.size(), 1u);
+  EXPECT_EQ(responses[0].status, ServingStatus::kBadRoute);
+  EXPECT_EQ(client.reroutes(), 0u);
+  EXPECT_EQ(client.reroutes_exhausted(), 1u);
+
+  // The pushed map was still adopted, so the NEXT request routes correctly.
+  EXPECT_EQ(client.map().epoch, 1u);
+  client.Send(session, ServingOp::kUpload, file, data);
+  sync.RunToQuiescence();
+  gateway.Pump();
+  sync.RunToQuiescence();
+  responses = client.TakeResponses();
+  ASSERT_EQ(responses.size(), 1u);
+  EXPECT_EQ(responses[0].status, ServingStatus::kOk);
 }
 
 }  // namespace
